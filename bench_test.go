@@ -1,0 +1,324 @@
+// Package mlperf holds the repository-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation section (each
+// regenerates the corresponding result through the experiments package), plus
+// microbenchmarks for the core components (LoadGen scenario drivers, native
+// model inference, quantization and the virtual-time queue simulator).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package mlperf
+
+import (
+	"testing"
+	"time"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/core"
+	"mlperf/internal/dataset"
+	"mlperf/internal/experiments"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/model"
+	"mlperf/internal/quantize"
+	"mlperf/internal/simhw"
+	"mlperf/internal/stats"
+	"mlperf/internal/tensor"
+)
+
+// benchOptions keeps the experiment regeneration benchmarks fast while still
+// exercising the full pipeline of each table/figure.
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 2020, SearchQueries: 512, Figure6Systems: 4, DatasetSamples: 48}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per table of the paper. ---
+
+func BenchmarkTable1ModelZoo(b *testing.B)           { runExperiment(b, "table1") }
+func BenchmarkTable2Scenarios(b *testing.B)          { runExperiment(b, "table2") }
+func BenchmarkTable3LatencyConstraints(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkTable4QueryRequirements(b *testing.B)  { runExperiment(b, "table4") }
+func BenchmarkTable5QueryCounts(b *testing.B)        { runExperiment(b, "table5") }
+func BenchmarkTable6Coverage(b *testing.B)           { runExperiment(b, "table6") }
+func BenchmarkTable7Frameworks(b *testing.B)         { runExperiment(b, "table7") }
+
+// --- One benchmark per figure of the evaluation section. ---
+
+func BenchmarkFigure5TaskCoverage(b *testing.B)     { runExperiment(b, "fig5") }
+func BenchmarkFigure6ServerVsOffline(b *testing.B)  { runExperiment(b, "fig6") }
+func BenchmarkFigure7Architectures(b *testing.B)    { runExperiment(b, "fig7") }
+func BenchmarkFigure8PerformanceRange(b *testing.B) { runExperiment(b, "fig8") }
+
+// --- Audit and analysis sections. ---
+
+func BenchmarkAuditSuite(b *testing.B)        { runExperiment(b, "audits") }
+func BenchmarkModeledVsMeasured(b *testing.B) { runExperiment(b, "modeled-vs-measured") }
+
+// --- LoadGen scenario drivers against an instant SUT (traffic-generation
+// overhead, independent of any model). ---
+
+type instantSUT struct{}
+
+func (instantSUT) Name() string { return "instant" }
+func (instantSUT) IssueQuery(q *loadgen.Query) {
+	responses := make([]loadgen.Response, len(q.Samples))
+	for i, s := range q.Samples {
+		responses[i] = loadgen.Response{SampleID: s.ID}
+	}
+	q.Complete(responses)
+}
+func (instantSUT) FlushQueries() {}
+
+type benchQSL struct{ total int }
+
+func (q benchQSL) Name() string                             { return "bench" }
+func (q benchQSL) TotalSampleCount() int                    { return q.total }
+func (q benchQSL) PerformanceSampleCount() int              { return q.total }
+func (q benchQSL) LoadSamplesToRAM(indices []int) error     { return nil }
+func (q benchQSL) UnloadSamplesFromRAM(indices []int) error { return nil }
+
+func BenchmarkLoadGenSingleStream(b *testing.B) {
+	settings := loadgen.DefaultSettings(loadgen.SingleStream)
+	settings.MinQueryCount = 256
+	settings.MinDuration = 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadgen.StartTest(instantSUT{}, benchQSL{total: 1024}, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadGenServer(b *testing.B) {
+	settings := loadgen.DefaultSettings(loadgen.Server)
+	settings.MinQueryCount = 256
+	settings.MinDuration = 0
+	settings.ServerTargetQPS = 1e6 // stress the issuing path, not the sleep
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadgen.StartTest(instantSUT{}, benchQSL{total: 1024}, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadGenOffline(b *testing.B) {
+	settings := loadgen.DefaultSettings(loadgen.Offline)
+	settings.MinSampleCount = 4096
+	settings.MinDuration = 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadgen.StartTest(instantSUT{}, benchQSL{total: 1024}, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Native reference-model inference (the substrate's compute cost). ---
+
+func benchmarkClassifier(b *testing.B, build func(model.ClassifierConfig) (*model.ImageClassifier, error)) {
+	b.Helper()
+	m, err := build(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := tensor.MustNew(3, 16, 16)
+	rng := stats.NewRNG(2)
+	for i := range img.Data() {
+		img.Data()[i] = float32(rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Classify(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResNet50MiniInference(b *testing.B) { benchmarkClassifier(b, model.NewResNet50Mini) }
+func BenchmarkMobileNetV1MiniInference(b *testing.B) {
+	benchmarkClassifier(b, model.NewMobileNetV1Mini)
+}
+
+func BenchmarkSSDMobileNetMiniDetection(b *testing.B) {
+	m, err := model.NewSSDMobileNetMini(model.DetectorConfig{Classes: 5, ImageSize: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := tensor.MustNew(3, 16, 16)
+	img.Fill(0.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Detect(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGNMTMiniTranslation(b *testing.B) {
+	m, err := model.NewGNMTMini(model.TranslatorConfig{Vocab: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := []int{5, 9, 13, 21, 34, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Translate(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Quantization flow. ---
+
+func BenchmarkINT8WeightQuantization(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := quantize.Model(m.Weights(), quantize.INT8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Virtual-time scenario simulation (the experiment substrate). ---
+
+func BenchmarkQueueSimServer(b *testing.B) {
+	platform, err := simhw.FindPlatform("dc-gpu-g1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := simhw.StandardWorkloads()["resnet50-v1.5"]
+	peak, err := platform.PeakThroughput(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simhw.SimulateServer(platform, w, peak/2, 15*time.Millisecond, 4096, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxServerQPSSearch(b *testing.B) {
+	platform, err := simhw.FindPlatform("dc-gpu-g1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := core.Spec(core.ImageClassificationHeavy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := simhw.StandardWorkloads()[string(spec.ReferenceModel)]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simhw.MaxServerQPS(platform, w, spec.ServerLatencyBound, spec.ServerLatencyPercentile,
+			simhw.SearchOptions{Queries: 1024, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- End-to-end native harness run (build + performance + accuracy). ---
+
+func BenchmarkHarnessSingleStreamEndToEnd(b *testing.B) {
+	assembly, err := harness.BuildNative(core.ImageClassificationLight, harness.BuildOptions{DatasetSamples: 48, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	settings := harness.QuickSettings(assembly.Spec, loadgen.SingleStream, 64)
+	settings.MinDuration = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Run(assembly, harness.RunOptions{Scenario: loadgen.SingleStream, Settings: &settings}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Native backend against the LoadGen through a dynamic batcher. ---
+
+func BenchmarkDynamicBatchingServer(b *testing.B) {
+	assembly, err := harness.BuildNative(core.ImageClassificationLight, harness.BuildOptions{DatasetSamples: 48, Seed: 5, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batcher, err := backend.NewBatching(assembly.SUT, 8, 2*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	settings := harness.QuickSettings(assembly.Spec, loadgen.Server, 2048)
+	settings.MinDuration = 0
+	settings.ServerTargetQPS = 2000
+	settings.ServerTargetLatency = 100 * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadgen.StartTest(batcher, assembly.QSL, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Statistical machinery. ---
+
+func BenchmarkPoissonSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := stats.NewPoissonProcess(stats.NewRNG(uint64(i)), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Schedule(8192)
+	}
+}
+
+func BenchmarkQueryRequirementTableIV(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.TableIV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard against the synthetic dataset generator regressing, since every
+// harness benchmark depends on it.
+func BenchmarkSyntheticImageNetGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.NewSyntheticImages(dataset.ImageConfig{
+			Samples: 256, Classes: 10, Channels: 3, Height: 16, Width: 16, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command mlperf-checker runs the result-review process of Section V-B
+// against the reference submission system: it executes the audit battery
+// (accuracy verification, caching detection, alternate random seeds) and the
+// submission checker, and reports whether the system would clear review.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlperf/internal/audit"
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/submission"
+)
+
+func main() {
+	var (
+		taskName = flag.String("task", string(core.ImageClassificationLight), "task to audit")
+		samples  = flag.Int("samples", 64, "synthetic data-set size")
+		scale    = flag.Int("scale", 64, "divide production query counts by this factor")
+		seed     = flag.Uint64("seed", 42, "model/data seed")
+	)
+	flag.Parse()
+
+	task := core.Task(*taskName)
+	assembly, err := harness.BuildNative(task, harness.BuildOptions{DatasetSamples: *samples, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	settings := harness.QuickSettings(assembly.Spec, loadgen.SingleStream, *scale)
+	settings.MinDuration = 100 * time.Millisecond
+
+	fmt.Printf("auditing %s on %s\n\n", task, assembly.SUT.Name())
+	suite := audit.Suite{SUT: assembly.SUT, QSL: assembly.QSL, Settings: settings}
+	findings, err := suite.RunAll()
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+
+	// Also run one scenario end to end and push the result through the
+	// submission checker so reviewers see the full pipeline.
+	report, err := harness.Run(assembly, harness.RunOptions{
+		Scenario: loadgen.SingleStream, Settings: &settings, RunAccuracy: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	entry := submission.Entry{
+		System: submission.SystemDescription{
+			Name: "reference-native", Submitter: "reference", ProcessorType: "CPU",
+			HostProcessors: 1, Framework: "mlperf-go-native",
+		},
+		Division:    submission.Closed,
+		Category:    submission.RDO,
+		Task:        task,
+		Scenario:    loadgen.SingleStream,
+		ModelUsed:   string(assembly.Spec.ReferenceModel),
+		Performance: report.Performance,
+		Accuracy:    report.Accuracy,
+	}
+	issues := submission.CheckEntry(0, entry, submission.CheckOptions{ScaleFactor: *scale})
+	fmt.Printf("\nsubmission checker issues: %d\n", len(issues))
+	for _, issue := range issues {
+		fmt.Println("  -", issue)
+	}
+
+	if !audit.AllPassed(findings) || len(issues) > 0 {
+		fmt.Println("\nRESULT: review FAILED")
+		os.Exit(2)
+	}
+	fmt.Println("\nRESULT: review passed — submission would be cleared as valid")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlperf-checker:", err)
+	os.Exit(1)
+}

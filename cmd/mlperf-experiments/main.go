@@ -1,0 +1,72 @@
+// Command mlperf-experiments regenerates the tables and figures of the
+// paper's evaluation section from the in-repo reproduction.
+//
+// Usage:
+//
+//	mlperf-experiments                 # run every experiment
+//	mlperf-experiments -exp table4     # run a single experiment
+//	mlperf-experiments -list           # list available experiments
+//	mlperf-experiments -queries 4096   # use a larger simulation trial size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlperf/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (default: all)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		seed    = flag.Uint64("seed", 2020, "simulation seed")
+		queries = flag.Int("queries", 1024, "virtual-time trial size for metric searches")
+		systems = flag.Int("fig6-systems", 11, "number of systems in the Figure 6 sweep")
+		samples = flag.Int("dataset-samples", 64, "synthetic data-set size for the audit experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Seed:           *seed,
+		SearchQueries:  *queries,
+		Figure6Systems: *systems,
+		DatasetSamples: *samples,
+	}
+
+	run := func(e experiments.Experiment) error {
+		out, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("==== %s — %s ====\n%s\n", e.ID, e.Description, out)
+		return nil
+	}
+
+	if *exp != "" {
+		e, err := experiments.Find(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := run(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range experiments.All() {
+		if err := run(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command mlperf-loadgen runs one benchmark: a task and scenario against
+// either the native reference implementation or a simulated platform from the
+// catalogue, in performance mode and optionally accuracy mode.
+//
+// Examples:
+//
+//	mlperf-loadgen -task image-classification-light -scenario SingleStream
+//	mlperf-loadgen -task machine-translation -scenario Offline -accuracy
+//	mlperf-loadgen -task image-classification-heavy -scenario Server \
+//	    -backend simulated -platform dc-gpu-g1 -scale 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/quantize"
+	"mlperf/internal/simhw"
+)
+
+func main() {
+	var (
+		taskName     = flag.String("task", string(core.ImageClassificationLight), "benchmark task")
+		scenarioName = flag.String("scenario", "SingleStream", "SingleStream, MultiStream, Server or Offline")
+		backendName  = flag.String("backend", "native", "native or simulated")
+		platformName = flag.String("platform", "desktop-cpu-c1", "simulated platform (with -backend simulated)")
+		accuracyRun  = flag.Bool("accuracy", false, "also run accuracy mode and score quality")
+		scale        = flag.Int("scale", 128, "divide the production query counts and duration by this factor (1 = full production run)")
+		samples      = flag.Int("samples", 128, "synthetic data-set size")
+		seed         = flag.Uint64("seed", 42, "model/data seed")
+		format       = flag.String("quantize", "", "optional weight format from the approved list (e.g. int8)")
+	)
+	flag.Parse()
+
+	scenario, err := parseScenario(*scenarioName)
+	if err != nil {
+		fatal(err)
+	}
+	task := core.Task(*taskName)
+	spec, err := core.Spec(task)
+	if err != nil {
+		fatal(err)
+	}
+
+	assembly, err := harness.BuildNative(task, harness.BuildOptions{
+		DatasetSamples: *samples,
+		Seed:           *seed,
+		Quantization:   quantize.Format(strings.ToLower(*format)),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Optionally swap the SUT for a simulated platform while keeping the
+	// task's data set and settings.
+	if *backendName == "simulated" {
+		platform, err := simhw.FindPlatform(*platformName)
+		if err != nil {
+			fatal(err)
+		}
+		workload, ok := simhw.StandardWorkloads()[string(spec.ReferenceModel)]
+		if !ok {
+			fatal(fmt.Errorf("no standard workload for %s", spec.ReferenceModel))
+		}
+		sut, err := backend.NewSimulated(backend.SimulatedConfig{
+			Platform: platform, Workload: workload, TimeScale: 100, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		assembly.SUT = sut
+	} else if *backendName != "native" {
+		fatal(fmt.Errorf("unknown backend %q (want native or simulated)", *backendName))
+	}
+
+	settings := harness.QuickSettings(spec, scenario, *scale)
+	report, err := harness.Run(assembly, harness.RunOptions{
+		Scenario:    scenario,
+		Settings:    &settings,
+		RunAccuracy: *accuracyRun && *backendName == "native",
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	perf := report.Performance
+	fmt.Printf("task:        %s\n", task)
+	fmt.Printf("scenario:    %s\n", scenario)
+	fmt.Printf("SUT:         %s\n", report.SUTName)
+	fmt.Printf("queries:     %d issued, %d completed\n", perf.QueriesIssued, perf.QueriesCompleted)
+	fmt.Printf("duration:    %v\n", perf.TestDuration)
+	fmt.Printf("metric:      %.4g (%s)\n", perf.MetricValue(), perf.MetricName())
+	fmt.Printf("p50/p90/p99: %v / %v / %v\n", perf.QueryLatencies.P50, perf.QueryLatencies.P90, perf.QueryLatencies.P99)
+	fmt.Printf("valid:       %v %v\n", perf.Valid, perf.ValidityMessages)
+	if report.Accuracy != nil {
+		fmt.Printf("accuracy:    %s\n", report.Accuracy)
+	}
+	if !report.Valid() {
+		os.Exit(2)
+	}
+}
+
+func parseScenario(name string) (loadgen.Scenario, error) {
+	for _, s := range loadgen.AllScenarios() {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scenario %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlperf-loadgen:", err)
+	os.Exit(1)
+}

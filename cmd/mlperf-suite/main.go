@@ -1,0 +1,122 @@
+// Command mlperf-suite runs the full closed-division suite (every task under
+// every scenario) against the native reference implementation, builds a
+// submission, checks it with the submission checker and prints the report.
+//
+// A full production run takes hours by design (Table V requires hundreds of
+// thousands of queries); the -scale flag divides the query counts and minimum
+// duration so the whole suite completes in seconds for demonstration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/submission"
+)
+
+func main() {
+	var (
+		scale     = flag.Int("scale", 1024, "divide production query counts and durations by this factor")
+		samples   = flag.Int("samples", 64, "synthetic data-set size per task")
+		seed      = flag.Uint64("seed", 42, "model/data seed")
+		submitter = flag.String("submitter", "reference", "submitter name recorded in the submission")
+	)
+	flag.Parse()
+
+	sub := submission.Submission{Submitter: *submitter}
+	for _, task := range core.AllTasks() {
+		assembly, err := harness.BuildNative(task, harness.BuildOptions{DatasetSamples: *samples, Seed: *seed, Workers: 4})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s (reference quality %.4f, target %.4f)\n", task, assembly.ReferenceQuality, assembly.QualityTarget)
+		// The single-stream scenario runs first; its mean latency is used to
+		// size the offered load of the latency-bound scenarios, the same way
+		// submitters tune target QPS and stream counts to their system.
+		var singleStreamMean time.Duration
+		for _, scenario := range loadgen.AllScenarios() {
+			settings := harness.QuickSettings(assembly.Spec, scenario, *scale)
+			if settings.MinDuration > 500*time.Millisecond {
+				settings.MinDuration = 500 * time.Millisecond
+			}
+			// Wall-clock compression for the demo: the production multistream
+			// arrival interval (50-100 ms) would stretch even a scaled run
+			// into minutes, and the offered server load must match what the
+			// pure-Go backend on this machine can actually serve.
+			perQuery := 2 * time.Millisecond
+			if singleStreamMean > 0 {
+				perQuery = singleStreamMean
+			}
+			effectiveWorkers := 4.0
+			if cpus := float64(runtime.NumCPU()); cpus < effectiveWorkers {
+				effectiveWorkers = cpus
+			}
+			switch scenario {
+			case loadgen.MultiStream:
+				settings.MultiStreamSamplesPerQuery = 1
+				settings.MultiStreamArrivalInterval = clampDuration(8*perQuery, 10*time.Millisecond, 60*time.Millisecond)
+			case loadgen.Server:
+				settings.ServerTargetQPS = 0.35 * effectiveWorkers / perQuery.Seconds()
+				settings.ServerTargetLatency = clampDuration(25*perQuery, 50*time.Millisecond, 250*time.Millisecond)
+			case loadgen.Offline:
+				settings.MinDuration = 0
+			}
+			report, err := harness.Run(assembly, harness.RunOptions{
+				Scenario: scenario, Settings: &settings, RunAccuracy: true,
+			})
+			if err != nil {
+				fatal(fmt.Errorf("%s/%v: %w", task, scenario, err))
+			}
+			perf := report.Performance
+			if scenario == loadgen.SingleStream && perf.QueryLatencies.Mean > 0 {
+				singleStreamMean = perf.QueryLatencies.Mean
+			}
+			fmt.Printf("   %-13s metric %10.4g (%s)  valid=%v  quality=%.4f\n",
+				scenario, perf.MetricValue(), perf.MetricName(), perf.Valid, report.Accuracy.Value)
+
+			sub.Entries = append(sub.Entries, submission.Entry{
+				System: submission.SystemDescription{
+					Name: "reference-native", Submitter: *submitter, ProcessorType: "CPU",
+					HostProcessors: 1, Framework: "mlperf-go-native", SoftwareStack: "go",
+				},
+				Division:    submission.Closed,
+				Category:    submission.RDO,
+				Task:        task,
+				Scenario:    scenario,
+				ModelUsed:   string(assembly.Spec.ReferenceModel),
+				Performance: perf,
+				Accuracy:    report.Accuracy,
+			})
+		}
+	}
+
+	issues, cleared := submission.Check(sub, submission.CheckOptions{ScaleFactor: *scale})
+	fmt.Println()
+	fmt.Println(submission.Report(sub))
+	fmt.Printf("submission checker: %d/%d entries cleared as valid, %d issues\n", cleared, len(sub.Entries), len(issues))
+	for _, issue := range issues {
+		fmt.Println("  -", issue)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlperf-suite:", err)
+	os.Exit(1)
+}
+
+// clampDuration bounds d to [lo, hi].
+func clampDuration(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

@@ -1,0 +1,89 @@
+// Edge single-stream: the smartphone-style use case from the paper's
+// single-stream scenario (offline voice transcription, camera effects —
+// "responsiveness is critical").
+//
+// The example measures 90th-percentile latency for both image-classification
+// reference models on the native backend, then repeats the measurement on two
+// simulated mobile platforms from the catalogue to show how the same
+// benchmark definition spans wildly different hardware.
+//
+//	go run ./examples/edge_singlestream
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/simhw"
+)
+
+func main() {
+	fmt.Println("== native reference models (single-stream, scaled down) ==")
+	for _, task := range []core.Task{core.ImageClassificationLight, core.ImageClassificationHeavy} {
+		assembly, err := harness.BuildNative(task, harness.BuildOptions{DatasetSamples: 96, Seed: 7})
+		if err != nil {
+			log.Fatalf("building %s: %v", task, err)
+		}
+		settings := harness.QuickSettings(assembly.Spec, loadgen.SingleStream, 8)
+		settings.MinDuration = 200 * time.Millisecond
+		report, err := harness.Run(assembly, harness.RunOptions{Scenario: loadgen.SingleStream, Settings: &settings})
+		if err != nil {
+			log.Fatalf("running %s: %v", task, err)
+		}
+		fmt.Printf("  %-28s p90 latency %10v over %d queries (valid=%v)\n",
+			task, report.Performance.SingleStreamLatency, report.Performance.QueriesCompleted, report.Performance.Valid)
+	}
+
+	fmt.Println("\n== simulated mobile platforms (single-stream, wall clock, time-scaled) ==")
+	for _, platformName := range []string{"smartphone-dsp-s1", "smartphone-soc-s2"} {
+		platform, err := simhw.FindPlatform(platformName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, modelName := range []string{"mobilenet-v1", "resnet50-v1.5"} {
+			workload := simhw.StandardWorkloads()[modelName]
+
+			// Wall-clock LoadGen run against the simulated SUT (time scaled
+			// 20x so the example stays fast while latencies remain well above
+			// the scheduler's sleep granularity).
+			sut, err := backend.NewSimulated(backend.SimulatedConfig{
+				Platform: platform, Workload: workload, TimeScale: 20, Seed: 11,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			qsl := &staticQSL{total: 1024}
+			settings := loadgen.DefaultSettings(loadgen.SingleStream)
+			settings.MinQueryCount = 64
+			settings.MinDuration = 0
+			res, err := loadgen.StartTest(sut, qsl, settings)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sut.Wait()
+
+			// Virtual-time simulation of the same platform at full scale.
+			p90, err := simhw.SingleStreamP90(platform, workload, 1024, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-20s %-16s wall-clock p90 %10v (20x scaled)   full-scale simulated p90 %10v\n",
+				platformName, modelName, res.SingleStreamLatency, p90)
+		}
+	}
+}
+
+// staticQSL is a minimal query sample library for the simulated SUT: samples
+// carry no payload because the simulated backend models time, not math.
+type staticQSL struct{ total int }
+
+func (q *staticQSL) Name() string                             { return "static" }
+func (q *staticQSL) TotalSampleCount() int                    { return q.total }
+func (q *staticQSL) PerformanceSampleCount() int              { return q.total }
+func (q *staticQSL) LoadSamplesToRAM(indices []int) error     { return nil }
+func (q *staticQSL) UnloadSamplesFromRAM(indices []int) error { return nil }

@@ -1,0 +1,65 @@
+// Quickstart: run one MLPerf Inference benchmark end to end.
+//
+// This example builds the lightweight image-classification task
+// (MobileNet-v1 on a synthetic ImageNet-like data set), runs the LoadGen in
+// the single-stream scenario in performance mode, then runs accuracy mode and
+// checks the model against its quality target — the same flow a submitter
+// follows, scaled down so it finishes in about a second.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+)
+
+func main() {
+	// 1. Assemble the task: reference model, synthetic data set, QSL and SUT.
+	assembly, err := harness.BuildNative(core.ImageClassificationLight, harness.BuildOptions{
+		DatasetSamples: 128,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatalf("building task: %v", err)
+	}
+	fmt.Printf("task:               %s\n", assembly.Spec.Task)
+	fmt.Printf("reference model:    %s (%d parameters, %d ops/input)\n",
+		assembly.Info.PaperName, assembly.Info.Params, assembly.Info.OpsPerInput)
+	fmt.Printf("reference quality:  %.4f (%s)\n", assembly.ReferenceQuality, assembly.Spec.QualityMetric)
+	fmt.Printf("quality target:     %.4f (%.0f%% of reference)\n\n",
+		assembly.QualityTarget, 100*assembly.Spec.TargetRatio)
+
+	// 2. Scale the production settings (1,024 queries, 60 s minimum) down so
+	//    the example finishes quickly, then run performance + accuracy modes.
+	settings := harness.QuickSettings(assembly.Spec, loadgen.SingleStream, 8)
+	settings.MinDuration = 250 * time.Millisecond
+
+	report, err := harness.Run(assembly, harness.RunOptions{
+		Scenario:    loadgen.SingleStream,
+		Settings:    &settings,
+		RunAccuracy: true,
+	})
+	if err != nil {
+		log.Fatalf("running benchmark: %v", err)
+	}
+
+	// 3. Inspect the results the way a submission would report them.
+	perf := report.Performance
+	fmt.Printf("scenario:           %s (%s)\n", perf.Scenario, core.ScenarioMetric(perf.Scenario))
+	fmt.Printf("queries completed:  %d in %v\n", perf.QueriesCompleted, perf.TestDuration)
+	fmt.Printf("90th pct latency:   %v\n", perf.SingleStreamLatency)
+	fmt.Printf("latency p50/p99:    %v / %v\n", perf.QueryLatencies.P50, perf.QueryLatencies.P99)
+	fmt.Printf("run valid:          %v\n", perf.Valid)
+	fmt.Printf("accuracy check:     %s\n", report.Accuracy)
+	if report.Valid() {
+		fmt.Println("\nresult would be accepted as a valid closed-division entry")
+	} else {
+		fmt.Println("\nresult would be REJECTED:", perf.ValidityMessages)
+	}
+}

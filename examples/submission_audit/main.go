@@ -1,0 +1,108 @@
+// Submission and audit: the full result-submission pipeline of Section V —
+// run every scenario for one task, assemble a closed-division submission,
+// subject it to the result-review audits (accuracy verification, caching
+// detection, alternate random seeds) and the submission checker, and print
+// the final report (which, by design, contains no summary score).
+//
+//	go run ./examples/submission_audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mlperf/internal/audit"
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/quantize"
+	"mlperf/internal/submission"
+)
+
+func main() {
+	const task = core.ImageClassificationLight
+	const scale = 2048 // divide production query counts by this factor
+
+	// Build the submission system: the reference model post-training
+	// quantized to INT8 with the provided calibration set, exactly what the
+	// closed division permits.
+	assembly, err := harness.BuildNative(task, harness.BuildOptions{
+		DatasetSamples: 96,
+		Seed:           2020,
+		Workers:        4,
+		Quantization:   quantize.INT8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submission system: %s, INT8 weights (%d tensors quantized)\n",
+		assembly.SUT.Name(), len(assembly.QuantizationStats))
+	fmt.Printf("reference quality %.4f, target %.4f\n\n", assembly.ReferenceQuality, assembly.QualityTarget)
+
+	// Run every scenario in performance + accuracy mode and collect entries.
+	system := submission.SystemDescription{
+		Name: "go-native-int8", Submitter: "example-org", ProcessorType: "CPU",
+		HostProcessors: 1, Framework: "mlperf-go-native", SoftwareStack: "go, int8 weights",
+	}
+	sub := submission.Submission{Submitter: "example-org"}
+	for _, scenario := range loadgen.AllScenarios() {
+		settings := harness.QuickSettings(assembly.Spec, scenario, scale)
+		settings.MinDuration = 200 * time.Millisecond
+		if scenario == loadgen.Offline {
+			// A single scaled-down offline query finishes in milliseconds;
+			// requiring a 200 ms minimum would only flag the demo as short.
+			settings.MinDuration = 0
+		}
+		if scenario == loadgen.Server {
+			settings.ServerTargetQPS = 400
+			settings.ServerTargetLatency = 100 * time.Millisecond
+		}
+		if scenario == loadgen.MultiStream {
+			// The production 50 ms arrival interval would make even a scaled
+			// run take minutes of wall-clock time; compress it for the demo
+			// (the skip-accounting logic is unchanged).
+			settings.MultiStreamSamplesPerQuery = 2
+			settings.MultiStreamArrivalInterval = 5 * time.Millisecond
+		}
+		report, err := harness.Run(assembly, harness.RunOptions{
+			Scenario: scenario, Settings: &settings, RunAccuracy: true,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", scenario, err)
+		}
+		fmt.Printf("  %-13s metric %10.4g  valid=%-5v  %s\n",
+			scenario, report.Performance.MetricValue(), report.Performance.Valid, report.Accuracy)
+		sub.Entries = append(sub.Entries, submission.Entry{
+			System: system, Division: submission.Closed, Category: submission.Available,
+			Task: task, Scenario: scenario, ModelUsed: string(assembly.Spec.ReferenceModel),
+			Performance: report.Performance, Accuracy: report.Accuracy,
+		})
+	}
+
+	// Result review: audit battery plus the submission checker.
+	fmt.Println("\n== result-review audits (Section V-B) ==")
+	auditSettings := harness.QuickSettings(assembly.Spec, loadgen.SingleStream, scale)
+	auditSettings.MinDuration = 100 * time.Millisecond
+	findings, err := audit.Suite{SUT: assembly.SUT, QSL: assembly.QSL, Settings: auditSettings}.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(" ", f)
+	}
+
+	issues, cleared := submission.Check(sub, submission.CheckOptions{ScaleFactor: scale})
+	fmt.Printf("\n== submission checker: %d/%d entries cleared, %d issues ==\n", cleared, len(sub.Entries), len(issues))
+	for _, issue := range issues {
+		fmt.Println("  -", issue)
+	}
+
+	fmt.Println()
+	fmt.Println(submission.Report(sub))
+	if audit.AllPassed(findings) && len(issues) == 0 {
+		fmt.Println("review outcome: submission cleared as valid")
+	} else {
+		fmt.Println("review outcome: submission needs fixes before release")
+	}
+}

@@ -1,0 +1,164 @@
+// Package accuracy implements the benchmark's accuracy script (Figure 3,
+// step 7): it decodes the responses the LoadGen logged during an
+// accuracy-mode run, scores them against the data set's ground truth with the
+// task's quality metric, and decides whether the model meets its quality
+// target. It also provides the log-consistency check used by the
+// accuracy-verification audit (Section V-B).
+package accuracy
+
+import (
+	"bytes"
+	"fmt"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/metrics"
+	"mlperf/internal/payload"
+)
+
+// Report is the outcome of scoring one accuracy-mode run.
+type Report struct {
+	Metric    string  // "top1", "mAP" or "BLEU"
+	Value     float64 // measured quality
+	Reference float64 // FP32 reference quality the target derives from
+	Target    float64 // minimum acceptable quality
+	Samples   int     // scored samples
+	Pass      bool
+}
+
+// String formats the report the way result summaries print it.
+func (r Report) String() string {
+	status := "FAILED"
+	if r.Pass {
+		status = "PASSED"
+	}
+	return fmt.Sprintf("%s=%.4f (target %.4f, reference %.4f, %d samples): %s",
+		r.Metric, r.Value, r.Target, r.Reference, r.Samples, status)
+}
+
+// CheckClassification scores an image-classification accuracy log.
+func CheckClassification(log []loadgen.AccuracyEntry, ds *dataset.SyntheticImages) (float64, error) {
+	if len(log) == 0 {
+		return 0, fmt.Errorf("accuracy: empty accuracy log")
+	}
+	var preds, labels []int
+	for _, entry := range log {
+		sample, err := ds.Sample(entry.SampleIndex)
+		if err != nil {
+			return 0, fmt.Errorf("accuracy: sample %d: %w", entry.SampleIndex, err)
+		}
+		class, err := payload.DecodeClass(entry.Data)
+		if err != nil {
+			return 0, fmt.Errorf("accuracy: sample %d: %w", entry.SampleIndex, err)
+		}
+		preds = append(preds, class)
+		labels = append(labels, sample.Label)
+	}
+	return metrics.Top1Accuracy(preds, labels)
+}
+
+// CheckDetection scores an object-detection accuracy log at the given IoU
+// threshold.
+func CheckDetection(log []loadgen.AccuracyEntry, ds *dataset.SyntheticDetection, iouThreshold float64) (float64, error) {
+	if len(log) == 0 {
+		return 0, fmt.Errorf("accuracy: empty accuracy log")
+	}
+	var dets []metrics.Detection
+	var truths []metrics.GroundTruth
+	for _, entry := range log {
+		sample, err := ds.Sample(entry.SampleIndex)
+		if err != nil {
+			return 0, fmt.Errorf("accuracy: sample %d: %w", entry.SampleIndex, err)
+		}
+		boxes, err := payload.DecodeBoxes(entry.Data)
+		if err != nil {
+			return 0, fmt.Errorf("accuracy: sample %d: %w", entry.SampleIndex, err)
+		}
+		dets = append(dets, metrics.Detection{SampleIndex: entry.SampleIndex, Boxes: boxes})
+		truths = append(truths, metrics.GroundTruth{SampleIndex: entry.SampleIndex, Boxes: sample.Boxes})
+	}
+	return metrics.MeanAveragePrecision(dets, truths, iouThreshold)
+}
+
+// CheckTranslation scores a machine-translation accuracy log with corpus
+// BLEU.
+func CheckTranslation(log []loadgen.AccuracyEntry, ds *dataset.SyntheticText) (float64, error) {
+	if len(log) == 0 {
+		return 0, fmt.Errorf("accuracy: empty accuracy log")
+	}
+	var hyps, refs [][]int
+	for _, entry := range log {
+		sample, err := ds.Sample(entry.SampleIndex)
+		if err != nil {
+			return 0, fmt.Errorf("accuracy: sample %d: %w", entry.SampleIndex, err)
+		}
+		tokens, err := payload.DecodeTokens(entry.Data)
+		if err != nil {
+			return 0, fmt.Errorf("accuracy: sample %d: %w", entry.SampleIndex, err)
+		}
+		hyps = append(hyps, tokens)
+		refs = append(refs, sample.RefTokens)
+	}
+	return metrics.CorpusBLEU(hyps, refs)
+}
+
+// Check scores an accuracy log against the appropriate metric for the data
+// set's kind and compares the result to target (derived from the reference
+// quality).
+func Check(log []loadgen.AccuracyEntry, ds dataset.Dataset, reference, target float64) (Report, error) {
+	var (
+		value  float64
+		metric string
+		err    error
+	)
+	switch d := ds.(type) {
+	case *dataset.SyntheticImages:
+		metric = "top1"
+		value, err = CheckClassification(log, d)
+	case *dataset.SyntheticDetection:
+		metric = "mAP"
+		value, err = CheckDetection(log, d, 0.5)
+	case *dataset.SyntheticText:
+		metric = "BLEU"
+		value, err = CheckTranslation(log, d)
+	default:
+		return Report{}, fmt.Errorf("accuracy: unsupported data set type %T", ds)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Metric:    metric,
+		Value:     value,
+		Reference: reference,
+		Target:    target,
+		Samples:   len(log),
+		Pass:      value >= target,
+	}, nil
+}
+
+// VerifyConsistency implements the accuracy-verification audit: responses
+// sampled during a performance run must match the responses recorded for the
+// same samples during the accuracy run. It returns the number of compared
+// entries and an error describing the first mismatch.
+func VerifyConsistency(performanceLog, accuracyLog []loadgen.AccuracyEntry) (int, error) {
+	if len(accuracyLog) == 0 {
+		return 0, fmt.Errorf("accuracy: accuracy-mode log is empty")
+	}
+	reference := make(map[int][]byte, len(accuracyLog))
+	for _, entry := range accuracyLog {
+		reference[entry.SampleIndex] = entry.Data
+	}
+	compared := 0
+	for _, entry := range performanceLog {
+		want, ok := reference[entry.SampleIndex]
+		if !ok {
+			return compared, fmt.Errorf("accuracy: sample %d logged in performance mode but absent from the accuracy run", entry.SampleIndex)
+		}
+		if !bytes.Equal(entry.Data, want) {
+			return compared, fmt.Errorf("accuracy: sample %d response differs between performance and accuracy runs", entry.SampleIndex)
+		}
+		compared++
+	}
+	return compared, nil
+}

@@ -1,0 +1,240 @@
+// Package audit implements the result-review validation suite of
+// Section V-B: the experiments peer reviewers run against a submission to
+// detect rule violations that are otherwise hard to spot in closed-source
+// inference stacks — inaccurate results in performance mode, query/result
+// caching, and optimizations tuned to the official random seed.
+package audit
+
+import (
+	"fmt"
+
+	"mlperf/internal/accuracy"
+	"mlperf/internal/loadgen"
+)
+
+// Finding is the outcome of one audit test.
+type Finding struct {
+	// Name identifies the audit test ("accuracy-verification",
+	// "caching-detection", "alternate-random-seed").
+	Name string
+	// Pass is true when no violation was detected.
+	Pass bool
+	// Detail explains the measurement behind the verdict.
+	Detail string
+}
+
+// String formats the finding for review reports.
+func (f Finding) String() string {
+	status := "FAIL"
+	if f.Pass {
+		status = "PASS"
+	}
+	return fmt.Sprintf("[%s] %s: %s", status, f.Name, f.Detail)
+}
+
+// Suite bundles the SUT/QSL pair under review with the base settings the
+// audit runs derive from. The settings should be the (possibly scaled)
+// performance settings the submission used.
+type Suite struct {
+	SUT      loadgen.SUT
+	QSL      loadgen.QuerySampleLibrary
+	Settings loadgen.TestSettings
+}
+
+// validate checks the suite is runnable.
+func (s Suite) validate() error {
+	if s.SUT == nil {
+		return loadgen.ErrNilSUT
+	}
+	if s.QSL == nil {
+		return loadgen.ErrNilQSL
+	}
+	return s.Settings.Validate()
+}
+
+// AccuracyVerification reruns the SUT in performance mode with random
+// response logging enabled and checks the sampled responses against a full
+// accuracy-mode run ("the log is checked against the log generated in
+// accuracy mode to ensure consistency").
+func (s Suite) AccuracyVerification() (Finding, error) {
+	if err := s.validate(); err != nil {
+		return Finding{}, err
+	}
+	perfSettings := s.Settings
+	perfSettings.Mode = loadgen.PerformanceMode
+	if perfSettings.AccuracyLogSamplingRate <= 0 {
+		perfSettings.AccuracyLogSamplingRate = 0.10
+	}
+	perf, err := loadgen.StartTest(s.SUT, s.QSL, perfSettings)
+	if err != nil {
+		return Finding{}, fmt.Errorf("audit: accuracy-verification performance run: %w", err)
+	}
+	accSettings := s.Settings
+	accSettings.Mode = loadgen.AccuracyMode
+	acc, err := loadgen.StartTest(s.SUT, s.QSL, accSettings)
+	if err != nil {
+		return Finding{}, fmt.Errorf("audit: accuracy-verification accuracy run: %w", err)
+	}
+	compared, err := accuracy.VerifyConsistency(perf.AccuracyLog, acc.AccuracyLog)
+	if err != nil {
+		return Finding{
+			Name: "accuracy-verification", Pass: false,
+			Detail: fmt.Sprintf("mismatch after %d comparisons: %v", compared, err),
+		}, nil
+	}
+	return Finding{
+		Name: "accuracy-verification", Pass: true,
+		Detail: fmt.Sprintf("%d sampled performance-mode responses match the accuracy run", compared),
+	}, nil
+}
+
+// CachingDetection issues queries with unique sample indices and then with
+// duplicate sample indices and compares performance; a system that answers
+// duplicates significantly faster is caching inference results, which the
+// rules prohibit. speedupThreshold is the allowed ratio (e.g. 1.25 flags
+// systems that are more than 25% faster on duplicates).
+func (s Suite) CachingDetection(speedupThreshold float64) (Finding, error) {
+	if err := s.validate(); err != nil {
+		return Finding{}, err
+	}
+	if speedupThreshold <= 1 {
+		return Finding{}, fmt.Errorf("audit: speedup threshold must exceed 1, got %v", speedupThreshold)
+	}
+	unique := s.Settings
+	unique.Mode = loadgen.PerformanceMode
+	unique.SampleIndexPolicy = loadgen.UniqueSweep
+	uniqueRes, err := loadgen.StartTest(s.SUT, s.QSL, unique)
+	if err != nil {
+		return Finding{}, fmt.Errorf("audit: caching-detection unique run: %w", err)
+	}
+	duplicate := unique
+	duplicate.SampleIndexPolicy = loadgen.DuplicateSingle
+	dupRes, err := loadgen.StartTest(s.SUT, s.QSL, duplicate)
+	if err != nil {
+		return Finding{}, fmt.Errorf("audit: caching-detection duplicate run: %w", err)
+	}
+	// Median latency is used rather than the mean so a few scheduler-induced
+	// stragglers in either run do not swing the comparison.
+	uniqueMedian := uniqueRes.QueryLatencies.P50
+	dupMedian := dupRes.QueryLatencies.P50
+	if uniqueMedian <= 0 || dupMedian <= 0 {
+		return Finding{}, fmt.Errorf("audit: caching-detection produced empty latency summaries")
+	}
+	speedup := float64(uniqueMedian) / float64(dupMedian)
+	detail := fmt.Sprintf("unique-sample median latency %v, duplicate-sample median latency %v (speedup %.2fx, threshold %.2fx)",
+		uniqueMedian, dupMedian, speedup, speedupThreshold)
+	return Finding{Name: "caching-detection", Pass: speedup <= speedupThreshold, Detail: detail}, nil
+}
+
+// AlternateSeed replaces the official random seeds with alternates and checks
+// that performance stays within tolerance (a fractional change, e.g. 0.2 for
+// ±20%); larger swings indicate an optimization tuned to the official seed.
+func (s Suite) AlternateSeed(alternateSeeds []uint64, tolerance float64) (Finding, error) {
+	if err := s.validate(); err != nil {
+		return Finding{}, err
+	}
+	if len(alternateSeeds) == 0 {
+		return Finding{}, fmt.Errorf("audit: no alternate seeds supplied")
+	}
+	if tolerance <= 0 {
+		return Finding{}, fmt.Errorf("audit: tolerance must be positive, got %v", tolerance)
+	}
+	official := s.Settings
+	official.Mode = loadgen.PerformanceMode
+	officialRes, err := loadgen.StartTest(s.SUT, s.QSL, official)
+	if err != nil {
+		return Finding{}, fmt.Errorf("audit: alternate-seed official run: %w", err)
+	}
+	officialMetric := metricFor(officialRes)
+	if officialMetric <= 0 {
+		return Finding{}, fmt.Errorf("audit: official run produced no usable metric")
+	}
+	for _, seed := range alternateSeeds {
+		alt := official
+		alt.QuerySeed = seed
+		alt.ScheduleSeed = seed ^ 0xabcdef
+		altRes, err := loadgen.StartTest(s.SUT, s.QSL, alt)
+		if err != nil {
+			return Finding{}, fmt.Errorf("audit: alternate-seed run with seed %d: %w", seed, err)
+		}
+		altMetric := metricFor(altRes)
+		change := relativeChange(officialMetric, altMetric)
+		if change > tolerance {
+			return Finding{
+				Name: "alternate-random-seed", Pass: false,
+				Detail: fmt.Sprintf("seed %#x shifted the metric by %.1f%% (official %.4g, alternate %.4g, tolerance %.0f%%)",
+					seed, 100*change, officialMetric, altMetric, 100*tolerance),
+			}, nil
+		}
+	}
+	return Finding{
+		Name: "alternate-random-seed", Pass: true,
+		Detail: fmt.Sprintf("metric stable within %.0f%% across %d alternate seeds", 100*tolerance, len(alternateSeeds)),
+	}, nil
+}
+
+// metricFor extracts a positive "bigger change = more suspicious" metric from
+// a result: mean per-query latency for latency scenarios, throughput for the
+// rest.
+func metricFor(r *loadgen.Result) float64 {
+	switch r.Scenario {
+	case loadgen.SingleStream, loadgen.MultiStream:
+		// Median rather than mean: robust against a handful of
+		// scheduler-induced stragglers.
+		return float64(r.QueryLatencies.P50)
+	case loadgen.Server:
+		return r.ServerAchievedQPS
+	case loadgen.Offline:
+		return r.OfflineSamplesPerSec
+	default:
+		return 0
+	}
+}
+
+func relativeChange(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / a
+}
+
+// RunAll executes the full audit battery with default thresholds and returns
+// every finding.
+func (s Suite) RunAll() ([]Finding, error) {
+	findings := make([]Finding, 0, 3)
+	f1, err := s.AccuracyVerification()
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, f1)
+	// Repeated samples are legitimately somewhat faster on real systems
+	// (memory-hierarchy locality), so the default threshold only flags
+	// dramatic speedups that indicate result caching.
+	f2, err := s.CachingDetection(2.0)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, f2)
+	// Wall-clock measurements on a shared machine are noisy; the default
+	// tolerance only flags swings far larger than run-to-run variation.
+	f3, err := s.AlternateSeed([]uint64{0x1d872fa3, 0x7ac0ffee}, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, f3)
+	return findings, nil
+}
+
+// AllPassed reports whether every finding passed.
+func AllPassed(findings []Finding) bool {
+	for _, f := range findings {
+		if !f.Pass {
+			return false
+		}
+	}
+	return len(findings) > 0
+}

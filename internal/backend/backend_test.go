@@ -1,0 +1,400 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/model"
+	"mlperf/internal/payload"
+	"mlperf/internal/simhw"
+)
+
+// collectQuery builds a query whose completion is observable in tests.
+func collectQuery(id uint64, indices []int) (*loadgen.Query, chan []loadgen.Response) {
+	q := &loadgen.Query{ID: id}
+	var sid uint64 = id * 1000
+	for _, idx := range indices {
+		q.Samples = append(q.Samples, loadgen.QuerySample{ID: sid, Index: idx})
+		sid++
+	}
+	done := make(chan []loadgen.Response, 1)
+	q.SetCompletionHandler(func(_ *loadgen.Query, rs []loadgen.Response) { done <- rs })
+	q.Issued = time.Now()
+	return q, done
+}
+
+func newClassificationStore(t *testing.T, samples int) (*dataset.QSL, *dataset.SyntheticImages) {
+	t.Helper()
+	ds, err := dataset.NewSyntheticImages(dataset.ImageConfig{
+		Samples: samples, Classes: 10, Channels: 3, Height: 16, Width: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := make([]int, samples)
+	for i := range indices {
+		indices[i] = i
+	}
+	if err := qsl.LoadSamplesToRAM(indices); err != nil {
+		t.Fatal(err)
+	}
+	return qsl, ds
+}
+
+func TestNativeClassificationBackend(t *testing.T) {
+	qsl, _ := newClassificationStore(t, 16)
+	classifier, err := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sut, err := NewNative(NativeConfig{
+		Name: "mobilenet-sut", Kind: dataset.KindImageClassification,
+		Classifier: classifier, Store: qsl, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sut.Name() != "mobilenet-sut" {
+		t.Errorf("name = %s", sut.Name())
+	}
+	q, done := collectQuery(1, []int{0, 1, 2, 3})
+	sut.IssueQuery(q)
+	select {
+	case rs := <-done:
+		if len(rs) != 4 {
+			t.Fatalf("got %d responses", len(rs))
+		}
+		for _, r := range rs {
+			class, err := payload.DecodeClass(r.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if class < 0 || class >= 10 {
+				t.Errorf("class %d out of range", class)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query never completed")
+	}
+	sut.FlushQueries()
+	sut.Wait()
+	if len(sut.Errors()) != 0 {
+		t.Errorf("unexpected errors: %v", sut.Errors())
+	}
+}
+
+func TestNativeDetectionAndTranslationBackends(t *testing.T) {
+	// Detection.
+	det, err := dataset.NewSyntheticDetection(dataset.ImageConfig{
+		Samples: 8, Classes: 5, Channels: 3, Height: 16, Width: 16, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detQSL, _ := dataset.NewQSL(det)
+	if err := detQSL.LoadSamplesToRAM([]int{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	detector, err := model.NewSSDMobileNetMini(model.DetectorConfig{Classes: 5, ImageSize: 16, Seed: 3, ScoreThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detSUT, err := NewNative(NativeConfig{Kind: dataset.KindObjectDetection, Detector: detector, Store: detQSL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, done := collectQuery(1, []int{0, 1})
+	detSUT.IssueQuery(q)
+	rs := <-done
+	if _, err := payload.DecodeBoxes(rs[0].Data); err != nil {
+		t.Errorf("detection payload: %v", err)
+	}
+	detSUT.Wait()
+
+	// Translation.
+	text, err := dataset.NewSyntheticText(dataset.TextConfig{Samples: 8, Vocab: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	textQSL, _ := dataset.NewQSL(text)
+	if err := textQSL.LoadSamplesToRAM([]int{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	translator, err := model.NewGNMTMini(model.TranslatorConfig{Vocab: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trSUT, err := NewNative(NativeConfig{Kind: dataset.KindTranslation, Translator: translator, Store: textQSL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, done2 := collectQuery(2, []int{0})
+	trSUT.IssueQuery(q2)
+	rs2 := <-done2
+	if _, err := payload.DecodeTokens(rs2[0].Data); err != nil {
+		t.Errorf("translation payload: %v", err)
+	}
+	trSUT.Wait()
+}
+
+func TestNativeConfigErrors(t *testing.T) {
+	qsl, _ := newClassificationStore(t, 4)
+	classifier, _ := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	cases := []NativeConfig{
+		{Kind: dataset.KindImageClassification, Classifier: classifier}, // no store
+		{Kind: dataset.KindImageClassification, Store: qsl},             // no classifier
+		{Kind: dataset.KindObjectDetection, Store: qsl},                 // no detector
+		{Kind: dataset.KindTranslation, Store: qsl},                     // no translator
+		{Kind: dataset.Kind(99), Store: qsl, Classifier: classifier},    // bad kind
+	}
+	for i, cfg := range cases {
+		if _, err := NewNative(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestNativeRecordsErrorsForUnloadedSamples(t *testing.T) {
+	ds, err := dataset.NewSyntheticImages(dataset.ImageConfig{Samples: 8, Classes: 10, Channels: 3, Height: 16, Width: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsl, _ := dataset.NewQSL(ds) // nothing loaded
+	classifier, _ := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	sut, err := NewNative(NativeConfig{Kind: dataset.KindImageClassification, Classifier: classifier, Store: qsl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, done := collectQuery(1, []int{3})
+	sut.IssueQuery(q)
+	<-done
+	sut.Wait()
+	if len(sut.Errors()) == 0 {
+		t.Error("expected an error for accessing an unloaded sample")
+	}
+}
+
+func TestSimulatedBackend(t *testing.T) {
+	platform, err := simhw.FindPlatform("desktop-cpu-c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simhw.StandardWorkloads()["mobilenet-v1"]
+	sut, err := NewSimulated(SimulatedConfig{Platform: platform, Workload: w, TimeScale: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sut.Name() == "" || sut.Platform().Name != "desktop-cpu-c1" {
+		t.Error("bad identity")
+	}
+	start := time.Now()
+	q, done := collectQuery(1, []int{0, 1, 2, 3})
+	sut.IssueQuery(q)
+	select {
+	case rs := <-done:
+		if len(rs) != 4 {
+			t.Fatalf("got %d responses", len(rs))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulated query never completed")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("time-scaled simulation took too long")
+	}
+	sut.FlushQueries()
+	sut.Wait()
+	if len(sut.Errors()) != 0 {
+		t.Errorf("unexpected errors: %v", sut.Errors())
+	}
+}
+
+func TestSimulatedBackendOracle(t *testing.T) {
+	platform, _ := simhw.FindPlatform("desktop-cpu-c1")
+	w := simhw.StandardWorkloads()["mobilenet-v1"]
+	sut, err := NewSimulated(SimulatedConfig{
+		Platform: platform, Workload: w, TimeScale: 1000, Seed: 5,
+		Oracle: func(idx int) ([]byte, error) { return payload.EncodeClass(idx % 3) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, done := collectQuery(1, []int{7})
+	sut.IssueQuery(q)
+	rs := <-done
+	class, err := payload.DecodeClass(rs[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != 1 {
+		t.Errorf("oracle payload = %d, want 1", class)
+	}
+	sut.Wait()
+}
+
+func TestSimulatedConfigErrors(t *testing.T) {
+	w := simhw.StandardWorkloads()["mobilenet-v1"]
+	if _, err := NewSimulated(SimulatedConfig{Workload: w}); err == nil {
+		t.Error("invalid platform: expected error")
+	}
+	platform, _ := simhw.FindPlatform("desktop-cpu-c1")
+	if _, err := NewSimulated(SimulatedConfig{Platform: platform}); err == nil {
+		t.Error("invalid workload: expected error")
+	}
+	if _, err := NewSimulated(SimulatedConfig{Platform: platform, Workload: w, TimeScale: -1}); err == nil {
+		t.Error("negative time scale: expected error")
+	}
+}
+
+// recordingSUT captures forwarded queries for batching tests.
+type recordingSUT struct {
+	mu      sync.Mutex
+	batches [][]loadgen.QuerySample
+	flushes int
+}
+
+func (r *recordingSUT) Name() string { return "recording" }
+
+func (r *recordingSUT) IssueQuery(q *loadgen.Query) {
+	r.mu.Lock()
+	batch := make([]loadgen.QuerySample, len(q.Samples))
+	copy(batch, q.Samples)
+	r.batches = append(r.batches, batch)
+	r.mu.Unlock()
+	responses := make([]loadgen.Response, len(q.Samples))
+	for i, s := range q.Samples {
+		responses[i] = loadgen.Response{SampleID: s.ID}
+	}
+	q.Complete(responses)
+}
+
+func (r *recordingSUT) FlushQueries() {
+	r.mu.Lock()
+	r.flushes++
+	r.mu.Unlock()
+}
+
+func (r *recordingSUT) batchSizes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, len(r.batches))
+	for i, b := range r.batches {
+		out[i] = len(b)
+	}
+	return out
+}
+
+func TestBatchingMergesQueries(t *testing.T) {
+	inner := &recordingSUT{}
+	batcher, err := NewBatching(inner, 4, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batcher.Name() == "" {
+		t.Error("empty name")
+	}
+	dones := make([]chan []loadgen.Response, 4)
+	for i := 0; i < 4; i++ {
+		q, done := collectQuery(uint64(i+1), []int{i})
+		dones[i] = done
+		batcher.IssueQuery(q)
+	}
+	// All four original queries complete even though they were merged.
+	for i, done := range dones {
+		select {
+		case rs := <-done:
+			if len(rs) != 1 {
+				t.Errorf("query %d got %d responses", i, len(rs))
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("query %d never completed", i)
+		}
+	}
+	sizes := inner.batchSizes()
+	if len(sizes) != 1 || sizes[0] != 4 {
+		t.Errorf("inner saw batches %v, want one batch of 4", sizes)
+	}
+}
+
+func TestBatchingMaxWaitFlush(t *testing.T) {
+	inner := &recordingSUT{}
+	batcher, err := NewBatching(inner, 100, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, done := collectQuery(1, []int{0})
+	batcher.IssueQuery(q)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("MaxWait flush never happened")
+	}
+	if len(inner.batchSizes()) != 1 {
+		t.Errorf("expected one forwarded batch, got %v", inner.batchSizes())
+	}
+}
+
+func TestBatchingFlushQueries(t *testing.T) {
+	inner := &recordingSUT{}
+	batcher, err := NewBatching(inner, 100, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, done := collectQuery(1, []int{0, 1})
+	batcher.IssueQuery(q)
+	batcher.FlushQueries()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("FlushQueries did not flush the pending batch")
+	}
+	inner.mu.Lock()
+	flushes := inner.flushes
+	inner.mu.Unlock()
+	if flushes != 1 {
+		t.Errorf("inner flushed %d times, want 1", flushes)
+	}
+}
+
+func TestBatchingSplitsOversizeBatches(t *testing.T) {
+	inner := &recordingSUT{}
+	batcher, err := NewBatching(inner, 3, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, done := collectQuery(1, []int{0, 1, 2, 3, 4, 5, 6})
+	batcher.IssueQuery(q)
+	batcher.Flush()
+	select {
+	case rs := <-done:
+		if len(rs) != 7 {
+			t.Errorf("got %d responses, want 7", len(rs))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("oversize query never completed")
+	}
+	for _, size := range inner.batchSizes() {
+		if size > 3 {
+			t.Errorf("forwarded batch of %d exceeds MaxBatch 3", size)
+		}
+	}
+}
+
+func TestBatchingConfigErrors(t *testing.T) {
+	inner := &recordingSUT{}
+	if _, err := NewBatching(nil, 4, time.Second); err == nil {
+		t.Error("nil inner: expected error")
+	}
+	if _, err := NewBatching(inner, 0, time.Second); err == nil {
+		t.Error("zero batch: expected error")
+	}
+	if _, err := NewBatching(inner, 4, 0); err == nil {
+		t.Error("zero wait: expected error")
+	}
+}

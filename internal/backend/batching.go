@@ -1,0 +1,145 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mlperf/internal/loadgen"
+)
+
+// Batching wraps another SUT with a dynamic batcher: incoming queries are
+// buffered and forwarded as larger merged queries once either MaxBatch
+// samples have accumulated or MaxWait has elapsed since the first buffered
+// sample. Dynamic batching is the key optimization separating the server and
+// offline scenarios (Section VI-B): it raises throughput at the cost of
+// added queueing latency.
+type Batching struct {
+	inner    loadgen.SUT
+	maxBatch int
+	maxWait  time.Duration
+
+	mu      sync.Mutex
+	pending []*pendingSample
+	timer   *time.Timer
+	nextID  uint64
+	closed  bool
+}
+
+// pendingSample ties a buffered sample back to its originating query.
+type pendingSample struct {
+	query  *loadgen.Query
+	sample loadgen.QuerySample
+}
+
+// NewBatching validates the configuration and returns the wrapper.
+func NewBatching(inner loadgen.SUT, maxBatch int, maxWait time.Duration) (*Batching, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("backend: batching wrapper needs an inner SUT")
+	}
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("backend: MaxBatch must be positive, got %d", maxBatch)
+	}
+	if maxWait <= 0 {
+		return nil, fmt.Errorf("backend: MaxWait must be positive, got %v", maxWait)
+	}
+	return &Batching{inner: inner, maxBatch: maxBatch, maxWait: maxWait}, nil
+}
+
+// Name implements loadgen.SUT.
+func (b *Batching) Name() string { return b.inner.Name() + "+dynamic-batching" }
+
+// IssueQuery implements loadgen.SUT.
+func (b *Batching) IssueQuery(q *loadgen.Query) {
+	b.mu.Lock()
+	for i := range q.Samples {
+		b.pending = append(b.pending, &pendingSample{query: q, sample: q.Samples[i]})
+	}
+	shouldFlush := len(b.pending) >= b.maxBatch
+	if !shouldFlush && b.timer == nil {
+		b.timer = time.AfterFunc(b.maxWait, b.flushTimer)
+	}
+	b.mu.Unlock()
+	if shouldFlush {
+		b.Flush()
+	}
+}
+
+// flushTimer is the MaxWait expiry path.
+func (b *Batching) flushTimer() {
+	b.Flush()
+}
+
+// Flush forwards all buffered samples to the inner SUT immediately.
+func (b *Batching) Flush() {
+	b.mu.Lock()
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	pending := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+
+	for start := 0; start < len(pending); start += b.maxBatch {
+		end := start + b.maxBatch
+		if end > len(pending) {
+			end = len(pending)
+		}
+		b.forward(pending[start:end])
+	}
+}
+
+// forward builds one merged query for the inner SUT and routes its responses
+// back to the original queries.
+func (b *Batching) forward(batch []*pendingSample) {
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	b.mu.Unlock()
+
+	merged := &loadgen.Query{ID: id, Samples: make([]loadgen.QuerySample, len(batch))}
+	owners := make(map[uint64]*loadgen.Query, len(batch))
+	for i, p := range batch {
+		merged.Samples[i] = p.sample
+		owners[p.sample.ID] = p.query
+	}
+	merged.Issued = time.Now()
+	proxy := &batchProxy{inner: b.inner, merged: merged, owners: owners}
+	proxy.run()
+}
+
+// batchProxy issues the merged query and demultiplexes responses.
+type batchProxy struct {
+	inner  loadgen.SUT
+	merged *loadgen.Query
+	owners map[uint64]*loadgen.Query
+}
+
+func (p *batchProxy) run() {
+	p.merged.SetCompletionHandler(func(_ *loadgen.Query, responses []loadgen.Response) {
+		// Route each response to the query that originally carried the sample.
+		byOwner := make(map[*loadgen.Query][]loadgen.Response)
+		for _, r := range responses {
+			owner := p.owners[r.SampleID]
+			if owner == nil {
+				continue
+			}
+			byOwner[owner] = append(byOwner[owner], r)
+		}
+		for owner, rs := range byOwner {
+			owner.Complete(rs)
+		}
+	})
+	p.inner.IssueQuery(p.merged)
+}
+
+// FlushQueries implements loadgen.SUT: buffered samples are forwarded and the
+// inner SUT is flushed.
+func (b *Batching) FlushQueries() {
+	b.Flush()
+	b.inner.FlushQueries()
+}

@@ -1,0 +1,167 @@
+// Package backend provides the system-under-test implementations the harness
+// runs the LoadGen against:
+//
+//   - Native executes the in-repo miniature reference models on synthetic
+//     data, exercising the full inference path (the closest analogue to a
+//     real submission's inference engine).
+//   - Simulated replays a simhw.Platform's service-time model in wall-clock
+//     time, so scenario dynamics can be studied for platforms far faster or
+//     slower than this machine.
+//   - Batching wraps another backend with a dynamic batcher, the optimization
+//     that distinguishes the server and offline scenarios (Section VI-B).
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/model"
+	"mlperf/internal/payload"
+)
+
+// SampleStore provides samples by index; dataset.QSL satisfies it.
+type SampleStore interface {
+	Get(index int) (*dataset.Sample, error)
+}
+
+// NativeConfig configures a Native backend.
+type NativeConfig struct {
+	// Name labels the SUT in results.
+	Name string
+	// Kind selects which model field is used.
+	Kind dataset.Kind
+	// Exactly one of Classifier, Detector or Translator must be set,
+	// matching Kind.
+	Classifier model.Classifier
+	Detector   model.Detector
+	Translator model.Translator
+	// Store provides input samples.
+	Store SampleStore
+	// Workers is the number of concurrent inference workers (defaults to 1).
+	Workers int
+}
+
+// Native runs the in-repo models as the system under test.
+type Native struct {
+	cfg  NativeConfig
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	errs errorLog
+}
+
+// errorLog accumulates inference errors thread-safely; a real SUT would fail
+// the run, so the harness checks Errors after the run.
+type errorLog struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (e *errorLog) add(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.errs = append(e.errs, err)
+}
+
+func (e *errorLog) all() []error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]error, len(e.errs))
+	copy(out, e.errs)
+	return out
+}
+
+// NewNative validates the configuration and returns the backend.
+func NewNative(cfg NativeConfig) (*Native, error) {
+	if cfg.Name == "" {
+		cfg.Name = "native"
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("backend: native backend needs a sample store")
+	}
+	switch cfg.Kind {
+	case dataset.KindImageClassification:
+		if cfg.Classifier == nil {
+			return nil, fmt.Errorf("backend: classification backend needs a Classifier")
+		}
+	case dataset.KindObjectDetection:
+		if cfg.Detector == nil {
+			return nil, fmt.Errorf("backend: detection backend needs a Detector")
+		}
+	case dataset.KindTranslation:
+		if cfg.Translator == nil {
+			return nil, fmt.Errorf("backend: translation backend needs a Translator")
+		}
+	default:
+		return nil, fmt.Errorf("backend: unknown task kind %v", cfg.Kind)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	return &Native{cfg: cfg, sem: make(chan struct{}, cfg.Workers)}, nil
+}
+
+// Name implements loadgen.SUT.
+func (n *Native) Name() string { return n.cfg.Name }
+
+// IssueQuery implements loadgen.SUT. Samples are processed by a bounded
+// worker pool; each sample's response is reported as soon as it finishes.
+func (n *Native) IssueQuery(q *loadgen.Query) {
+	for _, s := range q.Samples {
+		s := s
+		n.wg.Add(1)
+		n.sem <- struct{}{}
+		go func() {
+			defer n.wg.Done()
+			defer func() { <-n.sem }()
+			data, err := n.inferSample(s.Index)
+			if err != nil {
+				n.errs.add(err)
+				data = nil
+			}
+			q.Complete([]loadgen.Response{{SampleID: s.ID, Data: data}})
+		}()
+	}
+}
+
+// inferSample runs the model on one sample and encodes the prediction.
+func (n *Native) inferSample(index int) ([]byte, error) {
+	sample, err := n.cfg.Store.Get(index)
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: fetching sample %d: %w", n.cfg.Name, index, err)
+	}
+	switch n.cfg.Kind {
+	case dataset.KindImageClassification:
+		class, err := n.cfg.Classifier.Classify(sample.Image)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: classifying sample %d: %w", n.cfg.Name, index, err)
+		}
+		return payload.EncodeClass(class)
+	case dataset.KindObjectDetection:
+		boxes, err := n.cfg.Detector.Detect(sample.Image)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: detecting sample %d: %w", n.cfg.Name, index, err)
+		}
+		return payload.EncodeBoxes(boxes)
+	case dataset.KindTranslation:
+		tokens, err := n.cfg.Translator.Translate(sample.Tokens)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: translating sample %d: %w", n.cfg.Name, index, err)
+		}
+		return payload.EncodeTokens(tokens)
+	default:
+		return nil, fmt.Errorf("backend %s: unknown task kind %v", n.cfg.Name, n.cfg.Kind)
+	}
+}
+
+// FlushQueries implements loadgen.SUT; the native backend has no internal
+// batching so there is nothing to flush.
+func (n *Native) FlushQueries() {}
+
+// Wait blocks until all in-flight inference finishes. The harness calls it
+// after the LoadGen reports completion so error collection is complete.
+func (n *Native) Wait() { n.wg.Wait() }
+
+// Errors returns inference errors observed during the run.
+func (n *Native) Errors() []error { return n.errs.all() }

@@ -1,0 +1,231 @@
+// Package core defines the MLPerf Inference v0.5 benchmark suite: the five
+// tasks and their reference models (Table I), the per-task latency
+// constraints (Table III), and the per-scenario query requirements (Table V).
+// It is the entry point a user of the library starts from: pick a task and a
+// scenario, obtain production LoadGen settings, and hand them to the harness.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mlperf/internal/loadgen"
+	"mlperf/internal/model"
+	"mlperf/internal/stats"
+)
+
+// Task identifies one benchmark task of the v0.5 suite.
+type Task string
+
+// The five tasks of Table I.
+const (
+	ImageClassificationHeavy Task = "image-classification-heavy"
+	ImageClassificationLight Task = "image-classification-light"
+	ObjectDetectionHeavy     Task = "object-detection-heavy"
+	ObjectDetectionLight     Task = "object-detection-light"
+	MachineTranslation       Task = "machine-translation"
+)
+
+// AllTasks lists the tasks in Table I order.
+func AllTasks() []Task {
+	return []Task{
+		ImageClassificationHeavy,
+		ImageClassificationLight,
+		ObjectDetectionHeavy,
+		ObjectDetectionLight,
+		MachineTranslation,
+	}
+}
+
+// TaskSpec is the full static description of one task: its reference model,
+// data set, quality target, latency constraints and query requirements.
+type TaskSpec struct {
+	Task           Task
+	Area           string
+	ReferenceModel model.Name
+	DatasetName    string
+	QualityMetric  string
+	// TargetRatio is the fraction of the FP32 reference quality an
+	// implementation must reach (0.99, or 0.98 for MobileNet).
+	TargetRatio float64
+
+	// Table III constraints.
+	MultiStreamArrivalInterval time.Duration
+	ServerLatencyBound         time.Duration
+	// ServerLatencyPercentile is 0.99 for vision and 0.97 for translation.
+	ServerLatencyPercentile float64
+
+	// Table V query requirements.
+	SingleStreamQueries int
+	MultiStreamQueries  int
+	ServerQueries       int
+	OfflineSamples      int
+}
+
+// ErrUnknownTask is returned for task names outside the v0.5 suite.
+var ErrUnknownTask = fmt.Errorf("core: unknown task")
+
+// Spec returns the static specification of a task.
+func Spec(t Task) (TaskSpec, error) {
+	const (
+		visionQueries      = 270336 // 33 * 2^13, Table IV/V
+		translationQueries = 90112  // 11 * 2^13 (97th percentile requirement rounded)
+		offlineSamples     = 24576  // 3 * 2^13
+		singleStream       = 1024
+	)
+	switch t {
+	case ImageClassificationHeavy:
+		return TaskSpec{
+			Task: t, Area: "Vision", ReferenceModel: model.ResNet50,
+			DatasetName: "ImageNet (224x224)", QualityMetric: "top1", TargetRatio: 0.99,
+			MultiStreamArrivalInterval: 50 * time.Millisecond,
+			ServerLatencyBound:         15 * time.Millisecond,
+			ServerLatencyPercentile:    0.99,
+			SingleStreamQueries:        singleStream,
+			MultiStreamQueries:         visionQueries,
+			ServerQueries:              visionQueries,
+			OfflineSamples:             offlineSamples,
+		}, nil
+	case ImageClassificationLight:
+		return TaskSpec{
+			Task: t, Area: "Vision", ReferenceModel: model.MobileNetV1,
+			DatasetName: "ImageNet (224x224)", QualityMetric: "top1", TargetRatio: 0.98,
+			MultiStreamArrivalInterval: 50 * time.Millisecond,
+			ServerLatencyBound:         10 * time.Millisecond,
+			ServerLatencyPercentile:    0.99,
+			SingleStreamQueries:        singleStream,
+			MultiStreamQueries:         visionQueries,
+			ServerQueries:              visionQueries,
+			OfflineSamples:             offlineSamples,
+		}, nil
+	case ObjectDetectionHeavy:
+		return TaskSpec{
+			Task: t, Area: "Vision", ReferenceModel: model.SSDResNet34,
+			DatasetName: "COCO (1,200x1,200)", QualityMetric: "mAP", TargetRatio: 0.99,
+			MultiStreamArrivalInterval: 66 * time.Millisecond,
+			ServerLatencyBound:         100 * time.Millisecond,
+			ServerLatencyPercentile:    0.99,
+			SingleStreamQueries:        singleStream,
+			MultiStreamQueries:         visionQueries,
+			ServerQueries:              visionQueries,
+			OfflineSamples:             offlineSamples,
+		}, nil
+	case ObjectDetectionLight:
+		return TaskSpec{
+			Task: t, Area: "Vision", ReferenceModel: model.SSDMobileNet,
+			DatasetName: "COCO (300x300)", QualityMetric: "mAP", TargetRatio: 0.99,
+			MultiStreamArrivalInterval: 50 * time.Millisecond,
+			ServerLatencyBound:         10 * time.Millisecond,
+			ServerLatencyPercentile:    0.99,
+			SingleStreamQueries:        singleStream,
+			MultiStreamQueries:         visionQueries,
+			ServerQueries:              visionQueries,
+			OfflineSamples:             offlineSamples,
+		}, nil
+	case MachineTranslation:
+		return TaskSpec{
+			Task: t, Area: "Language", ReferenceModel: model.GNMT,
+			DatasetName: "WMT16 EN-DE", QualityMetric: "BLEU", TargetRatio: 0.99,
+			MultiStreamArrivalInterval: 100 * time.Millisecond,
+			ServerLatencyBound:         250 * time.Millisecond,
+			ServerLatencyPercentile:    0.97,
+			SingleStreamQueries:        singleStream,
+			MultiStreamQueries:         translationQueries,
+			ServerQueries:              translationQueries,
+			OfflineSamples:             offlineSamples,
+		}, nil
+	default:
+		return TaskSpec{}, fmt.Errorf("%w: %q", ErrUnknownTask, t)
+	}
+}
+
+// Suite returns the specifications of every task in the v0.5 suite.
+func Suite() []TaskSpec {
+	out := make([]TaskSpec, 0, len(AllTasks()))
+	for _, t := range AllTasks() {
+		spec, err := Spec(t)
+		if err != nil {
+			// AllTasks and Spec are defined together; disagreement is a
+			// programming error, not a runtime condition.
+			panic(err)
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// TaskForModel returns the task whose reference model is m.
+func TaskForModel(m model.Name) (Task, error) {
+	for _, spec := range Suite() {
+		if spec.ReferenceModel == m {
+			return spec.Task, nil
+		}
+	}
+	return "", fmt.Errorf("%w: no task uses model %q", ErrUnknownTask, m)
+}
+
+// Settings returns the production LoadGen settings for running the given task
+// under the given scenario: Table III latency constraints, Table V query
+// counts and the 60-second minimum duration.
+func (spec TaskSpec) Settings(s loadgen.Scenario) loadgen.TestSettings {
+	ts := loadgen.DefaultSettings(s)
+	switch s {
+	case loadgen.SingleStream:
+		ts.MinQueryCount = spec.SingleStreamQueries
+	case loadgen.MultiStream:
+		ts.MinQueryCount = spec.MultiStreamQueries
+		ts.MultiStreamArrivalInterval = spec.MultiStreamArrivalInterval
+	case loadgen.Server:
+		ts.MinQueryCount = spec.ServerQueries
+		ts.ServerTargetLatency = spec.ServerLatencyBound
+		ts.ServerLatencyPercentile = spec.ServerLatencyPercentile
+	case loadgen.Offline:
+		ts.MinSampleCount = spec.OfflineSamples
+	}
+	return ts
+}
+
+// QualityTarget returns the minimum acceptable quality given the measured
+// FP32 reference quality.
+func (spec TaskSpec) QualityTarget(referenceQuality float64) float64 {
+	return referenceQuality * spec.TargetRatio
+}
+
+// QueryRequirementFor recomputes the statistically required query count for
+// the task's server-scenario tail percentile using the Section III-D method,
+// so the Table V constants can be cross-checked against Equation 2.
+func (spec TaskSpec) QueryRequirementFor(confidence float64) (stats.QueryRequirement, error) {
+	return stats.Requirement(spec.ServerLatencyPercentile, confidence)
+}
+
+// ScenarioMetric returns the Table II metric description for a scenario.
+func ScenarioMetric(s loadgen.Scenario) string {
+	switch s {
+	case loadgen.SingleStream:
+		return "90th-percentile latency"
+	case loadgen.MultiStream:
+		return "number of streams subject to latency bound"
+	case loadgen.Server:
+		return "queries per second subject to latency bound"
+	case loadgen.Offline:
+		return "throughput (samples per second)"
+	default:
+		return "unknown"
+	}
+}
+
+// ScenarioExample returns the Table II real-world example for a scenario.
+func ScenarioExample(s loadgen.Scenario) string {
+	switch s {
+	case loadgen.SingleStream:
+		return "typing autocomplete, real-time AR"
+	case loadgen.MultiStream:
+		return "multicamera driver assistance, large-scale automation"
+	case loadgen.Server:
+		return "translation website"
+	case loadgen.Offline:
+		return "photo categorization"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mlperf/internal/loadgen"
+	"mlperf/internal/model"
+)
+
+func TestSuiteHasFiveTasks(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d tasks, want 5", len(suite))
+	}
+	seenModels := map[model.Name]bool{}
+	for _, spec := range suite {
+		if spec.ReferenceModel == "" || spec.DatasetName == "" || spec.QualityMetric == "" {
+			t.Errorf("%s: incomplete spec %+v", spec.Task, spec)
+		}
+		if seenModels[spec.ReferenceModel] {
+			t.Errorf("model %s used by more than one task", spec.ReferenceModel)
+		}
+		seenModels[spec.ReferenceModel] = true
+	}
+}
+
+// TestTableIIIConstraints verifies the latency constraints of Table III.
+func TestTableIIIConstraints(t *testing.T) {
+	want := map[Task]struct {
+		arrival time.Duration
+		qos     time.Duration
+	}{
+		ImageClassificationHeavy: {50 * time.Millisecond, 15 * time.Millisecond},
+		ImageClassificationLight: {50 * time.Millisecond, 10 * time.Millisecond},
+		ObjectDetectionHeavy:     {66 * time.Millisecond, 100 * time.Millisecond},
+		ObjectDetectionLight:     {50 * time.Millisecond, 10 * time.Millisecond},
+		MachineTranslation:       {100 * time.Millisecond, 250 * time.Millisecond},
+	}
+	for task, w := range want {
+		spec, err := Spec(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.MultiStreamArrivalInterval != w.arrival {
+			t.Errorf("%s: multistream arrival = %v, want %v", task, spec.MultiStreamArrivalInterval, w.arrival)
+		}
+		if spec.ServerLatencyBound != w.qos {
+			t.Errorf("%s: server QoS = %v, want %v", task, spec.ServerLatencyBound, w.qos)
+		}
+	}
+}
+
+// TestTableVQueryRequirements verifies the query counts of Table V.
+func TestTableVQueryRequirements(t *testing.T) {
+	for _, spec := range Suite() {
+		if spec.SingleStreamQueries != 1024 {
+			t.Errorf("%s: single-stream queries = %d, want 1024", spec.Task, spec.SingleStreamQueries)
+		}
+		if spec.OfflineSamples != 24576 {
+			t.Errorf("%s: offline samples = %d, want 24576", spec.Task, spec.OfflineSamples)
+		}
+		if spec.Task == MachineTranslation {
+			if spec.ServerQueries != 90112 {
+				t.Errorf("translation server queries = %d, want 90112 (90K)", spec.ServerQueries)
+			}
+		} else {
+			if spec.ServerQueries != 270336 {
+				t.Errorf("%s: server queries = %d, want 270336 (270K)", spec.Task, spec.ServerQueries)
+			}
+			if spec.MultiStreamQueries != 270336 {
+				t.Errorf("%s: multistream queries = %d, want 270336", spec.Task, spec.MultiStreamQueries)
+			}
+		}
+	}
+}
+
+// TestServerPercentiles verifies the tail-latency percentiles: 99% for vision
+// tasks, 97% for translation (Section III-C).
+func TestServerPercentiles(t *testing.T) {
+	for _, spec := range Suite() {
+		want := 0.99
+		if spec.Task == MachineTranslation {
+			want = 0.97
+		}
+		if spec.ServerLatencyPercentile != want {
+			t.Errorf("%s: percentile = %v, want %v", spec.Task, spec.ServerLatencyPercentile, want)
+		}
+	}
+}
+
+func TestMobileNetTargetRatio(t *testing.T) {
+	spec, err := Spec(ImageClassificationLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TargetRatio != 0.98 {
+		t.Errorf("MobileNet target ratio = %v, want 0.98 (Section III-B)", spec.TargetRatio)
+	}
+	if spec.QualityTarget(0.71676) <= 0.70 || spec.QualityTarget(0.71676) >= 0.71 {
+		t.Errorf("MobileNet quality target = %v, want ~0.702", spec.QualityTarget(0.71676))
+	}
+}
+
+func TestSpecUnknownTask(t *testing.T) {
+	if _, err := Spec("speech-recognition"); err == nil {
+		t.Error("unknown task: expected error")
+	}
+}
+
+func TestTaskForModel(t *testing.T) {
+	task, err := TaskForModel(model.GNMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task != MachineTranslation {
+		t.Errorf("TaskForModel(GNMT) = %s", task)
+	}
+	if _, err := TaskForModel("bert"); err == nil {
+		t.Error("unknown model: expected error")
+	}
+}
+
+func TestSettingsPerScenario(t *testing.T) {
+	spec, err := Spec(ObjectDetectionHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := spec.Settings(loadgen.SingleStream)
+	if ss.MinQueryCount != 1024 || ss.Scenario != loadgen.SingleStream {
+		t.Errorf("single-stream settings wrong: %+v", ss)
+	}
+	ms := spec.Settings(loadgen.MultiStream)
+	if ms.MultiStreamArrivalInterval != 66*time.Millisecond {
+		t.Errorf("multistream interval = %v", ms.MultiStreamArrivalInterval)
+	}
+	srv := spec.Settings(loadgen.Server)
+	if srv.ServerTargetLatency != 100*time.Millisecond || srv.ServerLatencyPercentile != 0.99 {
+		t.Errorf("server settings wrong: %+v", srv)
+	}
+	if srv.MinQueryCount != 270336 {
+		t.Errorf("server min queries = %d", srv.MinQueryCount)
+	}
+	off := spec.Settings(loadgen.Offline)
+	if off.MinSampleCount != 24576 {
+		t.Errorf("offline samples = %d", off.MinSampleCount)
+	}
+	for _, s := range loadgen.AllScenarios() {
+		if err := spec.Settings(s).Validate(); err != nil {
+			t.Errorf("%v settings do not validate: %v", s, err)
+		}
+	}
+}
+
+// TestQueryRequirementConsistency cross-checks Table V against Equation 2:
+// the 99th-percentile tasks need 270,336 queries and the 97th-percentile
+// translation task needs fewer.
+func TestQueryRequirementConsistency(t *testing.T) {
+	vision, err := Spec(ImageClassificationHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := vision.QueryRequirementFor(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Rounded != vision.ServerQueries {
+		t.Errorf("recomputed requirement %d != Table V %d", req.Rounded, vision.ServerQueries)
+	}
+	translation, err := Spec(MachineTranslation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treq, err := translation.QueryRequirementFor(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if treq.Rounded >= req.Rounded {
+		t.Errorf("translation requirement %d should be below vision requirement %d", treq.Rounded, req.Rounded)
+	}
+	if treq.Rounded != translation.ServerQueries {
+		t.Errorf("translation recomputed requirement %d != Table V %d", treq.Rounded, translation.ServerQueries)
+	}
+}
+
+func TestScenarioDescriptions(t *testing.T) {
+	for _, s := range loadgen.AllScenarios() {
+		if ScenarioMetric(s) == "unknown" || ScenarioExample(s) == "unknown" {
+			t.Errorf("missing Table II description for %v", s)
+		}
+	}
+	if ScenarioMetric(loadgen.Scenario(42)) != "unknown" {
+		t.Error("unknown scenario should map to unknown metric")
+	}
+	if ScenarioExample(loadgen.Scenario(42)) != "unknown" {
+		t.Error("unknown scenario should map to unknown example")
+	}
+}

@@ -1,0 +1,216 @@
+package dataset
+
+import (
+	"testing"
+
+	"mlperf/internal/metrics"
+	"mlperf/internal/tensor"
+)
+
+func imgCfg() ImageConfig {
+	return ImageConfig{Samples: 64, Classes: 10, Channels: 3, Height: 8, Width: 8, Seed: 1}
+}
+
+func TestSyntheticImages(t *testing.T) {
+	ds, err := NewSyntheticImages(imgCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Kind() != KindImageClassification {
+		t.Errorf("kind = %v", ds.Kind())
+	}
+	if ds.Size() != 64 || ds.Classes() != 10 {
+		t.Fatalf("size/classes = %d/%d", ds.Size(), ds.Classes())
+	}
+	if ds.PerformanceSampleCount() != 64 {
+		t.Errorf("perf sample count = %d", ds.PerformanceSampleCount())
+	}
+	s, err := ds.Sample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Index != 5 || s.Image == nil {
+		t.Error("sample missing fields")
+	}
+	shape := s.Image.Shape()
+	if shape[0] != 3 || shape[1] != 8 || shape[2] != 8 {
+		t.Errorf("image shape = %v", shape)
+	}
+	if s.Label < 0 || s.Label >= 10 {
+		t.Errorf("label out of range: %d", s.Label)
+	}
+	if _, err := ds.Sample(64); err == nil {
+		t.Error("out-of-range index: expected error")
+	}
+	if _, err := ds.Sample(-1); err == nil {
+		t.Error("negative index: expected error")
+	}
+}
+
+func TestSyntheticImagesDeterminism(t *testing.T) {
+	a, _ := NewSyntheticImages(imgCfg())
+	b, _ := NewSyntheticImages(imgCfg())
+	sa, _ := a.Sample(3)
+	sb, _ := b.Sample(3)
+	if sa.Label != sb.Label || !tensor.Equalish(sa.Image, sb.Image, 0) {
+		t.Error("same-seed data sets differ")
+	}
+	cfg := imgCfg()
+	cfg.Seed = 2
+	c, _ := NewSyntheticImages(cfg)
+	sc, _ := c.Sample(3)
+	if tensor.Equalish(sa.Image, sc.Image, 0) {
+		t.Error("different-seed data sets identical")
+	}
+}
+
+func TestSyntheticImagesConfigErrors(t *testing.T) {
+	bad := []ImageConfig{
+		{Samples: 0, Classes: 10, Channels: 3, Height: 8, Width: 8},
+		{Samples: 8, Classes: 1, Channels: 3, Height: 8, Width: 8},
+		{Samples: 8, Classes: 10, Channels: 0, Height: 8, Width: 8},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSyntheticImages(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestSetLabel(t *testing.T) {
+	ds, _ := NewSyntheticImages(imgCfg())
+	if err := ds.SetLabel(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := ds.Sample(0)
+	if s.Label != 7 {
+		t.Errorf("label = %d after SetLabel", s.Label)
+	}
+	if err := ds.SetLabel(0, 99); err == nil {
+		t.Error("label out of range: expected error")
+	}
+	if err := ds.SetLabel(999, 1); err == nil {
+		t.Error("index out of range: expected error")
+	}
+}
+
+func TestSyntheticDetection(t *testing.T) {
+	cfg := imgCfg()
+	cfg.MaxBoxes = 3
+	ds, err := NewSyntheticDetection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Kind() != KindObjectDetection {
+		t.Errorf("kind = %v", ds.Kind())
+	}
+	for i := 0; i < ds.Size(); i++ {
+		s, err := ds.Sample(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Boxes) == 0 || len(s.Boxes) > 3 {
+			t.Fatalf("sample %d has %d boxes", i, len(s.Boxes))
+		}
+		for _, b := range s.Boxes {
+			if b.X1 < 0 || b.Y1 < 0 || b.X2 > 1 || b.Y2 > 1 || b.Area() <= 0 {
+				t.Fatalf("invalid box %+v", b)
+			}
+		}
+	}
+	if err := ds.SetBoxes(0, []metrics.Box{{X1: 0, Y1: 0, X2: 1, Y2: 1, Class: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := ds.Sample(0)
+	if len(s.Boxes) != 1 {
+		t.Error("SetBoxes did not replace boxes")
+	}
+	if err := ds.SetBoxes(-1, nil); err == nil {
+		t.Error("bad index: expected error")
+	}
+}
+
+func TestSyntheticText(t *testing.T) {
+	ds, err := NewSyntheticText(TextConfig{Samples: 32, Vocab: 64, MinLen: 4, MaxLen: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Kind() != KindTranslation {
+		t.Errorf("kind = %v", ds.Kind())
+	}
+	if ds.Vocab() != 64 {
+		t.Errorf("vocab = %d", ds.Vocab())
+	}
+	for i := 0; i < ds.Size(); i++ {
+		s, err := ds.Sample(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Tokens) < 4 || len(s.Tokens) > 10 {
+			t.Fatalf("sample %d source length %d", i, len(s.Tokens))
+		}
+		if len(s.RefTokens) != len(s.Tokens) {
+			t.Fatalf("sample %d reference length mismatch", i)
+		}
+		for _, tok := range s.Tokens {
+			if tok < 2 || tok >= 64 {
+				t.Fatalf("token %d outside reserved range", tok)
+			}
+		}
+	}
+	if err := ds.SetReference(0, []int{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := ds.Sample(0)
+	if len(s.RefTokens) != 2 {
+		t.Error("SetReference did not replace reference")
+	}
+	if _, err := NewSyntheticText(TextConfig{Samples: 0, Vocab: 64}); err == nil {
+		t.Error("zero samples: expected error")
+	}
+	if _, err := NewSyntheticText(TextConfig{Samples: 4, Vocab: 2}); err == nil {
+		t.Error("tiny vocab: expected error")
+	}
+}
+
+func TestCalibrationSet(t *testing.T) {
+	ds, _ := NewSyntheticImages(imgCfg())
+	cal, err := CalibrationSet(ds, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal) != 16 || cal[0] != 0 || cal[15] != 15 {
+		t.Errorf("calibration set = %v", cal)
+	}
+	// Requesting more than available clamps.
+	cal, err = CalibrationSet(ds, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal) != ds.Size() {
+		t.Errorf("clamped calibration size = %d", len(cal))
+	}
+	if _, err := CalibrationSet(ds, 0); err == nil {
+		t.Error("zero calibration size: expected error")
+	}
+}
+
+func TestPerfSampleCountDefaults(t *testing.T) {
+	cfg := imgCfg()
+	cfg.Samples = 3000
+	ds, err := NewSyntheticImages(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.PerformanceSampleCount() != 1024 {
+		t.Errorf("default perf sample count = %d, want 1024", ds.PerformanceSampleCount())
+	}
+	cfg.PerfSamples = 5000 // more than samples: clamped
+	ds2, err := NewSyntheticImages(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.PerformanceSampleCount() != 3000 {
+		t.Errorf("clamped perf sample count = %d", ds2.PerformanceSampleCount())
+	}
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+)
+
+// QSL is the query sample library: the LoadGen-facing view of a data set.
+// Before the timed portion of a run the LoadGen asks the SUT to load a set of
+// samples into memory (untimed); during the run queries refer to samples by
+// index and the SUT may only touch loaded samples. QSL enforces those
+// semantics and tracks loading state.
+type QSL struct {
+	mu      sync.RWMutex
+	dataset Dataset
+	loaded  map[int]int // sample index -> load count (loads may nest)
+}
+
+// NewQSL wraps a data set in a query sample library.
+func NewQSL(d Dataset) (*QSL, error) {
+	if d == nil {
+		return nil, fmt.Errorf("dataset: nil dataset")
+	}
+	if d.Size() == 0 {
+		return nil, fmt.Errorf("dataset: %s holds no samples", d.Name())
+	}
+	return &QSL{dataset: d, loaded: make(map[int]int)}, nil
+}
+
+// Name returns the underlying data set name.
+func (q *QSL) Name() string { return q.dataset.Name() }
+
+// Dataset returns the wrapped data set.
+func (q *QSL) Dataset() Dataset { return q.dataset }
+
+// TotalSampleCount returns the total number of samples available.
+func (q *QSL) TotalSampleCount() int { return q.dataset.Size() }
+
+// PerformanceSampleCount returns the number of samples that fit in the SUT's
+// performance-mode working set.
+func (q *QSL) PerformanceSampleCount() int { return q.dataset.PerformanceSampleCount() }
+
+// LoadSamplesToRAM marks the given samples as resident. Loading is untimed
+// per the benchmark rules; the QSL validates indices so misuse is caught
+// before a run rather than mid-measurement.
+func (q *QSL) LoadSamplesToRAM(indices []int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, i := range indices {
+		if i < 0 || i >= q.dataset.Size() {
+			return fmt.Errorf("dataset %s: cannot load sample %d: out of range [0,%d)", q.dataset.Name(), i, q.dataset.Size())
+		}
+	}
+	for _, i := range indices {
+		q.loaded[i]++
+	}
+	return nil
+}
+
+// UnloadSamplesFromRAM releases previously loaded samples.
+func (q *QSL) UnloadSamplesFromRAM(indices []int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, i := range indices {
+		if q.loaded[i] == 0 {
+			return fmt.Errorf("dataset %s: cannot unload sample %d: not loaded", q.dataset.Name(), i)
+		}
+	}
+	for _, i := range indices {
+		q.loaded[i]--
+		if q.loaded[i] == 0 {
+			delete(q.loaded, i)
+		}
+	}
+	return nil
+}
+
+// IsLoaded reports whether sample i is currently resident.
+func (q *QSL) IsLoaded(i int) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.loaded[i] > 0
+}
+
+// LoadedCount returns the number of distinct resident samples.
+func (q *QSL) LoadedCount() int {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return len(q.loaded)
+}
+
+// Get returns sample i, failing if it has not been loaded. This surfaces SUTs
+// that read samples the LoadGen never asked them to load — behaviour the
+// audit tests look for.
+func (q *QSL) Get(i int) (*Sample, error) {
+	q.mu.RLock()
+	ok := q.loaded[i] > 0
+	q.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dataset %s: sample %d accessed without being loaded", q.dataset.Name(), i)
+	}
+	return q.dataset.Sample(i)
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+)
+
+func newTestQSL(t *testing.T) *QSL {
+	t.Helper()
+	ds, err := NewSyntheticImages(imgCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQSL(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestQSLBasics(t *testing.T) {
+	q := newTestQSL(t)
+	if q.TotalSampleCount() != 64 {
+		t.Errorf("total = %d", q.TotalSampleCount())
+	}
+	if q.PerformanceSampleCount() != 64 {
+		t.Errorf("perf = %d", q.PerformanceSampleCount())
+	}
+	if q.Name() == "" {
+		t.Error("empty name")
+	}
+	if q.Dataset() == nil {
+		t.Error("nil dataset")
+	}
+}
+
+func TestQSLNilAndEmpty(t *testing.T) {
+	if _, err := NewQSL(nil); err == nil {
+		t.Error("nil dataset: expected error")
+	}
+}
+
+func TestQSLLoadUnload(t *testing.T) {
+	q := newTestQSL(t)
+	if q.IsLoaded(3) {
+		t.Error("sample loaded before LoadSamplesToRAM")
+	}
+	if _, err := q.Get(3); err == nil {
+		t.Error("Get before load: expected error")
+	}
+	if err := q.LoadSamplesToRAM([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsLoaded(3) || q.LoadedCount() != 3 {
+		t.Error("load state wrong")
+	}
+	s, err := q.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Index != 3 {
+		t.Errorf("got sample %d", s.Index)
+	}
+	if err := q.UnloadSamplesFromRAM([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if q.LoadedCount() != 0 {
+		t.Error("samples still loaded after unload")
+	}
+}
+
+func TestQSLLoadErrors(t *testing.T) {
+	q := newTestQSL(t)
+	if err := q.LoadSamplesToRAM([]int{0, 999}); err == nil {
+		t.Error("out-of-range load: expected error")
+	}
+	// A failed load must not partially apply.
+	if q.LoadedCount() != 0 {
+		t.Error("failed load left residue")
+	}
+	if err := q.UnloadSamplesFromRAM([]int{0}); err == nil {
+		t.Error("unload of never-loaded sample: expected error")
+	}
+}
+
+func TestQSLNestedLoads(t *testing.T) {
+	q := newTestQSL(t)
+	if err := q.LoadSamplesToRAM([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.LoadSamplesToRAM([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.UnloadSamplesFromRAM([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsLoaded(5) {
+		t.Error("nested load released too early")
+	}
+	if err := q.UnloadSamplesFromRAM([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if q.IsLoaded(5) {
+		t.Error("sample still loaded after balanced unloads")
+	}
+}
+
+func TestQSLConcurrentAccess(t *testing.T) {
+	q := newTestQSL(t)
+	if err := q.LoadSamplesToRAM([]int{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, err := q.Get(idx); err != nil {
+					t.Errorf("concurrent Get(%d): %v", idx, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

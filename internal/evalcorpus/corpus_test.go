@@ -1,0 +1,175 @@
+package evalcorpus
+
+import (
+	"testing"
+
+	"mlperf/internal/loadgen"
+	"mlperf/internal/model"
+	"mlperf/internal/simhw"
+)
+
+func TestTableVICounts(t *testing.T) {
+	counts := TableVICounts()
+	if len(counts) != 5 {
+		t.Fatalf("Table VI rows = %d, want 5", len(counts))
+	}
+	// Column totals from the paper: 51 / 15 / 33 / 67.
+	colTotals := map[loadgen.Scenario]int{}
+	for _, row := range counts {
+		for s, n := range row {
+			colTotals[s] += n
+		}
+	}
+	want := map[loadgen.Scenario]int{
+		loadgen.SingleStream: 51, loadgen.MultiStream: 15, loadgen.Server: 33, loadgen.Offline: 67,
+	}
+	for s, w := range want {
+		if colTotals[s] != w {
+			t.Errorf("%v column total = %d, want %d", s, colTotals[s], w)
+		}
+	}
+	if TableVITotal() != 166 {
+		t.Errorf("Table VI total = %d, want 166", TableVITotal())
+	}
+	// GNMT multistream is the one empty cell (Section VI-B).
+	if counts[model.GNMT][loadgen.MultiStream] != 0 {
+		t.Error("GNMT multistream should have no results")
+	}
+}
+
+func TestGenerateCoverageMatchesTableVI(t *testing.T) {
+	corpus, err := Generate(Options{Seed: 1, SkipMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Records) != TableVITotal() {
+		t.Fatalf("corpus has %d records, want %d", len(corpus.Records), TableVITotal())
+	}
+	coverage := corpus.Coverage()
+	for m, row := range TableVICounts() {
+		for s, n := range row {
+			if coverage[string(m)][s] != n {
+				t.Errorf("%s/%v coverage = %d, want %d", m, s, coverage[string(m)][s], n)
+			}
+		}
+	}
+}
+
+func TestModelShareMatchesFigure5(t *testing.T) {
+	corpus, err := Generate(Options{Seed: 1, SkipMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := corpus.ModelShare()
+	// Figure 5 reports ResNet-50 32.5%, MobileNet 22.3%, SSD-MobileNet 17.5%,
+	// SSD-ResNet-34 16.3%, GNMT 11.4%.
+	want := map[string]float64{
+		"resnet50-v1.5":    0.325,
+		"mobilenet-v1":     0.223,
+		"ssd-mobilenet-v1": 0.175,
+		"ssd-resnet34":     0.163,
+		"gnmt":             0.114,
+	}
+	for m, w := range want {
+		got := share[m]
+		if got < w-0.01 || got > w+0.01 {
+			t.Errorf("%s share = %.3f, want %.3f (Figure 5)", m, got, w)
+		}
+	}
+}
+
+func TestArchitectureCountsCoverAllArchitectures(t *testing.T) {
+	corpus, err := Generate(Options{Seed: 1, SkipMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := corpus.ArchitectureCounts()
+	for _, a := range simhw.AllArchitectures() {
+		if counts[a] == 0 {
+			t.Errorf("no results for architecture %s (Figure 7 shows all five)", a)
+		}
+	}
+	// GPUs hold the most results, as in Figure 7.
+	max := simhw.Architecture("")
+	best := 0
+	for a, n := range counts {
+		if n > best {
+			best = n
+			max = a
+		}
+	}
+	if max != simhw.GPU {
+		t.Errorf("architecture with most results = %s, want GPU", max)
+	}
+}
+
+func TestFrameworkMatrix(t *testing.T) {
+	corpus, err := Generate(Options{Seed: 1, SkipMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix := corpus.FrameworkMatrix()
+	if len(matrix) < 6 {
+		t.Errorf("framework matrix has only %d frameworks", len(matrix))
+	}
+	// TensorRT runs on GPUs; SNPE runs on DSPs (Table VII).
+	if !matrix["TensorRT"][simhw.GPU] {
+		t.Error("TensorRT should appear on GPU")
+	}
+	if !matrix["SNPE"][simhw.DSP] {
+		t.Error("SNPE should appear on DSP")
+	}
+}
+
+func TestGenerateWithMetrics(t *testing.T) {
+	corpus, err := Generate(Options{Seed: 2, SearchQueries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMetric := 0
+	for _, r := range corpus.Records {
+		if r.Metric > 0 {
+			withMetric++
+		}
+	}
+	// Most records should carry a usable metric; a few slow-platform /
+	// tight-bound combinations legitimately report zero.
+	if withMetric < len(corpus.Records)/2 {
+		t.Errorf("only %d/%d records carry a metric", withMetric, len(corpus.Records))
+	}
+	ranges := corpus.PerformanceRanges()
+	if len(ranges) == 0 {
+		t.Fatal("no performance ranges computed")
+	}
+	for _, r := range ranges {
+		if r.Spread < 1 {
+			t.Errorf("%s/%v spread %v below 1", r.Model, r.Scenario, r.Spread)
+		}
+		if r.Systems < 2 {
+			t.Errorf("%s/%v computed from %d systems", r.Model, r.Scenario, r.Systems)
+		}
+	}
+}
+
+func TestServerToOfflineRatios(t *testing.T) {
+	series, err := ServerToOfflineRatios(3, Options{Seed: 3, SearchQueries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series, want 3", len(series))
+	}
+	for _, s := range series {
+		if s.Platform == "" || len(s.Ratios) != 5 {
+			t.Errorf("incomplete series %+v", s)
+		}
+		for m, ratio := range s.Ratios {
+			if ratio < 0 || ratio > 1 {
+				t.Errorf("%s/%s ratio %v outside [0,1]", s.Platform, m, ratio)
+			}
+		}
+	}
+	if _, err := ServerToOfflineRatios(0, Options{}); err == nil {
+		t.Error("zero systems: expected error")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOptions keeps every experiment quick in unit tests.
+func fastOptions() Options {
+	return Options{Seed: 7, SearchQueries: 256, Figure6Systems: 3, DatasetSamples: 32}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every table and figure of the evaluation section is present.
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig5", "fig6", "fig7", "fig8", "audits", "modeled-vs-measured"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, err := Find("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "table4" {
+		t.Errorf("found %s", e.ID)
+	}
+	if _, err := Find("table99"); err == nil {
+		t.Error("unknown id: expected error")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	cases := map[string][]string{
+		"table1": {"ResNet-50 v1.5", "GNMT", "QUALITY TARGET"},
+		"table2": {"Poisson", "90th-percentile latency", "photo categorization"},
+		"table3": {"66ms", "250ms", "machine-translation"},
+		"table4": {"23886", "24576", "270336"},
+		"table5": {"1024 / 1", "1 / 24576", "90112"},
+	}
+	for id, wants := range cases {
+		e, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Run(fastOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, want := range wants {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q:\n%s", id, want, out)
+			}
+		}
+	}
+}
+
+func TestCorpusTablesAndFigures(t *testing.T) {
+	table6, err := Table6(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"resnet50-v1.5", "TOTAL", "51", "15", "33", "67"} {
+		if !strings.Contains(table6, want) {
+			t.Errorf("table6 missing %q:\n%s", want, table6)
+		}
+	}
+	table7, err := Table7(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TensorRT", "SNPE", "GPU"} {
+		if !strings.Contains(table7, want) {
+			t.Errorf("table7 missing %q", want)
+		}
+	}
+	fig5, err := Figure5(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig5, "32.5%") {
+		t.Errorf("fig5 missing the paper share column:\n%s", fig5)
+	}
+	fig7, err := Figure7(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []string{"CPU", "GPU", "DSP", "FPGA", "ASIC"} {
+		if !strings.Contains(fig7, arch) {
+			t.Errorf("fig7 missing %s", arch)
+		}
+	}
+}
+
+func TestFigure6And8(t *testing.T) {
+	opts := fastOptions()
+	fig6, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig6, "server-to-offline") {
+		t.Errorf("fig6 header missing:\n%s", fig6)
+	}
+	if !strings.Contains(fig6, "resnet50-v1.5") {
+		t.Error("fig6 missing model columns")
+	}
+	fig8, err := Figure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig8, "SPREAD") || !strings.Contains(fig8, "largest spread") {
+		t.Errorf("fig8 incomplete:\n%s", fig8)
+	}
+}
+
+func TestAuditsExperiment(t *testing.T) {
+	out, err := Audits(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all audits passed") {
+		t.Errorf("reference system failed its own audits:\n%s", out)
+	}
+}
+
+func TestModeledVsMeasured(t *testing.T) {
+	out, err := ModeledVsMeasured(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "operation-count ratio: 175x") {
+		t.Errorf("expected the 175x operation ratio, got:\n%s", out)
+	}
+	if !strings.Contains(out, "MEASURED RATIO") {
+		t.Error("missing measured ratio column")
+	}
+}

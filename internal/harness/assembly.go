@@ -1,0 +1,387 @@
+// Package harness wires the benchmark's components together (Figure 3): it
+// builds a task's reference model, synthetic data set and query sample
+// library, constructs a system under test, runs the LoadGen in performance
+// and accuracy modes, and scores quality with the accuracy script. It also
+// provides the virtual-time "simulated submission" path used to regenerate
+// the paper's evaluation figures across the platform catalogue.
+package harness
+
+import (
+	"fmt"
+
+	"mlperf/internal/accuracy"
+	"mlperf/internal/backend"
+	"mlperf/internal/core"
+	"mlperf/internal/dataset"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/metrics"
+	"mlperf/internal/model"
+	"mlperf/internal/quantize"
+	"mlperf/internal/stats"
+)
+
+// BuildOptions configures BuildNative.
+type BuildOptions struct {
+	// DatasetSamples is the synthetic data-set size (default 256).
+	DatasetSamples int
+	// Classes is the label/object-class count for vision tasks (default 10).
+	Classes int
+	// ImageSize is the square input resolution for vision tasks (default 16).
+	ImageSize int
+	// Vocab is the vocabulary size for translation (default 64).
+	Vocab int
+	// Seed drives model initialization, data generation and calibration.
+	Seed uint64
+	// Workers is the native backend's inference concurrency (default 2).
+	Workers int
+	// Quantization, when non-empty, converts the model weights to the given
+	// format after the FP32 reference quality is established, using the
+	// calibration subset (closed-division quantization flow).
+	Quantization quantize.Format
+	// CalibrationSamples is the size of the calibration subset (default 32).
+	CalibrationSamples int
+}
+
+func (o *BuildOptions) normalize() {
+	if o.DatasetSamples <= 0 {
+		o.DatasetSamples = 256
+	}
+	if o.Classes <= 1 {
+		o.Classes = 10
+	}
+	if o.ImageSize < 8 {
+		o.ImageSize = 16
+	}
+	if o.Vocab < 8 {
+		o.Vocab = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.CalibrationSamples <= 0 {
+		o.CalibrationSamples = 32
+	}
+}
+
+// Assembly is a fully wired, runnable benchmark task.
+type Assembly struct {
+	Spec    core.TaskSpec
+	Info    model.Info
+	Dataset dataset.Dataset
+	QSL     *dataset.QSL
+	SUT     loadgen.SUT
+
+	// ReferenceQuality is the FP32 reference model's measured quality on the
+	// synthetic data set; the quality target is Spec.TargetRatio times it.
+	ReferenceQuality float64
+	// QualityTarget is the minimum quality an equivalent implementation must
+	// reach.
+	QualityTarget float64
+	// QuantizationStats records the weight conversion if quantization was
+	// requested.
+	QuantizationStats []quantize.TensorStats
+
+	native *backend.Native
+}
+
+// NativeBackend returns the underlying native backend for error inspection.
+func (a *Assembly) NativeBackend() *backend.Native { return a.native }
+
+// BuildNative assembles a task around the in-repo reference models and
+// synthetic data. The data set's ground truth is calibrated against the FP32
+// reference model so that the model's measured quality lands near the paper's
+// published reference quality, which makes the per-task quality targets
+// meaningful (Section III-B).
+func BuildNative(task core.Task, opts BuildOptions) (*Assembly, error) {
+	opts.normalize()
+	spec, err := core.Spec(task)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Assembly{Spec: spec}
+	switch spec.ReferenceModel {
+	case model.ResNet50, model.MobileNetV1:
+		err = a.buildClassification(spec, opts)
+	case model.SSDResNet34, model.SSDMobileNet:
+		err = a.buildDetection(spec, opts)
+	case model.GNMT:
+		err = a.buildTranslation(spec, opts)
+	default:
+		err = fmt.Errorf("harness: task %s uses unsupported model %s", task, spec.ReferenceModel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a.QualityTarget = spec.QualityTarget(a.ReferenceQuality)
+	return a, nil
+}
+
+// buildClassification assembles the two image-classification tasks.
+func (a *Assembly) buildClassification(spec core.TaskSpec, opts BuildOptions) error {
+	cfg := model.ClassifierConfig{Classes: opts.Classes, ImageSize: opts.ImageSize, Seed: opts.Seed}
+	var (
+		classifier *model.ImageClassifier
+		err        error
+	)
+	if spec.ReferenceModel == model.ResNet50 {
+		classifier, err = model.NewResNet50Mini(cfg)
+	} else {
+		classifier, err = model.NewMobileNetV1Mini(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	a.Info = classifier.Info()
+	ds, err := dataset.NewSyntheticImages(dataset.ImageConfig{
+		Name: spec.DatasetName, Samples: opts.DatasetSamples, Classes: opts.Classes,
+		Channels: 3, Height: opts.ImageSize, Width: opts.ImageSize, Seed: opts.Seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Establish the FP32 reference quality by oracle relabeling.
+	info, err := model.Describe(spec.ReferenceModel)
+	if err != nil {
+		return err
+	}
+	reference, err := calibrateClassification(classifier, ds, info.PaperReferenceQuality, opts.Seed+2, opts.Classes)
+	if err != nil {
+		return err
+	}
+	a.ReferenceQuality = reference
+
+	if err := a.maybeQuantize(classifier, ds, opts); err != nil {
+		return err
+	}
+
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		return err
+	}
+	sut, err := backend.NewNative(backend.NativeConfig{
+		Name: string(spec.ReferenceModel), Kind: dataset.KindImageClassification,
+		Classifier: classifier, Store: qsl, Workers: opts.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	a.Dataset, a.QSL, a.SUT, a.native = ds, qsl, sut, sut
+	return nil
+}
+
+// buildDetection assembles the two object-detection tasks.
+func (a *Assembly) buildDetection(spec core.TaskSpec, opts BuildOptions) error {
+	cfg := model.DetectorConfig{Classes: opts.Classes, ImageSize: opts.ImageSize, Seed: opts.Seed, ScoreThreshold: 0.2}
+	var (
+		detector *model.SSDDetector
+		err      error
+	)
+	if spec.ReferenceModel == model.SSDResNet34 {
+		detector, err = model.NewSSDResNet34Mini(cfg)
+	} else {
+		detector, err = model.NewSSDMobileNetMini(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	a.Info = detector.Info()
+	ds, err := dataset.NewSyntheticDetection(dataset.ImageConfig{
+		Name: spec.DatasetName, Samples: opts.DatasetSamples, Classes: opts.Classes,
+		Channels: 3, Height: opts.ImageSize, Width: opts.ImageSize, Seed: opts.Seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	info, err := model.Describe(spec.ReferenceModel)
+	if err != nil {
+		return err
+	}
+	reference, err := calibrateDetection(detector, ds, info.PaperReferenceQuality, opts.Seed+2)
+	if err != nil {
+		return err
+	}
+	a.ReferenceQuality = reference
+
+	if err := a.maybeQuantize(detector, ds, opts); err != nil {
+		return err
+	}
+
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		return err
+	}
+	sut, err := backend.NewNative(backend.NativeConfig{
+		Name: string(spec.ReferenceModel), Kind: dataset.KindObjectDetection,
+		Detector: detector, Store: qsl, Workers: opts.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	a.Dataset, a.QSL, a.SUT, a.native = ds, qsl, sut, sut
+	return nil
+}
+
+// buildTranslation assembles the machine-translation task.
+func (a *Assembly) buildTranslation(spec core.TaskSpec, opts BuildOptions) error {
+	translator, err := model.NewGNMTMini(model.TranslatorConfig{Vocab: opts.Vocab, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	a.Info = translator.Info()
+	ds, err := dataset.NewSyntheticText(dataset.TextConfig{
+		Name: spec.DatasetName, Samples: opts.DatasetSamples, Vocab: opts.Vocab, Seed: opts.Seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	info, err := model.Describe(spec.ReferenceModel)
+	if err != nil {
+		return err
+	}
+	reference, err := calibrateTranslation(translator, ds, info.PaperReferenceQuality/100, opts.Seed+2)
+	if err != nil {
+		return err
+	}
+	a.ReferenceQuality = reference
+
+	if err := a.maybeQuantize(translator, ds, opts); err != nil {
+		return err
+	}
+
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		return err
+	}
+	sut, err := backend.NewNative(backend.NativeConfig{
+		Name: string(spec.ReferenceModel), Kind: dataset.KindTranslation,
+		Translator: translator, Store: qsl, Workers: opts.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	a.Dataset, a.QSL, a.SUT, a.native = ds, qsl, sut, sut
+	return nil
+}
+
+// maybeQuantize converts the model weights after the FP32 reference quality
+// has been measured, mirroring the closed division's calibration-based
+// post-training quantization.
+func (a *Assembly) maybeQuantize(m model.WeightedModel, ds dataset.Dataset, opts BuildOptions) error {
+	if opts.Quantization == "" || opts.Quantization == quantize.FP32 {
+		return nil
+	}
+	if !quantize.Valid(opts.Quantization) {
+		return fmt.Errorf("harness: format %q is not on the approved numerics list", opts.Quantization)
+	}
+	if _, err := dataset.CalibrationSet(ds, opts.CalibrationSamples); err != nil {
+		return err
+	}
+	statsList, err := quantize.Model(m.Weights(), opts.Quantization)
+	if err != nil {
+		return err
+	}
+	a.QuantizationStats = statsList
+	return nil
+}
+
+// calibrateClassification relabels the data set so that the classifier's
+// predictions match ground truth for approximately the agreement fraction,
+// then returns the measured Top-1 accuracy.
+func calibrateClassification(m model.Classifier, ds *dataset.SyntheticImages, agreement float64, seed uint64, classes int) (float64, error) {
+	rng := stats.NewRNG(seed)
+	var preds, labels []int
+	for i := 0; i < ds.Size(); i++ {
+		sample, err := ds.Sample(i)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := m.Classify(sample.Image)
+		if err != nil {
+			return 0, fmt.Errorf("harness: calibrating sample %d: %w", i, err)
+		}
+		label := pred
+		if rng.Float64() >= agreement {
+			// Assign a deliberately different label so the model misses it.
+			label = (pred + 1 + rng.Intn(classes-1)) % classes
+		}
+		if err := ds.SetLabel(i, label); err != nil {
+			return 0, err
+		}
+		preds = append(preds, pred)
+		labels = append(labels, label)
+	}
+	return metrics.Top1Accuracy(preds, labels)
+}
+
+// calibrateDetection sets the ground-truth boxes to the detector's own output
+// for approximately the agreement fraction of samples and returns the
+// measured mAP.
+func calibrateDetection(m model.Detector, ds *dataset.SyntheticDetection, agreement float64, seed uint64) (float64, error) {
+	rng := stats.NewRNG(seed)
+	var dets []metrics.Detection
+	var truths []metrics.GroundTruth
+	for i := 0; i < ds.Size(); i++ {
+		sample, err := ds.Sample(i)
+		if err != nil {
+			return 0, err
+		}
+		boxes, err := m.Detect(sample.Image)
+		if err != nil {
+			return 0, fmt.Errorf("harness: calibrating sample %d: %w", i, err)
+		}
+		if rng.Float64() < agreement && len(boxes) > 0 {
+			truth := make([]metrics.Box, len(boxes))
+			copy(truth, boxes)
+			if err := ds.SetBoxes(i, truth); err != nil {
+				return 0, err
+			}
+		}
+		fresh, err := ds.Sample(i)
+		if err != nil {
+			return 0, err
+		}
+		dets = append(dets, metrics.Detection{SampleIndex: i, Boxes: boxes})
+		truths = append(truths, metrics.GroundTruth{SampleIndex: i, Boxes: fresh.Boxes})
+	}
+	return metrics.MeanAveragePrecision(dets, truths, 0.5)
+}
+
+// calibrateTranslation sets the reference translation to the translator's own
+// output for approximately the agreement fraction of sentences and returns
+// the measured corpus BLEU.
+func calibrateTranslation(m model.Translator, ds *dataset.SyntheticText, agreement float64, seed uint64) (float64, error) {
+	rng := stats.NewRNG(seed)
+	var hyps, refs [][]int
+	for i := 0; i < ds.Size(); i++ {
+		sample, err := ds.Sample(i)
+		if err != nil {
+			return 0, err
+		}
+		hyp, err := m.Translate(sample.Tokens)
+		if err != nil {
+			return 0, fmt.Errorf("harness: calibrating sentence %d: %w", i, err)
+		}
+		if rng.Float64() < agreement && len(hyp) > 0 {
+			ref := make([]int, len(hyp))
+			copy(ref, hyp)
+			if err := ds.SetReference(i, ref); err != nil {
+				return 0, err
+			}
+		}
+		fresh, err := ds.Sample(i)
+		if err != nil {
+			return 0, err
+		}
+		hyps = append(hyps, hyp)
+		refs = append(refs, fresh.RefTokens)
+	}
+	return metrics.CorpusBLEU(hyps, refs)
+}
+
+// ScoreAccuracyLog runs the accuracy script over an accuracy-mode result for
+// this assembly.
+func (a *Assembly) ScoreAccuracyLog(log []loadgen.AccuracyEntry) (accuracy.Report, error) {
+	return accuracy.Check(log, a.Dataset, a.ReferenceQuality, a.QualityTarget)
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/quantize"
+	"mlperf/internal/simhw"
+)
+
+func quickOpts() BuildOptions {
+	return BuildOptions{DatasetSamples: 48, Seed: 7, Workers: 2}
+}
+
+func TestBuildNativeClassification(t *testing.T) {
+	a, err := BuildNative(core.ImageClassificationLight, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec.Task != core.ImageClassificationLight {
+		t.Errorf("task = %s", a.Spec.Task)
+	}
+	if a.SUT == nil || a.QSL == nil || a.Dataset == nil {
+		t.Fatal("assembly incomplete")
+	}
+	// The oracle calibration should land near the paper's reference quality
+	// (71.676% for MobileNet) within sampling noise on a small data set.
+	if math.Abs(a.ReferenceQuality-0.71676) > 0.15 {
+		t.Errorf("reference quality %v far from the paper's 0.717", a.ReferenceQuality)
+	}
+	if a.QualityTarget >= a.ReferenceQuality || a.QualityTarget <= 0 {
+		t.Errorf("quality target %v inconsistent with reference %v", a.QualityTarget, a.ReferenceQuality)
+	}
+}
+
+func TestBuildNativeAllTasks(t *testing.T) {
+	for _, task := range core.AllTasks() {
+		opts := quickOpts()
+		opts.DatasetSamples = 24
+		a, err := BuildNative(task, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", task, err)
+		}
+		if a.ReferenceQuality <= 0 {
+			t.Errorf("%s: reference quality %v", task, a.ReferenceQuality)
+		}
+		if a.Info.Params <= 0 {
+			t.Errorf("%s: model metadata missing", task)
+		}
+	}
+}
+
+func TestBuildNativeUnknownTask(t *testing.T) {
+	if _, err := BuildNative("speech", quickOpts()); err == nil {
+		t.Error("unknown task: expected error")
+	}
+}
+
+func TestBuildNativeWithQuantization(t *testing.T) {
+	opts := quickOpts()
+	opts.Quantization = quantize.INT8
+	a, err := BuildNative(core.ImageClassificationLight, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.QuantizationStats) == 0 {
+		t.Error("quantization requested but no conversion stats recorded")
+	}
+	bad := quickOpts()
+	bad.Quantization = quantize.Format("int2")
+	if _, err := BuildNative(core.ImageClassificationLight, bad); err == nil {
+		t.Error("unapproved format: expected error")
+	}
+}
+
+func TestRunSingleStreamWithAccuracy(t *testing.T) {
+	a, err := BuildNative(core.ImageClassificationLight, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	settings := QuickSettings(a.Spec, loadgen.SingleStream, 64)
+	settings.MinDuration = 20 * time.Millisecond
+	report, err := Run(a, RunOptions{Scenario: loadgen.SingleStream, Settings: &settings, RunAccuracy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Performance == nil || report.Performance.QueriesIssued == 0 {
+		t.Fatal("missing performance result")
+	}
+	if report.Performance.SingleStreamLatency <= 0 {
+		t.Error("missing single-stream latency metric")
+	}
+	if report.Accuracy == nil {
+		t.Fatal("missing accuracy report")
+	}
+	// The unquantized reference model must meet its own quality target.
+	if !report.Accuracy.Pass {
+		t.Errorf("FP32 reference failed its quality target: %s", report.Accuracy)
+	}
+	if !report.Valid() {
+		t.Errorf("report invalid: perf=%v acc=%v", report.Performance.ValidityMessages, report.Accuracy)
+	}
+	if report.Accuracy.String() == "" {
+		t.Error("empty accuracy summary")
+	}
+}
+
+func TestRunOfflineTranslation(t *testing.T) {
+	opts := quickOpts()
+	opts.DatasetSamples = 24
+	a, err := BuildNative(core.MachineTranslation, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settings := QuickSettings(a.Spec, loadgen.Offline, 1024)
+	settings.MinDuration = 0
+	settings.MinSampleCount = 24
+	report, err := Run(a, RunOptions{Scenario: loadgen.Offline, Settings: &settings, RunAccuracy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Performance.OfflineSamplesPerSec <= 0 {
+		t.Error("missing offline throughput")
+	}
+	if report.Accuracy == nil || !report.Accuracy.Pass {
+		t.Errorf("translation reference failed its own target: %v", report.Accuracy)
+	}
+}
+
+func TestRunNilAssembly(t *testing.T) {
+	if _, err := Run(nil, RunOptions{Scenario: loadgen.SingleStream}); err == nil {
+		t.Error("nil assembly: expected error")
+	}
+}
+
+func TestQuickSettings(t *testing.T) {
+	spec, err := core.Spec(core.ImageClassificationHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := QuickSettings(spec, loadgen.Server, 1)
+	if full.MinQueryCount != 270336 {
+		t.Errorf("factor 1 should keep production settings, got %d", full.MinQueryCount)
+	}
+	quick := QuickSettings(spec, loadgen.Server, 1000)
+	if quick.MinQueryCount != 270 {
+		t.Errorf("scaled query count = %d, want 270", quick.MinQueryCount)
+	}
+	if quick.MinDuration != 60*time.Millisecond {
+		t.Errorf("scaled duration = %v", quick.MinDuration)
+	}
+	if quick.ServerTargetLatency != spec.ServerLatencyBound {
+		t.Error("latency bound must not be scaled")
+	}
+	offline := QuickSettings(spec, loadgen.Offline, 1<<20)
+	if offline.MinSampleCount < 1 {
+		t.Error("scaled sample count must stay positive")
+	}
+}
+
+func TestSimulatedSubmission(t *testing.T) {
+	platform, err := simhw.FindPlatform("dc-gpu-g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.Spec(core.ImageClassificationHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := SimulatedSubmission(platform, spec, simhw.SearchOptions{Queries: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SingleStreamP90 <= 0 {
+		t.Error("missing single-stream metric")
+	}
+	if m.MultiStreamStreams <= 0 {
+		t.Error("data-center GPU should sustain at least one stream")
+	}
+	if m.ServerQPS <= 0 || m.OfflineThroughput <= 0 {
+		t.Error("missing server/offline metrics")
+	}
+	ratio := m.ServerToOfflineRatio()
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("server-to-offline ratio %v outside (0,1]", ratio)
+	}
+}
+
+func TestSimulatedSubmissionUnknownWorkload(t *testing.T) {
+	platform, _ := simhw.FindPlatform("dc-gpu-g1")
+	spec, _ := core.Spec(core.ImageClassificationHeavy)
+	spec.ReferenceModel = "bert"
+	if _, err := SimulatedSubmission(platform, spec, simhw.SearchOptions{Queries: 100}); err == nil {
+		t.Error("unknown workload: expected error")
+	}
+}
+
+// TestFigure6ShapeAcrossPlatforms spot-checks the Figure 6 relationship on
+// two contrasting platforms: a latency-friendly CPU loses little throughput
+// under the server constraint, while a batching-hungry accelerator loses
+// more.
+func TestFigure6ShapeAcrossPlatforms(t *testing.T) {
+	spec, err := core.Spec(core.ImageClassificationHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := simhw.FindPlatform("server-cpu-c2")
+	gpu, _ := simhw.FindPlatform("dc-gpu-g3")
+	opts := simhw.SearchOptions{Queries: 4000, Seed: 9}
+	cpuMetrics, err := SimulatedSubmission(cpu, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuMetrics, err := SimulatedSubmission(gpu, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuMetrics.ServerToOfflineRatio() <= gpuMetrics.ServerToOfflineRatio() {
+		t.Errorf("expected CPU ratio (%v) above wide-accelerator ratio (%v)",
+			cpuMetrics.ServerToOfflineRatio(), gpuMetrics.ServerToOfflineRatio())
+	}
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mlperf/internal/accuracy"
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/simhw"
+)
+
+// RunOptions configures Run.
+type RunOptions struct {
+	Scenario loadgen.Scenario
+	// Settings overrides the production settings when non-nil; otherwise the
+	// task's Table III/V settings are used.
+	Settings *loadgen.TestSettings
+	// RunAccuracy also executes an accuracy-mode pass and scores it.
+	RunAccuracy bool
+}
+
+// RunReport bundles the results of one (task, scenario, SUT) evaluation.
+type RunReport struct {
+	Task        core.Task
+	Scenario    loadgen.Scenario
+	SUTName     string
+	Performance *loadgen.Result
+	Accuracy    *accuracy.Report
+}
+
+// Valid reports whether both the performance run and (if present) the
+// accuracy check satisfied the benchmark's requirements.
+func (r *RunReport) Valid() bool {
+	if r.Performance == nil || !r.Performance.Valid {
+		return false
+	}
+	if r.Accuracy != nil && !r.Accuracy.Pass {
+		return false
+	}
+	return true
+}
+
+// Run executes one scenario against the assembly's SUT in performance mode
+// and, optionally, in accuracy mode.
+func Run(a *Assembly, opts RunOptions) (*RunReport, error) {
+	if a == nil {
+		return nil, fmt.Errorf("harness: nil assembly")
+	}
+	settings := a.Spec.Settings(opts.Scenario)
+	if opts.Settings != nil {
+		settings = *opts.Settings
+	}
+	settings.Scenario = opts.Scenario
+	settings.Mode = loadgen.PerformanceMode
+
+	perf, err := loadgen.StartTest(a.SUT, a.QSL, settings)
+	if err != nil {
+		return nil, fmt.Errorf("harness: performance run for %s/%v: %w", a.Spec.Task, opts.Scenario, err)
+	}
+	if a.native != nil {
+		a.native.Wait()
+		if errs := a.native.Errors(); len(errs) > 0 {
+			return nil, fmt.Errorf("harness: SUT reported %d inference errors, first: %w", len(errs), errs[0])
+		}
+	}
+	report := &RunReport{Task: a.Spec.Task, Scenario: opts.Scenario, SUTName: a.SUT.Name(), Performance: perf}
+
+	if opts.RunAccuracy {
+		accSettings := settings
+		accSettings.Mode = loadgen.AccuracyMode
+		accRun, err := loadgen.StartTest(a.SUT, a.QSL, accSettings)
+		if err != nil {
+			return nil, fmt.Errorf("harness: accuracy run for %s/%v: %w", a.Spec.Task, opts.Scenario, err)
+		}
+		if a.native != nil {
+			a.native.Wait()
+		}
+		rep, err := a.ScoreAccuracyLog(accRun.AccuracyLog)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scoring accuracy for %s: %w", a.Spec.Task, err)
+		}
+		report.Accuracy = &rep
+	}
+	return report, nil
+}
+
+// QuickSettings scales the production settings of a task/scenario down by the
+// given factor so examples and tests finish quickly while exercising the same
+// code paths. Factor 1 returns the production settings unchanged.
+func QuickSettings(spec core.TaskSpec, s loadgen.Scenario, factor int) loadgen.TestSettings {
+	ts := spec.Settings(s)
+	if factor <= 1 {
+		return ts
+	}
+	ts.MinQueryCount = maxInt(1, ts.MinQueryCount/factor)
+	ts.MinDuration = ts.MinDuration / time.Duration(factor)
+	if ts.MinSampleCount > 0 {
+		ts.MinSampleCount = maxInt(1, ts.MinSampleCount/factor)
+	}
+	return ts
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ScenarioMetrics holds one platform's reported metric for every scenario of
+// a task, the unit of the paper's evaluation tables.
+type ScenarioMetrics struct {
+	Platform string
+	Task     core.Task
+	Model    string
+
+	SingleStreamP90    time.Duration
+	MultiStreamStreams int
+	ServerQPS          float64
+	OfflineThroughput  float64
+}
+
+// ServerToOfflineRatio returns the Figure 6 quantity: latency-bounded server
+// throughput normalized to unconstrained offline throughput.
+func (m ScenarioMetrics) ServerToOfflineRatio() float64 {
+	if m.OfflineThroughput <= 0 {
+		return 0
+	}
+	r := m.ServerQPS / m.OfflineThroughput
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// SimulatedSubmission evaluates one simulated platform on one task across all
+// four scenarios in virtual time, using the task's Table III constraints.
+// This is the fast path the experiment harness uses to regenerate Figures 6
+// and 8 over the whole platform catalogue.
+func SimulatedSubmission(p simhw.Platform, spec core.TaskSpec, opts simhw.SearchOptions) (ScenarioMetrics, error) {
+	workloads := simhw.StandardWorkloads()
+	w, ok := workloads[string(spec.ReferenceModel)]
+	if !ok {
+		return ScenarioMetrics{}, fmt.Errorf("harness: no standard workload for model %s", spec.ReferenceModel)
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 4096
+	}
+
+	out := ScenarioMetrics{Platform: p.Name, Task: spec.Task, Model: string(spec.ReferenceModel)}
+
+	p90, err := simhw.SingleStreamP90(p, w, minInt(opts.Queries, 1024), opts.Seed)
+	if err != nil {
+		return ScenarioMetrics{}, err
+	}
+	out.SingleStreamP90 = p90
+
+	streams, err := simhw.MaxMultiStreamStreams(p, w, spec.MultiStreamArrivalInterval, 0.01, simhw.SearchOptions{
+		Queries: minInt(opts.Queries, 512), Seed: opts.Seed, Iterations: opts.Iterations,
+	})
+	if err != nil {
+		return ScenarioMetrics{}, err
+	}
+	out.MultiStreamStreams = streams
+
+	qps, err := simhw.MaxServerQPS(p, w, spec.ServerLatencyBound, spec.ServerLatencyPercentile, opts)
+	if err != nil {
+		return ScenarioMetrics{}, err
+	}
+	out.ServerQPS = qps
+
+	tput, err := simhw.OfflineThroughput(p, w, maxInt(opts.Queries, 4096), opts.Seed)
+	if err != nil {
+		return ScenarioMetrics{}, err
+	}
+	out.OfflineThroughput = tput
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

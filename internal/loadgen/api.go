@@ -1,0 +1,196 @@
+// Package loadgen implements the MLPerf Inference Load Generator: the
+// traffic generator that drives a system under test (SUT) according to one of
+// the four evaluation scenarios (single-stream, multistream, server, offline),
+// measures latency and throughput, logs responses for accuracy checking, and
+// determines whether a run satisfies the benchmark's validity requirements
+// (Sections III-C, III-D and IV-B of the paper).
+//
+// The package mirrors the architecture of the reference C++ LoadGen: it is
+// decoupled from models, data sets and metrics. It talks to the SUT through
+// the SUT interface (IssueQuery / FlushQueries) and to the data set through
+// the QuerySampleLibrary interface, so new scenarios can be rolled out to all
+// models and SUTs without touching submitter code.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Scenario is one of the four evaluation scenarios of Table II.
+type Scenario int
+
+// The four scenarios.
+const (
+	// SingleStream issues one query at a time and waits for its completion;
+	// the metric is 90th-percentile latency.
+	SingleStream Scenario = iota
+	// MultiStream issues a query of N samples at a fixed arrival interval,
+	// skipping intervals while the previous query is in flight; the metric is
+	// the number of streams sustainable under the latency bound.
+	MultiStream
+	// Server issues single-sample queries with Poisson inter-arrival times;
+	// the metric is the achievable queries per second under the latency bound.
+	Server
+	// Offline issues one query containing every sample; the metric is
+	// throughput in samples per second.
+	Offline
+)
+
+// String returns the scenario's canonical name.
+func (s Scenario) String() string {
+	switch s {
+	case SingleStream:
+		return "SingleStream"
+	case MultiStream:
+		return "MultiStream"
+	case Server:
+		return "Server"
+	case Offline:
+		return "Offline"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// AllScenarios lists the scenarios in Table II order.
+func AllScenarios() []Scenario {
+	return []Scenario{SingleStream, MultiStream, Server, Offline}
+}
+
+// Mode selects between the LoadGen's two primary operating modes.
+type Mode int
+
+const (
+	// PerformanceMode subjects the SUT to enough samples to measure
+	// steady-state performance without sweeping the whole data set.
+	PerformanceMode Mode = iota
+	// AccuracyMode sweeps the entire data set so the accuracy script can
+	// verify the model meets its quality target.
+	AccuracyMode
+)
+
+// String returns the mode's canonical name.
+func (m Mode) String() string {
+	switch m {
+	case PerformanceMode:
+		return "Performance"
+	case AccuracyMode:
+		return "Accuracy"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// QuerySample is one sample reference within a query.
+type QuerySample struct {
+	// ID uniquely identifies this sample instance within the run.
+	ID uint64
+	// Index is the sample's index in the query sample library.
+	Index int
+}
+
+// Response is the SUT's answer for one query sample.
+type Response struct {
+	// SampleID echoes QuerySample.ID.
+	SampleID uint64
+	// Data is an opaque result payload (e.g. the predicted class or encoded
+	// boxes); it is logged in accuracy mode and checked by the accuracy
+	// script.
+	Data []byte
+}
+
+// Query is a request for inference on one or more samples.
+type Query struct {
+	// ID uniquely identifies the query within the run.
+	ID uint64
+	// Samples lists the samples the SUT must run inference on. Neighbouring
+	// samples are contiguous in the slice, mirroring the contiguous-memory
+	// guarantee the benchmark gives for multistream and offline queries.
+	Samples []QuerySample
+	// Scheduled is the intended issue time as an offset from the start of the
+	// timed run (the ideal schedule the scenario defines).
+	Scheduled time.Duration
+	// Issued is the wall-clock time the LoadGen actually issued the query.
+	Issued time.Time
+
+	completeOnce sync.Once
+	complete     func(q *Query, responses []Response)
+	mu           sync.Mutex
+	responded    map[uint64]bool
+	responses    []Response
+}
+
+// Complete reports responses for samples of this query back to the LoadGen.
+// The SUT must eventually report every sample exactly once; it may do so in
+// one call or across several calls (e.g. when it batches internally).
+func (q *Query) Complete(responses []Response) {
+	q.mu.Lock()
+	var fresh []Response
+	for _, r := range responses {
+		if q.responded == nil {
+			q.responded = make(map[uint64]bool, len(q.Samples))
+		}
+		if q.responded[r.SampleID] {
+			continue
+		}
+		q.responded[r.SampleID] = true
+		fresh = append(fresh, r)
+	}
+	q.responses = append(q.responses, fresh...)
+	done := len(q.responses) >= len(q.Samples)
+	q.mu.Unlock()
+	if done {
+		q.completeOnce.Do(func() {
+			if q.complete != nil {
+				q.complete(q, q.responses)
+			}
+		})
+	}
+}
+
+// SetCompletionHandler registers fn to run once every sample of the query
+// has been responded to. The LoadGen installs its own handler on the queries
+// it issues; this method exists for SUT-side intermediaries (e.g. dynamic
+// batchers) that build internal queries of their own. It must be called
+// before the query is handed to anything that may complete it.
+func (q *Query) SetCompletionHandler(fn func(*Query, []Response)) { q.complete = fn }
+
+// SUT is the system under test, as seen by the LoadGen (Figure 3).
+type SUT interface {
+	// Name identifies the SUT in logs and reports.
+	Name() string
+	// IssueQuery delivers a query to the SUT. The call should return quickly;
+	// inference may proceed asynchronously. The SUT signals completion by
+	// calling Complete on the query.
+	IssueQuery(q *Query)
+	// FlushQueries tells the SUT that no further queries will arrive in this
+	// series and any internally batched work should be submitted.
+	FlushQueries()
+}
+
+// QuerySampleLibrary is the LoadGen-facing view of the data set (Figure 3).
+type QuerySampleLibrary interface {
+	// Name identifies the data set.
+	Name() string
+	// TotalSampleCount is the total number of samples available.
+	TotalSampleCount() int
+	// PerformanceSampleCount is the number of samples that fit in the SUT's
+	// performance-mode working set.
+	PerformanceSampleCount() int
+	// LoadSamplesToRAM asks the SUT/QSL to make the samples resident
+	// (untimed).
+	LoadSamplesToRAM(indices []int) error
+	// UnloadSamplesFromRAM releases previously loaded samples (untimed).
+	UnloadSamplesFromRAM(indices []int) error
+}
+
+// Errors returned by StartTest.
+var (
+	// ErrNilSUT indicates a missing system under test.
+	ErrNilSUT = errors.New("loadgen: nil SUT")
+	// ErrNilQSL indicates a missing query sample library.
+	ErrNilQSL = errors.New("loadgen: nil query sample library")
+)

@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+)
+
+// fakeQSL is an in-memory QuerySampleLibrary test double.
+type fakeQSL struct {
+	mu          sync.Mutex
+	total       int
+	perf        int
+	loaded      map[int]bool
+	loadCalls   int
+	unloadCalls int
+	failLoad    bool
+}
+
+func newFakeQSL(total, perf int) *fakeQSL {
+	return &fakeQSL{total: total, perf: perf, loaded: make(map[int]bool)}
+}
+
+func (q *fakeQSL) Name() string                { return "fake-qsl" }
+func (q *fakeQSL) TotalSampleCount() int       { return q.total }
+func (q *fakeQSL) PerformanceSampleCount() int { return q.perf }
+
+func (q *fakeQSL) LoadSamplesToRAM(indices []int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.failLoad {
+		return errLoadFailure
+	}
+	q.loadCalls++
+	for _, i := range indices {
+		q.loaded[i] = true
+	}
+	return nil
+}
+
+func (q *fakeQSL) UnloadSamplesFromRAM(indices []int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.unloadCalls++
+	for _, i := range indices {
+		delete(q.loaded, i)
+	}
+	return nil
+}
+
+var errLoadFailure = errTest("simulated load failure")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// fakeSUT completes every sample after a configurable service latency. When
+// async is true, completion happens on a separate goroutine (like a real
+// accelerator queue); otherwise it is inline.
+type fakeSUT struct {
+	name    string
+	latency time.Duration
+	async   bool
+
+	mu            sync.Mutex
+	queries       []*Query
+	sampleIndices []int
+	flushed       int
+}
+
+func newFakeSUT(latency time.Duration, async bool) *fakeSUT {
+	return &fakeSUT{name: "fake-sut", latency: latency, async: async}
+}
+
+func (s *fakeSUT) Name() string { return s.name }
+
+func (s *fakeSUT) IssueQuery(q *Query) {
+	s.mu.Lock()
+	s.queries = append(s.queries, q)
+	for _, smp := range q.Samples {
+		s.sampleIndices = append(s.sampleIndices, smp.Index)
+	}
+	s.mu.Unlock()
+
+	respond := func() {
+		if s.latency > 0 {
+			time.Sleep(s.latency)
+		}
+		responses := make([]Response, len(q.Samples))
+		for i, smp := range q.Samples {
+			data := make([]byte, 8)
+			binary.LittleEndian.PutUint64(data, uint64(smp.Index))
+			responses[i] = Response{SampleID: smp.ID, Data: data}
+		}
+		q.Complete(responses)
+	}
+	if s.async {
+		go respond()
+	} else {
+		respond()
+	}
+}
+
+func (s *fakeSUT) FlushQueries() {
+	s.mu.Lock()
+	s.flushed++
+	s.mu.Unlock()
+}
+
+func (s *fakeSUT) queryCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queries)
+}
+
+func (s *fakeSUT) seenIndices() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.sampleIndices))
+	copy(out, s.sampleIndices)
+	return out
+}

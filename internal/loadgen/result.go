@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"mlperf/internal/stats"
+)
+
+// AccuracyEntry is one logged response, consumed by the accuracy script after
+// the run (Figure 3, step 7).
+type AccuracyEntry struct {
+	QueryID     uint64
+	SampleIndex int
+	Data        []byte
+}
+
+// Result summarises one LoadGen run.
+type Result struct {
+	Scenario Scenario
+	Mode     Mode
+	SUTName  string
+	QSLName  string
+
+	// Counters.
+	QueriesIssued    int
+	QueriesCompleted int
+	SamplesIssued    int
+	SamplesCompleted int
+	SkippedIntervals int // multistream: queries that caused >= 1 skipped interval
+
+	// TestDuration is the wall-clock span of the timed portion.
+	TestDuration time.Duration
+
+	// QueryLatencies summarises per-query latency.
+	QueryLatencies stats.LatencySummary
+
+	// Scenario metrics (only the field for the run's scenario is meaningful).
+	SingleStreamLatency    time.Duration // target-percentile latency
+	MultiStreamStreams     int           // N streams sustained (0 if constraint violated)
+	ServerAchievedQPS      float64       // completed queries per second
+	ServerScheduledQPS     float64       // the Poisson parameter under test
+	OfflineSamplesPerSec   float64       // offline throughput
+	LatencyBoundViolations float64       // fraction of queries over the latency bound
+
+	// Validity.
+	Valid              bool
+	ValidityMessages   []string
+	AccuracyLog        []AccuracyEntry
+	PerformanceSamples int // number of distinct loaded samples during the run
+}
+
+// MetricValue returns the scenario's headline metric as a float for
+// table/figure generation: milliseconds for single-stream, streams for
+// multistream, QPS for server, samples/s for offline.
+func (r *Result) MetricValue() float64 {
+	switch r.Scenario {
+	case SingleStream:
+		return float64(r.SingleStreamLatency) / float64(time.Millisecond)
+	case MultiStream:
+		return float64(r.MultiStreamStreams)
+	case Server:
+		return r.ServerAchievedQPS
+	case Offline:
+		return r.OfflineSamplesPerSec
+	default:
+		return 0
+	}
+}
+
+// MetricName returns the human-readable headline metric name per Table II.
+func (r *Result) MetricName() string {
+	switch r.Scenario {
+	case SingleStream:
+		return fmt.Sprintf("%gth-percentile latency (ms)", 100*0.90)
+	case MultiStream:
+		return "streams subject to latency bound"
+	case Server:
+		return "queries per second subject to latency bound"
+	case Offline:
+		return "samples per second"
+	default:
+		return "unknown"
+	}
+}
+
+// finalizeValidity applies the benchmark's minimum-query, minimum-duration
+// and latency-bound requirements and records human-readable reasons for any
+// violation.
+func (r *Result) finalizeValidity(ts TestSettings) {
+	r.Valid = true
+	fail := func(format string, args ...interface{}) {
+		r.Valid = false
+		r.ValidityMessages = append(r.ValidityMessages, fmt.Sprintf(format, args...))
+	}
+	if r.QueriesCompleted < r.QueriesIssued {
+		fail("only %d of %d issued queries completed", r.QueriesCompleted, r.QueriesIssued)
+	}
+	if ts.Mode == PerformanceMode {
+		if r.QueriesIssued < ts.MinQueryCount {
+			fail("issued %d queries, benchmark requires at least %d", r.QueriesIssued, ts.MinQueryCount)
+		}
+		if r.TestDuration < ts.MinDuration {
+			fail("test ran for %v, benchmark requires at least %v", r.TestDuration, ts.MinDuration)
+		}
+	}
+	switch ts.Scenario {
+	case Server:
+		allowed := 1 - ts.ServerLatencyPercentile
+		if r.LatencyBoundViolations > allowed+1e-12 {
+			fail("%.3f%% of queries exceeded the %v latency bound (allowed %.3f%%)",
+				100*r.LatencyBoundViolations, ts.ServerTargetLatency, 100*allowed)
+		}
+	case MultiStream:
+		if r.QueriesIssued > 0 {
+			skipFraction := float64(r.SkippedIntervals) / float64(r.QueriesIssued)
+			if skipFraction > ts.MultiStreamMaxSkipFraction+1e-12 {
+				fail("%.3f%% of queries produced skipped intervals (allowed %.3f%%)",
+					100*skipFraction, 100*ts.MultiStreamMaxSkipFraction)
+			}
+		}
+	case Offline:
+		if ts.Mode == PerformanceMode && r.SamplesIssued < ts.MinSampleCount {
+			fail("offline query contained %d samples, benchmark requires at least %d", r.SamplesIssued, ts.MinSampleCount)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDefaultSettingsTableV checks that the production defaults match the
+// query requirements of Table V: 1,024 queries for single-stream, 270,336 for
+// server and multistream (the 99th-percentile rounding of Table IV), a single
+// 24,576-sample query for offline, and a 60-second minimum duration.
+func TestDefaultSettingsTableV(t *testing.T) {
+	ss := DefaultSettings(SingleStream)
+	if ss.MinQueryCount != 1024 {
+		t.Errorf("single-stream MinQueryCount = %d, want 1024", ss.MinQueryCount)
+	}
+	if ss.SingleStreamTargetPercentile != 0.90 {
+		t.Errorf("single-stream percentile = %v, want 0.90", ss.SingleStreamTargetPercentile)
+	}
+	srv := DefaultSettings(Server)
+	if srv.MinQueryCount != 270336 {
+		t.Errorf("server MinQueryCount = %d, want 270336", srv.MinQueryCount)
+	}
+	if srv.ServerLatencyPercentile != 0.99 {
+		t.Errorf("server percentile = %v, want 0.99", srv.ServerLatencyPercentile)
+	}
+	ms := DefaultSettings(MultiStream)
+	if ms.MinQueryCount != 270336 {
+		t.Errorf("multistream MinQueryCount = %d, want 270336", ms.MinQueryCount)
+	}
+	if ms.MultiStreamMaxSkipFraction != 0.01 {
+		t.Errorf("multistream skip fraction = %v, want 0.01", ms.MultiStreamMaxSkipFraction)
+	}
+	off := DefaultSettings(Offline)
+	if off.MinQueryCount != 1 {
+		t.Errorf("offline MinQueryCount = %d, want 1", off.MinQueryCount)
+	}
+	if off.MinSampleCount != 24576 {
+		t.Errorf("offline MinSampleCount = %d, want 24576", off.MinSampleCount)
+	}
+	for _, s := range AllScenarios() {
+		if d := DefaultSettings(s).MinDuration; d != 60*time.Second {
+			t.Errorf("%v MinDuration = %v, want 60s", s, d)
+		}
+	}
+}
+
+func TestSettingsValidate(t *testing.T) {
+	valid := DefaultSettings(Server)
+	if err := valid.Validate(); err != nil {
+		t.Errorf("default server settings invalid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*TestSettings)
+	}{
+		{"zero min queries", func(ts *TestSettings) { ts.MinQueryCount = 0 }},
+		{"max below min", func(ts *TestSettings) { ts.MaxQueryCount = 5 }},
+		{"negative duration", func(ts *TestSettings) { ts.MinDuration = -time.Second }},
+		{"bad percentile", func(ts *TestSettings) { ts.SingleStreamTargetPercentile = 1.5 }},
+		{"server zero qps", func(ts *TestSettings) { ts.ServerTargetQPS = 0 }},
+		{"server zero latency bound", func(ts *TestSettings) { ts.ServerTargetLatency = 0 }},
+		{"server bad percentile", func(ts *TestSettings) { ts.ServerLatencyPercentile = 0 }},
+		{"bad accuracy sampling", func(ts *TestSettings) { ts.AccuracyLogSamplingRate = 2 }},
+	}
+	for _, c := range cases {
+		ts := DefaultSettings(Server)
+		c.mutate(&ts)
+		if err := ts.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+
+	ms := DefaultSettings(MultiStream)
+	ms.MultiStreamSamplesPerQuery = 0
+	if err := ms.Validate(); err == nil {
+		t.Error("multistream zero samples per query: expected error")
+	}
+	ms = DefaultSettings(MultiStream)
+	ms.MultiStreamArrivalInterval = 0
+	if err := ms.Validate(); err == nil {
+		t.Error("multistream zero interval: expected error")
+	}
+	off := DefaultSettings(Offline)
+	off.MinSampleCount = 0
+	if err := off.Validate(); err == nil {
+		t.Error("offline zero sample count: expected error")
+	}
+	bad := DefaultSettings(SingleStream)
+	bad.Scenario = Scenario(42)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scenario: expected error")
+	}
+	bad = DefaultSettings(SingleStream)
+	bad.Mode = Mode(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown mode: expected error")
+	}
+}
+
+func TestScenarioAndModeStrings(t *testing.T) {
+	names := map[Scenario]string{
+		SingleStream: "SingleStream", MultiStream: "MultiStream",
+		Server: "Server", Offline: "Offline",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%v.String() = %q", s, s.String())
+		}
+	}
+	if Scenario(99).String() == "" {
+		t.Error("unknown scenario should still stringify")
+	}
+	if PerformanceMode.String() != "Performance" || AccuracyMode.String() != "Accuracy" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+	if RandomWithReplacement.String() == "" || UniqueSweep.String() == "" || DuplicateSingle.String() == "" || SampleIndexPolicy(7).String() == "" {
+		t.Error("sample index policy strings wrong")
+	}
+	if len(AllScenarios()) != 4 {
+		t.Error("AllScenarios should list 4 scenarios")
+	}
+}

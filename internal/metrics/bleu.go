@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxBLEUOrder is the highest n-gram order used by corpus BLEU, matching the
+// SacreBLEU default the paper references for the translation task.
+const maxBLEUOrder = 4
+
+// CorpusBLEU computes corpus-level BLEU over tokenized hypothesis/reference
+// pairs, with n-gram orders 1..4, uniform weights and the standard brevity
+// penalty. The returned score is in [0, 100], like SacreBLEU reports.
+func CorpusBLEU(hypotheses, references [][]int) (float64, error) {
+	if len(hypotheses) != len(references) {
+		return 0, fmt.Errorf("metrics: %d hypotheses vs %d references", len(hypotheses), len(references))
+	}
+	if len(hypotheses) == 0 {
+		return 0, fmt.Errorf("metrics: no sentence pairs to score")
+	}
+
+	matches := make([]int, maxBLEUOrder)
+	totals := make([]int, maxBLEUOrder)
+	hypLen, refLen := 0, 0
+
+	for i := range hypotheses {
+		hyp, ref := hypotheses[i], references[i]
+		hypLen += len(hyp)
+		refLen += len(ref)
+		for n := 1; n <= maxBLEUOrder; n++ {
+			hc := ngramCounts(hyp, n)
+			rc := ngramCounts(ref, n)
+			for g, c := range hc {
+				if rcount := rc[g]; rcount < c {
+					matches[n-1] += rcount
+				} else {
+					matches[n-1] += c
+				}
+			}
+			t := len(hyp) - n + 1
+			if t > 0 {
+				totals[n-1] += t
+			}
+		}
+	}
+
+	// Geometric mean of modified n-gram precisions. A corpus with no unigram
+	// matches scores 0; higher orders with no matches are smoothed
+	// (add-epsilon) so short corpora do not zero out entirely, matching
+	// SacreBLEU's exponential smoothing in spirit.
+	if totals[0] == 0 || matches[0] == 0 {
+		return 0, nil
+	}
+	logSum := 0.0
+	for n := 0; n < maxBLEUOrder; n++ {
+		if totals[n] == 0 {
+			return 0, nil
+		}
+		p := float64(matches[n]) / float64(totals[n])
+		if p == 0 {
+			p = 1.0 / float64(2*totals[n])
+		}
+		logSum += math.Log(p)
+	}
+	geoMean := math.Exp(logSum / maxBLEUOrder)
+
+	bp := 1.0
+	if hypLen < refLen && hypLen > 0 {
+		bp = math.Exp(1 - float64(refLen)/float64(hypLen))
+	}
+	if hypLen == 0 {
+		return 0, nil
+	}
+	return 100 * bp * geoMean, nil
+}
+
+// ngramCounts returns the multiset of n-grams of the token sequence, encoded
+// as strings of the token values.
+func ngramCounts(tokens []int, n int) map[string]int {
+	counts := make(map[string]int)
+	for i := 0; i+n <= len(tokens); i++ {
+		key := encodeNgram(tokens[i : i+n])
+		counts[key]++
+	}
+	return counts
+}
+
+func encodeNgram(tokens []int) string {
+	// Tokens are small ints; a compact textual key keeps this allocation-light
+	// without needing hashing utilities.
+	buf := make([]byte, 0, len(tokens)*4)
+	for _, t := range tokens {
+		buf = appendInt(buf, t)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	if v == 0 {
+		return append(buf, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(buf, tmp[i:]...)
+}

@@ -1,0 +1,46 @@
+// Package metrics implements the model-quality metrics the benchmark's
+// accuracy mode checks against the per-task quality targets of Table I:
+// Top-1 accuracy for image classification, mean average precision (mAP) for
+// object detection, and corpus BLEU for machine translation.
+package metrics
+
+import "fmt"
+
+// Top1Accuracy returns the fraction of predictions that exactly match the
+// ground-truth labels.
+func Top1Accuracy(predictions, labels []int) (float64, error) {
+	if len(predictions) != len(labels) {
+		return 0, fmt.Errorf("metrics: %d predictions vs %d labels", len(predictions), len(labels))
+	}
+	if len(predictions) == 0 {
+		return 0, fmt.Errorf("metrics: no predictions to score")
+	}
+	correct := 0
+	for i := range predictions {
+		if predictions[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(predictions)), nil
+}
+
+// TopKAccuracy returns the fraction of samples whose ground-truth label is
+// contained in the sample's top-k candidate list.
+func TopKAccuracy(candidates [][]int, labels []int) (float64, error) {
+	if len(candidates) != len(labels) {
+		return 0, fmt.Errorf("metrics: %d candidate lists vs %d labels", len(candidates), len(labels))
+	}
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("metrics: no predictions to score")
+	}
+	hit := 0
+	for i, cands := range candidates {
+		for _, c := range cands {
+			if c == labels[i] {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(candidates)), nil
+}

@@ -1,0 +1,260 @@
+package model
+
+import (
+	"testing"
+
+	"mlperf/internal/stats"
+	"mlperf/internal/tensor"
+)
+
+func TestDescribeAllModels(t *testing.T) {
+	for _, n := range AllNames() {
+		info, err := Describe(n)
+		if err != nil {
+			t.Fatalf("Describe(%s): %v", n, err)
+		}
+		if info.PaperName == "" || info.QualityMetric == "" {
+			t.Errorf("%s: incomplete metadata %+v", n, info)
+		}
+		if info.TargetRatio <= 0 || info.TargetRatio > 1 {
+			t.Errorf("%s: target ratio %v", n, info.TargetRatio)
+		}
+	}
+	if _, err := Describe("bert"); err == nil {
+		t.Error("unknown model: expected error")
+	}
+}
+
+func TestDescribeTableIQualityTargets(t *testing.T) {
+	// Table I: ResNet-50 must reach 99% of 76.456%, MobileNet 98% of 71.676%.
+	resnet, _ := Describe(ResNet50)
+	if got := resnet.QualityTarget(resnet.PaperReferenceQuality); got < 0.756 || got > 0.758 {
+		t.Errorf("ResNet-50 quality target = %v, want ~0.757", got)
+	}
+	mobilenet, _ := Describe(MobileNetV1)
+	if mobilenet.TargetRatio != 0.98 {
+		t.Errorf("MobileNet target ratio = %v, want 0.98 (Section III-B)", mobilenet.TargetRatio)
+	}
+	gnmt, _ := Describe(GNMT)
+	if gnmt.PaperReferenceQuality != 23.9 {
+		t.Errorf("GNMT reference BLEU = %v", gnmt.PaperReferenceQuality)
+	}
+}
+
+func classifierCfg() ClassifierConfig {
+	return ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 7}
+}
+
+func TestResNet50Mini(t *testing.T) {
+	m, err := NewResNet50Mini(classifierCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Info().Params <= 0 || m.Info().OpsPerInput <= 0 {
+		t.Error("missing computed metadata")
+	}
+	img := tensor.MustNew(3, 16, 16)
+	img.Fill(0.1)
+	cls, err := m.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls < 0 || cls >= 10 {
+		t.Errorf("class %d out of range", cls)
+	}
+	logits, err := m.Logits(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Len() != 10 {
+		t.Errorf("logit count = %d", logits.Len())
+	}
+	if len(m.Weights()) == 0 {
+		t.Error("no weights exposed")
+	}
+	if _, err := m.Classify(tensor.MustNew(3, 16)); err == nil {
+		t.Error("bad input rank: expected error")
+	}
+}
+
+func TestMobileNetV1Mini(t *testing.T) {
+	m, err := NewMobileNetV1Mini(classifierCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.MustNew(3, 16, 16)
+	img.Fill(-0.2)
+	if _, err := m.Classify(img); err != nil {
+		t.Fatal(err)
+	}
+	shape := m.InputShape()
+	if shape[0] != 3 || shape[1] != 16 {
+		t.Errorf("input shape = %v", shape)
+	}
+}
+
+func TestHeavyVsLightComputeOrdering(t *testing.T) {
+	// The paper's heavy/light pairing must hold for the miniatures too:
+	// ResNet-50 mini must cost several times more ops and params than
+	// MobileNet mini, and SSD-ResNet more than SSD-MobileNet.
+	resnet, err := NewResNet50Mini(classifierCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobilenet, err := NewMobileNetV1Mini(classifierCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resnet.Info().OpsPerInput < 3*mobilenet.Info().OpsPerInput {
+		t.Errorf("ResNet ops %d not sufficiently heavier than MobileNet ops %d",
+			resnet.Info().OpsPerInput, mobilenet.Info().OpsPerInput)
+	}
+	if resnet.Info().Params < 2*mobilenet.Info().Params {
+		t.Errorf("ResNet params %d not sufficiently heavier than MobileNet params %d",
+			resnet.Info().Params, mobilenet.Info().Params)
+	}
+
+	ssdRes, err := NewSSDResNet34Mini(DetectorConfig{Classes: 5, ImageSize: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdMob, err := NewSSDMobileNetMini(DetectorConfig{Classes: 5, ImageSize: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssdRes.Info().OpsPerInput <= ssdMob.Info().OpsPerInput {
+		t.Errorf("SSD-ResNet ops %d not heavier than SSD-MobileNet ops %d",
+			ssdRes.Info().OpsPerInput, ssdMob.Info().OpsPerInput)
+	}
+}
+
+func TestClassifierConfigErrors(t *testing.T) {
+	if _, err := NewResNet50Mini(ClassifierConfig{Classes: 1}); err == nil {
+		t.Error("1 class: expected error")
+	}
+	if _, err := NewMobileNetV1Mini(ClassifierConfig{Classes: 10, ImageSize: 4}); err == nil {
+		t.Error("tiny image: expected error")
+	}
+}
+
+func TestClassifierDeterminism(t *testing.T) {
+	a, _ := NewResNet50Mini(classifierCfg())
+	b, _ := NewResNet50Mini(classifierCfg())
+	img := tensor.MustNew(3, 16, 16)
+	rng := stats.NewRNG(5)
+	for i := range img.Data() {
+		img.Data()[i] = float32(rng.NormFloat64())
+	}
+	ca, _ := a.Classify(img)
+	cb, _ := b.Classify(img)
+	if ca != cb {
+		t.Error("same-seed models disagree")
+	}
+}
+
+func TestSSDDetectors(t *testing.T) {
+	for _, build := range []func(DetectorConfig) (*SSDDetector, error){NewSSDResNet34Mini, NewSSDMobileNetMini} {
+		d, err := build(DetectorConfig{Classes: 5, ImageSize: 16, Seed: 3, ScoreThreshold: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Info().Params <= 0 {
+			t.Error("missing params")
+		}
+		img := tensor.MustNew(3, 16, 16)
+		rng := stats.NewRNG(11)
+		for i := range img.Data() {
+			img.Data()[i] = float32(rng.NormFloat64())
+		}
+		boxes, err := d.Detect(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(boxes) > 10 {
+			t.Errorf("NMS kept %d boxes, cap is 10", len(boxes))
+		}
+		for _, b := range boxes {
+			if b.X1 < 0 || b.Y1 < 0 || b.X2 > 1 || b.Y2 > 1 {
+				t.Errorf("box out of bounds: %+v", b)
+			}
+			if b.Class < 0 || b.Class >= 5 {
+				t.Errorf("box class out of range: %+v", b)
+			}
+			if b.Score < 0.1 {
+				t.Errorf("box below score threshold: %+v", b)
+			}
+		}
+		if len(d.Weights()) == 0 {
+			t.Error("no weights exposed")
+		}
+		if _, err := d.Detect(tensor.MustNew(4)); err == nil {
+			t.Error("bad input rank: expected error")
+		}
+	}
+}
+
+func TestDetectorConfigErrors(t *testing.T) {
+	if _, err := NewSSDResNet34Mini(DetectorConfig{Classes: 0}); err == nil {
+		t.Error("0 classes: expected error")
+	}
+	if _, err := NewSSDMobileNetMini(DetectorConfig{Classes: 5, ImageSize: 4}); err == nil {
+		t.Error("tiny image: expected error")
+	}
+}
+
+func TestGNMTMini(t *testing.T) {
+	g, err := NewGNMTMini(TranslatorConfig{Vocab: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Info().Params <= 0 || g.Info().OpsPerInput <= 0 {
+		t.Error("missing computed metadata")
+	}
+	out, err := g.Translate([]int{5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range out {
+		if tok < 0 || tok >= 64 {
+			t.Errorf("token %d out of range", tok)
+		}
+	}
+	if len(g.Weights()) == 0 {
+		t.Error("no weights exposed")
+	}
+	if _, err := NewGNMTMini(TranslatorConfig{Vocab: 2}); err == nil {
+		t.Error("tiny vocab: expected error")
+	}
+}
+
+func TestZoo(t *testing.T) {
+	zoo, err := NewZoo(ZooConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := zoo.Infos()
+	if len(infos) != 5 {
+		t.Fatalf("zoo has %d models", len(infos))
+	}
+	for _, n := range AllNames() {
+		info, ok := infos[n]
+		if !ok {
+			t.Errorf("zoo missing %s", n)
+			continue
+		}
+		if info.Params <= 0 {
+			t.Errorf("%s: params not computed", n)
+		}
+		if _, err := zoo.Weighted(n); err != nil {
+			t.Errorf("Weighted(%s): %v", n, err)
+		}
+	}
+	if _, err := zoo.Weighted("bert"); err == nil {
+		t.Error("unknown model: expected error")
+	}
+	// GNMT is by far the largest parameter count in Table I; the miniature
+	// should preserve that ordering against the vision models.
+	if infos[GNMT].Params <= infos[MobileNetV1].Params {
+		t.Error("GNMT mini should have more parameters than MobileNet mini")
+	}
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/nn"
+	"mlperf/internal/tensor"
+)
+
+// TranslatorConfig configures the miniature GNMT-style translator.
+type TranslatorConfig struct {
+	Vocab         int
+	EmbedDim      int
+	HiddenSize    int
+	EncoderLayers int
+	DecoderLayers int
+	MaxLen        int
+	Seed          uint64
+}
+
+func (c *TranslatorConfig) normalize() error {
+	if c.Vocab < 8 {
+		return fmt.Errorf("model: translator vocabulary must hold at least 8 tokens, got %d", c.Vocab)
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 16
+	}
+	if c.HiddenSize <= 0 {
+		c.HiddenSize = 32
+	}
+	if c.EncoderLayers <= 0 {
+		c.EncoderLayers = 2
+	}
+	if c.DecoderLayers <= 0 {
+		c.DecoderLayers = 2
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = 24
+	}
+	return nil
+}
+
+// GNMTMini is the miniature recurrent encoder–decoder translation model.
+type GNMTMini struct {
+	info Info
+	net  *nn.Seq2Seq
+}
+
+// NewGNMTMini builds the translator.
+func NewGNMTMini(cfg TranslatorConfig) (*GNMTMini, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	net, err := nn.NewSeq2Seq("gnmt-mini", nn.Seq2SeqConfig{
+		SrcVocab: cfg.Vocab, DstVocab: cfg.Vocab,
+		EmbedDim: cfg.EmbedDim, HiddenSize: cfg.HiddenSize,
+		EncoderLayers: cfg.EncoderLayers, DecoderLayers: cfg.DecoderLayers,
+		MaxLen: cfg.MaxLen, Seed: cfg.Seed ^ 0x69273,
+	})
+	if err != nil {
+		return nil, err
+	}
+	info, err := Describe(GNMT)
+	if err != nil {
+		return nil, err
+	}
+	info.Params = net.ParamCount()
+	info.OpsPerInput = net.OpsPerToken() * int64(cfg.MaxLen)
+	return &GNMTMini{info: info, net: net}, nil
+}
+
+// Info returns the model's metadata with Params and OpsPerInput filled in.
+func (g *GNMTMini) Info() Info { return g.info }
+
+// Translate implements Translator.
+func (g *GNMTMini) Translate(tokens []int) ([]int, error) {
+	return g.net.Translate(tokens)
+}
+
+// Weights implements WeightedModel.
+func (g *GNMTMini) Weights() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	out = append(out, g.net.SrcEmbed.Weights, g.net.DstEmbed.Weights)
+	for _, c := range g.net.Encoder {
+		out = append(out, c.Wx, c.Wh, c.Bias)
+	}
+	for _, c := range g.net.Decoder {
+		out = append(out, c.Wx, c.Wh, c.Bias)
+	}
+	out = append(out, g.net.Output.Weights, g.net.Output.Bias)
+	return out
+}

@@ -1,0 +1,98 @@
+package model
+
+import "fmt"
+
+// ZooConfig configures the default model zoo used by the suite, the examples
+// and the benches.
+type ZooConfig struct {
+	Classes   int // image classes shared by the classification models
+	BoxClass  int // object classes for the detectors
+	Vocab     int // translation vocabulary
+	ImageSize int
+	Seed      uint64
+}
+
+func (c *ZooConfig) normalize() {
+	if c.Classes <= 1 {
+		c.Classes = 10
+	}
+	if c.BoxClass <= 0 {
+		c.BoxClass = 5
+	}
+	if c.Vocab < 8 {
+		c.Vocab = 64
+	}
+	if c.ImageSize < 8 {
+		c.ImageSize = 16
+	}
+}
+
+// Zoo holds one instance of every reference model in the v0.5 suite.
+type Zoo struct {
+	ResNet50     *ImageClassifier
+	MobileNetV1  *ImageClassifier
+	SSDResNet34  *SSDDetector
+	SSDMobileNet *SSDDetector
+	GNMT         *GNMTMini
+}
+
+// NewZoo builds every reference model deterministically from cfg.Seed.
+func NewZoo(cfg ZooConfig) (*Zoo, error) {
+	cfg.normalize()
+	resnet, err := NewResNet50Mini(ClassifierConfig{Classes: cfg.Classes, ImageSize: cfg.ImageSize, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("model: building %s: %w", ResNet50, err)
+	}
+	mobilenet, err := NewMobileNetV1Mini(ClassifierConfig{Classes: cfg.Classes, ImageSize: cfg.ImageSize, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("model: building %s: %w", MobileNetV1, err)
+	}
+	ssdRes, err := NewSSDResNet34Mini(DetectorConfig{Classes: cfg.BoxClass, ImageSize: cfg.ImageSize, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("model: building %s: %w", SSDResNet34, err)
+	}
+	ssdMob, err := NewSSDMobileNetMini(DetectorConfig{Classes: cfg.BoxClass, ImageSize: cfg.ImageSize, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("model: building %s: %w", SSDMobileNet, err)
+	}
+	gnmt, err := NewGNMTMini(TranslatorConfig{Vocab: cfg.Vocab, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("model: building %s: %w", GNMT, err)
+	}
+	return &Zoo{
+		ResNet50:     resnet,
+		MobileNetV1:  mobilenet,
+		SSDResNet34:  ssdRes,
+		SSDMobileNet: ssdMob,
+		GNMT:         gnmt,
+	}, nil
+}
+
+// Infos returns the metadata of every model in the zoo keyed by name.
+func (z *Zoo) Infos() map[Name]Info {
+	return map[Name]Info{
+		ResNet50:     z.ResNet50.Info(),
+		MobileNetV1:  z.MobileNetV1.Info(),
+		SSDResNet34:  z.SSDResNet34.Info(),
+		SSDMobileNet: z.SSDMobileNet.Info(),
+		GNMT:         z.GNMT.Info(),
+	}
+}
+
+// Weighted returns the model's weight-bearing view by name, for quantization.
+func (z *Zoo) Weighted(n Name) (WeightedModel, error) {
+	switch n {
+	case ResNet50:
+		return z.ResNet50, nil
+	case MobileNetV1:
+		return z.MobileNetV1, nil
+	case SSDResNet34:
+		return z.SSDResNet34, nil
+	case SSDMobileNet:
+		return z.SSDMobileNet, nil
+	case GNMT:
+		return z.GNMT, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, n)
+	}
+}

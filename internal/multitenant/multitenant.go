@@ -1,0 +1,123 @@
+// Package multitenant implements the multitenancy extension the paper
+// sketches for the LoadGen (Section IV-B): "a multitenancy mode where the SUT
+// must continuously serve multiple models while maintaining QoS constraints."
+// Several tenants — each a (SUT, QSL, server-scenario settings) triple backed
+// by a different model — are driven concurrently so they contend for the same
+// machine, and each tenant's run must independently satisfy its latency
+// bound.
+package multitenant
+
+import (
+	"fmt"
+	"sync"
+
+	"mlperf/internal/loadgen"
+)
+
+// Tenant is one concurrently served model.
+type Tenant struct {
+	// Name identifies the tenant in the report.
+	Name string
+	// SUT and QSL are the tenant's system under test and sample library.
+	SUT loadgen.SUT
+	QSL loadgen.QuerySampleLibrary
+	// Settings is the tenant's server-scenario configuration (arrival rate,
+	// latency bound, query count). Other scenarios are rejected: multitenancy
+	// is defined for online serving.
+	Settings loadgen.TestSettings
+}
+
+// validate reports configuration errors for one tenant.
+func (t Tenant) validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("multitenant: tenant needs a name")
+	}
+	if t.SUT == nil {
+		return fmt.Errorf("multitenant: tenant %s: %w", t.Name, loadgen.ErrNilSUT)
+	}
+	if t.QSL == nil {
+		return fmt.Errorf("multitenant: tenant %s: %w", t.Name, loadgen.ErrNilQSL)
+	}
+	if t.Settings.Scenario != loadgen.Server {
+		return fmt.Errorf("multitenant: tenant %s: multitenancy requires the server scenario, got %v", t.Name, t.Settings.Scenario)
+	}
+	return t.Settings.Validate()
+}
+
+// TenantResult pairs a tenant with its LoadGen result.
+type TenantResult struct {
+	Tenant string
+	Result *loadgen.Result
+	Err    error
+}
+
+// Report is the outcome of one multitenant run.
+type Report struct {
+	Tenants []TenantResult
+}
+
+// AllValid reports whether every tenant completed without error and satisfied
+// its own validity requirements (including the per-tenant latency bound).
+func (r Report) AllValid() bool {
+	if len(r.Tenants) == 0 {
+		return false
+	}
+	for _, t := range r.Tenants {
+		if t.Err != nil || t.Result == nil || !t.Result.Valid {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations lists human-readable reasons any tenant failed.
+func (r Report) Violations() []string {
+	var out []string
+	for _, t := range r.Tenants {
+		switch {
+		case t.Err != nil:
+			out = append(out, fmt.Sprintf("%s: run error: %v", t.Tenant, t.Err))
+		case t.Result == nil:
+			out = append(out, fmt.Sprintf("%s: no result", t.Tenant))
+		case !t.Result.Valid:
+			for _, msg := range t.Result.ValidityMessages {
+				out = append(out, fmt.Sprintf("%s: %s", t.Tenant, msg))
+			}
+		}
+	}
+	return out
+}
+
+// Run drives every tenant's server scenario concurrently and returns the
+// per-tenant results. The tenants genuinely overlap in time, so a shared
+// backend (or shared host resources) must sustain the combined load for every
+// tenant to remain within its QoS constraint.
+func Run(tenants []Tenant) (Report, error) {
+	if len(tenants) == 0 {
+		return Report{}, fmt.Errorf("multitenant: no tenants supplied")
+	}
+	names := make(map[string]bool, len(tenants))
+	for _, t := range tenants {
+		if err := t.validate(); err != nil {
+			return Report{}, err
+		}
+		if names[t.Name] {
+			return Report{}, fmt.Errorf("multitenant: duplicate tenant name %q", t.Name)
+		}
+		names[t.Name] = true
+	}
+
+	results := make([]TenantResult, len(tenants))
+	var wg sync.WaitGroup
+	for i, t := range tenants {
+		i, t := i, t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := loadgen.StartTest(t.SUT, t.QSL, t.Settings)
+			results[i] = TenantResult{Tenant: t.Name, Result: res, Err: err}
+		}()
+	}
+	wg.Wait()
+	return Report{Tenants: results}, nil
+}

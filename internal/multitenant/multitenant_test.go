@@ -1,0 +1,172 @@
+package multitenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mlperf/internal/loadgen"
+)
+
+// tenantQSL is a minimal query sample library.
+type tenantQSL struct{ total int }
+
+func (q tenantQSL) Name() string                             { return "tenant-qsl" }
+func (q tenantQSL) TotalSampleCount() int                    { return q.total }
+func (q tenantQSL) PerformanceSampleCount() int              { return q.total }
+func (q tenantQSL) LoadSamplesToRAM(indices []int) error     { return nil }
+func (q tenantQSL) UnloadSamplesFromRAM(indices []int) error { return nil }
+
+// sharedBackend emulates one machine serving several tenants: a fixed pool of
+// execution slots shared by all tenants, each inference occupying a slot for
+// serviceTime.
+type sharedBackend struct {
+	slots       chan struct{}
+	serviceTime time.Duration
+}
+
+func newSharedBackend(parallelism int, serviceTime time.Duration) *sharedBackend {
+	return &sharedBackend{slots: make(chan struct{}, parallelism), serviceTime: serviceTime}
+}
+
+// tenantSUT is one tenant's view of the shared backend.
+type tenantSUT struct {
+	name    string
+	backend *sharedBackend
+	wg      sync.WaitGroup
+}
+
+func (s *tenantSUT) Name() string { return s.name }
+
+func (s *tenantSUT) IssueQuery(q *loadgen.Query) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.backend.slots <- struct{}{}
+		time.Sleep(s.backend.serviceTime)
+		<-s.backend.slots
+		responses := make([]loadgen.Response, len(q.Samples))
+		for i, smp := range q.Samples {
+			responses[i] = loadgen.Response{SampleID: smp.ID}
+		}
+		q.Complete(responses)
+	}()
+}
+
+func (s *tenantSUT) FlushQueries() {}
+
+func serverSettings(qps float64, bound time.Duration, queries int) loadgen.TestSettings {
+	ts := loadgen.DefaultSettings(loadgen.Server)
+	ts.MinQueryCount = queries
+	ts.MinDuration = 0
+	ts.ServerTargetQPS = qps
+	ts.ServerTargetLatency = bound
+	return ts
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil); err == nil {
+		t.Error("no tenants: expected error")
+	}
+	backend := newSharedBackend(4, time.Millisecond)
+	good := Tenant{Name: "a", SUT: &tenantSUT{name: "a", backend: backend}, QSL: tenantQSL{total: 32},
+		Settings: serverSettings(100, 50*time.Millisecond, 20)}
+	noName := good
+	noName.Name = ""
+	if _, err := Run([]Tenant{noName}); err == nil {
+		t.Error("unnamed tenant: expected error")
+	}
+	noSUT := good
+	noSUT.SUT = nil
+	if _, err := Run([]Tenant{noSUT}); err == nil {
+		t.Error("nil SUT: expected error")
+	}
+	noQSL := good
+	noQSL.QSL = nil
+	if _, err := Run([]Tenant{noQSL}); err == nil {
+		t.Error("nil QSL: expected error")
+	}
+	wrongScenario := good
+	wrongScenario.Settings = loadgen.DefaultSettings(loadgen.SingleStream)
+	wrongScenario.Settings.MinQueryCount = 10
+	if _, err := Run([]Tenant{wrongScenario}); err == nil {
+		t.Error("non-server scenario: expected error")
+	}
+	dup := good
+	if _, err := Run([]Tenant{good, dup}); err == nil {
+		t.Error("duplicate names: expected error")
+	}
+}
+
+func TestMultitenantBothWithinQoS(t *testing.T) {
+	// Plenty of shared capacity: both tenants must meet their bounds.
+	backend := newSharedBackend(8, 500*time.Microsecond)
+	tenants := []Tenant{
+		{Name: "vision", SUT: &tenantSUT{name: "vision", backend: backend}, QSL: tenantQSL{total: 64},
+			Settings: serverSettings(400, 100*time.Millisecond, 100)},
+		{Name: "translation", SUT: &tenantSUT{name: "translation", backend: backend}, QSL: tenantQSL{total: 64},
+			Settings: serverSettings(200, 100*time.Millisecond, 60)},
+	}
+	report, err := Run(tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Tenants) != 2 {
+		t.Fatalf("got %d tenant results", len(report.Tenants))
+	}
+	if !report.AllValid() {
+		t.Errorf("expected both tenants valid, violations: %v", report.Violations())
+	}
+	for _, tr := range report.Tenants {
+		if tr.Result.Scenario != loadgen.Server {
+			t.Errorf("%s: scenario %v", tr.Tenant, tr.Result.Scenario)
+		}
+		if tr.Result.QueriesCompleted == 0 {
+			t.Errorf("%s: no queries completed", tr.Tenant)
+		}
+	}
+}
+
+func TestMultitenantContentionViolatesQoS(t *testing.T) {
+	// One shared slot with a service time close to the bound: with two
+	// tenants offering load concurrently, queueing pushes tails past the
+	// bound for at least one tenant.
+	backend := newSharedBackend(1, 4*time.Millisecond)
+	tenants := []Tenant{
+		{Name: "vision", SUT: &tenantSUT{name: "vision", backend: backend}, QSL: tenantQSL{total: 64},
+			Settings: serverSettings(400, 6*time.Millisecond, 80)},
+		{Name: "translation", SUT: &tenantSUT{name: "translation", backend: backend}, QSL: tenantQSL{total: 64},
+			Settings: serverSettings(400, 6*time.Millisecond, 80)},
+	}
+	report, err := Run(tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AllValid() {
+		t.Error("expected QoS violations under contention")
+	}
+	if len(report.Violations()) == 0 {
+		t.Error("violations list empty for an invalid report")
+	}
+}
+
+func TestReportEdgeCases(t *testing.T) {
+	if (Report{}).AllValid() {
+		t.Error("empty report must not be valid")
+	}
+	r := Report{Tenants: []TenantResult{{Tenant: "x", Err: errTest("boom")}}}
+	if r.AllValid() {
+		t.Error("errored tenant must invalidate the report")
+	}
+	if len(r.Violations()) != 1 {
+		t.Errorf("violations = %v", r.Violations())
+	}
+	r2 := Report{Tenants: []TenantResult{{Tenant: "y"}}}
+	if r2.AllValid() || len(r2.Violations()) != 1 {
+		t.Error("tenant without result must be reported")
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

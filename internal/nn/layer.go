@@ -1,0 +1,175 @@
+// Package nn implements the neural-network layers and containers used to
+// build the miniature reference models of the benchmark suite (residual CNNs,
+// depthwise-separable CNNs, SSD detection heads and a recurrent
+// encoder–decoder). Layers run single samples; batching is a property of the
+// system under test, not of the model (the benchmark explicitly leaves
+// batching strategy to the submitter, Section IV-A).
+package nn
+
+import (
+	"fmt"
+
+	"mlperf/internal/tensor"
+)
+
+// Layer is a single differentiable-free inference operator.
+type Layer interface {
+	// Name returns a short human-readable identifier for logs and errors.
+	Name() string
+	// Forward runs the layer on one input sample and returns the output.
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+	// OutputShape returns the layer's output shape for the given input shape
+	// without running it.
+	OutputShape(in []int) ([]int, error)
+	// ParamCount returns the number of learned parameters.
+	ParamCount() int64
+	// Ops returns the number of multiply-accumulate-equivalent operations the
+	// layer performs on an input of the given shape. It is used to reproduce
+	// the GOPs-per-input figures of Table I.
+	Ops(in []int) (int64, error)
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential returns an empty sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, layers: layers}
+}
+
+// Add appends layers to the container and returns it for chaining.
+func (s *Sequential) Add(layers ...Layer) *Sequential {
+	s.layers = append(s.layers, layers...)
+	return s
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers returns the contained layers in execution order.
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Forward implements Layer by running every contained layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	cur := x
+	for _, l := range s.layers {
+		out, err := l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s/%s: %w", s.name, l.Name(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// OutputShape implements Layer.
+func (s *Sequential) OutputShape(in []int) ([]int, error) {
+	cur := in
+	for _, l := range s.layers {
+		out, err := l.OutputShape(cur)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s/%s: %w", s.name, l.Name(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// ParamCount implements Layer.
+func (s *Sequential) ParamCount() int64 {
+	var total int64
+	for _, l := range s.layers {
+		total += l.ParamCount()
+	}
+	return total
+}
+
+// Ops implements Layer.
+func (s *Sequential) Ops(in []int) (int64, error) {
+	cur := in
+	var total int64
+	for _, l := range s.layers {
+		ops, err := l.Ops(cur)
+		if err != nil {
+			return 0, fmt.Errorf("nn: %s/%s: %w", s.name, l.Name(), err)
+		}
+		total += ops
+		out, err := l.OutputShape(cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = out
+	}
+	return total, nil
+}
+
+// Residual wraps a body whose output is added to its input (identity
+// shortcut), the building block of ResNet-style models. The body's output
+// shape must equal its input shape.
+type Residual struct {
+	name string
+	body Layer
+}
+
+// NewResidual returns a residual block around body.
+func NewResidual(name string, body Layer) *Residual {
+	return &Residual{name: name, body: body}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Body returns the wrapped layer, e.g. for weight enumeration.
+func (r *Residual) Body() Layer { return r.body }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := r.body.Forward(x.Clone())
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", r.name, err)
+	}
+	if !tensor.SameShape(out, x) {
+		return nil, fmt.Errorf("nn: %s: residual body changed shape from %v to %v", r.name, x.Shape(), out.Shape())
+	}
+	if err := out.Add(x); err != nil {
+		return nil, err
+	}
+	return tensor.ReLU(out), nil
+}
+
+// OutputShape implements Layer.
+func (r *Residual) OutputShape(in []int) ([]int, error) {
+	out, err := r.body.OutputShape(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(in) {
+		return nil, fmt.Errorf("nn: %s: residual body rank change", r.name)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			return nil, fmt.Errorf("nn: %s: residual body shape change %v -> %v", r.name, in, out)
+		}
+	}
+	return out, nil
+}
+
+// ParamCount implements Layer.
+func (r *Residual) ParamCount() int64 { return r.body.ParamCount() }
+
+// Ops implements Layer. The element-wise add and ReLU are counted as one op
+// per element.
+func (r *Residual) Ops(in []int) (int64, error) {
+	ops, err := r.body.Ops(in)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(1)
+	for _, d := range in {
+		n *= int64(d)
+	}
+	return ops + 2*n, nil
+}

@@ -1,0 +1,320 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mlperf/internal/stats"
+	"mlperf/internal/tensor"
+)
+
+// Conv is a 2-D convolution layer over CHW inputs with optional fused ReLU.
+type Conv struct {
+	name    string
+	Weights *tensor.Tensor // OIHW
+	Bias    *tensor.Tensor // O
+	Stride  int
+	Padding int
+	Relu    bool
+	Relu6   bool
+}
+
+// NewConv constructs a convolution layer with weights initialized from rng
+// (He-style scaling keeps activations well ranged through deep stacks).
+func NewConv(name string, inC, outC, kernel, stride, padding int, rng *stats.RNG) *Conv {
+	w := tensor.MustNew(outC, inC, kernel, kernel)
+	fanIn := float64(inC * kernel * kernel)
+	initHe(w, fanIn, rng)
+	b := tensor.MustNew(outC)
+	return &Conv{name: name, Weights: w, Bias: b, Stride: stride, Padding: padding, Relu: true}
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.name }
+
+// Forward implements Layer.
+func (c *Conv) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := tensor.Conv2D(x, c.Weights, c.Bias, tensor.Conv2DOptions{Stride: c.Stride, Padding: c.Padding})
+	if err != nil {
+		return nil, err
+	}
+	if c.Relu6 {
+		return tensor.ReLU6(out), nil
+	}
+	if c.Relu {
+		return tensor.ReLU(out), nil
+	}
+	return out, nil
+}
+
+// OutputShape implements Layer.
+func (c *Conv) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("conv %s: want CHW input, got %v", c.name, in)
+	}
+	ws := c.Weights.Shape()
+	if in[0] != ws[1] {
+		return nil, fmt.Errorf("conv %s: input channels %d != kernel channels %d", c.name, in[0], ws[1])
+	}
+	h := (in[1]+2*c.Padding-ws[2])/c.Stride + 1
+	w := (in[2]+2*c.Padding-ws[3])/c.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("conv %s: empty output for input %v", c.name, in)
+	}
+	return []int{ws[0], h, w}, nil
+}
+
+// ParamCount implements Layer.
+func (c *Conv) ParamCount() int64 { return int64(c.Weights.Len() + c.Bias.Len()) }
+
+// Ops implements Layer: 2 * kernel volume MACs per output element.
+func (c *Conv) Ops(in []int) (int64, error) {
+	out, err := c.OutputShape(in)
+	if err != nil {
+		return 0, err
+	}
+	ws := c.Weights.Shape()
+	perOut := int64(2 * ws[1] * ws[2] * ws[3])
+	return perOut * int64(out[0]) * int64(out[1]) * int64(out[2]), nil
+}
+
+// DepthwiseConv is a depthwise 2-D convolution (one kernel per channel) with
+// fused ReLU6, as used in the MobileNet family.
+type DepthwiseConv struct {
+	name    string
+	Weights *tensor.Tensor // CHW kernels
+	Bias    *tensor.Tensor
+	Stride  int
+	Padding int
+}
+
+// NewDepthwiseConv constructs a depthwise convolution layer.
+func NewDepthwiseConv(name string, channels, kernel, stride, padding int, rng *stats.RNG) *DepthwiseConv {
+	w := tensor.MustNew(channels, kernel, kernel)
+	initHe(w, float64(kernel*kernel), rng)
+	return &DepthwiseConv{name: name, Weights: w, Bias: tensor.MustNew(channels), Stride: stride, Padding: padding}
+}
+
+// Name implements Layer.
+func (d *DepthwiseConv) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *DepthwiseConv) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := tensor.DepthwiseConv2D(x, d.Weights, d.Bias, tensor.Conv2DOptions{Stride: d.Stride, Padding: d.Padding})
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ReLU6(out), nil
+}
+
+// OutputShape implements Layer.
+func (d *DepthwiseConv) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("dwconv %s: want CHW input, got %v", d.name, in)
+	}
+	ws := d.Weights.Shape()
+	if in[0] != ws[0] {
+		return nil, fmt.Errorf("dwconv %s: channel mismatch %d vs %d", d.name, in[0], ws[0])
+	}
+	h := (in[1]+2*d.Padding-ws[1])/d.Stride + 1
+	w := (in[2]+2*d.Padding-ws[2])/d.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("dwconv %s: empty output for input %v", d.name, in)
+	}
+	return []int{in[0], h, w}, nil
+}
+
+// ParamCount implements Layer.
+func (d *DepthwiseConv) ParamCount() int64 { return int64(d.Weights.Len() + d.Bias.Len()) }
+
+// Ops implements Layer.
+func (d *DepthwiseConv) Ops(in []int) (int64, error) {
+	out, err := d.OutputShape(in)
+	if err != nil {
+		return 0, err
+	}
+	ws := d.Weights.Shape()
+	perOut := int64(2 * ws[1] * ws[2])
+	return perOut * int64(out[0]) * int64(out[1]) * int64(out[2]), nil
+}
+
+// Dense is a fully connected layer on 1-D inputs with optional fused ReLU.
+type Dense struct {
+	name    string
+	Weights *tensor.Tensor // out × in
+	Bias    *tensor.Tensor // out
+	Relu    bool
+}
+
+// NewDense constructs a fully connected layer.
+func NewDense(name string, in, out int, relu bool, rng *stats.RNG) *Dense {
+	w := tensor.MustNew(out, in)
+	initHe(w, float64(in), rng)
+	return &Dense{name: name, Weights: w, Bias: tensor.MustNew(out), Relu: relu}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 1 {
+		return nil, fmt.Errorf("dense %s: want rank-1 input, got %v", d.name, x.Shape())
+	}
+	y, err := tensor.MatVec(d.Weights, x)
+	if err != nil {
+		return nil, err
+	}
+	if err := y.Add(d.Bias); err != nil {
+		return nil, err
+	}
+	if d.Relu {
+		return tensor.ReLU(y), nil
+	}
+	return y, nil
+}
+
+// OutputShape implements Layer.
+func (d *Dense) OutputShape(in []int) ([]int, error) {
+	ws := d.Weights.Shape()
+	if len(in) != 1 || in[0] != ws[1] {
+		return nil, fmt.Errorf("dense %s: want input [%d], got %v", d.name, ws[1], in)
+	}
+	return []int{ws[0]}, nil
+}
+
+// ParamCount implements Layer.
+func (d *Dense) ParamCount() int64 { return int64(d.Weights.Len() + d.Bias.Len()) }
+
+// Ops implements Layer.
+func (d *Dense) Ops(in []int) (int64, error) {
+	if _, err := d.OutputShape(in); err != nil {
+		return 0, err
+	}
+	return 2 * int64(d.Weights.Len()), nil
+}
+
+// MaxPool is a max-pooling layer on CHW inputs.
+type MaxPool struct {
+	name   string
+	Window int
+	Stride int
+}
+
+// NewMaxPool constructs a max-pooling layer.
+func NewMaxPool(name string, window, stride int) *MaxPool {
+	return &MaxPool{name: name, Window: window, Stride: stride}
+}
+
+// Name implements Layer.
+func (m *MaxPool) Name() string { return m.name }
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.MaxPool2D(x, m.Window, m.Stride)
+}
+
+// OutputShape implements Layer.
+func (m *MaxPool) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("maxpool %s: want CHW input, got %v", m.name, in)
+	}
+	h := (in[1]-m.Window)/m.Stride + 1
+	w := (in[2]-m.Window)/m.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("maxpool %s: empty output for input %v", m.name, in)
+	}
+	return []int{in[0], h, w}, nil
+}
+
+// ParamCount implements Layer.
+func (m *MaxPool) ParamCount() int64 { return 0 }
+
+// Ops implements Layer.
+func (m *MaxPool) Ops(in []int) (int64, error) {
+	out, err := m.OutputShape(in)
+	if err != nil {
+		return 0, err
+	}
+	return int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(m.Window*m.Window), nil
+}
+
+// GlobalAvgPool reduces CHW to a C-length vector.
+type GlobalAvgPool struct{ name string }
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.name }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.GlobalAvgPool2D(x)
+}
+
+// OutputShape implements Layer.
+func (g *GlobalAvgPool) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("gap %s: want CHW input, got %v", g.name, in)
+	}
+	return []int{in[0]}, nil
+}
+
+// ParamCount implements Layer.
+func (g *GlobalAvgPool) ParamCount() int64 { return 0 }
+
+// Ops implements Layer.
+func (g *GlobalAvgPool) Ops(in []int) (int64, error) {
+	if len(in) != 3 {
+		return 0, fmt.Errorf("gap %s: want CHW input, got %v", g.name, in)
+	}
+	return int64(in[0]) * int64(in[1]) * int64(in[2]), nil
+}
+
+// Softmax converts logits to probabilities.
+type Softmax struct{ name string }
+
+// NewSoftmax constructs a softmax layer.
+func NewSoftmax(name string) *Softmax { return &Softmax{name: name} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.name }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(x *tensor.Tensor) (*tensor.Tensor, error) { return tensor.Softmax(x) }
+
+// OutputShape implements Layer.
+func (s *Softmax) OutputShape(in []int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("softmax %s: want rank-1 input, got %v", s.name, in)
+	}
+	return in, nil
+}
+
+// ParamCount implements Layer.
+func (s *Softmax) ParamCount() int64 { return 0 }
+
+// Ops implements Layer.
+func (s *Softmax) Ops(in []int) (int64, error) {
+	if len(in) != 1 {
+		return 0, fmt.Errorf("softmax %s: want rank-1 input", s.name)
+	}
+	return 3 * int64(in[0]), nil
+}
+
+// initHe fills t with values from a scaled normal distribution
+// (He initialization) so deep stacks neither saturate nor vanish.
+func initHe(t *tensor.Tensor, fanIn float64, rng *stats.RNG) {
+	if rng == nil {
+		rng = stats.NewRNG(0)
+	}
+	scale := float32(1.0)
+	if fanIn > 0 {
+		scale = float32(math.Sqrt(2 / fanIn))
+	}
+	data := t.Data()
+	for i := range data {
+		data[i] = float32(rng.NormFloat64()) * scale
+	}
+}

@@ -1,0 +1,327 @@
+package nn
+
+import (
+	"fmt"
+
+	"mlperf/internal/stats"
+	"mlperf/internal/tensor"
+)
+
+// LSTMCell is a single long short-term memory cell. It processes one time
+// step of a sequence: given the input vector and the previous hidden and cell
+// states, it produces new hidden and cell states.
+type LSTMCell struct {
+	name       string
+	InputSize  int
+	HiddenSize int
+	// Wx and Wh hold the four gate weight blocks (input, forget, cell, output)
+	// stacked along the output dimension: shape (4*hidden) × input and
+	// (4*hidden) × hidden respectively.
+	Wx   *tensor.Tensor
+	Wh   *tensor.Tensor
+	Bias *tensor.Tensor // 4*hidden
+}
+
+// NewLSTMCell constructs an LSTM cell with deterministic weights from rng.
+func NewLSTMCell(name string, inputSize, hiddenSize int, rng *stats.RNG) *LSTMCell {
+	wx := tensor.MustNew(4*hiddenSize, inputSize)
+	wh := tensor.MustNew(4*hiddenSize, hiddenSize)
+	initHe(wx, float64(inputSize), rng)
+	initHe(wh, float64(hiddenSize), rng)
+	bias := tensor.MustNew(4 * hiddenSize)
+	// Standard trick: bias the forget gate positive so early state persists.
+	for i := hiddenSize; i < 2*hiddenSize; i++ {
+		bias.Data()[i] = 1
+	}
+	return &LSTMCell{name: name, InputSize: inputSize, HiddenSize: hiddenSize, Wx: wx, Wh: wh, Bias: bias}
+}
+
+// Name returns the cell's identifier.
+func (c *LSTMCell) Name() string { return c.name }
+
+// ParamCount returns the number of learned parameters.
+func (c *LSTMCell) ParamCount() int64 {
+	return int64(c.Wx.Len() + c.Wh.Len() + c.Bias.Len())
+}
+
+// OpsPerStep returns the multiply-accumulate-equivalent operations per time
+// step.
+func (c *LSTMCell) OpsPerStep() int64 {
+	return 2*int64(c.Wx.Len()) + 2*int64(c.Wh.Len()) + 8*int64(c.HiddenSize)
+}
+
+// Step advances the cell by one time step.
+func (c *LSTMCell) Step(x, hPrev, cPrev *tensor.Tensor) (h, cState *tensor.Tensor, err error) {
+	if x.Rank() != 1 || x.Dim(0) != c.InputSize {
+		return nil, nil, fmt.Errorf("lstm %s: input shape %v, want [%d]", c.name, x.Shape(), c.InputSize)
+	}
+	if hPrev.Rank() != 1 || hPrev.Dim(0) != c.HiddenSize || cPrev.Rank() != 1 || cPrev.Dim(0) != c.HiddenSize {
+		return nil, nil, fmt.Errorf("lstm %s: state shapes %v/%v, want [%d]", c.name, hPrev.Shape(), cPrev.Shape(), c.HiddenSize)
+	}
+	gx, err := tensor.MatVec(c.Wx, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	gh, err := tensor.MatVec(c.Wh, hPrev)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := gx.Add(gh); err != nil {
+		return nil, nil, err
+	}
+	if err := gx.Add(c.Bias); err != nil {
+		return nil, nil, err
+	}
+	hs := c.HiddenSize
+	gates := gx.Data()
+	h = tensor.MustNew(hs)
+	cState = tensor.MustNew(hs)
+	for i := 0; i < hs; i++ {
+		in := sigmoid(gates[i])
+		forget := sigmoid(gates[hs+i])
+		cell := tanh(gates[2*hs+i])
+		out := sigmoid(gates[3*hs+i])
+		cNew := forget*cPrev.Data()[i] + in*cell
+		cState.Data()[i] = cNew
+		h.Data()[i] = out * tanh(cNew)
+	}
+	return h, cState, nil
+}
+
+func sigmoid(v float32) float32 {
+	t := tensor.MustNew(1)
+	t.Data()[0] = v
+	tensor.Sigmoid(t)
+	return t.Data()[0]
+}
+
+func tanh(v float32) float32 {
+	t := tensor.MustNew(1)
+	t.Data()[0] = v
+	tensor.Tanh(t)
+	return t.Data()[0]
+}
+
+// Embedding maps token ids to dense vectors.
+type Embedding struct {
+	name    string
+	Vocab   int
+	Dim     int
+	Weights *tensor.Tensor // vocab × dim
+}
+
+// NewEmbedding constructs an embedding table with deterministic weights.
+func NewEmbedding(name string, vocab, dim int, rng *stats.RNG) *Embedding {
+	w := tensor.MustNew(vocab, dim)
+	initHe(w, float64(dim), rng)
+	return &Embedding{name: name, Vocab: vocab, Dim: dim, Weights: w}
+}
+
+// Lookup returns the embedding vector for the given token id.
+func (e *Embedding) Lookup(token int) (*tensor.Tensor, error) {
+	if token < 0 || token >= e.Vocab {
+		return nil, fmt.Errorf("embedding %s: token %d outside vocabulary of %d", e.name, token, e.Vocab)
+	}
+	out := tensor.MustNew(e.Dim)
+	copy(out.Data(), e.Weights.Data()[token*e.Dim:(token+1)*e.Dim])
+	return out, nil
+}
+
+// ParamCount returns the number of learned parameters.
+func (e *Embedding) ParamCount() int64 { return int64(e.Weights.Len()) }
+
+// Seq2Seq is a GNMT-style recurrent encoder–decoder with dot-product
+// attention. It translates a sequence of source-token ids into a sequence of
+// target-token ids with greedy decoding.
+type Seq2Seq struct {
+	name       string
+	SrcEmbed   *Embedding
+	DstEmbed   *Embedding
+	Encoder    []*LSTMCell
+	Decoder    []*LSTMCell
+	Output     *Dense // hidden -> target vocabulary logits
+	HiddenSize int
+	BOS, EOS   int
+	MaxLen     int
+}
+
+// Seq2SeqConfig configures NewSeq2Seq.
+type Seq2SeqConfig struct {
+	SrcVocab      int
+	DstVocab      int
+	EmbedDim      int
+	HiddenSize    int
+	EncoderLayers int
+	DecoderLayers int
+	MaxLen        int
+	Seed          uint64
+}
+
+// NewSeq2Seq constructs the encoder–decoder model.
+func NewSeq2Seq(name string, cfg Seq2SeqConfig) (*Seq2Seq, error) {
+	if cfg.SrcVocab < 4 || cfg.DstVocab < 4 {
+		return nil, fmt.Errorf("nn: seq2seq vocabularies must hold at least BOS/EOS plus tokens")
+	}
+	if cfg.EmbedDim <= 0 || cfg.HiddenSize <= 0 || cfg.EncoderLayers <= 0 || cfg.DecoderLayers <= 0 {
+		return nil, fmt.Errorf("nn: seq2seq dimensions must be positive: %+v", cfg)
+	}
+	if cfg.MaxLen <= 0 {
+		cfg.MaxLen = 32
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	m := &Seq2Seq{
+		name:       name,
+		SrcEmbed:   NewEmbedding(name+"/src_embed", cfg.SrcVocab, cfg.EmbedDim, rng),
+		DstEmbed:   NewEmbedding(name+"/dst_embed", cfg.DstVocab, cfg.EmbedDim, rng),
+		HiddenSize: cfg.HiddenSize,
+		BOS:        0,
+		EOS:        1,
+		MaxLen:     cfg.MaxLen,
+	}
+	for i := 0; i < cfg.EncoderLayers; i++ {
+		in := cfg.EmbedDim
+		if i > 0 {
+			in = cfg.HiddenSize
+		}
+		m.Encoder = append(m.Encoder, NewLSTMCell(fmt.Sprintf("%s/enc%d", name, i), in, cfg.HiddenSize, rng))
+	}
+	for i := 0; i < cfg.DecoderLayers; i++ {
+		in := cfg.EmbedDim + cfg.HiddenSize // embedding concatenated with attention context
+		if i > 0 {
+			in = cfg.HiddenSize
+		}
+		m.Decoder = append(m.Decoder, NewLSTMCell(fmt.Sprintf("%s/dec%d", name, i), in, cfg.HiddenSize, rng))
+	}
+	m.Output = NewDense(name+"/proj", cfg.HiddenSize, cfg.DstVocab, false, rng)
+	return m, nil
+}
+
+// Name returns the model's identifier.
+func (m *Seq2Seq) Name() string { return m.name }
+
+// ParamCount returns the total number of learned parameters.
+func (m *Seq2Seq) ParamCount() int64 {
+	total := m.SrcEmbed.ParamCount() + m.DstEmbed.ParamCount() + m.Output.ParamCount()
+	for _, c := range m.Encoder {
+		total += c.ParamCount()
+	}
+	for _, c := range m.Decoder {
+		total += c.ParamCount()
+	}
+	return total
+}
+
+// OpsPerToken estimates multiply-accumulate-equivalent operations per output
+// token (encoder amortized over a typical sentence plus decoder and
+// attention).
+func (m *Seq2Seq) OpsPerToken() int64 {
+	var ops int64
+	for _, c := range m.Encoder {
+		ops += c.OpsPerStep()
+	}
+	for _, c := range m.Decoder {
+		ops += c.OpsPerStep()
+	}
+	ops += 2 * int64(m.Output.Weights.Len())
+	ops += 4 * int64(m.HiddenSize) * int64(m.MaxLen) // attention scores + context
+	return ops
+}
+
+// Translate runs greedy decoding and returns the produced target tokens
+// (excluding BOS/EOS).
+func (m *Seq2Seq) Translate(src []int) ([]int, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("nn: %s: empty source sentence", m.name)
+	}
+	// Encode.
+	encStates := make([]*tensor.Tensor, 0, len(src))
+	h := make([]*tensor.Tensor, len(m.Encoder))
+	c := make([]*tensor.Tensor, len(m.Encoder))
+	for i := range m.Encoder {
+		h[i] = tensor.MustNew(m.HiddenSize)
+		c[i] = tensor.MustNew(m.HiddenSize)
+	}
+	for _, tok := range src {
+		x, err := m.SrcEmbed.Lookup(tok)
+		if err != nil {
+			return nil, err
+		}
+		cur := x
+		for i, cell := range m.Encoder {
+			var err error
+			h[i], c[i], err = cell.Step(cur, h[i], c[i])
+			if err != nil {
+				return nil, err
+			}
+			cur = h[i]
+		}
+		encStates = append(encStates, cur)
+	}
+
+	// Decode greedily with dot-product attention over encoder states.
+	dh := make([]*tensor.Tensor, len(m.Decoder))
+	dc := make([]*tensor.Tensor, len(m.Decoder))
+	for i := range m.Decoder {
+		dh[i] = h[len(h)-1].Clone()
+		dc[i] = c[len(c)-1].Clone()
+	}
+	out := make([]int, 0, m.MaxLen)
+	prev := m.BOS
+	for step := 0; step < m.MaxLen; step++ {
+		emb, err := m.DstEmbed.Lookup(prev)
+		if err != nil {
+			return nil, err
+		}
+		context, err := m.attend(dh[len(dh)-1], encStates)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := tensor.Concat(emb, context)
+		if err != nil {
+			return nil, err
+		}
+		for i, cell := range m.Decoder {
+			dh[i], dc[i], err = cell.Step(cur, dh[i], dc[i])
+			if err != nil {
+				return nil, err
+			}
+			cur = dh[i]
+		}
+		logits, err := m.Output.Forward(cur)
+		if err != nil {
+			return nil, err
+		}
+		next := logits.ArgMax()
+		if next == m.EOS {
+			break
+		}
+		out = append(out, next)
+		prev = next
+	}
+	return out, nil
+}
+
+// attend computes a dot-product attention context vector over the encoder
+// states for the given decoder hidden state.
+func (m *Seq2Seq) attend(query *tensor.Tensor, encStates []*tensor.Tensor) (*tensor.Tensor, error) {
+	scores := tensor.MustNew(len(encStates))
+	for i, s := range encStates {
+		var dot float32
+		for j := 0; j < m.HiddenSize; j++ {
+			dot += query.Data()[j] * s.Data()[j]
+		}
+		scores.Data()[i] = dot
+	}
+	weights, err := tensor.Softmax(scores)
+	if err != nil {
+		return nil, err
+	}
+	context := tensor.MustNew(m.HiddenSize)
+	for i, s := range encStates {
+		w := weights.Data()[i]
+		for j := 0; j < m.HiddenSize; j++ {
+			context.Data()[j] += w * s.Data()[j]
+		}
+	}
+	return context, nil
+}

@@ -1,0 +1,70 @@
+// Package payload defines the wire format of SUT responses. The LoadGen
+// treats response data as opaque bytes (it only logs them); the accuracy
+// script decodes them after the run to score model quality. Keeping the codec
+// in one place lets any SUT implementation and the accuracy checker agree on
+// the format.
+package payload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mlperf/internal/metrics"
+)
+
+// classPayload carries an image-classification prediction.
+type classPayload struct {
+	Class int `json:"class"`
+}
+
+// detectionPayload carries object-detection predictions.
+type detectionPayload struct {
+	Boxes []metrics.Box `json:"boxes"`
+}
+
+// translationPayload carries a machine-translation hypothesis.
+type translationPayload struct {
+	Tokens []int `json:"tokens"`
+}
+
+// EncodeClass serializes a class prediction.
+func EncodeClass(class int) ([]byte, error) {
+	return json.Marshal(classPayload{Class: class})
+}
+
+// DecodeClass parses a class prediction.
+func DecodeClass(data []byte) (int, error) {
+	var p classPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return 0, fmt.Errorf("payload: decoding class prediction: %w", err)
+	}
+	return p.Class, nil
+}
+
+// EncodeBoxes serializes detection boxes.
+func EncodeBoxes(boxes []metrics.Box) ([]byte, error) {
+	return json.Marshal(detectionPayload{Boxes: boxes})
+}
+
+// DecodeBoxes parses detection boxes.
+func DecodeBoxes(data []byte) ([]metrics.Box, error) {
+	var p detectionPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("payload: decoding detection boxes: %w", err)
+	}
+	return p.Boxes, nil
+}
+
+// EncodeTokens serializes a translation hypothesis.
+func EncodeTokens(tokens []int) ([]byte, error) {
+	return json.Marshal(translationPayload{Tokens: tokens})
+}
+
+// DecodeTokens parses a translation hypothesis.
+func DecodeTokens(data []byte) ([]int, error) {
+	var p translationPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("payload: decoding translation tokens: %w", err)
+	}
+	return p.Tokens, nil
+}

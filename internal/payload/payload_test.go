@@ -1,0 +1,79 @@
+package payload
+
+import (
+	"testing"
+
+	"mlperf/internal/metrics"
+)
+
+func TestClassRoundTrip(t *testing.T) {
+	data, err := EncodeClass(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeClass(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("round trip = %d, want 7", got)
+	}
+	if _, err := DecodeClass([]byte("not json")); err == nil {
+		t.Error("garbage input: expected error")
+	}
+}
+
+func TestBoxesRoundTrip(t *testing.T) {
+	boxes := []metrics.Box{
+		{X1: 0.1, Y1: 0.2, X2: 0.5, Y2: 0.6, Class: 3, Score: 0.9},
+		{X1: 0.3, Y1: 0.3, X2: 0.4, Y2: 0.4, Class: 1, Score: 0.5},
+	}
+	data, err := EncodeBoxes(boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBoxes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Class != 3 || got[1].Score != 0.5 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodeBoxes([]byte("{")); err == nil {
+		t.Error("garbage input: expected error")
+	}
+	empty, err := EncodeBoxes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEmpty, err := DecodeBoxes(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotEmpty) != 0 {
+		t.Errorf("empty boxes round trip = %+v", gotEmpty)
+	}
+}
+
+func TestTokensRoundTrip(t *testing.T) {
+	tokens := []int{4, 8, 15, 16, 23, 42}
+	data, err := EncodeTokens(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTokens(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tokens) {
+		t.Fatalf("length mismatch")
+	}
+	for i := range tokens {
+		if got[i] != tokens[i] {
+			t.Errorf("token %d = %d, want %d", i, got[i], tokens[i])
+		}
+	}
+	if _, err := DecodeTokens([]byte("[")); err == nil {
+		t.Error("garbage input: expected error")
+	}
+}

@@ -1,0 +1,240 @@
+// Package quantize implements the post-training quantization flow the
+// benchmark's closed division permits: converting FP32 reference weights to
+// lower-precision formats using a small calibration data set, without
+// retraining (Section III-B and IV-A). Quantization here is simulated
+// ("fake quantization"): values are rounded to the target format's grid and
+// stored back as float32, which reproduces the accuracy impact while keeping
+// the execution path uniform.
+package quantize
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mlperf/internal/tensor"
+)
+
+// Format is a numerical format from the benchmark's approved list
+// (Section IV-A).
+type Format string
+
+// Approved numerical formats.
+const (
+	FP32     Format = "fp32"
+	FP16     Format = "fp16"
+	BFloat16 Format = "bfloat16"
+	INT16    Format = "int16"
+	UINT16   Format = "uint16"
+	INT8     Format = "int8"
+	UINT8    Format = "uint8"
+	INT4     Format = "int4"
+	FP11     Format = "fp11"
+)
+
+// ApprovedFormats lists every numerical format registered for the closed
+// division in a stable order.
+func ApprovedFormats() []Format {
+	return []Format{FP32, FP16, BFloat16, INT16, UINT16, INT8, UINT8, INT4, FP11}
+}
+
+// integerLevels returns the number of signed quantization levels on each side
+// of zero for integer formats, or 0 for non-integer formats.
+func integerLevels(f Format) int {
+	switch f {
+	case INT4:
+		return 7
+	case INT8, UINT8:
+		return 127
+	case INT16, UINT16:
+		return 32767
+	default:
+		return 0
+	}
+}
+
+// mantissaBits returns the number of explicit mantissa bits for reduced
+// floating-point formats, or -1 if the format is not a float format.
+func mantissaBits(f Format) int {
+	switch f {
+	case FP32:
+		return 23
+	case FP16:
+		return 10
+	case BFloat16:
+		return 7
+	case FP11:
+		return 5
+	default:
+		return -1
+	}
+}
+
+// Valid reports whether f is an approved format.
+func Valid(f Format) bool {
+	return integerLevels(f) > 0 || mantissaBits(f) >= 0
+}
+
+// TensorStats records the per-tensor quantization parameters produced when a
+// weight tensor is converted.
+type TensorStats struct {
+	Format   Format
+	Scale    float64 // integer formats: float value of one quantization step
+	MaxAbs   float64
+	Elements int
+	// MeanAbsError is the mean absolute round-trip error introduced by the
+	// conversion, used by tests and the audit report.
+	MeanAbsError float64
+}
+
+// Tensor quantizes t in place to the given format using per-tensor symmetric
+// scaling and returns the conversion statistics.
+func Tensor(t *tensor.Tensor, f Format) (TensorStats, error) {
+	if !Valid(f) {
+		return TensorStats{}, fmt.Errorf("quantize: format %q is not on the approved list", f)
+	}
+	stats := TensorStats{Format: f, Elements: t.Len(), MaxAbs: float64(t.MaxAbs())}
+	if f == FP32 {
+		return stats, nil
+	}
+	data := t.Data()
+	var errSum float64
+	if levels := integerLevels(f); levels > 0 {
+		scale := stats.MaxAbs / float64(levels)
+		if scale == 0 {
+			scale = 1
+		}
+		stats.Scale = scale
+		for i, v := range data {
+			q := math.Round(float64(v) / scale)
+			if q > float64(levels) {
+				q = float64(levels)
+			}
+			if q < -float64(levels) {
+				q = -float64(levels)
+			}
+			nv := float32(q * scale)
+			errSum += math.Abs(float64(nv) - float64(v))
+			data[i] = nv
+		}
+	} else {
+		bits := mantissaBits(f)
+		for i, v := range data {
+			nv := truncateMantissa(v, bits)
+			errSum += math.Abs(float64(nv) - float64(v))
+			data[i] = nv
+		}
+	}
+	if t.Len() > 0 {
+		stats.MeanAbsError = errSum / float64(t.Len())
+	}
+	return stats, nil
+}
+
+// truncateMantissa rounds v to a float with the given number of mantissa
+// bits (simulating FP16/bfloat16/FP11 storage).
+func truncateMantissa(v float32, bits int) float32 {
+	if bits >= 23 {
+		return v
+	}
+	u := math.Float32bits(v)
+	drop := uint(23 - bits)
+	// Round to nearest even at the dropped boundary.
+	round := uint32(1) << (drop - 1)
+	u += round
+	u &^= (uint32(1) << drop) - 1
+	return math.Float32frombits(u)
+}
+
+// Model quantizes every weight tensor of a model in place and returns the
+// per-tensor statistics.
+func Model(weights []*tensor.Tensor, f Format) ([]TensorStats, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("quantize: model exposes no weight tensors")
+	}
+	out := make([]TensorStats, 0, len(weights))
+	for i, w := range weights {
+		if w == nil {
+			return nil, fmt.Errorf("quantize: weight tensor %d is nil", i)
+		}
+		s, err := Tensor(w, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Calibrator accumulates activation ranges observed while running the model
+// over the calibration data set MLPerf provides for each reference model.
+// The recorded ranges are what a real INT8 deployment would use to choose
+// activation scales.
+type Calibrator struct {
+	mu     sync.Mutex
+	ranges map[string][2]float64 // name -> (min, max)
+	seen   int
+}
+
+// NewCalibrator returns an empty calibrator.
+func NewCalibrator() *Calibrator {
+	return &Calibrator{ranges: make(map[string][2]float64)}
+}
+
+// Observe folds one named activation tensor into the running ranges.
+func (c *Calibrator) Observe(name string, t *tensor.Tensor) error {
+	if t == nil || t.Len() == 0 {
+		return fmt.Errorf("quantize: cannot observe empty tensor %q", name)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range t.Data() {
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.ranges[name]; ok {
+		if r[0] < lo {
+			lo = r[0]
+		}
+		if r[1] > hi {
+			hi = r[1]
+		}
+	}
+	c.ranges[name] = [2]float64{lo, hi}
+	c.seen++
+	return nil
+}
+
+// Observations returns how many tensors have been folded in.
+func (c *Calibrator) Observations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen
+}
+
+// Range returns the observed (min, max) for the named activation.
+func (c *Calibrator) Range(name string) (lo, hi float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.ranges[name]
+	return r[0], r[1], ok
+}
+
+// Scale returns the symmetric INT8 activation scale for the named activation.
+func (c *Calibrator) Scale(name string) (float64, error) {
+	lo, hi, ok := c.Range(name)
+	if !ok {
+		return 0, fmt.Errorf("quantize: no calibration observations for %q", name)
+	}
+	m := math.Max(math.Abs(lo), math.Abs(hi))
+	if m == 0 {
+		return 1.0 / 127, nil
+	}
+	return m / 127, nil
+}

@@ -1,0 +1,87 @@
+package simhw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Catalog returns the default platform catalogue: a spread of systems from
+// deeply embedded devices to data-center accelerators. The parameters are
+// chosen so that (a) the performance span across the catalogue is several
+// orders of magnitude, matching Section VI-D's ~10,000x observation, and
+// (b) the Table III latency bounds genuinely constrain batching on the wide
+// accelerators (full-batch service times are comparable to or larger than the
+// bounds), which is the regime that produces Figure 6's server-versus-offline
+// throughput degradation. PeakGOPS figures are *effective* sustained rates,
+// not marketing peaks.
+func Catalog() []Platform {
+	return []Platform{
+		// Embedded and mobile parts: low peak, little batching, low overhead.
+		{Name: "embedded-dsp-m1", Arch: DSP, Framework: "SNPE", Category: "available",
+			PeakGOPS: 8, MinUtilization: 0.9, MaxBatch: 1, QueryOverhead: 300 * time.Microsecond, Parallelism: 1, Jitter: 0.05},
+		{Name: "embedded-npu-e2", Arch: ASIC, Framework: "Synapse", Category: "available",
+			PeakGOPS: 15, MinUtilization: 0.85, MaxBatch: 2, QueryOverhead: 200 * time.Microsecond, Parallelism: 1, Jitter: 0.05},
+		{Name: "smartphone-dsp-s1", Arch: DSP, Framework: "SNPE", Category: "available",
+			PeakGOPS: 40, MinUtilization: 0.8, MaxBatch: 2, QueryOverhead: 150 * time.Microsecond, Parallelism: 1, Jitter: 0.08},
+		{Name: "smartphone-soc-s2", Arch: ASIC, Framework: "TensorFlow Lite", Category: "available",
+			PeakGOPS: 80, MinUtilization: 0.75, MaxBatch: 4, QueryOverhead: 120 * time.Microsecond, Parallelism: 1, Jitter: 0.08},
+		{Name: "tablet-gpu-t1", Arch: GPU, Framework: "TensorFlow Lite", Category: "available",
+			PeakGOPS: 150, MinUtilization: 0.6, MaxBatch: 4, QueryOverhead: 150 * time.Microsecond, Parallelism: 1, Jitter: 0.1},
+
+		// Edge and workstation parts.
+		{Name: "edge-fpga-f1", Arch: FPGA, Framework: "OpenVINO", Category: "preview",
+			PeakGOPS: 350, MinUtilization: 0.7, MaxBatch: 8, QueryOverhead: 100 * time.Microsecond, Parallelism: 2, Jitter: 0.05},
+		{Name: "edge-fpga-f2", Arch: FPGA, Framework: "Xilinx ML Suite", Category: "rdo",
+			PeakGOPS: 700, MinUtilization: 0.65, MaxBatch: 8, QueryOverhead: 120 * time.Microsecond, Parallelism: 2, Jitter: 0.05},
+		{Name: "edge-gpu-x1", Arch: GPU, Framework: "TensorRT", Category: "available",
+			PeakGOPS: 1500, MinUtilization: 0.35, MaxBatch: 32, QueryOverhead: 80 * time.Microsecond, Parallelism: 2, Jitter: 0.08},
+		{Name: "desktop-cpu-c1", Arch: CPU, Framework: "ONNX", Category: "available",
+			PeakGOPS: 400, MinUtilization: 0.95, MaxBatch: 2, QueryOverhead: 50 * time.Microsecond, Parallelism: 4, Jitter: 0.05},
+		{Name: "server-cpu-c2", Arch: CPU, Framework: "OpenVINO", Category: "available",
+			PeakGOPS: 1000, MinUtilization: 0.9, MaxBatch: 4, QueryOverhead: 60 * time.Microsecond, Parallelism: 8, Jitter: 0.05},
+		{Name: "server-cpu-c3", Arch: CPU, Framework: "PyTorch", Category: "available",
+			PeakGOPS: 1400, MinUtilization: 0.9, MaxBatch: 4, QueryOverhead: 60 * time.Microsecond, Parallelism: 8, Jitter: 0.05},
+
+		// Data-center accelerators: huge peaks but dependent on batching.
+		{Name: "dc-dsp-d1", Arch: DSP, Framework: "ONNX", Category: "rdo",
+			PeakGOPS: 4000, MinUtilization: 0.6, MaxBatch: 16, QueryOverhead: 80 * time.Microsecond, Parallelism: 4, Jitter: 0.06},
+		{Name: "dc-fpga-f3", Arch: FPGA, Framework: "Xilinx ML Suite", Category: "preview",
+			PeakGOPS: 8000, MinUtilization: 0.5, MaxBatch: 32, QueryOverhead: 90 * time.Microsecond, Parallelism: 4, Jitter: 0.05},
+		{Name: "dc-asic-a1", Arch: ASIC, Framework: "TensorFlow", Category: "available",
+			PeakGOPS: 25000, MinUtilization: 0.25, MaxBatch: 64, QueryOverhead: 60 * time.Microsecond, Parallelism: 4, Jitter: 0.05},
+		{Name: "dc-gpu-g1", Arch: GPU, Framework: "TensorRT", Category: "available",
+			PeakGOPS: 30000, MinUtilization: 0.2, MaxBatch: 64, QueryOverhead: 70 * time.Microsecond, Parallelism: 4, Jitter: 0.08},
+		{Name: "dc-gpu-g2", Arch: GPU, Framework: "TensorRT", Category: "available",
+			PeakGOPS: 50000, MinUtilization: 0.15, MaxBatch: 128, QueryOverhead: 70 * time.Microsecond, Parallelism: 8, Jitter: 0.08},
+		{Name: "dc-asic-a2", Arch: ASIC, Framework: "Hanguang AI", Category: "preview",
+			PeakGOPS: 60000, MinUtilization: 0.2, MaxBatch: 128, QueryOverhead: 50 * time.Microsecond, Parallelism: 4, Jitter: 0.05},
+		{Name: "dc-gpu-g3", Arch: GPU, Framework: "TensorFlow", Category: "rdo",
+			PeakGOPS: 40000, MinUtilization: 0.12, MaxBatch: 128, QueryOverhead: 80 * time.Microsecond, Parallelism: 8, Jitter: 0.1},
+	}
+}
+
+// FindPlatform returns the named platform from the catalogue.
+func FindPlatform(name string) (Platform, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("simhw: platform %q not in catalogue", name)
+}
+
+// StandardWorkloads returns the per-model workload descriptions used by the
+// experiments. OpsPerSample follows Table I (8.2 GOPs for ResNet-50, 1.138
+// for MobileNet, 433 for SSD-ResNet-34, 2.47 for SSD-MobileNet); GNMT's
+// per-sentence cost is an estimate, and it carries high variability plus
+// padding waste reflecting variable-length input (Section VI-B attributes
+// NMT's larger server-scenario degradation to exactly that).
+func StandardWorkloads() map[string]Workload {
+	return map[string]Workload{
+		"resnet50-v1.5":    {Name: "resnet50-v1.5", OpsPerSample: 8_200_000_000, Variability: 0.02, Efficiency: 1.0},
+		"mobilenet-v1":     {Name: "mobilenet-v1", OpsPerSample: 1_138_000_000, Variability: 0.02, Efficiency: 0.55},
+		"ssd-resnet34":     {Name: "ssd-resnet34", OpsPerSample: 433_000_000_000, Variability: 0.03, Efficiency: 0.95},
+		"ssd-mobilenet-v1": {Name: "ssd-mobilenet-v1", OpsPerSample: 2_470_000_000, Variability: 0.03, Efficiency: 0.35},
+		"gnmt":             {Name: "gnmt", OpsPerSample: 15_000_000_000, Variability: 0.25, PaddingWaste: 0.8, Efficiency: 0.6},
+	}
+}

@@ -1,0 +1,218 @@
+// Package simhw models the systems under test of the paper's evaluation.
+// The original submissions ran on proprietary CPUs, GPUs, DSPs, FPGAs and
+// ASICs; since that hardware is unavailable, this package provides a
+// parametric performance model (per-sample service time, batching-efficiency
+// curve, parallel execution units, latency jitter) plus a catalogue of
+// platform classes spanning the paper's reported four-orders-of-magnitude
+// performance range (Section VI-D), and a discrete-event queue simulator that
+// reproduces the scenario dynamics (batching under a latency bound, interval
+// skipping, offline saturation) in virtual time.
+package simhw
+
+import (
+	"fmt"
+	"time"
+
+	"mlperf/internal/stats"
+)
+
+// Architecture is the processor class of a platform (Figure 7).
+type Architecture string
+
+// Processor architectures seen in the v0.5 submissions.
+const (
+	CPU  Architecture = "CPU"
+	GPU  Architecture = "GPU"
+	DSP  Architecture = "DSP"
+	FPGA Architecture = "FPGA"
+	ASIC Architecture = "ASIC"
+)
+
+// AllArchitectures lists the processor classes in Figure 7 order.
+func AllArchitectures() []Architecture {
+	return []Architecture{DSP, FPGA, CPU, ASIC, GPU}
+}
+
+// Workload is the unit of work a platform executes: one sample of a reference
+// model. OpsPerSample corresponds to Table I's GOPs-per-input figures;
+// Variability is the coefficient of variation of per-sample work (near zero
+// for fixed-size vision inputs, large for variable-length translation).
+type Workload struct {
+	Name         string
+	OpsPerSample int64
+	Variability  float64
+	// PaddingWaste is the extra work fraction incurred when variable-length
+	// samples are batched in arrival order (sequences padded to the longest
+	// in the batch). It applies to online batching (server, multistream);
+	// offline processing may re-sort inputs ("arbitrary data arrangement" is
+	// allowed, Section IV-A) and avoids it. This is the mechanism behind
+	// NMT's larger server-scenario degradation in Section VI-B.
+	PaddingWaste float64
+	// Efficiency is the fraction of a platform's peak compute the network's
+	// structure can actually use (1 when unset). Depthwise-separable models
+	// achieve a much lower fraction than dense residual networks, which is
+	// why the measured SSD-ResNet-34 / SSD-MobileNet throughput gap is far
+	// smaller than their 175x operation-count gap (Section VII-D).
+	Efficiency float64
+}
+
+// Validate reports configuration errors.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("simhw: workload needs a name")
+	}
+	if w.OpsPerSample <= 0 {
+		return fmt.Errorf("simhw: workload %s ops per sample must be positive", w.Name)
+	}
+	if w.Variability < 0 {
+		return fmt.Errorf("simhw: workload %s variability must be non-negative", w.Name)
+	}
+	if w.PaddingWaste < 0 {
+		return fmt.Errorf("simhw: workload %s padding waste must be non-negative", w.Name)
+	}
+	if w.Efficiency < 0 || w.Efficiency > 1 {
+		return fmt.Errorf("simhw: workload %s efficiency %v outside [0,1]", w.Name, w.Efficiency)
+	}
+	return nil
+}
+
+// efficiency returns the workload's compute efficiency, defaulting to 1.
+func (w Workload) efficiency() float64 {
+	if w.Efficiency <= 0 {
+		return 1
+	}
+	return w.Efficiency
+}
+
+// paddingFactor returns the work multiplier for an arrival-order batch of the
+// given size.
+func (w Workload) paddingFactor(batch int) float64 {
+	if w.PaddingWaste <= 0 || batch <= 1 {
+		return 1
+	}
+	return 1 + w.PaddingWaste*(1-1/float64(batch))
+}
+
+// Platform is a simulated inference system.
+type Platform struct {
+	Name      string
+	Arch      Architecture
+	Framework string // software framework, for Table VII
+	Category  string // "available", "preview" or "rdo"
+
+	// PeakGOPS is the effective peak compute throughput in billions of
+	// operations per second when fully utilized.
+	PeakGOPS float64
+	// MinUtilization is the fraction of peak reachable at batch size 1;
+	// utilization ramps linearly to 1.0 at MaxBatch. Wide accelerators have a
+	// small value (they need batching), CPUs are near 1.
+	MinUtilization float64
+	// MaxBatch is the largest batch the platform schedules at once.
+	MaxBatch int
+	// QueryOverhead is the fixed per-batch dispatch overhead.
+	QueryOverhead time.Duration
+	// Parallelism is the number of independent execution units.
+	Parallelism int
+	// Jitter is the coefficient of variation of service time noise.
+	Jitter float64
+}
+
+// Validate reports configuration errors.
+func (p Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("simhw: platform needs a name")
+	}
+	if p.PeakGOPS <= 0 {
+		return fmt.Errorf("simhw: platform %s peak GOPS must be positive", p.Name)
+	}
+	if p.MinUtilization <= 0 || p.MinUtilization > 1 {
+		return fmt.Errorf("simhw: platform %s MinUtilization %v outside (0,1]", p.Name, p.MinUtilization)
+	}
+	if p.MaxBatch <= 0 {
+		return fmt.Errorf("simhw: platform %s MaxBatch must be positive", p.Name)
+	}
+	if p.Parallelism <= 0 {
+		return fmt.Errorf("simhw: platform %s Parallelism must be positive", p.Name)
+	}
+	if p.QueryOverhead < 0 {
+		return fmt.Errorf("simhw: platform %s QueryOverhead must be non-negative", p.Name)
+	}
+	if p.Jitter < 0 {
+		return fmt.Errorf("simhw: platform %s Jitter must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// utilization returns the fraction of peak throughput achieved at the given
+// batch size.
+func (p Platform) utilization(batch int) float64 {
+	if batch >= p.MaxBatch || p.MaxBatch == 1 {
+		return 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	frac := float64(batch-1) / float64(p.MaxBatch-1)
+	return p.MinUtilization + (1-p.MinUtilization)*frac
+}
+
+// ServiceTime returns the deterministic time to execute one batch of the
+// workload (before jitter).
+func (p Platform) ServiceTime(w Workload, batch int) (time.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if batch <= 0 {
+		return 0, fmt.Errorf("simhw: batch size must be positive, got %d", batch)
+	}
+	if batch > p.MaxBatch {
+		batch = p.MaxBatch
+	}
+	ops := float64(w.OpsPerSample) * float64(batch)
+	effective := p.PeakGOPS * 1e9 * p.utilization(batch) * w.efficiency()
+	seconds := ops / effective
+	return p.QueryOverhead + time.Duration(seconds*float64(time.Second)), nil
+}
+
+// sampledServiceTime applies workload variability and platform jitter to the
+// deterministic service time.
+func (p Platform) sampledServiceTime(w Workload, batch int, rng *stats.RNG) (time.Duration, error) {
+	base, err := p.ServiceTime(w, batch)
+	if err != nil {
+		return 0, err
+	}
+	noise := 1.0
+	if p.Jitter > 0 {
+		noise += p.Jitter * rng.NormFloat64()
+	}
+	if w.Variability > 0 {
+		noise += w.Variability * rng.NormFloat64()
+	}
+	if noise < 0.05 {
+		noise = 0.05
+	}
+	return time.Duration(float64(base) * noise), nil
+}
+
+// SingleSampleLatency returns the deterministic single-sample latency, the
+// quantity architects usually quote for a platform/model pair.
+func (p Platform) SingleSampleLatency(w Workload) (time.Duration, error) {
+	return p.ServiceTime(w, 1)
+}
+
+// PeakThroughput returns the platform's best-case throughput in samples per
+// second for the workload (all units busy with full batches).
+func (p Platform) PeakThroughput(w Workload) (float64, error) {
+	st, err := p.ServiceTime(w, p.MaxBatch)
+	if err != nil {
+		return 0, err
+	}
+	if st <= 0 {
+		return 0, fmt.Errorf("simhw: non-positive service time for %s on %s", w.Name, p.Name)
+	}
+	perUnit := float64(p.MaxBatch) / st.Seconds()
+	return perUnit * float64(p.Parallelism), nil
+}

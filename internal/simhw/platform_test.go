@@ -1,0 +1,213 @@
+package simhw
+
+import (
+	"testing"
+	"time"
+)
+
+func testPlatform() Platform {
+	return Platform{
+		Name: "test-gpu", Arch: GPU, Framework: "TensorRT", Category: "available",
+		PeakGOPS: 1000, MinUtilization: 0.1, MaxBatch: 32,
+		QueryOverhead: 50 * time.Microsecond, Parallelism: 2, Jitter: 0.05,
+	}
+}
+
+func testWorkload() Workload {
+	return Workload{Name: "resnet50-v1.5", OpsPerSample: 8_200_000, Variability: 0.02}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	if err := testPlatform().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Platform){
+		func(p *Platform) { p.Name = "" },
+		func(p *Platform) { p.PeakGOPS = 0 },
+		func(p *Platform) { p.MinUtilization = 0 },
+		func(p *Platform) { p.MinUtilization = 1.5 },
+		func(p *Platform) { p.MaxBatch = 0 },
+		func(p *Platform) { p.Parallelism = 0 },
+		func(p *Platform) { p.QueryOverhead = -time.Second },
+		func(p *Platform) { p.Jitter = -1 },
+	}
+	for i, mutate := range bad {
+		p := testPlatform()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := testWorkload().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Workload{Name: "", OpsPerSample: 1}).Validate(); err == nil {
+		t.Error("empty name: expected error")
+	}
+	if err := (Workload{Name: "x", OpsPerSample: 0}).Validate(); err == nil {
+		t.Error("zero ops: expected error")
+	}
+	if err := (Workload{Name: "x", OpsPerSample: 1, Variability: -1}).Validate(); err == nil {
+		t.Error("negative variability: expected error")
+	}
+}
+
+func TestServiceTimeBatchingEconomics(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	t1, err := p.ServiceTime(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t32, err := p.ServiceTime(w, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t32 <= t1 {
+		t.Errorf("batch of 32 (%v) should take longer than batch of 1 (%v)", t32, t1)
+	}
+	// Per-sample cost must drop with batching on a wide accelerator.
+	perSample1 := float64(t1)
+	perSample32 := float64(t32) / 32
+	if perSample32 >= perSample1 {
+		t.Errorf("per-sample time did not improve with batching: %v vs %v", perSample32, perSample1)
+	}
+	// Requests beyond MaxBatch are clamped.
+	t64, err := p.ServiceTime(w, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t64 != t32 {
+		t.Errorf("batch beyond MaxBatch not clamped: %v vs %v", t64, t32)
+	}
+	if _, err := p.ServiceTime(w, 0); err == nil {
+		t.Error("zero batch: expected error")
+	}
+}
+
+func TestServiceTimeScalesWithOps(t *testing.T) {
+	p := testPlatform()
+	light := Workload{Name: "light", OpsPerSample: 1_000_000}
+	heavy := Workload{Name: "heavy", OpsPerSample: 100_000_000}
+	tl, err := p.ServiceTime(light, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := p.ServiceTime(heavy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= tl {
+		t.Errorf("heavier workload not slower: %v vs %v", th, tl)
+	}
+}
+
+func TestPeakThroughput(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	peak, err := p.PeakThroughput(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak <= 0 {
+		t.Fatal("peak throughput must be positive")
+	}
+	// Peak (batched, all units) must exceed the single-stream rate.
+	single, err := p.SingleSampleLatency(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleRate := 1 / single.Seconds()
+	if peak <= singleRate {
+		t.Errorf("peak throughput %v not above single-stream rate %v", peak, singleRate)
+	}
+}
+
+func TestCatalogIsValidAndDiverse(t *testing.T) {
+	platforms := Catalog()
+	if len(platforms) < 10 {
+		t.Fatalf("catalogue has only %d platforms", len(platforms))
+	}
+	archs := map[Architecture]int{}
+	names := map[string]bool{}
+	for _, p := range platforms {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate platform name %s", p.Name)
+		}
+		names[p.Name] = true
+		archs[p.Arch]++
+		if p.Framework == "" || p.Category == "" {
+			t.Errorf("%s: missing framework or category", p.Name)
+		}
+	}
+	for _, a := range AllArchitectures() {
+		if archs[a] == 0 {
+			t.Errorf("no platform with architecture %s (Figure 7 needs all five)", a)
+		}
+	}
+}
+
+// TestCatalogPerformanceSpan verifies the Section VI-D observation that the
+// performance delta between the smallest and largest systems is on the order
+// of four orders of magnitude.
+func TestCatalogPerformanceSpan(t *testing.T) {
+	w := StandardWorkloads()["mobilenet-v1"]
+	min, max := 0.0, 0.0
+	for i, p := range Catalog() {
+		tput, err := p.PeakThroughput(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || tput < min {
+			min = tput
+		}
+		if tput > max {
+			max = tput
+		}
+	}
+	span := max / min
+	if span < 1000 {
+		t.Errorf("throughput span = %.0fx, want >= 1000x (paper reports ~10,000x)", span)
+	}
+}
+
+func TestFindPlatform(t *testing.T) {
+	p, err := FindPlatform("dc-gpu-g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arch != GPU {
+		t.Errorf("dc-gpu-g1 arch = %s", p.Arch)
+	}
+	if _, err := FindPlatform("nonexistent"); err == nil {
+		t.Error("unknown platform: expected error")
+	}
+}
+
+func TestStandardWorkloads(t *testing.T) {
+	ws := StandardWorkloads()
+	if len(ws) != 5 {
+		t.Fatalf("expected 5 standard workloads, got %d", len(ws))
+	}
+	for name, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Table I ordering: SSD-ResNet-34 is the heaviest, MobileNet the lightest.
+	if ws["ssd-resnet34"].OpsPerSample <= ws["resnet50-v1.5"].OpsPerSample {
+		t.Error("SSD-ResNet-34 should be heavier than ResNet-50")
+	}
+	if ws["mobilenet-v1"].OpsPerSample >= ws["resnet50-v1.5"].OpsPerSample {
+		t.Error("MobileNet should be lighter than ResNet-50")
+	}
+	if ws["gnmt"].Variability <= ws["resnet50-v1.5"].Variability {
+		t.Error("GNMT should have higher variability than fixed-size vision inputs")
+	}
+}

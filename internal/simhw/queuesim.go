@@ -1,0 +1,254 @@
+package simhw
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"mlperf/internal/stats"
+)
+
+// SimResult summarises one simulated scenario run in virtual time.
+type SimResult struct {
+	Queries          int
+	Samples          int
+	Makespan         time.Duration // virtual time from first arrival to last completion
+	LastArrival      time.Duration // virtual time of the final arrival
+	Latencies        stats.LatencySummary
+	OverBoundFrac    float64 // fraction of queries over the supplied latency bound
+	SkippedIntervals int     // multistream only
+	Throughput       float64 // samples per second of virtual time
+}
+
+// KeepsUp reports whether the system drained its backlog promptly after the
+// final arrival: the makespan must not exceed the last arrival by more than
+// the given slack. An overloaded system accumulates an ever-growing queue and
+// fails this check long before its tail latency statistics stabilize, which
+// is how short virtual-time trials avoid over-reporting server throughput.
+func (r SimResult) KeepsUp(slack time.Duration) bool {
+	return r.Makespan <= r.LastArrival+slack
+}
+
+// durationHeap is a min-heap of unit-free times.
+type durationHeap []time.Duration
+
+func (h durationHeap) Len() int            { return len(h) }
+func (h durationHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h durationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *durationHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *durationHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// SimulateSingleStream runs the single-stream scenario in virtual time: one
+// single-sample query at a time, each issued when the previous one finishes.
+func SimulateSingleStream(p Platform, w Workload, queries int, seed uint64) (SimResult, error) {
+	if queries <= 0 {
+		return SimResult{}, fmt.Errorf("simhw: query count must be positive, got %d", queries)
+	}
+	rng := stats.NewRNG(seed)
+	latencies := make([]time.Duration, queries)
+	var clock time.Duration
+	for i := 0; i < queries; i++ {
+		st, err := p.sampledServiceTime(w, 1, rng)
+		if err != nil {
+			return SimResult{}, err
+		}
+		latencies[i] = st
+		clock += st
+	}
+	return summarizeSim(latencies, queries, queries, clock, 0, 0)
+}
+
+// SimulateServer runs the server scenario in virtual time: single-sample
+// queries arrive as a Poisson process at the given rate; idle execution units
+// greedily batch whatever has queued (up to the platform's MaxBatch). The
+// returned OverBoundFrac is measured against latencyBound.
+func SimulateServer(p Platform, w Workload, qps float64, latencyBound time.Duration, queries int, seed uint64) (SimResult, error) {
+	if queries <= 0 {
+		return SimResult{}, fmt.Errorf("simhw: query count must be positive, got %d", queries)
+	}
+	if latencyBound <= 0 {
+		return SimResult{}, fmt.Errorf("simhw: latency bound must be positive, got %v", latencyBound)
+	}
+	process, err := stats.NewPoissonProcess(stats.NewRNG(seed), qps)
+	if err != nil {
+		return SimResult{}, err
+	}
+	arrivals := process.Schedule(queries)
+	// Server batches form in arrival order, so variable-length workloads pay
+	// their padding waste.
+	return simulateQueue(p, w, arrivals, latencyBound, seed^0x9e37, true)
+}
+
+// SimulateOffline runs the offline scenario in virtual time: every sample is
+// available at time zero and the platform is free to batch maximally. Because
+// the rules allow arbitrary data arrangement, variable-length inputs can be
+// sorted and padding waste is avoided.
+func SimulateOffline(p Platform, w Workload, samples int, seed uint64) (SimResult, error) {
+	if samples <= 0 {
+		return SimResult{}, fmt.Errorf("simhw: sample count must be positive, got %d", samples)
+	}
+	arrivals := make([]time.Duration, samples)
+	return simulateQueue(p, w, arrivals, 0, seed^0x51ff, false)
+}
+
+// simulateQueue is the shared queueing simulation: work items arrive at the
+// given times, idle units take up to MaxBatch queued items at once. When
+// padded is true, arrival-order batches of variable-length samples incur the
+// workload's padding waste.
+func simulateQueue(p Platform, w Workload, arrivals []time.Duration, latencyBound time.Duration, seed uint64, padded bool) (SimResult, error) {
+	if err := p.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	rng := stats.NewRNG(seed)
+	n := len(arrivals)
+	latencies := make([]time.Duration, 0, n)
+
+	units := make(durationHeap, p.Parallelism)
+	heap.Init(&units)
+
+	next := 0 // next arrival not yet queued
+	type item struct{ arrival time.Duration }
+	var queue []item
+	var makespan time.Duration
+
+	for len(latencies) < n {
+		if len(queue) == 0 {
+			// Nothing waiting: advance to the next arrival.
+			queue = append(queue, item{arrival: arrivals[next]})
+			next++
+			continue
+		}
+		unitFree := heap.Pop(&units).(time.Duration)
+		start := unitFree
+		if queue[0].arrival > start {
+			start = queue[0].arrival
+		}
+		// Admit everything that has arrived by the start time.
+		for next < n && arrivals[next] <= start {
+			queue = append(queue, item{arrival: arrivals[next]})
+			next++
+		}
+		batch := len(queue)
+		if batch > p.MaxBatch {
+			batch = p.MaxBatch
+		}
+		st, err := p.sampledServiceTime(w, batch, rng)
+		if err != nil {
+			return SimResult{}, err
+		}
+		if padded {
+			st = time.Duration(float64(st) * w.paddingFactor(batch))
+		}
+		finish := start + st
+		for i := 0; i < batch; i++ {
+			latencies = append(latencies, finish-queue[i].arrival)
+		}
+		queue = queue[batch:]
+		heap.Push(&units, finish)
+		if finish > makespan {
+			makespan = finish
+		}
+	}
+	res, err := summarizeSim(latencies, n, n, makespan, latencyBound, 0)
+	if err != nil {
+		return SimResult{}, err
+	}
+	res.LastArrival = arrivals[n-1]
+	return res, nil
+}
+
+// SimulateMultiStream runs the multistream scenario in virtual time: a query
+// of streams samples is scheduled every interval; if the previous query is
+// still executing, the interval is skipped and the in-flight query is charged
+// with a skipped interval.
+func SimulateMultiStream(p Platform, w Workload, streams int, interval time.Duration, queries int, seed uint64) (SimResult, error) {
+	if streams <= 0 {
+		return SimResult{}, fmt.Errorf("simhw: stream count must be positive, got %d", streams)
+	}
+	if interval <= 0 {
+		return SimResult{}, fmt.Errorf("simhw: interval must be positive, got %v", interval)
+	}
+	if queries <= 0 {
+		return SimResult{}, fmt.Errorf("simhw: query count must be positive, got %d", queries)
+	}
+	rng := stats.NewRNG(seed)
+	latencies := make([]time.Duration, 0, queries)
+	skipped := 0
+	var busyUntil time.Duration
+	issued := 0
+	tick := 0
+	samples := 0
+	inflightCharged := true
+	for issued < queries {
+		tick++
+		scheduled := time.Duration(tick) * interval
+		if busyUntil > scheduled {
+			// Previous query still processing: skip this interval.
+			if !inflightCharged {
+				skipped++
+				inflightCharged = true
+			}
+			continue
+		}
+		st, err := p.sampledServiceTime(w, streams, rng)
+		if err != nil {
+			return SimResult{}, err
+		}
+		// Concurrent streams batch in arrival order, so padding waste applies.
+		st = time.Duration(float64(st) * w.paddingFactor(streams))
+		// A multistream query must fit within the platform's batch ability;
+		// oversize queries execute in several passes.
+		passes := (streams + p.MaxBatch - 1) / p.MaxBatch
+		if passes > 1 {
+			st = time.Duration(int64(st) * int64(passes))
+		}
+		finish := scheduled + st
+		latencies = append(latencies, st)
+		busyUntil = finish
+		issued++
+		samples += streams
+		inflightCharged = false
+	}
+	makespan := busyUntil
+	res, err := summarizeSim(latencies, issued, samples, makespan, interval, skipped)
+	if err != nil {
+		return SimResult{}, err
+	}
+	res.LastArrival = time.Duration(tick) * interval
+	return res, nil
+}
+
+// summarizeSim assembles a SimResult.
+func summarizeSim(latencies []time.Duration, queries, samples int, makespan, bound time.Duration, skipped int) (SimResult, error) {
+	if len(latencies) == 0 {
+		return SimResult{}, fmt.Errorf("simhw: simulation produced no completions")
+	}
+	summary, err := stats.Summarize(latencies)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if makespan <= 0 {
+		makespan = time.Nanosecond
+	}
+	res := SimResult{
+		Queries:          queries,
+		Samples:          samples,
+		Makespan:         makespan,
+		Latencies:        summary,
+		SkippedIntervals: skipped,
+		Throughput:       float64(samples) / makespan.Seconds(),
+	}
+	if bound > 0 {
+		res.OverBoundFrac = stats.FractionOver(latencies, bound)
+	}
+	return res, nil
+}

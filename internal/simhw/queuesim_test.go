@@ -1,0 +1,240 @@
+package simhw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateSingleStream(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	res, err := SimulateSingleStream(p, w, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 500 || res.Samples != 500 {
+		t.Errorf("counts = %d/%d", res.Queries, res.Samples)
+	}
+	base, _ := p.ServiceTime(w, 1)
+	if res.Latencies.P50 < base/2 || res.Latencies.P50 > base*2 {
+		t.Errorf("median latency %v far from deterministic service time %v", res.Latencies.P50, base)
+	}
+	if res.Makespan <= 0 || res.Throughput <= 0 {
+		t.Error("missing makespan/throughput")
+	}
+	if _, err := SimulateSingleStream(p, w, 0, 1); err == nil {
+		t.Error("zero queries: expected error")
+	}
+}
+
+func TestSimulateSingleStreamDeterministic(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	a, err := SimulateSingleStream(p, w, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSingleStream(p, w, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latencies.P90 != b.Latencies.P90 || a.Makespan != b.Makespan {
+		t.Error("same-seed simulations differ")
+	}
+	c, err := SimulateSingleStream(p, w, 200, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan == c.Makespan {
+		t.Error("different-seed simulations identical")
+	}
+}
+
+func TestSimulateServerLowLoadMeetsBound(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	peak, _ := p.PeakThroughput(w)
+	res, err := SimulateServer(p, w, peak/50, 100*time.Millisecond, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverBoundFrac > 0.01 {
+		t.Errorf("light load violated the bound %v of the time", res.OverBoundFrac)
+	}
+	if res.Throughput <= 0 {
+		t.Error("missing throughput")
+	}
+}
+
+func TestSimulateServerOverloadViolatesBound(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	peak, _ := p.PeakThroughput(w)
+	// Offered load well beyond capacity: queues grow without bound and the
+	// tail blows out.
+	res, err := SimulateServer(p, w, peak*3, 3*time.Millisecond, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverBoundFrac < 0.3 {
+		t.Errorf("overload only violated the bound %v of the time", res.OverBoundFrac)
+	}
+	// Completed throughput cannot exceed the hardware's peak.
+	if res.Throughput > peak*1.2 {
+		t.Errorf("throughput %v exceeds peak %v", res.Throughput, peak)
+	}
+}
+
+func TestSimulateServerErrors(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	if _, err := SimulateServer(p, w, 100, 0, 100, 1); err == nil {
+		t.Error("zero bound: expected error")
+	}
+	if _, err := SimulateServer(p, w, 100, time.Second, 0, 1); err == nil {
+		t.Error("zero queries: expected error")
+	}
+	if _, err := SimulateServer(p, w, 0, time.Second, 100, 1); err == nil {
+		t.Error("zero qps: expected error")
+	}
+}
+
+func TestSimulateOfflineApproachesPeak(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	peak, _ := p.PeakThroughput(w)
+	res, err := SimulateOffline(p, w, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 0.6*peak {
+		t.Errorf("offline throughput %v far below peak %v", res.Throughput, peak)
+	}
+	if res.Throughput > 1.3*peak {
+		t.Errorf("offline throughput %v above peak %v", res.Throughput, peak)
+	}
+	if _, err := SimulateOffline(p, w, 0, 5); err == nil {
+		t.Error("zero samples: expected error")
+	}
+}
+
+// TestServerBelowOffline reproduces the central observation of Figure 6: for
+// a batching-dependent accelerator, the best latency-bounded server
+// throughput is below the offline throughput.
+func TestServerBelowOffline(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	offline, err := OfflineThroughput(p, w, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The latency bound is of the same order as the full-batch service time,
+	// so the server scenario cannot simply run at full batches: this is the
+	// regime in which Figure 6's degradation appears.
+	qps, err := MaxServerQPS(p, w, 400*time.Microsecond, 0.99, SearchOptions{Queries: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps <= 0 {
+		t.Fatal("server search found no feasible rate")
+	}
+	if qps >= offline {
+		t.Errorf("server QPS %v not below offline throughput %v", qps, offline)
+	}
+}
+
+func TestSimulateMultiStream(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	res, err := SimulateMultiStream(p, w, 4, 50*time.Millisecond, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 500 {
+		t.Errorf("queries = %d", res.Queries)
+	}
+	if res.Samples != 2000 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	if res.SkippedIntervals != 0 {
+		t.Errorf("fast platform skipped %d intervals", res.SkippedIntervals)
+	}
+	// A tiny platform asked for a huge stream count must skip.
+	slow, _ := FindPlatform("embedded-dsp-m1")
+	res2, err := SimulateMultiStream(slow, StandardWorkloads()["ssd-resnet34"], 64, 50*time.Millisecond, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SkippedIntervals == 0 {
+		t.Error("overloaded multistream run should skip intervals")
+	}
+	if _, err := SimulateMultiStream(p, w, 0, time.Millisecond, 10, 1); err == nil {
+		t.Error("zero streams: expected error")
+	}
+	if _, err := SimulateMultiStream(p, w, 1, 0, 10, 1); err == nil {
+		t.Error("zero interval: expected error")
+	}
+	if _, err := SimulateMultiStream(p, w, 1, time.Millisecond, 0, 1); err == nil {
+		t.Error("zero queries: expected error")
+	}
+}
+
+func TestMaxServerQPSSearch(t *testing.T) {
+	p := testPlatform()
+	w := testWorkload()
+	loose, err := MaxServerQPS(p, w, 100*time.Millisecond, 0.99, SearchOptions{Queries: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := MaxServerQPS(p, w, 2*time.Millisecond, 0.99, SearchOptions{Queries: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose <= 0 {
+		t.Fatal("loose bound should admit traffic")
+	}
+	if tight > loose {
+		t.Errorf("tighter bound produced higher QPS: %v > %v", tight, loose)
+	}
+	if _, err := MaxServerQPS(p, w, time.Millisecond, 1.5, SearchOptions{}); err == nil {
+		t.Error("bad percentile: expected error")
+	}
+}
+
+func TestMaxServerQPSInfeasibleBound(t *testing.T) {
+	slow, _ := FindPlatform("embedded-dsp-m1")
+	w := StandardWorkloads()["ssd-resnet34"]
+	// The single-sample latency on this platform is far above 1ms, so no rate
+	// can satisfy the bound.
+	qps, err := MaxServerQPS(slow, w, time.Millisecond, 0.99, SearchOptions{Queries: 500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps != 0 {
+		t.Errorf("infeasible bound should yield 0 QPS, got %v", qps)
+	}
+}
+
+func TestMaxMultiStreamStreamsSearch(t *testing.T) {
+	fast, _ := FindPlatform("dc-gpu-g2")
+	w := StandardWorkloads()["mobilenet-v1"]
+	streams, err := MaxMultiStreamStreams(fast, w, 50*time.Millisecond, 0.01, SearchOptions{Queries: 300, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streams < 2 {
+		t.Errorf("data-center GPU sustains only %d streams of MobileNet", streams)
+	}
+	slow, _ := FindPlatform("embedded-dsp-m1")
+	heavy := StandardWorkloads()["ssd-resnet34"]
+	slowStreams, err := MaxMultiStreamStreams(slow, heavy, 50*time.Millisecond, 0.01, SearchOptions{Queries: 300, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowStreams >= streams {
+		t.Errorf("embedded DSP (%d streams) should not beat data-center GPU (%d)", slowStreams, streams)
+	}
+	if _, err := MaxMultiStreamStreams(fast, w, 50*time.Millisecond, 1.5, SearchOptions{}); err == nil {
+		t.Error("bad skip fraction: expected error")
+	}
+}

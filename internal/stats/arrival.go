@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// PoissonProcess generates the inter-arrival gaps of a homogeneous Poisson
+// process, which the server scenario uses to schedule query arrivals
+// (Section III-C: "queries have one sample each, in accordance with a Poisson
+// distribution").
+type PoissonProcess struct {
+	rng  *RNG
+	rate float64 // expected queries per second
+}
+
+// NewPoissonProcess returns a Poisson arrival process with the given expected
+// rate in queries per second.
+func NewPoissonProcess(rng *RNG, queriesPerSecond float64) (*PoissonProcess, error) {
+	if queriesPerSecond <= 0 {
+		return nil, fmt.Errorf("stats: Poisson rate must be positive, got %v", queriesPerSecond)
+	}
+	if rng == nil {
+		rng = NewRNG(0)
+	}
+	return &PoissonProcess{rng: rng, rate: queriesPerSecond}, nil
+}
+
+// Rate returns the expected arrival rate in queries per second.
+func (p *PoissonProcess) Rate() float64 { return p.rate }
+
+// NextGap returns the next exponential inter-arrival gap.
+func (p *PoissonProcess) NextGap() time.Duration {
+	seconds := p.rng.ExpFloat64() / p.rate
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Schedule returns the absolute arrival offsets (from the start of the run)
+// of the first n queries. Precomputing the schedule mirrors the C++ LoadGen,
+// which builds the query schedule ahead of the timed portion of the run so
+// that traffic generation does not perturb the measurement.
+func (p *PoissonProcess) Schedule(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	var t time.Duration
+	for i := 0; i < n; i++ {
+		t += p.NextGap()
+		out[i] = t
+	}
+	return out
+}
+
+// UniformProcess generates fixed inter-arrival gaps, used by the multistream
+// scenario ("we send a new query comprising N input samples at a fixed time
+// interval").
+type UniformProcess struct {
+	interval time.Duration
+}
+
+// NewUniformProcess returns an arrival process with a constant gap.
+func NewUniformProcess(interval time.Duration) (*UniformProcess, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("stats: uniform arrival interval must be positive, got %v", interval)
+	}
+	return &UniformProcess{interval: interval}, nil
+}
+
+// Interval returns the constant arrival interval.
+func (u *UniformProcess) Interval() time.Duration { return u.interval }
+
+// Schedule returns the absolute arrival offsets of the first n queries.
+func (u *UniformProcess) Schedule(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		out[i] = time.Duration(i+1) * u.interval
+	}
+	return out
+}

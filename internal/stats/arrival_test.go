@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPoissonProcessRate(t *testing.T) {
+	rng := NewRNG(101)
+	const rate = 200.0 // queries per second
+	p, err := NewPoissonProcess(rng, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != rate {
+		t.Fatalf("Rate() = %v, want %v", p.Rate(), rate)
+	}
+	const n = 100000
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		gap := p.NextGap()
+		if gap < 0 {
+			t.Fatalf("negative inter-arrival gap %v", gap)
+		}
+		total += gap
+	}
+	observed := float64(n) / total.Seconds()
+	if math.Abs(observed-rate)/rate > 0.02 {
+		t.Errorf("observed rate %v, want ~%v", observed, rate)
+	}
+}
+
+func TestPoissonProcessInvalidRate(t *testing.T) {
+	if _, err := NewPoissonProcess(NewRNG(1), 0); err == nil {
+		t.Error("zero rate: expected error")
+	}
+	if _, err := NewPoissonProcess(NewRNG(1), -5); err == nil {
+		t.Error("negative rate: expected error")
+	}
+}
+
+func TestPoissonScheduleMonotone(t *testing.T) {
+	p, err := NewPoissonProcess(NewRNG(3), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := p.Schedule(5000)
+	if len(sched) != 5000 {
+		t.Fatalf("schedule length %d, want 5000", len(sched))
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i] < sched[i-1] {
+			t.Fatalf("schedule not monotone at %d: %v < %v", i, sched[i], sched[i-1])
+		}
+	}
+}
+
+func TestPoissonDeterministicPerSeed(t *testing.T) {
+	a, _ := NewPoissonProcess(NewRNG(55), 100)
+	b, _ := NewPoissonProcess(NewRNG(55), 100)
+	sa := a.Schedule(100)
+	sb := b.Schedule(100)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same-seed schedules diverge at %d", i)
+		}
+	}
+	c, _ := NewPoissonProcess(NewRNG(56), 100)
+	sc := c.Schedule(100)
+	same := 0
+	for i := range sa {
+		if sa[i] == sc[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different-seed schedules match %d/100 times", same)
+	}
+}
+
+func TestUniformProcess(t *testing.T) {
+	u, err := NewUniformProcess(50 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Interval() != 50*time.Millisecond {
+		t.Fatalf("Interval() = %v", u.Interval())
+	}
+	sched := u.Schedule(4)
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 150 * time.Millisecond, 200 * time.Millisecond}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Errorf("schedule[%d] = %v, want %v", i, sched[i], want[i])
+		}
+	}
+}
+
+func TestUniformProcessInvalid(t *testing.T) {
+	if _, err := NewUniformProcess(0); err == nil {
+		t.Error("zero interval: expected error")
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormSInvKnownValues(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.9999, 3.719016},
+		{0.025, -1.959964},
+		{0.005, -2.575829},
+		{0.84134474, 1.0},
+		{0.15865525, -1.0},
+	}
+	for _, c := range cases {
+		got, err := NormSInv(c.p)
+		if err != nil {
+			t.Fatalf("NormSInv(%v): unexpected error %v", c.p, err)
+		}
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormSInv(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormSInvInvalidInput(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NormSInv(p); err == nil {
+			t.Errorf("NormSInv(%v): expected error, got nil", p)
+		}
+	}
+}
+
+func TestNormSInvRoundTripProperty(t *testing.T) {
+	// NormCDF(NormSInv(p)) == p for all p in (0,1).
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p <= 1e-9 || p >= 1-1e-9 {
+			return true
+		}
+		x, err := NormSInv(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(NormCDF(x)-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormSInvMonotonicProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := 0.001 + 0.998*math.Abs(math.Mod(a, 1))
+		pb := 0.001 + 0.998*math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		xa, err1 := NormSInv(pa)
+		xb, err2 := NormSInv(pb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return xa <= xb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormCDFSymmetry(t *testing.T) {
+	for _, x := range []float64{0, 0.5, 1, 2, 3.5} {
+		if math.Abs(NormCDF(x)+NormCDF(-x)-1) > 1e-12 {
+			t.Errorf("NormCDF(%v)+NormCDF(-%v) != 1", x, x)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// QueryBlock is the rounding granularity for query requirements: the paper
+// rounds the statistically required query count up to the nearest multiple of
+// 2^13 = 8192 (Section III-D).
+const QueryBlock = 1 << 13
+
+// QueryRequirement captures one row of Table IV: the number of queries needed
+// so that, with the stated confidence, the measured tail-latency percentile is
+// within the stated margin of the reported result.
+type QueryRequirement struct {
+	TailPercentile float64 // e.g. 0.90, 0.95, 0.99
+	Confidence     float64 // e.g. 0.99
+	Margin         float64 // e.g. 0.005
+	Inferences     int     // exact requirement from Equation 2 (rounded up)
+	Rounded        int     // Inferences rounded up to a multiple of QueryBlock
+}
+
+// Margin implements Equation 1 of the paper: the error margin is one
+// twentieth of the distance between the tail-latency percentile and 100%.
+func Margin(tailPercentile float64) (float64, error) {
+	if !(tailPercentile > 0 && tailPercentile < 1) {
+		return 0, fmt.Errorf("stats: tail percentile %v outside (0,1): %w", tailPercentile, ErrInvalidProbability)
+	}
+	return (1 - tailPercentile) / 20, nil
+}
+
+// MinQueries implements Equation 2 of the paper: the minimum number of
+// queries required for the tail-latency bound to hold with the given
+// confidence and margin. The result is rounded up to the next integer.
+func MinQueries(tailPercentile, confidence, margin float64) (int, error) {
+	if !(tailPercentile > 0 && tailPercentile < 1) {
+		return 0, fmt.Errorf("stats: tail percentile %v outside (0,1): %w", tailPercentile, ErrInvalidProbability)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return 0, fmt.Errorf("stats: confidence %v outside (0,1): %w", confidence, ErrInvalidProbability)
+	}
+	if margin <= 0 {
+		return 0, fmt.Errorf("stats: margin %v must be positive", margin)
+	}
+	z, err := NormSInv((1 - confidence) / 2)
+	if err != nil {
+		return 0, err
+	}
+	n := z * z * tailPercentile * (1 - tailPercentile) / (margin * margin)
+	return int(math.Ceil(n)), nil
+}
+
+// RoundToBlock rounds n up to the nearest positive multiple of QueryBlock.
+func RoundToBlock(n int) int {
+	if n <= 0 {
+		return QueryBlock
+	}
+	blocks := (n + QueryBlock - 1) / QueryBlock
+	return blocks * QueryBlock
+}
+
+// Requirement computes a full Table IV row for the given tail percentile and
+// confidence, deriving the margin from Equation 1.
+func Requirement(tailPercentile, confidence float64) (QueryRequirement, error) {
+	margin, err := Margin(tailPercentile)
+	if err != nil {
+		return QueryRequirement{}, err
+	}
+	n, err := MinQueries(tailPercentile, confidence, margin)
+	if err != nil {
+		return QueryRequirement{}, err
+	}
+	return QueryRequirement{
+		TailPercentile: tailPercentile,
+		Confidence:     confidence,
+		Margin:         margin,
+		Inferences:     n,
+		Rounded:        RoundToBlock(n),
+	}, nil
+}
+
+// TableIV returns the three rows of Table IV of the paper (90th, 95th and
+// 99th percentile guarantees at 99% confidence).
+func TableIV() ([]QueryRequirement, error) {
+	rows := make([]QueryRequirement, 0, 3)
+	for _, p := range []float64{0.90, 0.95, 0.99} {
+		r, err := Requirement(p, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIV reproduces Table IV of the paper exactly: the statistically
+// required inference counts and their rounding to multiples of 2^13.
+func TestTableIV(t *testing.T) {
+	rows, err := TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		tail       float64
+		margin     float64
+		inferences int
+		rounded    int
+	}{
+		{0.90, 0.005, 23886, 24576},
+		{0.95, 0.0025, 50425, 57344},
+		{0.99, 0.0005, 262742, 270336},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("TableIV returned %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.TailPercentile != w.tail {
+			t.Errorf("row %d: tail = %v, want %v", i, r.TailPercentile, w.tail)
+		}
+		if diff := r.Margin - w.margin; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("row %d: margin = %v, want %v", i, r.Margin, w.margin)
+		}
+		// Allow the exact integer to differ by at most 1 from the paper due
+		// to rounding of the normal quantile; the rounded block count must be
+		// identical.
+		if r.Inferences < w.inferences-1 || r.Inferences > w.inferences+1 {
+			t.Errorf("row %d: inferences = %d, want %d (±1)", i, r.Inferences, w.inferences)
+		}
+		if r.Rounded != w.rounded {
+			t.Errorf("row %d: rounded = %d, want %d", i, r.Rounded, w.rounded)
+		}
+	}
+}
+
+func TestMarginEquation(t *testing.T) {
+	m, err := Margin(0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := m - 0.005; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Margin(0.90) = %v, want 0.005", m)
+	}
+	if _, err := Margin(1.0); err == nil {
+		t.Error("Margin(1.0): expected error")
+	}
+	if _, err := Margin(0); err == nil {
+		t.Error("Margin(0): expected error")
+	}
+}
+
+func TestMinQueriesErrors(t *testing.T) {
+	if _, err := MinQueries(0.9, 0.99, 0); err == nil {
+		t.Error("zero margin: expected error")
+	}
+	if _, err := MinQueries(1.2, 0.99, 0.01); err == nil {
+		t.Error("invalid tail: expected error")
+	}
+	if _, err := MinQueries(0.9, 1.2, 0.01); err == nil {
+		t.Error("invalid confidence: expected error")
+	}
+}
+
+func TestRoundToBlock(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 8192},
+		{-5, 8192},
+		{1, 8192},
+		{8192, 8192},
+		{8193, 16384},
+		{23886, 24576},
+		{50425, 57344},
+		{262742, 270336},
+	}
+	for _, c := range cases {
+		if got := RoundToBlock(c.in); got != c.want {
+			t.Errorf("RoundToBlock(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundToBlockProperties(t *testing.T) {
+	f := func(n int) bool {
+		if n > 1<<30 || n < -(1<<30) {
+			return true
+		}
+		r := RoundToBlock(n)
+		if r%QueryBlock != 0 {
+			return false
+		}
+		if r < n {
+			return false
+		}
+		// Tight: the previous block would be too small (when n is positive).
+		if n > 0 && r-QueryBlock >= n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinQueriesMonotoneInTailTightness(t *testing.T) {
+	// Tighter tails (closer to 1) with the Equation-1 margin need more queries.
+	prev := 0
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.97, 0.99, 0.999} {
+		m, err := Margin(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := MinQueries(p, 0.99, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= prev {
+			t.Errorf("MinQueries not increasing at tail %v: %d <= %d", p, n, prev)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import "math"
+
+// RNG is a small, deterministic, seedable pseudo-random number generator.
+// The benchmark requires all query traffic to be reproducible from seeds in
+// the test settings (Section IV-A prohibits optimizations that exploit the
+// fixed seed, and the alternate-random-seed audit swaps it); keeping the
+// generator in-repo guarantees identical traffic across Go releases, unlike
+// math/rand whose stream is not covered by the compatibility promise.
+//
+// The core generator is xoshiro256**, seeded through splitmix64.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given 64-bit seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// A xoshiro state of all zeros is invalid; splitmix64 cannot produce it
+	// for all four words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64-bit value in the stream.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normally distributed value using the
+// Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		u2 := r.Float64()
+		if u1 <= 1e-300 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork returns a new generator whose stream is derived from, but independent
+// of, this generator. It is used to hand sub-streams to concurrent actors
+// (e.g. per-stream query generation in the multistream scenario) without
+// sharing mutable state.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}

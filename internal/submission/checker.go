@@ -1,0 +1,137 @@
+package submission
+
+import (
+	"fmt"
+
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+)
+
+// CheckOptions tunes the submission checker.
+type CheckOptions struct {
+	// ScaleFactor relaxes the production query-count and duration minimums by
+	// the given factor. Factor 1 (or 0) checks against the full Table V
+	// requirements; tests and demos use larger factors because their runs are
+	// scaled down the same way.
+	ScaleFactor int
+}
+
+func (o *CheckOptions) normalize() {
+	if o.ScaleFactor <= 0 {
+		o.ScaleFactor = 1
+	}
+}
+
+// Issue is one problem the checker found with an entry.
+type Issue struct {
+	EntryIndex int
+	Rule       string
+	Detail     string
+}
+
+// String formats the issue for review logs.
+func (i Issue) String() string {
+	return fmt.Sprintf("entry %d [%s]: %s", i.EntryIndex, i.Rule, i.Detail)
+}
+
+// CheckEntry validates a single entry against the submission rules and
+// returns every issue found (an empty slice means the entry is clean).
+func CheckEntry(index int, e Entry, opts CheckOptions) []Issue {
+	opts.normalize()
+	var issues []Issue
+	add := func(rule, format string, args ...interface{}) {
+		issues = append(issues, Issue{EntryIndex: index, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if err := e.System.Validate(); err != nil {
+		add("system-description", "%v", err)
+	}
+	if !ValidDivision(e.Division) {
+		add("division", "unknown division %q", e.Division)
+	}
+	if !ValidCategory(e.Category) {
+		add("category", "unknown category %q", e.Category)
+	}
+
+	spec, err := core.Spec(e.Task)
+	if err != nil {
+		add("task", "%v", err)
+		return issues
+	}
+
+	if e.Division == Closed && e.ModelUsed != string(spec.ReferenceModel) {
+		add("model-equivalence", "closed division requires the reference model %q, got %q", spec.ReferenceModel, e.ModelUsed)
+	}
+	if e.Division == Open && e.OpenDeviations == "" {
+		add("open-documentation", "open-division entries must document how they deviate from the closed rules")
+	}
+
+	if e.Performance == nil {
+		add("performance", "missing performance result")
+	} else {
+		perf := e.Performance
+		if perf.Scenario != e.Scenario {
+			add("performance", "result scenario %v does not match entry scenario %v", perf.Scenario, e.Scenario)
+		}
+		if !perf.Valid {
+			add("performance-validity", "LoadGen declared the run invalid: %v", perf.ValidityMessages)
+		}
+		minQueries := requiredQueries(spec, e.Scenario) / opts.ScaleFactor
+		if minQueries < 1 {
+			minQueries = 1
+		}
+		if e.Scenario != loadgen.Offline && perf.QueriesIssued < minQueries {
+			add("query-count", "issued %d queries, Table V requires at least %d (scale factor %d)",
+				perf.QueriesIssued, minQueries, opts.ScaleFactor)
+		}
+		if e.Scenario == loadgen.Offline {
+			minSamples := spec.OfflineSamples / opts.ScaleFactor
+			if minSamples < 1 {
+				minSamples = 1
+			}
+			if perf.SamplesIssued < minSamples {
+				add("sample-count", "offline query held %d samples, Table V requires at least %d (scale factor %d)",
+					perf.SamplesIssued, minSamples, opts.ScaleFactor)
+			}
+		}
+	}
+
+	if e.Division == Closed {
+		if e.Accuracy == nil {
+			add("accuracy", "closed-division entries must include an accuracy run")
+		} else if !e.Accuracy.Pass {
+			add("quality-target", "measured %s %.4f below target %.4f", e.Accuracy.Metric, e.Accuracy.Value, e.Accuracy.Target)
+		}
+	}
+	return issues
+}
+
+// requiredQueries returns the Table V minimum query count for the scenario.
+func requiredQueries(spec core.TaskSpec, s loadgen.Scenario) int {
+	switch s {
+	case loadgen.SingleStream:
+		return spec.SingleStreamQueries
+	case loadgen.MultiStream:
+		return spec.MultiStreamQueries
+	case loadgen.Server:
+		return spec.ServerQueries
+	case loadgen.Offline:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Check validates every entry of a submission. It returns the issues and the
+// number of entries that are clean (the "cleared as valid" count of
+// Section VI).
+func Check(s Submission, opts CheckOptions) (issues []Issue, cleared int) {
+	for i, e := range s.Entries {
+		entryIssues := CheckEntry(i, e, opts)
+		if len(entryIssues) == 0 {
+			cleared++
+		}
+		issues = append(issues, entryIssues...)
+	}
+	return issues, cleared
+}

@@ -1,0 +1,87 @@
+package submission
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+)
+
+// Report renders a submission's results as a per-task, per-scenario text
+// table. Deliberately, no summary score is computed: "MLPerf Inference
+// provides no summary score" (Section V-C), because weighting tasks against
+// each other is application specific.
+func Report(s Submission) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MLPerf Inference results for %s\n", s.Submitter)
+	fmt.Fprintf(&b, "%d entries across %d tasks (no summary score is provided by design)\n\n",
+		len(s.Entries), len(s.TasksCovered()))
+
+	entries := make([]Entry, len(s.Entries))
+	copy(entries, s.Entries)
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Task != entries[j].Task {
+			return entries[i].Task < entries[j].Task
+		}
+		return entries[i].Scenario < entries[j].Scenario
+	})
+
+	fmt.Fprintf(&b, "%-28s %-14s %-10s %-10s %-24s %-14s %s\n",
+		"TASK", "SCENARIO", "DIVISION", "CATEGORY", "SYSTEM", "METRIC", "QUALITY")
+	for _, e := range entries {
+		metric := "n/a"
+		if e.Performance != nil {
+			metric = fmt.Sprintf("%.4g %s", e.MetricValue(), metricUnit(e.Scenario))
+		}
+		quality := "n/a"
+		if e.Accuracy != nil {
+			status := "FAIL"
+			if e.Accuracy.Pass {
+				status = "ok"
+			}
+			quality = fmt.Sprintf("%s=%.3f (%s)", e.Accuracy.Metric, e.Accuracy.Value, status)
+		}
+		fmt.Fprintf(&b, "%-28s %-14s %-10s %-10s %-24s %-14s %s\n",
+			e.Task, e.Scenario, e.Division, e.Category, e.System.Name, metric, quality)
+	}
+	return b.String()
+}
+
+// metricUnit returns the unit suffix for a scenario's headline metric.
+func metricUnit(s loadgen.Scenario) string {
+	switch s {
+	case loadgen.SingleStream:
+		return "ms (p90)"
+	case loadgen.MultiStream:
+		return "streams"
+	case loadgen.Server:
+		return "QPS"
+	case loadgen.Offline:
+		return "samples/s"
+	default:
+		return ""
+	}
+}
+
+// CoverageTable counts entries per (model, scenario) pair, the shape of
+// Table VI of the paper.
+func CoverageTable(entries []Entry) map[string]map[loadgen.Scenario]int {
+	out := make(map[string]map[loadgen.Scenario]int)
+	for _, e := range entries {
+		spec, err := core.Spec(e.Task)
+		if err != nil {
+			continue
+		}
+		modelName := string(spec.ReferenceModel)
+		if e.Division == Open && e.ModelUsed != "" {
+			modelName = e.ModelUsed
+		}
+		if out[modelName] == nil {
+			out[modelName] = make(map[loadgen.Scenario]int)
+		}
+		out[modelName][e.Scenario]++
+	}
+	return out
+}

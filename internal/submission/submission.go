@@ -1,0 +1,122 @@
+// Package submission models the MLPerf Inference result-submission system of
+// Section V: divisions (closed/open), availability categories, system
+// descriptions, per-(task, scenario) entries, the submission checker used in
+// result review, and result reporting (which deliberately produces no summary
+// score).
+package submission
+
+import (
+	"fmt"
+
+	"mlperf/internal/accuracy"
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+)
+
+// Division is the ruleset a result was produced under.
+type Division string
+
+// The two divisions.
+const (
+	// Closed requires the reference model, data set and quality target, so
+	// results are comparable across systems.
+	Closed Division = "closed"
+	// Open allows different models and quality targets to foster innovation;
+	// open results are not directly comparable.
+	Open Division = "open"
+)
+
+// Category is the availability classification of the system under test.
+type Category string
+
+// The three availability categories.
+const (
+	Available Category = "available"
+	Preview   Category = "preview"
+	// RDO covers research, development or other systems.
+	RDO Category = "rdo"
+)
+
+// ValidDivision reports whether d is a known division.
+func ValidDivision(d Division) bool { return d == Closed || d == Open }
+
+// ValidCategory reports whether c is a known category.
+func ValidCategory(c Category) bool { return c == Available || c == Preview || c == RDO }
+
+// SystemDescription captures the SUT configuration characteristics a
+// submission must disclose.
+type SystemDescription struct {
+	Name             string
+	Submitter        string
+	ProcessorType    string // CPU, GPU, DSP, FPGA or ASIC
+	AcceleratorCount int
+	HostProcessors   int
+	MemoryGB         int
+	Framework        string
+	SoftwareStack    string
+}
+
+// Validate reports missing mandatory fields.
+func (s SystemDescription) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("submission: system description needs a name")
+	}
+	if s.Submitter == "" {
+		return fmt.Errorf("submission: system description needs a submitter")
+	}
+	if s.ProcessorType == "" {
+		return fmt.Errorf("submission: system description needs a processor type")
+	}
+	if s.Framework == "" {
+		return fmt.Errorf("submission: system description needs a software framework")
+	}
+	return nil
+}
+
+// Entry is one measured (task, scenario) result for a system.
+type Entry struct {
+	System   SystemDescription
+	Division Division
+	Category Category
+
+	Task     core.Task
+	Scenario loadgen.Scenario
+	// ModelUsed names the model actually run; in the closed division it must
+	// be the task's reference model.
+	ModelUsed string
+
+	Performance *loadgen.Result
+	Accuracy    *accuracy.Report
+
+	// OpenDeviations documents how an open-division entry deviates from the
+	// closed rules (required for open submissions).
+	OpenDeviations string
+}
+
+// MetricValue returns the entry's headline metric.
+func (e Entry) MetricValue() float64 {
+	if e.Performance == nil {
+		return 0
+	}
+	return e.Performance.MetricValue()
+}
+
+// Submission is one organization's full set of entries for a round.
+type Submission struct {
+	Submitter string
+	Entries   []Entry
+}
+
+// TasksCovered returns the distinct tasks with at least one entry. A
+// submission may cover any subset of the suite (Section V-A).
+func (s Submission) TasksCovered() []core.Task {
+	seen := map[core.Task]bool{}
+	var out []core.Task
+	for _, e := range s.Entries {
+		if !seen[e.Task] {
+			seen[e.Task] = true
+			out = append(out, e.Task)
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package submission
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mlperf/internal/accuracy"
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+)
+
+func validSystem() SystemDescription {
+	return SystemDescription{
+		Name: "dc-gpu-g1", Submitter: "acme", ProcessorType: "GPU",
+		AcceleratorCount: 4, HostProcessors: 2, MemoryGB: 256,
+		Framework: "TensorRT", SoftwareStack: "driver 440",
+	}
+}
+
+func validResult(s loadgen.Scenario) *loadgen.Result {
+	r := &loadgen.Result{
+		Scenario:         s,
+		Mode:             loadgen.PerformanceMode,
+		QueriesIssued:    1024,
+		QueriesCompleted: 1024,
+		SamplesIssued:    24576,
+		SamplesCompleted: 24576,
+		TestDuration:     61 * time.Second,
+		Valid:            true,
+	}
+	switch s {
+	case loadgen.SingleStream:
+		r.SingleStreamLatency = 5 * time.Millisecond
+	case loadgen.Server:
+		r.ServerAchievedQPS = 1000
+		r.QueriesIssued = 270336
+		r.QueriesCompleted = 270336
+	case loadgen.MultiStream:
+		r.MultiStreamStreams = 8
+		r.QueriesIssued = 270336
+		r.QueriesCompleted = 270336
+	case loadgen.Offline:
+		r.OfflineSamplesPerSec = 50000
+		r.QueriesIssued = 1
+		r.QueriesCompleted = 1
+	}
+	return r
+}
+
+func validEntry(t core.Task, s loadgen.Scenario) Entry {
+	spec, _ := core.Spec(t)
+	return Entry{
+		System:      validSystem(),
+		Division:    Closed,
+		Category:    Available,
+		Task:        t,
+		Scenario:    s,
+		ModelUsed:   string(spec.ReferenceModel),
+		Performance: validResult(s),
+		Accuracy:    &accuracy.Report{Metric: "top1", Value: 0.757, Target: 0.752, Reference: 0.76456, Pass: true, Samples: 256},
+	}
+}
+
+func TestDivisionAndCategoryValidation(t *testing.T) {
+	if !ValidDivision(Closed) || !ValidDivision(Open) || ValidDivision("middle") {
+		t.Error("division validation wrong")
+	}
+	if !ValidCategory(Available) || !ValidCategory(Preview) || !ValidCategory(RDO) || ValidCategory("beta") {
+		t.Error("category validation wrong")
+	}
+}
+
+func TestSystemDescriptionValidate(t *testing.T) {
+	if err := validSystem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*SystemDescription){
+		func(s *SystemDescription) { s.Name = "" },
+		func(s *SystemDescription) { s.Submitter = "" },
+		func(s *SystemDescription) { s.ProcessorType = "" },
+		func(s *SystemDescription) { s.Framework = "" },
+	}
+	for i, mutate := range bad {
+		s := validSystem()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestCheckEntryCleanClosedEntry(t *testing.T) {
+	e := validEntry(core.ImageClassificationHeavy, loadgen.SingleStream)
+	issues := CheckEntry(0, e, CheckOptions{})
+	if len(issues) != 0 {
+		t.Errorf("clean entry reported issues: %v", issues)
+	}
+}
+
+func TestCheckEntryRules(t *testing.T) {
+	base := func() Entry { return validEntry(core.ImageClassificationHeavy, loadgen.SingleStream) }
+
+	wrongModel := base()
+	wrongModel.ModelUsed = "efficientnet"
+	if issues := CheckEntry(0, wrongModel, CheckOptions{}); len(issues) == 0 {
+		t.Error("closed division with non-reference model: expected issue")
+	}
+
+	openMissingDocs := base()
+	openMissingDocs.Division = Open
+	if issues := CheckEntry(0, openMissingDocs, CheckOptions{}); len(issues) == 0 {
+		t.Error("open division without deviation docs: expected issue")
+	}
+	openOK := base()
+	openOK.Division = Open
+	openOK.ModelUsed = "efficientnet" // allowed in open
+	openOK.OpenDeviations = "replaced the model with EfficientNet, INT4 weights"
+	openOK.Accuracy = nil // open division may change quality targets
+	if issues := CheckEntry(0, openOK, CheckOptions{}); len(issues) != 0 {
+		t.Errorf("documented open entry flagged: %v", issues)
+	}
+
+	missingPerf := base()
+	missingPerf.Performance = nil
+	if issues := CheckEntry(0, missingPerf, CheckOptions{}); len(issues) == 0 {
+		t.Error("missing performance: expected issue")
+	}
+
+	invalidRun := base()
+	invalidRun.Performance = validResult(loadgen.SingleStream)
+	invalidRun.Performance.Valid = false
+	invalidRun.Performance.ValidityMessages = []string{"too few queries"}
+	if issues := CheckEntry(0, invalidRun, CheckOptions{}); len(issues) == 0 {
+		t.Error("invalid LoadGen run: expected issue")
+	}
+
+	tooFewQueries := base()
+	tooFewQueries.Performance = validResult(loadgen.SingleStream)
+	tooFewQueries.Performance.QueriesIssued = 100
+	if issues := CheckEntry(0, tooFewQueries, CheckOptions{}); len(issues) == 0 {
+		t.Error("query count below Table V: expected issue")
+	}
+	// The same entry passes when the checker is told the run was scaled down.
+	if issues := CheckEntry(0, tooFewQueries, CheckOptions{ScaleFactor: 16}); len(issues) != 0 {
+		t.Errorf("scaled check still flagged: %v", issues)
+	}
+
+	failedQuality := base()
+	failedQuality.Accuracy = &accuracy.Report{Metric: "top1", Value: 0.70, Target: 0.752, Pass: false}
+	if issues := CheckEntry(0, failedQuality, CheckOptions{}); len(issues) == 0 {
+		t.Error("quality below target: expected issue")
+	}
+
+	missingAccuracy := base()
+	missingAccuracy.Accuracy = nil
+	if issues := CheckEntry(0, missingAccuracy, CheckOptions{}); len(issues) == 0 {
+		t.Error("closed entry without accuracy run: expected issue")
+	}
+
+	badTask := base()
+	badTask.Task = "speech-recognition"
+	if issues := CheckEntry(0, badTask, CheckOptions{}); len(issues) == 0 {
+		t.Error("unknown task: expected issue")
+	}
+
+	badDivision := base()
+	badDivision.Division = "middle"
+	badDivision.Category = "beta"
+	badDivision.System.Framework = ""
+	issues := CheckEntry(3, badDivision, CheckOptions{})
+	if len(issues) < 3 {
+		t.Errorf("expected multiple issues, got %v", issues)
+	}
+	if issues[0].String() == "" {
+		t.Error("issue string empty")
+	}
+}
+
+func TestCheckEntryOfflineSampleCount(t *testing.T) {
+	e := validEntry(core.ImageClassificationHeavy, loadgen.Offline)
+	e.Performance.SamplesIssued = 1000
+	if issues := CheckEntry(0, e, CheckOptions{}); len(issues) == 0 {
+		t.Error("offline with too few samples: expected issue")
+	}
+	e.Performance.SamplesIssued = 24576
+	if issues := CheckEntry(0, e, CheckOptions{}); len(issues) != 0 {
+		t.Errorf("offline with enough samples flagged: %v", issues)
+	}
+}
+
+func TestCheckSubmission(t *testing.T) {
+	good := validEntry(core.ImageClassificationHeavy, loadgen.SingleStream)
+	bad := validEntry(core.MachineTranslation, loadgen.Server)
+	bad.Accuracy = nil
+	sub := Submission{Submitter: "acme", Entries: []Entry{good, bad}}
+	issues, cleared := Check(sub, CheckOptions{})
+	if cleared != 1 {
+		t.Errorf("cleared = %d, want 1", cleared)
+	}
+	if len(issues) == 0 {
+		t.Error("expected issues for the bad entry")
+	}
+	tasks := sub.TasksCovered()
+	if len(tasks) != 2 {
+		t.Errorf("tasks covered = %v", tasks)
+	}
+}
+
+func TestReport(t *testing.T) {
+	entries := []Entry{
+		validEntry(core.ImageClassificationHeavy, loadgen.SingleStream),
+		validEntry(core.ImageClassificationHeavy, loadgen.Offline),
+		validEntry(core.MachineTranslation, loadgen.Server),
+	}
+	sub := Submission{Submitter: "acme", Entries: entries}
+	report := Report(sub)
+	for _, want := range []string{"acme", "no summary score", "image-classification-heavy", "machine-translation", "QPS", "samples/s"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// An entry without performance/accuracy prints placeholders instead of
+	// crashing.
+	sub.Entries = append(sub.Entries, Entry{System: validSystem(), Division: Open, Category: RDO,
+		Task: core.ImageClassificationLight, Scenario: loadgen.MultiStream, OpenDeviations: "prototype"})
+	if !strings.Contains(Report(sub), "n/a") {
+		t.Error("expected placeholder metric for incomplete entry")
+	}
+}
+
+func TestCoverageTable(t *testing.T) {
+	entries := []Entry{
+		validEntry(core.ImageClassificationHeavy, loadgen.SingleStream),
+		validEntry(core.ImageClassificationHeavy, loadgen.SingleStream),
+		validEntry(core.ImageClassificationHeavy, loadgen.Offline),
+		validEntry(core.MachineTranslation, loadgen.Server),
+	}
+	table := CoverageTable(entries)
+	if table["resnet50-v1.5"][loadgen.SingleStream] != 2 {
+		t.Errorf("resnet single-stream count = %d", table["resnet50-v1.5"][loadgen.SingleStream])
+	}
+	if table["resnet50-v1.5"][loadgen.Offline] != 1 {
+		t.Errorf("resnet offline count = %d", table["resnet50-v1.5"][loadgen.Offline])
+	}
+	if table["gnmt"][loadgen.Server] != 1 {
+		t.Errorf("gnmt server count = %d", table["gnmt"][loadgen.Server])
+	}
+	// Open entries with custom models are counted under the custom name.
+	open := validEntry(core.ImageClassificationLight, loadgen.SingleStream)
+	open.Division = Open
+	open.ModelUsed = "efficientnet"
+	table = CoverageTable([]Entry{open})
+	if table["efficientnet"][loadgen.SingleStream] != 1 {
+		t.Error("open-division custom model not counted")
+	}
+}

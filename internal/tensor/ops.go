@@ -1,0 +1,330 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dimensions differ: %d vs %d", k, k2)
+	}
+	c := MustNew(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatVec computes y = A × x for a 2-D tensor A (m×k) and 1-D tensor x (k).
+func MatVec(a, x *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return nil, fmt.Errorf("tensor: MatVec requires rank-2 and rank-1 operands, got %v and %v", a.shape, x.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	if k != x.shape[0] {
+		return nil, fmt.Errorf("tensor: MatVec dimension mismatch: %d vs %d", k, x.shape[0])
+	}
+	y := MustNew(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		var sum float32
+		for p := 0; p < k; p++ {
+			sum += row[p] * x.data[p]
+		}
+		y.data[i] = sum
+	}
+	return y, nil
+}
+
+// Conv2DOptions configures a 2-D convolution over NCHW-free single-image
+// tensors in CHW layout.
+type Conv2DOptions struct {
+	Stride  int
+	Padding int
+}
+
+// Conv2D convolves input (C_in × H × W) with kernels (C_out × C_in × KH × KW)
+// and returns a (C_out × H_out × W_out) tensor. bias may be nil or a 1-D
+// tensor of length C_out.
+func Conv2D(input, kernels, bias *Tensor, opts Conv2DOptions) (*Tensor, error) {
+	if input.Rank() != 3 || kernels.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: Conv2D requires CHW input and OIHW kernels, got %v and %v", input.shape, kernels.shape)
+	}
+	if opts.Stride <= 0 {
+		return nil, fmt.Errorf("tensor: Conv2D stride must be positive, got %d", opts.Stride)
+	}
+	cin, h, w := input.shape[0], input.shape[1], input.shape[2]
+	cout, kcin, kh, kw := kernels.shape[0], kernels.shape[1], kernels.shape[2], kernels.shape[3]
+	if cin != kcin {
+		return nil, fmt.Errorf("tensor: Conv2D channel mismatch: input %d vs kernel %d", cin, kcin)
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != cout) {
+		return nil, fmt.Errorf("tensor: Conv2D bias shape %v does not match %d output channels", bias.shape, cout)
+	}
+	hOut := (h+2*opts.Padding-kh)/opts.Stride + 1
+	wOut := (w+2*opts.Padding-kw)/opts.Stride + 1
+	if hOut <= 0 || wOut <= 0 {
+		return nil, fmt.Errorf("tensor: Conv2D output would be empty (input %dx%d, kernel %dx%d, stride %d, pad %d)", h, w, kh, kw, opts.Stride, opts.Padding)
+	}
+	out := MustNew(cout, hOut, wOut)
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias.data[oc]
+		}
+		for oy := 0; oy < hOut; oy++ {
+			for ox := 0; ox < wOut; ox++ {
+				sum := b
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*opts.Stride + ky - opts.Padding
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*opts.Stride + kx - opts.Padding
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += input.data[(ic*h+iy)*w+ix] * kernels.data[((oc*cin+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.data[(oc*hOut+oy)*wOut+ox] = sum
+			}
+		}
+	}
+	return out, nil
+}
+
+// DepthwiseConv2D convolves each input channel with its own kernel
+// (C × KH × KW), as used by the MobileNet family's depthwise-separable
+// convolutions. bias may be nil or length C.
+func DepthwiseConv2D(input, kernels, bias *Tensor, opts Conv2DOptions) (*Tensor, error) {
+	if input.Rank() != 3 || kernels.Rank() != 3 {
+		return nil, fmt.Errorf("tensor: DepthwiseConv2D requires CHW input and CHW kernels, got %v and %v", input.shape, kernels.shape)
+	}
+	if opts.Stride <= 0 {
+		return nil, fmt.Errorf("tensor: DepthwiseConv2D stride must be positive, got %d", opts.Stride)
+	}
+	c, h, w := input.shape[0], input.shape[1], input.shape[2]
+	kc, kh, kw := kernels.shape[0], kernels.shape[1], kernels.shape[2]
+	if c != kc {
+		return nil, fmt.Errorf("tensor: DepthwiseConv2D channel mismatch: %d vs %d", c, kc)
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != c) {
+		return nil, fmt.Errorf("tensor: DepthwiseConv2D bias shape %v does not match %d channels", bias.shape, c)
+	}
+	hOut := (h+2*opts.Padding-kh)/opts.Stride + 1
+	wOut := (w+2*opts.Padding-kw)/opts.Stride + 1
+	if hOut <= 0 || wOut <= 0 {
+		return nil, fmt.Errorf("tensor: DepthwiseConv2D output would be empty")
+	}
+	out := MustNew(c, hOut, wOut)
+	for ch := 0; ch < c; ch++ {
+		var b float32
+		if bias != nil {
+			b = bias.data[ch]
+		}
+		for oy := 0; oy < hOut; oy++ {
+			for ox := 0; ox < wOut; ox++ {
+				sum := b
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*opts.Stride + ky - opts.Padding
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*opts.Stride + kx - opts.Padding
+						if ix < 0 || ix >= w {
+							continue
+						}
+						sum += input.data[(ch*h+iy)*w+ix] * kernels.data[(ch*kh+ky)*kw+kx]
+					}
+				}
+				out.data[(ch*hOut+oy)*wOut+ox] = sum
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2D applies max pooling with the given window and stride to a CHW
+// tensor.
+func MaxPool2D(input *Tensor, window, stride int) (*Tensor, error) {
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("tensor: MaxPool2D requires CHW input, got %v", input.shape)
+	}
+	if window <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("tensor: MaxPool2D window and stride must be positive")
+	}
+	c, h, w := input.shape[0], input.shape[1], input.shape[2]
+	hOut := (h-window)/stride + 1
+	wOut := (w-window)/stride + 1
+	if hOut <= 0 || wOut <= 0 {
+		return nil, fmt.Errorf("tensor: MaxPool2D output would be empty")
+	}
+	out := MustNew(c, hOut, wOut)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < hOut; oy++ {
+			for ox := 0; ox < wOut; ox++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < window; ky++ {
+					for kx := 0; kx < window; kx++ {
+						v := input.data[(ch*h+oy*stride+ky)*w+ox*stride+kx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.data[(ch*hOut+oy)*wOut+ox] = best
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool2D reduces a CHW tensor to a length-C vector by averaging each
+// channel.
+func GlobalAvgPool2D(input *Tensor) (*Tensor, error) {
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("tensor: GlobalAvgPool2D requires CHW input, got %v", input.shape)
+	}
+	c, h, w := input.shape[0], input.shape[1], input.shape[2]
+	out := MustNew(c)
+	area := float32(h * w)
+	for ch := 0; ch < c; ch++ {
+		var sum float32
+		base := ch * h * w
+		for i := 0; i < h*w; i++ {
+			sum += input.data[base+i]
+		}
+		out.data[ch] = sum / area
+	}
+	return out, nil
+}
+
+// ReLU applies max(0, x) in place and returns the tensor for chaining.
+func ReLU(t *Tensor) *Tensor {
+	for i, v := range t.data {
+		if v < 0 {
+			t.data[i] = 0
+		}
+	}
+	return t
+}
+
+// ReLU6 applies min(max(0, x), 6) in place (MobileNet's activation).
+func ReLU6(t *Tensor) *Tensor {
+	for i, v := range t.data {
+		switch {
+		case v < 0:
+			t.data[i] = 0
+		case v > 6:
+			t.data[i] = 6
+		}
+	}
+	return t
+}
+
+// Sigmoid applies the logistic function in place.
+func Sigmoid(t *Tensor) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return t
+}
+
+// Tanh applies the hyperbolic tangent in place.
+func Tanh(t *Tensor) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = float32(math.Tanh(float64(v)))
+	}
+	return t
+}
+
+// Softmax returns the softmax of a 1-D tensor as a new tensor.
+func Softmax(t *Tensor) (*Tensor, error) {
+	if t.Rank() != 1 {
+		return nil, fmt.Errorf("tensor: Softmax requires a rank-1 tensor, got %v", t.shape)
+	}
+	out := MustNew(t.shape[0])
+	maxV := float64(math.Inf(-1))
+	for _, v := range t.data {
+		if float64(v) > maxV {
+			maxV = float64(v)
+		}
+	}
+	var sum float64
+	for i, v := range t.data {
+		e := math.Exp(float64(v) - maxV)
+		out.data[i] = float32(e)
+		sum += e
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("tensor: Softmax underflow")
+	}
+	for i := range out.data {
+		out.data[i] = float32(float64(out.data[i]) / sum)
+	}
+	return out, nil
+}
+
+// ScaleShift applies y = x*scale[c] + shift[c] per channel of a CHW tensor in
+// place; it is the inference-time (folded) form of batch normalization.
+func ScaleShift(t *Tensor, scale, shift *Tensor) error {
+	if t.Rank() != 3 || scale.Rank() != 1 || shift.Rank() != 1 {
+		return fmt.Errorf("tensor: ScaleShift requires CHW input and 1-D scale/shift")
+	}
+	c, h, w := t.shape[0], t.shape[1], t.shape[2]
+	if scale.shape[0] != c || shift.shape[0] != c {
+		return fmt.Errorf("tensor: ScaleShift channel mismatch: input %d, scale %d, shift %d", c, scale.shape[0], shift.shape[0])
+	}
+	for ch := 0; ch < c; ch++ {
+		s, b := scale.data[ch], shift.data[ch]
+		base := ch * h * w
+		for i := 0; i < h*w; i++ {
+			t.data[base+i] = t.data[base+i]*s + b
+		}
+	}
+	return nil
+}
+
+// Concat concatenates 1-D tensors into a single 1-D tensor.
+func Concat(tensors ...*Tensor) (*Tensor, error) {
+	total := 0
+	for _, t := range tensors {
+		if t.Rank() != 1 {
+			return nil, fmt.Errorf("tensor: Concat requires rank-1 tensors, got %v", t.shape)
+		}
+		total += t.shape[0]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("tensor: Concat of zero elements")
+	}
+	out := MustNew(total)
+	off := 0
+	for _, t := range tensors {
+		copy(out.data[off:], t.data)
+		off += t.shape[0]
+	}
+	return out, nil
+}

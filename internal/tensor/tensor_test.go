@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	x, err := New(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rank() != 3 || x.Len() != 24 {
+		t.Fatalf("rank/len = %d/%d", x.Rank(), x.Len())
+	}
+	s := x.Shape()
+	if s[0] != 2 || s[1] != 3 || s[2] != 4 {
+		t.Fatalf("shape = %v", s)
+	}
+	// Mutating the returned shape must not affect the tensor.
+	s[0] = 99
+	if x.Dim(0) != 2 {
+		t.Error("Shape() returned a live reference")
+	}
+}
+
+func TestNewInvalid(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty shape: expected error")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("zero dimension: expected error")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative dimension: expected error")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	x, err := FromSlice(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", x.At(1, 2))
+	}
+	if _, err := FromSlice(data, 7); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+}
+
+func TestAtSetAndOffsets(t *testing.T) {
+	x := MustNew(2, 3)
+	x.Set(5, 1, 2)
+	if x.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %v", x.At(1, 2))
+	}
+	if x.Data()[5] != 5 {
+		t.Errorf("flat layout wrong: %v", x.Data())
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	MustNew(2, 2).At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := MustNew(3)
+	x.Fill(1)
+	y := x.Clone()
+	y.Set(9, 0)
+	if x.At(0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := MustNew(2, 6)
+	x.Set(7, 1, 5)
+	y, err := x.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(2, 3) != 7 {
+		t.Errorf("reshaped view lost data: %v", y.At(2, 3))
+	}
+	if _, err := x.Reshape(5); err == nil {
+		t.Error("bad reshape: expected error")
+	}
+}
+
+func TestElementwiseHelpers(t *testing.T) {
+	x := MustNew(4)
+	x.Fill(2)
+	x.Scale(3)
+	x.AddScalar(1)
+	if x.At(2) != 7 {
+		t.Errorf("scale/add = %v, want 7", x.At(2))
+	}
+	y := MustNew(4)
+	y.Fill(1)
+	if err := x.Add(y); err != nil {
+		t.Fatal(err)
+	}
+	if x.At(0) != 8 {
+		t.Errorf("Add = %v, want 8", x.At(0))
+	}
+	if err := x.Add(MustNew(5)); err == nil {
+		t.Error("shape mismatch Add: expected error")
+	}
+	if x.Sum() != 32 {
+		t.Errorf("Sum = %v, want 32", x.Sum())
+	}
+	x.Apply(func(v float32) float32 { return -v })
+	if x.MaxAbs() != 8 {
+		t.Errorf("MaxAbs = %v, want 8", x.MaxAbs())
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x, _ := FromSlice([]float32{0.1, 0.7, 0.2}, 3)
+	if x.ArgMax() != 1 {
+		t.Errorf("ArgMax = %d, want 1", x.ArgMax())
+	}
+}
+
+func TestEqualish(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2}, 2)
+	b, _ := FromSlice([]float32{1.0005, 2}, 2)
+	if !Equalish(a, b, 1e-3) {
+		t.Error("expected Equalish within tolerance")
+	}
+	if Equalish(a, b, 1e-6) {
+		t.Error("expected not Equalish with tight tolerance")
+	}
+	c := MustNew(3)
+	if Equalish(a, c, 1) {
+		t.Error("different shapes must not be Equalish")
+	}
+}
+
+func TestReshapePreservesSumProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 || len(vals) > 256 {
+			return true
+		}
+		x, err := FromSlice(vals, len(vals))
+		if err != nil {
+			return false
+		}
+		y, err := x.Reshape(1, len(vals))
+		if err != nil {
+			return false
+		}
+		return x.Sum() == y.Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
