@@ -188,6 +188,123 @@ func BenchmarkGNMTMiniTranslation(b *testing.B) {
 	}
 }
 
+// --- Compute-kernel microbenchmarks: blocked/parallel engine vs the
+// retained serial reference kernels (the speedup the paper's "as fast as the
+// hardware allows" requirement hinges on). ---
+
+func randTensor(seed uint64, shape ...int) *tensor.Tensor {
+	t := tensor.MustNew(shape...)
+	rng := stats.NewRNG(seed)
+	data := t.Data()
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func BenchmarkKernelMatMul(b *testing.B) {
+	a := randTensor(1, 128, 256)
+	bm := randTensor(2, 256, 128)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MatMulSerial(a, bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MatMul(a, bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkKernelConv2D(b *testing.B) {
+	input := randTensor(3, 32, 32, 32)
+	kernels := randTensor(4, 64, 32, 3, 3)
+	bias := randTensor(5, 64)
+	opts := tensor.Conv2DOptions{Stride: 1, Padding: 1}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.Conv2DSerial(input, kernels, bias, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("im2col", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.Conv2D(input, kernels, bias, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkKernelDepthwiseConv2D(b *testing.B) {
+	input := randTensor(6, 64, 32, 32)
+	kernels := randTensor(7, 64, 3, 3)
+	bias := randTensor(8, 64)
+	opts := tensor.Conv2DOptions{Stride: 1, Padding: 1}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.DepthwiseConv2DSerial(input, kernels, bias, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rowwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.DepthwiseConv2D(input, kernels, bias, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNativeClassifier contrasts the zero-allocation scratch-arena
+// inference path (what the native SUT runs) with the plain heap-allocating
+// forward pass it replaced.
+func BenchmarkNativeClassifier(b *testing.B) {
+	builders := []struct {
+		name  string
+		build func(model.ClassifierConfig) (*model.ImageClassifier, error)
+	}{
+		{"resnet50", model.NewResNet50Mini},
+		{"mobilenet", model.NewMobileNetV1Mini},
+	}
+	for _, bl := range builders {
+		m, err := bl.build(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		img := randTensor(9, 3, 16, 16)
+		b.Run(bl.name+"/heap", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ClassifyReference(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(bl.name+"/scratch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Classify(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Quantization flow. ---
 
 func BenchmarkINT8WeightQuantization(b *testing.B) {

@@ -1,0 +1,3 @@
+module mlperf
+
+go 1.24

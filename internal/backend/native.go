@@ -13,6 +13,7 @@ package backend
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"mlperf/internal/dataset"
@@ -39,7 +40,11 @@ type NativeConfig struct {
 	Translator model.Translator
 	// Store provides input samples.
 	Store SampleStore
-	// Workers is the number of concurrent inference workers (defaults to 1).
+	// Workers is the number of concurrent inference workers. It defaults to
+	// runtime.GOMAXPROCS(0), floored at 2, so multi-sample (offline/server)
+	// traffic saturates every core while the issue loop can still overlap
+	// with an in-flight inference on single-core hosts; set it to 1 for a
+	// deliberately serial SUT.
 	Workers int
 }
 
@@ -97,17 +102,38 @@ func NewNative(cfg NativeConfig) (*Native, error) {
 		return nil, fmt.Errorf("backend: unknown task kind %v", cfg.Kind)
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = 1
+		cfg.Workers = defaultWorkers()
 	}
 	return &Native{cfg: cfg, sem: make(chan struct{}, cfg.Workers)}, nil
+}
+
+// defaultWorkers is GOMAXPROCS floored at 2: all cores for throughput, and
+// never so few that the LoadGen's issue loop serializes against an in-flight
+// inference on a single-core host.
+func defaultWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 2 {
+		return w
+	}
+	return 2
 }
 
 // Name implements loadgen.SUT.
 func (n *Native) Name() string { return n.cfg.Name }
 
-// IssueQuery implements loadgen.SUT. Samples are processed by a bounded
-// worker pool; each sample's response is reported as soon as it finishes.
+// IssueQuery implements loadgen.SUT. Single-sample queries are processed by
+// a bounded worker pool so concurrent server-style queries overlap; a
+// multi-sample (multistream/offline) query takes the batched path, fanning
+// its samples out across all workers and completing each worker's chunk in
+// one call, so one big offline query saturates every core.
 func (n *Native) IssueQuery(q *loadgen.Query) {
+	if len(q.Samples) > 1 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.runBatch(q)
+		}()
+		return
+	}
 	for _, s := range q.Samples {
 		s := s
 		n.wg.Add(1)
@@ -123,6 +149,50 @@ func (n *Native) IssueQuery(q *loadgen.Query) {
 			q.Complete([]loadgen.Response{{SampleID: s.ID, Data: data}})
 		}()
 	}
+}
+
+// runBatch spreads a multi-sample query's inference across the worker
+// semaphore in contiguous chunks. Each chunk is inferred by one goroutine and
+// reported in a single Complete call, keeping response bookkeeping
+// proportional to the worker count rather than the sample count. Because
+// every chunk holds a semaphore slot while inferring, total in-flight
+// inference — across this batch, concurrent batches and single-sample
+// queries — never exceeds cfg.Workers.
+func (n *Native) runBatch(q *loadgen.Query) {
+	grain := batchGrain(len(q.Samples), n.cfg.Workers)
+	for lo := 0; lo < len(q.Samples); lo += grain {
+		hi := lo + grain
+		if hi > len(q.Samples) {
+			hi = len(q.Samples)
+		}
+		lo, hi := lo, hi
+		n.wg.Add(1)
+		n.sem <- struct{}{}
+		go func() {
+			defer n.wg.Done()
+			defer func() { <-n.sem }()
+			responses := make([]loadgen.Response, hi-lo)
+			for i := lo; i < hi; i++ {
+				data, err := n.inferSample(q.Samples[i].Index)
+				if err != nil {
+					n.errs.add(err)
+					data = nil
+				}
+				responses[i-lo] = loadgen.Response{SampleID: q.Samples[i].ID, Data: data}
+			}
+			q.Complete(responses)
+		}()
+	}
+}
+
+// batchGrain yields several chunks per worker so stragglers rebalance while
+// chunks stay large enough to amortize completion bookkeeping.
+func batchGrain(samples, workers int) int {
+	grain := samples / (4 * workers)
+	if grain < 1 {
+		grain = 1
+	}
+	return grain
 }
 
 // inferSample runs the model on one sample and encodes the prediction.

@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"mlperf/internal/accuracy"
 	"mlperf/internal/backend"
@@ -32,7 +33,8 @@ type BuildOptions struct {
 	Vocab int
 	// Seed drives model initialization, data generation and calibration.
 	Seed uint64
-	// Workers is the native backend's inference concurrency (default 2).
+	// Workers is the native backend's inference concurrency (defaults to
+	// runtime.GOMAXPROCS, i.e. all cores).
 	Workers int
 	// Quantization, when non-empty, converts the model weights to the given
 	// format after the FP32 reference quality is established, using the
@@ -56,7 +58,12 @@ func (o *BuildOptions) normalize() {
 		o.Vocab = 64
 	}
 	if o.Workers <= 0 {
-		o.Workers = 2
+		// All cores, floored at 2 so the issue loop still overlaps with an
+		// in-flight inference on single-core hosts (matches backend.Native).
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers < 2 {
+			o.Workers = 2
+		}
 	}
 	if o.CalibrationSamples <= 0 {
 		o.CalibrationSamples = 32

@@ -54,6 +54,12 @@ func StartTest(sut SUT, qsl QuerySampleLibrary, settings TestSettings) (*Result,
 		QSLName:            qsl.Name(),
 		PerformanceSamples: len(run.loadedSet),
 	}
+	if settings.MinQueryCount > 0 {
+		// Most performance runs complete close to MinQueryCount queries;
+		// sizing the latency log up front avoids repeated append growth under
+		// the completion lock.
+		run.queryLatencies = make([]time.Duration, 0, settings.MinQueryCount)
+	}
 
 	var err error
 	switch settings.Scenario {
@@ -165,9 +171,21 @@ func (r *activeRun) newQuery(indices []int, scheduled time.Duration) *Query {
 // issue sends a query to the SUT, wiring its completion callback. done, when
 // non-nil, is closed after the query fully completes.
 func (r *activeRun) issue(q *Query, done chan<- struct{}) {
-	sampleIndexByID := make(map[uint64]int, len(q.Samples))
-	for _, s := range q.Samples {
-		sampleIndexByID[s.ID] = s.Index
+	// Single-sample queries (the single-stream and server issue paths) do not
+	// need the ID→index map; resolving through q.Samples[0] directly keeps the
+	// per-query issue path free of map allocations.
+	var sampleIndexByID map[uint64]int
+	if len(q.Samples) > 1 {
+		sampleIndexByID = make(map[uint64]int, len(q.Samples))
+		for _, s := range q.Samples {
+			sampleIndexByID[s.ID] = s.Index
+		}
+	}
+	sampleIndex := func(id uint64) int {
+		if sampleIndexByID != nil {
+			return sampleIndexByID[id]
+		}
+		return q.Samples[0].Index
 	}
 	q.complete = func(q *Query, responses []Response) {
 		completedAt := time.Now()
@@ -195,7 +213,7 @@ func (r *activeRun) issue(q *Query, done chan<- struct{}) {
 				copy(data, resp.Data)
 				r.accuracyLog = append(r.accuracyLog, AccuracyEntry{
 					QueryID:     q.ID,
-					SampleIndex: sampleIndexByID[resp.SampleID],
+					SampleIndex: sampleIndex(resp.SampleID),
 					Data:        data,
 				})
 			}

@@ -49,17 +49,46 @@ func (m *ImageClassifier) InputShape() []int {
 	return s
 }
 
-// Logits implements Classifier.
-func (m *ImageClassifier) Logits(img *tensor.Tensor) (*tensor.Tensor, error) {
+// logitsOn validates the input and runs the forward pass, allocating
+// intermediates from s (or the heap when s is nil). The result is
+// arena-backed when s is non-nil and must not outlive the arena.
+func (m *ImageClassifier) logitsOn(img *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
 	if img.Rank() != 3 {
 		return nil, fmt.Errorf("model %s: want CHW input, got %v", m.info.Name, img.Shape())
 	}
-	return m.net.Forward(img)
+	return nn.ForwardWith(m.net, img, s)
 }
 
-// Classify implements Classifier.
+// Logits implements Classifier. The forward pass runs on a pooled scratch
+// arena; the returned tensor is an independent copy the caller owns.
+func (m *ImageClassifier) Logits(img *tensor.Tensor) (*tensor.Tensor, error) {
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	logits, err := m.logitsOn(img, s)
+	if err != nil {
+		return nil, err
+	}
+	return logits.Clone(), nil
+}
+
+// Classify implements Classifier. Steady-state calls are allocation-free:
+// every intermediate tensor comes from a pooled scratch arena and only the
+// argmax leaves the pass.
 func (m *ImageClassifier) Classify(img *tensor.Tensor) (int, error) {
-	logits, err := m.Logits(img)
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	logits, err := m.logitsOn(img, s)
+	if err != nil {
+		return 0, err
+	}
+	return logits.ArgMax(), nil
+}
+
+// ClassifyReference runs the plain allocating forward pass (every layer
+// output on the heap, no arena). It is retained as the baseline the
+// zero-allocation Classify path is benchmarked against.
+func (m *ImageClassifier) ClassifyReference(img *tensor.Tensor) (int, error) {
+	logits, err := m.logitsOn(img, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"mlperf/internal/metrics"
@@ -84,11 +85,13 @@ func (d *SSDDetector) Detect(img *tensor.Tensor) ([]metrics.Box, error) {
 	if img.Rank() != 3 {
 		return nil, fmt.Errorf("model %s: want CHW input, got %v", d.info.Name, img.Shape())
 	}
-	features, err := d.backbone.Forward(img)
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	features, err := nn.ForwardWith(d.backbone, img, s)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := d.head.Forward(features)
+	raw, err := nn.ForwardWith(d.head, features, s)
 	if err != nil {
 		return nil, err
 	}
@@ -146,11 +149,10 @@ func (d *SSDDetector) decode(raw *tensor.Tensor) ([]metrics.Box, error) {
 	return nonMaxSuppression(candidates, d.cfg.NMSIoU, d.cfg.MaxDetections), nil
 }
 
+// sigmoid64 matches tensor.Sigmoid's rounding exactly (float32 in, float64
+// math, float32 out) without allocating a one-element tensor per call.
 func sigmoid64(x float64) float64 {
-	t := tensor.MustNew(1)
-	t.Data()[0] = float32(x)
-	tensor.Sigmoid(t)
-	return float64(t.Data()[0])
+	return float64(float32(1 / (1 + math.Exp(-float64(float32(x))))))
 }
 
 func clamp01(v float64) float64 {

@@ -29,6 +29,27 @@ type Layer interface {
 	Ops(in []int) (int64, error)
 }
 
+// ScratchLayer is implemented by layers that can run their forward pass with
+// all intermediate and output tensors allocated from a caller-provided
+// Scratch arena, so steady-state inference performs no per-sample heap
+// allocation. The returned tensor is arena-backed: it is invalidated by the
+// arena's next Reset and must be cloned if it outlives the pass.
+type ScratchLayer interface {
+	ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error)
+}
+
+// ForwardWith runs l on x, using the arena-backed fast path when s is
+// non-nil and the layer supports it, and the plain allocating Forward
+// otherwise.
+func ForwardWith(l Layer, x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if s != nil {
+		if sl, ok := l.(ScratchLayer); ok {
+			return sl.ForwardScratch(x, s)
+		}
+	}
+	return l.Forward(x)
+}
+
 // Sequential chains layers; the output of layer i feeds layer i+1.
 type Sequential struct {
 	name   string
@@ -54,9 +75,19 @@ func (s *Sequential) Layers() []Layer { return s.layers }
 
 // Forward implements Layer by running every contained layer in order.
 func (s *Sequential) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.forward(x, nil)
+}
+
+// ForwardScratch implements ScratchLayer; contained layers that support the
+// arena path use it, the rest fall back to Forward.
+func (s *Sequential) ForwardScratch(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
+	return s.forward(x, sc)
+}
+
+func (s *Sequential) forward(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
 	cur := x
 	for _, l := range s.layers {
-		out, err := l.Forward(cur)
+		out, err := ForwardWith(l, cur, sc)
 		if err != nil {
 			return nil, fmt.Errorf("nn: %s/%s: %w", s.name, l.Name(), err)
 		}
@@ -127,7 +158,24 @@ func (r *Residual) Body() Layer { return r.body }
 
 // Forward implements Layer.
 func (r *Residual) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	out, err := r.body.Forward(x.Clone())
+	return r.forward(x, nil)
+}
+
+// ForwardScratch implements ScratchLayer.
+func (r *Residual) ForwardScratch(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
+	return r.forward(x, sc)
+}
+
+func (r *Residual) forward(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
+	// The body may run in place over its input, so it gets a copy and the
+	// original x stays intact for the shortcut add.
+	var body *tensor.Tensor
+	if sc != nil {
+		body = sc.CloneTensor(x)
+	} else {
+		body = x.Clone()
+	}
+	out, err := ForwardWith(r.body, body, sc)
 	if err != nil {
 		return nil, fmt.Errorf("nn: %s: %w", r.name, err)
 	}

@@ -47,6 +47,36 @@ func (c *Conv) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// ForwardScratch implements ScratchLayer: the output and the im2col buffer
+// come from the arena. The output geometry is computed inline (duplicating
+// OutputShape) because OutputShape's []int round-trip would allocate on the
+// hot path; tensor.Conv2DInto re-validates the same arithmetic, so a drift
+// between the two copies fails loudly with a dst-shape error.
+func (c *Conv) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("conv %s: want CHW input, got %v", c.name, x.Shape())
+	}
+	if c.Stride <= 0 {
+		return nil, fmt.Errorf("conv %s: stride must be positive, got %d", c.name, c.Stride)
+	}
+	h := (x.Dim(1)+2*c.Padding-c.Weights.Dim(2))/c.Stride + 1
+	w := (x.Dim(2)+2*c.Padding-c.Weights.Dim(3))/c.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("conv %s: empty output for input %v", c.name, x.Shape())
+	}
+	out := s.Tensor(c.Weights.Dim(0), h, w)
+	if err := tensor.Conv2DInto(out, x, c.Weights, c.Bias, tensor.Conv2DOptions{Stride: c.Stride, Padding: c.Padding}, s); err != nil {
+		return nil, err
+	}
+	if c.Relu6 {
+		return tensor.ReLU6(out), nil
+	}
+	if c.Relu {
+		return tensor.ReLU(out), nil
+	}
+	return out, nil
+}
+
 // OutputShape implements Layer.
 func (c *Conv) OutputShape(in []int) ([]int, error) {
 	if len(in) != 3 {
@@ -102,6 +132,26 @@ func (d *DepthwiseConv) Name() string { return d.name }
 func (d *DepthwiseConv) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	out, err := tensor.DepthwiseConv2D(x, d.Weights, d.Bias, tensor.Conv2DOptions{Stride: d.Stride, Padding: d.Padding})
 	if err != nil {
+		return nil, err
+	}
+	return tensor.ReLU6(out), nil
+}
+
+// ForwardScratch implements ScratchLayer.
+func (d *DepthwiseConv) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("dwconv %s: want CHW input, got %v", d.name, x.Shape())
+	}
+	if d.Stride <= 0 {
+		return nil, fmt.Errorf("dwconv %s: stride must be positive, got %d", d.name, d.Stride)
+	}
+	h := (x.Dim(1)+2*d.Padding-d.Weights.Dim(1))/d.Stride + 1
+	w := (x.Dim(2)+2*d.Padding-d.Weights.Dim(2))/d.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("dwconv %s: empty output for input %v", d.name, x.Shape())
+	}
+	out := s.Tensor(x.Dim(0), h, w)
+	if err := tensor.DepthwiseConv2DInto(out, x, d.Weights, d.Bias, tensor.Conv2DOptions{Stride: d.Stride, Padding: d.Padding}); err != nil {
 		return nil, err
 	}
 	return tensor.ReLU6(out), nil
@@ -174,6 +224,24 @@ func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return y, nil
 }
 
+// ForwardScratch implements ScratchLayer.
+func (d *Dense) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 1 {
+		return nil, fmt.Errorf("dense %s: want rank-1 input, got %v", d.name, x.Shape())
+	}
+	y := s.Tensor(d.Weights.Dim(0))
+	if err := tensor.MatVecInto(y, d.Weights, x); err != nil {
+		return nil, err
+	}
+	if err := y.Add(d.Bias); err != nil {
+		return nil, err
+	}
+	if d.Relu {
+		return tensor.ReLU(y), nil
+	}
+	return y, nil
+}
+
 // OutputShape implements Layer.
 func (d *Dense) OutputShape(in []int) ([]int, error) {
 	ws := d.Weights.Shape()
@@ -212,6 +280,26 @@ func (m *MaxPool) Name() string { return m.name }
 // Forward implements Layer.
 func (m *MaxPool) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.MaxPool2D(x, m.Window, m.Stride)
+}
+
+// ForwardScratch implements ScratchLayer.
+func (m *MaxPool) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("maxpool %s: want CHW input, got %v", m.name, x.Shape())
+	}
+	if m.Stride <= 0 || m.Window <= 0 {
+		return nil, fmt.Errorf("maxpool %s: window and stride must be positive", m.name)
+	}
+	h := (x.Dim(1)-m.Window)/m.Stride + 1
+	w := (x.Dim(2)-m.Window)/m.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("maxpool %s: empty output for input %v", m.name, x.Shape())
+	}
+	out := s.Tensor(x.Dim(0), h, w)
+	if err := tensor.MaxPool2DInto(out, x, m.Window, m.Stride); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // OutputShape implements Layer.
@@ -253,6 +341,18 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.GlobalAvgPool2D(x)
 }
 
+// ForwardScratch implements ScratchLayer.
+func (g *GlobalAvgPool) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("gap %s: want CHW input, got %v", g.name, x.Shape())
+	}
+	out := s.Tensor(x.Dim(0))
+	if err := tensor.GlobalAvgPool2DInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // OutputShape implements Layer.
 func (g *GlobalAvgPool) OutputShape(in []int) ([]int, error) {
 	if len(in) != 3 {
@@ -283,6 +383,18 @@ func (s *Softmax) Name() string { return s.name }
 
 // Forward implements Layer.
 func (s *Softmax) Forward(x *tensor.Tensor) (*tensor.Tensor, error) { return tensor.Softmax(x) }
+
+// ForwardScratch implements ScratchLayer.
+func (s *Softmax) ForwardScratch(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 1 {
+		return nil, fmt.Errorf("softmax %s: want rank-1 input, got %v", s.name, x.Shape())
+	}
+	out := sc.Tensor(x.Dim(0))
+	if err := tensor.SoftmaxInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // OutputShape implements Layer.
 func (s *Softmax) OutputShape(in []int) ([]int, error) {

@@ -1,0 +1,137 @@
+// Package parallel provides the shared worker pool the compute kernels use
+// to spread data-parallel loops across cores. The pool is sized to
+// runtime.GOMAXPROCS once at startup and shared by every kernel in the
+// process, so nested parallelism (e.g. the native backend's inference workers
+// each invoking parallel kernels) degrades gracefully to caller-executed work
+// instead of oversubscribing the machine.
+//
+// The primitive is For(n, grain, fn): the half-open range [0, n) is split
+// into chunks of at most grain indices and each chunk is passed to fn exactly
+// once. The caller always participates in the loop ("help-first" scheduling),
+// so For never deadlocks even when every pool worker is busy, and a chunk is
+// processed by exactly one goroutine, which keeps floating-point accumulation
+// order — and therefore results — bit-for-bit deterministic regardless of how
+// chunks land on workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of worker goroutines that help execute For loops.
+type Pool struct {
+	workers int
+	tasks   chan *forJob
+}
+
+// forJob is the shared state of one For invocation. Jobs are recycled
+// through a sync.Pool so a parallel loop costs one closure allocation at the
+// call site and nothing else in steady state.
+type forJob struct {
+	fn     func(lo, hi int)
+	n      int
+	grain  int
+	chunks int64
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// run claims chunks from the shared cursor until none remain.
+func (j *forJob) run() {
+	for {
+		c := j.cursor.Add(1) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo := int(c) * j.grain
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+	}
+}
+
+var jobPool = sync.Pool{New: func() any { return new(forJob) }}
+
+// NewPool returns a pool with the given number of logical workers. The caller
+// of For counts as one worker, so workers-1 helper goroutines are spawned;
+// a pool of one runs everything inline.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan *forJob)}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for job := range p.tasks {
+				job.run()
+				job.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's logical worker count (including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+// For splits [0, n) into chunks of at most grain indices and runs
+// fn(lo, hi) for each chunk. Chunks are claimed from a shared atomic cursor
+// by the caller and by any idle pool workers; the call returns after every
+// chunk has finished. fn must be safe to call concurrently on disjoint
+// ranges. A non-positive grain defaults to a grain that yields roughly four
+// chunks per worker (enough slack for load balancing without scheduling
+// overhead).
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n / (4 * p.workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks == 1 || p.workers == 1 {
+		fn(0, n)
+		return
+	}
+
+	job := jobPool.Get().(*forJob)
+	job.fn, job.n, job.grain, job.chunks = fn, n, grain, int64(chunks)
+	job.cursor.Store(0)
+
+	// Recruit idle pool workers without blocking: an unbuffered send succeeds
+	// only when a worker is ready. If the pool is saturated (nested For), the
+	// caller simply does all the work itself.
+	helpers := p.workers - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	for i := 0; i < helpers; i++ {
+		job.wg.Add(1)
+		select {
+		case p.tasks <- job:
+		default:
+			job.wg.Done()
+		}
+	}
+	job.run()
+	job.wg.Wait()
+	job.fn = nil
+	jobPool.Put(job)
+}
+
+// defaultPool is the process-wide pool used by Default. It is sized once at
+// init; kernels observing a later GOMAXPROCS change keep the startup size.
+var defaultPool = NewPool(runtime.GOMAXPROCS(0))
+
+// Default returns the shared process-wide pool.
+func Default() *Pool { return defaultPool }
+
+// For runs fn over [0, n) on the shared pool; see Pool.For.
+func For(n, grain int, fn func(lo, hi int)) { defaultPool.For(n, grain, fn) }

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, grain := range []int{0, 1, 3, 64, 2000} {
+			seen := make([]int32, n)
+			p.For(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("For(%d, %d): bad chunk [%d, %d)", n, grain, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("For(%d, %d): index %d visited %d times", n, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForNestedDoesNotDeadlock(t *testing.T) {
+	p := NewPool(4)
+	var total atomic.Int64
+	p.For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.For(16, 1, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != 8*16 {
+		t.Fatalf("nested For processed %d inner indices, want %d", got, 8*16)
+	}
+}
+
+func TestSingleWorkerPoolRunsInline(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	p.For(10, 3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline execution out of order at %d: %v", i, order)
+		}
+	}
+}
+
+func TestDefaultPoolAvailable(t *testing.T) {
+	if Default().Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	var sum atomic.Int64
+	For(100, 7, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("For sum = %d, want 4950", got)
+	}
+}

@@ -1,0 +1,363 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Equivalence tests: the blocked/parallel kernels must agree with the
+// retained serial reference kernels over randomized shapes (including
+// padding and stride edge cases) and be bit-for-bit deterministic across
+// repeated runs at a fixed worker count.
+
+const kernelTol = 1e-4
+
+func randFilled(r *rand.Rand, shape ...int) *Tensor {
+	t := MustNew(shape...)
+	for i := range t.data {
+		t.data[i] = float32(r.NormFloat64())
+	}
+	return t
+}
+
+func requireEqualish(t *testing.T, got, want *Tensor, label string) {
+	t.Helper()
+	if !Equalish(got, want, kernelTol) {
+		t.Fatalf("%s: parallel kernel diverges from serial reference (shapes %v vs %v)",
+			label, got.Shape(), want.Shape())
+	}
+}
+
+func requireBitIdentical(t *testing.T, a, b *Tensor, label string) {
+	t.Helper()
+	if !SameShape(a, b) {
+		t.Fatalf("%s: shapes differ: %v vs %v", label, a.Shape(), b.Shape())
+	}
+	for i := range a.data {
+		if math.Float32bits(a.data[i]) != math.Float32bits(b.data[i]) {
+			t.Fatalf("%s: element %d differs bit-for-bit: %x vs %x",
+				label, i, math.Float32bits(a.data[i]), math.Float32bits(b.data[i]))
+		}
+	}
+}
+
+func TestMatMulMatchesSerialRandomShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		m, k, n := 1+r.Intn(40), 1+r.Intn(40), 1+r.Intn(40)
+		a := randFilled(r, m, k)
+		b := randFilled(r, k, n)
+		got, err := MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MatMulSerial(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualish(t, got, want, "MatMul")
+	}
+}
+
+func TestMatMulMatchesSerialAboveParallelThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	// 131×130×129 ≈ 2.2M MACs > parallelFlopThreshold, so the parallel
+	// strip-partitioned path runs on multi-core hosts; the odd sizes force
+	// both the 4-row kernel and the remainder row/chunk boundaries.
+	m, k, n := 131, 130, 129
+	if m*k*n <= parallelFlopThreshold {
+		t.Fatalf("test workload %d MACs no longer exceeds parallelFlopThreshold %d", m*k*n, parallelFlopThreshold)
+	}
+	a := randFilled(r, m, k)
+	b := randFilled(r, k, n)
+	got, _ := MatMul(a, b)
+	want, _ := MatMulSerial(a, b)
+	requireEqualish(t, got, want, "MatMul(large)")
+}
+
+func TestMatVecMatchesSerialAboveParallelThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	m, k := 1031, 1030
+	if m*k <= parallelFlopThreshold {
+		t.Fatalf("test workload %d MACs no longer exceeds parallelFlopThreshold %d", m*k, parallelFlopThreshold)
+	}
+	a := randFilled(r, m, k)
+	x := randFilled(r, k)
+	got, _ := MatVec(a, x)
+	want, _ := MatVecSerial(a, x)
+	requireEqualish(t, got, want, "MatVec(large)")
+}
+
+func TestMatVecMatchesSerialRandomShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		m, k := 1+r.Intn(300), 1+r.Intn(300)
+		a := randFilled(r, m, k)
+		x := randFilled(r, k)
+		got, err := MatVec(a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MatVecSerial(a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualish(t, got, want, "MatVec")
+	}
+}
+
+func TestConv2DMatchesSerialRandomShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	trials := 0
+	for trials < 80 {
+		cin, cout := 1+r.Intn(6), 1+r.Intn(8)
+		h, w := 1+r.Intn(14), 1+r.Intn(14)
+		kh, kw := 1+r.Intn(5), 1+r.Intn(5)
+		opts := Conv2DOptions{Stride: 1 + r.Intn(3), Padding: r.Intn(3)}
+		if (h+2*opts.Padding-kh)/opts.Stride+1 <= 0 || (w+2*opts.Padding-kw)/opts.Stride+1 <= 0 {
+			continue
+		}
+		trials++
+		input := randFilled(r, cin, h, w)
+		kernels := randFilled(r, cout, cin, kh, kw)
+		var bias *Tensor
+		if r.Intn(2) == 0 {
+			bias = randFilled(r, cout)
+		}
+		got, err := Conv2D(input, kernels, bias, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Conv2DSerial(input, kernels, bias, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualish(t, got, want, "Conv2D")
+	}
+}
+
+// Kernels reaching exactly to the padded border and strides that skip the
+// last columns are the classic im2col off-by-one traps.
+func TestConv2DPaddingStrideEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	cases := []struct {
+		h, w, kh, kw, stride, pad int
+	}{
+		{1, 1, 1, 1, 1, 0},
+		{1, 1, 3, 3, 1, 1}, // output exists only thanks to padding
+		{5, 5, 5, 5, 1, 2}, // kernel as large as input, heavy padding
+		{7, 3, 3, 3, 2, 1}, // rectangular input, strided
+		{8, 8, 2, 2, 3, 0}, // stride skips trailing columns
+		{4, 9, 3, 1, 2, 0}, // 1-wide kernel
+		{9, 4, 1, 3, 2, 1}, // 1-tall kernel
+		{6, 6, 3, 3, 6, 2}, // stride larger than kernel
+	}
+	for _, tc := range cases {
+		opts := Conv2DOptions{Stride: tc.stride, Padding: tc.pad}
+		input := randFilled(r, 3, tc.h, tc.w)
+		kernels := randFilled(r, 4, 3, tc.kh, tc.kw)
+		bias := randFilled(r, 4)
+		got, err := Conv2D(input, kernels, bias, opts)
+		if err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		want, err := Conv2DSerial(input, kernels, bias, opts)
+		if err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		requireEqualish(t, got, want, "Conv2D(edge)")
+	}
+}
+
+func TestConv2DMatchesSerialAboveParallelThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	input := randFilled(r, 16, 32, 32)
+	kernels := randFilled(r, 32, 16, 3, 3)
+	bias := randFilled(r, 32)
+	opts := Conv2DOptions{Stride: 1, Padding: 1}
+	// 32 out-channels × (16·3·3) taps × (32·32) positions ≈ 4.7M MACs, above
+	// parallelFlopThreshold, so the GEMM runs its parallel path.
+	if 32*16*3*3*32*32 <= parallelFlopThreshold {
+		t.Fatalf("test workload no longer exceeds parallelFlopThreshold %d", parallelFlopThreshold)
+	}
+	got, err := Conv2D(input, kernels, bias, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Conv2DSerial(input, kernels, bias, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualish(t, got, want, "Conv2D(large)")
+}
+
+func TestDepthwiseConv2DMatchesSerialRandomShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	trials := 0
+	for trials < 80 {
+		c := 1 + r.Intn(8)
+		h, w := 1+r.Intn(14), 1+r.Intn(14)
+		kh, kw := 1+r.Intn(5), 1+r.Intn(5)
+		opts := Conv2DOptions{Stride: 1 + r.Intn(3), Padding: r.Intn(3)}
+		if (h+2*opts.Padding-kh)/opts.Stride+1 <= 0 || (w+2*opts.Padding-kw)/opts.Stride+1 <= 0 {
+			continue
+		}
+		trials++
+		input := randFilled(r, c, h, w)
+		kernels := randFilled(r, c, kh, kw)
+		var bias *Tensor
+		if r.Intn(2) == 0 {
+			bias = randFilled(r, c)
+		}
+		got, err := DepthwiseConv2D(input, kernels, bias, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DepthwiseConv2DSerial(input, kernels, bias, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualish(t, got, want, "DepthwiseConv2D")
+	}
+}
+
+func TestDepthwiseConv2DMatchesSerialAboveParallelThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(18))
+	input := randFilled(r, 64, 64, 64)
+	kernels := randFilled(r, 64, 3, 3)
+	opts := Conv2DOptions{Stride: 1, Padding: 1}
+	// 64 channels × (64·64) positions × 9 taps ≈ 2.4M MACs, above
+	// parallelFlopThreshold, so channels are distributed over the pool.
+	if 64*64*64*3*3 <= parallelFlopThreshold {
+		t.Fatalf("test workload no longer exceeds parallelFlopThreshold %d", parallelFlopThreshold)
+	}
+	got, err := DepthwiseConv2D(input, kernels, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DepthwiseConv2DSerial(input, kernels, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualish(t, got, want, "DepthwiseConv2D(large)")
+}
+
+// The parallel kernels must be bit-for-bit reproducible run to run: every
+// output element is accumulated by exactly one goroutine in a fixed order,
+// so the worker count and chunk scheduling must not leak into results.
+func TestKernelsDeterministicAcrossRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+
+	// All three workloads sit above parallelFlopThreshold so the parallel
+	// paths (not just the inline fallbacks) are what repeat runs compare.
+	a := randFilled(r, 131, 130)
+	b := randFilled(r, 130, 129)
+	m1, _ := MatMul(a, b)
+	m2, _ := MatMul(a, b)
+	requireBitIdentical(t, m1, m2, "MatMul")
+
+	input := randFilled(r, 16, 64, 64)
+	kernels := randFilled(r, 32, 16, 3, 3)
+	bias := randFilled(r, 32)
+	opts := Conv2DOptions{Stride: 2, Padding: 1}
+	c1, _ := Conv2D(input, kernels, bias, opts)
+	c2, _ := Conv2D(input, kernels, bias, opts)
+	requireBitIdentical(t, c1, c2, "Conv2D")
+
+	big := randFilled(r, 64, 64, 64)
+	dwK := randFilled(r, 64, 3, 3)
+	d1, _ := DepthwiseConv2D(big, dwK, nil, Conv2DOptions{Stride: 1, Padding: 1})
+	d2, _ := DepthwiseConv2D(big, dwK, nil, Conv2DOptions{Stride: 1, Padding: 1})
+	requireBitIdentical(t, d1, d2, "DepthwiseConv2D")
+}
+
+// The Into variants on recycled scratch memory must produce the same results
+// as the allocating entry points — scratch memory is dirty by design, so any
+// incomplete overwrite shows up here.
+func TestIntoVariantsOnRecycledScratchMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	s := NewScratch()
+	input := randFilled(r, 8, 13, 11)
+	kernels := randFilled(r, 12, 8, 3, 3)
+	bias := randFilled(r, 12)
+	opts := Conv2DOptions{Stride: 2, Padding: 1}
+	want, err := Conv2D(input, kernels, bias, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pass := 0; pass < 3; pass++ {
+		s.Reset()
+		// Poison the arena so stale contents are visible if not overwritten.
+		dirty := s.Floats(1 << 14)
+		for i := range dirty {
+			dirty[i] = float32(math.NaN())
+		}
+		s.Reset()
+
+		dst := s.Tensor(want.Shape()...)
+		if err := Conv2DInto(dst, input, kernels, bias, opts, s); err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, dst, want, "Conv2DInto(scratch)")
+
+		a := randFilled(r, 20, 30)
+		bmat := randFilled(r, 30, 25)
+		mm := s.Tensor(20, 25)
+		if err := MatMulInto(mm, a, bmat); err != nil {
+			t.Fatal(err)
+		}
+		mmWant, _ := MatMul(a, bmat)
+		requireBitIdentical(t, mm, mmWant, "MatMulInto(scratch)")
+
+		x := randFilled(r, 30)
+		mv := s.Tensor(20)
+		if err := MatVecInto(mv, a, x); err != nil {
+			t.Fatal(err)
+		}
+		mvWant, _ := MatVec(a, x)
+		requireBitIdentical(t, mv, mvWant, "MatVecInto(scratch)")
+
+		dw := randFilled(r, 8, 3, 3)
+		dwDst := s.Tensor(8, 7, 6)
+		if err := DepthwiseConv2DInto(dwDst, input, dw, nil, opts); err != nil {
+			t.Fatal(err)
+		}
+		dwWant, _ := DepthwiseConv2D(input, dw, nil, opts)
+		requireBitIdentical(t, dwDst, dwWant, "DepthwiseConv2DInto(scratch)")
+
+		mp := s.Tensor(8, 6, 5)
+		if err := MaxPool2DInto(mp, input, 3, 2); err != nil {
+			t.Fatal(err)
+		}
+		mpWant, _ := MaxPool2D(input, 3, 2)
+		requireBitIdentical(t, mp, mpWant, "MaxPool2DInto(scratch)")
+
+		gap := s.Tensor(8)
+		if err := GlobalAvgPool2DInto(gap, input); err != nil {
+			t.Fatal(err)
+		}
+		gapWant, _ := GlobalAvgPool2D(input)
+		requireBitIdentical(t, gap, gapWant, "GlobalAvgPool2DInto(scratch)")
+	}
+}
+
+func TestIntoVariantsRejectBadShapes(t *testing.T) {
+	a := MustNew(3, 4)
+	b := MustNew(4, 5)
+	if err := MatMulInto(MustNew(3, 6), a, b); err == nil {
+		t.Error("MatMulInto wrong dst shape: expected error")
+	}
+	if err := MatVecInto(MustNew(4), a, MustNew(4)); err == nil {
+		t.Error("MatVecInto wrong dst shape: expected error")
+	}
+	input := MustNew(2, 8, 8)
+	kern := MustNew(4, 2, 3, 3)
+	if err := Conv2DInto(MustNew(4, 9, 9), input, kern, nil, Conv2DOptions{Stride: 1}, nil); err == nil {
+		t.Error("Conv2DInto wrong dst shape: expected error")
+	}
+	if err := DepthwiseConv2DInto(MustNew(2, 5, 5), input, MustNew(2, 3, 3), nil, Conv2DOptions{Stride: 1}); err == nil {
+		t.Error("DepthwiseConv2DInto wrong dst shape: expected error")
+	}
+}

@@ -1,0 +1,140 @@
+package tensor
+
+import "mlperf/internal/parallel"
+
+// Blocked, parallel GEMM engine. The matrix is partitioned into independent
+// strips of output rows that are distributed over the shared worker pool;
+// within a strip, a register-blocked kernel computes four output rows at a
+// time so each streamed row of B is reused fourfold from registers. Every
+// output element is accumulated by exactly one goroutine in ascending-p
+// order, so results are bit-for-bit deterministic for any worker count and,
+// for finite inputs, match the serial reference (which skips zero A terms —
+// a no-op except for Inf/NaN operands) bit-for-bit on amd64.
+
+// parallelFlopThreshold is the approximate multiply-accumulate count below
+// which forking to the worker pool costs more than it saves and kernels stay
+// on the calling goroutine. Roughly half a millisecond of serial work — far
+// above the fork overhead, and high enough that the miniature reference
+// models run single-sample inference entirely inline, keeping their
+// steady-state path allocation-free (the parallel fork allocates a small
+// closure) and leaving cross-sample parallelism to the backend's batch path.
+const parallelFlopThreshold = 1 << 20
+
+// gemmInto computes C = A×B into c, where a is m×k, b is k×n and c is m×n.
+// When bias is non-nil it must have length m and is added to every element of
+// the corresponding output row (the im2col convolution's per-channel bias).
+// c is fully overwritten; it may be uninitialized arena memory.
+func gemmInto(c, a, b, bias []float32, m, k, n int) {
+	if m*k*n < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+		gemmRows(c, a, b, bias, k, n, 0, m)
+		return
+	}
+	grain := gemmRowGrain(m, k, n)
+	parallel.For(m, grain, func(lo, hi int) {
+		gemmRows(c, a, b, bias, k, n, lo, hi)
+	})
+}
+
+// gemmRowGrain picks a row-strip size that yields several chunks per worker
+// while keeping each chunk above the fork overhead.
+func gemmRowGrain(m, k, n int) int {
+	grain := m / (4 * parallel.Default().Workers())
+	for grain > 1 && (grain/2)*k*n >= parallelFlopThreshold {
+		grain /= 2
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return grain
+}
+
+// gemmRows computes output rows [i0, i1) of C = A×B (+ bias). The core
+// processes four output rows at a time in axpy form: each streamed row of B
+// is loaded once and folded into four accumulator rows, quartering B traffic
+// relative to the serial kernel. Leftover rows fall back to the single-row
+// kernel. Every element accumulates in ascending-p order regardless of the
+// path taken, matching the serial reference.
+func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		a0 := a[(i+0)*k : (i+0)*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		a2 := a[(i+2)*k : (i+2)*k+k]
+		a3 := a[(i+3)*k : (i+3)*k+k]
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		c2 := c[(i+2)*n : (i+2)*n+n]
+		c3 := c[(i+3)*n : (i+3)*n+n]
+		var b0, b1, b2, b3 float32
+		if bias != nil {
+			b0, b1, b2, b3 = bias[i+0], bias[i+1], bias[i+2], bias[i+3]
+		}
+		for j := range c0 {
+			c0[j] = b0
+			c1[j] = b1
+			c2[j] = b2
+			c3[j] = b3
+		}
+		for p := 0; p < k; p++ {
+			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+			brow := b[p*n : p*n+n]
+			// Reslicing the accumulator rows to brow's length drops the
+			// per-store bounds checks in the hot loop.
+			d0, d1, d2, d3 := c0[:len(brow)], c1[:len(brow)], c2[:len(brow)], c3[:len(brow)]
+			for j, bv := range brow {
+				d0[j] += av0 * bv
+				d1[j] += av1 * bv
+				d2[j] += av2 * bv
+				d3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < i1; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		var b0 float32
+		if bias != nil {
+			b0 = bias[i]
+		}
+		for j := range crow {
+			crow[j] = b0
+		}
+		// No zero-skip here: the remainder rows must perform exactly the same
+		// arithmetic as the 4-row kernel, otherwise which arithmetic a row
+		// gets would depend on chunk boundaries (and thus the worker count)
+		// for non-finite inputs.
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			brow := b[p*n : p*n+n]
+			d := crow[:len(brow)]
+			for j, bv := range brow {
+				d[j] += av * bv
+			}
+		}
+	}
+}
+
+// matVecInto computes y = A×x for a in m×k layout, overwriting y.
+func matVecInto(y, a, x []float32, m, k int) {
+	if m*k < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+		matVecRows(y, a, x, k, 0, m)
+		return
+	}
+	parallel.For(m, 0, func(lo, hi int) {
+		matVecRows(y, a, x, k, lo, hi)
+	})
+}
+
+// matVecRows computes output elements [i0, i1) of y = A×x in the serial
+// reference's accumulation order.
+func matVecRows(y, a, x []float32, k, i0, i1 int) {
+	x = x[:k]
+	for i := i0; i < i1; i++ {
+		row := a[i*k : i*k+k]
+		var sum float32
+		for p, v := range x {
+			sum += row[p] * v
+		}
+		y[i] = sum
+	}
+}

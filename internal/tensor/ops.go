@@ -3,9 +3,14 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"sync"
+
+	"mlperf/internal/parallel"
 )
 
-// MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n).
+// MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n) on the
+// blocked parallel engine. Results are deterministic across runs; see
+// MatMulSerial for the retained reference kernel.
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		return nil, fmt.Errorf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape)
@@ -16,24 +21,31 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: MatMul inner dimensions differ: %d vs %d", k, k2)
 	}
 	c := MustNew(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := c.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
+	gemmInto(c.data, a.data, b.data, nil, m, k, n)
 	return c, nil
 }
 
-// MatVec computes y = A × x for a 2-D tensor A (m×k) and 1-D tensor x (k).
+// MatMulInto computes C = A × B into the caller-provided dst, which must have
+// shape m×n and must not alias a or b. dst is fully overwritten, so it may be
+// uninitialized Scratch memory.
+func MatMulInto(dst, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return fmt.Errorf("tensor: MatMulInto requires rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return fmt.Errorf("tensor: MatMulInto inner dimensions differ: %d vs %d", k, k2)
+	}
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n)
+	}
+	gemmInto(dst.data, a.data, b.data, nil, m, k, n)
+	return nil
+}
+
+// MatVec computes y = A × x for a 2-D tensor A (m×k) and 1-D tensor x (k),
+// parallelized across output rows.
 func MatVec(a, x *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || x.Rank() != 1 {
 		return nil, fmt.Errorf("tensor: MatVec requires rank-2 and rank-1 operands, got %v and %v", a.shape, x.shape)
@@ -43,15 +55,25 @@ func MatVec(a, x *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: MatVec dimension mismatch: %d vs %d", k, x.shape[0])
 	}
 	y := MustNew(m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*k : (i+1)*k]
-		var sum float32
-		for p := 0; p < k; p++ {
-			sum += row[p] * x.data[p]
-		}
-		y.data[i] = sum
-	}
+	matVecInto(y.data, a.data, x.data, m, k)
 	return y, nil
+}
+
+// MatVecInto computes y = A × x into the caller-provided dst (length m),
+// which must not alias a or x. dst is fully overwritten.
+func MatVecInto(dst, a, x *Tensor) error {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return fmt.Errorf("tensor: MatVecInto requires rank-2 and rank-1 operands, got %v and %v", a.shape, x.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	if k != x.shape[0] {
+		return fmt.Errorf("tensor: MatVecInto dimension mismatch: %d vs %d", k, x.shape[0])
+	}
+	if dst.Rank() != 1 || dst.shape[0] != m {
+		return fmt.Errorf("tensor: MatVecInto dst shape %v, want [%d]", dst.shape, m)
+	}
+	matVecInto(dst.data, a.data, x.data, m, k)
+	return nil
 }
 
 // Conv2DOptions configures a 2-D convolution over NCHW-free single-image
@@ -61,145 +83,386 @@ type Conv2DOptions struct {
 	Padding int
 }
 
+// convGeom carries the validated dimensions of a standard convolution.
+type convGeom struct {
+	cin, h, w    int
+	cout, kh, kw int
+	hOut, wOut   int
+}
+
+// conv2DGeometry validates operands and computes the output geometry.
+func conv2DGeometry(input, kernels, bias *Tensor, opts Conv2DOptions) (convGeom, error) {
+	var g convGeom
+	if input.Rank() != 3 || kernels.Rank() != 4 {
+		return g, fmt.Errorf("tensor: Conv2D requires CHW input and OIHW kernels, got %v and %v", input.shape, kernels.shape)
+	}
+	if opts.Stride <= 0 {
+		return g, fmt.Errorf("tensor: Conv2D stride must be positive, got %d", opts.Stride)
+	}
+	g.cin, g.h, g.w = input.shape[0], input.shape[1], input.shape[2]
+	g.cout, g.kh, g.kw = kernels.shape[0], kernels.shape[2], kernels.shape[3]
+	if g.cin != kernels.shape[1] {
+		return g, fmt.Errorf("tensor: Conv2D channel mismatch: input %d vs kernel %d", g.cin, kernels.shape[1])
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != g.cout) {
+		return g, fmt.Errorf("tensor: Conv2D bias shape %v does not match %d output channels", bias.shape, g.cout)
+	}
+	g.hOut = (g.h+2*opts.Padding-g.kh)/opts.Stride + 1
+	g.wOut = (g.w+2*opts.Padding-g.kw)/opts.Stride + 1
+	if g.hOut <= 0 || g.wOut <= 0 {
+		return g, fmt.Errorf("tensor: Conv2D output would be empty (input %dx%d, kernel %dx%d, stride %d, pad %d)",
+			g.h, g.w, g.kh, g.kw, opts.Stride, opts.Padding)
+	}
+	return g, nil
+}
+
 // Conv2D convolves input (C_in × H × W) with kernels (C_out × C_in × KH × KW)
 // and returns a (C_out × H_out × W_out) tensor. bias may be nil or a 1-D
 // tensor of length C_out.
+//
+// The implementation lowers the convolution to im2col followed by a blocked
+// parallel GEMM — the weight matrix is C_out × (C_in·KH·KW) in exactly the
+// OIHW storage order, so no weight reshuffling is needed. Pointwise (1×1,
+// stride 1, unpadded) convolutions skip im2col entirely and multiply against
+// the input in place. See Conv2DSerial for the reference kernel.
 func Conv2D(input, kernels, bias *Tensor, opts Conv2DOptions) (*Tensor, error) {
-	if input.Rank() != 3 || kernels.Rank() != 4 {
-		return nil, fmt.Errorf("tensor: Conv2D requires CHW input and OIHW kernels, got %v and %v", input.shape, kernels.shape)
+	g, err := conv2DGeometry(input, kernels, bias, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Stride <= 0 {
-		return nil, fmt.Errorf("tensor: Conv2D stride must be positive, got %d", opts.Stride)
+	out := MustNew(g.cout, g.hOut, g.wOut)
+	conv2dCompute(out, input, kernels, bias, opts, g, nil)
+	return out, nil
+}
+
+// Conv2DInto convolves into the caller-provided dst, which must have the
+// output shape and must not alias input. scratch, when non-nil, supplies the
+// im2col buffer (otherwise an internal pool is used). dst is fully
+// overwritten.
+func Conv2DInto(dst, input, kernels, bias *Tensor, opts Conv2DOptions, scratch *Scratch) error {
+	g, err := conv2DGeometry(input, kernels, bias, opts)
+	if err != nil {
+		return err
 	}
-	cin, h, w := input.shape[0], input.shape[1], input.shape[2]
-	cout, kcin, kh, kw := kernels.shape[0], kernels.shape[1], kernels.shape[2], kernels.shape[3]
-	if cin != kcin {
-		return nil, fmt.Errorf("tensor: Conv2D channel mismatch: input %d vs kernel %d", cin, kcin)
+	if dst.Rank() != 3 || dst.shape[0] != g.cout || dst.shape[1] != g.hOut || dst.shape[2] != g.wOut {
+		return fmt.Errorf("tensor: Conv2DInto dst shape %v, want [%d %d %d]", dst.shape, g.cout, g.hOut, g.wOut)
 	}
-	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != cout) {
-		return nil, fmt.Errorf("tensor: Conv2D bias shape %v does not match %d output channels", bias.shape, cout)
+	conv2dCompute(dst, input, kernels, bias, opts, g, scratch)
+	return nil
+}
+
+// colsPool recycles im2col buffers for the non-Scratch convolution path.
+var colsPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// conv2dCompute runs the validated im2col+GEMM pipeline.
+func conv2dCompute(out, input, kernels, bias *Tensor, opts Conv2DOptions, g convGeom, scratch *Scratch) {
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.data
 	}
-	hOut := (h+2*opts.Padding-kh)/opts.Stride + 1
-	wOut := (w+2*opts.Padding-kw)/opts.Stride + 1
-	if hOut <= 0 || wOut <= 0 {
-		return nil, fmt.Errorf("tensor: Conv2D output would be empty (input %dx%d, kernel %dx%d, stride %d, pad %d)", h, w, kh, kw, opts.Stride, opts.Padding)
+	k := g.cin * g.kh * g.kw
+	n := g.hOut * g.wOut
+
+	// Pointwise fast path: the input already is the im2col matrix.
+	if g.kh == 1 && g.kw == 1 && opts.Stride == 1 && opts.Padding == 0 {
+		gemmInto(out.data, kernels.data, input.data, biasData, g.cout, k, n)
+		return
 	}
-	out := MustNew(cout, hOut, wOut)
-	for oc := 0; oc < cout; oc++ {
-		var b float32
-		if bias != nil {
-			b = bias.data[oc]
+
+	var cols []float32
+	var pooled *[]float32
+	if scratch != nil {
+		cols = scratch.Floats(k * n)
+	} else {
+		pooled = colsPool.Get().(*[]float32)
+		if cap(*pooled) < k*n {
+			*pooled = make([]float32, k*n)
 		}
-		for oy := 0; oy < hOut; oy++ {
-			for ox := 0; ox < wOut; ox++ {
-				sum := b
-				for ic := 0; ic < cin; ic++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*opts.Stride + ky - opts.Padding
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*opts.Stride + kx - opts.Padding
-							if ix < 0 || ix >= w {
-								continue
-							}
-							sum += input.data[(ic*h+iy)*w+ix] * kernels.data[((oc*cin+ic)*kh+ky)*kw+kx]
-						}
-					}
+		cols = (*pooled)[:k*n]
+	}
+
+	im2col(cols, input.data, opts, g)
+	gemmInto(out.data, kernels.data, cols, biasData, g.cout, k, n)
+
+	if pooled != nil {
+		colsPool.Put(pooled)
+	}
+}
+
+// im2col expands the input into a (C_in·KH·KW) × (H_out·W_out) matrix whose
+// row r = (ic·KH+ky)·KW+kx holds, for every output position, the input value
+// that kernel tap (ic, ky, kx) reads there (zero where the tap falls into
+// padding). Rows are independent, so the expansion is parallelized across
+// them for large outputs. cols is fully overwritten.
+func im2col(cols, in []float32, opts Conv2DOptions, g convGeom) {
+	rows := g.cin * g.kh * g.kw
+	n := g.hOut * g.wOut
+	if rows*n < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+		im2colRows(cols, in, opts, g, 0, rows)
+		return
+	}
+	parallel.For(rows, 0, func(lo, hi int) {
+		im2colRows(cols, in, opts, g, lo, hi)
+	})
+}
+
+// im2colRows fills im2col matrix rows [r0, r1).
+func im2colRows(cols, in []float32, opts Conv2DOptions, g convGeom, r0, r1 int) {
+	stride, pad := opts.Stride, opts.Padding
+	n := g.hOut * g.wOut
+	for r := r0; r < r1; r++ {
+		ic := r / (g.kh * g.kw)
+		ky := r / g.kw % g.kh
+		kx := r % g.kw
+		dst := cols[r*n : r*n+n]
+		src := in[ic*g.h*g.w : (ic+1)*g.h*g.w]
+		offX := kx - pad
+		lo, hi := validRange(offX, stride, g.w, g.wOut)
+		for oy := 0; oy < g.hOut; oy++ {
+			seg := dst[oy*g.wOut : oy*g.wOut+g.wOut]
+			iy := oy*stride + ky - pad
+			if iy < 0 || iy >= g.h {
+				for i := range seg {
+					seg[i] = 0
 				}
-				out.data[(oc*hOut+oy)*wOut+ox] = sum
+				continue
+			}
+			srow := src[iy*g.w : iy*g.w+g.w]
+			for i := 0; i < lo; i++ {
+				seg[i] = 0
+			}
+			if stride == 1 {
+				copy(seg[lo:hi], srow[lo+offX:hi+offX])
+			} else {
+				ix := lo*stride + offX
+				for ox := lo; ox < hi; ox++ {
+					seg[ox] = srow[ix]
+					ix += stride
+				}
+			}
+			for i := hi; i < g.wOut; i++ {
+				seg[i] = 0
 			}
 		}
 	}
-	return out, nil
+}
+
+// validRange returns the half-open range of output positions ox for which
+// ox*stride+off lands inside [0, extent); the result is clipped to
+// [0, outExtent).
+func validRange(off, stride, extent, outExtent int) (lo, hi int) {
+	if off < 0 {
+		lo = (-off + stride - 1) / stride
+	}
+	last := extent - 1 - off
+	if last < 0 {
+		return 0, 0
+	}
+	hi = last/stride + 1
+	if hi > outExtent {
+		hi = outExtent
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// dwGeom carries the validated dimensions of a depthwise convolution.
+type dwGeom struct {
+	c, h, w    int
+	kh, kw     int
+	hOut, wOut int
+}
+
+// depthwiseGeometry validates operands and computes the output geometry.
+func depthwiseGeometry(input, kernels, bias *Tensor, opts Conv2DOptions) (dwGeom, error) {
+	var g dwGeom
+	if input.Rank() != 3 || kernels.Rank() != 3 {
+		return g, fmt.Errorf("tensor: DepthwiseConv2D requires CHW input and CHW kernels, got %v and %v", input.shape, kernels.shape)
+	}
+	if opts.Stride <= 0 {
+		return g, fmt.Errorf("tensor: DepthwiseConv2D stride must be positive, got %d", opts.Stride)
+	}
+	g.c, g.h, g.w = input.shape[0], input.shape[1], input.shape[2]
+	g.kh, g.kw = kernels.shape[1], kernels.shape[2]
+	if g.c != kernels.shape[0] {
+		return g, fmt.Errorf("tensor: DepthwiseConv2D channel mismatch: %d vs %d", g.c, kernels.shape[0])
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != g.c) {
+		return g, fmt.Errorf("tensor: DepthwiseConv2D bias shape %v does not match %d channels", bias.shape, g.c)
+	}
+	g.hOut = (g.h+2*opts.Padding-g.kh)/opts.Stride + 1
+	g.wOut = (g.w+2*opts.Padding-g.kw)/opts.Stride + 1
+	if g.hOut <= 0 || g.wOut <= 0 {
+		return g, fmt.Errorf("tensor: DepthwiseConv2D output would be empty")
+	}
+	return g, nil
 }
 
 // DepthwiseConv2D convolves each input channel with its own kernel
 // (C × KH × KW), as used by the MobileNet family's depthwise-separable
-// convolutions. bias may be nil or length C.
+// convolutions. bias may be nil or length C. Channels are independent and
+// are distributed over the worker pool; within a channel the kernel
+// accumulates whole output rows with the bounds checks hoisted out of the
+// inner loop. See DepthwiseConv2DSerial for the reference kernel.
 func DepthwiseConv2D(input, kernels, bias *Tensor, opts Conv2DOptions) (*Tensor, error) {
-	if input.Rank() != 3 || kernels.Rank() != 3 {
-		return nil, fmt.Errorf("tensor: DepthwiseConv2D requires CHW input and CHW kernels, got %v and %v", input.shape, kernels.shape)
+	g, err := depthwiseGeometry(input, kernels, bias, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Stride <= 0 {
-		return nil, fmt.Errorf("tensor: DepthwiseConv2D stride must be positive, got %d", opts.Stride)
-	}
-	c, h, w := input.shape[0], input.shape[1], input.shape[2]
-	kc, kh, kw := kernels.shape[0], kernels.shape[1], kernels.shape[2]
-	if c != kc {
-		return nil, fmt.Errorf("tensor: DepthwiseConv2D channel mismatch: %d vs %d", c, kc)
-	}
-	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != c) {
-		return nil, fmt.Errorf("tensor: DepthwiseConv2D bias shape %v does not match %d channels", bias.shape, c)
-	}
-	hOut := (h+2*opts.Padding-kh)/opts.Stride + 1
-	wOut := (w+2*opts.Padding-kw)/opts.Stride + 1
-	if hOut <= 0 || wOut <= 0 {
-		return nil, fmt.Errorf("tensor: DepthwiseConv2D output would be empty")
-	}
-	out := MustNew(c, hOut, wOut)
-	for ch := 0; ch < c; ch++ {
-		var b float32
-		if bias != nil {
-			b = bias.data[ch]
-		}
-		for oy := 0; oy < hOut; oy++ {
-			for ox := 0; ox < wOut; ox++ {
-				sum := b
-				for ky := 0; ky < kh; ky++ {
-					iy := oy*opts.Stride + ky - opts.Padding
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for kx := 0; kx < kw; kx++ {
-						ix := ox*opts.Stride + kx - opts.Padding
-						if ix < 0 || ix >= w {
-							continue
-						}
-						sum += input.data[(ch*h+iy)*w+ix] * kernels.data[(ch*kh+ky)*kw+kx]
-					}
-				}
-				out.data[(ch*hOut+oy)*wOut+ox] = sum
-			}
-		}
-	}
+	out := MustNew(g.c, g.hOut, g.wOut)
+	depthwiseCompute(out, input, kernels, bias, opts, g)
 	return out, nil
 }
 
+// DepthwiseConv2DInto convolves into the caller-provided dst, which must
+// have the output shape and must not alias input. dst is fully overwritten.
+func DepthwiseConv2DInto(dst, input, kernels, bias *Tensor, opts Conv2DOptions) error {
+	g, err := depthwiseGeometry(input, kernels, bias, opts)
+	if err != nil {
+		return err
+	}
+	if dst.Rank() != 3 || dst.shape[0] != g.c || dst.shape[1] != g.hOut || dst.shape[2] != g.wOut {
+		return fmt.Errorf("tensor: DepthwiseConv2DInto dst shape %v, want [%d %d %d]", dst.shape, g.c, g.hOut, g.wOut)
+	}
+	depthwiseCompute(dst, input, kernels, bias, opts, g)
+	return nil
+}
+
+func depthwiseCompute(out, input, kernels, bias *Tensor, opts Conv2DOptions, g dwGeom) {
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.data
+	}
+	if g.c*g.hOut*g.wOut*g.kh*g.kw < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+		depthwiseChannels(out.data, input.data, kernels.data, biasData, opts, g, 0, g.c)
+		return
+	}
+	parallel.For(g.c, 0, func(lo, hi int) {
+		depthwiseChannels(out.data, input.data, kernels.data, biasData, opts, g, lo, hi)
+	})
+}
+
+// depthwiseChannels computes output channels [c0, c1). Each output row is
+// initialized to the bias and accumulated tap by tap over the valid range of
+// output positions, so the inner loops carry no bounds tests; accumulation
+// order per element matches the serial reference (ky then kx ascending).
+func depthwiseChannels(out, in, kernels, bias []float32, opts Conv2DOptions, g dwGeom, c0, c1 int) {
+	stride, pad := opts.Stride, opts.Padding
+	for ch := c0; ch < c1; ch++ {
+		var bv float32
+		if bias != nil {
+			bv = bias[ch]
+		}
+		ker := kernels[ch*g.kh*g.kw : (ch+1)*g.kh*g.kw]
+		src := in[ch*g.h*g.w : (ch+1)*g.h*g.w]
+		dst := out[ch*g.hOut*g.wOut : (ch+1)*g.hOut*g.wOut]
+		for oy := 0; oy < g.hOut; oy++ {
+			row := dst[oy*g.wOut : oy*g.wOut+g.wOut]
+			for i := range row {
+				row[i] = bv
+			}
+			for ky := 0; ky < g.kh; ky++ {
+				iy := oy*stride + ky - pad
+				if iy < 0 || iy >= g.h {
+					continue
+				}
+				srow := src[iy*g.w : iy*g.w+g.w]
+				krow := ker[ky*g.kw : ky*g.kw+g.kw]
+				for kx, wv := range krow {
+					off := kx - pad
+					lo, hi := validRange(off, stride, g.w, g.wOut)
+					if stride == 1 {
+						for ox := lo; ox < hi; ox++ {
+							row[ox] += wv * srow[ox+off]
+						}
+					} else {
+						ix := lo*stride + off
+						for ox := lo; ox < hi; ox++ {
+							row[ox] += wv * srow[ix]
+							ix += stride
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // MaxPool2D applies max pooling with the given window and stride to a CHW
-// tensor.
+// tensor; channels are distributed over the worker pool.
 func MaxPool2D(input *Tensor, window, stride int) (*Tensor, error) {
-	if input.Rank() != 3 {
-		return nil, fmt.Errorf("tensor: MaxPool2D requires CHW input, got %v", input.shape)
-	}
-	if window <= 0 || stride <= 0 {
-		return nil, fmt.Errorf("tensor: MaxPool2D window and stride must be positive")
-	}
-	c, h, w := input.shape[0], input.shape[1], input.shape[2]
-	hOut := (h-window)/stride + 1
-	wOut := (w-window)/stride + 1
-	if hOut <= 0 || wOut <= 0 {
-		return nil, fmt.Errorf("tensor: MaxPool2D output would be empty")
+	c, hOut, wOut, err := maxPoolGeometry(input, window, stride)
+	if err != nil {
+		return nil, err
 	}
 	out := MustNew(c, hOut, wOut)
-	for ch := 0; ch < c; ch++ {
+	maxPoolCompute(out, input, window, stride, hOut, wOut)
+	return out, nil
+}
+
+// MaxPool2DInto pools into the caller-provided dst, which must have the
+// output shape and must not alias input. dst is fully overwritten.
+func MaxPool2DInto(dst, input *Tensor, window, stride int) error {
+	c, hOut, wOut, err := maxPoolGeometry(input, window, stride)
+	if err != nil {
+		return err
+	}
+	if dst.Rank() != 3 || dst.shape[0] != c || dst.shape[1] != hOut || dst.shape[2] != wOut {
+		return fmt.Errorf("tensor: MaxPool2DInto dst shape %v, want [%d %d %d]", dst.shape, c, hOut, wOut)
+	}
+	maxPoolCompute(dst, input, window, stride, hOut, wOut)
+	return nil
+}
+
+func maxPoolGeometry(input *Tensor, window, stride int) (c, hOut, wOut int, err error) {
+	if input.Rank() != 3 {
+		return 0, 0, 0, fmt.Errorf("tensor: MaxPool2D requires CHW input, got %v", input.shape)
+	}
+	if window <= 0 || stride <= 0 {
+		return 0, 0, 0, fmt.Errorf("tensor: MaxPool2D window and stride must be positive")
+	}
+	c = input.shape[0]
+	hOut = (input.shape[1]-window)/stride + 1
+	wOut = (input.shape[2]-window)/stride + 1
+	if hOut <= 0 || wOut <= 0 {
+		return 0, 0, 0, fmt.Errorf("tensor: MaxPool2D output would be empty")
+	}
+	return c, hOut, wOut, nil
+}
+
+func maxPoolCompute(out, input *Tensor, window, stride, hOut, wOut int) {
+	c := input.shape[0]
+	if c*hOut*wOut*window*window < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+		maxPoolChannels(out, input, window, stride, hOut, wOut, 0, c)
+		return
+	}
+	parallel.For(c, 0, func(c0, c1 int) {
+		maxPoolChannels(out, input, window, stride, hOut, wOut, c0, c1)
+	})
+}
+
+func maxPoolChannels(out, input *Tensor, window, stride, hOut, wOut, c0, c1 int) {
+	h, w := input.shape[1], input.shape[2]
+	for ch := c0; ch < c1; ch++ {
+		src := input.data[ch*h*w : (ch+1)*h*w]
+		dst := out.data[ch*hOut*wOut : (ch+1)*hOut*wOut]
 		for oy := 0; oy < hOut; oy++ {
 			for ox := 0; ox < wOut; ox++ {
 				best := float32(math.Inf(-1))
 				for ky := 0; ky < window; ky++ {
+					srow := src[(oy*stride+ky)*w+ox*stride:]
 					for kx := 0; kx < window; kx++ {
-						v := input.data[(ch*h+oy*stride+ky)*w+ox*stride+kx]
-						if v > best {
+						if v := srow[kx]; v > best {
 							best = v
 						}
 					}
 				}
-				out.data[(ch*hOut+oy)*wOut+ox] = best
+				dst[oy*wOut+ox] = best
 			}
 		}
 	}
-	return out, nil
 }
 
 // GlobalAvgPool2D reduces a CHW tensor to a length-C vector by averaging each
@@ -208,18 +471,45 @@ func GlobalAvgPool2D(input *Tensor) (*Tensor, error) {
 	if input.Rank() != 3 {
 		return nil, fmt.Errorf("tensor: GlobalAvgPool2D requires CHW input, got %v", input.shape)
 	}
+	out := MustNew(input.shape[0])
+	globalAvgPoolCompute(out, input)
+	return out, nil
+}
+
+// GlobalAvgPool2DInto reduces into the caller-provided dst (length C). dst is
+// fully overwritten.
+func GlobalAvgPool2DInto(dst, input *Tensor) error {
+	if input.Rank() != 3 {
+		return fmt.Errorf("tensor: GlobalAvgPool2DInto requires CHW input, got %v", input.shape)
+	}
+	if dst.Rank() != 1 || dst.shape[0] != input.shape[0] {
+		return fmt.Errorf("tensor: GlobalAvgPool2DInto dst shape %v, want [%d]", dst.shape, input.shape[0])
+	}
+	globalAvgPoolCompute(dst, input)
+	return nil
+}
+
+func globalAvgPoolCompute(out, input *Tensor) {
 	c, h, w := input.shape[0], input.shape[1], input.shape[2]
-	out := MustNew(c)
+	if c*h*w < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+		globalAvgPoolChannels(out, input, 0, c)
+		return
+	}
+	parallel.For(c, 0, func(c0, c1 int) {
+		globalAvgPoolChannels(out, input, c0, c1)
+	})
+}
+
+func globalAvgPoolChannels(out, input *Tensor, c0, c1 int) {
+	h, w := input.shape[1], input.shape[2]
 	area := float32(h * w)
-	for ch := 0; ch < c; ch++ {
+	for ch := c0; ch < c1; ch++ {
 		var sum float32
-		base := ch * h * w
-		for i := 0; i < h*w; i++ {
-			sum += input.data[base+i]
+		for _, v := range input.data[ch*h*w : (ch+1)*h*w] {
+			sum += v
 		}
 		out.data[ch] = sum / area
 	}
-	return out, nil
 }
 
 // ReLU applies max(0, x) in place and returns the tensor for chaining.
@@ -267,6 +557,22 @@ func Softmax(t *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: Softmax requires a rank-1 tensor, got %v", t.shape)
 	}
 	out := MustNew(t.shape[0])
+	if err := SoftmaxInto(out, t); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SoftmaxInto computes the softmax of a 1-D tensor into the caller-provided
+// dst (same length). dst is fully overwritten; it may equal t for an
+// in-place softmax.
+func SoftmaxInto(dst, t *Tensor) error {
+	if t.Rank() != 1 {
+		return fmt.Errorf("tensor: Softmax requires a rank-1 tensor, got %v", t.shape)
+	}
+	if dst.Rank() != 1 || dst.shape[0] != t.shape[0] {
+		return fmt.Errorf("tensor: SoftmaxInto dst shape %v, want %v", dst.shape, t.shape)
+	}
 	maxV := float64(math.Inf(-1))
 	for _, v := range t.data {
 		if float64(v) > maxV {
@@ -276,16 +582,16 @@ func Softmax(t *Tensor) (*Tensor, error) {
 	var sum float64
 	for i, v := range t.data {
 		e := math.Exp(float64(v) - maxV)
-		out.data[i] = float32(e)
+		dst.data[i] = float32(e)
 		sum += e
 	}
 	if sum == 0 {
-		return nil, fmt.Errorf("tensor: Softmax underflow")
+		return fmt.Errorf("tensor: Softmax underflow")
 	}
-	for i := range out.data {
-		out.data[i] = float32(float64(out.data[i]) / sum)
+	for i := range dst.data {
+		dst.data[i] = float32(float64(dst.data[i]) / sum)
 	}
-	return out, nil
+	return nil
 }
 
 // ScaleShift applies y = x*scale[c] + shift[c] per channel of a CHW tensor in

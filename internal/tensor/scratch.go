@@ -1,0 +1,115 @@
+package tensor
+
+import "sync"
+
+// Scratch is a bump-pointer arena for the intermediate tensors of one
+// inference pass. Allocating every layer output and im2col buffer from a
+// per-goroutine Scratch lets steady-state inference run without touching the
+// garbage collector: the arena grows to the pass's high-water mark on the
+// first few passes and is then recycled wholesale by Reset.
+//
+// A Scratch is not safe for concurrent use; use one per goroutine (GetScratch
+// hands out pooled instances). Reset invalidates every tensor and slice
+// previously returned by the arena — callers must copy anything that outlives
+// the pass (see Tensor.Clone).
+type Scratch struct {
+	data    []float32
+	dataOff int
+	headers []Tensor
+	hdrOff  int
+	dims    []int
+	dimOff  int
+
+	// overflow tracks demand beyond the current slabs so Reset can grow them
+	// to the high-water mark instead of thrashing.
+	dataOverflow, hdrOverflow, dimOverflow int
+}
+
+// NewScratch returns an empty arena; it grows on demand.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset recycles the arena, growing its slabs to cover everything the
+// previous pass asked for. All previously returned tensors become invalid.
+func (s *Scratch) Reset() {
+	if s.dataOverflow > 0 {
+		s.data = make([]float32, s.dataOff+s.dataOverflow)
+	}
+	if s.hdrOverflow > 0 {
+		s.headers = make([]Tensor, s.hdrOff+s.hdrOverflow)
+	}
+	if s.dimOverflow > 0 {
+		s.dims = make([]int, s.dimOff+s.dimOverflow)
+	}
+	s.dataOff, s.hdrOff, s.dimOff = 0, 0, 0
+	s.dataOverflow, s.hdrOverflow, s.dimOverflow = 0, 0, 0
+}
+
+// Floats returns an arena-backed slice of n float32s. The contents are NOT
+// zeroed: they hold whatever a previous pass left behind, so callers must
+// fully overwrite the slice.
+func (s *Scratch) Floats(n int) []float32 {
+	if s.dataOff+n <= len(s.data) {
+		v := s.data[s.dataOff : s.dataOff+n : s.dataOff+n]
+		s.dataOff += n
+		return v
+	}
+	s.dataOverflow += n
+	return make([]float32, n)
+}
+
+// Tensor returns an arena-backed tensor with the given shape. Like Floats,
+// the element storage is not zeroed; it is intended as the destination of
+// *Into kernels, which fully overwrite their output.
+func (s *Scratch) Tensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: Scratch.Tensor dimensions must be positive")
+		}
+		n *= d
+	}
+
+	var dims []int
+	if s.dimOff+len(shape) <= len(s.dims) {
+		dims = s.dims[s.dimOff : s.dimOff+len(shape) : s.dimOff+len(shape)]
+		s.dimOff += len(shape)
+	} else {
+		s.dimOverflow += len(shape)
+		dims = make([]int, len(shape))
+	}
+	copy(dims, shape)
+
+	var t *Tensor
+	if s.hdrOff < len(s.headers) {
+		t = &s.headers[s.hdrOff]
+		s.hdrOff++
+	} else {
+		s.hdrOverflow++
+		t = new(Tensor)
+	}
+	t.shape = dims
+	t.data = s.Floats(n)
+	return t
+}
+
+// CloneTensor returns an arena-backed deep copy of t.
+func (s *Scratch) CloneTensor(t *Tensor) *Tensor {
+	c := s.Tensor(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// scratchPool recycles Scratch arenas across inference calls.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch returns a recycled (already Reset) arena from the process-wide
+// pool. Pair with PutScratch when the pass's results have been extracted.
+func GetScratch() *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.Reset()
+	return s
+}
+
+// PutScratch returns an arena to the pool. The caller must not use the arena
+// or any tensor allocated from it afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }

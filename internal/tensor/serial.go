@@ -1,0 +1,138 @@
+package tensor
+
+import "fmt"
+
+// This file retains the original single-threaded reference kernels. The
+// public MatMul / Conv2D / DepthwiseConv2D entry points now run the blocked,
+// parallel engine (gemm.go, ops.go); the *Serial variants here are the
+// numerical ground truth the equivalence tests compare against, and a
+// fallback for debugging kernel regressions. They are intentionally naive —
+// plain nested loops in the canonical accumulation order — so their results
+// are easy to reason about.
+
+// MatMulSerial computes C = A × B with the naive row-scalar loop.
+func MatMulSerial(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dimensions differ: %d vs %d", k, k2)
+	}
+	c := MustNew(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatVecSerial computes y = A × x with the naive dot-product loop.
+func MatVecSerial(a, x *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return nil, fmt.Errorf("tensor: MatVec requires rank-2 and rank-1 operands, got %v and %v", a.shape, x.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	if k != x.shape[0] {
+		return nil, fmt.Errorf("tensor: MatVec dimension mismatch: %d vs %d", k, x.shape[0])
+	}
+	y := MustNew(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		var sum float32
+		for p := 0; p < k; p++ {
+			sum += row[p] * x.data[p]
+		}
+		y.data[i] = sum
+	}
+	return y, nil
+}
+
+// Conv2DSerial convolves with the direct six-deep loop nest.
+func Conv2DSerial(input, kernels, bias *Tensor, opts Conv2DOptions) (*Tensor, error) {
+	g, err := conv2DGeometry(input, kernels, bias, opts)
+	if err != nil {
+		return nil, err
+	}
+	cin, h, w := g.cin, g.h, g.w
+	cout, kh, kw := g.cout, g.kh, g.kw
+	hOut, wOut := g.hOut, g.wOut
+	out := MustNew(cout, hOut, wOut)
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias.data[oc]
+		}
+		for oy := 0; oy < hOut; oy++ {
+			for ox := 0; ox < wOut; ox++ {
+				sum := b
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*opts.Stride + ky - opts.Padding
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*opts.Stride + kx - opts.Padding
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += input.data[(ic*h+iy)*w+ix] * kernels.data[((oc*cin+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.data[(oc*hOut+oy)*wOut+ox] = sum
+			}
+		}
+	}
+	return out, nil
+}
+
+// DepthwiseConv2DSerial convolves each channel with the direct loop nest.
+func DepthwiseConv2DSerial(input, kernels, bias *Tensor, opts Conv2DOptions) (*Tensor, error) {
+	g, err := depthwiseGeometry(input, kernels, bias, opts)
+	if err != nil {
+		return nil, err
+	}
+	c, h, w := g.c, g.h, g.w
+	kh, kw := g.kh, g.kw
+	hOut, wOut := g.hOut, g.wOut
+	out := MustNew(c, hOut, wOut)
+	for ch := 0; ch < c; ch++ {
+		var b float32
+		if bias != nil {
+			b = bias.data[ch]
+		}
+		for oy := 0; oy < hOut; oy++ {
+			for ox := 0; ox < wOut; ox++ {
+				sum := b
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*opts.Stride + ky - opts.Padding
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*opts.Stride + kx - opts.Padding
+						if ix < 0 || ix >= w {
+							continue
+						}
+						sum += input.data[(ch*h+iy)*w+ix] * kernels.data[(ch*kh+ky)*kw+kx]
+					}
+				}
+				out.data[(ch*hOut+oy)*wOut+ox] = sum
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench.sh — kernel/native micro-benchmark gate.
+#
+# Runs `go vet` over the tree, then the compute-kernel and native-classifier
+# benchmarks (serial reference vs blocked/parallel engine, heap vs
+# scratch-arena inference) and writes the aggregated numbers to a JSON file
+# (default BENCH_PR1.json) so speedups and allocation counts are recorded in
+# the repository alongside the code they measure.
+#
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR1.json
+#        COUNT=10 OUT=out.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_PR1.json}"
+
+go vet ./...
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Kernel|Native' -benchmem -count "$COUNT" . | tee "$raw"
+
+awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go version)" \
+    -v count="$COUNT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; runs[name]++
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes[name]  += $(i-1)
+        if ($i == "allocs/op") allocs[name] += $(i-1)
+    }
+    if (!(name in order)) { order[name] = ++n; names[n] = name }
+}
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+END {
+    printf "{\n"
+    printf "  \"generated_utc\": \"%s\",\n", generated
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"count\": %d,\n", count
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}%s\n", \
+            name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], (i < n ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"derived\": {\n"
+    printf "    \"matmul_speedup_vs_serial\": %.2f,\n", \
+        ns["BenchmarkKernelMatMul/serial"] / ns["BenchmarkKernelMatMul/blocked"]
+    printf "    \"conv2d_speedup_vs_serial\": %.2f,\n", \
+        ns["BenchmarkKernelConv2D/serial"] / ns["BenchmarkKernelConv2D/im2col"]
+    printf "    \"depthwise_speedup_vs_serial\": %.2f,\n", \
+        ns["BenchmarkKernelDepthwiseConv2D/serial"] / ns["BenchmarkKernelDepthwiseConv2D/rowwise"]
+    printf "    \"resnet50_allocs_heap_vs_scratch\": [%.1f, %.1f],\n", \
+        allocs["BenchmarkNativeClassifier/resnet50/heap"]/runs["BenchmarkNativeClassifier/resnet50/heap"], \
+        allocs["BenchmarkNativeClassifier/resnet50/scratch"]/runs["BenchmarkNativeClassifier/resnet50/scratch"]
+    printf "    \"mobilenet_allocs_heap_vs_scratch\": [%.1f, %.1f]\n", \
+        allocs["BenchmarkNativeClassifier/mobilenet/heap"]/runs["BenchmarkNativeClassifier/mobilenet/heap"], \
+        allocs["BenchmarkNativeClassifier/mobilenet/scratch"]/runs["BenchmarkNativeClassifier/mobilenet/scratch"]
+    printf "  }\n"
+    printf "}\n"
+}' "$raw" > "$OUT"
+
+echo "wrote $OUT"
