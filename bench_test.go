@@ -10,6 +10,7 @@
 package mlperf
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -402,6 +403,116 @@ func BenchmarkDynamicBatchingServer(b *testing.B) {
 		if _, err := loadgen.StartTest(batcher, assembly.QSL, settings); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Batch-first Engine API: batched Predict vs the per-sample loop. ---
+
+// benchSamples builds n random image samples for an engine's input shape.
+func benchSamples(seed uint64, n int, shape []int) []*dataset.Sample {
+	rng := stats.NewRNG(seed)
+	out := make([]*dataset.Sample, n)
+	for i := range out {
+		img := tensor.MustNew(shape...)
+		data := img.Data()
+		for j := range data {
+			data[j] = float32(rng.NormFloat64())
+		}
+		out[i] = &dataset.Sample{Index: i, Image: img}
+	}
+	return out
+}
+
+// BenchmarkBatchedPredict contrasts the native batched Engine.Predict (one
+// im2col+GEMM per layer for the whole batch) with the per-sample adapter loop
+// (model.EngineFromClassifier) at the offline-relevant batch sizes. Each op
+// processes the whole batch, so ns/op at equal batch size is directly
+// comparable between the two variants.
+func BenchmarkBatchedPredict(b *testing.B) {
+	builders := []struct {
+		name  string
+		build func(model.ClassifierConfig) (*model.ImageClassifier, error)
+	}{
+		{"resnet50", model.NewResNet50Mini},
+		{"mobilenet", model.NewMobileNetV1Mini},
+	}
+	for _, bl := range builders {
+		m, err := bl.build(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		persample := model.EngineFromClassifier(bl.name+"-persample", m)
+		for _, batch := range []int{1, 8, 32} {
+			samples := benchSamples(uint64(batch)*31, batch, m.InputShape())
+			run := func(e model.Engine) func(*testing.B) {
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := e.Predict(samples, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+				}
+			}
+			b.Run(fmt.Sprintf("%s/batch%d/batched", bl.name, batch), run(m))
+			b.Run(fmt.Sprintf("%s/batch%d/persample", bl.name, batch), run(persample))
+		}
+	}
+}
+
+// BenchmarkOfflineBatched runs the full offline scenario — LoadGen, dynamic
+// batcher, native backend — once with the batched engine and once with the
+// per-sample adapter, so the batching win is visible at the system level and
+// not just at the kernel level. It uses MobileNet, the paper's light
+// (high-throughput) offline classification workload; the heavy model's
+// batched-vs-per-sample ratio is recorded by BenchmarkBatchedPredict.
+func BenchmarkOfflineBatched(b *testing.B) {
+	m, err := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.NewSyntheticImages(dataset.ImageConfig{
+		Samples: 64, Classes: 10, Channels: 3, Height: 16, Width: 16, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name   string
+		engine model.Engine
+	}{
+		{"batched", m},
+		{"persample", model.EngineFromClassifier("mobilenet-persample", m)},
+	}
+	for _, e := range engines {
+		sut, err := backend.NewNative(backend.NativeConfig{Engine: e.engine, Store: qsl})
+		if err != nil {
+			b.Fatal(err)
+		}
+		settings := loadgen.DefaultSettings(loadgen.Offline)
+		settings.MinSampleCount = 4096
+		settings.MinDuration = 0
+		b.Run(e.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var throughput float64
+			for i := 0; i < b.N; i++ {
+				res, err := loadgen.StartTest(sut, qsl, settings)
+				if err != nil {
+					b.Fatal(err)
+				}
+				throughput = res.OfflineSamplesPerSec
+			}
+			sut.Wait()
+			if errs := sut.Errors(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			b.ReportMetric(throughput, "samples/s")
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ package accuracy
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"mlperf/internal/dataset"
 	"mlperf/internal/loadgen"
@@ -104,25 +105,134 @@ func CheckTranslation(log []loadgen.AccuracyEntry, ds *dataset.SyntheticText) (f
 
 // Check scores an accuracy log against the appropriate metric for the data
 // set's kind and compares the result to target (derived from the reference
-// quality).
+// quality). It is the batch form of StreamChecker — one implementation of
+// the scoring rules serves both the in-memory log and the streaming path.
 func Check(log []loadgen.AccuracyEntry, ds dataset.Dataset, reference, target float64) (Report, error) {
+	c, err := NewStreamChecker(ds, reference, target)
+	if err != nil {
+		return Report{}, err
+	}
+	for _, entry := range log {
+		c.Add(entry)
+	}
+	return c.Report()
+}
+
+// StreamChecker scores an accuracy-mode run incrementally: each response is
+// decoded and folded into the metric's sufficient statistics the moment the
+// LoadGen logs it, so a full-dataset sweep never has to hold the raw response
+// log in memory. Wire Add as the run's loadgen.TestSettings.AccuracySink and
+// call Report after the run completes.
+//
+// Classification keeps two counters, translation keeps corpus BLEU n-gram
+// statistics (metrics.BLEUAccumulator), and detection — whose mAP needs a
+// global score ranking — keeps only the decoded boxes rather than the raw
+// JSON payloads.
+type StreamChecker struct {
+	ds        dataset.Dataset
+	reference float64
+	target    float64
+
+	mu       sync.Mutex
+	samples  int
+	firstErr error
+
+	// Classification.
+	correct int
+	// Detection.
+	dets   []metrics.Detection
+	truths []metrics.GroundTruth
+	// Translation.
+	bleu metrics.BLEUAccumulator
+}
+
+// NewStreamChecker returns a checker for the data set's task kind. reference
+// and target mirror accuracy.Check's parameters.
+func NewStreamChecker(ds dataset.Dataset, reference, target float64) (*StreamChecker, error) {
+	switch ds.(type) {
+	case *dataset.SyntheticImages, *dataset.SyntheticDetection, *dataset.SyntheticText:
+		return &StreamChecker{ds: ds, reference: reference, target: target}, nil
+	default:
+		return nil, fmt.Errorf("accuracy: unsupported data set type %T", ds)
+	}
+}
+
+// Add decodes and scores one logged response. It is safe for concurrent use;
+// entry.Data is not retained past the call. Decode failures are recorded and
+// surfaced by Report.
+func (c *StreamChecker) Add(entry loadgen.AccuracyEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.add(entry); err != nil && c.firstErr == nil {
+		c.firstErr = fmt.Errorf("accuracy: sample %d: %w", entry.SampleIndex, err)
+	}
+}
+
+func (c *StreamChecker) add(entry loadgen.AccuracyEntry) error {
+	switch d := c.ds.(type) {
+	case *dataset.SyntheticImages:
+		sample, err := d.Sample(entry.SampleIndex)
+		if err != nil {
+			return err
+		}
+		class, err := payload.DecodeClass(entry.Data)
+		if err != nil {
+			return err
+		}
+		if class == sample.Label {
+			c.correct++
+		}
+	case *dataset.SyntheticDetection:
+		sample, err := d.Sample(entry.SampleIndex)
+		if err != nil {
+			return err
+		}
+		boxes, err := payload.DecodeBoxes(entry.Data)
+		if err != nil {
+			return err
+		}
+		c.dets = append(c.dets, metrics.Detection{SampleIndex: entry.SampleIndex, Boxes: boxes})
+		c.truths = append(c.truths, metrics.GroundTruth{SampleIndex: entry.SampleIndex, Boxes: sample.Boxes})
+	case *dataset.SyntheticText:
+		sample, err := d.Sample(entry.SampleIndex)
+		if err != nil {
+			return err
+		}
+		tokens, err := payload.DecodeTokens(entry.Data)
+		if err != nil {
+			return err
+		}
+		c.bleu.Add(tokens, sample.RefTokens)
+	}
+	c.samples++
+	return nil
+}
+
+// Report computes the final quality report over everything streamed so far.
+func (c *StreamChecker) Report() (Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.firstErr != nil {
+		return Report{}, c.firstErr
+	}
+	if c.samples == 0 {
+		return Report{}, fmt.Errorf("accuracy: empty accuracy log")
+	}
 	var (
 		value  float64
 		metric string
 		err    error
 	)
-	switch d := ds.(type) {
+	switch c.ds.(type) {
 	case *dataset.SyntheticImages:
 		metric = "top1"
-		value, err = CheckClassification(log, d)
+		value = float64(c.correct) / float64(c.samples)
 	case *dataset.SyntheticDetection:
 		metric = "mAP"
-		value, err = CheckDetection(log, d, 0.5)
+		value, err = metrics.MeanAveragePrecision(c.dets, c.truths, 0.5)
 	case *dataset.SyntheticText:
 		metric = "BLEU"
-		value, err = CheckTranslation(log, d)
-	default:
-		return Report{}, fmt.Errorf("accuracy: unsupported data set type %T", ds)
+		value, err = c.bleu.Score()
 	}
 	if err != nil {
 		return Report{}, err
@@ -130,10 +240,10 @@ func Check(log []loadgen.AccuracyEntry, ds dataset.Dataset, reference, target fl
 	return Report{
 		Metric:    metric,
 		Value:     value,
-		Reference: reference,
-		Target:    target,
-		Samples:   len(log),
-		Pass:      value >= target,
+		Reference: c.reference,
+		Target:    c.target,
+		Samples:   c.samples,
+		Pass:      value >= c.target,
 	}, nil
 }
 

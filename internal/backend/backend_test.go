@@ -10,6 +10,7 @@ import (
 	"mlperf/internal/model"
 	"mlperf/internal/payload"
 	"mlperf/internal/simhw"
+	"mlperf/internal/tensor"
 )
 
 // collectQuery builds a query whose completion is observable in tests.
@@ -55,8 +56,7 @@ func TestNativeClassificationBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	sut, err := NewNative(NativeConfig{
-		Name: "mobilenet-sut", Kind: dataset.KindImageClassification,
-		Classifier: classifier, Store: qsl, Workers: 2,
+		Name: "mobilenet-sut", Engine: classifier, Store: qsl, Workers: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestNativeDetectionAndTranslationBackends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	detSUT, err := NewNative(NativeConfig{Kind: dataset.KindObjectDetection, Detector: detector, Store: detQSL})
+	detSUT, err := NewNative(NativeConfig{Engine: detector, Store: detQSL})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestNativeDetectionAndTranslationBackends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trSUT, err := NewNative(NativeConfig{Kind: dataset.KindTranslation, Translator: translator, Store: textQSL})
+	trSUT, err := NewNative(NativeConfig{Engine: translator, Store: textQSL})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,20 +144,92 @@ func TestNativeDetectionAndTranslationBackends(t *testing.T) {
 	trSUT.Wait()
 }
 
+// badKindEngine reports an out-of-range task kind.
+type badKindEngine struct{ model.Engine }
+
+func (badKindEngine) Name() string       { return "bad-kind" }
+func (badKindEngine) Kind() dataset.Kind { return dataset.Kind(99) }
+
 func TestNativeConfigErrors(t *testing.T) {
 	qsl, _ := newClassificationStore(t, 4)
 	classifier, _ := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
 	cases := []NativeConfig{
-		{Kind: dataset.KindImageClassification, Classifier: classifier}, // no store
-		{Kind: dataset.KindImageClassification, Store: qsl},             // no classifier
-		{Kind: dataset.KindObjectDetection, Store: qsl},                 // no detector
-		{Kind: dataset.KindTranslation, Store: qsl},                     // no translator
-		{Kind: dataset.Kind(99), Store: qsl, Classifier: classifier},    // bad kind
+		{Engine: classifier},                  // no store
+		{Store: qsl},                          // no engine
+		{Engine: badKindEngine{}, Store: qsl}, // bad kind
 	}
 	for i, cfg := range cases {
 		if _, err := NewNative(cfg); err == nil {
 			t.Errorf("config %d: expected error", i)
 		}
+	}
+}
+
+func TestNativeDefaultsNameFromEngine(t *testing.T) {
+	qsl, _ := newClassificationStore(t, 4)
+	classifier, _ := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	sut, err := NewNative(NativeConfig{Engine: classifier, Store: qsl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sut.Name() != classifier.Name() {
+		t.Errorf("default name = %q, want engine name %q", sut.Name(), classifier.Name())
+	}
+	if sut.Engine() != model.Engine(classifier) {
+		t.Error("Engine() does not return the configured engine")
+	}
+}
+
+// poisonStore serves a wrong-shaped image for one index so a batched Predict
+// over a chunk containing it fails as a whole.
+type poisonStore struct {
+	inner  SampleStore
+	poison int
+}
+
+func (p *poisonStore) Get(index int) (*dataset.Sample, error) {
+	if index == p.poison {
+		return &dataset.Sample{Index: index, Image: tensor.MustNew(1, 2, 2)}, nil
+	}
+	return p.inner.Get(index)
+}
+
+// TestNativeIsolatesBadSampleInBatchedChunk: one bad sample must not null
+// the responses of the healthy samples sharing its chunk.
+func TestNativeIsolatesBadSampleInBatchedChunk(t *testing.T) {
+	qsl, _ := newClassificationStore(t, 8)
+	classifier, err := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers=1 makes batchGrain(8,1)=2, so sample 1 shares a chunk with
+	// sample 0 and the batched pass over that chunk fails.
+	sut, err := NewNative(NativeConfig{
+		Engine: classifier, Store: &poisonStore{inner: qsl, poison: 1}, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, done := collectQuery(1, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	sut.IssueQuery(q)
+	rs := <-done
+	sut.Wait()
+	if len(rs) != 8 {
+		t.Fatalf("got %d responses, want 8", len(rs))
+	}
+	nilData := 0
+	for _, r := range rs {
+		if r.Data == nil {
+			nilData++
+		} else if _, err := payload.DecodeClass(r.Data); err != nil {
+			t.Errorf("healthy sample produced bad payload: %v", err)
+		}
+	}
+	if nilData != 1 {
+		t.Errorf("%d responses have nil data, want exactly the poisoned one", nilData)
+	}
+	if len(sut.Errors()) == 0 {
+		t.Error("expected the poisoned sample's error to be recorded")
 	}
 }
 
@@ -168,7 +240,7 @@ func TestNativeRecordsErrorsForUnloadedSamples(t *testing.T) {
 	}
 	qsl, _ := dataset.NewQSL(ds) // nothing loaded
 	classifier, _ := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
-	sut, err := NewNative(NativeConfig{Kind: dataset.KindImageClassification, Classifier: classifier, Store: qsl})
+	sut, err := NewNative(NativeConfig{Engine: classifier, Store: qsl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,6 +455,43 @@ func TestBatchingSplitsOversizeBatches(t *testing.T) {
 		if size > 3 {
 			t.Errorf("forwarded batch of %d exceeds MaxBatch 3", size)
 		}
+	}
+}
+
+func TestBatchingForwardsImmediatelyAfterFlushQueries(t *testing.T) {
+	inner := &recordingSUT{}
+	batcher, err := NewBatching(inner, 100, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batcher.FlushQueries()
+
+	// A late query must not sit behind the hour-long MaxWait timer.
+	q, done := collectQuery(1, []int{0, 1})
+	batcher.IssueQuery(q)
+	select {
+	case rs := <-done:
+		if len(rs) != 2 {
+			t.Errorf("late query got %d responses, want 2", len(rs))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("query issued after FlushQueries was buffered instead of forwarded")
+	}
+
+	// Reopen restores buffering for a new series.
+	batcher.Reopen()
+	q2, done2 := collectQuery(2, []int{0})
+	batcher.IssueQuery(q2)
+	select {
+	case <-done2:
+		t.Fatal("reopened batcher forwarded a below-MaxBatch query immediately")
+	case <-time.After(50 * time.Millisecond):
+	}
+	batcher.Flush()
+	select {
+	case <-done2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("explicit Flush after Reopen did not forward the buffered query")
 	}
 }
 

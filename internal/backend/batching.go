@@ -13,7 +13,15 @@ import (
 // samples have accumulated or MaxWait has elapsed since the first buffered
 // sample. Dynamic batching is the key optimization separating the server and
 // offline scenarios (Section VI-B): it raises throughput at the cost of
-// added queueing latency.
+// added queueing latency. The inner SUT sees merged multi-sample queries, so
+// stacking Batching on a backend.Native turns the merge into real batched
+// Predict execution rather than mere queueing.
+//
+// FlushQueries marks the end of the query series: any query issued after it
+// is forwarded to the inner SUT immediately (pass-through) instead of
+// re-arming the MaxWait timer with no flush in sight. Reopen re-arms the
+// batcher for a new series; loadgen.StartTest calls it automatically at the
+// start of every run, so a batcher reused across runs batches in each one.
 type Batching struct {
 	inner    loadgen.SUT
 	maxBatch int
@@ -23,7 +31,11 @@ type Batching struct {
 	pending []*pendingSample
 	timer   *time.Timer
 	nextID  uint64
-	closed  bool
+	// closed is set by FlushQueries: the LoadGen has announced the end of the
+	// query series, so buffering for future arrivals would add latency with
+	// no batching partner in sight. Late queries are forwarded immediately
+	// instead of re-arming the MaxWait timer.
+	closed bool
 }
 
 // pendingSample ties a buffered sample back to its originating query.
@@ -49,13 +61,15 @@ func NewBatching(inner loadgen.SUT, maxBatch int, maxWait time.Duration) (*Batch
 // Name implements loadgen.SUT.
 func (b *Batching) Name() string { return b.inner.Name() + "+dynamic-batching" }
 
-// IssueQuery implements loadgen.SUT.
+// IssueQuery implements loadgen.SUT. After FlushQueries has announced the
+// end of the series, stray queries are forwarded immediately rather than
+// buffered against a timer that may be the only thing left to fire.
 func (b *Batching) IssueQuery(q *loadgen.Query) {
 	b.mu.Lock()
 	for i := range q.Samples {
 		b.pending = append(b.pending, &pendingSample{query: q, sample: q.Samples[i]})
 	}
-	shouldFlush := len(b.pending) >= b.maxBatch
+	shouldFlush := b.closed || len(b.pending) >= b.maxBatch
 	if !shouldFlush && b.timer == nil {
 		b.timer = time.AfterFunc(b.maxWait, b.flushTimer)
 	}
@@ -137,9 +151,24 @@ func (p *batchProxy) run() {
 	p.inner.IssueQuery(p.merged)
 }
 
-// FlushQueries implements loadgen.SUT: buffered samples are forwarded and the
-// inner SUT is flushed.
+// FlushQueries implements loadgen.SUT: buffered samples are forwarded, the
+// inner SUT is flushed, and the batcher switches to pass-through mode so any
+// late query is forwarded immediately instead of silently re-arming the
+// MaxWait timer after the LoadGen has stopped issuing.
 func (b *Batching) FlushQueries() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
 	b.Flush()
 	b.inner.FlushQueries()
+}
+
+// Reopen re-arms the batcher for a new query series after FlushQueries has
+// switched it to pass-through mode. The LoadGen calls it at the start of
+// every test; only SUT-side drivers that bypass loadgen.StartTest need to
+// call it themselves.
+func (b *Batching) Reopen() {
+	b.mu.Lock()
+	b.closed = false
+	b.mu.Unlock()
 }

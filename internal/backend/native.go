@@ -1,14 +1,21 @@
 // Package backend provides the system-under-test implementations the harness
 // runs the LoadGen against:
 //
-//   - Native executes the in-repo miniature reference models on synthetic
-//     data, exercising the full inference path (the closest analogue to a
-//     real submission's inference engine).
+//   - Native executes a model.Engine — the suite's single batch-first
+//     inference contract — on synthetic data, exercising the full inference
+//     path (the closest analogue to a real submission's inference engine).
+//     Multi-sample queries are split into per-worker chunks and each chunk
+//     runs as ONE batched Predict call, so a merged offline/server query gets
+//     true batched GEMM execution rather than a sample-by-sample loop.
 //   - Simulated replays a simhw.Platform's service-time model in wall-clock
 //     time, so scenario dynamics can be studied for platforms far faster or
 //     slower than this machine.
 //   - Batching wraps another backend with a dynamic batcher, the optimization
 //     that distinguishes the server and offline scenarios (Section VI-B).
+//
+// Because every model is reached through model.Engine, new backends
+// (quantized, simulated-batched, multi-tenant) plug in without per-task
+// dispatch: the backend never switches on the task kind to run inference.
 package backend
 
 import (
@@ -19,7 +26,6 @@ import (
 	"mlperf/internal/dataset"
 	"mlperf/internal/loadgen"
 	"mlperf/internal/model"
-	"mlperf/internal/payload"
 )
 
 // SampleStore provides samples by index; dataset.QSL satisfies it.
@@ -29,15 +35,11 @@ type SampleStore interface {
 
 // NativeConfig configures a Native backend.
 type NativeConfig struct {
-	// Name labels the SUT in results.
+	// Name labels the SUT in results; it defaults to the engine's name.
 	Name string
-	// Kind selects which model field is used.
-	Kind dataset.Kind
-	// Exactly one of Classifier, Detector or Translator must be set,
-	// matching Kind.
-	Classifier model.Classifier
-	Detector   model.Detector
-	Translator model.Translator
+	// Engine is the model behind the SUT. Its Kind determines the sample
+	// payload the backend expects from Store.
+	Engine model.Engine
 	// Store provides input samples.
 	Store SampleStore
 	// Workers is the number of concurrent inference workers. It defaults to
@@ -48,7 +50,7 @@ type NativeConfig struct {
 	Workers int
 }
 
-// Native runs the in-repo models as the system under test.
+// Native runs a model.Engine as the system under test.
 type Native struct {
 	cfg  NativeConfig
 	sem  chan struct{}
@@ -79,27 +81,22 @@ func (e *errorLog) all() []error {
 
 // NewNative validates the configuration and returns the backend.
 func NewNative(cfg NativeConfig) (*Native, error) {
-	if cfg.Name == "" {
-		cfg.Name = "native"
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("backend: native backend needs an Engine")
 	}
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("backend: native backend needs a sample store")
 	}
-	switch cfg.Kind {
-	case dataset.KindImageClassification:
-		if cfg.Classifier == nil {
-			return nil, fmt.Errorf("backend: classification backend needs a Classifier")
-		}
-	case dataset.KindObjectDetection:
-		if cfg.Detector == nil {
-			return nil, fmt.Errorf("backend: detection backend needs a Detector")
-		}
-	case dataset.KindTranslation:
-		if cfg.Translator == nil {
-			return nil, fmt.Errorf("backend: translation backend needs a Translator")
-		}
+	switch cfg.Engine.Kind() {
+	case dataset.KindImageClassification, dataset.KindObjectDetection, dataset.KindTranslation:
 	default:
-		return nil, fmt.Errorf("backend: unknown task kind %v", cfg.Kind)
+		return nil, fmt.Errorf("backend: engine %s reports unknown task kind %v", cfg.Engine.Name(), cfg.Engine.Kind())
+	}
+	if cfg.Name == "" {
+		cfg.Name = cfg.Engine.Name()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "native"
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = defaultWorkers()
@@ -120,11 +117,14 @@ func defaultWorkers() int {
 // Name implements loadgen.SUT.
 func (n *Native) Name() string { return n.cfg.Name }
 
+// Engine returns the engine behind the SUT.
+func (n *Native) Engine() model.Engine { return n.cfg.Engine }
+
 // IssueQuery implements loadgen.SUT. Single-sample queries are processed by
 // a bounded worker pool so concurrent server-style queries overlap; a
 // multi-sample (multistream/offline) query takes the batched path, fanning
-// its samples out across all workers and completing each worker's chunk in
-// one call, so one big offline query saturates every core.
+// its samples out across all workers in contiguous chunks, each of which runs
+// as one batched Engine.Predict call.
 func (n *Native) IssueQuery(q *loadgen.Query) {
 	if len(q.Samples) > 1 {
 		n.wg.Add(1)
@@ -134,25 +134,21 @@ func (n *Native) IssueQuery(q *loadgen.Query) {
 		}()
 		return
 	}
-	for _, s := range q.Samples {
-		s := s
+	for i := range q.Samples {
+		lo := i
 		n.wg.Add(1)
 		n.sem <- struct{}{}
 		go func() {
 			defer n.wg.Done()
 			defer func() { <-n.sem }()
-			data, err := n.inferSample(s.Index)
-			if err != nil {
-				n.errs.add(err)
-				data = nil
-			}
-			q.Complete([]loadgen.Response{{SampleID: s.ID, Data: data}})
+			q.Complete(n.predictChunk(q, lo, lo+1))
 		}()
 	}
 }
 
 // runBatch spreads a multi-sample query's inference across the worker
-// semaphore in contiguous chunks. Each chunk is inferred by one goroutine and
+// semaphore in contiguous chunks. Each chunk is one batched Predict call —
+// one im2col+GEMM per layer for the whole chunk on the CNN engines — and is
 // reported in a single Complete call, keeping response bookkeeping
 // proportional to the worker count rather than the sample count. Because
 // every chunk holds a semaphore slot while inferring, total in-flight
@@ -171,22 +167,14 @@ func (n *Native) runBatch(q *loadgen.Query) {
 		go func() {
 			defer n.wg.Done()
 			defer func() { <-n.sem }()
-			responses := make([]loadgen.Response, hi-lo)
-			for i := lo; i < hi; i++ {
-				data, err := n.inferSample(q.Samples[i].Index)
-				if err != nil {
-					n.errs.add(err)
-					data = nil
-				}
-				responses[i-lo] = loadgen.Response{SampleID: q.Samples[i].ID, Data: data}
-			}
-			q.Complete(responses)
+			q.Complete(n.predictChunk(q, lo, hi))
 		}()
 	}
 }
 
 // batchGrain yields several chunks per worker so stragglers rebalance while
-// chunks stay large enough to amortize completion bookkeeping.
+// chunks stay large enough to amortize completion bookkeeping and to win
+// from batched GEMM execution.
 func batchGrain(samples, workers int) int {
 	grain := samples / (4 * workers)
 	if grain < 1 {
@@ -195,34 +183,66 @@ func batchGrain(samples, workers int) int {
 	return grain
 }
 
-// inferSample runs the model on one sample and encodes the prediction.
-func (n *Native) inferSample(index int) ([]byte, error) {
-	sample, err := n.cfg.Store.Get(index)
+// predictChunk runs samples [lo, hi) of the query through the engine as one
+// batched Predict call and returns one response per sample (nil Data for
+// samples that failed to load or infer, with the error recorded). If the
+// batched call fails — one bad sample poisons a whole Predict — the chunk is
+// retried sample by sample so errors stay isolated to the samples that
+// actually caused them, matching the per-sample path's behavior.
+func (n *Native) predictChunk(q *loadgen.Query, lo, hi int) []loadgen.Response {
+	responses := make([]loadgen.Response, hi-lo)
+	samples := make([]*dataset.Sample, 0, hi-lo)
+	slots := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		responses[i-lo].SampleID = q.Samples[i].ID
+		sample, err := n.cfg.Store.Get(q.Samples[i].Index)
+		if err != nil {
+			n.errs.add(fmt.Errorf("backend %s: fetching sample %d: %w", n.cfg.Name, q.Samples[i].Index, err))
+			continue
+		}
+		samples = append(samples, sample)
+		slots = append(slots, i-lo)
+	}
+	if len(samples) == 0 {
+		return responses
+	}
+	outputs, err := n.cfg.Engine.Predict(samples, nil)
+	if err != nil || len(outputs) != len(samples) {
+		if err == nil {
+			err = fmt.Errorf("engine returned %d outputs for %d samples", len(outputs), len(samples))
+		}
+		if len(samples) == 1 {
+			n.errs.add(fmt.Errorf("backend %s: predicting sample %d: %w", n.cfg.Name, samples[0].Index, err))
+			return responses
+		}
+		// Batched pass failed: isolate the offending samples.
+		for j, sample := range samples {
+			out, err := n.cfg.Engine.Predict(samples[j:j+1], nil)
+			if err != nil || len(out) != 1 {
+				if err == nil {
+					err = fmt.Errorf("engine returned %d outputs for 1 sample", len(out))
+				}
+				n.errs.add(fmt.Errorf("backend %s: predicting sample %d: %w", n.cfg.Name, sample.Index, err))
+				continue
+			}
+			responses[slots[j]].Data = n.encodeOutput(out[0], sample.Index)
+		}
+		return responses
+	}
+	for j, out := range outputs {
+		responses[slots[j]].Data = n.encodeOutput(out, samples[j].Index)
+	}
+	return responses
+}
+
+// encodeOutput serializes one prediction, recording (and nil-ing) failures.
+func (n *Native) encodeOutput(out model.Output, index int) []byte {
+	data, err := out.Encode()
 	if err != nil {
-		return nil, fmt.Errorf("backend %s: fetching sample %d: %w", n.cfg.Name, index, err)
+		n.errs.add(fmt.Errorf("backend %s: encoding sample %d: %w", n.cfg.Name, index, err))
+		return nil
 	}
-	switch n.cfg.Kind {
-	case dataset.KindImageClassification:
-		class, err := n.cfg.Classifier.Classify(sample.Image)
-		if err != nil {
-			return nil, fmt.Errorf("backend %s: classifying sample %d: %w", n.cfg.Name, index, err)
-		}
-		return payload.EncodeClass(class)
-	case dataset.KindObjectDetection:
-		boxes, err := n.cfg.Detector.Detect(sample.Image)
-		if err != nil {
-			return nil, fmt.Errorf("backend %s: detecting sample %d: %w", n.cfg.Name, index, err)
-		}
-		return payload.EncodeBoxes(boxes)
-	case dataset.KindTranslation:
-		tokens, err := n.cfg.Translator.Translate(sample.Tokens)
-		if err != nil {
-			return nil, fmt.Errorf("backend %s: translating sample %d: %w", n.cfg.Name, index, err)
-		}
-		return payload.EncodeTokens(tokens)
-	default:
-		return nil, fmt.Errorf("backend %s: unknown task kind %v", n.cfg.Name, n.cfg.Kind)
-	}
+	return data
 }
 
 // FlushQueries implements loadgen.SUT; the native backend has no internal

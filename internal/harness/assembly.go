@@ -168,8 +168,7 @@ func (a *Assembly) buildClassification(spec core.TaskSpec, opts BuildOptions) er
 		return err
 	}
 	sut, err := backend.NewNative(backend.NativeConfig{
-		Name: string(spec.ReferenceModel), Kind: dataset.KindImageClassification,
-		Classifier: classifier, Store: qsl, Workers: opts.Workers,
+		Name: string(spec.ReferenceModel), Engine: classifier, Store: qsl, Workers: opts.Workers,
 	})
 	if err != nil {
 		return err
@@ -220,8 +219,7 @@ func (a *Assembly) buildDetection(spec core.TaskSpec, opts BuildOptions) error {
 		return err
 	}
 	sut, err := backend.NewNative(backend.NativeConfig{
-		Name: string(spec.ReferenceModel), Kind: dataset.KindObjectDetection,
-		Detector: detector, Store: qsl, Workers: opts.Workers,
+		Name: string(spec.ReferenceModel), Engine: detector, Store: qsl, Workers: opts.Workers,
 	})
 	if err != nil {
 		return err
@@ -262,8 +260,7 @@ func (a *Assembly) buildTranslation(spec core.TaskSpec, opts BuildOptions) error
 		return err
 	}
 	sut, err := backend.NewNative(backend.NativeConfig{
-		Name: string(spec.ReferenceModel), Kind: dataset.KindTranslation,
-		Translator: translator, Store: qsl, Workers: opts.Workers,
+		Name: string(spec.ReferenceModel), Engine: translator, Store: qsl, Workers: opts.Workers,
 	})
 	if err != nil {
 		return err

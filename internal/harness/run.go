@@ -69,14 +69,20 @@ func Run(a *Assembly, opts RunOptions) (*RunReport, error) {
 	if opts.RunAccuracy {
 		accSettings := settings
 		accSettings.Mode = loadgen.AccuracyMode
-		accRun, err := loadgen.StartTest(a.SUT, a.QSL, accSettings)
+		// Stream responses straight into the accuracy checker instead of
+		// accumulating the full-dataset response log in memory before scoring.
+		checker, err := accuracy.NewStreamChecker(a.Dataset, a.ReferenceQuality, a.QualityTarget)
 		if err != nil {
+			return nil, fmt.Errorf("harness: accuracy checker for %s: %w", a.Spec.Task, err)
+		}
+		accSettings.AccuracySink = checker.Add
+		if _, err := loadgen.StartTest(a.SUT, a.QSL, accSettings); err != nil {
 			return nil, fmt.Errorf("harness: accuracy run for %s/%v: %w", a.Spec.Task, opts.Scenario, err)
 		}
 		if a.native != nil {
 			a.native.Wait()
 		}
-		rep, err := a.ScoreAccuracyLog(accRun.AccuracyLog)
+		rep, err := checker.Report()
 		if err != nil {
 			return nil, fmt.Errorf("harness: scoring accuracy for %s: %w", a.Spec.Task, err)
 		}

@@ -34,6 +34,13 @@ func StartTest(sut SUT, qsl QuerySampleLibrary, settings TestSettings) (*Result,
 		accRNG:   stats.NewRNG(settings.AccuracyLogSeed),
 	}
 
+	// A new test is a new query series: SUTs that latch state at
+	// FlushQueries (e.g. backend.Batching's pass-through mode) re-arm here,
+	// so reusing one SUT across runs keeps its configured behavior.
+	if r, ok := sut.(interface{ Reopen() }); ok {
+		r.Reopen()
+	}
+
 	// Untimed: decide the working set and ask the SUT to load it.
 	if err := run.loadWorkingSet(); err != nil {
 		return nil, err
@@ -209,13 +216,22 @@ func (r *activeRun) issue(q *Query, done chan<- struct{}) {
 		logAll := r.settings.Mode == AccuracyMode
 		for _, resp := range responses {
 			if logAll || (r.settings.AccuracyLogSamplingRate > 0 && r.accRNG.Float64() < r.settings.AccuracyLogSamplingRate) {
-				data := make([]byte, len(resp.Data))
-				copy(data, resp.Data)
-				r.accuracyLog = append(r.accuracyLog, AccuracyEntry{
+				entry := AccuracyEntry{
 					QueryID:     q.ID,
 					SampleIndex: sampleIndex(resp.SampleID),
-					Data:        data,
-				})
+					Data:        resp.Data,
+				}
+				if r.settings.AccuracySink != nil {
+					// Streaming path: the sink consumes the entry immediately
+					// (still under r.mu, so calls are serialized) and nothing
+					// is retained — Data is not copied.
+					r.settings.AccuracySink(entry)
+					continue
+				}
+				data := make([]byte, len(resp.Data))
+				copy(data, resp.Data)
+				entry.Data = data
+				r.accuracyLog = append(r.accuracyLog, entry)
 			}
 		}
 		r.mu.Unlock()

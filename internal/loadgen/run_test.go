@@ -294,6 +294,29 @@ func TestOfflineAccuracyModeCoversDataset(t *testing.T) {
 	}
 }
 
+func TestAccuracySinkStreamsInsteadOfAccumulating(t *testing.T) {
+	qsl := newFakeQSL(96, 16)
+	sut := newFakeSUT(0, false)
+	settings := fastSettings(Offline)
+	settings.Mode = AccuracyMode
+	seen := make(map[int]int)
+	entries := 0
+	settings.AccuracySink = func(e AccuracyEntry) {
+		seen[e.SampleIndex]++
+		entries++
+	}
+	res, err := StartTest(sut, qsl, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AccuracyLog) != 0 {
+		t.Errorf("sink set but %d entries accumulated in AccuracyLog", len(res.AccuracyLog))
+	}
+	if entries != 96 || len(seen) != 96 {
+		t.Errorf("sink saw %d entries over %d distinct samples, want 96/96", entries, len(seen))
+	}
+}
+
 func TestAccuracyLogSamplingInPerformanceMode(t *testing.T) {
 	qsl := newFakeQSL(64, 64)
 	sut := newFakeSUT(0, false)

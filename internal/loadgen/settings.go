@@ -90,6 +90,14 @@ type TestSettings struct {
 	// response is logged for the accuracy-verification audit (0 disables).
 	AccuracyLogSamplingRate float64
 
+	// AccuracySink, when non-nil, receives every entry that would otherwise
+	// accumulate in Result.AccuracyLog, as it is logged. The log stays empty,
+	// bounding a full-dataset accuracy sweep's memory to the sink's own state
+	// (see accuracy.StreamChecker). Entries arrive serialized (never two
+	// calls at once) but from SUT completion goroutines; the entry's Data
+	// slice is only valid for the duration of the call.
+	AccuracySink func(AccuracyEntry)
+
 	// SampleIndexPolicy selects the sample-index generation strategy.
 	SampleIndexPolicy SampleIndexPolicy
 

@@ -9,70 +9,92 @@ import (
 // SacreBLEU default the paper references for the translation task.
 const maxBLEUOrder = 4
 
-// CorpusBLEU computes corpus-level BLEU over tokenized hypothesis/reference
-// pairs, with n-gram orders 1..4, uniform weights and the standard brevity
-// penalty. The returned score is in [0, 100], like SacreBLEU reports.
-func CorpusBLEU(hypotheses, references [][]int) (float64, error) {
-	if len(hypotheses) != len(references) {
-		return 0, fmt.Errorf("metrics: %d hypotheses vs %d references", len(hypotheses), len(references))
-	}
-	if len(hypotheses) == 0 {
-		return 0, fmt.Errorf("metrics: no sentence pairs to score")
-	}
+// BLEUAccumulator incrementally accumulates the sufficient statistics of
+// corpus BLEU — clipped n-gram match and total counts per order plus corpus
+// lengths — so a full-dataset accuracy sweep can be scored one sentence pair
+// at a time in O(1) memory instead of retaining every hypothesis.
+type BLEUAccumulator struct {
+	matches [maxBLEUOrder]int
+	totals  [maxBLEUOrder]int
+	hypLen  int
+	refLen  int
+	pairs   int
+}
 
-	matches := make([]int, maxBLEUOrder)
-	totals := make([]int, maxBLEUOrder)
-	hypLen, refLen := 0, 0
-
-	for i := range hypotheses {
-		hyp, ref := hypotheses[i], references[i]
-		hypLen += len(hyp)
-		refLen += len(ref)
-		for n := 1; n <= maxBLEUOrder; n++ {
-			hc := ngramCounts(hyp, n)
-			rc := ngramCounts(ref, n)
-			for g, c := range hc {
-				if rcount := rc[g]; rcount < c {
-					matches[n-1] += rcount
-				} else {
-					matches[n-1] += c
-				}
-			}
-			t := len(hyp) - n + 1
-			if t > 0 {
-				totals[n-1] += t
+// Add folds one hypothesis/reference pair into the corpus statistics.
+func (a *BLEUAccumulator) Add(hyp, ref []int) {
+	a.pairs++
+	a.hypLen += len(hyp)
+	a.refLen += len(ref)
+	for n := 1; n <= maxBLEUOrder; n++ {
+		hc := ngramCounts(hyp, n)
+		rc := ngramCounts(ref, n)
+		for g, c := range hc {
+			if rcount := rc[g]; rcount < c {
+				a.matches[n-1] += rcount
+			} else {
+				a.matches[n-1] += c
 			}
 		}
+		t := len(hyp) - n + 1
+		if t > 0 {
+			a.totals[n-1] += t
+		}
 	}
+}
 
+// Pairs returns the number of sentence pairs accumulated so far.
+func (a *BLEUAccumulator) Pairs() int { return a.pairs }
+
+// Score returns the corpus BLEU of everything accumulated so far, in
+// [0, 100] like SacreBLEU reports.
+func (a *BLEUAccumulator) Score() (float64, error) {
+	if a.pairs == 0 {
+		return 0, fmt.Errorf("metrics: no sentence pairs to score")
+	}
 	// Geometric mean of modified n-gram precisions. A corpus with no unigram
 	// matches scores 0; higher orders with no matches are smoothed
 	// (add-epsilon) so short corpora do not zero out entirely, matching
 	// SacreBLEU's exponential smoothing in spirit.
-	if totals[0] == 0 || matches[0] == 0 {
+	if a.totals[0] == 0 || a.matches[0] == 0 {
 		return 0, nil
 	}
 	logSum := 0.0
 	for n := 0; n < maxBLEUOrder; n++ {
-		if totals[n] == 0 {
+		if a.totals[n] == 0 {
 			return 0, nil
 		}
-		p := float64(matches[n]) / float64(totals[n])
+		p := float64(a.matches[n]) / float64(a.totals[n])
 		if p == 0 {
-			p = 1.0 / float64(2*totals[n])
+			p = 1.0 / float64(2*a.totals[n])
 		}
 		logSum += math.Log(p)
 	}
 	geoMean := math.Exp(logSum / maxBLEUOrder)
 
 	bp := 1.0
-	if hypLen < refLen && hypLen > 0 {
-		bp = math.Exp(1 - float64(refLen)/float64(hypLen))
+	if a.hypLen < a.refLen && a.hypLen > 0 {
+		bp = math.Exp(1 - float64(a.refLen)/float64(a.hypLen))
 	}
-	if hypLen == 0 {
+	if a.hypLen == 0 {
 		return 0, nil
 	}
 	return 100 * bp * geoMean, nil
+}
+
+// CorpusBLEU computes corpus-level BLEU over tokenized hypothesis/reference
+// pairs, with n-gram orders 1..4, uniform weights and the standard brevity
+// penalty. The returned score is in [0, 100], like SacreBLEU reports. It is
+// the batch form of BLEUAccumulator.
+func CorpusBLEU(hypotheses, references [][]int) (float64, error) {
+	if len(hypotheses) != len(references) {
+		return 0, fmt.Errorf("metrics: %d hypotheses vs %d references", len(hypotheses), len(references))
+	}
+	var acc BLEUAccumulator
+	for i := range hypotheses {
+		acc.Add(hypotheses[i], references[i])
+	}
+	return acc.Score()
 }
 
 // ngramCounts returns the multiset of n-grams of the token sequence, encoded

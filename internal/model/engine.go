@@ -1,0 +1,329 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/metrics"
+	"mlperf/internal/payload"
+	"mlperf/internal/tensor"
+)
+
+// Engine is the single batch-first inference contract between the model zoo
+// and every system under test. A backend hands an Engine a slice of samples —
+// one for a single-stream query, a whole merged query for the server/offline
+// batching path — and receives one Output per sample, in order. Implementers
+// must make Predict on a batch bit-for-bit identical to N single-sample
+// Predict calls (the batch-vs-single equivalence tests enforce this), so
+// dynamic batching is purely a throughput decision and never perturbs
+// accuracy-mode results.
+type Engine interface {
+	// Name identifies the model (e.g. "resnet50-v1.5") in results.
+	Name() string
+	// Kind reports the task family the engine serves; backends use it to
+	// validate sample payloads and accuracy scripts use it to pick a metric.
+	Kind() dataset.Kind
+	// Predict runs inference on every sample and returns one Output per
+	// sample, in input order. Intermediates are allocated from s when non-nil
+	// (the caller owns the arena and must Reset it between passes); a nil s
+	// uses a pooled arena internally. Returned Outputs are plain values that
+	// do not alias arena memory.
+	Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Output, error)
+}
+
+// Output is one tagged prediction. Exactly the field group matching Kind is
+// meaningful: Class for image classification, Boxes for object detection,
+// Tokens for translation.
+type Output struct {
+	Kind   dataset.Kind
+	Class  int
+	Boxes  []metrics.Box
+	Tokens []int
+}
+
+// Encode serializes the output into the suite's response wire format
+// (internal/payload), ready to hand back to the LoadGen.
+func (o Output) Encode() ([]byte, error) {
+	switch o.Kind {
+	case dataset.KindImageClassification:
+		return payload.EncodeClass(o.Class)
+	case dataset.KindObjectDetection:
+		return payload.EncodeBoxes(o.Boxes)
+	case dataset.KindTranslation:
+		return payload.EncodeTokens(o.Tokens)
+	default:
+		return nil, fmt.Errorf("model: cannot encode output of kind %v", o.Kind)
+	}
+}
+
+// stackImages packs the samples' CHW images into one arena-backed
+// channel-major [C, N, H, W] batch, validating every image against the
+// expected input shape.
+func stackImages(name Name, inShape []int, samples []*dataset.Sample, s *tensor.Scratch) (*tensor.Tensor, error) {
+	batch := s.Tensor(inShape[0], len(samples), inShape[1], inShape[2])
+	for i, sample := range samples {
+		if sample == nil || sample.Image == nil {
+			return nil, fmt.Errorf("model %s: sample %d carries no image", name, i)
+		}
+		img := sample.Image
+		if img.Rank() != 3 || img.Dim(0) != inShape[0] || img.Dim(1) != inShape[1] || img.Dim(2) != inShape[2] {
+			return nil, fmt.Errorf("model %s: sample %d shape %v, want %v", name, i, img.Shape(), inShape)
+		}
+		if err := tensor.PackSample(batch, img, i); err != nil {
+			return nil, err
+		}
+	}
+	return batch, nil
+}
+
+// withScratch invokes fn with s, or with a pooled arena when s is nil.
+func withScratch(s *tensor.Scratch, fn func(*tensor.Scratch) error) error {
+	if s == nil {
+		s = tensor.GetScratch()
+		defer tensor.PutScratch(s)
+	}
+	return fn(s)
+}
+
+// maxMicroBatch bounds how many samples one batched forward pass carries.
+// Larger merged queries are processed in micro-batches of this size, keeping
+// the activation working set cache-resident instead of scaling with the
+// query. With a nil Scratch the pooled arena is recycled per micro-batch, so
+// memory stays O(micro-batch); a caller-provided arena cannot be reset
+// mid-call and grows with the whole query (the caller owns its lifecycle).
+// Grouping does not change results: Predict on any batch is bit-identical to
+// per-sample calls, so it is bit-identical under any grouping too.
+const maxMicroBatch = 8
+
+// inMicroBatches runs fn over [start, end) micro-batch windows of n samples.
+func inMicroBatches(n int, fn func(start, end int) error) error {
+	for start := 0; start < n; start += maxMicroBatch {
+		end := start + maxMicroBatch
+		if end > n {
+			end = n
+		}
+		if err := fn(start, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name implements Engine.
+func (m *ImageClassifier) Name() string { return string(m.info.Name) }
+
+// Kind implements Engine.
+func (m *ImageClassifier) Kind() dataset.Kind { return dataset.KindImageClassification }
+
+// Predict implements Engine: each micro-batch runs as one im2col+GEMM per
+// convolution layer and one GEMM through the classifier head.
+func (m *ImageClassifier) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Output, error) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	outputs := make([]Output, len(samples))
+	err := inMicroBatches(len(samples), func(start, end int) error {
+		group := samples[start:end]
+		return withScratch(s, func(s *tensor.Scratch) error {
+			batch, err := stackImages(m.info.Name, m.inShape, group, s)
+			if err != nil {
+				return err
+			}
+			logits, err := m.net.ForwardBatch(batch, s)
+			if err != nil {
+				return err
+			}
+			if logits.Rank() != 2 || logits.Dim(1) != len(group) {
+				return fmt.Errorf("model %s: batched head produced %v, want [classes %d]", m.info.Name, logits.Shape(), len(group))
+			}
+			for i := range group {
+				class, err := tensor.ColumnArgMax(logits, i)
+				if err != nil {
+					return err
+				}
+				outputs[start+i] = Output{Kind: dataset.KindImageClassification, Class: class}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// Name implements Engine.
+func (d *SSDDetector) Name() string { return string(d.info.Name) }
+
+// Kind implements Engine.
+func (d *SSDDetector) Kind() dataset.Kind { return dataset.KindObjectDetection }
+
+// Predict implements Engine: backbone and head each run once over every
+// micro-batch; only the box decode (threshold + NMS) runs per sample.
+func (d *SSDDetector) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Output, error) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	outputs := make([]Output, len(samples))
+	err := inMicroBatches(len(samples), func(start, end int) error {
+		group := samples[start:end]
+		return withScratch(s, func(s *tensor.Scratch) error {
+			batch, err := stackImages(d.info.Name, d.inShape, group, s)
+			if err != nil {
+				return err
+			}
+			features, err := d.backbone.ForwardBatch(batch, s)
+			if err != nil {
+				return err
+			}
+			raw, err := d.head.ForwardBatch(features, s)
+			if err != nil {
+				return err
+			}
+			if raw.Rank() != 4 {
+				return fmt.Errorf("model %s: batched head produced %v, want [perCell N H W]", d.info.Name, raw.Shape())
+			}
+			// Gather each sample's CHW head output out of the channel-major
+			// batch for the per-sample decode (threshold + NMS).
+			sampleRaw := s.Tensor(raw.Dim(0), raw.Dim(2), raw.Dim(3))
+			for i := range group {
+				if err := tensor.UnpackSample(sampleRaw, raw, i); err != nil {
+					return err
+				}
+				boxes, err := d.decode(sampleRaw)
+				if err != nil {
+					return err
+				}
+				outputs[start+i] = Output{Kind: dataset.KindObjectDetection, Boxes: boxes}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// Name implements Engine.
+func (g *GNMTMini) Name() string { return string(g.info.Name) }
+
+// Kind implements Engine.
+func (g *GNMTMini) Kind() dataset.Kind { return dataset.KindTranslation }
+
+// Predict implements Engine. Greedy decoding lengths diverge per sentence,
+// so the recurrent model loops samples behind the batched contract for now;
+// the scratch arena still covers each sentence's recurrent steps.
+func (g *GNMTMini) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Output, error) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	outputs := make([]Output, len(samples))
+	for i, sample := range samples {
+		if sample == nil || sample.Tokens == nil {
+			return nil, fmt.Errorf("model %s: sample %d carries no tokens", g.info.Name, i)
+		}
+		var (
+			tokens []int
+			err    error
+		)
+		if s != nil {
+			tokens, err = g.net.TranslateScratch(sample.Tokens, s)
+		} else {
+			tokens, err = g.net.Translate(sample.Tokens)
+		}
+		if err != nil {
+			return nil, err
+		}
+		outputs[i] = Output{Kind: dataset.KindTranslation, Tokens: tokens}
+	}
+	return outputs, nil
+}
+
+// EngineFromClassifier wraps a single-sample Classifier in the Engine
+// contract, predicting sample by sample. It exists so hand-rolled classifiers
+// (and the per-sample baseline in benchmarks) plug into the batch-first
+// backend without implementing batching themselves.
+func EngineFromClassifier(name string, c Classifier) Engine {
+	return &classifierEngine{name: name, c: c}
+}
+
+type classifierEngine struct {
+	name string
+	c    Classifier
+}
+
+func (e *classifierEngine) Name() string       { return e.name }
+func (e *classifierEngine) Kind() dataset.Kind { return dataset.KindImageClassification }
+
+func (e *classifierEngine) Predict(samples []*dataset.Sample, _ *tensor.Scratch) ([]Output, error) {
+	outputs := make([]Output, len(samples))
+	for i, sample := range samples {
+		if sample == nil || sample.Image == nil {
+			return nil, fmt.Errorf("model %s: sample %d carries no image", e.name, i)
+		}
+		class, err := e.c.Classify(sample.Image)
+		if err != nil {
+			return nil, err
+		}
+		outputs[i] = Output{Kind: dataset.KindImageClassification, Class: class}
+	}
+	return outputs, nil
+}
+
+// EngineFromDetector wraps a single-sample Detector in the Engine contract.
+func EngineFromDetector(name string, d Detector) Engine {
+	return &detectorEngine{name: name, d: d}
+}
+
+type detectorEngine struct {
+	name string
+	d    Detector
+}
+
+func (e *detectorEngine) Name() string       { return e.name }
+func (e *detectorEngine) Kind() dataset.Kind { return dataset.KindObjectDetection }
+
+func (e *detectorEngine) Predict(samples []*dataset.Sample, _ *tensor.Scratch) ([]Output, error) {
+	outputs := make([]Output, len(samples))
+	for i, sample := range samples {
+		if sample == nil || sample.Image == nil {
+			return nil, fmt.Errorf("model %s: sample %d carries no image", e.name, i)
+		}
+		boxes, err := e.d.Detect(sample.Image)
+		if err != nil {
+			return nil, err
+		}
+		outputs[i] = Output{Kind: dataset.KindObjectDetection, Boxes: boxes}
+	}
+	return outputs, nil
+}
+
+// EngineFromTranslator wraps a single-sample Translator in the Engine
+// contract.
+func EngineFromTranslator(name string, t Translator) Engine {
+	return &translatorEngine{name: name, t: t}
+}
+
+type translatorEngine struct {
+	name string
+	t    Translator
+}
+
+func (e *translatorEngine) Name() string       { return e.name }
+func (e *translatorEngine) Kind() dataset.Kind { return dataset.KindTranslation }
+
+func (e *translatorEngine) Predict(samples []*dataset.Sample, _ *tensor.Scratch) ([]Output, error) {
+	outputs := make([]Output, len(samples))
+	for i, sample := range samples {
+		if sample == nil || sample.Tokens == nil {
+			return nil, fmt.Errorf("model %s: sample %d carries no tokens", e.name, i)
+		}
+		tokens, err := e.t.Translate(sample.Tokens)
+		if err != nil {
+			return nil, err
+		}
+		outputs[i] = Output{Kind: dataset.KindTranslation, Tokens: tokens}
+	}
+	return outputs, nil
+}

@@ -1,0 +1,275 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/tensor"
+)
+
+// randSamples builds n random CHW image samples matching shape.
+func randSamples(r *rand.Rand, n int, shape []int) []*dataset.Sample {
+	out := make([]*dataset.Sample, n)
+	for i := range out {
+		img := tensor.MustNew(shape...)
+		data := img.Data()
+		for j := range data {
+			data[j] = float32(r.NormFloat64())
+		}
+		out[i] = &dataset.Sample{Index: i, Image: img}
+	}
+	return out
+}
+
+// requireSameOutputs asserts two output slices are bit-identical predictions.
+func requireSameOutputs(t *testing.T, got, want []Output, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Class != w.Class {
+			t.Fatalf("%s: output %d = %+v, want %+v", label, i, g, w)
+		}
+		if len(g.Boxes) != len(w.Boxes) {
+			t.Fatalf("%s: output %d has %d boxes, want %d", label, i, len(g.Boxes), len(w.Boxes))
+		}
+		for b := range g.Boxes {
+			gb, wb := g.Boxes[b], w.Boxes[b]
+			if gb.Class != wb.Class ||
+				math.Float64bits(gb.Score) != math.Float64bits(wb.Score) ||
+				math.Float64bits(gb.X1) != math.Float64bits(wb.X1) ||
+				math.Float64bits(gb.Y1) != math.Float64bits(wb.Y1) ||
+				math.Float64bits(gb.X2) != math.Float64bits(wb.X2) ||
+				math.Float64bits(gb.Y2) != math.Float64bits(wb.Y2) {
+				t.Fatalf("%s: output %d box %d differs bit-for-bit: %+v vs %+v", label, i, b, gb, wb)
+			}
+		}
+		if len(g.Tokens) != len(w.Tokens) {
+			t.Fatalf("%s: output %d has %d tokens, want %d", label, i, len(g.Tokens), len(w.Tokens))
+		}
+		for tk := range g.Tokens {
+			if g.Tokens[tk] != w.Tokens[tk] {
+				t.Fatalf("%s: output %d token %d differs", label, i, tk)
+			}
+		}
+	}
+}
+
+// predictSingles runs Predict once per sample and concatenates the results —
+// the reference the batched path must match bit for bit.
+func predictSingles(t *testing.T, e Engine, samples []*dataset.Sample) []Output {
+	t.Helper()
+	var out []Output
+	for _, s := range samples {
+		one, err := e.Predict([]*dataset.Sample{s}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, one...)
+	}
+	return out
+}
+
+func TestClassifierBatchMatchesSingles(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	builds := map[string]func(ClassifierConfig) (*ImageClassifier, error){
+		"resnet50":  NewResNet50Mini,
+		"mobilenet": NewMobileNetV1Mini,
+	}
+	for name, build := range builds {
+		t.Run(name, func(t *testing.T) {
+			m, err := build(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Ragged sizes including 1 and a non-divisor final batch.
+			for _, batch := range []int{1, 3, 8, 5} {
+				samples := randSamples(r, batch, m.InputShape())
+				got, err := m.Predict(samples, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := predictSingles(t, m, samples)
+				requireSameOutputs(t, got, want, name)
+			}
+		})
+	}
+}
+
+func TestDetectorBatchMatchesSingles(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	builds := map[string]func(DetectorConfig) (*SSDDetector, error){
+		"ssd-resnet34":  NewSSDResNet34Mini,
+		"ssd-mobilenet": NewSSDMobileNetMini,
+	}
+	for name, build := range builds {
+		t.Run(name, func(t *testing.T) {
+			d, err := build(DetectorConfig{Classes: 5, ImageSize: 16, Seed: 6, ScoreThreshold: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range []int{1, 4, 7} {
+				samples := randSamples(r, batch, d.InputShape())
+				got, err := d.Predict(samples, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := predictSingles(t, d, samples)
+				requireSameOutputs(t, got, want, name)
+			}
+		})
+	}
+}
+
+func TestPredictOnRecycledScratchIsStable(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	m, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := randSamples(r, 6, m.InputShape())
+	s := tensor.NewScratch()
+	var first []Output
+	for pass := 0; pass < 3; pass++ {
+		s.Reset()
+		got, err := m.Predict(samples, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pass == 0 {
+			first = got
+			continue
+		}
+		requireSameOutputs(t, got, first, "recycled scratch pass")
+	}
+	// Different batch geometry on the same arena must not corrupt results.
+	s.Reset()
+	ragged, err := m.Predict(samples[:4], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameOutputs(t, ragged, first[:4], "ragged batch on recycled arena")
+}
+
+func TestEngineAdaptersMatchNativePredict(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	m, err := NewMobileNetV1Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := randSamples(r, 5, m.InputShape())
+	adapter := EngineFromClassifier("wrapped-mobilenet", m)
+	if adapter.Name() != "wrapped-mobilenet" || adapter.Kind() != dataset.KindImageClassification {
+		t.Error("adapter identity wrong")
+	}
+	got, err := adapter.Predict(samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Predict(samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameOutputs(t, got, want, "classifier adapter")
+
+	d, err := NewSSDMobileNetMini(DetectorConfig{Classes: 5, ImageSize: 16, Seed: 8, ScoreThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detAdapter := EngineFromDetector("wrapped-ssd", d)
+	if detAdapter.Kind() != dataset.KindObjectDetection {
+		t.Error("detector adapter kind wrong")
+	}
+	gotDet, err := detAdapter.Predict(samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDet, err := d.Predict(samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameOutputs(t, gotDet, wantDet, "detector adapter")
+
+	g, err := NewGNMTMini(TranslatorConfig{Vocab: 64, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []*dataset.Sample{
+		{Index: 0, Tokens: []int{5, 9, 3}},
+		{Index: 1, Tokens: []int{7, 2, 2, 8}},
+	}
+	trAdapter := EngineFromTranslator("wrapped-gnmt", g)
+	if trAdapter.Kind() != dataset.KindTranslation {
+		t.Error("translator adapter kind wrong")
+	}
+	gotTr, err := trAdapter.Predict(text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTr, err := g.Predict(text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameOutputs(t, gotTr, wantTr, "translator adapter")
+}
+
+// TestTranslateGoldenOutputs pins GNMT greedy decoding to outputs recorded
+// before the recurrent path moved onto the scratch arena: the arena is a
+// memory optimization and must not change a single token.
+func TestTranslateGoldenOutputs(t *testing.T) {
+	g, err := NewGNMTMini(TranslatorConfig{Vocab: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string][]int{
+		"5,9,3":        {4, 4, 54, 54, 54, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32},
+		"7,2,2,8":      {51, 0, 27, 27, 27, 22, 22, 22, 27, 27, 27, 27, 27, 27, 27, 27, 29, 29, 29, 29, 29, 29, 29, 29},
+		"63,1,0,12,40": {12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 33, 4, 4, 33, 4, 33, 4, 4, 40, 40},
+		"2":            {40, 55, 5, 50, 5, 5, 5, 5, 5, 5, 40, 40, 32, 32, 32, 32, 32, 33, 33, 32, 32, 32, 33, 5},
+	}
+	inputs := map[string][]int{
+		"5,9,3":        {5, 9, 3},
+		"7,2,2,8":      {7, 2, 2, 8},
+		"63,1,0,12,40": {63, 1, 0, 12, 40},
+		"2":            {2},
+	}
+	for key, src := range inputs {
+		got, err := g.Translate(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := golden[key]
+		if len(got) != len(want) {
+			t.Fatalf("src %s: %d tokens, want %d", key, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("src %s: token %d = %d, want %d", key, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPredictValidatesSamples(t *testing.T) {
+	m, err := NewMobileNetV1Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]*dataset.Sample{{Index: 0}}, nil); err == nil {
+		t.Error("nil image: expected error")
+	}
+	wrong := tensor.MustNew(3, 8, 8)
+	if _, err := m.Predict([]*dataset.Sample{{Index: 0, Image: wrong}}, nil); err == nil {
+		t.Error("wrong shape: expected error")
+	}
+	if out, err := m.Predict(nil, nil); err != nil || out != nil {
+		t.Errorf("empty batch: got %v, %v", out, err)
+	}
+	if _, err := (Output{Kind: dataset.Kind(99)}).Encode(); err == nil {
+		t.Error("unknown kind encode: expected error")
+	}
+}

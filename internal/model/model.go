@@ -7,6 +7,16 @@
 // carries metadata mirroring Table I (parameters, operations per input,
 // quality metric and target) so the suite's quality-target machinery behaves
 // like the original.
+//
+// Every model is served through ONE batch-first contract, Engine: backends
+// hand Predict a slice of samples — a single-stream query or a whole merged
+// offline/server batch — and the CNN models execute it as one im2col+GEMM
+// per layer (the recurrent translator loops internally behind the same
+// interface). Predict on a batch is bit-identical to per-sample calls, so
+// dynamic batching is purely a scheduling decision. The narrower
+// single-sample interfaces (Classifier, Detector, Translator) remain for
+// direct use and calibration; EngineFromClassifier and friends adapt any of
+// them into an Engine.
 package model
 
 import (

@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"fmt"
+
+	"mlperf/internal/tensor"
+)
+
+// BatchLayer is implemented by layers that can run a whole batch of samples
+// as one (or a small constant number of) kernel invocations. Batched
+// activations are CHANNEL-MAJOR: rank-4 [C, N, H, W] for spatial layers and
+// rank-2 [F, N] for vector layers (see the layout discussion in
+// internal/tensor/batched.go — a convolution's output GEMM then lands
+// directly in the next layer's input layout). Implementations are bit-for-bit
+// identical to running Forward per sample — batching is a throughput
+// optimization, never a numerics change — which is what lets the dynamic
+// batcher merge queries without perturbing accuracy-mode results.
+type BatchLayer interface {
+	// ForwardBatch runs the layer on a channel-major batch, allocating
+	// intermediates and the output from s when non-nil (the result is then
+	// arena-backed and dies at the arena's next Reset).
+	ForwardBatch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error)
+}
+
+// ForwardBatchWith runs l on the channel-major batch x, using the layer's
+// native batched path when available and falling back to unpacking the batch
+// and running Forward per sample otherwise. The fallback preserves the
+// bit-equivalence contract trivially.
+func ForwardBatchWith(l Layer, x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if bl, ok := l.(BatchLayer); ok {
+		return bl.ForwardBatch(x, s)
+	}
+	return forwardBatchFallback(l, x, s)
+}
+
+// forwardBatchFallback unpacks each sample from the channel-major batch, runs
+// the layer's single-sample path, and repacks the outputs.
+func forwardBatchFallback(l Layer, x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("nn: %s: batched fallback needs a [C N H W] batch, got %v", l.Name(), x.Shape())
+	}
+	batch := x.Dim(1)
+	in := batchAlloc(s, x.Dim(0), x.Dim(2), x.Dim(3))
+	var out *tensor.Tensor
+	for n := 0; n < batch; n++ {
+		if err := tensor.UnpackSample(in, x, n); err != nil {
+			return nil, err
+		}
+		y, err := ForwardWith(l, in, s)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s: sample %d: %w", l.Name(), n, err)
+		}
+		if y.Rank() != 3 {
+			return nil, fmt.Errorf("nn: %s: batched fallback supports CHW outputs, got %v", l.Name(), y.Shape())
+		}
+		if out == nil {
+			out = batchAlloc(s, y.Dim(0), batch, y.Dim(1), y.Dim(2))
+		}
+		if err := tensor.PackSample(out, y, n); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// batchAlloc returns a tensor from the arena when s is non-nil and from the
+// heap otherwise.
+func batchAlloc(s *tensor.Scratch, shape ...int) *tensor.Tensor {
+	if s != nil {
+		return s.Tensor(shape...)
+	}
+	return tensor.MustNew(shape...)
+}
+
+// sampleShape returns the per-sample CHW shape of a [C, N, H, W] batch.
+func sampleShape(x *tensor.Tensor) []int {
+	return []int{x.Dim(0), x.Dim(2), x.Dim(3)}
+}
+
+// ForwardBatch implements BatchLayer: the whole batch runs as one im2col +
+// one GEMM (tensor.Conv2DBatchedInto), writing straight into the next
+// layer's channel-major input layout.
+func (c *Conv) ForwardBatch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("conv %s: want [C N H W] batch, got %v", c.name, x.Shape())
+	}
+	out, err := c.OutputShape(sampleShape(x))
+	if err != nil {
+		return nil, err
+	}
+	dst := batchAlloc(s, out[0], x.Dim(1), out[1], out[2])
+	post := tensor.PostNone
+	switch {
+	case c.Relu6:
+		post = tensor.PostReLU6
+	case c.Relu:
+		post = tensor.PostReLU
+	}
+	if err := tensor.Conv2DBatchedInto(dst, x, c.Weights, c.Bias, tensor.Conv2DOptions{Stride: c.Stride, Padding: c.Padding}, post, s); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ForwardBatch implements BatchLayer.
+func (d *DepthwiseConv) ForwardBatch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("dwconv %s: want [C N H W] batch, got %v", d.name, x.Shape())
+	}
+	out, err := d.OutputShape(sampleShape(x))
+	if err != nil {
+		return nil, err
+	}
+	dst := batchAlloc(s, out[0], x.Dim(1), out[1], out[2])
+	if err := tensor.DepthwiseConv2DBatchedInto(dst, x, d.Weights, d.Bias, tensor.Conv2DOptions{Stride: d.Stride, Padding: d.Padding}, tensor.PostReLU6); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ForwardBatch implements BatchLayer: one GEMM of the weight matrix against
+// the feature-major batch covers every sample, with no reshuffling of either
+// operand.
+func (d *Dense) ForwardBatch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(0) != d.Weights.Dim(1) {
+		return nil, fmt.Errorf("dense %s: want [%d N] batch, got %v", d.name, d.Weights.Dim(1), x.Shape())
+	}
+	y := batchAlloc(s, d.Weights.Dim(0), x.Dim(1))
+	if err := tensor.DenseBatchedInto(y, d.Weights, x, d.Bias); err != nil {
+		return nil, err
+	}
+	if d.Relu {
+		return tensor.ReLU(y), nil
+	}
+	return y, nil
+}
+
+// ForwardBatch implements BatchLayer.
+func (m *MaxPool) ForwardBatch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("maxpool %s: want [C N H W] batch, got %v", m.name, x.Shape())
+	}
+	out, err := m.OutputShape(sampleShape(x))
+	if err != nil {
+		return nil, err
+	}
+	dst := batchAlloc(s, out[0], x.Dim(1), out[1], out[2])
+	if err := tensor.MaxPool2DBatchedInto(dst, x, m.Window, m.Stride); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ForwardBatch implements BatchLayer: [C, N, H, W] reduces to the
+// feature-major [C, N] matrix the batched Dense head consumes directly.
+func (g *GlobalAvgPool) ForwardBatch(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("gap %s: want [C N H W] batch, got %v", g.name, x.Shape())
+	}
+	dst := batchAlloc(s, x.Dim(0), x.Dim(1))
+	if err := tensor.GlobalAvgPool2DBatchedInto(dst, x); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ForwardBatch implements BatchLayer: softmax applies per column of the
+// feature-major batch.
+func (s *Softmax) ForwardBatch(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
+	if x.Rank() != 2 {
+		return nil, fmt.Errorf("softmax %s: want [F N] batch, got %v", s.name, x.Shape())
+	}
+	f, batch := x.Dim(0), x.Dim(1)
+	dst := batchAlloc(sc, f, batch)
+	col := batchAlloc(sc, f)
+	for n := 0; n < batch; n++ {
+		for r := 0; r < f; r++ {
+			col.Data()[r] = x.Data()[r*batch+n]
+		}
+		if err := tensor.SoftmaxInto(col, col); err != nil {
+			return nil, err
+		}
+		for r := 0; r < f; r++ {
+			dst.Data()[r*batch+n] = col.Data()[r]
+		}
+	}
+	return dst, nil
+}
+
+// ForwardBatch implements BatchLayer by chaining the contained layers'
+// batched paths.
+func (s *Sequential) ForwardBatch(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
+	cur := x
+	for _, l := range s.layers {
+		out, err := ForwardBatchWith(l, cur, sc)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s/%s: %w", s.name, l.Name(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// ForwardBatch implements BatchLayer. The element-wise shortcut add and ReLU
+// act identically per sample in any layout, so bit-equivalence is preserved.
+func (r *Residual) ForwardBatch(x *tensor.Tensor, sc *tensor.Scratch) (*tensor.Tensor, error) {
+	var body *tensor.Tensor
+	if sc != nil {
+		body = sc.CloneTensor(x)
+	} else {
+		body = x.Clone()
+	}
+	out, err := ForwardBatchWith(r.body, body, sc)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", r.name, err)
+	}
+	if !tensor.SameShape(out, x) {
+		return nil, fmt.Errorf("nn: %s: residual body changed shape from %v to %v", r.name, x.Shape(), out.Shape())
+	}
+	// Fused add+ReLU: one pass over the batched activations instead of two.
+	if err := tensor.AddThenReLU(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,9 +1,11 @@
 // Package nn implements the neural-network layers and containers used to
 // build the miniature reference models of the benchmark suite (residual CNNs,
 // depthwise-separable CNNs, SSD detection heads and a recurrent
-// encoder–decoder). Layers run single samples; batching is a property of the
-// system under test, not of the model (the benchmark explicitly leaves
-// batching strategy to the submitter, Section IV-A).
+// encoder–decoder). Layers run single samples through Forward/ForwardScratch
+// and, where profitable, whole merged batches through BatchLayer — one
+// kernel invocation per layer over channel-major batch tensors, bit-identical
+// to per-sample execution (the benchmark leaves batching strategy to the
+// submitter, Section IV-A; here it is a pure scheduling decision).
 package nn
 
 import (

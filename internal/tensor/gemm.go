@@ -48,23 +48,76 @@ func gemmRowGrain(m, k, n int) int {
 	return grain
 }
 
-// gemmRows computes output rows [i0, i1) of C = A×B (+ bias). The core
-// processes four output rows at a time in axpy form: each streamed row of B
-// is loaded once and folded into four accumulator rows, quartering B traffic
-// relative to the serial kernel. Leftover rows fall back to the single-row
-// kernel. Every element accumulates in ascending-p order regardless of the
-// path taken, matching the serial reference.
+// gemmPanelBytes is the cache budget for one column panel of B (k × panel
+// float32s). Wide right-hand sides — the batched convolution's im2col matrix
+// spans every sample of a merged query — are processed panel by panel so the
+// streamed B rows stay resident across the row groups instead of thrashing
+// the cache once per four output rows.
+const gemmPanelBytes = 192 << 10
+
+// gemmPanelCols picks the column-panel width for a k×n right-hand side.
+func gemmPanelCols(k, n int) int {
+	if k*n*4 <= gemmPanelBytes {
+		return n
+	}
+	p := gemmPanelBytes / (4 * k)
+	if p < 64 {
+		p = 64
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// gemmRows computes output rows [i0, i1) of C = A×B (+ bias), iterating
+// cache-sized column panels of B (see gemmPanelCols); within a panel the core
+// processes four output rows at a time in axpy form, so each streamed row of
+// B is loaded once and folded into four accumulator rows. Every output
+// element is produced within exactly one panel and accumulates in ascending-p
+// order regardless of panel width or row grouping, matching the serial
+// reference bit for bit.
 func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
+	panel := gemmPanelCols(k, n)
+	for j0 := 0; j0 < n; j0 += panel {
+		jn := panel
+		if j0+jn > n {
+			jn = n - j0
+		}
+		gemmRowsPanel(c, a, b, bias, k, n, i0, i1, j0, n, j0, jn, PostNone)
+	}
+}
+
+// gemmPanelInto computes C[:, j0:j0+jn) = A × Bp (+ bias, + fused post) for a
+// PACKED panel Bp: a contiguous k×jn matrix holding columns [j0, j0+jn) of
+// the full k×n right-hand side. The batched convolution packs its im2col
+// output panel by panel so the compute kernel always streams a dense
+// cache-resident block, regardless of how wide the whole batch is; the fused
+// activation is applied to each group of output rows the moment it finishes,
+// while its segments are still in L1. Arithmetic per output element is
+// identical to the unpacked path followed by a separate activation pass. (A
+// 4×4 register-tiled micro-kernel was measured here and lost ~10% to the
+// streaming axpy kernel — the Go compiler spills the accumulator tile — so
+// the axpy form stays.)
+func gemmPanelInto(c, a, bp, bias []float32, m, k, n, j0, jn int, post PostOp) {
+	gemmRowsPanel(c, a, bp, bias, k, n, 0, m, 0, jn, j0, jn, post)
+}
+
+// gemmRowsPanel computes the [i0,i1) × [j0,j0+jn) block of C = A×B (+ bias),
+// reading B rows at b[p*bStride+bOff : +jn] — bStride/bOff describe either a
+// window of the full matrix or a packed panel — and applies post to each
+// finished group of output rows.
+func gemmRowsPanel(c, a, b, bias []float32, k, n, i0, i1, bOff, bStride, j0, jn int, post PostOp) {
 	i := i0
 	for ; i+4 <= i1; i += 4 {
 		a0 := a[(i+0)*k : (i+0)*k+k]
 		a1 := a[(i+1)*k : (i+1)*k+k]
 		a2 := a[(i+2)*k : (i+2)*k+k]
 		a3 := a[(i+3)*k : (i+3)*k+k]
-		c0 := c[(i+0)*n : (i+0)*n+n]
-		c1 := c[(i+1)*n : (i+1)*n+n]
-		c2 := c[(i+2)*n : (i+2)*n+n]
-		c3 := c[(i+3)*n : (i+3)*n+n]
+		c0 := c[(i+0)*n+j0 : (i+0)*n+j0+jn]
+		c1 := c[(i+1)*n+j0 : (i+1)*n+j0+jn]
+		c2 := c[(i+2)*n+j0 : (i+2)*n+j0+jn]
+		c3 := c[(i+3)*n+j0 : (i+3)*n+j0+jn]
 		var b0, b1, b2, b3 float32
 		if bias != nil {
 			b0, b1, b2, b3 = bias[i+0], bias[i+1], bias[i+2], bias[i+3]
@@ -77,7 +130,7 @@ func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
 		}
 		for p := 0; p < k; p++ {
 			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
-			brow := b[p*n : p*n+n]
+			brow := b[p*bStride+bOff : p*bStride+bOff+jn]
 			// Reslicing the accumulator rows to brow's length drops the
 			// per-store bounds checks in the hot loop.
 			d0, d1, d2, d3 := c0[:len(brow)], c1[:len(brow)], c2[:len(brow)], c3[:len(brow)]
@@ -88,10 +141,16 @@ func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
 				d3[j] += av3 * bv
 			}
 		}
+		if post != PostNone {
+			applyPost(c0, post)
+			applyPost(c1, post)
+			applyPost(c2, post)
+			applyPost(c3, post)
+		}
 	}
 	for ; i < i1; i++ {
 		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
+		crow := c[i*n+j0 : i*n+j0+jn]
 		var b0 float32
 		if bias != nil {
 			b0 = bias[i]
@@ -105,12 +164,13 @@ func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
 		// for non-finite inputs.
 		for p := 0; p < k; p++ {
 			av := arow[p]
-			brow := b[p*n : p*n+n]
+			brow := b[p*bStride+bOff : p*bStride+bOff+jn]
 			d := crow[:len(brow)]
 			for j, bv := range brow {
 				d[j] += av * bv
 			}
 		}
+		applyPost(crow, post)
 	}
 }
 

@@ -208,41 +208,47 @@ func im2col(cols, in []float32, opts Conv2DOptions, g convGeom) {
 
 // im2colRows fills im2col matrix rows [r0, r1).
 func im2colRows(cols, in []float32, opts Conv2DOptions, g convGeom, r0, r1 int) {
-	stride, pad := opts.Stride, opts.Padding
 	n := g.hOut * g.wOut
 	for r := r0; r < r1; r++ {
 		ic := r / (g.kh * g.kw)
 		ky := r / g.kw % g.kh
 		kx := r % g.kw
-		dst := cols[r*n : r*n+n]
-		src := in[ic*g.h*g.w : (ic+1)*g.h*g.w]
-		offX := kx - pad
-		lo, hi := validRange(offX, stride, g.w, g.wOut)
-		for oy := 0; oy < g.hOut; oy++ {
-			seg := dst[oy*g.wOut : oy*g.wOut+g.wOut]
-			iy := oy*stride + ky - pad
-			if iy < 0 || iy >= g.h {
-				for i := range seg {
-					seg[i] = 0
-				}
-				continue
-			}
-			srow := src[iy*g.w : iy*g.w+g.w]
-			for i := 0; i < lo; i++ {
+		im2colSampleRow(cols[r*n:r*n+n], in[ic*g.h*g.w:(ic+1)*g.h*g.w], opts, g, ky, kx)
+	}
+}
+
+// im2colSampleRow fills one im2col row segment (length hOut·wOut) for one
+// sample: the values kernel tap (ky, kx) reads from the channel plane src at
+// every output position, zero where the tap falls into padding. It is the
+// shared inner loop of the single-sample and batched im2col expansions.
+func im2colSampleRow(dst, src []float32, opts Conv2DOptions, g convGeom, ky, kx int) {
+	stride, pad := opts.Stride, opts.Padding
+	offX := kx - pad
+	lo, hi := validRange(offX, stride, g.w, g.wOut)
+	for oy := 0; oy < g.hOut; oy++ {
+		seg := dst[oy*g.wOut : oy*g.wOut+g.wOut]
+		iy := oy*stride + ky - pad
+		if iy < 0 || iy >= g.h {
+			for i := range seg {
 				seg[i] = 0
 			}
-			if stride == 1 {
-				copy(seg[lo:hi], srow[lo+offX:hi+offX])
-			} else {
-				ix := lo*stride + offX
-				for ox := lo; ox < hi; ox++ {
-					seg[ox] = srow[ix]
-					ix += stride
-				}
+			continue
+		}
+		srow := src[iy*g.w : iy*g.w+g.w]
+		for i := 0; i < lo; i++ {
+			seg[i] = 0
+		}
+		if stride == 1 {
+			copy(seg[lo:hi], srow[lo+offX:hi+offX])
+		} else {
+			ix := lo*stride + offX
+			for ox := lo; ox < hi; ox++ {
+				seg[ox] = srow[ix]
+				ix += stride
 			}
-			for i := hi; i < g.wOut; i++ {
-				seg[i] = 0
-			}
+		}
+		for i := hi; i < g.wOut; i++ {
+			seg[i] = 0
 		}
 	}
 }
@@ -344,45 +350,53 @@ func depthwiseCompute(out, input, kernels, bias *Tensor, opts Conv2DOptions, g d
 	})
 }
 
-// depthwiseChannels computes output channels [c0, c1). Each output row is
-// initialized to the bias and accumulated tap by tap over the valid range of
-// output positions, so the inner loops carry no bounds tests; accumulation
-// order per element matches the serial reference (ky then kx ascending).
+// depthwiseChannels computes output channels [c0, c1).
 func depthwiseChannels(out, in, kernels, bias []float32, opts Conv2DOptions, g dwGeom, c0, c1 int) {
-	stride, pad := opts.Stride, opts.Padding
 	for ch := c0; ch < c1; ch++ {
 		var bv float32
 		if bias != nil {
 			bv = bias[ch]
 		}
-		ker := kernels[ch*g.kh*g.kw : (ch+1)*g.kh*g.kw]
-		src := in[ch*g.h*g.w : (ch+1)*g.h*g.w]
-		dst := out[ch*g.hOut*g.wOut : (ch+1)*g.hOut*g.wOut]
-		for oy := 0; oy < g.hOut; oy++ {
-			row := dst[oy*g.wOut : oy*g.wOut+g.wOut]
-			for i := range row {
-				row[i] = bv
+		depthwisePlane(
+			out[ch*g.hOut*g.wOut:(ch+1)*g.hOut*g.wOut],
+			in[ch*g.h*g.w:(ch+1)*g.h*g.w],
+			kernels[ch*g.kh*g.kw:(ch+1)*g.kh*g.kw],
+			bv, opts, g)
+	}
+}
+
+// depthwisePlane convolves one spatial plane with one kernel. Each output row
+// is initialized to the bias and accumulated tap by tap over the valid range
+// of output positions, so the inner loops carry no bounds tests; accumulation
+// order per element matches the serial reference (ky then kx ascending). It
+// is the shared inner kernel of the single-sample and batched depthwise
+// convolutions.
+func depthwisePlane(dst, src, ker []float32, bv float32, opts Conv2DOptions, g dwGeom) {
+	stride, pad := opts.Stride, opts.Padding
+	for oy := 0; oy < g.hOut; oy++ {
+		row := dst[oy*g.wOut : oy*g.wOut+g.wOut]
+		for i := range row {
+			row[i] = bv
+		}
+		for ky := 0; ky < g.kh; ky++ {
+			iy := oy*stride + ky - pad
+			if iy < 0 || iy >= g.h {
+				continue
 			}
-			for ky := 0; ky < g.kh; ky++ {
-				iy := oy*stride + ky - pad
-				if iy < 0 || iy >= g.h {
-					continue
-				}
-				srow := src[iy*g.w : iy*g.w+g.w]
-				krow := ker[ky*g.kw : ky*g.kw+g.kw]
-				for kx, wv := range krow {
-					off := kx - pad
-					lo, hi := validRange(off, stride, g.w, g.wOut)
-					if stride == 1 {
-						for ox := lo; ox < hi; ox++ {
-							row[ox] += wv * srow[ox+off]
-						}
-					} else {
-						ix := lo*stride + off
-						for ox := lo; ox < hi; ox++ {
-							row[ox] += wv * srow[ix]
-							ix += stride
-						}
+			srow := src[iy*g.w : iy*g.w+g.w]
+			krow := ker[ky*g.kw : ky*g.kw+g.kw]
+			for kx, wv := range krow {
+				off := kx - pad
+				lo, hi := validRange(off, stride, g.w, g.wOut)
+				if stride == 1 {
+					for ox := lo; ox < hi; ox++ {
+						row[ox] += wv * srow[ox+off]
+					}
+				} else {
+					ix := lo*stride + off
+					for ox := lo; ox < hi; ox++ {
+						row[ox] += wv * srow[ix]
+						ix += stride
 					}
 				}
 			}
@@ -446,21 +460,26 @@ func maxPoolCompute(out, input *Tensor, window, stride, hOut, wOut int) {
 func maxPoolChannels(out, input *Tensor, window, stride, hOut, wOut, c0, c1 int) {
 	h, w := input.shape[1], input.shape[2]
 	for ch := c0; ch < c1; ch++ {
-		src := input.data[ch*h*w : (ch+1)*h*w]
-		dst := out.data[ch*hOut*wOut : (ch+1)*hOut*wOut]
-		for oy := 0; oy < hOut; oy++ {
-			for ox := 0; ox < wOut; ox++ {
-				best := float32(math.Inf(-1))
-				for ky := 0; ky < window; ky++ {
-					srow := src[(oy*stride+ky)*w+ox*stride:]
-					for kx := 0; kx < window; kx++ {
-						if v := srow[kx]; v > best {
-							best = v
-						}
+		maxPoolPlane(out.data[ch*hOut*wOut:(ch+1)*hOut*wOut], input.data[ch*h*w:(ch+1)*h*w],
+			window, stride, w, hOut, wOut)
+	}
+}
+
+// maxPoolPlane pools one spatial plane; shared by the single-sample and
+// batched pooling paths.
+func maxPoolPlane(dst, src []float32, window, stride, w, hOut, wOut int) {
+	for oy := 0; oy < hOut; oy++ {
+		for ox := 0; ox < wOut; ox++ {
+			best := float32(math.Inf(-1))
+			for ky := 0; ky < window; ky++ {
+				srow := src[(oy*stride+ky)*w+ox*stride:]
+				for kx := 0; kx < window; kx++ {
+					if v := srow[kx]; v > best {
+						best = v
 					}
 				}
-				dst[oy*wOut+ox] = best
 			}
+			dst[oy*wOut+ox] = best
 		}
 	}
 }
@@ -502,14 +521,19 @@ func globalAvgPoolCompute(out, input *Tensor) {
 
 func globalAvgPoolChannels(out, input *Tensor, c0, c1 int) {
 	h, w := input.shape[1], input.shape[2]
-	area := float32(h * w)
 	for ch := c0; ch < c1; ch++ {
-		var sum float32
-		for _, v := range input.data[ch*h*w : (ch+1)*h*w] {
-			sum += v
-		}
-		out.data[ch] = sum / area
+		out.data[ch] = avgPlane(input.data[ch*h*w:(ch+1)*h*w], float32(h*w))
 	}
+}
+
+// avgPlane averages one spatial plane; shared by the single-sample and
+// batched global pooling paths (sum ascending, then one divide).
+func avgPlane(src []float32, area float32) float32 {
+	var sum float32
+	for _, v := range src {
+		sum += v
+	}
+	return sum / area
 }
 
 // ReLU applies max(0, x) in place and returns the tensor for chaining.

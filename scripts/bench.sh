@@ -1,26 +1,33 @@
 #!/usr/bin/env bash
-# bench.sh — kernel/native micro-benchmark gate.
+# bench.sh — kernel/native/batched micro-benchmark gate.
 #
-# Runs `go vet` over the tree, then the compute-kernel and native-classifier
-# benchmarks (serial reference vs blocked/parallel engine, heap vs
-# scratch-arena inference) and writes the aggregated numbers to a JSON file
-# (default BENCH_PR1.json) so speedups and allocation counts are recorded in
-# the repository alongside the code they measure.
+# Gates the tree with `go vet` and `go test -race`, then runs the
+# compute-kernel, native-classifier and batch-first Engine benchmarks
+# (serial reference vs blocked/parallel engine, heap vs scratch-arena
+# inference, batched Predict vs the per-sample loop at batch 1/8/32, and the
+# offline scenario end to end) and writes the aggregated numbers to a JSON
+# file (default BENCH_PR2.json) so speedups and allocation counts are
+# recorded in the repository alongside the code they measure.
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR1.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR2.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
+#        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR1.json}"
+OUT="${OUT:-BENCH_PR2.json}"
 
 go vet ./...
+if [ -z "${SKIP_RACE:-}" ]; then
+    go test -race ./...
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'Kernel|Native' -benchmem -count "$COUNT" . | tee "$raw"
+go test -run '^$' -bench 'Kernel|NativeClassifier|BatchedPredict|OfflineBatched' \
+    -benchmem -count "$COUNT" . | tee "$raw"
 
 awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go version)" \
@@ -32,10 +39,18 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op")      bytes[name]  += $(i-1)
         if ($i == "allocs/op") allocs[name] += $(i-1)
+        if ($i == "ns/sample") nssample[name] += $(i-1)
+        if ($i == "samples/s") sps[name] += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+function avg(arr, name) { return runs[name] > 0 ? arr[name] / runs[name] : 0 }
+function speedup(model, batch) {
+    p = "BenchmarkBatchedPredict/" model "/batch" batch "/persample"
+    b = "BenchmarkBatchedPredict/" model "/batch" batch "/batched"
+    return avg(ns, b) > 0 ? avg(ns, p) / avg(ns, b) : 0
+}
 END {
     printf "{\n"
     printf "  \"generated_utc\": \"%s\",\n", generated
@@ -45,23 +60,32 @@ END {
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
         name = names[i]
-        printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}%s\n", \
-            name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], (i < n ? "," : "")
+        printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f", \
+            name, avg(ns, name), avg(bytes, name), avg(allocs, name)
+        if (nssample[name] > 0) printf ", \"ns_per_sample\": %.0f", avg(nssample, name)
+        if (sps[name] > 0)      printf ", \"samples_per_sec\": %.1f", avg(sps, name)
+        printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
     printf "  \"derived\": {\n"
     printf "    \"matmul_speedup_vs_serial\": %.2f,\n", \
-        ns["BenchmarkKernelMatMul/serial"] / ns["BenchmarkKernelMatMul/blocked"]
+        avg(ns, "BenchmarkKernelMatMul/serial") / avg(ns, "BenchmarkKernelMatMul/blocked")
     printf "    \"conv2d_speedup_vs_serial\": %.2f,\n", \
-        ns["BenchmarkKernelConv2D/serial"] / ns["BenchmarkKernelConv2D/im2col"]
+        avg(ns, "BenchmarkKernelConv2D/serial") / avg(ns, "BenchmarkKernelConv2D/im2col")
     printf "    \"depthwise_speedup_vs_serial\": %.2f,\n", \
-        ns["BenchmarkKernelDepthwiseConv2D/serial"] / ns["BenchmarkKernelDepthwiseConv2D/rowwise"]
+        avg(ns, "BenchmarkKernelDepthwiseConv2D/serial") / avg(ns, "BenchmarkKernelDepthwiseConv2D/rowwise")
     printf "    \"resnet50_allocs_heap_vs_scratch\": [%.1f, %.1f],\n", \
-        allocs["BenchmarkNativeClassifier/resnet50/heap"]/runs["BenchmarkNativeClassifier/resnet50/heap"], \
-        allocs["BenchmarkNativeClassifier/resnet50/scratch"]/runs["BenchmarkNativeClassifier/resnet50/scratch"]
-    printf "    \"mobilenet_allocs_heap_vs_scratch\": [%.1f, %.1f]\n", \
-        allocs["BenchmarkNativeClassifier/mobilenet/heap"]/runs["BenchmarkNativeClassifier/mobilenet/heap"], \
-        allocs["BenchmarkNativeClassifier/mobilenet/scratch"]/runs["BenchmarkNativeClassifier/mobilenet/scratch"]
+        avg(allocs, "BenchmarkNativeClassifier/resnet50/heap"), \
+        avg(allocs, "BenchmarkNativeClassifier/resnet50/scratch")
+    printf "    \"mobilenet_allocs_heap_vs_scratch\": [%.1f, %.1f],\n", \
+        avg(allocs, "BenchmarkNativeClassifier/mobilenet/heap"), \
+        avg(allocs, "BenchmarkNativeClassifier/mobilenet/scratch")
+    printf "    \"resnet50_batched_predict_speedup_vs_persample\": {\"batch1\": %.3f, \"batch8\": %.3f, \"batch32\": %.3f},\n", \
+        speedup("resnet50", 1), speedup("resnet50", 8), speedup("resnet50", 32)
+    printf "    \"mobilenet_batched_predict_speedup_vs_persample\": {\"batch1\": %.3f, \"batch8\": %.3f, \"batch32\": %.3f},\n", \
+        speedup("mobilenet", 1), speedup("mobilenet", 8), speedup("mobilenet", 32)
+    printf "    \"offline_scenario_batched_vs_persample_throughput\": [%.1f, %.1f]\n", \
+        avg(sps, "BenchmarkOfflineBatched/batched"), avg(sps, "BenchmarkOfflineBatched/persample")
     printf "  }\n"
     printf "}\n"
 }' "$raw" > "$OUT"
