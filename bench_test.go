@@ -516,6 +516,134 @@ func BenchmarkOfflineBatched(b *testing.B) {
 	}
 }
 
+// benchTextSamples builds n ragged token sentences from the synthetic
+// translation generator.
+func benchTextSamples(b *testing.B, n int) []*dataset.Sample {
+	b.Helper()
+	ds, err := dataset.NewSyntheticText(dataset.TextConfig{Samples: n, Vocab: 64, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]*dataset.Sample, n)
+	for i := range out {
+		s, err := ds.Sample(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// BenchmarkGNMTBatchedDecode contrasts batched greedy decoding (one GEMM per
+// weight matrix per step over all active sentences, finished sentences
+// compacting out) with the serial sentence-at-a-time loop
+// (model.EngineFromTranslator) at the offline-relevant batch sizes. Each op
+// processes the whole batch, so ns/op at equal batch size is directly
+// comparable between the two variants.
+func BenchmarkGNMTBatchedDecode(b *testing.B) {
+	g, err := model.NewGNMTMini(model.TranslatorConfig{Vocab: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	serial := model.EngineFromTranslator("gnmt-serial", g)
+	for _, batch := range []int{1, 8, 32} {
+		samples := benchTextSamples(b, batch)
+		run := func(e model.Engine) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Predict(samples, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+			}
+		}
+		b.Run(fmt.Sprintf("batch%d/batched", batch), run(g))
+		b.Run(fmt.Sprintf("batch%d/persample", batch), run(serial))
+	}
+}
+
+// BenchmarkWideBatchedPredict measures the weight-streaming amortization the
+// wide-channel classifier exists for: its weights exceed L2, so the
+// per-sample loop re-streams every weight panel per sample while the batched
+// engine streams each panel once per micro-batch (A-panel reuse).
+func BenchmarkWideBatchedPredict(b *testing.B) {
+	m, err := model.NewWideResNetMini(model.ClassifierConfig{Classes: 10, ImageSize: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	persample := model.EngineFromClassifier("resnet50-wide-persample", m)
+	for _, batch := range []int{1, 8, 32} {
+		samples := benchSamples(uint64(batch)*37, batch, m.InputShape())
+		run := func(e model.Engine) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Predict(samples, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+			}
+		}
+		b.Run(fmt.Sprintf("batch%d/batched", batch), run(m))
+		b.Run(fmt.Sprintf("batch%d/persample", batch), run(persample))
+	}
+}
+
+// BenchmarkOfflineGNMT runs the full offline translation scenario — LoadGen,
+// merged query, native backend — once with batched greedy decoding and once
+// with the sentence-at-a-time adapter, the system-level view of the batched
+// recurrent path.
+func BenchmarkOfflineGNMT(b *testing.B) {
+	g, err := model.NewGNMTMini(model.TranslatorConfig{Vocab: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.NewSyntheticText(dataset.TextConfig{Samples: 64, Vocab: 64, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name   string
+		engine model.Engine
+	}{
+		{"batched", g},
+		{"persample", model.EngineFromTranslator("gnmt-persample", g)},
+	}
+	for _, e := range engines {
+		sut, err := backend.NewNative(backend.NativeConfig{Engine: e.engine, Store: qsl})
+		if err != nil {
+			b.Fatal(err)
+		}
+		settings := loadgen.DefaultSettings(loadgen.Offline)
+		settings.MinSampleCount = 512
+		settings.MinDuration = 0
+		b.Run(e.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var throughput float64
+			for i := 0; i < b.N; i++ {
+				res, err := loadgen.StartTest(sut, qsl, settings)
+				if err != nil {
+					b.Fatal(err)
+				}
+				throughput = res.OfflineSamplesPerSec
+			}
+			sut.Wait()
+			if errs := sut.Errors(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			b.ReportMetric(throughput, "samples/s")
+		})
+	}
+}
+
 // --- Statistical machinery. ---
 
 func BenchmarkPoissonSchedule(b *testing.B) {

@@ -202,8 +202,9 @@ func TestNativeIsolatesBadSampleInBatchedChunk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Workers=1 makes batchGrain(8,1)=2, so sample 1 shares a chunk with
-	// sample 0 and the batched pass over that chunk fails.
+	// The preferred-batch grain floor puts all 8 samples in one chunk, so
+	// the poisoned sample 1 shares its chunk with healthy samples and the
+	// batched pass over that chunk fails as a whole.
 	sut, err := NewNative(NativeConfig{
 		Engine: classifier, Store: &poisonStore{inner: qsl, poison: 1}, Workers: 1,
 	})
@@ -250,6 +251,105 @@ func TestNativeRecordsErrorsForUnloadedSamples(t *testing.T) {
 	sut.Wait()
 	if len(sut.Errors()) == 0 {
 		t.Error("expected an error for accessing an unloaded sample")
+	}
+}
+
+// TestNativeConfigTuningOverrides: the tuning fields forward to the tensor
+// engine's process-wide knobs and results are bit-identical on both sides of
+// the threshold (the batched query below runs the parallel path once with
+// everything forked and once fully inline).
+func TestNativeConfigTuningOverrides(t *testing.T) {
+	defer tensor.SetParallelFlopThreshold(0)
+	defer tensor.SetGEMMPanelBytes(0)
+	qsl, _ := newClassificationStore(t, 8)
+	classifier, err := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(threshold, panel int) []loadgen.Response {
+		sut, err := NewNative(NativeConfig{
+			Engine: classifier, Store: qsl, Workers: 2,
+			FlopThreshold: threshold, PanelBytes: panel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if threshold > 0 && tensor.ParallelFlopThreshold() != threshold {
+			t.Fatalf("flop threshold = %d after NewNative, want %d", tensor.ParallelFlopThreshold(), threshold)
+		}
+		if panel > 0 && tensor.GEMMPanelBytes() != panel {
+			t.Fatalf("panel bytes = %d after NewNative, want %d", tensor.GEMMPanelBytes(), panel)
+		}
+		q, done := collectQuery(1, []int{0, 1, 2, 3, 4, 5, 6, 7})
+		sut.IssueQuery(q)
+		rs := <-done
+		sut.Wait()
+		if errs := sut.Errors(); len(errs) != 0 {
+			t.Fatal(errs[0])
+		}
+		return rs
+	}
+	below := run(1, 32<<10) // every kernel above threshold: parallel dispatch
+	above := run(1<<30, 0)  // every kernel below threshold: inline
+	if len(below) != len(above) {
+		t.Fatalf("response counts differ: %d vs %d", len(below), len(above))
+	}
+	for i := range below {
+		a, err := payload.DecodeClass(below[i].Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := payload.DecodeClass(above[i].Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("sample %d: class %d on parallel side, %d on serial side", i, a, b)
+		}
+	}
+}
+
+// TestBatchGrainFloorsAtPreferredBatch: chunks never fragment below the
+// engine's derived micro-batch, and never exceed the query.
+func TestBatchGrainFloorsAtPreferredBatch(t *testing.T) {
+	qsl, _ := newClassificationStore(t, 4)
+	classifier, err := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sut, err := NewNative(NativeConfig{Engine: classifier, Store: qsl, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := classifier.PreferredBatch()
+	if sut.preferredBatch != pref {
+		t.Fatalf("backend recorded preferred batch %d, want %d", sut.preferredBatch, pref)
+	}
+	// Eight micro-batches' worth across 8 workers: the floor applies in full
+	// (rebalancing alone would shred this into chunks of 8) and every worker
+	// still gets exactly one chunk.
+	if got := sut.batchGrain(8 * pref); got != pref {
+		t.Errorf("batchGrain(%d) = %d, want the preferred batch %d", 8*pref, got, pref)
+	}
+	// The floor is capped at an even split so it never idles workers: 4
+	// micro-batches' worth over 8 workers yields 8 even chunks, not 4
+	// preferred-size ones.
+	if got := sut.batchGrain(4 * pref); got != pref/2 {
+		t.Errorf("batchGrain(%d) = %d, want the even split %d", 4*pref, got, pref/2)
+	}
+	// Queries smaller than the worker count spread one sample per worker.
+	if got := sut.batchGrain(3); got != 1 {
+		t.Errorf("batchGrain(3) = %d, want 1", got)
+	}
+	// An engine without BatchSizer keeps the rebalancing-first grain.
+	plain, err := NewNative(NativeConfig{
+		Engine: model.EngineFromClassifier("plain", classifier), Store: qsl, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.batchGrain(64); got != 8 {
+		t.Errorf("plain batchGrain(64) = %d, want 8", got)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"mlperf/internal/dataset"
 	"mlperf/internal/loadgen"
 	"mlperf/internal/model"
+	"mlperf/internal/tensor"
 )
 
 // SampleStore provides samples by index; dataset.QSL satisfies it.
@@ -48,14 +49,33 @@ type NativeConfig struct {
 	// with an in-flight inference on single-core hosts; set it to 1 for a
 	// deliberately serial SUT.
 	Workers int
+	// FlopThreshold, when positive, overrides the compute engine's
+	// parallel-dispatch threshold (tensor.SetParallelFlopThreshold) — the
+	// multiply-accumulate count below which kernels stay on the calling
+	// goroutine. The built-in default was calibrated on a 1-core container;
+	// many-core deployments tune it here or via the
+	// MLPERF_PARALLEL_FLOP_THRESHOLD environment variable. The override is
+	// process-wide (the kernels are shared), never changes results, and
+	// applies from NewNative on.
+	FlopThreshold int
+	// PanelBytes, when positive, overrides the GEMM column-panel cache
+	// budget (tensor.SetGEMMPanelBytes), which also fixes the batched
+	// convolution's sample-panel split. Process-wide, like FlopThreshold;
+	// environment override: MLPERF_GEMM_PANEL_BYTES.
+	PanelBytes int
 }
 
 // Native runs a model.Engine as the system under test.
 type Native struct {
-	cfg  NativeConfig
-	sem  chan struct{}
-	wg   sync.WaitGroup
-	errs errorLog
+	cfg NativeConfig
+	sem chan struct{}
+	// preferredBatch is the engine's derived micro-batch (model.BatchSizer),
+	// 0 when the engine does not publish one. Batch chunks are floored at it
+	// so merged queries are not fragmented below the size the engine's
+	// batched kernels were derived for.
+	preferredBatch int
+	wg             sync.WaitGroup
+	errs           errorLog
 }
 
 // errorLog accumulates inference errors thread-safely; a real SUT would fail
@@ -101,7 +121,18 @@ func NewNative(cfg NativeConfig) (*Native, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = defaultWorkers()
 	}
-	return &Native{cfg: cfg, sem: make(chan struct{}, cfg.Workers)}, nil
+	if cfg.FlopThreshold > 0 {
+		tensor.SetParallelFlopThreshold(cfg.FlopThreshold)
+	}
+	if cfg.PanelBytes > 0 {
+		tensor.SetGEMMPanelBytes(cfg.PanelBytes)
+	}
+	n := &Native{cfg: cfg}
+	n.sem = make(chan struct{}, cfg.Workers)
+	if bs, ok := cfg.Engine.(model.BatchSizer); ok {
+		n.preferredBatch = bs.PreferredBatch()
+	}
+	return n, nil
 }
 
 // defaultWorkers is GOMAXPROCS floored at 2: all cores for throughput, and
@@ -155,7 +186,7 @@ func (n *Native) IssueQuery(q *loadgen.Query) {
 // inference — across this batch, concurrent batches and single-sample
 // queries — never exceeds cfg.Workers.
 func (n *Native) runBatch(q *loadgen.Query) {
-	grain := batchGrain(len(q.Samples), n.cfg.Workers)
+	grain := n.batchGrain(len(q.Samples))
 	for lo := 0; lo < len(q.Samples); lo += grain {
 		hi := lo + grain
 		if hi > len(q.Samples) {
@@ -174,9 +205,24 @@ func (n *Native) runBatch(q *loadgen.Query) {
 
 // batchGrain yields several chunks per worker so stragglers rebalance while
 // chunks stay large enough to amortize completion bookkeeping and to win
-// from batched GEMM execution.
-func batchGrain(samples, workers int) int {
-	grain := samples / (4 * workers)
+// from batched GEMM execution. Chunks are floored at the engine's preferred
+// micro-batch (when it publishes one): a chunk below it would fragment the
+// batched kernels beneath the size their cache-residency was derived for, so
+// straggler rebalancing yields to batch efficiency on small queries. The
+// floor never starves workers, though — it is capped at an even split of the
+// query, so every worker still gets a chunk (the engine's internal
+// micro-batching copes with chunks below its preferred size).
+func (n *Native) batchGrain(samples int) int {
+	grain := samples / (4 * n.cfg.Workers)
+	if pref := n.preferredBatch; grain < pref {
+		grain = pref
+		if even := (samples + n.cfg.Workers - 1) / n.cfg.Workers; grain > even {
+			grain = even
+		}
+	}
+	if grain > samples {
+		grain = samples
+	}
 	if grain < 1 {
 		grain = 1
 	}

@@ -34,9 +34,10 @@ func (c *ClassifierConfig) normalize() error {
 
 // ImageClassifier is a CNN classifier built from an nn.Sequential backbone.
 type ImageClassifier struct {
-	info    Info
-	net     *nn.Sequential
-	inShape []int
+	info       Info
+	net        *nn.Sequential
+	inShape    []int
+	microBatch int
 }
 
 // Info returns the model's metadata with Params and OpsPerInput filled in.
@@ -185,6 +186,65 @@ func NewMobileNetV1Mini(cfg ClassifierConfig) (*ImageClassifier, error) {
 	return finishClassifier(MobileNetV1, seq, cfg)
 }
 
+// wideL2Budget is the L2 size the wide classifier's weights must exceed for
+// the weight-streaming amortization effect to be visible: below it the whole
+// weight set is cache-resident and batched-vs-per-sample GEMM is
+// throughput-neutral on one core (BENCH_PR2).
+const wideL2Budget = 1 << 20
+
+// NewWideResNetMini builds the weight-streaming classifier: the same residual
+// topology as the mini ResNet-50 but with 4× the channel widths, which puts
+// its weight tensors (~3.5 MB) well past a typical L2 cache (wideL2Budget).
+// Per-sample inference must then re-stream every weight panel from memory for
+// every sample, while a batched Predict streams each panel once per
+// micro-batch — the "large batch sizes to reach peak" effect of the paper's
+// throughput scenarios, reproduced at cache scale.
+func NewWideResNetMini(cfg ClassifierConfig) (*ImageClassifier, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x71de5e)
+	widths := []int{32, 64, 256}
+	seq := nn.NewSequential("resnet50-wide-mini",
+		nn.NewConv("stem", cfg.Channels, widths[0], 3, 1, 1, rng),
+	)
+	inC := widths[0]
+	for stage, w := range widths {
+		if w != inC {
+			seq.Add(nn.NewConv(fmt.Sprintf("proj%d", stage), inC, w, 3, 2, 1, rng))
+			inC = w
+		}
+		for b := 0; b < 2; b++ {
+			body := nn.NewSequential(fmt.Sprintf("stage%d_block%d", stage, b),
+				nn.NewConv(fmt.Sprintf("s%db%d_c1", stage, b), w, w, 3, 1, 1, rng),
+				nn.NewConv(fmt.Sprintf("s%db%d_c2", stage, b), w, w, 3, 1, 1, rng),
+			)
+			seq.Add(nn.NewResidual(fmt.Sprintf("s%db%d", stage, b), body))
+		}
+	}
+	seq.Add(
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewDense("fc", inC, cfg.Classes, false, rng),
+	)
+	m, err := finishClassifier(ResNet50Wide, seq, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if bytes := weightBytes(m); bytes <= wideL2Budget {
+		return nil, fmt.Errorf("model %s: weights are %d bytes, expected to exceed the %d-byte L2 budget", ResNet50Wide, bytes, wideL2Budget)
+	}
+	return m, nil
+}
+
+// weightBytes sums a model's weight storage.
+func weightBytes(m WeightedModel) int {
+	total := 0
+	for _, w := range m.Weights() {
+		total += 4 * w.Len()
+	}
+	return total
+}
+
 // pointwise returns a 1x1 convolution used after each depthwise convolution.
 func pointwise(name string, inC, outC int, rng *stats.RNG) *nn.Conv {
 	c := nn.NewConv(name, inC, outC, 1, 1, 0, rng)
@@ -206,7 +266,11 @@ func finishClassifier(name Name, seq *nn.Sequential, cfg ClassifierConfig) (*Ima
 	if err != nil {
 		return nil, err
 	}
+	footprint, err := activationFootprintBytes(seq.Layers(), inShape)
+	if err != nil {
+		return nil, err
+	}
 	info.Params = seq.ParamCount()
 	info.OpsPerInput = ops
-	return &ImageClassifier{info: info, net: seq, inShape: inShape}, nil
+	return &ImageClassifier{info: info, net: seq, inShape: inShape, microBatch: microBatchFor(footprint)}, nil
 }

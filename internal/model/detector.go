@@ -51,14 +51,15 @@ func (c *DetectorConfig) normalize() error {
 // map, and a convolutional head that predicts, for every feature-map cell,
 // class scores and box offsets relative to the cell's anchor.
 type SSDDetector struct {
-	info     Info
-	backbone *nn.Sequential
-	head     *nn.Conv
-	inShape  []int
-	classes  int
-	cfg      DetectorConfig
-	featH    int
-	featW    int
+	info       Info
+	backbone   *nn.Sequential
+	head       *nn.Conv
+	inShape    []int
+	classes    int
+	cfg        DetectorConfig
+	featH      int
+	featW      int
+	microBatch int
 }
 
 // Info returns the model's metadata with Params and OpsPerInput filled in.
@@ -253,10 +254,15 @@ func finishDetector(name Name, backbone *nn.Sequential, featC int, cfg DetectorC
 	if err != nil {
 		return nil, err
 	}
+	footprint, err := activationFootprintBytes(append(append([]nn.Layer{}, backbone.Layers()...), head), inShape)
+	if err != nil {
+		return nil, err
+	}
 	info.Params = backbone.ParamCount() + head.ParamCount()
 	info.OpsPerInput = backOps + headOps
 	return &SSDDetector{
 		info: info, backbone: backbone, head: head, inShape: inShape,
 		classes: cfg.Classes, cfg: cfg, featH: featShape[1], featW: featShape[2],
+		microBatch: microBatchFor(footprint),
 	}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"mlperf/internal/dataset"
 	"mlperf/internal/metrics"
+	"mlperf/internal/nn"
 	"mlperf/internal/payload"
 	"mlperf/internal/tensor"
 )
@@ -85,20 +86,122 @@ func withScratch(s *tensor.Scratch, fn func(*tensor.Scratch) error) error {
 	return fn(s)
 }
 
-// maxMicroBatch bounds how many samples one batched forward pass carries.
-// Larger merged queries are processed in micro-batches of this size, keeping
-// the activation working set cache-resident instead of scaling with the
-// query. With a nil Scratch the pooled arena is recycled per micro-batch, so
-// memory stays O(micro-batch); a caller-provided arena cannot be reset
-// mid-call and grows with the whole query (the caller owns its lifecycle).
-// Grouping does not change results: Predict on any batch is bit-identical to
-// per-sample calls, so it is bit-identical under any grouping too.
-const maxMicroBatch = 8
+// Micro-batch derivation. One batched forward pass carries at most the
+// engine's micro-batch worth of samples; larger merged queries are processed
+// in micro-batches of that size, keeping the activation working set
+// cache-resident instead of scaling with the query. The size is derived per
+// engine from its per-sample activation footprint — wide models whose layer
+// activations are large batch shallow so a micro-batch still fits in cache,
+// while the recurrent translator's tiny per-sentence step state lets it batch
+// up to the cap — replacing the old fixed micro-batch of 8. With a nil
+// Scratch the pooled arena is recycled per micro-batch, so memory stays
+// O(micro-batch); a caller-provided arena cannot be reset mid-call and grows
+// with the whole query (the caller owns its lifecycle). Grouping does not
+// change results: Predict on any batch is bit-identical to per-sample calls,
+// so it is bit-identical under any grouping too.
+const (
+	// microBatchCacheBudget is the cache share one micro-batch's live
+	// activations may occupy. 384 KiB lands the mini heavyweight classifier
+	// at the micro-batch of 8 the previous fixed constant was tuned to,
+	// while lighter models now batch deeper.
+	microBatchCacheBudget = 384 << 10
+	// microBatchCap bounds the derived size: beyond it the batched GEMMs'
+	// weight-streaming amortization has flattened and response latency
+	// within a merged query starts to dominate.
+	microBatchCap = 64
+)
 
-// inMicroBatches runs fn over [start, end) micro-batch windows of n samples.
-func inMicroBatches(n int, fn func(start, end int) error) error {
-	for start := 0; start < n; start += maxMicroBatch {
-		end := start + maxMicroBatch
+// microBatchFor derives a micro-batch size from a per-sample activation
+// footprint in bytes.
+func microBatchFor(footprintBytes int) int {
+	if footprintBytes <= 0 {
+		return microBatchCap
+	}
+	mb := microBatchCacheBudget / footprintBytes
+	if mb < 1 {
+		return 1
+	}
+	if mb > microBatchCap {
+		return microBatchCap
+	}
+	return mb
+}
+
+// activationFootprintBytes estimates a layer stack's per-sample activation
+// working set: the largest input+output activation pair live at any layer,
+// recursing into containers so a composite layer's internal activations
+// count too (a residual body runs with the shortcut copy additionally held
+// live). It is the denominator of the micro-batch derivation, not an exact
+// allocator bound — the scratch arena holds a whole pass, but only the
+// current layer's operand pair needs to stay cache-resident for the batched
+// kernels to stream well.
+func activationFootprintBytes(layers []nn.Layer, inShape []int) (int, error) {
+	elems, _, err := peakActivationElems(layers, inShape, 0)
+	if err != nil {
+		return 0, err
+	}
+	return 4 * elems, nil
+}
+
+// peakActivationElems returns the peak live element count across the layer
+// sequence and its output shape. held counts elements pinned by enclosing
+// layers for the duration of the sequence (e.g. a residual shortcut).
+func peakActivationElems(layers []nn.Layer, inShape []int, held int) (int, []int, error) {
+	cur := inShape
+	maxElems := 0
+	for _, l := range layers {
+		var (
+			peak int
+			out  []int
+			err  error
+		)
+		switch ll := l.(type) {
+		case *nn.Sequential:
+			peak, out, err = peakActivationElems(ll.Layers(), cur, held)
+		case *nn.Residual:
+			peak, out, err = peakActivationElems([]nn.Layer{ll.Body()}, cur, held+shapeElems(cur))
+		default:
+			out, err = l.OutputShape(cur)
+			if err == nil {
+				peak = held + shapeElems(cur) + shapeElems(out)
+			}
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		if peak > maxElems {
+			maxElems = peak
+		}
+		cur = out
+	}
+	return maxElems, cur, nil
+}
+
+// shapeElems returns the element count of a shape.
+func shapeElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// BatchSizer is implemented by engines that derive a preferred micro-batch
+// size from their per-sample activation footprint. Backends use it to size
+// inference chunks so batched execution actually reaches the engine's
+// micro-batch instead of fragmenting merged queries below it.
+type BatchSizer interface {
+	// PreferredBatch returns the engine's derived micro-batch size (>= 1).
+	PreferredBatch() int
+}
+
+// inMicroBatches runs fn over [start, end) windows of at most size samples.
+func inMicroBatches(n, size int, fn func(start, end int) error) error {
+	if size < 1 {
+		size = 1
+	}
+	for start := 0; start < n; start += size {
+		end := start + size
 		if end > n {
 			end = n
 		}
@@ -115,6 +218,10 @@ func (m *ImageClassifier) Name() string { return string(m.info.Name) }
 // Kind implements Engine.
 func (m *ImageClassifier) Kind() dataset.Kind { return dataset.KindImageClassification }
 
+// PreferredBatch implements BatchSizer: the micro-batch derived from the
+// backbone's per-sample activation footprint.
+func (m *ImageClassifier) PreferredBatch() int { return m.microBatch }
+
 // Predict implements Engine: each micro-batch runs as one im2col+GEMM per
 // convolution layer and one GEMM through the classifier head.
 func (m *ImageClassifier) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Output, error) {
@@ -122,7 +229,7 @@ func (m *ImageClassifier) Predict(samples []*dataset.Sample, s *tensor.Scratch) 
 		return nil, nil
 	}
 	outputs := make([]Output, len(samples))
-	err := inMicroBatches(len(samples), func(start, end int) error {
+	err := inMicroBatches(len(samples), m.microBatch, func(start, end int) error {
 		group := samples[start:end]
 		return withScratch(s, func(s *tensor.Scratch) error {
 			batch, err := stackImages(m.info.Name, m.inShape, group, s)
@@ -158,6 +265,9 @@ func (d *SSDDetector) Name() string { return string(d.info.Name) }
 // Kind implements Engine.
 func (d *SSDDetector) Kind() dataset.Kind { return dataset.KindObjectDetection }
 
+// PreferredBatch implements BatchSizer.
+func (d *SSDDetector) PreferredBatch() int { return d.microBatch }
+
 // Predict implements Engine: backbone and head each run once over every
 // micro-batch; only the box decode (threshold + NMS) runs per sample.
 func (d *SSDDetector) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Output, error) {
@@ -165,7 +275,7 @@ func (d *SSDDetector) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]O
 		return nil, nil
 	}
 	outputs := make([]Output, len(samples))
-	err := inMicroBatches(len(samples), func(start, end int) error {
+	err := inMicroBatches(len(samples), d.microBatch, func(start, end int) error {
 		group := samples[start:end]
 		return withScratch(s, func(s *tensor.Scratch) error {
 			batch, err := stackImages(d.info.Name, d.inShape, group, s)
@@ -211,31 +321,43 @@ func (g *GNMTMini) Name() string { return string(g.info.Name) }
 // Kind implements Engine.
 func (g *GNMTMini) Kind() dataset.Kind { return dataset.KindTranslation }
 
-// Predict implements Engine. Greedy decoding lengths diverge per sentence,
-// so the recurrent model loops samples behind the batched contract for now;
-// the scratch arena still covers each sentence's recurrent steps.
+// PreferredBatch implements BatchSizer: the recurrent step state per sentence
+// is tiny, so the translator batches up to the cap.
+func (g *GNMTMini) PreferredBatch() int { return g.microBatch }
+
+// Predict implements Engine. Each micro-batch decodes as one batched greedy
+// pass: every recurrent step runs the active sentences through one GEMM per
+// weight matrix instead of a per-sentence MatVec loop, with finished
+// sentences compacting out of the batch (nn.Seq2Seq.TranslateBatch). Ragged
+// decoding lengths therefore cost only the steps they use, and every
+// sentence's tokens are bit-identical to a single-sentence Translate call.
 func (g *GNMTMini) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Output, error) {
 	if len(samples) == 0 {
 		return nil, nil
 	}
 	outputs := make([]Output, len(samples))
-	for i, sample := range samples {
-		if sample == nil || sample.Tokens == nil {
-			return nil, fmt.Errorf("model %s: sample %d carries no tokens", g.info.Name, i)
+	err := inMicroBatches(len(samples), g.microBatch, func(start, end int) error {
+		group := samples[start:end]
+		srcs := make([][]int, len(group))
+		for i, sample := range group {
+			if sample == nil || sample.Tokens == nil {
+				return fmt.Errorf("model %s: sample %d carries no tokens", g.info.Name, start+i)
+			}
+			srcs[i] = sample.Tokens
 		}
-		var (
-			tokens []int
-			err    error
-		)
-		if s != nil {
-			tokens, err = g.net.TranslateScratch(sample.Tokens, s)
-		} else {
-			tokens, err = g.net.Translate(sample.Tokens)
-		}
-		if err != nil {
-			return nil, err
-		}
-		outputs[i] = Output{Kind: dataset.KindTranslation, Tokens: tokens}
+		return withScratch(s, func(s *tensor.Scratch) error {
+			translated, err := g.net.TranslateBatch(srcs, s)
+			if err != nil {
+				return err
+			}
+			for i, tokens := range translated {
+				outputs[start+i] = Output{Kind: dataset.KindTranslation, Tokens: tokens}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outputs, nil
 }

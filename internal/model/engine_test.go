@@ -79,6 +79,7 @@ func TestClassifierBatchMatchesSingles(t *testing.T) {
 	builds := map[string]func(ClassifierConfig) (*ImageClassifier, error){
 		"resnet50":  NewResNet50Mini,
 		"mobilenet": NewMobileNetV1Mini,
+		"wide":      NewWideResNetMini,
 	}
 	for name, build := range builds {
 		t.Run(name, func(t *testing.T) {
@@ -251,6 +252,174 @@ func TestTranslateGoldenOutputs(t *testing.T) {
 				t.Fatalf("src %s: token %d = %d, want %d", key, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// randTextSamples builds n token samples with ragged lengths in [1, maxLen].
+func randTextSamples(r *rand.Rand, n, vocab, maxLen int) []*dataset.Sample {
+	out := make([]*dataset.Sample, n)
+	for i := range out {
+		tokens := make([]int, 1+r.Intn(maxLen))
+		for j := range tokens {
+			tokens[j] = 2 + r.Intn(vocab-2)
+		}
+		out[i] = &dataset.Sample{Index: i, Tokens: tokens}
+	}
+	return out
+}
+
+// translateSingles runs the serial single-sentence Translate per sample — the
+// reference the batched Predict must match bit for bit.
+func translateSingles(t *testing.T, g *GNMTMini, samples []*dataset.Sample) []Output {
+	t.Helper()
+	out := make([]Output, len(samples))
+	for i, s := range samples {
+		tokens, err := g.Translate(s.Tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = Output{Kind: dataset.KindTranslation, Tokens: tokens}
+	}
+	return out
+}
+
+// TestGNMTBatchMatchesSerialTranslate: batched greedy decoding over ragged
+// sentence lengths — including batches that span several micro-batches and
+// the single-sentence batch — is bit-identical to N serial Translate calls.
+func TestGNMTBatchMatchesSerialTranslate(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	g, err := NewGNMTMini(TranslatorConfig{Vocab: 64, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := []int{1, 2, 5, 9, g.microBatch + 3}
+	for _, batch := range batches {
+		samples := randTextSamples(r, batch, 64, 12)
+		got, err := g.Predict(samples, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameOutputs(t, got, translateSingles(t, g, samples), "gnmt batch")
+	}
+}
+
+// TestGNMTBatchAllFinishImmediately: rigging the output bias so EOS always
+// wins makes every sentence finish on decode step 1; the batch must drain on
+// that step and return empty translations, exactly like the serial path.
+func TestGNMTBatchAllFinishImmediately(t *testing.T) {
+	g, err := NewGNMTMini(TranslatorConfig{Vocab: 64, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.net.Output.Bias.Data()[g.net.EOS] = 1000
+	samples := []*dataset.Sample{
+		{Index: 0, Tokens: []int{5, 9, 3}},
+		{Index: 1, Tokens: []int{7}},
+		{Index: 2, Tokens: []int{8, 2, 2, 8, 11}},
+	}
+	got, err := g.Predict(samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range got {
+		if len(out.Tokens) != 0 {
+			t.Errorf("sentence %d produced %v, want empty", i, out.Tokens)
+		}
+	}
+	requireSameOutputs(t, got, translateSingles(t, g, samples), "all-EOS batch")
+}
+
+// TestGNMTBatchOnRecycledScratchIsStable: repeated batched passes over one
+// recycled arena, including a different batch geometry, must not perturb a
+// single token.
+func TestGNMTBatchOnRecycledScratchIsStable(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	g, err := NewGNMTMini(TranslatorConfig{Vocab: 64, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := randTextSamples(r, 7, 64, 10)
+	s := tensor.NewScratch()
+	var first []Output
+	for pass := 0; pass < 3; pass++ {
+		s.Reset()
+		got, err := g.Predict(samples, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pass == 0 {
+			first = got
+			continue
+		}
+		requireSameOutputs(t, got, first, "recycled arena pass")
+	}
+	s.Reset()
+	ragged, err := g.Predict(samples[:3], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameOutputs(t, ragged, first[:3], "ragged batch on recycled arena")
+	requireSameOutputs(t, first, translateSingles(t, g, samples), "arena passes vs serial")
+}
+
+// TestMicroBatchDerivation pins the footprint-derived micro-batch sizes: the
+// heavyweight classifier keeps the previously tuned 8, lighter activations
+// batch deeper, the wide model batches shallower, and the translator's tiny
+// step state hits the cap.
+func TestMicroBatchDerivation(t *testing.T) {
+	resnet, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobilenet, err := NewMobileNetV1Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewWideResNetMini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnmt, err := NewGNMTMini(TranslatorConfig{Vocab: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resnet.PreferredBatch(); got != 8 {
+		t.Errorf("resnet micro-batch = %d, want 8", got)
+	}
+	if got := mobilenet.PreferredBatch(); got <= resnet.PreferredBatch() {
+		t.Errorf("mobilenet micro-batch = %d, want deeper than resnet's %d", got, resnet.PreferredBatch())
+	}
+	if got := wide.PreferredBatch(); got >= resnet.PreferredBatch() || got < 1 {
+		t.Errorf("wide micro-batch = %d, want shallower than resnet's %d", got, resnet.PreferredBatch())
+	}
+	if got := gnmt.PreferredBatch(); got != microBatchCap {
+		t.Errorf("gnmt micro-batch = %d, want the cap %d", got, microBatchCap)
+	}
+	det, err := NewSSDResNet34Mini(DetectorConfig{Classes: 5, ImageSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.PreferredBatch(); got < 1 {
+		t.Errorf("detector micro-batch = %d", got)
+	}
+}
+
+// TestWideModelWeightsExceedL2 pins the premise of the weight-streaming
+// benchmark: the wide classifier's weights cannot be cache-resident.
+func TestWideModelWeightsExceedL2(t *testing.T) {
+	wide, err := NewWideResNetMini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes := weightBytes(wide); bytes <= wideL2Budget {
+		t.Fatalf("wide model weights = %d bytes, want > %d", bytes, wideL2Budget)
+	}
+	small, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weightBytes(small) >= weightBytes(wide) {
+		t.Error("wide model should carry more weight bytes than the mini ResNet")
 	}
 }
 

@@ -11,12 +11,21 @@
 // Every model is served through ONE batch-first contract, Engine: backends
 // hand Predict a slice of samples — a single-stream query or a whole merged
 // offline/server batch — and the CNN models execute it as one im2col+GEMM
-// per layer (the recurrent translator loops internally behind the same
-// interface). Predict on a batch is bit-identical to per-sample calls, so
-// dynamic batching is purely a scheduling decision. The narrower
-// single-sample interfaces (Classifier, Detector, Translator) remain for
-// direct use and calibration; EngineFromClassifier and friends adapt any of
-// them into an Engine.
+// per layer while the recurrent translator decodes the whole batch greedily,
+// one GEMM per weight matrix per step with finished sentences compacting out
+// of the active set (nn.Seq2Seq.TranslateBatch). Predict on a batch is
+// bit-identical to per-sample calls, so dynamic batching is purely a
+// scheduling decision.
+//
+// Large batches run as micro-batches whose size each engine derives from its
+// per-sample activation footprint against a fixed cache budget (see
+// microBatchFor): wide-activation models batch shallow so one micro-batch's
+// working set stays cache-resident, the translator's tiny step state batches
+// to the cap. Engines publish the derived size through BatchSizer so
+// backends can size inference chunks to it. The narrower single-sample
+// interfaces (Classifier, Detector, Translator) remain for direct use and
+// calibration; EngineFromClassifier and friends adapt any of them into an
+// Engine.
 package model
 
 import (
@@ -37,6 +46,13 @@ const (
 	SSDMobileNet Name = "ssd-mobilenet-v1"
 	GNMT         Name = "gnmt"
 )
+
+// ResNet50Wide is a wide-channel variant of the heavyweight classifier whose
+// weights exceed a typical L2 cache. It is not part of the v0.5 suite
+// (AllNames excludes it); it exists to exhibit the paper's "large batches to
+// reach peak" effect on weight streaming: batched GEMMs stream the
+// out-of-cache weight panels once per micro-batch instead of once per sample.
+const ResNet50Wide Name = "resnet50-wide"
 
 // AllNames lists every reference model in a stable order.
 func AllNames() []Name {
@@ -145,6 +161,13 @@ func Describe(n Name) (Info, error) {
 			TaskLabel:   "Machine translation",
 			PaperParams: 210_000_000, PaperOpsPerInput: 0,
 			QualityMetric: "BLEU", PaperReferenceQuality: 23.9, TargetRatio: 0.99,
+		}, nil
+	case ResNet50Wide:
+		return Info{
+			Name: n, PaperName: "ResNet-50 v1.5 (wide)", Area: "Vision",
+			TaskLabel: "Image classification (weight-streaming)",
+			// Not a Table I entry: no published figures to mirror.
+			QualityMetric: "top1", PaperReferenceQuality: 0.76456, TargetRatio: 0.99,
 		}, nil
 	default:
 		return Info{}, fmt.Errorf("%w: %q", ErrUnknownModel, n)

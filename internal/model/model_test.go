@@ -233,8 +233,11 @@ func TestZoo(t *testing.T) {
 		t.Fatal(err)
 	}
 	infos := zoo.Infos()
-	if len(infos) != 5 {
+	if len(infos) != 6 { // the five suite models plus the weight-streaming wide classifier
 		t.Fatalf("zoo has %d models", len(infos))
+	}
+	if _, err := zoo.Weighted(ResNet50Wide); err != nil {
+		t.Errorf("Weighted(%s): %v", ResNet50Wide, err)
 	}
 	for _, n := range AllNames() {
 		info, ok := infos[n]

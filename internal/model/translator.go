@@ -42,8 +42,9 @@ func (c *TranslatorConfig) normalize() error {
 
 // GNMTMini is the miniature recurrent encoder–decoder translation model.
 type GNMTMini struct {
-	info Info
-	net  *nn.Seq2Seq
+	info       Info
+	net        *nn.Seq2Seq
+	microBatch int
 }
 
 // NewGNMTMini builds the translator.
@@ -66,7 +67,25 @@ func NewGNMTMini(cfg TranslatorConfig) (*GNMTMini, error) {
 	}
 	info.Params = net.ParamCount()
 	info.OpsPerInput = net.OpsPerToken() * int64(cfg.MaxLen)
-	return &GNMTMini{info: info, net: net}, nil
+	g := &GNMTMini{info: info, net: net}
+	g.microBatch = microBatchFor(g.stepFootprintBytes())
+	return g, nil
+}
+
+// stepFootprintBytes estimates the per-sentence working set of one batched
+// decoder step: destination embedding, attention context, their
+// concatenation, each decoder cell's gate buffers and fresh states, the
+// output logits and the attention score vector. The recurrent stack's
+// footprint is per step, not per layer-activation as in the CNNs, and it is
+// small — which is exactly why the translator batches deep.
+func (g *GNMTMini) stepFootprintBytes() int {
+	h := g.net.HiddenSize
+	e := g.net.DstEmbed.Dim
+	elems := e + h + (e + h) + // embedding, context, concatenated step input
+		len(g.net.Decoder)*(8*h+2*h) + // gate buffers (Wx·x, Wh·h) and new h/c per cell
+		g.net.DstEmbed.Vocab + // logits column
+		g.net.MaxLen // attention scores over the longest source
+	return 4 * elems
 }
 
 // Info returns the model's metadata with Params and OpsPerInput filled in.

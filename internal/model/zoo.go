@@ -27,13 +27,16 @@ func (c *ZooConfig) normalize() {
 	}
 }
 
-// Zoo holds one instance of every reference model in the v0.5 suite.
+// Zoo holds one instance of every reference model in the v0.5 suite, plus
+// the wide-channel weight-streaming classifier (not a suite member; see
+// ResNet50Wide).
 type Zoo struct {
 	ResNet50     *ImageClassifier
 	MobileNetV1  *ImageClassifier
 	SSDResNet34  *SSDDetector
 	SSDMobileNet *SSDDetector
 	GNMT         *GNMTMini
+	WideResNet   *ImageClassifier
 }
 
 // NewZoo builds every reference model deterministically from cfg.Seed.
@@ -59,12 +62,17 @@ func NewZoo(cfg ZooConfig) (*Zoo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model: building %s: %w", GNMT, err)
 	}
+	wide, err := NewWideResNetMini(ClassifierConfig{Classes: cfg.Classes, ImageSize: cfg.ImageSize, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("model: building %s: %w", ResNet50Wide, err)
+	}
 	return &Zoo{
 		ResNet50:     resnet,
 		MobileNetV1:  mobilenet,
 		SSDResNet34:  ssdRes,
 		SSDMobileNet: ssdMob,
 		GNMT:         gnmt,
+		WideResNet:   wide,
 	}, nil
 }
 
@@ -76,6 +84,7 @@ func (z *Zoo) Infos() map[Name]Info {
 		SSDResNet34:  z.SSDResNet34.Info(),
 		SSDMobileNet: z.SSDMobileNet.Info(),
 		GNMT:         z.GNMT.Info(),
+		ResNet50Wide: z.WideResNet.Info(),
 	}
 }
 
@@ -92,6 +101,8 @@ func (z *Zoo) Weighted(n Name) (WeightedModel, error) {
 		return z.SSDMobileNet, nil
 	case GNMT:
 		return z.GNMT, nil
+	case ResNet50Wide:
+		return z.WideResNet, nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, n)
 	}

@@ -6,6 +6,17 @@
 // kernel invocation per layer over channel-major batch tensors, bit-identical
 // to per-sample execution (the benchmark leaves batching strategy to the
 // submitter, Section IV-A; here it is a pure scheduling decision).
+//
+// The recurrent stack is batch-first too: LSTMCell.StepBatch advances N
+// sequences as one matrix step (states stacked feature-major [H, N], one
+// packed GEMM per weight matrix with the gate nonlinearities fused in the
+// epilogue), Embedding.LookupBatch gathers a token batch into [Dim, N], and
+// Seq2Seq.TranslateBatch runs batched greedy decoding with an active-sentence
+// mask: ragged sentences drop out of the encoder batch as their prefixes end
+// and out of the decoder batch the step they emit EOS, so per-step cost
+// shrinks as sentences terminate. Every batched column is bit-identical to
+// the corresponding single-sequence call; see rnn_batch.go for the layout and
+// compaction contract.
 package nn
 
 import (

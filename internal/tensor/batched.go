@@ -166,7 +166,7 @@ func Conv2DBatchedInto(dst, input, kernels, bias *Tensor, opts Conv2DOptions, po
 
 	// Samples per panel: as many whole samples as keep k × panel columns
 	// within the cache budget.
-	spp := gemmPanelBytes / (4 * k * hw)
+	spp := GEMMPanelBytes() / (4 * k * hw)
 	if spp < 1 {
 		spp = 1
 	}
@@ -230,7 +230,7 @@ func Conv2DBatchedInto(dst, input, kernels, bias *Tensor, opts Conv2DOptions, po
 		colsPool.Put(buf)
 	}
 
-	if g.cout*k*n < parallelFlopThreshold || parallel.Default().Workers() == 1 || panels == 1 {
+	if g.cout*k*n < ParallelFlopThreshold() || parallel.Default().Workers() == 1 || panels == 1 {
 		// Serial path: one staging buffer, from the caller's arena when given.
 		if scratch != nil {
 			buf := scratch.Floats(k * spp * hw)
@@ -283,7 +283,7 @@ func DepthwiseConv2DBatchedInto(dst, input, kernels, bias *Tensor, opts Conv2DOp
 			applyPost(plane, post)
 		}
 	}
-	if planes*g.hOut*g.wOut*g.kh*g.kw < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+	if planes*g.hOut*g.wOut*g.kh*g.kw < ParallelFlopThreshold() || parallel.Default().Workers() == 1 {
 		run(0, planes)
 		return nil
 	}

@@ -62,12 +62,12 @@ func TestMatMulMatchesSerialRandomShapes(t *testing.T) {
 
 func TestMatMulMatchesSerialAboveParallelThreshold(t *testing.T) {
 	r := rand.New(rand.NewSource(12))
-	// 131×130×129 ≈ 2.2M MACs > parallelFlopThreshold, so the parallel
+	// 131×130×129 ≈ 2.2M MACs > ParallelFlopThreshold, so the parallel
 	// strip-partitioned path runs on multi-core hosts; the odd sizes force
 	// both the 4-row kernel and the remainder row/chunk boundaries.
 	m, k, n := 131, 130, 129
-	if m*k*n <= parallelFlopThreshold {
-		t.Fatalf("test workload %d MACs no longer exceeds parallelFlopThreshold %d", m*k*n, parallelFlopThreshold)
+	if m*k*n <= ParallelFlopThreshold() {
+		t.Fatalf("test workload %d MACs no longer exceeds ParallelFlopThreshold %d", m*k*n, ParallelFlopThreshold())
 	}
 	a := randFilled(r, m, k)
 	b := randFilled(r, k, n)
@@ -79,8 +79,8 @@ func TestMatMulMatchesSerialAboveParallelThreshold(t *testing.T) {
 func TestMatVecMatchesSerialAboveParallelThreshold(t *testing.T) {
 	r := rand.New(rand.NewSource(21))
 	m, k := 1031, 1030
-	if m*k <= parallelFlopThreshold {
-		t.Fatalf("test workload %d MACs no longer exceeds parallelFlopThreshold %d", m*k, parallelFlopThreshold)
+	if m*k <= ParallelFlopThreshold() {
+		t.Fatalf("test workload %d MACs no longer exceeds ParallelFlopThreshold %d", m*k, ParallelFlopThreshold())
 	}
 	a := randFilled(r, m, k)
 	x := randFilled(r, k)
@@ -177,9 +177,9 @@ func TestConv2DMatchesSerialAboveParallelThreshold(t *testing.T) {
 	bias := randFilled(r, 32)
 	opts := Conv2DOptions{Stride: 1, Padding: 1}
 	// 32 out-channels × (16·3·3) taps × (32·32) positions ≈ 4.7M MACs, above
-	// parallelFlopThreshold, so the GEMM runs its parallel path.
-	if 32*16*3*3*32*32 <= parallelFlopThreshold {
-		t.Fatalf("test workload no longer exceeds parallelFlopThreshold %d", parallelFlopThreshold)
+	// ParallelFlopThreshold, so the GEMM runs its parallel path.
+	if 32*16*3*3*32*32 <= ParallelFlopThreshold() {
+		t.Fatalf("test workload no longer exceeds ParallelFlopThreshold %d", ParallelFlopThreshold())
 	}
 	got, err := Conv2D(input, kernels, bias, opts)
 	if err != nil {
@@ -228,9 +228,9 @@ func TestDepthwiseConv2DMatchesSerialAboveParallelThreshold(t *testing.T) {
 	kernels := randFilled(r, 64, 3, 3)
 	opts := Conv2DOptions{Stride: 1, Padding: 1}
 	// 64 channels × (64·64) positions × 9 taps ≈ 2.4M MACs, above
-	// parallelFlopThreshold, so channels are distributed over the pool.
-	if 64*64*64*3*3 <= parallelFlopThreshold {
-		t.Fatalf("test workload no longer exceeds parallelFlopThreshold %d", parallelFlopThreshold)
+	// ParallelFlopThreshold, so channels are distributed over the pool.
+	if 64*64*64*3*3 <= ParallelFlopThreshold() {
+		t.Fatalf("test workload no longer exceeds ParallelFlopThreshold %d", ParallelFlopThreshold())
 	}
 	got, err := DepthwiseConv2D(input, kernels, nil, opts)
 	if err != nil {
@@ -249,7 +249,7 @@ func TestDepthwiseConv2DMatchesSerialAboveParallelThreshold(t *testing.T) {
 func TestKernelsDeterministicAcrossRuns(t *testing.T) {
 	r := rand.New(rand.NewSource(19))
 
-	// All three workloads sit above parallelFlopThreshold so the parallel
+	// All three workloads sit above ParallelFlopThreshold so the parallel
 	// paths (not just the inline fallbacks) are what repeat runs compare.
 	a := randFilled(r, 131, 130)
 	b := randFilled(r, 130, 129)

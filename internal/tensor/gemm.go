@@ -11,21 +11,17 @@ import "mlperf/internal/parallel"
 // for finite inputs, match the serial reference (which skips zero A terms —
 // a no-op except for Inf/NaN operands) bit-for-bit on amd64.
 
-// parallelFlopThreshold is the approximate multiply-accumulate count below
-// which forking to the worker pool costs more than it saves and kernels stay
-// on the calling goroutine. Roughly half a millisecond of serial work — far
-// above the fork overhead, and high enough that the miniature reference
-// models run single-sample inference entirely inline, keeping their
-// steady-state path allocation-free (the parallel fork allocates a small
-// closure) and leaving cross-sample parallelism to the backend's batch path.
-const parallelFlopThreshold = 1 << 20
+// The parallel-dispatch threshold and the panel cache budget live in
+// tuning.go (ParallelFlopThreshold / GEMMPanelBytes): both are
+// 1-core-calibrated defaults overridable per process via environment or
+// backend configuration, and neither changes results — only scheduling.
 
 // gemmInto computes C = A×B into c, where a is m×k, b is k×n and c is m×n.
 // When bias is non-nil it must have length m and is added to every element of
 // the corresponding output row (the im2col convolution's per-channel bias).
 // c is fully overwritten; it may be uninitialized arena memory.
 func gemmInto(c, a, b, bias []float32, m, k, n int) {
-	if m*k*n < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+	if m*k*n < ParallelFlopThreshold() || parallel.Default().Workers() == 1 {
 		gemmRows(c, a, b, bias, k, n, 0, m)
 		return
 	}
@@ -38,8 +34,9 @@ func gemmInto(c, a, b, bias []float32, m, k, n int) {
 // gemmRowGrain picks a row-strip size that yields several chunks per worker
 // while keeping each chunk above the fork overhead.
 func gemmRowGrain(m, k, n int) int {
+	threshold := ParallelFlopThreshold()
 	grain := m / (4 * parallel.Default().Workers())
-	for grain > 1 && (grain/2)*k*n >= parallelFlopThreshold {
+	for grain > 1 && (grain/2)*k*n >= threshold {
 		grain /= 2
 	}
 	if grain < 1 {
@@ -48,19 +45,17 @@ func gemmRowGrain(m, k, n int) int {
 	return grain
 }
 
-// gemmPanelBytes is the cache budget for one column panel of B (k × panel
-// float32s). Wide right-hand sides — the batched convolution's im2col matrix
-// spans every sample of a merged query — are processed panel by panel so the
-// streamed B rows stay resident across the row groups instead of thrashing
-// the cache once per four output rows.
-const gemmPanelBytes = 192 << 10
-
-// gemmPanelCols picks the column-panel width for a k×n right-hand side.
+// gemmPanelCols picks the column-panel width for a k×n right-hand side. Wide
+// right-hand sides — the batched convolution's im2col matrix spans every
+// sample of a merged query — are processed panel by panel so the streamed B
+// rows stay resident across the row groups instead of thrashing the cache
+// once per four output rows.
 func gemmPanelCols(k, n int) int {
-	if k*n*4 <= gemmPanelBytes {
+	budget := GEMMPanelBytes()
+	if k*n*4 <= budget {
 		return n
 	}
-	p := gemmPanelBytes / (4 * k)
+	p := budget / (4 * k)
 	if p < 64 {
 		p = 64
 	}
@@ -70,14 +65,28 @@ func gemmPanelCols(k, n int) int {
 	return p
 }
 
-// gemmRows computes output rows [i0, i1) of C = A×B (+ bias), iterating
-// cache-sized column panels of B (see gemmPanelCols); within a panel the core
+// gemmDotBytes is the right-hand-side size below which gemmRows switches
+// from the streaming axpy kernel to the register-accumulating dot kernel.
+// The axpy form updates every output element k times through memory — the
+// right trade when B is wide and streamed once per four output rows — but
+// for a narrow B that lives in L1 (the batched RNN's [k, N] step inputs with
+// N bounded by the micro-batch cap) those k read-modify-writes dominate, and
+// dot-form register accumulation is several times faster.
+const gemmDotBytes = 16 << 10
+
+// gemmRows computes output rows [i0, i1) of C = A×B (+ bias). Narrow
+// L1-resident right-hand sides take the dot kernel; wide ones iterate
+// cache-sized column panels of B (see gemmPanelCols), within which the core
 // processes four output rows at a time in axpy form, so each streamed row of
-// B is loaded once and folded into four accumulator rows. Every output
-// element is produced within exactly one panel and accumulates in ascending-p
-// order regardless of panel width or row grouping, matching the serial
-// reference bit for bit.
+// B is loaded once and folded into four accumulator rows. Either way every
+// output element starts from the bias (zero when nil) and accumulates in
+// ascending-p order regardless of kernel choice, panel width or row
+// grouping, matching the serial reference bit for bit.
 func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
+	if 4*k*n <= gemmDotBytes {
+		gemmDotRows(c, a, b, bias, k, n, i0, i1)
+		return
+	}
 	panel := gemmPanelCols(k, n)
 	for j0 := 0; j0 < n; j0 += panel {
 		jn := panel
@@ -85,6 +94,104 @@ func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
 			jn = n - j0
 		}
 		gemmRowsPanel(c, a, b, bias, k, n, i0, i1, j0, n, j0, jn, PostNone)
+	}
+}
+
+// gemmDotRows computes output rows [i0, i1) of C = A×B (+ bias) with four
+// register accumulators per row sweep, writing each output element exactly
+// once. Each 4-column block of B is first packed into contiguous column
+// vectors — one strided sweep reused by every output row, which also lets
+// the compiler drop the inner loop's bounds checks. Per element the
+// arithmetic is identical to the axpy kernel: start from the bias, add
+// a[i,p]*b[p,j] in ascending p.
+func gemmDotRows(c, a, b, bias []float32, k, n, i0, i1 int) {
+	if n == 1 {
+		// Column vector: the matVec inner loop, seeded with the bias.
+		x := b[:k]
+		for i := i0; i < i1; i++ {
+			row := a[i*k : i*k+k]
+			var s float32
+			if bias != nil {
+				s = bias[i]
+			}
+			for p, v := range x {
+				s += row[p] * v
+			}
+			c[i] = s
+		}
+		return
+	}
+	// gemmDotBytes bounds k*n to 4096 floats, and the blocked path below
+	// needs n >= 4, so 4 columns of k floats always fit.
+	var colBuf [4096]float32
+	for j := 0; j+4 <= n; j += 4 {
+		b0 := colBuf[0*k : 0*k+k]
+		b1 := colBuf[1*k : 1*k+k]
+		b2 := colBuf[2*k : 2*k+k]
+		b3 := colBuf[3*k : 3*k+k]
+		for p := 0; p < k; p++ {
+			off := p*n + j
+			b0[p], b1[p], b2[p], b3[p] = b[off], b[off+1], b[off+2], b[off+3]
+		}
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : i*k+k]
+			d0, d1, d2, d3 := b0[:len(arow)], b1[:len(arow)], b2[:len(arow)], b3[:len(arow)]
+			var s0, s1, s2, s3 float32
+			if bias != nil {
+				s0 = bias[i]
+				s1, s2, s3 = s0, s0, s0
+			}
+			for p, av := range arow {
+				s0 += av * d0[p]
+				s1 += av * d1[p]
+				s2 += av * d2[p]
+				s3 += av * d3[p]
+			}
+			crow := c[i*n+j : i*n+j+4]
+			crow[0], crow[1], crow[2], crow[3] = s0, s1, s2, s3
+		}
+	}
+	j := n - n%4
+	if j+2 <= n {
+		b0 := colBuf[0*k : 0*k+k]
+		b1 := colBuf[1*k : 1*k+k]
+		for p := 0; p < k; p++ {
+			off := p*n + j
+			b0[p], b1[p] = b[off], b[off+1]
+		}
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : i*k+k]
+			d0, d1 := b0[:len(arow)], b1[:len(arow)]
+			var s0, s1 float32
+			if bias != nil {
+				s0 = bias[i]
+				s1 = s0
+			}
+			for p, av := range arow {
+				s0 += av * d0[p]
+				s1 += av * d1[p]
+			}
+			c[i*n+j], c[i*n+j+1] = s0, s1
+		}
+		j += 2
+	}
+	if j < n {
+		b0 := colBuf[:k]
+		for p := 0; p < k; p++ {
+			b0[p] = b[p*n+j]
+		}
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : i*k+k]
+			d0 := b0[:len(arow)]
+			var s float32
+			if bias != nil {
+				s = bias[i]
+			}
+			for p, av := range arow {
+				s += av * d0[p]
+			}
+			c[i*n+j] = s
+		}
 	}
 }
 
@@ -176,7 +283,7 @@ func gemmRowsPanel(c, a, b, bias []float32, k, n, i0, i1, bOff, bStride, j0, jn 
 
 // matVecInto computes y = A×x for a in m×k layout, overwriting y.
 func matVecInto(y, a, x []float32, m, k int) {
-	if m*k < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+	if m*k < ParallelFlopThreshold() || parallel.Default().Workers() == 1 {
 		matVecRows(y, a, x, k, 0, m)
 		return
 	}

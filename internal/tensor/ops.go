@@ -197,7 +197,7 @@ func conv2dCompute(out, input, kernels, bias *Tensor, opts Conv2DOptions, g conv
 func im2col(cols, in []float32, opts Conv2DOptions, g convGeom) {
 	rows := g.cin * g.kh * g.kw
 	n := g.hOut * g.wOut
-	if rows*n < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+	if rows*n < ParallelFlopThreshold() || parallel.Default().Workers() == 1 {
 		im2colRows(cols, in, opts, g, 0, rows)
 		return
 	}
@@ -341,7 +341,7 @@ func depthwiseCompute(out, input, kernels, bias *Tensor, opts Conv2DOptions, g d
 	if bias != nil {
 		biasData = bias.data
 	}
-	if g.c*g.hOut*g.wOut*g.kh*g.kw < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+	if g.c*g.hOut*g.wOut*g.kh*g.kw < ParallelFlopThreshold() || parallel.Default().Workers() == 1 {
 		depthwiseChannels(out.data, input.data, kernels.data, biasData, opts, g, 0, g.c)
 		return
 	}
@@ -448,7 +448,7 @@ func maxPoolGeometry(input *Tensor, window, stride int) (c, hOut, wOut int, err 
 
 func maxPoolCompute(out, input *Tensor, window, stride, hOut, wOut int) {
 	c := input.shape[0]
-	if c*hOut*wOut*window*window < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+	if c*hOut*wOut*window*window < ParallelFlopThreshold() || parallel.Default().Workers() == 1 {
 		maxPoolChannels(out, input, window, stride, hOut, wOut, 0, c)
 		return
 	}
@@ -510,7 +510,7 @@ func GlobalAvgPool2DInto(dst, input *Tensor) error {
 
 func globalAvgPoolCompute(out, input *Tensor) {
 	c, h, w := input.shape[0], input.shape[1], input.shape[2]
-	if c*h*w < parallelFlopThreshold || parallel.Default().Workers() == 1 {
+	if c*h*w < ParallelFlopThreshold() || parallel.Default().Workers() == 1 {
 		globalAvgPoolChannels(out, input, 0, c)
 		return
 	}

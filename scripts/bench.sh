@@ -4,19 +4,21 @@
 # Gates the tree with `go vet` and `go test -race`, then runs the
 # compute-kernel, native-classifier and batch-first Engine benchmarks
 # (serial reference vs blocked/parallel engine, heap vs scratch-arena
-# inference, batched Predict vs the per-sample loop at batch 1/8/32, and the
-# offline scenario end to end) and writes the aggregated numbers to a JSON
-# file (default BENCH_PR2.json) so speedups and allocation counts are
-# recorded in the repository alongside the code they measure.
+# inference, batched Predict vs the per-sample loop at batch 1/8/32 for the
+# CNN and recurrent engines, the weight-streaming wide classifier, and the
+# offline classification/translation scenarios end to end) and writes the
+# aggregated numbers to a JSON file (default BENCH_PR3.json) so speedups and
+# allocation counts are recorded in the repository alongside the code they
+# measure.
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR2.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR3.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR2.json}"
+OUT="${OUT:-BENCH_PR3.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
@@ -26,7 +28,8 @@ fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'Kernel|NativeClassifier|BatchedPredict|OfflineBatched' \
+go test -run '^$' \
+    -bench 'Kernel|NativeClassifier|BatchedPredict|OfflineBatched|GNMTBatchedDecode|WideBatchedPredict|OfflineGNMT' \
     -benchmem -count "$COUNT" . | tee "$raw"
 
 awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -46,9 +49,9 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 }
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 function avg(arr, name) { return runs[name] > 0 ? arr[name] / runs[name] : 0 }
-function speedup(model, batch) {
-    p = "BenchmarkBatchedPredict/" model "/batch" batch "/persample"
-    b = "BenchmarkBatchedPredict/" model "/batch" batch "/batched"
+function speedup(prefix, batch) {
+    p = prefix "/batch" batch "/persample"
+    b = prefix "/batch" batch "/batched"
     return avg(ns, b) > 0 ? avg(ns, p) / avg(ns, b) : 0
 }
 END {
@@ -81,11 +84,17 @@ END {
         avg(allocs, "BenchmarkNativeClassifier/mobilenet/heap"), \
         avg(allocs, "BenchmarkNativeClassifier/mobilenet/scratch")
     printf "    \"resnet50_batched_predict_speedup_vs_persample\": {\"batch1\": %.3f, \"batch8\": %.3f, \"batch32\": %.3f},\n", \
-        speedup("resnet50", 1), speedup("resnet50", 8), speedup("resnet50", 32)
+        speedup("BenchmarkBatchedPredict/resnet50", 1), speedup("BenchmarkBatchedPredict/resnet50", 8), speedup("BenchmarkBatchedPredict/resnet50", 32)
     printf "    \"mobilenet_batched_predict_speedup_vs_persample\": {\"batch1\": %.3f, \"batch8\": %.3f, \"batch32\": %.3f},\n", \
-        speedup("mobilenet", 1), speedup("mobilenet", 8), speedup("mobilenet", 32)
-    printf "    \"offline_scenario_batched_vs_persample_throughput\": [%.1f, %.1f]\n", \
+        speedup("BenchmarkBatchedPredict/mobilenet", 1), speedup("BenchmarkBatchedPredict/mobilenet", 8), speedup("BenchmarkBatchedPredict/mobilenet", 32)
+    printf "    \"gnmt_batched_decode_speedup_vs_serial\": {\"batch1\": %.3f, \"batch8\": %.3f, \"batch32\": %.3f},\n", \
+        speedup("BenchmarkGNMTBatchedDecode", 1), speedup("BenchmarkGNMTBatchedDecode", 8), speedup("BenchmarkGNMTBatchedDecode", 32)
+    printf "    \"wide_classifier_batched_speedup_vs_persample\": {\"batch1\": %.3f, \"batch8\": %.3f, \"batch32\": %.3f},\n", \
+        speedup("BenchmarkWideBatchedPredict", 1), speedup("BenchmarkWideBatchedPredict", 8), speedup("BenchmarkWideBatchedPredict", 32)
+    printf "    \"offline_scenario_batched_vs_persample_throughput\": [%.1f, %.1f],\n", \
         avg(sps, "BenchmarkOfflineBatched/batched"), avg(sps, "BenchmarkOfflineBatched/persample")
+    printf "    \"offline_translation_batched_vs_persample_throughput\": [%.1f, %.1f]\n", \
+        avg(sps, "BenchmarkOfflineGNMT/batched"), avg(sps, "BenchmarkOfflineGNMT/persample")
     printf "  }\n"
     printf "}\n"
 }' "$raw" > "$OUT"
