@@ -22,6 +22,7 @@ import (
 	"mlperf/internal/loadgen"
 	"mlperf/internal/model"
 	"mlperf/internal/quantize"
+	"mlperf/internal/serve"
 	"mlperf/internal/simhw"
 	"mlperf/internal/stats"
 	"mlperf/internal/tensor"
@@ -642,6 +643,151 @@ func BenchmarkOfflineGNMT(b *testing.B) {
 			b.ReportMetric(throughput, "samples/s")
 		})
 	}
+}
+
+// --- Network serving: the same engine as an in-process SUT vs served over a
+// loopback TCP socket (internal/serve + backend.Remote). The remote variants
+// also report the server's queue/service p99 breakdown, the quantities an
+// in-process SUT cannot exhibit. ---
+
+// servingStack builds the MobileNet engine + QSL pair the serving benchmarks
+// share.
+func servingStack(b *testing.B) (model.Engine, *dataset.QSL) {
+	b.Helper()
+	m, err := model.NewMobileNetV1Mini(model.ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.NewSyntheticImages(dataset.ImageConfig{
+		Samples: 64, Classes: 10, Channels: 3, Height: 16, Width: 16, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, qsl
+}
+
+// startServing deploys engine behind a loopback serve.Server with a connected
+// Remote, cleaned up when the benchmark ends.
+func startServing(b *testing.B, engine model.Engine, qsl *dataset.QSL) (*serve.Server, *backend.Remote) {
+	b.Helper()
+	srv, err := serve.New(serve.Config{Engine: engine, Store: qsl, BatchWait: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	remote, err := backend.NewRemote(backend.RemoteConfig{Addr: srv.Addr(), Conns: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { remote.Close() })
+	return srv, remote
+}
+
+// BenchmarkServingServer runs the Server scenario end to end, in-process vs
+// over the wire. One op is one complete LoadGen run; "qps" is the achieved
+// rate of the last run.
+func BenchmarkServingServer(b *testing.B) {
+	engine, qsl := servingStack(b)
+	settings := loadgen.DefaultSettings(loadgen.Server)
+	settings.MinQueryCount = 256
+	settings.MinDuration = 0
+	settings.ServerTargetQPS = 1000
+	settings.ServerTargetLatency = 100 * time.Millisecond
+
+	native, err := backend.NewNative(backend.NativeConfig{Engine: engine, Store: qsl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inprocess", func(b *testing.B) {
+		var qps float64
+		for i := 0; i < b.N; i++ {
+			res, err := loadgen.StartTest(native, qsl, settings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qps = res.ServerAchievedQPS
+		}
+		native.Wait()
+		b.ReportMetric(qps, "qps")
+	})
+
+	srv, remote := startServing(b, engine, qsl)
+	b.Run("remote", func(b *testing.B) {
+		var qps float64
+		for i := 0; i < b.N; i++ {
+			res, err := loadgen.StartTest(remote, qsl, settings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ResponsesDropped > 0 {
+				b.Fatalf("%d responses dropped", res.ResponsesDropped)
+			}
+			qps = res.ServerAchievedQPS
+		}
+		remote.Wait()
+		if errs := remote.Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		snap := srv.Metrics()
+		b.ReportMetric(qps, "qps")
+		b.ReportMetric(float64(snap.QueueP99), "queue_p99_ns")
+		b.ReportMetric(float64(snap.ServiceP99), "service_p99_ns")
+	})
+}
+
+// BenchmarkServingOffline runs the Offline scenario's single merged query
+// through both SUT forms: the remote path streams samples under client flow
+// control while the server's dynamic batcher re-coalesces them.
+func BenchmarkServingOffline(b *testing.B) {
+	engine, qsl := servingStack(b)
+	settings := loadgen.DefaultSettings(loadgen.Offline)
+	settings.MinSampleCount = 2048
+	settings.MinDuration = 0
+
+	native, err := backend.NewNative(backend.NativeConfig{Engine: engine, Store: qsl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inprocess", func(b *testing.B) {
+		var tput float64
+		for i := 0; i < b.N; i++ {
+			res, err := loadgen.StartTest(native, qsl, settings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tput = res.OfflineSamplesPerSec
+		}
+		native.Wait()
+		b.ReportMetric(tput, "samples/s")
+	})
+
+	srv, remote := startServing(b, engine, qsl)
+	b.Run("remote", func(b *testing.B) {
+		var tput float64
+		for i := 0; i < b.N; i++ {
+			res, err := loadgen.StartTest(remote, qsl, settings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ResponsesDropped > 0 {
+				b.Fatalf("%d responses dropped", res.ResponsesDropped)
+			}
+			tput = res.OfflineSamplesPerSec
+		}
+		remote.Wait()
+		if errs := remote.Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		snap := srv.Metrics()
+		b.ReportMetric(tput, "samples/s")
+		b.ReportMetric(float64(snap.QueueP99), "queue_p99_ns")
+		b.ReportMetric(float64(snap.ServiceP99), "service_p99_ns")
+	})
 }
 
 // --- Statistical machinery. ---

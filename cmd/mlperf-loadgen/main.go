@@ -1,6 +1,7 @@
-// Command mlperf-loadgen runs one benchmark: a task and scenario against
-// either the native reference implementation or a simulated platform from the
-// catalogue, in performance mode and optionally accuracy mode.
+// Command mlperf-loadgen runs one benchmark: a task and scenario against the
+// native reference implementation, a simulated platform from the catalogue,
+// or a remote mlperf-serve instance across the network, in performance mode
+// and optionally accuracy mode.
 //
 // Examples:
 //
@@ -8,6 +9,14 @@
 //	mlperf-loadgen -task machine-translation -scenario Offline -accuracy
 //	mlperf-loadgen -task image-classification-heavy -scenario Server \
 //	    -backend simulated -platform dc-gpu-g1 -scale 256
+//	mlperf-loadgen -task image-classification-light -scenario Server \
+//	    -backend remote -addr 127.0.0.1:9090
+//
+// The remote backend drives an mlperf-serve started with the same -task,
+// -samples and -seed (model weights and data are derived deterministically
+// from them, so over-the-wire responses stay bit-identical to in-process
+// inference — including for -accuracy runs, which score remote responses
+// against the local ground truth).
 package main
 
 import (
@@ -28,8 +37,10 @@ func main() {
 	var (
 		taskName     = flag.String("task", string(core.ImageClassificationLight), "benchmark task")
 		scenarioName = flag.String("scenario", "SingleStream", "SingleStream, MultiStream, Server or Offline")
-		backendName  = flag.String("backend", "native", "native or simulated")
+		backendName  = flag.String("backend", "native", "native, simulated or remote")
 		platformName = flag.String("platform", "desktop-cpu-c1", "simulated platform (with -backend simulated)")
+		remoteAddr   = flag.String("addr", "127.0.0.1:9090", "mlperf-serve address (with -backend remote)")
+		deadline     = flag.Duration("deadline", 0, "per-request deadline stamped by the remote backend (0 = none)")
 		accuracyRun  = flag.Bool("accuracy", false, "also run accuracy mode and score quality")
 		scale        = flag.Int("scale", 128, "divide the production query counts and duration by this factor (1 = full production run)")
 		samples      = flag.Int("samples", 128, "synthetic data-set size")
@@ -57,9 +68,11 @@ func main() {
 		fatal(err)
 	}
 
-	// Optionally swap the SUT for a simulated platform while keeping the
-	// task's data set and settings.
-	if *backendName == "simulated" {
+	// Optionally swap the SUT for a simulated platform or a remote serving
+	// instance while keeping the task's data set and settings.
+	switch *backendName {
+	case "native":
+	case "simulated":
 		platform, err := simhw.FindPlatform(*platformName)
 		if err != nil {
 			fatal(err)
@@ -74,16 +87,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		assembly.SUT = sut
-	} else if *backendName != "native" {
-		fatal(fmt.Errorf("unknown backend %q (want native or simulated)", *backendName))
+		assembly.SetSUT(sut)
+	case "remote":
+		remote, err := backend.NewRemote(backend.RemoteConfig{
+			Addr: *remoteAddr, Name: fmt.Sprintf("%s@%s", spec.ReferenceModel, *remoteAddr),
+			Deadline: *deadline,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer remote.Close()
+		assembly.SetSUT(remote)
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want native, simulated or remote)", *backendName))
 	}
 
 	settings := harness.QuickSettings(spec, scenario, *scale)
 	report, err := harness.Run(assembly, harness.RunOptions{
 		Scenario:    scenario,
 		Settings:    &settings,
-		RunAccuracy: *accuracyRun && *backendName == "native",
+		RunAccuracy: *accuracyRun && *backendName != "simulated",
 	})
 	if err != nil {
 		fatal(err)
@@ -98,6 +121,13 @@ func main() {
 	fmt.Printf("metric:      %.4g (%s)\n", perf.MetricValue(), perf.MetricName())
 	fmt.Printf("p50/p90/p99: %v / %v / %v\n", perf.QueryLatencies.P50, perf.QueryLatencies.P90, perf.QueryLatencies.P99)
 	fmt.Printf("valid:       %v %v\n", perf.Valid, perf.ValidityMessages)
+	if remote, ok := assembly.SUT.(*backend.Remote); ok {
+		fmt.Printf("shed:        %d rejected, %d expired\n", remote.Rejected(), remote.Expired())
+		if snap, err := remote.ServerMetrics(); err == nil {
+			fmt.Printf("serving:     queue p50/p99 %v/%v, service p50/p99 %v/%v, batches to %d\n",
+				snap.QueueP50, snap.QueueP99, snap.ServiceP50, snap.ServiceP99, snap.MaxBatch)
+		}
+	}
 	if report.Accuracy != nil {
 		fmt.Printf("accuracy:    %s\n", report.Accuracy)
 	}

@@ -1,0 +1,100 @@
+// Command mlperf-serve exposes a benchmark task's reference model over a
+// network socket: it builds the task's zoo model and synthetic data set
+// exactly as mlperf-loadgen does (same -samples/-seed ⇒ same weights and
+// samples, so responses are bit-identical to an in-process run), then serves
+// inference requests — with dynamic batching, bounded admission and
+// per-request deadlines — until interrupted.
+//
+// Drive it from another process with mlperf-loadgen's remote backend:
+//
+//	mlperf-serve -task image-classification-light -addr 127.0.0.1:9090 \
+//	    -samples 128 -seed 42 &
+//	mlperf-loadgen -task image-classification-light -scenario Server \
+//	    -backend remote -addr 127.0.0.1:9090 -samples 128 -seed 42
+//
+// On SIGINT/SIGTERM the server drains admitted work and prints its serving
+// metrics (queue depth, batch-size histogram, queue/service latency
+// percentiles, rejects) as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/serve"
+)
+
+func main() {
+	var (
+		taskName  = flag.String("task", string(core.ImageClassificationLight), "benchmark task whose reference model to serve")
+		addr      = flag.String("addr", "127.0.0.1:9090", "listen address")
+		samples   = flag.Int("samples", 128, "synthetic data-set size (must match the driving loadgen)")
+		seed      = flag.Uint64("seed", 42, "model/data seed (must match the driving loadgen)")
+		workers   = flag.Int("workers", 0, "inference workers (0 = all cores)")
+		queue     = flag.Int("queue", 1024, "admission queue depth")
+		policy    = flag.String("policy", "reject", "overload policy: reject or shed-oldest")
+		maxBatch  = flag.Int("max-batch", 0, "dynamic batch cap (0 = the engine's derived micro-batch)")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "how long to hold an under-full batch open")
+	)
+	flag.Parse()
+
+	overload, err := serve.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	assembly, err := harness.BuildNative(core.Task(*taskName), harness.BuildOptions{
+		DatasetSamples: *samples, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// The serving side owns sample residency: load the whole data set before
+	// accepting traffic (the untimed load of the benchmark rules — the remote
+	// LoadGen's own LoadSamplesToRAM applies to its local copy only).
+	all := make([]int, assembly.QSL.TotalSampleCount())
+	for i := range all {
+		all[i] = i
+	}
+	if err := assembly.QSL.LoadSamplesToRAM(all); err != nil {
+		fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Engine: assembly.Engine, Store: assembly.QSL, Addr: *addr,
+		Workers: *workers, QueueDepth: *queue, Policy: overload,
+		MaxBatch: *maxBatch, BatchWait: *batchWait,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	started := srv.Metrics()
+	fmt.Printf("serving %s (%s) on %s\n", assembly.Info.Name, assembly.Spec.Task, srv.Addr())
+	fmt.Printf("workers=%d max-batch=%d queue=%d policy=%s batch-wait=%v\n",
+		started.Workers, started.MaxBatch, *queue, overload, *batchWait)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	snap := srv.Metrics()
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nserving metrics:\n%s\n", out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlperf-serve:", err)
+	os.Exit(1)
+}

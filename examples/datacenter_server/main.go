@@ -2,12 +2,19 @@
 // consumer-facing services) where queries arrive as a Poisson process and
 // must be answered within a QoS bound.
 //
-// The example demonstrates the two sides of the server scenario:
+// The example demonstrates three views of the server scenario:
 //
-//  1. A wall-clock LoadGen run against the native MobileNet backend wrapped in
-//     a dynamic batcher, showing how batching trades latency for throughput.
+//  1. A wall-clock LoadGen run against the native MobileNet backend — direct,
+//     and wrapped in an in-process dynamic batcher — showing how batching
+//     trades latency for throughput.
 //
-//  2. A virtual-time sweep over data-center platforms from the catalogue,
+//  2. The same engine served over a real network boundary: a loopback
+//     serve.Server (bounded admission queue, dynamic batching, worker pool)
+//     driven by backend.Remote, side by side with the in-process run, plus
+//     the server's own latency breakdown (queue vs service time) — the
+//     phenomena an in-process SUT cannot exhibit.
+//
+//  3. A virtual-time sweep over data-center platforms from the catalogue,
 //     searching for the highest Poisson rate each sustains under Table III's
 //     latency bound, and comparing it to the unconstrained offline throughput
 //     (the Figure 6 analysis for a single task).
@@ -24,6 +31,7 @@ import (
 	"mlperf/internal/core"
 	"mlperf/internal/harness"
 	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
 	"mlperf/internal/simhw"
 )
 
@@ -43,6 +51,12 @@ func main() {
 	settings.ServerTargetQPS = 300
 	settings.ServerTargetLatency = 50 * time.Millisecond
 
+	report := func(label string, res *loadgen.Result) {
+		fmt.Printf("  %-22s achieved %6.1f QPS, p99 %9v, violations %.2f%%, dropped %d, valid=%v\n",
+			label, res.ServerAchievedQPS, res.QueryLatencies.P99,
+			100*res.LatencyBoundViolations, res.ResponsesDropped, res.Valid)
+	}
+
 	plain, err := loadgen.StartTest(assembly.SUT, assembly.QSL, settings)
 	if err != nil {
 		log.Fatal(err)
@@ -56,12 +70,47 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("== native MobileNet, server scenario at 300 QPS offered (wall clock, scaled down) ==")
-	fmt.Printf("  %-22s achieved %6.1f QPS, p99 %9v, violations %.2f%%, valid=%v\n",
-		"direct backend", plain.ServerAchievedQPS, plain.QueryLatencies.P99, 100*plain.LatencyBoundViolations, plain.Valid)
-	fmt.Printf("  %-22s achieved %6.1f QPS, p99 %9v, violations %.2f%%, valid=%v\n",
-		"with dynamic batching", batched.ServerAchievedQPS, batched.QueryLatencies.P99, 100*batched.LatencyBoundViolations, batched.Valid)
+	report("in-process direct", plain)
+	report("in-process batching", batched)
 
-	// Part 2: virtual-time sweep across data-center platforms for the heavy
+	// Part 2: the same engine behind a loopback network server. The LoadGen
+	// is unchanged — only the SUT now crosses a socket, with admission
+	// control and server-side dynamic batching on the measured path.
+	dep, err := assembly.ServeLoopback(harness.ServeOptions{
+		Server: serve.Config{QueueDepth: 256, BatchWait: 2 * time.Millisecond},
+		Client: backend.RemoteConfig{Conns: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	remote, err := loadgen.StartTest(dep.Assembly.SUT, dep.Assembly.QSL, settings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep.Remote.Wait()
+	if errs := dep.Remote.Errors(); len(errs) > 0 {
+		log.Fatalf("remote SUT reported %d errors, first: %v", len(errs), errs[0])
+	}
+	report("over-the-wire (TCP)", remote)
+	snap := dep.Server.Metrics()
+	fmt.Printf("  %-22s queue p50/p99 %v/%v, service p50/p99 %v/%v\n",
+		"serving breakdown", snap.QueueP50, snap.QueueP99, snap.ServiceP50, snap.ServiceP99)
+	fmt.Printf("  %-22s ", "batch histogram")
+	prevLe := 0
+	for _, b := range snap.BatchHistogram {
+		if b.Count > 0 {
+			if b.Le == 0 { // unbounded overflow bucket
+				fmt.Printf(">%d=%d ", prevLe, b.Count)
+			} else {
+				fmt.Printf("≤%d=%d ", b.Le, b.Count)
+			}
+		}
+		prevLe = b.Le
+	}
+	fmt.Printf("(rejected %d, shed %d, expired %d)\n", snap.Rejected, snap.Shed, snap.Expired)
+
+	// Part 3: virtual-time sweep across data-center platforms for the heavy
 	// classification task (ResNet-50, 15 ms QoS bound).
 	heavySpec, err := core.Spec(core.ImageClassificationHeavy)
 	if err != nil {

@@ -22,6 +22,19 @@ import (
 // re-arming the MaxWait timer with no flush in sight. Reopen re-arms the
 // batcher for a new series; loadgen.StartTest calls it automatically at the
 // start of every run, so a batcher reused across runs batches in each one.
+//
+// Concurrency: IssueQuery, FlushQueries, Flush and Reopen are safe to call
+// from any number of goroutines — the serve worker pool and multi-connection
+// SUT drivers do exactly that. All buffer and timer state is guarded by one
+// mutex; batch hand-off transfers ownership of the pending slice under it, so
+// a sample is forwarded exactly once no matter how IssueQuery and the two
+// flush paths (size trigger, timer) interleave, and responses route back
+// through Query.Complete, which tolerates completion from several merged
+// batches concurrently. One ordering caveat is inherent: a MaxWait timer that
+// fires concurrently with FlushQueries may forward its batch to the inner SUT
+// after the inner SUT's own FlushQueries ran; inner SUTs must treat
+// IssueQuery-after-flush as valid traffic (ours do — Native never buffers and
+// serve-backed SUTs are in pass-through by then).
 type Batching struct {
 	inner    loadgen.SUT
 	maxBatch int

@@ -1,0 +1,156 @@
+package backend
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlperf/internal/loadgen"
+)
+
+// countingSUT records every sample it is asked to infer, thread-safely.
+type countingSUT struct {
+	mu      sync.Mutex
+	seen    map[uint64]int // sample ID -> times issued
+	queries atomic.Int64
+}
+
+func newCountingSUT() *countingSUT { return &countingSUT{seen: make(map[uint64]int)} }
+
+func (c *countingSUT) Name() string { return "counting" }
+
+func (c *countingSUT) IssueQuery(q *loadgen.Query) {
+	c.queries.Add(1)
+	responses := make([]loadgen.Response, len(q.Samples))
+	c.mu.Lock()
+	for i, s := range q.Samples {
+		c.seen[s.ID]++
+		responses[i] = loadgen.Response{SampleID: s.ID, Data: []byte{1}}
+	}
+	c.mu.Unlock()
+	q.Complete(responses)
+}
+
+func (c *countingSUT) FlushQueries() {}
+
+// TestBatchingConcurrentIssuers hammers one Batching wrapper from many
+// goroutines — interleaving IssueQuery, FlushQueries, Flush and Reopen the
+// way the serve worker pool and multi-connection drivers do — and verifies
+// under the race detector that every sample is forwarded to the inner SUT
+// exactly once and every query completes exactly once.
+func TestBatchingConcurrentIssuers(t *testing.T) {
+	inner := newCountingSUT()
+	b, err := NewBatching(inner, 4, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		issuers    = 8
+		perIssuer  = 64
+		totalJobs  = issuers * perIssuer
+		sampleBase = 1000
+	)
+	var completions atomic.Int64
+	done := make(chan struct{}, totalJobs)
+	var wg sync.WaitGroup
+	for g := 0; g < issuers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perIssuer; i++ {
+				id := uint64(sampleBase + g*perIssuer + i)
+				q := &loadgen.Query{ID: id, Samples: []loadgen.QuerySample{{ID: id, Index: int(id)}}}
+				q.SetCompletionHandler(func(_ *loadgen.Query, rs []loadgen.Response) {
+					if len(rs) != 1 || rs[0].SampleID != id {
+						t.Errorf("query %d completed with %v", id, rs)
+					}
+					completions.Add(1)
+					done <- struct{}{}
+				})
+				b.IssueQuery(q)
+				// Sprinkle control-path calls into the middle of the traffic.
+				switch i % 16 {
+				case 5:
+					b.Flush()
+				case 9:
+					b.FlushQueries()
+				case 13:
+					b.Reopen()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.FlushQueries()
+
+	timeout := time.After(30 * time.Second)
+	for n := 0; n < totalJobs; n++ {
+		select {
+		case <-done:
+		case <-timeout:
+			t.Fatalf("only %d of %d queries completed", completions.Load(), totalJobs)
+		}
+	}
+
+	inner.mu.Lock()
+	defer inner.mu.Unlock()
+	if len(inner.seen) != totalJobs {
+		t.Errorf("inner SUT saw %d distinct samples, want %d", len(inner.seen), totalJobs)
+	}
+	for id, times := range inner.seen {
+		if times != 1 {
+			t.Errorf("sample %d forwarded %d times", id, times)
+		}
+	}
+}
+
+// TestBatchingConcurrentMultiSampleQueries covers the merge/demux path under
+// concurrency: multi-sample queries from several goroutines must each
+// complete exactly once with all their samples answered.
+func TestBatchingConcurrentMultiSampleQueries(t *testing.T) {
+	inner := newCountingSUT()
+	b, err := NewBatching(inner, 8, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const issuers, queriesPer, samplesPer = 4, 32, 3
+	var wg sync.WaitGroup
+	results := make(chan int, issuers*queriesPer)
+	var next atomic.Uint64
+	for g := 0; g < issuers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPer; i++ {
+				q := &loadgen.Query{ID: next.Add(1)}
+				for s := 0; s < samplesPer; s++ {
+					q.Samples = append(q.Samples, loadgen.QuerySample{ID: next.Add(1), Index: s})
+				}
+				ch := make(chan []loadgen.Response, 1)
+				q.SetCompletionHandler(func(_ *loadgen.Query, rs []loadgen.Response) { ch <- rs })
+				b.IssueQuery(q)
+				rs := <-ch
+				results <- len(rs)
+			}
+		}()
+	}
+	// Keep the timer path live while issuers run.
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		for i := 0; i < 20; i++ {
+			b.Flush()
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-flushDone
+	close(results)
+	for n := range results {
+		if n != samplesPer {
+			t.Errorf("query completed with %d responses, want %d", n, samplesPer)
+		}
+	}
+}

@@ -12,6 +12,12 @@
 //     slower than this machine.
 //   - Batching wraps another backend with a dynamic batcher, the optimization
 //     that distinguishes the server and offline scenarios (Section VI-B).
+//   - Remote drives a serve.Server over a loopback TCP socket: the same
+//     loadgen.SUT contract, but with queueing, serialization and connection
+//     concurrency — the phenomena that bound achieved QPS in a real
+//     datacenter submission — on the measured path. Shed load completes its
+//     queries with Dropped responses (the LoadGen invalidates the run) and
+//     server-side serving metrics are fetchable via ServerMetrics.
 //
 // Because every model is reached through model.Engine, new backends
 // (quantized, simulated-batched, multi-tenant) plug in without per-task
@@ -230,8 +236,9 @@ func (n *Native) batchGrain(samples int) int {
 }
 
 // predictChunk runs samples [lo, hi) of the query through the engine as one
-// batched Predict call and returns one response per sample (nil Data for
-// samples that failed to load or infer, with the error recorded). If the
+// batched Predict call and returns one response per sample (nil Data and
+// Dropped set for samples that failed to load or infer, with the error
+// recorded — so failed samples also invalidate the run's validity). If the
 // batched call fails — one bad sample poisons a whole Predict — the chunk is
 // retried sample by sample so errors stay isolated to the samples that
 // actually caused them, matching the per-sample path's behavior.
@@ -250,7 +257,7 @@ func (n *Native) predictChunk(q *loadgen.Query, lo, hi int) []loadgen.Response {
 		slots = append(slots, i-lo)
 	}
 	if len(samples) == 0 {
-		return responses
+		return markDropped(responses)
 	}
 	outputs, err := n.cfg.Engine.Predict(samples, nil)
 	if err != nil || len(outputs) != len(samples) {
@@ -259,7 +266,7 @@ func (n *Native) predictChunk(q *loadgen.Query, lo, hi int) []loadgen.Response {
 		}
 		if len(samples) == 1 {
 			n.errs.add(fmt.Errorf("backend %s: predicting sample %d: %w", n.cfg.Name, samples[0].Index, err))
-			return responses
+			return markDropped(responses)
 		}
 		// Batched pass failed: isolate the offending samples.
 		for j, sample := range samples {
@@ -273,10 +280,23 @@ func (n *Native) predictChunk(q *loadgen.Query, lo, hi int) []loadgen.Response {
 			}
 			responses[slots[j]].Data = n.encodeOutput(out[0], sample.Index)
 		}
-		return responses
+		return markDropped(responses)
 	}
 	for j, out := range outputs {
 		responses[slots[j]].Data = n.encodeOutput(out, samples[j].Index)
+	}
+	return markDropped(responses)
+}
+
+// markDropped flags every response that carries no prediction (failed load,
+// inference or encode — the error is already recorded) as dropped, so the
+// LoadGen counts it and invalidates the run instead of treating a payloadless
+// response as answered.
+func markDropped(responses []loadgen.Response) []loadgen.Response {
+	for i := range responses {
+		if responses[i].Data == nil {
+			responses[i].Dropped = true
+		}
 	}
 	return responses
 }

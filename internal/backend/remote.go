@@ -1,0 +1,400 @@
+package backend
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
+)
+
+// RemoteConfig configures a Remote SUT client.
+type RemoteConfig struct {
+	// Addr is the serve.Server address (host:port); required.
+	Addr string
+	// Name labels the SUT in results; defaults to "remote(<addr>)".
+	Name string
+	// Conns is how many TCP connections the client multiplexes requests
+	// over (default 2). Responses return on the connection that carried the
+	// request; more connections reduce head-of-line blocking in the kernel
+	// socket buffers under high offered load.
+	Conns int
+	// MaxInFlight bounds the client's outstanding (unanswered) requests
+	// (default 256). This is the client half of the flow-control pair — the
+	// server's admission queue is the other — and is what lets a merged
+	// offline query of tens of thousands of samples stream through a
+	// bounded server queue without mass rejects. Issuing blocks when the
+	// window is full, which the LoadGen observes as scheduling backpressure
+	// (an overloaded SUT falling behind, exactly what the Server scenario
+	// is designed to penalize).
+	MaxInFlight int
+	// Deadline, when positive, stamps every request with an absolute
+	// deadline this far in the future; the server answers StatusExpired
+	// instead of serving requests whose deadline passed while queued.
+	Deadline time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+func (c *RemoteConfig) normalize() error {
+	if c.Addr == "" {
+		return fmt.Errorf("backend: remote SUT needs an address")
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("remote(%s)", c.Addr)
+	}
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// Remote drives a serve.Server as the system under test: a loadgen.SUT whose
+// inference happens across a real network boundary. Each query sample becomes
+// one predict request (the server's dynamic batcher re-coalesces them), so
+// every scenario — SingleStream, MultiStream, Server, Offline — runs over the
+// wire with zero changes to the LoadGen.
+//
+// Shed load is never silent: requests the server rejects or expires complete
+// their query with loadgen.Response.Dropped set, which the LoadGen counts and
+// uses to invalidate the run. Transport and server-side inference errors are
+// recorded and surfaced via Errors, mirroring Native.
+type Remote struct {
+	cfg    RemoteConfig
+	conns  []*remoteConn
+	next   atomic.Uint64 // round-robin connection cursor
+	nextID atomic.Uint64 // wire request ids
+
+	window   chan struct{}  // in-flight request slots (client flow control)
+	feeders  sync.WaitGroup // multi-sample issue goroutines
+	inflight sync.WaitGroup // outstanding requests
+
+	rejected atomic.Int64
+	expired  atomic.Int64
+
+	closing atomic.Bool
+	errs    errorLog
+}
+
+// pendingRequest ties a wire id back to the query sample awaiting it.
+type pendingRequest struct {
+	query    *loadgen.Query
+	sampleID uint64
+}
+
+// remoteConn is one client connection: a serialized writer plus a reader
+// goroutine that demultiplexes responses back to their queries.
+type remoteConn struct {
+	r *Remote
+	c net.Conn
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]pendingRequest
+	metrics map[uint64]chan []byte
+	// dead is set by fail(): the reader is gone, so nothing will ever
+	// resolve a request registered from here on — issuers settle locally
+	// instead of registering.
+	dead bool
+}
+
+// write serializes one frame onto the connection: fn writes it, then the
+// buffered writer is flushed, all under the write lock.
+func (rc *remoteConn) write(fn func(w io.Writer) error) error {
+	rc.wmu.Lock()
+	defer rc.wmu.Unlock()
+	if err := fn(rc.w); err != nil {
+		return err
+	}
+	return rc.w.Flush()
+}
+
+// NewRemote dials the server and returns the connected SUT client.
+func NewRemote(cfg RemoteConfig) (*Remote, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	r := &Remote{cfg: cfg, window: make(chan struct{}, cfg.MaxInFlight)}
+	for i := 0; i < cfg.Conns; i++ {
+		c, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("backend: dialing %s: %w", cfg.Addr, err)
+		}
+		rc := &remoteConn{
+			r: r, c: c, w: bufio.NewWriter(c),
+			pending: make(map[uint64]pendingRequest),
+			metrics: make(map[uint64]chan []byte),
+		}
+		r.conns = append(r.conns, rc)
+		go rc.readLoop()
+	}
+	return r, nil
+}
+
+// Name implements loadgen.SUT.
+func (r *Remote) Name() string { return r.cfg.Name }
+
+// IssueQuery implements loadgen.SUT. Single-sample queries issue inline
+// (blocking briefly on the in-flight window when it is full — backpressure
+// the LoadGen should see); multi-sample queries stream from a feeder
+// goroutine so the call returns quickly.
+func (r *Remote) IssueQuery(q *loadgen.Query) {
+	if len(q.Samples) <= 1 {
+		for i := range q.Samples {
+			r.issueSample(q, q.Samples[i])
+		}
+		return
+	}
+	r.feeders.Add(1)
+	go func() {
+		defer r.feeders.Done()
+		for i := range q.Samples {
+			r.issueSample(q, q.Samples[i])
+		}
+	}()
+}
+
+// issueSample sends one predict request, holding an in-flight window slot
+// until its response arrives. The inflight count is raised BEFORE the request
+// becomes visible in the pending map: whichever side settles it (reader,
+// failure drain, or this writer on a write error) balances it exactly once.
+func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
+	r.window <- struct{}{}
+	r.inflight.Add(1)
+	id := r.nextID.Add(1)
+	rc := r.conns[r.next.Add(1)%uint64(len(r.conns))]
+
+	rc.mu.Lock()
+	if rc.dead {
+		// The connection already failed: nothing will read a response, so
+		// settle immediately as dropped (the failure itself was recorded by
+		// fail). The run terminates invalid instead of hanging.
+		rc.mu.Unlock()
+		r.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
+		return
+	}
+	rc.pending[id] = pendingRequest{query: q, sampleID: s.ID}
+	rc.mu.Unlock()
+
+	req := serve.PredictRequest{ID: id, SampleIndex: s.Index}
+	if r.cfg.Deadline > 0 {
+		req.Deadline = time.Now().Add(r.cfg.Deadline)
+	}
+	err := rc.write(func(w io.Writer) error { return serve.WritePredictRequest(w, req) })
+	if err != nil {
+		// The request never reached the server; settle it locally if the
+		// reader has not already done so while failing the connection.
+		rc.mu.Lock()
+		_, mine := rc.pending[id]
+		delete(rc.pending, id)
+		rc.mu.Unlock()
+		if mine {
+			if !r.closing.Load() {
+				r.errs.add(fmt.Errorf("backend %s: sending sample %d: %w", r.cfg.Name, s.Index, err))
+			}
+			r.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
+		}
+	}
+}
+
+// settle releases the window slot and completes one sample's response.
+func (r *Remote) settle(q *loadgen.Query, resp loadgen.Response) {
+	<-r.window
+	q.Complete([]loadgen.Response{resp})
+	r.inflight.Done()
+}
+
+// readLoop demultiplexes one connection's responses until it closes. On a
+// transport failure every request still pending on the connection is settled
+// as dropped, so the LoadGen terminates (invalid) instead of hanging.
+func (rc *remoteConn) readLoop() {
+	br := bufio.NewReader(rc.c)
+	for {
+		frame, err := serve.ReadClientFrame(br)
+		if err != nil {
+			rc.fail(err)
+			return
+		}
+		switch frame.Type {
+		case serve.MsgPredict:
+			rc.resolve(frame.Predict)
+		case serve.MsgMetrics:
+			rc.mu.Lock()
+			ch := rc.metrics[frame.MetricsID]
+			delete(rc.metrics, frame.MetricsID)
+			rc.mu.Unlock()
+			if ch != nil {
+				ch <- frame.MetricsJSON
+			}
+		}
+	}
+}
+
+// resolve routes one predict response back to its query.
+func (rc *remoteConn) resolve(resp serve.PredictResponse) {
+	rc.mu.Lock()
+	entry, ok := rc.pending[resp.ID]
+	delete(rc.pending, resp.ID)
+	rc.mu.Unlock()
+	if !ok {
+		return // already settled by a write failure
+	}
+	out := loadgen.Response{SampleID: entry.sampleID}
+	switch resp.Status {
+	case serve.StatusOK:
+		out.Data = resp.Data
+	case serve.StatusRejected:
+		rc.r.rejected.Add(1)
+		out.Dropped = true
+	case serve.StatusExpired:
+		rc.r.expired.Add(1)
+		out.Dropped = true
+	default: // StatusError and anything unknown: recorded AND dropped, so
+		// the run is invalid even for callers that never drain Errors.
+		rc.r.errs.add(fmt.Errorf("backend %s: server reported %v for sample id %d", rc.r.cfg.Name, resp.Status, entry.sampleID))
+		out.Dropped = true
+	}
+	rc.r.settle(entry.query, out)
+}
+
+// fail kills a broken connection and settles everything pending on it.
+// Setting dead under the same lock that guards registration guarantees no
+// request can be registered after the drain and never settled.
+func (rc *remoteConn) fail(err error) {
+	rc.c.Close()
+	rc.mu.Lock()
+	rc.dead = true
+	pending := rc.pending
+	rc.pending = make(map[uint64]pendingRequest)
+	metrics := rc.metrics
+	rc.metrics = make(map[uint64]chan []byte)
+	rc.mu.Unlock()
+	if !rc.r.closing.Load() && len(pending) > 0 {
+		rc.r.errs.add(fmt.Errorf("backend %s: connection failed with %d requests outstanding: %w", rc.r.cfg.Name, len(pending), err))
+	}
+	for _, entry := range pending {
+		rc.r.settle(entry.query, loadgen.Response{SampleID: entry.sampleID, Dropped: true})
+	}
+	for _, ch := range metrics {
+		close(ch)
+	}
+}
+
+// FlushQueries implements loadgen.SUT: once every issued sample has been
+// written (feeders drained), the end-of-series flush is forwarded so the
+// server's batcher stops holding partial batches open.
+func (r *Remote) FlushQueries() {
+	r.feeders.Wait()
+	r.control(serve.MsgFlush)
+}
+
+// Reopen re-arms the server's batcher for a new query series;
+// loadgen.StartTest calls it at the start of every run. The metrics
+// round-trip after the control frame is a barrier: the server reads frames
+// per connection in order, so when the reply arrives the reopen has been
+// applied — queries issued after Reopen returns (on any connection) can no
+// longer be dispatched in the previous series' pass-through mode.
+func (r *Remote) Reopen() {
+	r.control(serve.MsgReopen)
+	_, _ = r.ServerMetrics()
+}
+
+// control sends a bodyless control frame on the first connection.
+func (r *Remote) control(msgType byte) {
+	if len(r.conns) == 0 {
+		return
+	}
+	rc := r.conns[0]
+	err := rc.write(func(w io.Writer) error { return serve.WriteControl(w, msgType) })
+	if err != nil && !r.closing.Load() {
+		r.errs.add(fmt.Errorf("backend %s: sending control frame %d: %w", r.cfg.Name, msgType, err))
+	}
+}
+
+// ServerMetrics fetches a metrics snapshot from the server.
+func (r *Remote) ServerMetrics() (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	if len(r.conns) == 0 {
+		return snap, fmt.Errorf("backend %s: no connections", r.cfg.Name)
+	}
+	rc := r.conns[0]
+	id := r.nextID.Add(1)
+	ch := make(chan []byte, 1)
+	rc.mu.Lock()
+	if rc.dead {
+		rc.mu.Unlock()
+		return snap, fmt.Errorf("backend %s: connection is down", r.cfg.Name)
+	}
+	rc.metrics[id] = ch
+	rc.mu.Unlock()
+
+	if err := rc.write(func(w io.Writer) error { return serve.WriteMetricsRequest(w, id) }); err != nil {
+		rc.mu.Lock()
+		delete(rc.metrics, id)
+		rc.mu.Unlock()
+		return snap, fmt.Errorf("backend %s: requesting metrics: %w", r.cfg.Name, err)
+	}
+	select {
+	case data, ok := <-ch:
+		if !ok {
+			return snap, fmt.Errorf("backend %s: connection closed before metrics arrived", r.cfg.Name)
+		}
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return snap, fmt.Errorf("backend %s: decoding metrics: %w", r.cfg.Name, err)
+		}
+		return snap, nil
+	case <-time.After(10 * time.Second):
+		rc.mu.Lock()
+		delete(rc.metrics, id)
+		rc.mu.Unlock()
+		return snap, fmt.Errorf("backend %s: metrics request timed out", r.cfg.Name)
+	}
+}
+
+// Wait blocks until every issued request has been answered (or settled by a
+// connection failure). The harness calls it after the LoadGen reports
+// completion, like Native.Wait.
+func (r *Remote) Wait() {
+	r.feeders.Wait()
+	r.inflight.Wait()
+}
+
+// Errors returns transport and server-side inference errors observed so far.
+// Rejected and expired requests are NOT errors — they are shed load, counted
+// by Rejected/Expired and reflected in the run's validity via dropped
+// responses.
+func (r *Remote) Errors() []error { return r.errs.all() }
+
+// Rejected returns how many requests the server's admission control shed.
+func (r *Remote) Rejected() int64 { return r.rejected.Load() }
+
+// Expired returns how many requests expired past their deadline while queued.
+func (r *Remote) Expired() int64 { return r.expired.Load() }
+
+// Close tears down the client's connections. In-flight requests settle as
+// dropped without recording transport errors.
+func (r *Remote) Close() error {
+	r.closing.Store(true)
+	var first error
+	for _, rc := range r.conns {
+		if err := rc.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -77,6 +77,9 @@ type Assembly struct {
 	Dataset dataset.Dataset
 	QSL     *dataset.QSL
 	SUT     loadgen.SUT
+	// Engine is the inference engine behind the SUT, exposed so alternative
+	// SUT frontends (the loopback serving path, benchmarks) can reuse it.
+	Engine model.Engine
 
 	// ReferenceQuality is the FP32 reference model's measured quality on the
 	// synthetic data set; the quality target is Spec.TargetRatio times it.
@@ -88,11 +91,36 @@ type Assembly struct {
 	// requested.
 	QuantizationStats []quantize.TensorStats
 
-	native *backend.Native
+	// observed is the SUT's post-run inspection view: Run drains it and
+	// fails on accumulated inference errors. backend.Native and
+	// backend.Remote both satisfy it.
+	observed sutObserver
 }
 
-// NativeBackend returns the underlying native backend for error inspection.
-func (a *Assembly) NativeBackend() *backend.Native { return a.native }
+// sutObserver is the post-run view a backend exposes to the harness.
+type sutObserver interface {
+	Wait()
+	Errors() []error
+}
+
+// NativeBackend returns the underlying native backend for error inspection,
+// or nil when the assembly's SUT is not a backend.Native.
+func (a *Assembly) NativeBackend() *backend.Native {
+	n, _ := a.observed.(*backend.Native)
+	return n
+}
+
+// SetSUT swaps the system under test, updating the harness's post-run
+// inspection view when the new SUT exposes one (backend.Native, Simulated
+// and Remote all do).
+func (a *Assembly) SetSUT(sut loadgen.SUT) {
+	a.SUT = sut
+	if obs, ok := sut.(sutObserver); ok {
+		a.observed = obs
+	} else {
+		a.observed = nil
+	}
+}
 
 // BuildNative assembles a task around the in-repo reference models and
 // synthetic data. The data set's ground truth is calibrated against the FP32
@@ -173,7 +201,7 @@ func (a *Assembly) buildClassification(spec core.TaskSpec, opts BuildOptions) er
 	if err != nil {
 		return err
 	}
-	a.Dataset, a.QSL, a.SUT, a.native = ds, qsl, sut, sut
+	a.Dataset, a.QSL, a.SUT, a.Engine, a.observed = ds, qsl, sut, classifier, sut
 	return nil
 }
 
@@ -224,7 +252,7 @@ func (a *Assembly) buildDetection(spec core.TaskSpec, opts BuildOptions) error {
 	if err != nil {
 		return err
 	}
-	a.Dataset, a.QSL, a.SUT, a.native = ds, qsl, sut, sut
+	a.Dataset, a.QSL, a.SUT, a.Engine, a.observed = ds, qsl, sut, detector, sut
 	return nil
 }
 
@@ -265,7 +293,7 @@ func (a *Assembly) buildTranslation(spec core.TaskSpec, opts BuildOptions) error
 	if err != nil {
 		return err
 	}
-	a.Dataset, a.QSL, a.SUT, a.native = ds, qsl, sut, sut
+	a.Dataset, a.QSL, a.SUT, a.Engine, a.observed = ds, qsl, sut, translator, sut
 	return nil
 }
 

@@ -58,9 +58,9 @@ func Run(a *Assembly, opts RunOptions) (*RunReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: performance run for %s/%v: %w", a.Spec.Task, opts.Scenario, err)
 	}
-	if a.native != nil {
-		a.native.Wait()
-		if errs := a.native.Errors(); len(errs) > 0 {
+	if a.observed != nil {
+		a.observed.Wait()
+		if errs := a.observed.Errors(); len(errs) > 0 {
 			return nil, fmt.Errorf("harness: SUT reported %d inference errors, first: %w", len(errs), errs[0])
 		}
 	}
@@ -76,11 +76,18 @@ func Run(a *Assembly, opts RunOptions) (*RunReport, error) {
 			return nil, fmt.Errorf("harness: accuracy checker for %s: %w", a.Spec.Task, err)
 		}
 		accSettings.AccuracySink = checker.Add
-		if _, err := loadgen.StartTest(a.SUT, a.QSL, accSettings); err != nil {
+		accRes, err := loadgen.StartTest(a.SUT, a.QSL, accSettings)
+		if err != nil {
 			return nil, fmt.Errorf("harness: accuracy run for %s/%v: %w", a.Spec.Task, opts.Scenario, err)
 		}
-		if a.native != nil {
-			a.native.Wait()
+		if accRes.ResponsesDropped > 0 {
+			// Shed samples skew toward the slow/hard ones; scoring the
+			// surviving subset would bias quality upward, so refuse.
+			return nil, fmt.Errorf("harness: accuracy run for %s/%v dropped %d responses; quality cannot be scored on a shed subset",
+				a.Spec.Task, opts.Scenario, accRes.ResponsesDropped)
+		}
+		if a.observed != nil {
+			a.observed.Wait()
 		}
 		rep, err := checker.Report()
 		if err != nil {

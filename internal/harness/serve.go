@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/serve"
+)
+
+// ServeOptions configures ServeLoopback. Zero fields inherit the assembly:
+// the server serves the assembly's engine from its QSL, and the client dials
+// the freshly bound address.
+type ServeOptions struct {
+	// Server configures the serve.Server. Engine, Store and (for the SUT
+	// label) Addr are filled in from the assembly when unset.
+	Server serve.Config
+	// Client configures the backend.Remote that drives it. Addr is always
+	// overwritten with the server's bound address.
+	Client backend.RemoteConfig
+}
+
+// LoopbackDeployment is a running serve.Server with a connected Remote SUT
+// wired into a derived Assembly: the same task, data set, settings and
+// quality targets, but inference crossing a real network boundary.
+type LoopbackDeployment struct {
+	// Assembly mirrors the source assembly with SUT swapped for the Remote.
+	Assembly *Assembly
+	// Server is the in-process loopback inference server.
+	Server *serve.Server
+	// Remote is the SUT client (also reachable as Assembly.SUT).
+	Remote *backend.Remote
+}
+
+// Close disconnects the client and shuts the server down.
+func (d *LoopbackDeployment) Close() error {
+	cerr := d.Remote.Close()
+	serr := d.Server.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return serr
+}
+
+// ServeLoopback deploys the assembly's engine behind a loopback serve.Server
+// and returns a derived assembly whose SUT is a backend.Remote driving it, so
+// any scenario the source assembly can run in-process can also run over the
+// wire — same data, same settings, bit-identical outputs — for side-by-side
+// comparison. The caller must Close the deployment when done.
+func (a *Assembly) ServeLoopback(opts ServeOptions) (*LoopbackDeployment, error) {
+	if a.Engine == nil {
+		return nil, fmt.Errorf("harness: assembly has no engine to serve")
+	}
+	scfg := opts.Server
+	if scfg.Engine == nil {
+		scfg.Engine = a.Engine
+	}
+	if scfg.Store == nil {
+		scfg.Store = a.QSL
+	}
+	srv, err := serve.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := opts.Client
+	rcfg.Addr = srv.Addr()
+	if rcfg.Name == "" {
+		rcfg.Name = fmt.Sprintf("%s@%s", a.SUT.Name(), srv.Addr())
+	}
+	remote, err := backend.NewRemote(rcfg)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	derived := *a
+	derived.SUT = remote
+	derived.observed = remote
+	return &LoopbackDeployment{Assembly: &derived, Server: srv, Remote: remote}, nil
+}

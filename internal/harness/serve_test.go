@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
+)
+
+// TestServeLoopbackRunsScenarios deploys an assembly's engine behind the
+// loopback server and runs Server and Offline scenarios through the harness,
+// exercising the full Run path (performance + error draining) over the wire.
+func TestServeLoopbackRunsScenarios(t *testing.T) {
+	a, err := BuildNative(core.ImageClassificationLight, BuildOptions{DatasetSamples: 32, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := a.ServeLoopback(ServeOptions{
+		Server: serve.Config{Workers: 2, BatchWait: time.Millisecond},
+		Client: backend.RemoteConfig{MaxInFlight: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	settings := QuickSettings(a.Spec, loadgen.Server, 1024)
+	settings.MinDuration = 50 * time.Millisecond
+	settings.ServerTargetQPS = 100
+	settings.ServerTargetLatency = 250 * time.Millisecond
+	report, err := Run(dep.Assembly, RunOptions{Scenario: loadgen.Server, Settings: &settings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Performance.Valid {
+		t.Fatalf("server scenario over the wire invalid: %v", report.Performance.ValidityMessages)
+	}
+
+	off := QuickSettings(a.Spec, loadgen.Offline, 1024)
+	off.MinDuration = 0
+	off.MinSampleCount = 128
+	report, err = Run(dep.Assembly, RunOptions{Scenario: loadgen.Offline, Settings: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Performance.Valid {
+		t.Fatalf("offline scenario over the wire invalid: %v", report.Performance.ValidityMessages)
+	}
+	if report.Performance.OfflineSamplesPerSec <= 0 {
+		t.Error("no offline throughput recorded")
+	}
+
+	snap := dep.Server.Metrics()
+	if snap.Completed == 0 {
+		t.Error("server metrics recorded no completions")
+	}
+	// The derived assembly still scores accuracy through the remote SUT.
+	if dep.Assembly.NativeBackend() != nil {
+		t.Error("derived assembly should not report a native backend")
+	}
+}

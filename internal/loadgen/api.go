@@ -100,6 +100,13 @@ type Response struct {
 	// boxes); it is logged in accuracy mode and checked by the accuracy
 	// script.
 	Data []byte
+	// Dropped marks a sample the SUT answered without a prediction —
+	// rejected by admission control, expired past its deadline, or failed to
+	// load/infer/encode. Dropped responses still complete their query (so
+	// overloaded runs terminate instead of hanging) but are counted in
+	// Result.ResponsesDropped, kept out of the accuracy log, and invalidate
+	// the run: a SUT must not pass the benchmark by shedding or failing load.
+	Dropped bool
 }
 
 // Query is a request for inference on one or more samples.

@@ -27,6 +27,7 @@ type Result struct {
 	QueriesCompleted int
 	SamplesIssued    int
 	SamplesCompleted int
+	ResponsesDropped int // samples answered without inference (rejected/expired)
 	SkippedIntervals int // multistream: queries that caused >= 1 skipped interval
 
 	// TestDuration is the wall-clock span of the timed portion.
@@ -95,6 +96,9 @@ func (r *Result) finalizeValidity(ts TestSettings) {
 	}
 	if r.QueriesCompleted < r.QueriesIssued {
 		fail("only %d of %d issued queries completed", r.QueriesCompleted, r.QueriesIssued)
+	}
+	if r.ResponsesDropped > 0 {
+		fail("SUT dropped %d responses (rejected, expired, or failed without a prediction)", r.ResponsesDropped)
 	}
 	if ts.Mode == PerformanceMode {
 		if r.QueriesIssued < ts.MinQueryCount {

@@ -109,6 +109,7 @@ type activeRun struct {
 	queriesCompleted int
 	samplesIssued    int
 	samplesCompleted int
+	responsesDropped int
 	skippedQueries   int
 	accuracyLog      []AccuracyEntry
 	lastCompletion   time.Time
@@ -215,6 +216,13 @@ func (r *activeRun) issue(q *Query, done chan<- struct{}) {
 		}
 		logAll := r.settings.Mode == AccuracyMode
 		for _, resp := range responses {
+			if resp.Dropped {
+				// A shed sample carries no prediction: count it (the run is
+				// invalid) and keep it out of the accuracy log, which only
+				// scores real inference output.
+				r.responsesDropped++
+				continue
+			}
 			if logAll || (r.settings.AccuracyLogSamplingRate > 0 && r.accRNG.Float64() < r.settings.AccuracyLogSamplingRate) {
 				entry := AccuracyEntry{
 					QueryID:     q.ID,
@@ -474,6 +482,7 @@ func (r *activeRun) finalize() {
 	res.QueriesCompleted = r.queriesCompleted
 	res.SamplesIssued = r.samplesIssued
 	res.SamplesCompleted = r.samplesCompleted
+	res.ResponsesDropped = r.responsesDropped
 	res.SkippedIntervals = r.skippedQueries
 	res.AccuracyLog = r.accuracyLog
 

@@ -1,0 +1,139 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Micro-batch cache budget detection. The budget is the cache share one
+// micro-batch's live activations may occupy (the numerator of the micro-batch
+// derivation in engine.go). It used to be a fixed 384 KiB — implicitly tuned
+// to a 512 KiB L2 — and now adapts to the machine:
+//
+//  1. MLPERF_MICROBATCH_CACHE_BYTES, when set to a positive integer, wins
+//     outright (deployments and tests pin the budget with it).
+//  2. On Linux, the per-core L2 size is probed from
+//     /sys/devices/system/cpu/cpu0/cache and the budget is 3/4 of it — the
+//     same share 384 KiB is of a 512 KiB L2, leaving the rest of the cache
+//     for the weight panels streaming through the batched GEMMs. The result
+//     is clamped to [128 KiB, 4 MiB]: below the floor a derived micro-batch
+//     of 1 defeats batching, above the ceiling the micro-batch cap dominates
+//     anyway and a huge shared-L2 reading would not make residency real.
+//  3. Anywhere else the previous 384 KiB default applies.
+//
+// The budget only sizes micro-batches; results are bit-identical under any
+// grouping (see the Engine contract), so differing budgets across machines
+// never change outputs, only throughput.
+const (
+	microBatchCacheBudgetEnv     = "MLPERF_MICROBATCH_CACHE_BYTES"
+	defaultMicroBatchCacheBudget = 384 << 10
+	minMicroBatchCacheBudget     = 128 << 10
+	maxMicroBatchCacheBudget     = 4 << 20
+)
+
+var (
+	cacheBudgetOnce  sync.Once
+	cacheBudgetBytes int
+)
+
+// microBatchCacheBudget returns the process-wide activation cache budget,
+// resolving it on first use (env override, then sysfs probe, then default).
+func microBatchCacheBudget() int {
+	cacheBudgetOnce.Do(func() {
+		cacheBudgetBytes = detectCacheBudget("/sys/devices/system/cpu/cpu0/cache")
+	})
+	return cacheBudgetBytes
+}
+
+// detectCacheBudget resolves the budget from the environment, the given sysfs
+// cache directory, or the built-in default, in that order.
+func detectCacheBudget(sysfsCacheDir string) int {
+	if v := os.Getenv(microBatchCacheBudgetEnv); v != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n > 0 {
+			return n
+		}
+	}
+	if l2 := probeL2Bytes(sysfsCacheDir); l2 > 0 {
+		budget := l2 * 3 / 4
+		if budget < minMicroBatchCacheBudget {
+			budget = minMicroBatchCacheBudget
+		}
+		if budget > maxMicroBatchCacheBudget {
+			budget = maxMicroBatchCacheBudget
+		}
+		return budget
+	}
+	return defaultMicroBatchCacheBudget
+}
+
+// probeL2Bytes reads the level-2 data/unified cache size of cpu0 from sysfs.
+// It returns 0 when the topology is unreadable (non-Linux, masked sysfs in a
+// container, unparsable size), which callers treat as "probe unavailable".
+func probeL2Bytes(cacheDir string) int {
+	if runtime.GOOS != "linux" {
+		return 0
+	}
+	indexes, err := filepath.Glob(filepath.Join(cacheDir, "index*"))
+	if err != nil {
+		return 0
+	}
+	for _, dir := range indexes {
+		if readSysfsString(filepath.Join(dir, "level")) != "2" {
+			continue
+		}
+		typ := readSysfsString(filepath.Join(dir, "type"))
+		if typ != "Unified" && typ != "Data" {
+			continue
+		}
+		if size := parseCacheSize(readSysfsString(filepath.Join(dir, "size"))); size > 0 {
+			return size
+		}
+	}
+	return 0
+}
+
+// readSysfsString returns the trimmed contents of a sysfs attribute, or ""
+// when unreadable.
+func readSysfsString(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// parseCacheSize parses sysfs cache sizes like "48K", "2048K" or "1M" into
+// bytes, returning 0 on malformed input.
+func parseCacheSize(s string) int {
+	if s == "" {
+		return 0
+	}
+	mult := 1
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M', 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G', 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n * mult
+}
+
+// setMicroBatchCacheBudgetForTest pins the budget for tests that assert
+// machine-independent micro-batch derivations, returning a restore func.
+// Engines capture their micro-batch at construction, so models must be built
+// while the pin is in effect.
+func setMicroBatchCacheBudgetForTest(bytes int) (restore func()) {
+	prev := microBatchCacheBudget() // resolve first so restore is meaningful
+	cacheBudgetBytes = bytes
+	return func() { cacheBudgetBytes = prev }
+}

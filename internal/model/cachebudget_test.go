@@ -1,0 +1,128 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSysfsCache fabricates a /sys/devices/system/cpu/cpu0/cache layout.
+func writeSysfsCache(t *testing.T, indexes []map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, attrs := range indexes {
+		idx := filepath.Join(dir, "index"+string(rune('0'+i)))
+		if err := os.Mkdir(idx, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, value := range attrs {
+			if err := os.WriteFile(filepath.Join(idx, name), []byte(value+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return dir
+}
+
+func TestProbeL2Bytes(t *testing.T) {
+	dir := writeSysfsCache(t, []map[string]string{
+		{"level": "1", "type": "Data", "size": "48K"},
+		{"level": "1", "type": "Instruction", "size": "32K"},
+		{"level": "2", "type": "Unified", "size": "2048K"},
+		{"level": "3", "type": "Unified", "size": "32M"},
+	})
+	if got := probeL2Bytes(dir); got != 2048<<10 {
+		t.Errorf("probeL2Bytes = %d, want %d", got, 2048<<10)
+	}
+	if got := probeL2Bytes(filepath.Join(dir, "missing")); got != 0 {
+		t.Errorf("missing topology: probeL2Bytes = %d, want 0", got)
+	}
+	malformed := writeSysfsCache(t, []map[string]string{
+		{"level": "2", "type": "Unified", "size": "lots"},
+	})
+	if got := probeL2Bytes(malformed); got != 0 {
+		t.Errorf("malformed size: probeL2Bytes = %d, want 0", got)
+	}
+}
+
+func TestDetectCacheBudget(t *testing.T) {
+	// Env override beats the probe.
+	t.Setenv(microBatchCacheBudgetEnv, "262144")
+	dir := writeSysfsCache(t, []map[string]string{
+		{"level": "2", "type": "Unified", "size": "2048K"},
+	})
+	if got := detectCacheBudget(dir); got != 262144 {
+		t.Errorf("env override: budget = %d, want 262144", got)
+	}
+
+	// Probe: 3/4 of L2.
+	t.Setenv(microBatchCacheBudgetEnv, "")
+	if got, want := detectCacheBudget(dir), (2048<<10)*3/4; got != want {
+		t.Errorf("probed budget = %d, want %d", got, want)
+	}
+	// A 512 KiB L2 reproduces the historical 384 KiB default exactly.
+	half := writeSysfsCache(t, []map[string]string{
+		{"level": "2", "type": "Unified", "size": "512K"},
+	})
+	if got := detectCacheBudget(half); got != defaultMicroBatchCacheBudget {
+		t.Errorf("512K L2 budget = %d, want the historical %d", got, defaultMicroBatchCacheBudget)
+	}
+
+	// Clamps.
+	tiny := writeSysfsCache(t, []map[string]string{
+		{"level": "2", "type": "Unified", "size": "64K"},
+	})
+	if got := detectCacheBudget(tiny); got != minMicroBatchCacheBudget {
+		t.Errorf("tiny L2 budget = %d, want floor %d", got, minMicroBatchCacheBudget)
+	}
+	huge := writeSysfsCache(t, []map[string]string{
+		{"level": "2", "type": "Unified", "size": "1G"},
+	})
+	if got := detectCacheBudget(huge); got != maxMicroBatchCacheBudget {
+		t.Errorf("huge L2 budget = %d, want ceiling %d", got, maxMicroBatchCacheBudget)
+	}
+
+	// No probe, no env: historical default.
+	if got := detectCacheBudget(t.TempDir()); got != defaultMicroBatchCacheBudget {
+		t.Errorf("fallback budget = %d, want %d", got, defaultMicroBatchCacheBudget)
+	}
+
+	// Garbage env falls through to the probe.
+	t.Setenv(microBatchCacheBudgetEnv, "not-a-number")
+	if got, want := detectCacheBudget(dir), (2048<<10)*3/4; got != want {
+		t.Errorf("garbage env: budget = %d, want probed %d", got, want)
+	}
+}
+
+func TestParseCacheSize(t *testing.T) {
+	cases := map[string]int{
+		"48K": 48 << 10, "2048K": 2048 << 10, "1M": 1 << 20, "1G": 1 << 30,
+		"123": 123, "": 0, "K": 0, "-4K": 0, "4.5M": 0,
+	}
+	for in, want := range cases {
+		if got := parseCacheSize(in); got != want {
+			t.Errorf("parseCacheSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestMicroBatchBudgetAffectsDerivation closes the loop: a larger pinned
+// budget must deepen a derived micro-batch.
+func TestMicroBatchBudgetAffectsDerivation(t *testing.T) {
+	restore := setMicroBatchCacheBudgetForTest(defaultMicroBatchCacheBudget)
+	narrow, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore()
+
+	defer setMicroBatchCacheBudgetForTest(4 * defaultMicroBatchCacheBudget)()
+	deep, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.PreferredBatch() <= narrow.PreferredBatch() {
+		t.Errorf("4x budget micro-batch = %d, want deeper than %d",
+			deep.PreferredBatch(), narrow.PreferredBatch())
+	}
+}

@@ -99,17 +99,11 @@ func withScratch(s *tensor.Scratch, fn func(*tensor.Scratch) error) error {
 // with the whole query (the caller owns its lifecycle). Grouping does not
 // change results: Predict on any batch is bit-identical to per-sample calls,
 // so it is bit-identical under any grouping too.
-const (
-	// microBatchCacheBudget is the cache share one micro-batch's live
-	// activations may occupy. 384 KiB lands the mini heavyweight classifier
-	// at the micro-batch of 8 the previous fixed constant was tuned to,
-	// while lighter models now batch deeper.
-	microBatchCacheBudget = 384 << 10
-	// microBatchCap bounds the derived size: beyond it the batched GEMMs'
-	// weight-streaming amortization has flattened and response latency
-	// within a merged query starts to dominate.
-	microBatchCap = 64
-)
+// microBatchCap bounds the derived size: beyond it the batched GEMMs'
+// weight-streaming amortization has flattened and response latency within a
+// merged query starts to dominate. The cache budget dividing the footprint is
+// no longer a constant — see cachebudget.go for the probe/override chain.
+const microBatchCap = 64
 
 // microBatchFor derives a micro-batch size from a per-sample activation
 // footprint in bytes.
@@ -117,7 +111,7 @@ func microBatchFor(footprintBytes int) int {
 	if footprintBytes <= 0 {
 		return microBatchCap
 	}
-	mb := microBatchCacheBudget / footprintBytes
+	mb := microBatchCacheBudget() / footprintBytes
 	if mb < 1 {
 		return 1
 	}

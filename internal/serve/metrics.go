@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindowSize is how many recent latency observations each percentile
+// window retains. A power-of-two ring keeps long runs O(1) in memory while
+// p50/p99 reflect current behavior rather than the whole run's history.
+const latencyWindowSize = 1 << 14
+
+// batchBuckets are the upper bounds of the batch-size histogram ("≤ bound");
+// the final implicit bucket is unbounded.
+var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+
+// serverMetrics accumulates the serving-side observability state. All methods
+// are safe for concurrent use.
+type serverMetrics struct {
+	mu sync.Mutex
+
+	admitted  uint64
+	rejected  uint64
+	shed      uint64
+	expired   uint64
+	errored   uint64
+	completed uint64
+	flushes   uint64
+
+	batchCounts []uint64 // len(batchBuckets)+1, last bucket = overflow
+
+	queue   latencyWindow
+	service latencyWindow
+}
+
+// latencyWindow is a fixed-capacity ring of recent duration observations.
+type latencyWindow struct {
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func (w *latencyWindow) add(d time.Duration) {
+	if w.buf == nil {
+		w.buf = make([]time.Duration, latencyWindowSize)
+	}
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// percentiles returns the p50 and p99 of the retained window.
+func (w *latencyWindow) percentiles() (p50, p99 time.Duration) {
+	if w.n == 0 {
+		return 0, 0
+	}
+	sorted := make([]time.Duration, w.n)
+	copy(sorted, w.buf[:w.n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := func(p float64) int {
+		i := int(p * float64(len(sorted)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return i
+	}
+	return sorted[idx(0.50)], sorted[idx(0.99)]
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{batchCounts: make([]uint64, len(batchBuckets)+1)}
+}
+
+func (m *serverMetrics) addAdmitted() {
+	m.mu.Lock()
+	m.admitted++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addExpired(n int) {
+	m.mu.Lock()
+	m.expired += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addErrored() {
+	m.mu.Lock()
+	m.errored++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addFlush() {
+	m.mu.Lock()
+	m.flushes++
+	m.mu.Unlock()
+}
+
+// observeBatch records one dispatched batch's size.
+func (m *serverMetrics) observeBatch(size int) {
+	m.mu.Lock()
+	i := 0
+	for i < len(batchBuckets) && size > batchBuckets[i] {
+		i++
+	}
+	m.batchCounts[i]++
+	m.mu.Unlock()
+}
+
+// observeService records one served request's queue and service latencies.
+func (m *serverMetrics) observeService(queued, service time.Duration) {
+	m.mu.Lock()
+	m.completed++
+	m.queue.add(queued)
+	m.service.add(service)
+	m.mu.Unlock()
+}
+
+// BatchBucket is one batch-size histogram bucket in a Snapshot.
+type BatchBucket struct {
+	// Le is the bucket's inclusive upper bound; 0 marks the unbounded
+	// overflow bucket.
+	Le    int    `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a point-in-time view of the server's serving metrics, returned
+// over the wire for the report (MsgMetrics) and by Server.Metrics.
+type Snapshot struct {
+	// QueueDepth is the admission queue's population at snapshot time.
+	QueueDepth int `json:"queue_depth"`
+	// Admitted counts requests accepted into the queue.
+	Admitted uint64 `json:"admitted"`
+	// Completed counts requests served to completion (any terminal status
+	// after dispatch, including per-sample errors).
+	Completed uint64 `json:"completed"`
+	// Rejected counts arrivals turned away by admission control without
+	// ever entering the queue (tail drop).
+	Rejected uint64 `json:"rejected"`
+	// Shed counts admitted requests later evicted by the ShedOldest policy,
+	// so the counters reconcile: Admitted = Completed + Expired + Errors +
+	// Shed + QueueDepth (at snapshot time, modulo in-flight batches).
+	Shed uint64 `json:"shed"`
+	// Expired counts requests whose deadline passed while queued.
+	Expired uint64 `json:"expired"`
+	// Errors counts requests that failed to load, infer or encode.
+	Errors uint64 `json:"errors"`
+	// Flushes counts end-of-series flushes observed.
+	Flushes uint64 `json:"flushes"`
+	// BatchHistogram is the dispatched batch-size distribution.
+	BatchHistogram []BatchBucket `json:"batch_histogram"`
+	// QueueP50/P99 summarize time spent in the admission queue; ServiceP50/
+	// P99 summarize inference + encode + response write. Both cover the most
+	// recent latencyWindowSize requests.
+	QueueP50   time.Duration `json:"queue_p50_ns"`
+	QueueP99   time.Duration `json:"queue_p99_ns"`
+	ServiceP50 time.Duration `json:"service_p50_ns"`
+	ServiceP99 time.Duration `json:"service_p99_ns"`
+	// Workers and MaxBatch echo the server's configuration.
+	Workers  int `json:"workers"`
+	MaxBatch int `json:"max_batch"`
+}
+
+// snapshot assembles a Snapshot; queueDepth is sampled by the caller, which
+// owns the queue lock.
+func (m *serverMetrics) snapshot(queueDepth, workers, maxBatch int) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		QueueDepth: queueDepth,
+		Admitted:   m.admitted,
+		Completed:  m.completed,
+		Rejected:   m.rejected,
+		Shed:       m.shed,
+		Expired:    m.expired,
+		Errors:     m.errored,
+		Flushes:    m.flushes,
+		Workers:    workers,
+		MaxBatch:   maxBatch,
+	}
+	s.BatchHistogram = make([]BatchBucket, 0, len(m.batchCounts))
+	for i, count := range m.batchCounts {
+		bucket := BatchBucket{Count: count}
+		if i < len(batchBuckets) {
+			bucket.Le = batchBuckets[i]
+		}
+		s.BatchHistogram = append(s.BatchHistogram, bucket)
+	}
+	s.QueueP50, s.QueueP99 = m.queue.percentiles()
+	s.ServiceP50, s.ServiceP99 = m.service.percentiles()
+	return s
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire protocol. Every message — both directions — is one length-prefixed
+// frame:
+//
+//	[u32 body length (big endian)] [u8 message type] [body ...]
+//
+// Client → server bodies:
+//
+//	MsgPredict: u64 request id, u32 sample index, i64 absolute deadline
+//	            (UnixNano, 0 = none)
+//	MsgFlush:   empty — end of the query series; the batcher flushes and
+//	            switches to pass-through (backend.Batching semantics)
+//	MsgReopen:  empty — re-arm batching for a new series
+//	MsgMetrics: u64 request id — ask for a metrics snapshot
+//
+// Server → client bodies:
+//
+//	MsgPredict: u64 request id, u8 status, payload bytes (the sample's
+//	            encoded model.Output when status is StatusOK, empty otherwise)
+//	MsgMetrics: u64 request id, JSON-encoded Snapshot
+//
+// The payload bytes are exactly what model.Output.Encode produces, so a
+// response relayed by backend.Remote is bit-identical to what backend.Native
+// hands the LoadGen for the same sample. Sample *indexes*, not tensors, cross
+// the wire: like the reference LoadGen's QSL contract, the data set is loaded
+// on the serving side before the timed run, and the network carries queries
+// and answers only.
+const (
+	// MsgPredict requests inference for one sample (and carries its answer).
+	MsgPredict byte = 1
+	// MsgFlush marks the end of the query series.
+	MsgFlush byte = 2
+	// MsgReopen re-arms batching for a new series.
+	MsgReopen byte = 3
+	// MsgMetrics requests a metrics snapshot.
+	MsgMetrics byte = 4
+)
+
+// Status reports how the server disposed of a predict request.
+type Status byte
+
+const (
+	// StatusOK: inference ran; the payload is the encoded output.
+	StatusOK Status = iota
+	// StatusRejected: admission control turned the request away (queue full).
+	StatusRejected
+	// StatusExpired: the request's deadline passed before service began.
+	StatusExpired
+	// StatusError: the sample failed to load, infer or encode.
+	StatusError
+)
+
+// String returns the status's wire-log name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRejected:
+		return "rejected"
+	case StatusExpired:
+		return "expired"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", byte(s))
+	}
+}
+
+// maxFrameBytes bounds a single frame so a corrupt length prefix cannot make
+// a reader allocate unboundedly. Encoded outputs are small (a class id, a box
+// list, a token list); 16 MiB is far above anything legitimate.
+const maxFrameBytes = 16 << 20
+
+// PredictRequest is the client-side form of a MsgPredict request frame.
+type PredictRequest struct {
+	// ID is echoed verbatim in the response so the client can demultiplex
+	// concurrent requests on one connection.
+	ID uint64
+	// SampleIndex addresses the sample in the server's store.
+	SampleIndex int
+	// Deadline, when non-zero, is the absolute time after which the server
+	// must not begin service (it answers StatusExpired instead). Client and
+	// server share a clock on a loopback deployment.
+	Deadline time.Time
+}
+
+// PredictResponse is the client-side form of a MsgPredict response frame.
+type PredictResponse struct {
+	ID     uint64
+	Status Status
+	// Data is the encoded model.Output for StatusOK, empty otherwise.
+	Data []byte
+}
+
+// writeFrame emits one frame. The caller serializes concurrent writers.
+func writeFrame(w io.Writer, msgType byte, body []byte) error {
+	var header [5]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(body)))
+	header[4] = msgType
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame, returning its type and body.
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var header [5]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(header[:4])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("serve: frame of %d bytes exceeds the %d-byte limit", n, maxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return header[4], body, nil
+}
+
+// WritePredictRequest encodes and writes one predict request frame.
+func WritePredictRequest(w io.Writer, req PredictRequest) error {
+	var body [20]byte
+	binary.BigEndian.PutUint64(body[0:8], req.ID)
+	binary.BigEndian.PutUint32(body[8:12], uint32(req.SampleIndex))
+	var deadline int64
+	if !req.Deadline.IsZero() {
+		deadline = req.Deadline.UnixNano()
+	}
+	binary.BigEndian.PutUint64(body[12:20], uint64(deadline))
+	return writeFrame(w, MsgPredict, body[:])
+}
+
+// decodePredictRequest parses a MsgPredict request body.
+func decodePredictRequest(body []byte) (PredictRequest, error) {
+	if len(body) != 20 {
+		return PredictRequest{}, fmt.Errorf("serve: predict request body is %d bytes, want 20", len(body))
+	}
+	req := PredictRequest{
+		ID:          binary.BigEndian.Uint64(body[0:8]),
+		SampleIndex: int(binary.BigEndian.Uint32(body[8:12])),
+	}
+	if nanos := int64(binary.BigEndian.Uint64(body[12:20])); nanos != 0 {
+		req.Deadline = time.Unix(0, nanos)
+	}
+	return req, nil
+}
+
+// encodePredictResponse builds a MsgPredict response body.
+func encodePredictResponse(id uint64, status Status, data []byte) []byte {
+	body := make([]byte, 9+len(data))
+	binary.BigEndian.PutUint64(body[0:8], id)
+	body[8] = byte(status)
+	copy(body[9:], data)
+	return body
+}
+
+// decodePredictResponse parses a MsgPredict response body.
+func decodePredictResponse(body []byte) (PredictResponse, error) {
+	if len(body) < 9 {
+		return PredictResponse{}, fmt.Errorf("serve: predict response body is %d bytes, want >= 9", len(body))
+	}
+	resp := PredictResponse{
+		ID:     binary.BigEndian.Uint64(body[0:8]),
+		Status: Status(body[8]),
+	}
+	if len(body) > 9 {
+		resp.Data = body[9:]
+	}
+	return resp, nil
+}
+
+// WriteControl writes a bodyless control frame (MsgFlush, MsgReopen).
+func WriteControl(w io.Writer, msgType byte) error {
+	return writeFrame(w, msgType, nil)
+}
+
+// WriteMetricsRequest writes a metrics-snapshot request frame.
+func WriteMetricsRequest(w io.Writer, id uint64) error {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], id)
+	return writeFrame(w, MsgMetrics, body[:])
+}
+
+// ClientFrame is one server → client message, as read by backend.Remote.
+type ClientFrame struct {
+	// Type is the frame's message type (MsgPredict or MsgMetrics).
+	Type byte
+	// Predict is populated when Type is MsgPredict.
+	Predict PredictResponse
+	// MetricsID and MetricsJSON are populated when Type is MsgMetrics.
+	MetricsID   uint64
+	MetricsJSON []byte
+}
+
+// ReadClientFrame reads and decodes one server → client frame.
+func ReadClientFrame(r *bufio.Reader) (ClientFrame, error) {
+	msgType, body, err := readFrame(r)
+	if err != nil {
+		return ClientFrame{}, err
+	}
+	frame := ClientFrame{Type: msgType}
+	switch msgType {
+	case MsgPredict:
+		frame.Predict, err = decodePredictResponse(body)
+	case MsgMetrics:
+		frame.MetricsID, frame.MetricsJSON, err = decodeIDPrefix(body)
+	default:
+		err = fmt.Errorf("serve: unexpected server frame type %d", msgType)
+	}
+	if err != nil {
+		return ClientFrame{}, err
+	}
+	return frame, nil
+}
+
+// encodeIDPrefix builds a body of one u64 id followed by data.
+func encodeIDPrefix(id uint64, data []byte) []byte {
+	body := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(body[0:8], id)
+	copy(body[8:], data)
+	return body
+}
+
+// decodeIDPrefix splits a body into its u64 id and the rest.
+func decodeIDPrefix(body []byte) (uint64, []byte, error) {
+	if len(body) < 8 {
+		return 0, nil, fmt.Errorf("serve: body is %d bytes, want >= 8", len(body))
+	}
+	return binary.BigEndian.Uint64(body[0:8]), body[8:], nil
+}

@@ -1,0 +1,566 @@
+// Package serve is the suite's network serving subsystem: a production-style
+// inference server that exposes any model.Engine over a loopback TCP socket,
+// so every LoadGen scenario can run across a real network boundary — with
+// queueing, serialization and connection concurrency on the measured path —
+// instead of an in-process function call.
+//
+// The server owns the three mechanisms that bound achieved QPS in a real
+// datacenter submission (the phenomena the paper's Server scenario exists to
+// measure):
+//
+//   - Admission control: a bounded FIFO queue with a configurable overload
+//     policy. RejectNewest turns away arrivals when the queue is full;
+//     ShedOldest drops the queue head (the request most likely to already be over
+//     its deadline) to admit the newcomer. Either way the shed request is
+//     answered immediately with StatusRejected — overload is reported, never
+//     silent — and per-request deadlines expire queued requests before they
+//     waste service time.
+//
+//   - Dynamic batching: queued requests coalesce into one batched
+//     Engine.Predict call, up to MaxBatch within a BatchWait window, with
+//     backend.Batching's end-of-series semantics (MsgFlush switches to
+//     pass-through so stragglers are not held hostage by an armed timer;
+//     MsgReopen re-arms for the next run).
+//
+//   - A worker pool: N workers drain batches concurrently through the
+//     engine's pooled scratch-arena inference path, so service parallelism
+//     and batch formation are decoupled.
+//
+// Observability is part of the contract: the server tracks queue depth, a
+// dispatched-batch-size histogram, queue/service latency percentiles and
+// reject/expire counts, served as a Snapshot over the wire (MsgMetrics) for
+// the benchmark report.
+//
+// The LoadGen-facing client lives in backend.Remote, which implements
+// loadgen.SUT over this package's protocol; see protocol.go for the wire
+// format.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/model"
+)
+
+// SampleStore provides samples by index. dataset.QSL satisfies it; it is
+// declared here (structurally identical to backend.SampleStore) so the serve
+// and backend packages stay dependency-free of each other in this direction.
+type SampleStore interface {
+	Get(index int) (*dataset.Sample, error)
+}
+
+// OverloadPolicy selects what admission control does when the queue is full.
+type OverloadPolicy int
+
+const (
+	// RejectNewest answers the arriving request with StatusRejected and
+	// leaves the queue untouched (classic tail drop).
+	RejectNewest OverloadPolicy = iota
+	// ShedOldest rejects the queue head — the request that has waited
+	// longest and is most likely past saving — and admits the newcomer.
+	ShedOldest
+)
+
+// String returns the policy's CLI name.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case RejectNewest:
+		return "reject"
+	case ShedOldest:
+		return "shed-oldest"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a CLI policy name.
+func ParsePolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "reject", "":
+		return RejectNewest, nil
+	case "shed-oldest":
+		return ShedOldest, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown overload policy %q (want reject or shed-oldest)", s)
+	}
+}
+
+// Config configures a Server.
+type Config struct {
+	// Engine runs the inference; required.
+	Engine model.Engine
+	// Store resolves the sample indexes arriving over the wire; required.
+	// Like the reference LoadGen's QSL, the data set is resident on the
+	// serving side before the timed run.
+	Store SampleStore
+	// Addr is the listen address; it defaults to "127.0.0.1:0" (loopback,
+	// kernel-assigned port — read the bound address back with Addr).
+	Addr string
+	// Workers is the inference worker count; it defaults to
+	// runtime.GOMAXPROCS(0) floored at 2, matching backend.Native.
+	Workers int
+	// QueueDepth bounds the admission queue (default 1024). Arrivals beyond
+	// it are shed according to Policy.
+	QueueDepth int
+	// Policy is the overload policy (default RejectNewest).
+	Policy OverloadPolicy
+	// MaxBatch caps a dispatched batch. It defaults to the engine's derived
+	// micro-batch (model.BatchSizer) so dynamic batching feeds the batched
+	// kernels exactly the size their cache residency was derived for, or 8
+	// when the engine does not publish one.
+	MaxBatch int
+	// BatchWait is how long the dispatcher holds an under-full batch open
+	// for stragglers (default 2ms). After an end-of-series flush it is
+	// ignored (pass-through) until reopen.
+	BatchWait time.Duration
+}
+
+func (c *Config) normalize() error {
+	if c.Engine == nil {
+		return fmt.Errorf("serve: config needs an Engine")
+	}
+	if c.Store == nil {
+		return fmt.Errorf("serve: config needs a sample Store")
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		if bs, ok := c.Engine.(model.BatchSizer); ok {
+			c.MaxBatch = bs.PreferredBatch()
+		}
+		if c.MaxBatch <= 0 {
+			c.MaxBatch = 8
+		}
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	return nil
+}
+
+// request is one admitted predict request flowing queue → batch → worker.
+type request struct {
+	id       uint64
+	index    int
+	deadline time.Time
+	enqueued time.Time
+	conn     *serverConn
+}
+
+// respWriteTimeout bounds every response write. A client that stops reading
+// its socket (full kernel buffer) must not wedge a worker — after the
+// deadline the write fails, the connection is closed (so its reader exits and
+// later writes fail fast) and the worker moves on.
+const respWriteTimeout = 10 * time.Second
+
+// serverConn serializes response frames onto one accepted connection.
+type serverConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// writeFrame writes and flushes one frame; concurrent workers serialize here.
+// A failed or timed-out write poisons the connection deliberately.
+func (sc *serverConn) writeFrame(msgType byte, body []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.c.SetWriteDeadline(time.Now().Add(respWriteTimeout))
+	err := writeFrame(sc.w, msgType, body)
+	if err == nil {
+		err = sc.w.Flush()
+	}
+	if err != nil {
+		sc.c.Close()
+		return err
+	}
+	return nil
+}
+
+// Server is a running inference server. New starts it listening; Close tears
+// it down after draining admitted work.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu          sync.Mutex
+	queue       []*request
+	passthrough bool
+	shutdown    bool
+	conns       map[*serverConn]struct{}
+
+	// notify wakes the dispatcher (capacity 1; a dropped signal is fine
+	// because the dispatcher re-checks state whenever it holds a token).
+	notify  chan struct{}
+	batchCh chan []*request
+
+	metrics    *serverMetrics
+	acceptWG   sync.WaitGroup
+	connWG     sync.WaitGroup
+	dispatchWG sync.WaitGroup
+	workWG     sync.WaitGroup
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+// New validates the configuration, binds the listener and starts the accept
+// loop, dispatcher and worker pool. The server is serving when New returns.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listening on %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[*serverConn]struct{}),
+		notify:  make(chan struct{}, 1),
+		batchCh: make(chan []*request, cfg.Workers),
+		metrics: newServerMetrics(),
+	}
+	s.dispatchWG.Add(1)
+	go s.dispatch()
+	s.workWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	s.acceptWG.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with the default ":0" port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Metrics returns a point-in-time snapshot of the serving metrics.
+func (s *Server) Metrics() Snapshot {
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	return s.metrics.snapshot(depth, s.cfg.Workers, s.cfg.MaxBatch)
+}
+
+// Close stops accepting connections, drains every admitted request (each gets
+// its response), then closes remaining connections. Safe to call repeatedly.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.ln.Close()
+		s.mu.Lock()
+		s.shutdown = true
+		s.mu.Unlock()
+		s.signal()
+		s.dispatchWG.Wait() // drains the queue, then closes batchCh
+		s.workWG.Wait()     // finishes in-flight batches (responses written)
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.mu.Unlock()
+		s.acceptWG.Wait()
+		s.connWG.Wait()
+	})
+	return s.closeErr
+}
+
+// signal wakes the dispatcher without blocking.
+func (s *Server) signal() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// accept runs the listener loop.
+func (s *Server) accept() {
+	defer s.acceptWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.serveConn(c)
+		}()
+	}
+}
+
+// serveConn reads frames off one connection until it closes or misbehaves.
+func (s *Server) serveConn(c net.Conn) {
+	defer c.Close()
+	sc := &serverConn{c: c, w: bufio.NewWriter(c)}
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+	}()
+
+	r := bufio.NewReader(c)
+	for {
+		msgType, body, err := readFrame(r)
+		if err != nil {
+			return // EOF, closed, or oversized frame
+		}
+		switch msgType {
+		case MsgPredict:
+			req, err := decodePredictRequest(body)
+			if err != nil {
+				return
+			}
+			s.admit(&request{id: req.ID, index: req.SampleIndex, deadline: req.Deadline, conn: sc})
+		case MsgFlush:
+			s.flushSeries()
+		case MsgReopen:
+			s.reopen()
+		case MsgMetrics:
+			id, _, err := decodeIDPrefix(body)
+			if err != nil {
+				return
+			}
+			data, err := json.Marshal(s.Metrics())
+			if err != nil {
+				return
+			}
+			_ = sc.writeFrame(MsgMetrics, encodeIDPrefix(id, data))
+		default:
+			return // unknown message: drop the connection
+		}
+	}
+}
+
+// admit applies admission control to one arriving request and wakes the
+// dispatcher. The shed victim (if any) is answered outside the queue lock.
+func (s *Server) admit(r *request) {
+	r.enqueued = time.Now()
+	var shed *request
+	rejected := false
+	s.mu.Lock()
+	switch {
+	case s.shutdown:
+		rejected = true
+	case len(s.queue) >= s.cfg.QueueDepth:
+		if s.cfg.Policy == ShedOldest {
+			shed = s.queue[0]
+			s.queue = append(s.queue[1:], r)
+		} else {
+			rejected = true
+		}
+	default:
+		s.queue = append(s.queue, r)
+	}
+	s.mu.Unlock()
+
+	if rejected {
+		s.metrics.addRejected()
+		s.respond(r, StatusRejected, nil)
+		return
+	}
+	s.metrics.addAdmitted()
+	if shed != nil {
+		s.metrics.addShed()
+		s.respond(shed, StatusRejected, nil)
+	}
+	s.signal()
+}
+
+// flushSeries is the MsgFlush path: forward everything buffered now and stop
+// holding batches open for stragglers (backend.Batching's end-of-series
+// semantics).
+func (s *Server) flushSeries() {
+	s.mu.Lock()
+	s.passthrough = true
+	s.mu.Unlock()
+	s.metrics.addFlush()
+	s.signal()
+}
+
+// reopen re-arms batching for a new query series.
+func (s *Server) reopen() {
+	s.mu.Lock()
+	s.passthrough = false
+	s.mu.Unlock()
+}
+
+// dispatch forms batches from the admission queue and hands them to the
+// worker pool. An under-full batch is held open up to BatchWait from its
+// oldest request's arrival unless pass-through or shutdown forces it out.
+func (s *Server) dispatch() {
+	defer s.dispatchWG.Done()
+	defer close(s.batchCh)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 {
+			if s.shutdown {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			<-s.notify
+			s.mu.Lock()
+		}
+		if !(s.passthrough || s.shutdown || len(s.queue) >= s.cfg.MaxBatch) {
+			deadline := s.queue[0].enqueued.Add(s.cfg.BatchWait)
+			s.mu.Unlock()
+			s.waitForBatch(deadline)
+			s.mu.Lock()
+		}
+		batch := s.takeLocked()
+		s.mu.Unlock()
+		if len(batch) > 0 {
+			s.batchCh <- batch
+		}
+	}
+}
+
+// waitForBatch sleeps until the batch window closes: the queue fills to
+// MaxBatch, pass-through/shutdown is flagged, or the deadline passes.
+func (s *Server) waitForBatch(deadline time.Time) {
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			return
+		case <-s.notify:
+			s.mu.Lock()
+			done := s.passthrough || s.shutdown || len(s.queue) >= s.cfg.MaxBatch
+			s.mu.Unlock()
+			if done {
+				return
+			}
+		}
+	}
+}
+
+// takeLocked pops up to MaxBatch requests from the queue head. Caller holds
+// s.mu.
+func (s *Server) takeLocked() []*request {
+	n := len(s.queue)
+	if n > s.cfg.MaxBatch {
+		n = s.cfg.MaxBatch
+	}
+	batch := make([]*request, n)
+	copy(batch, s.queue[:n])
+	s.queue = s.queue[n:]
+	if len(s.queue) == 0 {
+		s.queue = nil // release the backing array between bursts
+	}
+	return batch
+}
+
+// worker drains batches until the dispatcher closes the channel.
+func (s *Server) worker() {
+	defer s.workWG.Done()
+	for batch := range s.batchCh {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch expires stale requests, resolves the survivors' samples and runs
+// them through the engine as one batched Predict on the pooled scratch-arena
+// path, answering each request on its own connection.
+func (s *Server) runBatch(batch []*request) {
+	started := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if !r.deadline.IsZero() && started.After(r.deadline) {
+			s.metrics.addExpired(1)
+			s.respond(r, StatusExpired, nil)
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.metrics.observeBatch(len(live))
+
+	samples := make([]*dataset.Sample, 0, len(live))
+	reqs := make([]*request, 0, len(live))
+	for _, r := range live {
+		sample, err := s.cfg.Store.Get(r.index)
+		if err != nil {
+			s.metrics.addErrored()
+			s.respond(r, StatusError, nil)
+			continue
+		}
+		samples = append(samples, sample)
+		reqs = append(reqs, r)
+	}
+	if len(samples) == 0 {
+		return
+	}
+
+	outputs, err := s.cfg.Engine.Predict(samples, nil)
+	if err != nil || len(outputs) != len(samples) {
+		// One bad sample poisons a whole batched Predict; retry sample by
+		// sample so errors stay isolated (mirrors backend.Native).
+		for i, r := range reqs {
+			s.predictOne(r, samples[i], started)
+		}
+		return
+	}
+	for i, r := range reqs {
+		s.finish(r, outputs[i], started)
+	}
+}
+
+// predictOne is the per-sample isolation fallback after a failed batch.
+func (s *Server) predictOne(r *request, sample *dataset.Sample, started time.Time) {
+	outputs, err := s.cfg.Engine.Predict([]*dataset.Sample{sample}, nil)
+	if err != nil || len(outputs) != 1 {
+		s.metrics.addErrored()
+		s.respond(r, StatusError, nil)
+		return
+	}
+	s.finish(r, outputs[0], started)
+}
+
+// finish encodes one prediction, records latencies and answers the request.
+// Metrics are recorded BEFORE the response is written so a snapshot taken by
+// a client that has seen all its responses is consistent (Completed covers
+// them); service time therefore excludes the buffered loopback write.
+func (s *Server) finish(r *request, out model.Output, started time.Time) {
+	data, err := out.Encode()
+	if err != nil {
+		s.metrics.addErrored()
+		s.respond(r, StatusError, nil)
+		return
+	}
+	s.metrics.observeService(started.Sub(r.enqueued), time.Since(started))
+	s.respond(r, StatusOK, data)
+}
+
+// respond writes one predict response; a write error means the client has
+// gone away, which does not concern the serving loop.
+func (s *Server) respond(r *request, status Status, data []byte) {
+	_ = r.conn.writeFrame(MsgPredict, encodePredictResponse(r.id, status, data))
+}

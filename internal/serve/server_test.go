@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/model"
+	"mlperf/internal/payload"
+	"mlperf/internal/tensor"
+)
+
+// echoEngine answers every sample with its index as the class, optionally
+// blocking on a gate so tests can hold the worker pool busy deterministically.
+type echoEngine struct {
+	gate chan struct{} // when non-nil, every Predict waits for one token
+}
+
+func (e *echoEngine) Name() string       { return "echo" }
+func (e *echoEngine) Kind() dataset.Kind { return dataset.KindImageClassification }
+
+func (e *echoEngine) Predict(samples []*dataset.Sample, _ *tensor.Scratch) ([]model.Output, error) {
+	if e.gate != nil {
+		<-e.gate
+	}
+	out := make([]model.Output, len(samples))
+	for i, s := range samples {
+		out[i] = model.Output{Kind: dataset.KindImageClassification, Class: s.Index}
+	}
+	return out, nil
+}
+
+// indexStore fabricates samples on demand.
+type indexStore struct{}
+
+func (indexStore) Get(index int) (*dataset.Sample, error) {
+	if index < 0 || index >= 1<<20 {
+		return nil, fmt.Errorf("bad index %d", index)
+	}
+	return &dataset.Sample{Index: index}, nil
+}
+
+// testClient is a bare protocol client for white-box server tests.
+type testClient struct {
+	t  *testing.T
+	c  net.Conn
+	r  *bufio.Reader
+	mu sync.Mutex
+}
+
+func dialTest(t *testing.T, addr string) *testClient {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &testClient{t: t, c: c, r: bufio.NewReader(c)}
+}
+
+func (tc *testClient) predict(id uint64, index int, deadline time.Time) {
+	tc.t.Helper()
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := WritePredictRequest(tc.c, PredictRequest{ID: id, SampleIndex: index, Deadline: deadline}); err != nil {
+		tc.t.Fatal(err)
+	}
+}
+
+func (tc *testClient) control(msgType byte) {
+	tc.t.Helper()
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := WriteControl(tc.c, msgType); err != nil {
+		tc.t.Fatal(err)
+	}
+}
+
+// read collects n predict responses keyed by id.
+func (tc *testClient) read(n int) map[uint64]PredictResponse {
+	tc.t.Helper()
+	tc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	out := make(map[uint64]PredictResponse, n)
+	for len(out) < n {
+		frame, err := ReadClientFrame(tc.r)
+		if err != nil {
+			tc.t.Fatalf("reading response %d of %d: %v", len(out)+1, n, err)
+		}
+		if frame.Type != MsgPredict {
+			continue
+		}
+		out[frame.Predict.ID] = frame.Predict
+	}
+	return out
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = &echoEngine{}
+	}
+	if cfg.Store == nil {
+		cfg.Store = indexStore{}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	deadline := time.Unix(0, 1234567890)
+	if err := WritePredictRequest(&buf, PredictRequest{ID: 42, SampleIndex: 7, Deadline: deadline}); err != nil {
+		t.Fatal(err)
+	}
+	msgType, body, err := readFrame(bufio.NewReader(&buf))
+	if err != nil || msgType != MsgPredict {
+		t.Fatalf("readFrame: type %d, err %v", msgType, err)
+	}
+	req, err := decodePredictRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 42 || req.SampleIndex != 7 || !req.Deadline.Equal(deadline) {
+		t.Errorf("request round-trip mismatch: %+v", req)
+	}
+
+	buf.Reset()
+	if err := writeFrame(&buf, MsgPredict, encodePredictResponse(42, StatusOK, []byte("payload"))); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ReadClientFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := frame.Predict
+	if resp.ID != 42 || resp.Status != StatusOK || string(resp.Data) != "payload" {
+		t.Errorf("response round-trip mismatch: %+v", resp)
+	}
+
+	// Zero deadline survives as zero.
+	buf.Reset()
+	if err := WritePredictRequest(&buf, PredictRequest{ID: 1, SampleIndex: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, body, _ = readFrame(bufio.NewReader(&buf))
+	req, _ = decodePredictRequest(body)
+	if !req.Deadline.IsZero() {
+		t.Errorf("zero deadline decoded as %v", req.Deadline)
+	}
+
+	// Oversized frames are refused.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, MsgPredict})
+	if _, _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+		t.Error("oversized frame: expected error")
+	}
+}
+
+func TestServeAnswersWithEncodedOutputs(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 4, BatchWait: time.Millisecond})
+	tc := dialTest(t, s.Addr())
+	const n = 16
+	for i := 0; i < n; i++ {
+		tc.predict(uint64(i+1), i*3, time.Time{})
+	}
+	responses := tc.read(n)
+	for i := 0; i < n; i++ {
+		resp := responses[uint64(i+1)]
+		if resp.Status != StatusOK {
+			t.Fatalf("request %d: status %v", i+1, resp.Status)
+		}
+		class, err := payload.DecodeClass(resp.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if class != i*3 {
+			t.Errorf("request %d: class %d, want %d", i+1, class, i*3)
+		}
+	}
+	snap := s.Metrics()
+	if snap.Admitted != n || snap.Completed != n || snap.Rejected != 0 {
+		t.Errorf("metrics: %+v", snap)
+	}
+	var batched uint64
+	for _, b := range snap.BatchHistogram {
+		batched += b.Count
+	}
+	if batched == 0 {
+		t.Error("no batches recorded in the histogram")
+	}
+}
+
+func TestServeBadSampleIndexIsIsolated(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 4, BatchWait: time.Millisecond})
+	tc := dialTest(t, s.Addr())
+	tc.predict(1, 5, time.Time{})
+	tc.predict(2, 1<<21, time.Time{}) // store error
+	tc.predict(3, 9, time.Time{})
+	responses := tc.read(3)
+	if responses[1].Status != StatusOK || responses[3].Status != StatusOK {
+		t.Errorf("good samples: %v, %v", responses[1].Status, responses[3].Status)
+	}
+	if responses[2].Status != StatusError {
+		t.Errorf("bad sample: status %v, want %v", responses[2].Status, StatusError)
+	}
+	if snap := s.Metrics(); snap.Errors != 1 {
+		t.Errorf("metrics errors = %d, want 1", snap.Errors)
+	}
+}
+
+func TestAdmissionControlRejects(t *testing.T) {
+	gate := make(chan struct{})
+	s := newTestServer(t, Config{
+		Engine: &echoEngine{gate: gate}, Workers: 1, QueueDepth: 2,
+		MaxBatch: 1, BatchWait: time.Millisecond, Policy: RejectNewest,
+	})
+	tc := dialTest(t, s.Addr())
+	const n = 12
+	for i := 0; i < n; i++ {
+		tc.predict(uint64(i+1), i, time.Time{})
+	}
+	// The worker pool (1 worker, 1 queued batch) plus the admission queue (2)
+	// cannot hold 12 requests: rejects must surface while the gate is shut.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Rejected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no rejects despite a full queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	responses := tc.read(n)
+	var ok, rejected int
+	for _, resp := range responses {
+		switch resp.Status {
+		case StatusOK:
+			ok++
+		case StatusRejected:
+			rejected++
+		default:
+			t.Errorf("unexpected status %v", resp.Status)
+		}
+	}
+	if rejected == 0 || ok == 0 || ok+rejected != n {
+		t.Errorf("ok %d + rejected %d, want both positive summing to %d", ok, rejected, n)
+	}
+	snap := s.Metrics()
+	if snap.Rejected != uint64(rejected) || snap.Admitted != uint64(ok) {
+		t.Errorf("metrics admitted/rejected = %d/%d, want %d/%d", snap.Admitted, snap.Rejected, ok, rejected)
+	}
+}
+
+func TestAdmissionControlShedsOldest(t *testing.T) {
+	gate := make(chan struct{})
+	s := newTestServer(t, Config{
+		Engine: &echoEngine{gate: gate}, Workers: 1, QueueDepth: 2,
+		MaxBatch: 1, BatchWait: time.Millisecond, Policy: ShedOldest,
+	})
+	tc := dialTest(t, s.Addr())
+	const n = 12
+	for i := 0; i < n; i++ {
+		tc.predict(uint64(i+1), i, time.Time{})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Shed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no sheds despite a full queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	responses := tc.read(n)
+	var rejectedIDs, okIDs []uint64
+	for id, resp := range responses {
+		if resp.Status == StatusRejected {
+			rejectedIDs = append(rejectedIDs, id)
+		} else if resp.Status == StatusOK {
+			okIDs = append(okIDs, id)
+		}
+	}
+	if len(rejectedIDs) == 0 {
+		t.Fatal("no rejects recorded")
+	}
+	// Shedding the oldest means the LAST arrival always survives.
+	for _, id := range rejectedIDs {
+		if id == n {
+			t.Errorf("shed-oldest rejected the newest request (id %d)", id)
+		}
+	}
+	if len(okIDs)+len(rejectedIDs) != n {
+		t.Errorf("%d ok + %d rejected, want %d total", len(okIDs), len(rejectedIDs), n)
+	}
+	// Counter reconciliation: every shed request was first admitted, so
+	// admitted covers both the served and the shed.
+	snap := s.Metrics()
+	if snap.Shed != uint64(len(rejectedIDs)) || snap.Rejected != 0 {
+		t.Errorf("metrics shed/rejected = %d/%d, want %d/0", snap.Shed, snap.Rejected, len(rejectedIDs))
+	}
+	if snap.Admitted != snap.Completed+snap.Shed {
+		t.Errorf("admitted %d != completed %d + shed %d", snap.Admitted, snap.Completed, snap.Shed)
+	}
+}
+
+func TestDeadlineExpiresQueuedRequests(t *testing.T) {
+	gate := make(chan struct{})
+	s := newTestServer(t, Config{
+		Engine: &echoEngine{gate: gate}, Workers: 1, QueueDepth: 16,
+		MaxBatch: 1, BatchWait: time.Millisecond,
+	})
+	tc := dialTest(t, s.Addr())
+	tc.predict(1, 0, time.Time{})                        // occupies the worker
+	tc.predict(2, 1, time.Now().Add(5*time.Millisecond)) // will expire while queued
+	tc.predict(3, 2, time.Now().Add(10*time.Second))     // generous: survives
+	time.Sleep(30 * time.Millisecond)                    // let request 2's deadline lapse
+	gate <- struct{}{}                                   // finish request 1
+	gate <- struct{}{}                                   // serve request 3 (request 2 expires without predicting)
+	close(gate)
+	responses := tc.read(3)
+	if responses[1].Status != StatusOK {
+		t.Errorf("request 1: %v, want ok", responses[1].Status)
+	}
+	if responses[2].Status != StatusExpired {
+		t.Errorf("request 2: %v, want expired", responses[2].Status)
+	}
+	if responses[3].Status != StatusOK {
+		t.Errorf("request 3: %v, want ok", responses[3].Status)
+	}
+	if snap := s.Metrics(); snap.Expired != 1 {
+		t.Errorf("metrics expired = %d, want 1", snap.Expired)
+	}
+}
+
+func TestFlushSwitchesToPassthroughAndReopenRearms(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 8, BatchWait: 10 * time.Second})
+	tc := dialTest(t, s.Addr())
+	// Three requests would wait out the 10s window...
+	tc.predict(1, 0, time.Time{})
+	tc.predict(2, 1, time.Time{})
+	tc.predict(3, 2, time.Time{})
+	tc.control(MsgFlush) // ...but the end-of-series flush forces them out now.
+	responses := tc.read(3)
+	for id := uint64(1); id <= 3; id++ {
+		if responses[id].Status != StatusOK {
+			t.Errorf("request %d: %v", id, responses[id].Status)
+		}
+	}
+	// Pass-through: a straggler is answered immediately, no re-armed window.
+	tc.predict(4, 3, time.Time{})
+	if resp := tc.read(1); resp[4].Status != StatusOK {
+		t.Errorf("straggler: %v", resp[4].Status)
+	}
+	// Reopen re-arms batching: a full batch dispatches without the window.
+	tc.control(MsgReopen)
+	for i := 0; i < 8; i++ {
+		tc.predict(uint64(10+i), i, time.Time{})
+	}
+	full := tc.read(8)
+	for i := 0; i < 8; i++ {
+		if full[uint64(10+i)].Status != StatusOK {
+			t.Errorf("batched request %d: %v", 10+i, full[uint64(10+i)].Status)
+		}
+	}
+	if snap := s.Metrics(); snap.Flushes != 1 {
+		t.Errorf("metrics flushes = %d, want 1", snap.Flushes)
+	}
+}
+
+func TestMetricsOverTheWire(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 2, BatchWait: time.Millisecond})
+	tc := dialTest(t, s.Addr())
+	tc.predict(1, 4, time.Time{})
+	tc.read(1)
+	tc.mu.Lock()
+	err := WriteMetricsRequest(tc.c, 99)
+	tc.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	frame, err := ReadClientFrame(tc.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != MsgMetrics || frame.MetricsID != 99 {
+		t.Fatalf("frame type %d id %d, want metrics id 99", frame.Type, frame.MetricsID)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(frame.MetricsJSON, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed != 1 || snap.Admitted != 1 {
+		t.Errorf("wire snapshot: %+v", snap)
+	}
+	if snap.ServiceP99 <= 0 || snap.QueueP99 < 0 {
+		t.Errorf("latency percentiles not populated: %+v", snap)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 8, BatchWait: time.Millisecond})
+	const conns, per = 4, 64
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", s.Addr(), 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			go func() {
+				for i := 0; i < per; i++ {
+					id := uint64(c*per + i + 1)
+					WritePredictRequest(conn, PredictRequest{ID: id, SampleIndex: int(id) * 7})
+				}
+			}()
+			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			for i := 0; i < per; i++ {
+				frame, err := ReadClientFrame(r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp := frame.Predict
+				class, err := payload.DecodeClass(resp.Data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if class != int(resp.ID)*7 {
+					errs <- fmt.Errorf("id %d answered class %d, want %d", resp.ID, class, resp.ID*7)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := s.Metrics(); snap.Completed != conns*per {
+		t.Errorf("completed %d, want %d", snap.Completed, conns*per)
+	}
+}
+
+func TestCloseDrainsAdmittedWork(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 4, BatchWait: time.Millisecond})
+	tc := dialTest(t, s.Addr())
+	const n = 8
+	for i := 0; i < n; i++ {
+		tc.predict(uint64(i+1), i, time.Time{})
+	}
+	responses := tc.read(n) // all answered before we close
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for id, resp := range responses {
+		if resp.Status != StatusOK {
+			t.Errorf("request %d: %v", id, resp.Status)
+		}
+	}
+	// Double close is safe.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Store: indexStore{}}); err == nil {
+		t.Error("missing engine: expected error")
+	}
+	if _, err := New(Config{Engine: &echoEngine{}}); err == nil {
+		t.Error("missing store: expected error")
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy: expected error")
+	}
+	if p, err := ParsePolicy("shed-oldest"); err != nil || p != ShedOldest {
+		t.Errorf("ParsePolicy(shed-oldest) = %v, %v", p, err)
+	}
+}

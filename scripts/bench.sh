@@ -1,24 +1,27 @@
 #!/usr/bin/env bash
-# bench.sh — kernel/native/batched micro-benchmark gate.
+# bench.sh — kernel/native/batched/serving micro-benchmark gate.
 #
 # Gates the tree with `go vet` and `go test -race`, then runs the
-# compute-kernel, native-classifier and batch-first Engine benchmarks
-# (serial reference vs blocked/parallel engine, heap vs scratch-arena
-# inference, batched Predict vs the per-sample loop at batch 1/8/32 for the
-# CNN and recurrent engines, the weight-streaming wide classifier, and the
-# offline classification/translation scenarios end to end) and writes the
-# aggregated numbers to a JSON file (default BENCH_PR3.json) so speedups and
-# allocation counts are recorded in the repository alongside the code they
+# compute-kernel, native-classifier, batch-first Engine and network-serving
+# benchmarks (serial reference vs blocked/parallel engine, heap vs
+# scratch-arena inference, batched Predict vs the per-sample loop at batch
+# 1/8/32 for the CNN and recurrent engines, the weight-streaming wide
+# classifier, the offline classification/translation scenarios end to end,
+# and the loopback serving comparison: Server + Offline through an
+# in-process backend.Native vs over-the-wire through serve.Server +
+# backend.Remote with the queue/service latency breakdown) and writes the
+# aggregated numbers to a JSON file (default BENCH_PR4.json) so speedups and
+# serving overheads are recorded in the repository alongside the code they
 # measure.
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR3.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR4.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR3.json}"
+OUT="${OUT:-BENCH_PR4.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
@@ -29,7 +32,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-    -bench 'Kernel|NativeClassifier|BatchedPredict|OfflineBatched|GNMTBatchedDecode|WideBatchedPredict|OfflineGNMT' \
+    -bench 'Kernel|NativeClassifier|BatchedPredict|OfflineBatched|GNMTBatchedDecode|WideBatchedPredict|OfflineGNMT|Serving' \
     -benchmem -count "$COUNT" . | tee "$raw"
 
 awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -44,6 +47,9 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         if ($i == "allocs/op") allocs[name] += $(i-1)
         if ($i == "ns/sample") nssample[name] += $(i-1)
         if ($i == "samples/s") sps[name] += $(i-1)
+        if ($i == "qps")            qps[name]     += $(i-1)
+        if ($i == "queue_p99_ns")   queuep99[name] += $(i-1)
+        if ($i == "service_p99_ns") svcp99[name]  += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
@@ -67,6 +73,9 @@ END {
             name, avg(ns, name), avg(bytes, name), avg(allocs, name)
         if (nssample[name] > 0) printf ", \"ns_per_sample\": %.0f", avg(nssample, name)
         if (sps[name] > 0)      printf ", \"samples_per_sec\": %.1f", avg(sps, name)
+        if (qps[name] > 0)      printf ", \"qps\": %.1f", avg(qps, name)
+        if (queuep99[name] > 0) printf ", \"queue_p99_ns\": %.0f", avg(queuep99, name)
+        if (svcp99[name] > 0)   printf ", \"service_p99_ns\": %.0f", avg(svcp99, name)
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
@@ -93,8 +102,15 @@ END {
         speedup("BenchmarkWideBatchedPredict", 1), speedup("BenchmarkWideBatchedPredict", 8), speedup("BenchmarkWideBatchedPredict", 32)
     printf "    \"offline_scenario_batched_vs_persample_throughput\": [%.1f, %.1f],\n", \
         avg(sps, "BenchmarkOfflineBatched/batched"), avg(sps, "BenchmarkOfflineBatched/persample")
-    printf "    \"offline_translation_batched_vs_persample_throughput\": [%.1f, %.1f]\n", \
+    printf "    \"offline_translation_batched_vs_persample_throughput\": [%.1f, %.1f],\n", \
         avg(sps, "BenchmarkOfflineGNMT/batched"), avg(sps, "BenchmarkOfflineGNMT/persample")
+    printf "    \"serving_server_qps_inprocess_vs_remote\": [%.1f, %.1f],\n", \
+        avg(qps, "BenchmarkServingServer/inprocess"), avg(qps, "BenchmarkServingServer/remote")
+    printf "    \"serving_offline_throughput_inprocess_vs_remote\": [%.1f, %.1f],\n", \
+        avg(sps, "BenchmarkServingOffline/inprocess"), avg(sps, "BenchmarkServingOffline/remote")
+    printf "    \"serving_latency_breakdown_p99_ns\": {\"server_queue\": %.0f, \"server_service\": %.0f, \"offline_queue\": %.0f, \"offline_service\": %.0f}\n", \
+        avg(queuep99, "BenchmarkServingServer/remote"), avg(svcp99, "BenchmarkServingServer/remote"), \
+        avg(queuep99, "BenchmarkServingOffline/remote"), avg(svcp99, "BenchmarkServingOffline/remote")
     printf "  }\n"
     printf "}\n"
 }' "$raw" > "$OUT"
