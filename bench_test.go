@@ -790,6 +790,103 @@ func BenchmarkServingOffline(b *testing.B) {
 	})
 }
 
+// startServingFleet deploys engine behind n loopback serve.Servers with a
+// Remote fanning out over all of them.
+func startServingFleet(b *testing.B, engine model.Engine, qsl *dataset.QSL, n int) ([]*serve.Server, *backend.Remote) {
+	b.Helper()
+	var (
+		servers []*serve.Server
+		addrs   []string
+	)
+	for i := 0; i < n; i++ {
+		srv, err := serve.New(serve.Config{Engine: engine, Store: qsl, BatchWait: 2 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	remote, err := backend.NewRemote(backend.RemoteConfig{Addrs: addrs, Conns: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { remote.Close() })
+	return servers, remote
+}
+
+// BenchmarkServingReplicas measures the scale-out serving path: the Server
+// and Offline scenarios against 1 vs 2 loopback replicas, with the
+// per-replica completion/latency breakdown reported for the sharded runs.
+// On a single-core runner the replicas share the core, so parity (not
+// speedup) is the expected outcome; the speedup materializes when each
+// replica gets its own cores.
+func BenchmarkServingReplicas(b *testing.B) {
+	engine, qsl := servingStack(b)
+	serverSettings := loadgen.DefaultSettings(loadgen.Server)
+	serverSettings.MinQueryCount = 256
+	serverSettings.MinDuration = 0
+	serverSettings.ServerTargetQPS = 1000
+	serverSettings.ServerTargetLatency = 100 * time.Millisecond
+	offlineSettings := loadgen.DefaultSettings(loadgen.Offline)
+	offlineSettings.MinSampleCount = 2048
+	offlineSettings.MinDuration = 0
+
+	// Each sub-benchmark gets its own fleet: server metrics accumulate from
+	// server start, so sharing one fleet would fold the previous scenario's
+	// traffic into the reported per-replica breakdown.
+	reportReplicas := func(b *testing.B, servers []*serve.Server) {
+		b.Helper()
+		for i, srv := range servers {
+			snap := srv.Metrics()
+			b.ReportMetric(float64(snap.Completed), fmt.Sprintf("replica%d_completed", i))
+			b.ReportMetric(float64(snap.ServiceP99), fmt.Sprintf("replica%d_service_p99_ns", i))
+		}
+	}
+	for _, replicas := range []int{1, 2} {
+		b.Run(fmt.Sprintf("server/replicas%d", replicas), func(b *testing.B) {
+			servers, remote := startServingFleet(b, engine, qsl, replicas)
+			var qps float64
+			for i := 0; i < b.N; i++ {
+				res, err := loadgen.StartTest(remote, qsl, serverSettings)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ResponsesDropped > 0 {
+					b.Fatalf("%d responses dropped", res.ResponsesDropped)
+				}
+				qps = res.ServerAchievedQPS
+			}
+			remote.Wait()
+			if errs := remote.Errors(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			b.ReportMetric(qps, "qps")
+			reportReplicas(b, servers)
+		})
+		b.Run(fmt.Sprintf("offline/replicas%d", replicas), func(b *testing.B) {
+			servers, remote := startServingFleet(b, engine, qsl, replicas)
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				res, err := loadgen.StartTest(remote, qsl, offlineSettings)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ResponsesDropped > 0 {
+					b.Fatalf("%d responses dropped", res.ResponsesDropped)
+				}
+				tput = res.OfflineSamplesPerSec
+			}
+			remote.Wait()
+			if errs := remote.Errors(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			b.ReportMetric(tput, "samples/s")
+			reportReplicas(b, servers)
+		})
+	}
+}
+
 // --- Statistical machinery. ---
 
 func BenchmarkPoissonSchedule(b *testing.B) {

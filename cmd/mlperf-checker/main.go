@@ -1,6 +1,8 @@
 // Command mlperf-checker runs the result-review process of Section V-B
 // against the reference submission system: it executes the audit battery
-// (accuracy verification, caching detection, alternate random seeds) and the
+// (accuracy verification, caching detection, alternate random seeds), the
+// serving conformance suite (a sharded loopback deployment whose run must
+// reconcile drops and latency-bound validity across replicas), and the
 // submission checker, and reports whether the system would clear review.
 package main
 
@@ -11,9 +13,11 @@ import (
 	"time"
 
 	"mlperf/internal/audit"
+	"mlperf/internal/backend"
 	"mlperf/internal/core"
 	"mlperf/internal/harness"
 	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
 	"mlperf/internal/submission"
 )
 
@@ -23,6 +27,7 @@ func main() {
 		samples  = flag.Int("samples", 64, "synthetic data-set size")
 		scale    = flag.Int("scale", 64, "divide production query counts by this factor")
 		seed     = flag.Uint64("seed", 42, "model/data seed")
+		replicas = flag.Int("serving-replicas", 2, "loopback replicas for the serving conformance run (0 skips it)")
 	)
 	flag.Parse()
 
@@ -43,6 +48,21 @@ func main() {
 	}
 	for _, f := range findings {
 		fmt.Println(f)
+	}
+
+	// Serving conformance: the same engine behind a sharded loopback fleet
+	// must satisfy the run rules over the wire — rejects/expiries reconciled
+	// across every replica, drops invalidating, latency verdict reproducible.
+	if *replicas > 0 {
+		servingFindings, err := servingConformance(assembly, *replicas)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		for _, f := range servingFindings {
+			fmt.Println(f)
+		}
+		findings = append(findings, servingFindings...)
 	}
 
 	// Also run one scenario end to end and push the result through the
@@ -77,6 +97,40 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println("\nRESULT: review passed — submission would be cleared as valid")
+}
+
+// servingConformance deploys the assembly behind a loopback replica fleet,
+// drives a Server-scenario run through it, and checks the serving run rules.
+func servingConformance(assembly *harness.Assembly, replicas int) ([]audit.Finding, error) {
+	dep, err := assembly.ServeLoopback(harness.ServeOptions{
+		Replicas: replicas,
+		Server:   serve.Config{BatchWait: time.Millisecond},
+		Client:   backend.RemoteConfig{MaxInFlight: 64},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+
+	settings := loadgen.DefaultSettings(loadgen.Server)
+	settings.MinQueryCount = 128
+	settings.MinDuration = 200 * time.Millisecond
+	settings.ServerTargetQPS = 200
+	settings.ServerTargetLatency = 250 * time.Millisecond
+	res, err := loadgen.StartTest(dep.Remote, assembly.QSL, settings)
+	if err != nil {
+		return nil, fmt.Errorf("serving conformance run: %w", err)
+	}
+	dep.Remote.Wait()
+	fmt.Printf("\nserving conformance: %d replicas, %d queries, %.0f QPS achieved\n",
+		replicas, res.QueriesCompleted, res.ServerAchievedQPS)
+	return audit.CheckServing(audit.ServingEvidence{
+		Result:         res,
+		Settings:       settings,
+		ClientRejected: dep.Remote.Rejected(),
+		ClientExpired:  dep.Remote.Expired(),
+		Replicas:       dep.ReplicaMetrics(),
+	})
 }
 
 func fatal(err error) {

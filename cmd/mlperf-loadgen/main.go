@@ -10,13 +10,15 @@
 //	mlperf-loadgen -task image-classification-heavy -scenario Server \
 //	    -backend simulated -platform dc-gpu-g1 -scale 256
 //	mlperf-loadgen -task image-classification-light -scenario Server \
-//	    -backend remote -addr 127.0.0.1:9090
+//	    -backend remote -addr 127.0.0.1:9090,127.0.0.1:9091
 //
-// The remote backend drives an mlperf-serve started with the same -task,
-// -samples and -seed (model weights and data are derived deterministically
-// from them, so over-the-wire responses stay bit-identical to in-process
-// inference — including for -accuracy runs, which score remote responses
-// against the local ground truth).
+// The remote backend drives one or more mlperf-serve replicas started with
+// the same -task, -samples and -seed (model weights and data are derived
+// deterministically from them, so over-the-wire responses stay bit-identical
+// to in-process inference — including for -accuracy runs, which score remote
+// responses against the local ground truth). A comma-separated -addr fans the
+// load out over the replica set with least-in-flight routing; -model
+// addresses one named engine on a multi-model mlperf-serve -tasks listener.
 package main
 
 import (
@@ -39,7 +41,8 @@ func main() {
 		scenarioName = flag.String("scenario", "SingleStream", "SingleStream, MultiStream, Server or Offline")
 		backendName  = flag.String("backend", "native", "native, simulated or remote")
 		platformName = flag.String("platform", "desktop-cpu-c1", "simulated platform (with -backend simulated)")
-		remoteAddr   = flag.String("addr", "127.0.0.1:9090", "mlperf-serve address (with -backend remote)")
+		remoteAddr   = flag.String("addr", "127.0.0.1:9090", "mlperf-serve address, or a comma-separated replica set (with -backend remote)")
+		remoteModel  = flag.String("model", "", "named model on a multi-model mlperf-serve (with -backend remote)")
 		deadline     = flag.Duration("deadline", 0, "per-request deadline stamped by the remote backend (0 = none)")
 		accuracyRun  = flag.Bool("accuracy", false, "also run accuracy mode and score quality")
 		scale        = flag.Int("scale", 128, "divide the production query counts and duration by this factor (1 = full production run)")
@@ -89,8 +92,13 @@ func main() {
 		}
 		assembly.SetSUT(sut)
 	case "remote":
+		addrs := strings.Split(*remoteAddr, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
 		remote, err := backend.NewRemote(backend.RemoteConfig{
-			Addr: *remoteAddr, Name: fmt.Sprintf("%s@%s", spec.ReferenceModel, *remoteAddr),
+			Addrs: addrs, Model: *remoteModel,
+			Name:     fmt.Sprintf("%s@%s", spec.ReferenceModel, *remoteAddr),
 			Deadline: *deadline,
 		})
 		if err != nil {
@@ -122,10 +130,17 @@ func main() {
 	fmt.Printf("p50/p90/p99: %v / %v / %v\n", perf.QueryLatencies.P50, perf.QueryLatencies.P90, perf.QueryLatencies.P99)
 	fmt.Printf("valid:       %v %v\n", perf.Valid, perf.ValidityMessages)
 	if remote, ok := assembly.SUT.(*backend.Remote); ok {
-		fmt.Printf("shed:        %d rejected, %d expired\n", remote.Rejected(), remote.Expired())
+		fmt.Printf("shed:        %d rejected, %d expired, %d replicas down\n",
+			remote.Rejected(), remote.Expired(), remote.DownReplicas())
 		if snap, err := remote.ServerMetrics(); err == nil {
 			fmt.Printf("serving:     queue p50/p99 %v/%v, service p50/p99 %v/%v, batches to %d\n",
 				snap.QueueP50, snap.QueueP99, snap.ServiceP50, snap.ServiceP99, snap.MaxBatch)
+		}
+		if snaps, err := remote.ReplicaMetrics(); err == nil && len(snaps) > 1 {
+			for i, snap := range snaps {
+				fmt.Printf("replica %d:   completed %d, rejected %d, expired %d, service p99 %v\n",
+					i, snap.Completed, snap.Rejected+snap.Shed, snap.Expired, snap.ServiceP99)
+			}
 		}
 	}
 	if report.Accuracy != nil {

@@ -1,28 +1,38 @@
-// Command mlperf-serve exposes a benchmark task's reference model over a
-// network socket: it builds the task's zoo model and synthetic data set
-// exactly as mlperf-loadgen does (same -samples/-seed ⇒ same weights and
-// samples, so responses are bit-identical to an in-process run), then serves
-// inference requests — with dynamic batching, bounded admission and
-// per-request deadlines — until interrupted.
+// Command mlperf-serve exposes benchmark tasks' reference models over network
+// sockets: it builds each task's zoo model and synthetic data set exactly as
+// mlperf-loadgen does (same -samples/-seed ⇒ same weights and samples, so
+// responses are bit-identical to an in-process run), then serves inference
+// requests — with dynamic batching, bounded admission and per-request
+// deadlines — until interrupted.
+//
+// One process can host a replica fleet (-replicas starts N identical
+// listeners on consecutive ports) and/or several models behind each listener
+// (-tasks serves one named engine per task, each with its own admission
+// queue, batcher and worker pool — the network form of multitenancy).
 //
 // Drive it from another process with mlperf-loadgen's remote backend:
 //
 //	mlperf-serve -task image-classification-light -addr 127.0.0.1:9090 \
-//	    -samples 128 -seed 42 &
+//	    -replicas 2 -samples 128 -seed 42 &
 //	mlperf-loadgen -task image-classification-light -scenario Server \
-//	    -backend remote -addr 127.0.0.1:9090 -samples 128 -seed 42
+//	    -backend remote -addr 127.0.0.1:9090,127.0.0.1:9091 \
+//	    -samples 128 -seed 42
 //
-// On SIGINT/SIGTERM the server drains admitted work and prints its serving
-// metrics (queue depth, batch-size histogram, queue/service latency
-// percentiles, rejects) as JSON.
+// With -tasks, clients address a model by its task name (mlperf-loadgen
+// -model <task>). On SIGINT/SIGTERM the server drains admitted work and
+// prints per-replica, per-model serving metrics (queue depth, batch-size
+// histogram, queue/service latency percentiles, rejects) as JSON.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,11 +44,13 @@ import (
 func main() {
 	var (
 		taskName  = flag.String("task", string(core.ImageClassificationLight), "benchmark task whose reference model to serve")
-		addr      = flag.String("addr", "127.0.0.1:9090", "listen address")
+		taskList  = flag.String("tasks", "", "comma-separated tasks to host as named models behind each listener (overrides -task; model id = task name)")
+		addr      = flag.String("addr", "127.0.0.1:9090", "listen address (replicas bind consecutive ports from it)")
+		replicas  = flag.Int("replicas", 1, "how many identical server replicas to start")
 		samples   = flag.Int("samples", 128, "synthetic data-set size (must match the driving loadgen)")
 		seed      = flag.Uint64("seed", 42, "model/data seed (must match the driving loadgen)")
-		workers   = flag.Int("workers", 0, "inference workers (0 = all cores)")
-		queue     = flag.Int("queue", 1024, "admission queue depth")
+		workers   = flag.Int("workers", 0, "inference workers per model (0 = all cores)")
+		queue     = flag.Int("queue", 1024, "admission queue depth per model")
 		policy    = flag.String("policy", "reject", "overload policy: reject or shed-oldest")
 		maxBatch  = flag.Int("max-batch", 0, "dynamic batch cap (0 = the engine's derived micro-batch)")
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "how long to hold an under-full batch open")
@@ -49,49 +61,121 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	assembly, err := harness.BuildNative(core.Task(*taskName), harness.BuildOptions{
-		DatasetSamples: *samples, Seed: *seed,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	// The serving side owns sample residency: load the whole data set before
-	// accepting traffic (the untimed load of the benchmark rules — the remote
-	// LoadGen's own LoadSamplesToRAM applies to its local copy only).
-	all := make([]int, assembly.QSL.TotalSampleCount())
-	for i := range all {
-		all[i] = i
-	}
-	if err := assembly.QSL.LoadSamplesToRAM(all); err != nil {
-		fatal(err)
+	if *replicas < 1 {
+		fatal(fmt.Errorf("-replicas must be at least 1, got %d", *replicas))
 	}
 
-	srv, err := serve.New(serve.Config{
-		Engine: assembly.Engine, Store: assembly.QSL, Addr: *addr,
+	tasks := []string{*taskName}
+	named := false
+	if *taskList != "" {
+		tasks = strings.Split(*taskList, ",")
+		named = true
+	}
+
+	cfg := serve.Config{
 		Workers: *workers, QueueDepth: *queue, Policy: overload,
 		MaxBatch: *maxBatch, BatchWait: *batchWait,
-	})
+	}
+	for _, name := range tasks {
+		name = strings.TrimSpace(name)
+		assembly, err := harness.BuildNative(core.Task(name), harness.BuildOptions{
+			DatasetSamples: *samples, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// The serving side owns sample residency: load the whole data set
+		// before accepting traffic (the untimed load of the benchmark rules —
+		// the remote LoadGen's own LoadSamplesToRAM applies to its local copy
+		// only).
+		all := make([]int, assembly.QSL.TotalSampleCount())
+		for i := range all {
+			all[i] = i
+		}
+		if err := assembly.QSL.LoadSamplesToRAM(all); err != nil {
+			fatal(err)
+		}
+		if named {
+			cfg.Models = append(cfg.Models, serve.ModelConfig{
+				Name: name, Engine: assembly.Engine, Store: assembly.QSL,
+			})
+			fmt.Printf("model %q: %s (%s)\n", name, assembly.Info.Name, assembly.Spec.Task)
+		} else {
+			cfg.Engine = assembly.Engine
+			cfg.Store = assembly.QSL
+			fmt.Printf("serving %s (%s)\n", assembly.Info.Name, assembly.Spec.Task)
+		}
+	}
+
+	addrs, err := replicaAddrs(*addr, *replicas)
 	if err != nil {
 		fatal(err)
 	}
-	started := srv.Metrics()
-	fmt.Printf("serving %s (%s) on %s\n", assembly.Info.Name, assembly.Spec.Task, srv.Addr())
-	fmt.Printf("workers=%d max-batch=%d queue=%d policy=%s batch-wait=%v\n",
-		started.Workers, started.MaxBatch, *queue, overload, *batchWait)
+	var servers []*serve.Server
+	for i := 0; i < *replicas; i++ {
+		cfg := cfg
+		cfg.Addr = addrs[i]
+		srv, err := serve.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		servers = append(servers, srv)
+		fmt.Printf("replica %d listening on %s\n", i, srv.Addr())
+	}
+	started := servers[0].Metrics()
+	fmt.Printf("replicas=%d models=%d workers=%d max-batch=%d queue=%d policy=%s batch-wait=%v\n",
+		len(servers), len(servers[0].Models()), started.Workers, started.MaxBatch, *queue, overload, *batchWait)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
-	snap := srv.Metrics()
-	if err := srv.Close(); err != nil {
-		fatal(err)
+	type labeledSnapshot struct {
+		Replica int            `json:"replica"`
+		Addr    string         `json:"addr"`
+		Model   string         `json:"model,omitempty"`
+		Metrics serve.Snapshot `json:"metrics"`
 	}
-	out, err := json.MarshalIndent(snap, "", "  ")
+	var dump []labeledSnapshot
+	for i, srv := range servers {
+		for _, model := range srv.Models() {
+			snap, err := srv.ModelMetrics(model)
+			if err != nil {
+				continue
+			}
+			dump = append(dump, labeledSnapshot{Replica: i, Addr: srv.Addr(), Model: model, Metrics: snap})
+		}
+		if err := srv.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	out, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\nserving metrics:\n%s\n", out)
+}
+
+// replicaAddrs expands a base listen address into one per replica: an
+// explicit port increments per replica, port 0 stays kernel-assigned.
+func replicaAddrs(base string, replicas int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("parsing -addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("parsing -addr port %q: %w", portStr, err)
+	}
+	addrs := make([]string, replicas)
+	for i := range addrs {
+		p := port
+		if port != 0 {
+			p = port + i
+		}
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return addrs, nil
 }
 
 func fatal(err error) {

@@ -14,7 +14,11 @@
 //     the server's own latency breakdown (queue vs service time) — the
 //     phenomena an in-process SUT cannot exhibit.
 //
-//  3. A virtual-time sweep over data-center platforms from the catalogue,
+//  3. The sharded form of the same deployment: a 2-replica loopback fleet
+//     with backend.Remote fanning queries out least-in-flight, the merged
+//     and per-replica metrics showing how the load split.
+//
+//  4. A virtual-time sweep over data-center platforms from the catalogue,
 //     searching for the highest Poisson rate each sustains under Table III's
 //     latency bound, and comparing it to the unconstrained offline throughput
 //     (the Figure 6 analysis for a single task).
@@ -110,7 +114,33 @@ func main() {
 	}
 	fmt.Printf("(rejected %d, shed %d, expired %d)\n", snap.Rejected, snap.Shed, snap.Expired)
 
-	// Part 3: virtual-time sweep across data-center platforms for the heavy
+	// Part 3: the same deployment sharded over two replicas. Outputs stay
+	// bit-identical (the replicas derive identical weights and data); only
+	// capacity and the routing change.
+	fleet, err := assembly.ServeLoopback(harness.ServeOptions{
+		Replicas: 2,
+		Server:   serve.Config{QueueDepth: 256, BatchWait: 2 * time.Millisecond},
+		Client:   backend.RemoteConfig{Conns: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	sharded, err := loadgen.StartTest(fleet.Assembly.SUT, fleet.Assembly.QSL, settings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet.Remote.Wait()
+	if errs := fleet.Remote.Errors(); len(errs) > 0 {
+		log.Fatalf("sharded SUT reported %d errors, first: %v", len(errs), errs[0])
+	}
+	report("2-replica fleet (TCP)", sharded)
+	for i, rsnap := range fleet.ReplicaMetrics() {
+		fmt.Printf("  %-22s completed %d, service p99 %v\n",
+			fmt.Sprintf("replica %d (%s)", i, fleet.Servers[i].Addr()), rsnap.Completed, rsnap.ServiceP99)
+	}
+
+	// Part 4: virtual-time sweep across data-center platforms for the heavy
 	// classification task (ResNet-50, 15 ms QoS bound).
 	heavySpec, err := core.Spec(core.ImageClassificationHeavy)
 	if err != nil {

@@ -1,0 +1,141 @@
+package audit
+
+import (
+	"fmt"
+
+	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
+)
+
+// ServingEvidence bundles one remote (possibly sharded) run with the
+// serving-side counters needed to verify the paper's run rules across a
+// network boundary. The replica snapshots must be deltas covering exactly the
+// audited run (a fresh deployment per audited run is the simple way to get
+// them), and the client counters must come from the Remote that drove it.
+type ServingEvidence struct {
+	// Result is the LoadGen's view of the run.
+	Result *loadgen.Result
+	// Settings is the configuration the run used (latency bound, percentile).
+	Settings loadgen.TestSettings
+	// ClientRejected and ClientExpired are the Remote's counts of responses
+	// the servers answered StatusRejected / StatusExpired.
+	ClientRejected int64
+	ClientExpired  int64
+	// Replicas holds one metrics snapshot per server replica.
+	Replicas []serve.Snapshot
+}
+
+// CheckServing runs the serving conformance checks: a remote or sharded run
+// satisfies the run rules only if shed load is visible end to end (server
+// reject/expire counters reconcile with the client's counts and the run's
+// ResponsesDropped — nothing dropped silently on either side of the wire),
+// drops invalidate the run, every issued query completes, and the run's
+// latency-bound verdict is reproducible from the merged latency log.
+func CheckServing(ev ServingEvidence) ([]Finding, error) {
+	if ev.Result == nil {
+		return nil, fmt.Errorf("audit: serving evidence needs a Result")
+	}
+	if len(ev.Replicas) == 0 {
+		return nil, fmt.Errorf("audit: serving evidence needs at least one replica snapshot")
+	}
+	merged := serve.MergeSnapshots(ev.Replicas...)
+	findings := []Finding{
+		checkDropAccounting(ev, merged),
+		checkDropValidity(ev.Result),
+		checkCompletion(ev.Result),
+	}
+	if ev.Result.Scenario == loadgen.Server {
+		findings = append(findings, checkLatencyBound(ev))
+	}
+	return findings, nil
+}
+
+// checkDropAccounting reconciles shed load across the wire: every reject or
+// expiry the replicas counted must have surfaced at the client, and every
+// dropped response the LoadGen counted must be explained by a client-observed
+// reject/expiry (an excess means transport loss, a deficit means silent
+// shedding — both violations).
+func checkDropAccounting(ev ServingEvidence, merged serve.Snapshot) Finding {
+	serverShed := int64(merged.Rejected + merged.Shed)
+	serverExpired := int64(merged.Expired)
+	clientDrops := ev.ClientRejected + ev.ClientExpired
+	detail := fmt.Sprintf(
+		"servers rejected %d and expired %d across %d replicas; client observed %d rejected, %d expired; run counted %d dropped responses",
+		serverShed, serverExpired, len(ev.Replicas), ev.ClientRejected, ev.ClientExpired, ev.Result.ResponsesDropped)
+	switch {
+	case serverShed != ev.ClientRejected:
+		return Finding{Name: "serving-drop-accounting", Pass: false,
+			Detail: detail + " — server rejects did not all surface at the client (silent shed)"}
+	case serverExpired != ev.ClientExpired:
+		return Finding{Name: "serving-drop-accounting", Pass: false,
+			Detail: detail + " — server expiries did not all surface at the client (silent expiry)"}
+	case int64(ev.Result.ResponsesDropped) != clientDrops:
+		return Finding{Name: "serving-drop-accounting", Pass: false,
+			Detail: detail + " — dropped responses not fully explained by rejects/expiries (transport loss or miscount)"}
+	default:
+		return Finding{Name: "serving-drop-accounting", Pass: true, Detail: detail + " — all reconciled"}
+	}
+}
+
+// checkDropValidity enforces that dropped responses invalidate the run: shed
+// load may happen, but a submission must not report such a run as valid.
+func checkDropValidity(r *loadgen.Result) Finding {
+	if r.ResponsesDropped > 0 && r.Valid {
+		return Finding{Name: "serving-drop-validity", Pass: false,
+			Detail: fmt.Sprintf("run dropped %d responses yet reports valid", r.ResponsesDropped)}
+	}
+	return Finding{Name: "serving-drop-validity", Pass: true,
+		Detail: fmt.Sprintf("%d dropped responses, run valid=%v", r.ResponsesDropped, r.Valid)}
+}
+
+// checkCompletion enforces termination semantics: every issued query and
+// sample completed (possibly as dropped) — an overloaded or dying fleet must
+// degrade, never hang or lose work.
+func checkCompletion(r *loadgen.Result) Finding {
+	if r.QueriesCompleted != r.QueriesIssued || r.SamplesCompleted != r.SamplesIssued {
+		return Finding{Name: "serving-completion", Pass: false,
+			Detail: fmt.Sprintf("completed %d of %d queries, %d of %d samples",
+				r.QueriesCompleted, r.QueriesIssued, r.SamplesCompleted, r.SamplesIssued)}
+	}
+	return Finding{Name: "serving-completion", Pass: true,
+		Detail: fmt.Sprintf("all %d queries (%d samples) completed", r.QueriesIssued, r.SamplesIssued)}
+}
+
+// checkLatencyBound recomputes the Server scenario's latency-bound verdict
+// from the merged per-query latency log and compares it with what the run
+// reported, so a submission cannot understate its violation fraction.
+func checkLatencyBound(ev ServingEvidence) Finding {
+	bound := ev.Settings.ServerTargetLatency
+	if bound <= 0 {
+		return Finding{Name: "serving-latency-bound", Pass: false,
+			Detail: "no server latency bound configured"}
+	}
+	log := ev.Result.QueryLatencies.Sorted
+	if len(log) == 0 {
+		return Finding{Name: "serving-latency-bound", Pass: false,
+			Detail: "result carries no latency log to recompute from"}
+	}
+	over := 0
+	for _, d := range log {
+		if d > bound {
+			over++
+		}
+	}
+	recomputed := float64(over) / float64(len(log))
+	reported := ev.Result.LatencyBoundViolations
+	if diff := recomputed - reported; diff > 1e-9 || diff < -1e-9 {
+		return Finding{Name: "serving-latency-bound", Pass: false,
+			Detail: fmt.Sprintf("recomputed violation fraction %.6f (%d of %d over %v) != reported %.6f",
+				recomputed, over, len(log), bound, reported)}
+	}
+	allowed := 1 - ev.Settings.ServerLatencyPercentile
+	violates := recomputed > allowed+1e-12
+	if violates && ev.Result.Valid {
+		return Finding{Name: "serving-latency-bound", Pass: false,
+			Detail: fmt.Sprintf("%.3f%% of queries exceed the %v bound (allowed %.3f%%) yet the run reports valid",
+				100*recomputed, bound, 100*allowed)}
+	}
+	return Finding{Name: "serving-latency-bound", Pass: true,
+		Detail: fmt.Sprintf("%d of %d merged queries over the %v bound (%.3f%%, allowed %.3f%%), verdict consistent",
+			over, len(log), bound, 100*recomputed, 100*allowed)}
+}

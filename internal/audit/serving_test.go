@@ -1,0 +1,225 @@
+package audit
+
+import (
+	"testing"
+	"time"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
+	"mlperf/internal/stats"
+)
+
+// evidence fabricates a fully reconciled 2-replica Server run: 100 queries,
+// 4 rejected (3 on replica 0, 1 on replica 1), 2 expired, invalid because of
+// the drops, latency log consistent with the reported violation fraction.
+func evidence() ServingEvidence {
+	log := make([]time.Duration, 100)
+	for i := range log {
+		log[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms
+	}
+	return ServingEvidence{
+		Result: &loadgen.Result{
+			Scenario:         loadgen.Server,
+			QueriesIssued:    100,
+			QueriesCompleted: 100,
+			SamplesIssued:    100,
+			SamplesCompleted: 100,
+			ResponsesDropped: 6,
+			Valid:            false,
+			ValidityMessages: []string{"SUT dropped 6 responses"},
+			QueryLatencies:   stats.LatencySummary{Count: len(log), Sorted: log},
+			// 10 of 100 queries exceed the 90ms bound.
+			LatencyBoundViolations: 0.10,
+		},
+		Settings: loadgen.TestSettings{
+			Scenario:                loadgen.Server,
+			ServerTargetLatency:     90 * time.Millisecond,
+			ServerLatencyPercentile: 0.9,
+		},
+		ClientRejected: 4,
+		ClientExpired:  2,
+		Replicas: []serve.Snapshot{
+			{Rejected: 3, Expired: 2, Completed: 60},
+			{Rejected: 1, Completed: 34},
+		},
+	}
+}
+
+func findingByName(t *testing.T, findings []Finding, name string) Finding {
+	t.Helper()
+	for _, f := range findings {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no finding %q in %v", name, findings)
+	return Finding{}
+}
+
+// TestCheckServingReconciled: fully consistent sharded evidence passes every
+// conformance check.
+func TestCheckServingReconciled(t *testing.T) {
+	findings, err := CheckServing(evidence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Fatalf("expected 4 findings, got %d: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if !f.Pass {
+			t.Errorf("reconciled evidence failed %s: %s", f.Name, f.Detail)
+		}
+	}
+}
+
+// TestCheckServingDetectsSilentShed: a replica that rejected work the client
+// never saw is the canonical silent drop — the accounting check must fail.
+func TestCheckServingDetectsSilentShed(t *testing.T) {
+	ev := evidence()
+	ev.Replicas[0].Rejected += 5 // server-side rejects the client never saw
+	findings, err := CheckServing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-drop-accounting"); f.Pass {
+		t.Errorf("silent shed passed: %s", f.Detail)
+	}
+
+	ev = evidence()
+	ev.Replicas[0].Expired = 0 // expiries the client saw but no server counted
+	findings, _ = CheckServing(ev)
+	if f := findingByName(t, findings, "serving-drop-accounting"); f.Pass {
+		t.Errorf("unexplained client expiries passed: %s", f.Detail)
+	}
+
+	ev = evidence()
+	ev.Result.ResponsesDropped = 9 // transport drops beyond reject+expire
+	findings, _ = CheckServing(ev)
+	if f := findingByName(t, findings, "serving-drop-accounting"); f.Pass {
+		t.Errorf("transport loss passed: %s", f.Detail)
+	}
+}
+
+// TestCheckServingDetectsDroppedButValid: reporting a run with drops as valid
+// violates the run rules.
+func TestCheckServingDetectsDroppedButValid(t *testing.T) {
+	ev := evidence()
+	ev.Result.Valid = true
+	findings, err := CheckServing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-drop-validity"); f.Pass {
+		t.Errorf("dropped-but-valid passed: %s", f.Detail)
+	}
+}
+
+// TestCheckServingDetectsIncompleteRun: queries that never completed mean the
+// fleet hung or lost work.
+func TestCheckServingDetectsIncompleteRun(t *testing.T) {
+	ev := evidence()
+	ev.Result.QueriesCompleted = 90
+	findings, err := CheckServing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-completion"); f.Pass {
+		t.Errorf("incomplete run passed: %s", f.Detail)
+	}
+}
+
+// TestCheckServingDetectsUnderstatedViolations: a result whose reported
+// violation fraction disagrees with its own latency log must fail.
+func TestCheckServingDetectsUnderstatedViolations(t *testing.T) {
+	ev := evidence()
+	ev.Result.LatencyBoundViolations = 0.01 // log says 10%
+	findings, err := CheckServing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-latency-bound"); f.Pass {
+		t.Errorf("understated violations passed: %s", f.Detail)
+	}
+
+	// And a run over the bound that still claims validity.
+	ev = evidence()
+	ev.Settings.ServerLatencyPercentile = 0.95 // allowed 5% < actual 10%
+	ev.Result.Valid = true
+	ev.Result.ResponsesDropped = 0
+	ev.ClientRejected, ev.ClientExpired = 0, 0
+	for i := range ev.Replicas {
+		ev.Replicas[i].Rejected, ev.Replicas[i].Shed, ev.Replicas[i].Expired = 0, 0, 0
+	}
+	findings, _ = CheckServing(ev)
+	if f := findingByName(t, findings, "serving-latency-bound"); f.Pass {
+		t.Errorf("over-bound-but-valid passed: %s", f.Detail)
+	}
+}
+
+// TestCheckServingEvidenceValidation pins the input requirements.
+func TestCheckServingEvidenceValidation(t *testing.T) {
+	if _, err := CheckServing(ServingEvidence{}); err == nil {
+		t.Error("empty evidence: expected error")
+	}
+	ev := evidence()
+	ev.Replicas = nil
+	if _, err := CheckServing(ev); err == nil {
+		t.Error("no replica snapshots: expected error")
+	}
+}
+
+// TestServingConformanceLoopback runs the conformance suite against a real
+// 2-replica loopback deployment: a provisioned fleet must clear every check
+// with zero drops, end to end.
+func TestServingConformanceLoopback(t *testing.T) {
+	a, err := harness.BuildNative(core.ImageClassificationLight, harness.BuildOptions{
+		DatasetSamples: 32, Seed: 7, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := a.ServeLoopback(harness.ServeOptions{
+		Replicas: 2,
+		Server:   serve.Config{Workers: 2, BatchWait: time.Millisecond},
+		Client:   backend.RemoteConfig{MaxInFlight: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	settings := loadgen.DefaultSettings(loadgen.Server)
+	settings.MinQueryCount = 64
+	settings.MinDuration = 100 * time.Millisecond
+	settings.ServerTargetQPS = 200
+	settings.ServerTargetLatency = 250 * time.Millisecond
+	res, err := loadgen.StartTest(dep.Remote, a.QSL, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Remote.Wait()
+	if errs := dep.Remote.Errors(); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+
+	findings, err := CheckServing(ServingEvidence{
+		Result:         res,
+		Settings:       settings,
+		ClientRejected: dep.Remote.Rejected(),
+		ClientExpired:  dep.Remote.Expired(),
+		Replicas:       dep.ReplicaMetrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllPassed(findings) {
+		for _, f := range findings {
+			t.Logf("%s", f)
+		}
+		t.Error("provisioned 2-replica loopback run failed serving conformance")
+	}
+}

@@ -12,12 +12,18 @@
 //     slower than this machine.
 //   - Batching wraps another backend with a dynamic batcher, the optimization
 //     that distinguishes the server and offline scenarios (Section VI-B).
-//   - Remote drives a serve.Server over a loopback TCP socket: the same
-//     loadgen.SUT contract, but with queueing, serialization and connection
-//     concurrency — the phenomena that bound achieved QPS in a real
-//     datacenter submission — on the measured path. Shed load completes its
-//     queries with Dropped responses (the LoadGen invalidates the run) and
-//     server-side serving metrics are fetchable via ServerMetrics.
+//   - Remote drives one or more serve.Server replicas over loopback TCP
+//     sockets: the same loadgen.SUT contract, but with queueing,
+//     serialization and connection concurrency — the phenomena that bound
+//     achieved QPS in a real datacenter submission — on the measured path.
+//     With several Addrs it is the replica router: each sample goes to the
+//     live replica with the fewest requests in flight, bounded by a
+//     per-replica in-flight window, and a replica that dies is routed around
+//     (its pending work completes as Dropped). With Model set it addresses
+//     one named engine on a multi-model server (V2 frames). Shed load
+//     completes its queries with Dropped responses (the LoadGen invalidates
+//     the run) and serving metrics are fetchable merged (ServerMetrics) or
+//     per replica (ReplicaMetrics).
 //
 // Because every model is reached through model.Engine, new backends
 // (quantized, simulated-batched, multi-tenant) plug in without per-task

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,23 +17,34 @@ import (
 
 // RemoteConfig configures a Remote SUT client.
 type RemoteConfig struct {
-	// Addr is the serve.Server address (host:port); required.
+	// Addr is a single serve.Server address (host:port). Either Addr or
+	// Addrs is required; setting Addr is shorthand for a one-replica Addrs.
 	Addr string
-	// Name labels the SUT in results; defaults to "remote(<addr>)".
+	// Addrs is the replica set: one serve.Server address per replica. The
+	// Remote fans the SUT's traffic out over all of them (least-in-flight
+	// routing with a per-replica in-flight window), so N identical servers
+	// behave as one SUT with N times the service capacity. Replicas must be
+	// identical deployments (same task/samples/seed ⇒ same weights and data),
+	// which keeps outputs bit-identical no matter which replica answers.
+	Addrs []string
+	// Model addresses one of the server's hosted models by id. Empty drives
+	// the server's default model with V1 frames (the PR 4 wire format).
+	Model string
+	// Name labels the SUT in results; defaults to "remote(<addrs>)".
 	Name string
 	// Conns is how many TCP connections the client multiplexes requests
-	// over (default 2). Responses return on the connection that carried the
-	// request; more connections reduce head-of-line blocking in the kernel
-	// socket buffers under high offered load.
+	// over per replica (default 2). Responses return on the connection that
+	// carried the request; more connections reduce head-of-line blocking in
+	// the kernel socket buffers under high offered load.
 	Conns int
-	// MaxInFlight bounds the client's outstanding (unanswered) requests
-	// (default 256). This is the client half of the flow-control pair — the
-	// server's admission queue is the other — and is what lets a merged
-	// offline query of tens of thousands of samples stream through a
-	// bounded server queue without mass rejects. Issuing blocks when the
-	// window is full, which the LoadGen observes as scheduling backpressure
-	// (an overloaded SUT falling behind, exactly what the Server scenario
-	// is designed to penalize).
+	// MaxInFlight bounds the client's outstanding (unanswered) requests per
+	// replica (default 256). This is the client half of the flow-control
+	// pair — each server's admission queue is the other — and is what lets a
+	// merged offline query of tens of thousands of samples stream through
+	// bounded server queues without mass rejects. Issuing blocks when every
+	// replica's window is full, which the LoadGen observes as scheduling
+	// backpressure (an overloaded SUT falling behind, exactly what the
+	// Server scenario is designed to penalize).
 	MaxInFlight int
 	// Deadline, when positive, stamps every request with an absolute
 	// deadline this far in the future; the server answers StatusExpired
@@ -43,11 +55,18 @@ type RemoteConfig struct {
 }
 
 func (c *RemoteConfig) normalize() error {
-	if c.Addr == "" {
-		return fmt.Errorf("backend: remote SUT needs an address")
+	if len(c.Addrs) == 0 {
+		if c.Addr == "" {
+			return fmt.Errorf("backend: remote SUT needs an address")
+		}
+		c.Addrs = []string{c.Addr}
 	}
 	if c.Name == "" {
-		c.Name = fmt.Sprintf("remote(%s)", c.Addr)
+		label := strings.Join(c.Addrs, ",")
+		if c.Model != "" {
+			label = c.Model + "@" + label
+		}
+		c.Name = fmt.Sprintf("remote(%s)", label)
 	}
 	if c.Conns <= 0 {
 		c.Conns = 2
@@ -61,23 +80,25 @@ func (c *RemoteConfig) normalize() error {
 	return nil
 }
 
-// Remote drives a serve.Server as the system under test: a loadgen.SUT whose
-// inference happens across a real network boundary. Each query sample becomes
-// one predict request (the server's dynamic batcher re-coalesces them), so
-// every scenario — SingleStream, MultiStream, Server, Offline — runs over the
-// wire with zero changes to the LoadGen.
+// Remote drives one or more serve.Server replicas as a single system under
+// test: a loadgen.SUT whose inference happens across a real network boundary.
+// Each query sample becomes one predict request routed to the replica with
+// the fewest requests in flight (each server's dynamic batcher re-coalesces
+// them), so every scenario — SingleStream, MultiStream, Server, Offline —
+// runs over the wire against the whole replica set with zero changes to the
+// LoadGen.
 //
-// Shed load is never silent: requests the server rejects or expires complete
+// Shed load is never silent: requests a server rejects or expires complete
 // their query with loadgen.Response.Dropped set, which the LoadGen counts and
-// uses to invalidate the run. Transport and server-side inference errors are
-// recorded and surfaced via Errors, mirroring Native.
+// uses to invalidate the run. A replica that dies mid-run settles everything
+// pending on it as dropped and is routed around from then on; transport and
+// server-side inference errors are recorded and surfaced via Errors,
+// mirroring Native.
 type Remote struct {
-	cfg    RemoteConfig
-	conns  []*remoteConn
-	next   atomic.Uint64 // round-robin connection cursor
-	nextID atomic.Uint64 // wire request ids
+	cfg      RemoteConfig
+	replicas []*replica
+	nextID   atomic.Uint64 // wire request ids
 
-	window   chan struct{}  // in-flight request slots (client flow control)
 	feeders  sync.WaitGroup // multi-sample issue goroutines
 	inflight sync.WaitGroup // outstanding requests
 
@@ -86,6 +107,22 @@ type Remote struct {
 
 	closing atomic.Bool
 	errs    errorLog
+}
+
+// replica is one server in the replica set: its connection pool, its half of
+// the flow-control window, and its liveness state.
+type replica struct {
+	r     *Remote
+	addr  string
+	conns []*remoteConn
+	next  atomic.Uint64 // round-robin connection cursor
+
+	// window holds this replica's in-flight slots; len(window) doubles as
+	// the in-flight count the router's least-in-flight choice reads.
+	window chan struct{}
+
+	deadConns atomic.Int32
+	down      atomic.Bool // every connection has failed
 }
 
 // pendingRequest ties a wire id back to the query sample awaiting it.
@@ -97,8 +134,8 @@ type pendingRequest struct {
 // remoteConn is one client connection: a serialized writer plus a reader
 // goroutine that demultiplexes responses back to their queries.
 type remoteConn struct {
-	r *Remote
-	c net.Conn
+	rep *replica
+	c   net.Conn
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -123,31 +160,38 @@ func (rc *remoteConn) write(fn func(w io.Writer) error) error {
 	return rc.w.Flush()
 }
 
-// NewRemote dials the server and returns the connected SUT client.
+// NewRemote dials every replica and returns the connected SUT client.
 func NewRemote(cfg RemoteConfig) (*Remote, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	r := &Remote{cfg: cfg, window: make(chan struct{}, cfg.MaxInFlight)}
-	for i := 0; i < cfg.Conns; i++ {
-		c, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
-		if err != nil {
-			r.Close()
-			return nil, fmt.Errorf("backend: dialing %s: %w", cfg.Addr, err)
+	r := &Remote{cfg: cfg}
+	for _, addr := range cfg.Addrs {
+		rep := &replica{r: r, addr: addr, window: make(chan struct{}, cfg.MaxInFlight)}
+		for i := 0; i < cfg.Conns; i++ {
+			c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+			if err != nil {
+				r.Close()
+				return nil, fmt.Errorf("backend: dialing replica %s: %w", addr, err)
+			}
+			rc := &remoteConn{
+				rep: rep, c: c, w: bufio.NewWriter(c),
+				pending: make(map[uint64]pendingRequest),
+				metrics: make(map[uint64]chan []byte),
+			}
+			rep.conns = append(rep.conns, rc)
+			go rc.readLoop()
 		}
-		rc := &remoteConn{
-			r: r, c: c, w: bufio.NewWriter(c),
-			pending: make(map[uint64]pendingRequest),
-			metrics: make(map[uint64]chan []byte),
-		}
-		r.conns = append(r.conns, rc)
-		go rc.readLoop()
+		r.replicas = append(r.replicas, rep)
 	}
 	return r, nil
 }
 
 // Name implements loadgen.SUT.
 func (r *Remote) Name() string { return r.cfg.Name }
+
+// Addrs returns the replica addresses in configuration order.
+func (r *Remote) Addrs() []string { return append([]string(nil), r.cfg.Addrs...) }
 
 // IssueQuery implements loadgen.SUT. Single-sample queries issue inline
 // (blocking briefly on the in-flight window when it is full — backpressure
@@ -169,15 +213,45 @@ func (r *Remote) IssueQuery(q *loadgen.Query) {
 	}()
 }
 
-// issueSample sends one predict request, holding an in-flight window slot
-// until its response arrives. The inflight count is raised BEFORE the request
-// becomes visible in the pending map: whichever side settles it (reader,
-// failure drain, or this writer on a write error) balances it exactly once.
+// pick chooses the replica for the next request: the live replica with the
+// fewest requests in flight (ties go to the lowest index). When every replica
+// is down it returns the emptiest one anyway — its dead connections settle
+// the request as dropped, so the run terminates invalid instead of hanging.
+func (r *Remote) pick() *replica {
+	var best *replica
+	bestLoad := 0
+	for _, rep := range r.replicas {
+		if rep.down.Load() {
+			continue
+		}
+		load := len(rep.window)
+		if best == nil || load < bestLoad {
+			best, bestLoad = rep, load
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, rep := range r.replicas {
+		load := len(rep.window)
+		if best == nil || load < bestLoad {
+			best, bestLoad = rep, load
+		}
+	}
+	return best
+}
+
+// issueSample routes one predict request to a replica, holding one of that
+// replica's in-flight window slots until its response arrives. The inflight
+// count is raised BEFORE the request becomes visible in the pending map:
+// whichever side settles it (reader, failure drain, or this writer on a write
+// error) balances it exactly once.
 func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
-	r.window <- struct{}{}
+	rep := r.pick()
+	rep.window <- struct{}{}
 	r.inflight.Add(1)
 	id := r.nextID.Add(1)
-	rc := r.conns[r.next.Add(1)%uint64(len(r.conns))]
+	rc := rep.conns[rep.next.Add(1)%uint64(len(rep.conns))]
 
 	rc.mu.Lock()
 	if rc.dead {
@@ -185,13 +259,13 @@ func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
 		// settle immediately as dropped (the failure itself was recorded by
 		// fail). The run terminates invalid instead of hanging.
 		rc.mu.Unlock()
-		r.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
+		rep.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
 		return
 	}
 	rc.pending[id] = pendingRequest{query: q, sampleID: s.ID}
 	rc.mu.Unlock()
 
-	req := serve.PredictRequest{ID: id, SampleIndex: s.Index}
+	req := serve.PredictRequest{ID: id, SampleIndex: s.Index, Model: r.cfg.Model}
 	if r.cfg.Deadline > 0 {
 		req.Deadline = time.Now().Add(r.cfg.Deadline)
 	}
@@ -205,18 +279,19 @@ func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
 		rc.mu.Unlock()
 		if mine {
 			if !r.closing.Load() {
-				r.errs.add(fmt.Errorf("backend %s: sending sample %d: %w", r.cfg.Name, s.Index, err))
+				r.errs.add(fmt.Errorf("backend %s: sending sample %d to %s: %w", r.cfg.Name, s.Index, rep.addr, err))
 			}
-			r.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
+			rep.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
 		}
 	}
 }
 
-// settle releases the window slot and completes one sample's response.
-func (r *Remote) settle(q *loadgen.Query, resp loadgen.Response) {
-	<-r.window
+// settle releases one of this replica's window slots and completes one
+// sample's response.
+func (rep *replica) settle(q *loadgen.Query, resp loadgen.Response) {
+	<-rep.window
 	q.Complete([]loadgen.Response{resp})
-	r.inflight.Done()
+	rep.r.inflight.Done()
 }
 
 // readLoop demultiplexes one connection's responses until it closes. On a
@@ -254,27 +329,32 @@ func (rc *remoteConn) resolve(resp serve.PredictResponse) {
 	if !ok {
 		return // already settled by a write failure
 	}
+	r := rc.rep.r
 	out := loadgen.Response{SampleID: entry.sampleID}
 	switch resp.Status {
 	case serve.StatusOK:
 		out.Data = resp.Data
 	case serve.StatusRejected:
-		rc.r.rejected.Add(1)
+		r.rejected.Add(1)
 		out.Dropped = true
 	case serve.StatusExpired:
-		rc.r.expired.Add(1)
+		r.expired.Add(1)
 		out.Dropped = true
 	default: // StatusError and anything unknown: recorded AND dropped, so
 		// the run is invalid even for callers that never drain Errors.
-		rc.r.errs.add(fmt.Errorf("backend %s: server reported %v for sample id %d", rc.r.cfg.Name, resp.Status, entry.sampleID))
+		r.errs.add(fmt.Errorf("backend %s: replica %s reported %v for sample id %d", r.cfg.Name, rc.rep.addr, resp.Status, entry.sampleID))
 		out.Dropped = true
 	}
-	rc.r.settle(entry.query, out)
+	rc.rep.settle(entry.query, out)
 }
 
 // fail kills a broken connection and settles everything pending on it.
 // Setting dead under the same lock that guards registration guarantees no
-// request can be registered after the drain and never settled.
+// request can be registered after the drain and never settled. When the
+// replica's last connection dies, the replica is marked down and the router
+// stops sending it traffic — the replica-lifecycle half of overload
+// semantics: a dead shard degrades the run to dropped (invalid), it does not
+// hang it.
 func (rc *remoteConn) fail(err error) {
 	rc.c.Close()
 	rc.mu.Lock()
@@ -284,11 +364,19 @@ func (rc *remoteConn) fail(err error) {
 	metrics := rc.metrics
 	rc.metrics = make(map[uint64]chan []byte)
 	rc.mu.Unlock()
-	if !rc.r.closing.Load() && len(pending) > 0 {
-		rc.r.errs.add(fmt.Errorf("backend %s: connection failed with %d requests outstanding: %w", rc.r.cfg.Name, len(pending), err))
+	rep := rc.rep
+	r := rep.r
+	if int(rep.deadConns.Add(1)) == len(rep.conns) {
+		rep.down.Store(true)
+		if !r.closing.Load() {
+			r.errs.add(fmt.Errorf("backend %s: replica %s is down (all %d connections failed)", r.cfg.Name, rep.addr, len(rep.conns)))
+		}
+	}
+	if !r.closing.Load() && len(pending) > 0 {
+		r.errs.add(fmt.Errorf("backend %s: connection to %s failed with %d requests outstanding: %w", r.cfg.Name, rep.addr, len(pending), err))
 	}
 	for _, entry := range pending {
-		rc.r.settle(entry.query, loadgen.Response{SampleID: entry.sampleID, Dropped: true})
+		rep.settle(entry.query, loadgen.Response{SampleID: entry.sampleID, Dropped: true})
 	}
 	for _, ch := range metrics {
 		close(ch)
@@ -296,73 +384,120 @@ func (rc *remoteConn) fail(err error) {
 }
 
 // FlushQueries implements loadgen.SUT: once every issued sample has been
-// written (feeders drained), the end-of-series flush is forwarded so the
-// server's batcher stops holding partial batches open.
+// written (feeders drained), the end-of-series flush is forwarded to every
+// replica so no batcher keeps holding partial batches open.
 func (r *Remote) FlushQueries() {
 	r.feeders.Wait()
 	r.control(serve.MsgFlush)
 }
 
-// Reopen re-arms the server's batcher for a new query series;
+// Reopen re-arms every replica's batcher for a new query series;
 // loadgen.StartTest calls it at the start of every run. The metrics
-// round-trip after the control frame is a barrier: the server reads frames
-// per connection in order, so when the reply arrives the reopen has been
+// round-trip after the control frame is a barrier: each server reads frames
+// per connection in order, so when the replies arrive the reopen has been
 // applied — queries issued after Reopen returns (on any connection) can no
 // longer be dispatched in the previous series' pass-through mode.
 func (r *Remote) Reopen() {
 	r.control(serve.MsgReopen)
-	_, _ = r.ServerMetrics()
+	for _, rep := range r.replicas {
+		_, _ = rep.serverMetrics()
+	}
 }
 
-// control sends a bodyless control frame on the first connection.
+// control sends a control frame to every replica on its first connection.
 func (r *Remote) control(msgType byte) {
-	if len(r.conns) == 0 {
-		return
-	}
-	rc := r.conns[0]
-	err := rc.write(func(w io.Writer) error { return serve.WriteControl(w, msgType) })
-	if err != nil && !r.closing.Load() {
-		r.errs.add(fmt.Errorf("backend %s: sending control frame %d: %w", r.cfg.Name, msgType, err))
+	for _, rep := range r.replicas {
+		if len(rep.conns) == 0 {
+			continue
+		}
+		rc := rep.conns[0]
+		err := rc.write(func(w io.Writer) error { return serve.WriteControlModel(w, msgType, r.cfg.Model) })
+		if err != nil && !r.closing.Load() && !rep.down.Load() {
+			r.errs.add(fmt.Errorf("backend %s: sending control frame %d to %s: %w", r.cfg.Name, msgType, rep.addr, err))
+		}
 	}
 }
 
-// ServerMetrics fetches a metrics snapshot from the server.
+// ServerMetrics fetches a metrics snapshot from every live replica and merges
+// them (serve.MergeSnapshots): counters sum, latency percentiles take the
+// worst shard. It fails only when no replica answers.
 func (r *Remote) ServerMetrics() (serve.Snapshot, error) {
-	var snap serve.Snapshot
-	if len(r.conns) == 0 {
-		return snap, fmt.Errorf("backend %s: no connections", r.cfg.Name)
+	snaps, err := r.ReplicaMetrics()
+	if err != nil {
+		return serve.Snapshot{}, err
 	}
-	rc := r.conns[0]
+	if len(snaps) == 1 {
+		return snaps[0], nil
+	}
+	return serve.MergeSnapshots(snaps...), nil
+}
+
+// ReplicaMetrics fetches each live replica's snapshot (in Addrs order, down
+// replicas skipped). It fails when no replica answers.
+func (r *Remote) ReplicaMetrics() ([]serve.Snapshot, error) {
+	var (
+		snaps   []serve.Snapshot
+		lastErr error
+	)
+	for _, rep := range r.replicas {
+		snap, err := rep.serverMetrics()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	if len(snaps) == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("backend %s: no replicas", r.cfg.Name)
+		}
+		return nil, lastErr
+	}
+	return snaps, nil
+}
+
+// serverMetrics fetches one replica's snapshot (the hosted model's when the
+// client is model-addressed, the server's merged snapshot otherwise).
+func (rep *replica) serverMetrics() (serve.Snapshot, error) {
+	r := rep.r
+	var snap serve.Snapshot
+	if len(rep.conns) == 0 {
+		return snap, fmt.Errorf("backend %s: replica %s has no connections", r.cfg.Name, rep.addr)
+	}
+	rc := rep.conns[0]
 	id := r.nextID.Add(1)
 	ch := make(chan []byte, 1)
 	rc.mu.Lock()
 	if rc.dead {
 		rc.mu.Unlock()
-		return snap, fmt.Errorf("backend %s: connection is down", r.cfg.Name)
+		return snap, fmt.Errorf("backend %s: replica %s connection is down", r.cfg.Name, rep.addr)
 	}
 	rc.metrics[id] = ch
 	rc.mu.Unlock()
 
-	if err := rc.write(func(w io.Writer) error { return serve.WriteMetricsRequest(w, id) }); err != nil {
+	if err := rc.write(func(w io.Writer) error { return serve.WriteMetricsRequestModel(w, id, r.cfg.Model) }); err != nil {
 		rc.mu.Lock()
 		delete(rc.metrics, id)
 		rc.mu.Unlock()
-		return snap, fmt.Errorf("backend %s: requesting metrics: %w", r.cfg.Name, err)
+		return snap, fmt.Errorf("backend %s: requesting metrics from %s: %w", r.cfg.Name, rep.addr, err)
 	}
 	select {
 	case data, ok := <-ch:
 		if !ok {
-			return snap, fmt.Errorf("backend %s: connection closed before metrics arrived", r.cfg.Name)
+			return snap, fmt.Errorf("backend %s: replica %s closed before metrics arrived", r.cfg.Name, rep.addr)
 		}
 		if err := json.Unmarshal(data, &snap); err != nil {
-			return snap, fmt.Errorf("backend %s: decoding metrics: %w", r.cfg.Name, err)
+			return snap, fmt.Errorf("backend %s: decoding metrics from %s: %w", r.cfg.Name, rep.addr, err)
+		}
+		if snap.Error != "" {
+			return snap, fmt.Errorf("backend %s: replica %s: %s", r.cfg.Name, rep.addr, snap.Error)
 		}
 		return snap, nil
 	case <-time.After(10 * time.Second):
 		rc.mu.Lock()
 		delete(rc.metrics, id)
 		rc.mu.Unlock()
-		return snap, fmt.Errorf("backend %s: metrics request timed out", r.cfg.Name)
+		return snap, fmt.Errorf("backend %s: metrics request to %s timed out", r.cfg.Name, rep.addr)
 	}
 }
 
@@ -380,20 +515,33 @@ func (r *Remote) Wait() {
 // responses.
 func (r *Remote) Errors() []error { return r.errs.all() }
 
-// Rejected returns how many requests the server's admission control shed.
+// Rejected returns how many requests the replicas' admission control shed.
 func (r *Remote) Rejected() int64 { return r.rejected.Load() }
 
 // Expired returns how many requests expired past their deadline while queued.
 func (r *Remote) Expired() int64 { return r.expired.Load() }
 
-// Close tears down the client's connections. In-flight requests settle as
-// dropped without recording transport errors.
+// DownReplicas returns how many replicas have lost every connection.
+func (r *Remote) DownReplicas() int {
+	n := 0
+	for _, rep := range r.replicas {
+		if rep.down.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close tears down the client's connections to every replica. In-flight
+// requests settle as dropped without recording transport errors.
 func (r *Remote) Close() error {
 	r.closing.Store(true)
 	var first error
-	for _, rc := range r.conns {
-		if err := rc.c.Close(); err != nil && first == nil {
-			first = err
+	for _, rep := range r.replicas {
+		for _, rc := range rep.conns {
+			if err := rc.c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first

@@ -8,71 +8,124 @@ import (
 )
 
 // ServeOptions configures ServeLoopback. Zero fields inherit the assembly:
-// the server serves the assembly's engine from its QSL, and the client dials
-// the freshly bound address.
+// each server replica serves the assembly's engine from its QSL, and the
+// client dials the freshly bound addresses.
 type ServeOptions struct {
-	// Server configures the serve.Server. Engine, Store and (for the SUT
-	// label) Addr are filled in from the assembly when unset.
+	// Replicas is how many loopback servers to deploy (default 1). Every
+	// replica serves the same engine and data set, and the client fans out
+	// over all of them with least-in-flight routing — outputs stay
+	// bit-identical because the replicas are identical by construction.
+	Replicas int
+	// Server configures each serve.Server. Engine and Store are filled in
+	// from the assembly when unset. Addr must stay empty when Replicas > 1
+	// (each replica binds its own kernel-assigned loopback port).
 	Server serve.Config
-	// Client configures the backend.Remote that drives it. Addr is always
-	// overwritten with the server's bound address.
+	// Client configures the backend.Remote that drives the fleet. Addr/Addrs
+	// are always overwritten with the servers' bound addresses.
 	Client backend.RemoteConfig
 }
 
-// LoopbackDeployment is a running serve.Server with a connected Remote SUT
-// wired into a derived Assembly: the same task, data set, settings and
-// quality targets, but inference crossing a real network boundary.
+// LoopbackDeployment is a running fleet of serve.Servers with a connected
+// Remote SUT wired into a derived Assembly: the same task, data set, settings
+// and quality targets, but inference crossing a real network boundary and
+// fanned out over N replicas.
 type LoopbackDeployment struct {
 	// Assembly mirrors the source assembly with SUT swapped for the Remote.
 	Assembly *Assembly
-	// Server is the in-process loopback inference server.
+	// Server is the first replica, kept for single-replica callers.
 	Server *serve.Server
+	// Servers is the whole replica fleet in address order.
+	Servers []*serve.Server
 	// Remote is the SUT client (also reachable as Assembly.SUT).
 	Remote *backend.Remote
 }
 
-// Close disconnects the client and shuts the server down.
+// Close disconnects the client and shuts every replica down.
 func (d *LoopbackDeployment) Close() error {
 	cerr := d.Remote.Close()
-	serr := d.Server.Close()
+	var serr error
+	for _, srv := range d.Servers {
+		if err := srv.Close(); err != nil && serr == nil {
+			serr = err
+		}
+	}
 	if cerr != nil {
 		return cerr
 	}
 	return serr
 }
 
-// ServeLoopback deploys the assembly's engine behind a loopback serve.Server
-// and returns a derived assembly whose SUT is a backend.Remote driving it, so
-// any scenario the source assembly can run in-process can also run over the
-// wire — same data, same settings, bit-identical outputs — for side-by-side
-// comparison. The caller must Close the deployment when done.
+// ReplicaMetrics returns each replica's merged metrics snapshot, read
+// directly from the in-process servers (in Servers order).
+func (d *LoopbackDeployment) ReplicaMetrics() []serve.Snapshot {
+	snaps := make([]serve.Snapshot, len(d.Servers))
+	for i, srv := range d.Servers {
+		snaps[i] = srv.Metrics()
+	}
+	return snaps
+}
+
+// ServeLoopback deploys the assembly's engine behind a fleet of loopback
+// serve.Servers and returns a derived assembly whose SUT is a backend.Remote
+// fanning out over all of them, so any scenario the source assembly can run
+// in-process can also run over the wire — same data, same settings,
+// bit-identical outputs — for side-by-side comparison. The caller must Close
+// the deployment when done.
 func (a *Assembly) ServeLoopback(opts ServeOptions) (*LoopbackDeployment, error) {
 	if a.Engine == nil {
 		return nil, fmt.Errorf("harness: assembly has no engine to serve")
 	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
 	scfg := opts.Server
-	if scfg.Engine == nil {
+	if scfg.Engine == nil && len(scfg.Models) == 0 {
 		scfg.Engine = a.Engine
 	}
 	if scfg.Store == nil {
 		scfg.Store = a.QSL
 	}
-	srv, err := serve.New(scfg)
-	if err != nil {
-		return nil, err
+	if scfg.Addr != "" && opts.Replicas > 1 {
+		return nil, fmt.Errorf("harness: a fixed server address cannot host %d replicas", opts.Replicas)
 	}
+
+	var (
+		servers []*serve.Server
+		addrs   []string
+	)
+	closeAll := func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+	for i := 0; i < opts.Replicas; i++ {
+		srv, err := serve.New(scfg)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+
 	rcfg := opts.Client
-	rcfg.Addr = srv.Addr()
+	rcfg.Addr = ""
+	rcfg.Addrs = addrs
 	if rcfg.Name == "" {
-		rcfg.Name = fmt.Sprintf("%s@%s", a.SUT.Name(), srv.Addr())
+		rcfg.Name = fmt.Sprintf("%s@%dx(%s)", a.SUT.Name(), len(addrs), addrs[0])
 	}
 	remote, err := backend.NewRemote(rcfg)
 	if err != nil {
-		srv.Close()
+		closeAll()
 		return nil, err
 	}
 	derived := *a
 	derived.SUT = remote
 	derived.observed = remote
-	return &LoopbackDeployment{Assembly: &derived, Server: srv, Remote: remote}, nil
+	return &LoopbackDeployment{
+		Assembly: &derived,
+		Server:   servers[0],
+		Servers:  servers,
+		Remote:   remote,
+	}, nil
 }

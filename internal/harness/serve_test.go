@@ -62,3 +62,75 @@ func TestServeLoopbackRunsScenarios(t *testing.T) {
 		t.Error("derived assembly should not report a native backend")
 	}
 }
+
+// TestServeLoopbackReplicaFleet deploys the assembly behind a 2-replica
+// loopback fleet and checks the run stays valid with the work genuinely
+// spread across both servers, and that the deployment's per-replica and
+// client-side merged metrics reconcile.
+func TestServeLoopbackReplicaFleet(t *testing.T) {
+	a, err := BuildNative(core.ImageClassificationLight, BuildOptions{DatasetSamples: 32, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := a.ServeLoopback(ServeOptions{
+		Replicas: 2,
+		Server:   serve.Config{Workers: 2, BatchWait: time.Millisecond},
+		Client:   backend.RemoteConfig{MaxInFlight: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if len(dep.Servers) != 2 || dep.Server != dep.Servers[0] {
+		t.Fatalf("deployment has %d servers", len(dep.Servers))
+	}
+
+	off := QuickSettings(a.Spec, loadgen.Offline, 1024)
+	off.MinDuration = 0
+	off.MinSampleCount = 256
+	report, err := Run(dep.Assembly, RunOptions{Scenario: loadgen.Offline, Settings: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Performance.Valid {
+		t.Fatalf("2-replica offline run invalid: %v", report.Performance.ValidityMessages)
+	}
+
+	snaps := dep.ReplicaMetrics()
+	if len(snaps) != 2 {
+		t.Fatalf("ReplicaMetrics returned %d snapshots", len(snaps))
+	}
+	var sum uint64
+	for i, snap := range snaps {
+		if snap.Completed == 0 {
+			t.Errorf("replica %d served nothing", i)
+		}
+		sum += snap.Completed
+	}
+	merged, err := dep.Remote.ServerMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Completed != sum {
+		t.Errorf("client merged completed %d != server-side sum %d", merged.Completed, sum)
+	}
+	if dep.Remote.DownReplicas() != 0 {
+		t.Errorf("%d replicas down on a healthy fleet", dep.Remote.DownReplicas())
+	}
+}
+
+// TestServeLoopbackRejectsFixedAddrFleet: a fixed listen address cannot host
+// several replicas.
+func TestServeLoopbackRejectsFixedAddrFleet(t *testing.T) {
+	a, err := BuildNative(core.ImageClassificationLight, BuildOptions{DatasetSamples: 16, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.ServeLoopback(ServeOptions{
+		Replicas: 2,
+		Server:   serve.Config{Addr: "127.0.0.1:39091"},
+	})
+	if err == nil {
+		t.Fatal("fixed address with 2 replicas: expected error")
+	}
+}

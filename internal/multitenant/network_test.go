@@ -1,0 +1,204 @@
+package multitenant
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/dataset"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/model"
+	"mlperf/internal/serve"
+	"mlperf/internal/tensor"
+)
+
+// tenantEngine is a deterministic engine for serving tests: it answers each
+// sample's index plus a tenant-specific offset, optionally sleeping per batch
+// to simulate a slow model.
+type tenantEngine struct {
+	offset int
+	delay  time.Duration
+}
+
+func (e *tenantEngine) Name() string       { return fmt.Sprintf("tenant(%d)", e.offset) }
+func (e *tenantEngine) Kind() dataset.Kind { return dataset.KindImageClassification }
+
+func (e *tenantEngine) Predict(samples []*dataset.Sample, _ *tensor.Scratch) ([]model.Output, error) {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	out := make([]model.Output, len(samples))
+	for i, s := range samples {
+		out[i] = model.Output{Kind: dataset.KindImageClassification, Class: s.Index + e.offset}
+	}
+	return out, nil
+}
+
+func testQSL(t testing.TB, seed uint64) *dataset.QSL {
+	t.Helper()
+	ds, err := dataset.NewSyntheticImages(dataset.ImageConfig{
+		Samples: 32, Classes: 10, Channels: 3, Height: 8, Width: 8, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsl, err := dataset.NewQSL(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qsl
+}
+
+// TestMultitenantOverNetwork drives two tenants concurrently against ONE
+// multi-engine listener — the network form of the paper's multitenancy mode.
+// Each tenant's run must be independently valid, and the per-model queue
+// metrics must show each tenant's traffic only in its own model's counters.
+func TestMultitenantOverNetwork(t *testing.T) {
+	qslA, qslB := testQSL(t, 3), testQSL(t, 4)
+	srv, err := serve.New(serve.Config{
+		Models: []serve.ModelConfig{
+			{Name: "vision-a", Engine: &tenantEngine{offset: 1000}, Store: qslA},
+			{Name: "vision-b", Engine: &tenantEngine{offset: 2000}, Store: qslB},
+		},
+		Workers: 2, BatchWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	newClient := func(modelID string) *backend.Remote {
+		t.Helper()
+		remote, err := backend.NewRemote(backend.RemoteConfig{
+			Addr: srv.Addr(), Model: modelID, MaxInFlight: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { remote.Close() })
+		return remote
+	}
+	remoteA, remoteB := newClient("vision-a"), newClient("vision-b")
+
+	report, err := Run([]Tenant{
+		{Name: "tenant-a", SUT: remoteA, QSL: qslA, Settings: serverSettings(150, 500*time.Millisecond, 48)},
+		{Name: "tenant-b", SUT: remoteB, QSL: qslB, Settings: serverSettings(150, 500*time.Millisecond, 48)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteA.Wait()
+	remoteB.Wait()
+	if !report.AllValid() {
+		t.Fatalf("multitenant-over-network run invalid: %v", report.Violations())
+	}
+
+	// Per-model queue metrics are separated: each model's completions match
+	// its own tenant's sample count exactly — no cross-tenant bleed.
+	snapA, err := srv.ModelMetrics("vision-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := srv.ModelMetrics("vision-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resA, resB *loadgen.Result
+	for _, tr := range report.Tenants {
+		switch tr.Tenant {
+		case "tenant-a":
+			resA = tr.Result
+		case "tenant-b":
+			resB = tr.Result
+		}
+	}
+	if snapA.Completed != uint64(resA.SamplesCompleted) {
+		t.Errorf("model vision-a completed %d, tenant-a issued %d", snapA.Completed, resA.SamplesCompleted)
+	}
+	if snapB.Completed != uint64(resB.SamplesCompleted) {
+		t.Errorf("model vision-b completed %d, tenant-b issued %d", snapB.Completed, resB.SamplesCompleted)
+	}
+	if snapA.Rejected+snapA.Shed+snapB.Rejected+snapB.Shed != 0 {
+		t.Errorf("provisioned tenants saw rejects: a=%d b=%d", snapA.Rejected+snapA.Shed, snapB.Rejected+snapB.Shed)
+	}
+}
+
+// TestMultitenantQoSIsolation overloads one tenant's model (tiny queue, slow
+// engine, far-overscheduled arrival rate) while the other runs a modest load
+// behind the same listener. Per-model admission queues must keep the blast
+// radius contained: the overloaded tenant's run is invalid with counted
+// drops, the well-provisioned tenant's p99 bound is evaluated independently
+// and stays satisfied.
+func TestMultitenantQoSIsolation(t *testing.T) {
+	qslA, qslB := testQSL(t, 5), testQSL(t, 6)
+	srv, err := serve.New(serve.Config{
+		Models: []serve.ModelConfig{
+			{Name: "fast", Engine: &tenantEngine{offset: 0}, Store: qslA, Workers: 2},
+			{Name: "slow", Engine: &tenantEngine{offset: 0, delay: 5 * time.Millisecond},
+				Store: qslB, Workers: 1, QueueDepth: 2, MaxBatch: 1},
+		},
+		BatchWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	newClient := func(modelID string) *backend.Remote {
+		t.Helper()
+		remote, err := backend.NewRemote(backend.RemoteConfig{
+			Addr: srv.Addr(), Model: modelID, MaxInFlight: 512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { remote.Close() })
+		return remote
+	}
+	remoteFast, remoteSlow := newClient("fast"), newClient("slow")
+
+	slowSettings := serverSettings(2000, 5*time.Millisecond, 200) // ~200/s capacity
+	report, err := Run([]Tenant{
+		{Name: "fast-tenant", SUT: remoteFast, QSL: qslA, Settings: serverSettings(100, time.Second, 48)},
+		{Name: "slow-tenant", SUT: remoteSlow, QSL: qslB, Settings: slowSettings},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteFast.Wait()
+	remoteSlow.Wait()
+
+	var fast, slow TenantResult
+	for _, tr := range report.Tenants {
+		switch tr.Tenant {
+		case "fast-tenant":
+			fast = tr
+		case "slow-tenant":
+			slow = tr
+		}
+	}
+	if fast.Err != nil || slow.Err != nil {
+		t.Fatalf("run errors: fast %v, slow %v", fast.Err, slow.Err)
+	}
+	if !fast.Result.Valid {
+		t.Errorf("well-provisioned tenant invalidated by a noisy neighbor: %v", fast.Result.ValidityMessages)
+	}
+	if fast.Result.ResponsesDropped != 0 {
+		t.Errorf("fast tenant dropped %d responses", fast.Result.ResponsesDropped)
+	}
+	if slow.Result.Valid {
+		t.Error("overloaded tenant reported valid")
+	}
+	if slow.Result.ResponsesDropped == 0 && slow.Result.LatencyBoundViolations == 0 {
+		t.Error("overloaded tenant shows neither drops nor latency violations")
+	}
+	// The overload shows up only in the slow model's queue counters.
+	fastSnap, _ := srv.ModelMetrics("fast")
+	if fastSnap.Rejected+fastSnap.Shed != 0 {
+		t.Errorf("fast model's queue rejected %d — not isolated", fastSnap.Rejected+fastSnap.Shed)
+	}
+	if report.AllValid() {
+		t.Error("report claims all tenants valid despite the overloaded one")
+	}
+}

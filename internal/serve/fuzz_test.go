@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// frameBytes builds one raw frame for corpus seeding, bypassing the writers
+// so malformed lengths and bodies can be fabricated.
+func frameBytes(msgType byte, body []byte) []byte {
+	out := make([]byte, 5+len(body))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(body)))
+	out[4] = msgType
+	copy(out[5:], body)
+	return out
+}
+
+// decodeServerStream mirrors serveConn's parsing: it reads frames off the
+// stream and runs each through the same decoders the server uses, until the
+// stream errors out. It is the fuzz target's server half.
+func decodeServerStream(data []byte) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	for {
+		msgType, body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch msgType {
+		case MsgPredict:
+			_, _ = decodePredictRequest(body)
+		case MsgPredictModel:
+			if _, tail, err := splitModelID(body); err == nil {
+				_, _ = decodePredictRequest(tail)
+			}
+		case MsgFlush, MsgReopen:
+			// bodyless controls
+		case MsgFlushModel, MsgReopenModel:
+			_, _, _ = splitModelID(body)
+		case MsgMetrics:
+			_, _, _ = decodeIDPrefix(body)
+		case MsgMetricsModel:
+			if len(body) >= 8 {
+				_, _, _ = splitModelID(body[8:])
+			}
+		default:
+			return
+		}
+	}
+}
+
+// decodeClientStream is the fuzz target's client half: the same bytes read as
+// server → client frames through backend.Remote's entry point.
+func decodeClientStream(data []byte) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	for {
+		if _, err := ReadClientFrame(r); err != nil {
+			return
+		}
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary byte streams at both frame-decoding paths:
+// truncated frames, oversized length prefixes, unknown types and model-id
+// edge cases must all error out cleanly — never panic, hang or allocate
+// proportionally to a lying length prefix.
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed V1 and V2 frames, as the writers emit them.
+	var buf bytes.Buffer
+	_ = WritePredictRequest(&buf, PredictRequest{ID: 7, SampleIndex: 3, Deadline: time.Unix(0, 99)})
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	_ = WritePredictRequest(&buf, PredictRequest{ID: 9, SampleIndex: 1, Model: "resnet"})
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	_ = WriteControl(&buf, MsgFlush)
+	_ = WriteControlModel(&buf, MsgReopen, "gnmt")
+	_ = WriteMetricsRequest(&buf, 1)
+	_ = WriteMetricsRequestModel(&buf, 2, "mobilenet")
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	// Server → client frames.
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(42, StatusOK, []byte("payload"))))
+	f.Add(frameBytes(MsgMetrics, encodeIDPrefix(5, []byte(`{"completed":1}`))))
+	// Malformed: truncated header, truncated body, oversized length prefix,
+	// unknown type, model-id length pointing past the body, zero-length body
+	// for typed frames, and a max-length model id.
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0, 20, MsgPredict, 1, 2, 3})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, MsgPredict})
+	f.Add([]byte{0x00, 0xff, 0xff, 0xff, MsgPredictModel, 9})
+	f.Add(frameBytes(99, []byte{1, 2, 3}))
+	f.Add(frameBytes(MsgPredictModel, []byte{255, 'a', 'b'}))
+	f.Add(frameBytes(MsgPredictModel, []byte{0}))
+	f.Add(frameBytes(MsgFlushModel, nil))
+	f.Add(frameBytes(MsgMetricsModel, []byte{0, 0, 0, 0, 0, 0, 0, 1}))
+	longID := strings.Repeat("m", 255)
+	body, _ := appendModelID(nil, longID)
+	f.Add(frameBytes(MsgFlushModel, body))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeServerStream(data)
+		decodeClientStream(data)
+	})
+}
+
+// TestReadFrameDoesNotOverAllocate pins the incremental body read: a header
+// claiming a maximal 16 MiB frame on a stream that carries almost nothing
+// must not allocate anywhere near the claimed size.
+func TestReadFrameDoesNotOverAllocate(t *testing.T) {
+	lying := frameBytes(MsgPredict, nil)
+	binary.BigEndian.PutUint32(lying[:4], maxFrameBytes) // claims 16 MiB, carries 0
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 8; i++ {
+		if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(lying))); err == nil {
+			t.Fatal("truncated 16 MiB frame decoded without error")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// 8 failed reads at one 64 KiB chunk each stay well under 2 MiB even
+	// with test-harness noise; the old readFrame would have allocated 128 MiB.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 2<<20 {
+		t.Errorf("8 truncated reads allocated %d bytes — length prefix is trusted too much", grew)
+	}
+}
+
+// TestModelIDEdgeCases pins the model-id codec's boundaries.
+func TestModelIDEdgeCases(t *testing.T) {
+	if _, err := appendModelID(nil, strings.Repeat("x", 256)); err == nil {
+		t.Error("256-byte model id encoded without error")
+	}
+	body, err := appendModelID(nil, strings.Repeat("x", 255))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, rest, err := splitModelID(body)
+	if err != nil || len(id) != 255 || len(rest) != 0 {
+		t.Errorf("255-byte model id round trip: id %d bytes, rest %d, err %v", len(id), len(rest), err)
+	}
+	if _, _, err := splitModelID(nil); err == nil {
+		t.Error("empty body split without error")
+	}
+	if _, _, err := splitModelID([]byte{5, 'a'}); err == nil {
+		t.Error("model id longer than its body split without error")
+	}
+	id, rest, err = splitModelID([]byte{0, 1, 2})
+	if err != nil || id != "" || len(rest) != 2 {
+		t.Errorf("empty model id: %q, rest %d, err %v", id, len(rest), err)
+	}
+	if err := WritePredictRequest(&bytes.Buffer{}, PredictRequest{Model: strings.Repeat("x", 256)}); err == nil {
+		t.Error("oversized model id written without error")
+	}
+}

@@ -141,9 +141,21 @@ type BatchBucket struct {
 	Count uint64 `json:"count"`
 }
 
-// Snapshot is a point-in-time view of the server's serving metrics, returned
-// over the wire for the report (MsgMetrics) and by Server.Metrics.
+// Snapshot is a point-in-time view of serving metrics for one hosted model —
+// or, after MergeSnapshots, for a set of models or replicas — returned over
+// the wire for the report (MsgMetrics/MsgMetricsModel) and by Server.Metrics.
 type Snapshot struct {
+	// Model is the hosted model id the snapshot covers ("" for the default
+	// model and for merged snapshots).
+	Model string `json:"model,omitempty"`
+	// Error is set instead of metrics when a model-addressed request could
+	// not be resolved (unknown model id) — the request is still answered, so
+	// a misaddressed client learns its mistake rather than losing the
+	// connection.
+	Error string `json:"error,omitempty"`
+	// Merged counts how many per-model or per-replica snapshots were folded
+	// into this one (0 for a direct, single-host snapshot).
+	Merged int `json:"merged,omitempty"`
 	// QueueDepth is the admission queue's population at snapshot time.
 	QueueDepth int `json:"queue_depth"`
 	// Admitted counts requests accepted into the queue.
@@ -206,4 +218,60 @@ func (m *serverMetrics) snapshot(queueDepth, workers, maxBatch int) Snapshot {
 	s.QueueP50, s.QueueP99 = m.queue.percentiles()
 	s.ServiceP50, s.ServiceP99 = m.service.percentiles()
 	return s
+}
+
+// MergeSnapshots folds several per-model or per-replica snapshots into one
+// aggregate view: counters, queue depths and batch histograms sum; worker
+// counts sum (total service parallelism); MaxBatch takes the largest; latency
+// percentiles take the worst (max) across inputs — the conservative merge,
+// since a latency bound must hold on every shard. An empty input yields the
+// zero Snapshot.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	if len(snaps) == 0 {
+		return out
+	}
+	maxDur := func(a, b time.Duration) time.Duration {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for _, s := range snaps {
+		out.QueueDepth += s.QueueDepth
+		out.Admitted += s.Admitted
+		out.Completed += s.Completed
+		out.Rejected += s.Rejected
+		out.Shed += s.Shed
+		out.Expired += s.Expired
+		out.Errors += s.Errors
+		out.Flushes += s.Flushes
+		out.Workers += s.Workers
+		if s.MaxBatch > out.MaxBatch {
+			out.MaxBatch = s.MaxBatch
+		}
+		out.QueueP50 = maxDur(out.QueueP50, s.QueueP50)
+		out.QueueP99 = maxDur(out.QueueP99, s.QueueP99)
+		out.ServiceP50 = maxDur(out.ServiceP50, s.ServiceP50)
+		out.ServiceP99 = maxDur(out.ServiceP99, s.ServiceP99)
+		for _, b := range s.BatchHistogram {
+			merged := false
+			for i := range out.BatchHistogram {
+				if out.BatchHistogram[i].Le == b.Le {
+					out.BatchHistogram[i].Count += b.Count
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out.BatchHistogram = append(out.BatchHistogram, b)
+			}
+		}
+		if s.Merged > 0 {
+			out.Merged += s.Merged
+		} else {
+			out.Merged++
+		}
+	}
+	return out
 }

@@ -13,7 +13,8 @@ import (
 //
 //	[u32 body length (big endian)] [u8 message type] [body ...]
 //
-// Client → server bodies:
+// Version 1 (frame types 1–4) addresses a single-engine server. Client →
+// server bodies:
 //
 //	MsgPredict: u64 request id, u32 sample index, i64 absolute deadline
 //	            (UnixNano, 0 = none)
@@ -22,7 +23,23 @@ import (
 //	MsgReopen:  empty — re-arm batching for a new series
 //	MsgMetrics: u64 request id — ask for a metrics snapshot
 //
-// Server → client bodies:
+// Version 2 (frame types 5–8) adds a model id so one listener can host
+// several named engines. Each V2 body begins with [u8 model-id length]
+// [model-id bytes] and continues with the corresponding V1 body:
+//
+//	MsgPredictModel: model id, then the MsgPredict body
+//	MsgFlushModel:   model id only — flush that model's series ("" = all)
+//	MsgReopenModel:  model id only — re-arm that model ("" = all)
+//	MsgMetricsModel: u64 request id, then the model id — that model's
+//	                 snapshot ("" = the merged snapshot across models)
+//
+// The two versions interoperate: a V2 server accepts V1 frames and routes
+// them to its default model (the single hosted engine, when unambiguous),
+// and a client that never sets a model id emits byte-identical V1 frames,
+// so a PR 4 client and a PR 4 server each pair with their newer counterpart.
+//
+// Server → client bodies (shared by both versions; responses are
+// demultiplexed by request id, so they carry no model id):
 //
 //	MsgPredict: u64 request id, u8 status, payload bytes (the sample's
 //	            encoded model.Output when status is StatusOK, empty otherwise)
@@ -43,7 +60,25 @@ const (
 	MsgReopen byte = 3
 	// MsgMetrics requests a metrics snapshot.
 	MsgMetrics byte = 4
+	// MsgPredictModel is MsgPredict addressed to a named model (V2).
+	MsgPredictModel byte = 5
+	// MsgFlushModel is MsgFlush addressed to a named model (V2).
+	MsgFlushModel byte = 6
+	// MsgReopenModel is MsgReopen addressed to a named model (V2).
+	MsgReopenModel byte = 7
+	// MsgMetricsModel is MsgMetrics addressed to a named model (V2).
+	MsgMetricsModel byte = 8
 )
+
+// Protocol versions. A frame's version is implied by its type: types 1–4 are
+// V1, types 5–8 are V2.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+)
+
+// maxModelIDLen bounds a wire model id (its length is a u8).
+const maxModelIDLen = 255
 
 // Status reports how the server disposed of a predict request.
 type Status byte
@@ -91,6 +126,10 @@ type PredictRequest struct {
 	// must not begin service (it answers StatusExpired instead). Client and
 	// server share a clock on a loopback deployment.
 	Deadline time.Time
+	// Model addresses one of the server's named engines. Empty targets the
+	// server's default model and encodes as a V1 frame, byte-identical to the
+	// PR 4 protocol; non-empty encodes as MsgPredictModel (V2).
+	Model string
 }
 
 // PredictResponse is the client-side form of a MsgPredict response frame.
@@ -116,34 +155,89 @@ func writeFrame(w io.Writer, msgType byte, body []byte) error {
 	return err
 }
 
-// readFrame reads one frame, returning its type and body.
+// readBodyChunk caps the allocation readFrame makes before any body bytes
+// have actually arrived, so a lying length prefix on a truncated stream costs
+// at most one chunk of memory rather than the claimed frame size.
+const readBodyChunk = 64 << 10
+
+// readFrame reads one frame, returning its type and body. Bodies up to
+// readBodyChunk — every frame on the predict/response hot path — are read
+// with a single allocation, exactly sized. Larger bodies are read
+// incrementally so memory grows with the bytes that actually arrive, never
+// with the claimed length alone (a lying prefix on a truncated stream costs
+// one chunk, not maxFrameBytes).
 func readFrame(r *bufio.Reader) (byte, []byte, error) {
 	var header [5]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(header[:4])
+	n := int(binary.BigEndian.Uint32(header[:4]))
 	if n > maxFrameBytes {
 		return 0, nil, fmt.Errorf("serve: frame of %d bytes exceeds the %d-byte limit", n, maxFrameBytes)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
+	if n <= readBodyChunk {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return 0, nil, err
+		}
+		return header[4], body, nil
+	}
+	chunk := make([]byte, readBodyChunk)
+	body := make([]byte, 0, readBodyChunk)
+	for len(body) < n {
+		want := n - len(body)
+		if want > readBodyChunk {
+			want = readBodyChunk
+		}
+		if _, err := io.ReadFull(r, chunk[:want]); err != nil {
+			return 0, nil, err
+		}
+		body = append(body, chunk[:want]...)
 	}
 	return header[4], body, nil
 }
 
-// WritePredictRequest encodes and writes one predict request frame.
+// appendModelID appends a model id (u8 length + bytes) to a frame body.
+func appendModelID(dst []byte, model string) ([]byte, error) {
+	if len(model) > maxModelIDLen {
+		return nil, fmt.Errorf("serve: model id %q is %d bytes, limit %d", model, len(model), maxModelIDLen)
+	}
+	dst = append(dst, byte(len(model)))
+	return append(dst, model...), nil
+}
+
+// splitModelID pops a model id off the front of a V2 frame body.
+func splitModelID(body []byte) (string, []byte, error) {
+	if len(body) < 1 {
+		return "", nil, fmt.Errorf("serve: body too short for a model id")
+	}
+	n := int(body[0])
+	if len(body) < 1+n {
+		return "", nil, fmt.Errorf("serve: model id of %d bytes exceeds the %d-byte body", n, len(body)-1)
+	}
+	return string(body[1 : 1+n]), body[1+n:], nil
+}
+
+// WritePredictRequest encodes and writes one predict request frame: a V1
+// MsgPredict when req.Model is empty (byte-identical to the PR 4 wire
+// format), a V2 MsgPredictModel otherwise.
 func WritePredictRequest(w io.Writer, req PredictRequest) error {
-	var body [20]byte
-	binary.BigEndian.PutUint64(body[0:8], req.ID)
-	binary.BigEndian.PutUint32(body[8:12], uint32(req.SampleIndex))
+	var fixed [20]byte
+	binary.BigEndian.PutUint64(fixed[0:8], req.ID)
+	binary.BigEndian.PutUint32(fixed[8:12], uint32(req.SampleIndex))
 	var deadline int64
 	if !req.Deadline.IsZero() {
 		deadline = req.Deadline.UnixNano()
 	}
-	binary.BigEndian.PutUint64(body[12:20], uint64(deadline))
-	return writeFrame(w, MsgPredict, body[:])
+	binary.BigEndian.PutUint64(fixed[12:20], uint64(deadline))
+	if req.Model == "" {
+		return writeFrame(w, MsgPredict, fixed[:])
+	}
+	body, err := appendModelID(make([]byte, 0, 1+len(req.Model)+len(fixed)), req.Model)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, MsgPredictModel, append(body, fixed[:]...))
 }
 
 // decodePredictRequest parses a MsgPredict request body.
@@ -190,11 +284,51 @@ func WriteControl(w io.Writer, msgType byte) error {
 	return writeFrame(w, msgType, nil)
 }
 
+// WriteControlModel writes a model-addressed control frame. msgType is the V1
+// control type (MsgFlush or MsgReopen); an empty model emits the V1 frame
+// unchanged, a non-empty one the corresponding V2 frame. On a multi-model
+// server, an empty model id applies the control to every hosted model.
+func WriteControlModel(w io.Writer, msgType byte, model string) error {
+	if model == "" {
+		return WriteControl(w, msgType)
+	}
+	var v2 byte
+	switch msgType {
+	case MsgFlush:
+		v2 = MsgFlushModel
+	case MsgReopen:
+		v2 = MsgReopenModel
+	default:
+		return fmt.Errorf("serve: message type %d is not a control frame", msgType)
+	}
+	body, err := appendModelID(make([]byte, 0, 1+len(model)), model)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, v2, body)
+}
+
 // WriteMetricsRequest writes a metrics-snapshot request frame.
 func WriteMetricsRequest(w io.Writer, id uint64) error {
 	var body [8]byte
 	binary.BigEndian.PutUint64(body[:], id)
 	return writeFrame(w, MsgMetrics, body[:])
+}
+
+// WriteMetricsRequestModel writes a metrics-snapshot request addressed to one
+// named model; an empty model emits the V1 frame, which a multi-model server
+// answers with its merged snapshot.
+func WriteMetricsRequestModel(w io.Writer, id uint64, model string) error {
+	if model == "" {
+		return WriteMetricsRequest(w, id)
+	}
+	var fixed [8]byte
+	binary.BigEndian.PutUint64(fixed[:], id)
+	body, err := appendModelID(append(make([]byte, 0, 8+1+len(model)), fixed[:]...), model)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, MsgMetricsModel, body)
 }
 
 // ClientFrame is one server → client message, as read by backend.Remote.

@@ -1,12 +1,14 @@
 // Package serve is the suite's network serving subsystem: a production-style
-// inference server that exposes any model.Engine over a loopback TCP socket,
-// so every LoadGen scenario can run across a real network boundary — with
+// inference server that exposes model.Engines over a loopback TCP socket, so
+// every LoadGen scenario can run across a real network boundary — with
 // queueing, serialization and connection concurrency on the measured path —
 // instead of an in-process function call.
 //
-// The server owns the three mechanisms that bound achieved QPS in a real
-// datacenter submission (the phenomena the paper's Server scenario exists to
-// measure):
+// One Server hosts one or more named engines (the network pair of
+// internal/multitenant: several models behind one listener, each with its own
+// admission queue, dynamic batcher and worker pool), and each hosted model
+// owns the three mechanisms that bound achieved QPS in a real datacenter
+// submission (the phenomena the paper's Server scenario exists to measure):
 //
 //   - Admission control: a bounded FIFO queue with a configurable overload
 //     policy. RejectNewest turns away arrivals when the queue is full;
@@ -26,14 +28,15 @@
 //     engine's pooled scratch-arena inference path, so service parallelism
 //     and batch formation are decoupled.
 //
-// Observability is part of the contract: the server tracks queue depth, a
+// Observability is part of the contract: each model tracks queue depth, a
 // dispatched-batch-size histogram, queue/service latency percentiles and
-// reject/expire counts, served as a Snapshot over the wire (MsgMetrics) for
-// the benchmark report.
+// reject/expire counts, served per model or merged across models as a
+// Snapshot over the wire (MsgMetrics / MsgMetricsModel) for the benchmark
+// report.
 //
 // The LoadGen-facing client lives in backend.Remote, which implements
-// loadgen.SUT over this package's protocol; see protocol.go for the wire
-// format.
+// loadgen.SUT over this package's protocol and can fan one SUT out over a
+// replica set of Servers; see protocol.go for the wire format.
 package serve
 
 import (
@@ -60,9 +63,15 @@ type SampleStore interface {
 type OverloadPolicy int
 
 const (
+	// PolicyDefault (the zero value) inherits the surrounding default: a
+	// ModelConfig inherits the server-wide Config.Policy, and a Config
+	// resolves to RejectNewest. This keeps the zero value meaningful while
+	// letting a model explicitly pick either policy against any server-wide
+	// setting.
+	PolicyDefault OverloadPolicy = iota
 	// RejectNewest answers the arriving request with StatusRejected and
 	// leaves the queue untouched (classic tail drop).
-	RejectNewest OverloadPolicy = iota
+	RejectNewest
 	// ShedOldest rejects the queue head — the request that has waited
 	// longest and is most likely past saving — and admits the newcomer.
 	ShedOldest
@@ -71,6 +80,8 @@ const (
 // String returns the policy's CLI name.
 func (p OverloadPolicy) String() string {
 	switch p {
+	case PolicyDefault:
+		return "default"
 	case RejectNewest:
 		return "reject"
 	case ShedOldest:
@@ -92,22 +103,51 @@ func ParsePolicy(s string) (OverloadPolicy, error) {
 	}
 }
 
+// ModelConfig configures one named engine hosted by a Server. Zero-valued
+// knobs inherit the Server Config's corresponding field.
+type ModelConfig struct {
+	// Name is the model id V2 predict frames address; required, unique within
+	// the server, at most 255 bytes.
+	Name string
+	// Engine runs this model's inference; required.
+	Engine model.Engine
+	// Store resolves this model's sample indexes (defaults to Config.Store).
+	Store SampleStore
+	// Workers, QueueDepth, Policy, MaxBatch and BatchWait override the
+	// server-wide defaults for this model (see Config for semantics).
+	// PolicyDefault inherits Config.Policy.
+	Workers    int
+	QueueDepth int
+	Policy     OverloadPolicy
+	MaxBatch   int
+	BatchWait  time.Duration
+}
+
 // Config configures a Server.
 type Config struct {
-	// Engine runs the inference; required.
+	// Engine runs the inference for the server's default (unnamed) model.
+	// Either Engine or at least one Models entry is required; when both are
+	// set, Engine is hosted alongside the named models and answers V1 frames.
 	Engine model.Engine
-	// Store resolves the sample indexes arriving over the wire; required.
-	// Like the reference LoadGen's QSL, the data set is resident on the
-	// serving side before the timed run.
+	// Store resolves the sample indexes arriving over the wire; required for
+	// the default model and the fallback for Models entries without one. Like
+	// the reference LoadGen's QSL, the data set is resident on the serving
+	// side before the timed run.
 	Store SampleStore
+	// Models lists additional named engines hosted behind this listener, each
+	// with its own admission queue, batcher and worker pool. V2 predict
+	// frames route by model id. When exactly one model is hosted in total,
+	// V1 frames route to it; with several and no default Engine, V1 predict
+	// frames answer StatusError.
+	Models []ModelConfig
 	// Addr is the listen address; it defaults to "127.0.0.1:0" (loopback,
 	// kernel-assigned port — read the bound address back with Addr).
 	Addr string
-	// Workers is the inference worker count; it defaults to
+	// Workers is the per-model inference worker count; it defaults to
 	// runtime.GOMAXPROCS(0) floored at 2, matching backend.Native.
 	Workers int
-	// QueueDepth bounds the admission queue (default 1024). Arrivals beyond
-	// it are shed according to Policy.
+	// QueueDepth bounds each model's admission queue (default 1024). Arrivals
+	// beyond it are shed according to Policy.
 	QueueDepth int
 	// Policy is the overload policy (default RejectNewest).
 	Policy OverloadPolicy
@@ -122,12 +162,11 @@ type Config struct {
 	BatchWait time.Duration
 }
 
-func (c *Config) normalize() error {
-	if c.Engine == nil {
-		return fmt.Errorf("serve: config needs an Engine")
-	}
-	if c.Store == nil {
-		return fmt.Errorf("serve: config needs a sample Store")
+// normalize validates the config and expands it into one ModelConfig per
+// hosted engine (the default model keeps the empty name).
+func (c *Config) normalize() ([]ModelConfig, error) {
+	if c.Engine == nil && len(c.Models) == 0 {
+		return nil, fmt.Errorf("serve: config needs an Engine or at least one Models entry")
 	}
 	if c.Addr == "" {
 		c.Addr = "127.0.0.1:0"
@@ -141,18 +180,67 @@ func (c *Config) normalize() error {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
-	if c.MaxBatch <= 0 {
-		if bs, ok := c.Engine.(model.BatchSizer); ok {
-			c.MaxBatch = bs.PreferredBatch()
-		}
-		if c.MaxBatch <= 0 {
-			c.MaxBatch = 8
-		}
-	}
 	if c.BatchWait <= 0 {
 		c.BatchWait = 2 * time.Millisecond
 	}
-	return nil
+
+	for _, m := range c.Models {
+		if m.Name == "" {
+			return nil, fmt.Errorf("serve: Models entries need a Name")
+		}
+	}
+	var models []ModelConfig
+	if c.Engine != nil {
+		models = append(models, ModelConfig{Name: "", Engine: c.Engine, Store: c.Store})
+	}
+	models = append(models, c.Models...)
+	seen := make(map[string]bool, len(models))
+	for i := range models {
+		m := &models[i]
+		if m.Engine == nil {
+			return nil, fmt.Errorf("serve: model %q needs an Engine", m.Name)
+		}
+		if len(m.Name) > maxModelIDLen {
+			return nil, fmt.Errorf("serve: model id %q is %d bytes, limit %d", m.Name, len(m.Name), maxModelIDLen)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("serve: duplicate model id %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Store == nil {
+			m.Store = c.Store
+		}
+		if m.Store == nil {
+			return nil, fmt.Errorf("serve: model %q needs a sample Store", m.Name)
+		}
+		if m.Workers <= 0 {
+			m.Workers = c.Workers
+		}
+		if m.QueueDepth <= 0 {
+			m.QueueDepth = c.QueueDepth
+		}
+		if m.Policy == PolicyDefault {
+			m.Policy = c.Policy
+		}
+		if m.Policy == PolicyDefault {
+			m.Policy = RejectNewest
+		}
+		if m.MaxBatch <= 0 {
+			m.MaxBatch = c.MaxBatch
+		}
+		if m.MaxBatch <= 0 {
+			if bs, ok := m.Engine.(model.BatchSizer); ok {
+				m.MaxBatch = bs.PreferredBatch()
+			}
+			if m.MaxBatch <= 0 {
+				m.MaxBatch = 8
+			}
+		}
+		if m.BatchWait <= 0 {
+			m.BatchWait = c.BatchWait
+		}
+	}
+	return models, nil
 }
 
 // request is one admitted predict request flowing queue → batch → worker.
@@ -194,17 +282,16 @@ func (sc *serverConn) writeFrame(msgType byte, body []byte) error {
 	return nil
 }
 
-// Server is a running inference server. New starts it listening; Close tears
-// it down after draining admitted work.
-type Server struct {
-	cfg Config
-	ln  net.Listener
+// engineHost is one hosted model's serving machinery: admission queue,
+// dispatcher, worker pool and metrics. Every hosted model gets its own, so
+// one tenant's overload cannot reject another tenant's traffic.
+type engineHost struct {
+	cfg ModelConfig
 
 	mu          sync.Mutex
 	queue       []*request
 	passthrough bool
 	shutdown    bool
-	conns       map[*serverConn]struct{}
 
 	// notify wakes the dispatcher (capacity 1; a dropped signal is fine
 	// because the dispatcher re-checks state whenever it holds a token).
@@ -212,18 +299,37 @@ type Server struct {
 	batchCh chan []*request
 
 	metrics    *serverMetrics
-	acceptWG   sync.WaitGroup
-	connWG     sync.WaitGroup
 	dispatchWG sync.WaitGroup
 	workWG     sync.WaitGroup
-	closeOnce  sync.Once
-	closeErr   error
+}
+
+// Server is a running inference server. New starts it listening; Close tears
+// it down after draining admitted work.
+type Server struct {
+	ln net.Listener
+
+	// hosts routes model ids to their serving machinery; defaultHost answers
+	// V1 frames (nil when several models are hosted and none is the default).
+	hosts       map[string]*engineHost
+	hostList    []*engineHost
+	defaultHost *engineHost
+
+	mu       sync.Mutex
+	shutdown bool
+	conns    map[*serverConn]struct{}
+
+	acceptWG  sync.WaitGroup
+	connWG    sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New validates the configuration, binds the listener and starts the accept
-// loop, dispatcher and worker pool. The server is serving when New returns.
+// loop plus each hosted model's dispatcher and worker pool. The server is
+// serving when New returns.
 func New(cfg Config) (*Server, error) {
-	if err := cfg.normalize(); err != nil {
+	models, err := cfg.normalize()
+	if err != nil {
 		return nil, err
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
@@ -231,18 +337,31 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: listening on %s: %w", cfg.Addr, err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		ln:      ln,
-		conns:   make(map[*serverConn]struct{}),
-		notify:  make(chan struct{}, 1),
-		batchCh: make(chan []*request, cfg.Workers),
-		metrics: newServerMetrics(),
+		ln:    ln,
+		hosts: make(map[string]*engineHost, len(models)),
+		conns: make(map[*serverConn]struct{}),
 	}
-	s.dispatchWG.Add(1)
-	go s.dispatch()
-	s.workWG.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+	for _, mc := range models {
+		h := &engineHost{
+			cfg:     mc,
+			notify:  make(chan struct{}, 1),
+			batchCh: make(chan []*request, mc.Workers),
+			metrics: newServerMetrics(),
+		}
+		s.hosts[mc.Name] = h
+		s.hostList = append(s.hostList, h)
+		h.dispatchWG.Add(1)
+		go h.dispatch()
+		h.workWG.Add(mc.Workers)
+		for i := 0; i < mc.Workers; i++ {
+			go h.worker()
+		}
+	}
+	// V1 frames route to the default engine, or to the single hosted model.
+	if h, ok := s.hosts[""]; ok {
+		s.defaultHost = h
+	} else if len(s.hostList) == 1 {
+		s.defaultHost = s.hostList[0]
 	}
 	s.acceptWG.Add(1)
 	go s.accept()
@@ -252,12 +371,37 @@ func New(cfg Config) (*Server, error) {
 // Addr returns the bound listen address (useful with the default ":0" port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Metrics returns a point-in-time snapshot of the serving metrics.
+// Models lists the hosted model ids in configuration order (the default
+// model, when present, is the empty string).
+func (s *Server) Models() []string {
+	names := make([]string, len(s.hostList))
+	for i, h := range s.hostList {
+		names[i] = h.cfg.Name
+	}
+	return names
+}
+
+// Metrics returns a point-in-time snapshot of the serving metrics, merged
+// across every hosted model (for a single-model server this is that model's
+// snapshot, labeled with its id).
 func (s *Server) Metrics() Snapshot {
-	s.mu.Lock()
-	depth := len(s.queue)
-	s.mu.Unlock()
-	return s.metrics.snapshot(depth, s.cfg.Workers, s.cfg.MaxBatch)
+	snaps := make([]Snapshot, len(s.hostList))
+	for i, h := range s.hostList {
+		snaps[i] = h.snapshot()
+	}
+	if len(snaps) == 1 {
+		return snaps[0]
+	}
+	return MergeSnapshots(snaps...)
+}
+
+// ModelMetrics returns one hosted model's snapshot.
+func (s *Server) ModelMetrics(name string) (Snapshot, error) {
+	h, ok := s.hosts[name]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("serve: no hosted model %q", name)
+	}
+	return h.snapshot(), nil
 }
 
 // Close stops accepting connections, drains every admitted request (each gets
@@ -268,9 +412,16 @@ func (s *Server) Close() error {
 		s.mu.Lock()
 		s.shutdown = true
 		s.mu.Unlock()
-		s.signal()
-		s.dispatchWG.Wait() // drains the queue, then closes batchCh
-		s.workWG.Wait()     // finishes in-flight batches (responses written)
+		for _, h := range s.hostList {
+			h.mu.Lock()
+			h.shutdown = true
+			h.mu.Unlock()
+			h.signal()
+		}
+		for _, h := range s.hostList {
+			h.dispatchWG.Wait() // drains the queue, then closes batchCh
+			h.workWG.Wait()     // finishes in-flight batches (responses written)
+		}
 		s.mu.Lock()
 		for sc := range s.conns {
 			sc.c.Close()
@@ -280,14 +431,6 @@ func (s *Server) Close() error {
 		s.connWG.Wait()
 	})
 	return s.closeErr
-}
-
-// signal wakes the dispatcher without blocking.
-func (s *Server) signal() {
-	select {
-	case s.notify <- struct{}{}:
-	default:
-	}
 }
 
 // accept runs the listener loop.
@@ -304,6 +447,29 @@ func (s *Server) accept() {
 			s.serveConn(c)
 		}()
 	}
+}
+
+// hostFor resolves a frame's model id to its engineHost; ok is false for an
+// unknown id (and for V1 predict frames on an ambiguous multi-model server).
+func (s *Server) hostFor(model string) (*engineHost, bool) {
+	if model == "" {
+		return s.defaultHost, s.defaultHost != nil
+	}
+	h, ok := s.hosts[model]
+	return h, ok
+}
+
+// controlTargets resolves a control frame's model id: a named model controls
+// itself, the empty id controls every hosted model (matching the V1 frames'
+// whole-server semantics).
+func (s *Server) controlTargets(model string) []*engineHost {
+	if model == "" {
+		return s.hostList
+	}
+	if h, ok := s.hosts[model]; ok {
+		return []*engineHost{h}
+	}
+	return nil
 }
 
 // serveConn reads frames off one connection until it closes or misbehaves.
@@ -329,23 +495,68 @@ func (s *Server) serveConn(c net.Conn) {
 		if err != nil {
 			return // EOF, closed, or oversized frame
 		}
+		modelID := ""
+		if msgType >= MsgPredictModel && msgType <= MsgMetricsModel {
+			// V2 frames carry a model id; metrics frames put theirs after the
+			// request id so decodeIDPrefix applies to both versions.
+			rest := body
+			if msgType == MsgMetricsModel {
+				if len(body) < 8 {
+					return
+				}
+				rest = body[8:]
+			}
+			var tail []byte
+			modelID, tail, err = splitModelID(rest)
+			if err != nil {
+				return
+			}
+			if msgType == MsgMetricsModel {
+				body = body[:8]
+			} else {
+				body = tail
+			}
+		}
 		switch msgType {
-		case MsgPredict:
+		case MsgPredict, MsgPredictModel:
 			req, err := decodePredictRequest(body)
 			if err != nil {
 				return
 			}
-			s.admit(&request{id: req.ID, index: req.SampleIndex, deadline: req.Deadline, conn: sc})
-		case MsgFlush:
-			s.flushSeries()
-		case MsgReopen:
-			s.reopen()
-		case MsgMetrics:
+			h, ok := s.hostFor(modelID)
+			if !ok {
+				// Unroutable (unknown model id, or a V1 frame against several
+				// hosted models): answered, never silently dropped.
+				_ = sc.writeFrame(MsgPredict, encodePredictResponse(req.ID, StatusError, nil))
+				continue
+			}
+			h.admit(&request{id: req.ID, index: req.SampleIndex, deadline: req.Deadline, conn: sc})
+		case MsgFlush, MsgFlushModel:
+			for _, h := range s.controlTargets(modelID) {
+				h.flushSeries()
+			}
+		case MsgReopen, MsgReopenModel:
+			for _, h := range s.controlTargets(modelID) {
+				h.reopen()
+			}
+		case MsgMetrics, MsgMetricsModel:
 			id, _, err := decodeIDPrefix(body)
 			if err != nil {
 				return
 			}
-			data, err := json.Marshal(s.Metrics())
+			var snap Snapshot
+			if msgType == MsgMetricsModel {
+				if h, ok := s.hosts[modelID]; ok {
+					snap = h.snapshot()
+				} else {
+					// Unknown model: answered with an in-band error, like
+					// unroutable predicts — never by dropping the connection.
+					snap = Snapshot{Model: modelID, Error: fmt.Sprintf("no hosted model %q", modelID)}
+				}
+			} else {
+				snap = s.Metrics()
+			}
+			data, err := json.Marshal(snap)
 			if err != nil {
 				return
 			}
@@ -356,103 +567,123 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
+// snapshot assembles this host's labeled metrics snapshot.
+func (h *engineHost) snapshot() Snapshot {
+	h.mu.Lock()
+	depth := len(h.queue)
+	h.mu.Unlock()
+	snap := h.metrics.snapshot(depth, h.cfg.Workers, h.cfg.MaxBatch)
+	snap.Model = h.cfg.Name
+	return snap
+}
+
+// signal wakes the dispatcher without blocking.
+func (h *engineHost) signal() {
+	select {
+	case h.notify <- struct{}{}:
+	default:
+	}
+}
+
 // admit applies admission control to one arriving request and wakes the
 // dispatcher. The shed victim (if any) is answered outside the queue lock.
-func (s *Server) admit(r *request) {
+// Requests arriving once shutdown has begun are rejected (Close still drains
+// everything admitted before its flag was set).
+func (h *engineHost) admit(r *request) {
 	r.enqueued = time.Now()
 	var shed *request
 	rejected := false
-	s.mu.Lock()
+	h.mu.Lock()
 	switch {
-	case s.shutdown:
+	case h.shutdown:
 		rejected = true
-	case len(s.queue) >= s.cfg.QueueDepth:
-		if s.cfg.Policy == ShedOldest {
-			shed = s.queue[0]
-			s.queue = append(s.queue[1:], r)
+	case len(h.queue) >= h.cfg.QueueDepth:
+		if h.cfg.Policy == ShedOldest {
+			shed = h.queue[0]
+			h.queue = append(h.queue[1:], r)
 		} else {
 			rejected = true
 		}
 	default:
-		s.queue = append(s.queue, r)
+		h.queue = append(h.queue, r)
 	}
-	s.mu.Unlock()
+	h.mu.Unlock()
 
 	if rejected {
-		s.metrics.addRejected()
-		s.respond(r, StatusRejected, nil)
+		h.metrics.addRejected()
+		h.respond(r, StatusRejected, nil)
 		return
 	}
-	s.metrics.addAdmitted()
+	h.metrics.addAdmitted()
 	if shed != nil {
-		s.metrics.addShed()
-		s.respond(shed, StatusRejected, nil)
+		h.metrics.addShed()
+		h.respond(shed, StatusRejected, nil)
 	}
-	s.signal()
+	h.signal()
 }
 
 // flushSeries is the MsgFlush path: forward everything buffered now and stop
 // holding batches open for stragglers (backend.Batching's end-of-series
 // semantics).
-func (s *Server) flushSeries() {
-	s.mu.Lock()
-	s.passthrough = true
-	s.mu.Unlock()
-	s.metrics.addFlush()
-	s.signal()
+func (h *engineHost) flushSeries() {
+	h.mu.Lock()
+	h.passthrough = true
+	h.mu.Unlock()
+	h.metrics.addFlush()
+	h.signal()
 }
 
 // reopen re-arms batching for a new query series.
-func (s *Server) reopen() {
-	s.mu.Lock()
-	s.passthrough = false
-	s.mu.Unlock()
+func (h *engineHost) reopen() {
+	h.mu.Lock()
+	h.passthrough = false
+	h.mu.Unlock()
 }
 
 // dispatch forms batches from the admission queue and hands them to the
 // worker pool. An under-full batch is held open up to BatchWait from its
 // oldest request's arrival unless pass-through or shutdown forces it out.
-func (s *Server) dispatch() {
-	defer s.dispatchWG.Done()
-	defer close(s.batchCh)
+func (h *engineHost) dispatch() {
+	defer h.dispatchWG.Done()
+	defer close(h.batchCh)
 	for {
-		s.mu.Lock()
-		for len(s.queue) == 0 {
-			if s.shutdown {
-				s.mu.Unlock()
+		h.mu.Lock()
+		for len(h.queue) == 0 {
+			if h.shutdown {
+				h.mu.Unlock()
 				return
 			}
-			s.mu.Unlock()
-			<-s.notify
-			s.mu.Lock()
+			h.mu.Unlock()
+			<-h.notify
+			h.mu.Lock()
 		}
-		if !(s.passthrough || s.shutdown || len(s.queue) >= s.cfg.MaxBatch) {
-			deadline := s.queue[0].enqueued.Add(s.cfg.BatchWait)
-			s.mu.Unlock()
-			s.waitForBatch(deadline)
-			s.mu.Lock()
+		if !(h.passthrough || h.shutdown || len(h.queue) >= h.cfg.MaxBatch) {
+			deadline := h.queue[0].enqueued.Add(h.cfg.BatchWait)
+			h.mu.Unlock()
+			h.waitForBatch(deadline)
+			h.mu.Lock()
 		}
-		batch := s.takeLocked()
-		s.mu.Unlock()
+		batch := h.takeLocked()
+		h.mu.Unlock()
 		if len(batch) > 0 {
-			s.batchCh <- batch
+			h.batchCh <- batch
 		}
 	}
 }
 
 // waitForBatch sleeps until the batch window closes: the queue fills to
 // MaxBatch, pass-through/shutdown is flagged, or the deadline passes.
-func (s *Server) waitForBatch(deadline time.Time) {
+func (h *engineHost) waitForBatch(deadline time.Time) {
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	for {
 		select {
 		case <-timer.C:
 			return
-		case <-s.notify:
-			s.mu.Lock()
-			done := s.passthrough || s.shutdown || len(s.queue) >= s.cfg.MaxBatch
-			s.mu.Unlock()
+		case <-h.notify:
+			h.mu.Lock()
+			done := h.passthrough || h.shutdown || len(h.queue) >= h.cfg.MaxBatch
+			h.mu.Unlock()
 			if done {
 				return
 			}
@@ -461,39 +692,39 @@ func (s *Server) waitForBatch(deadline time.Time) {
 }
 
 // takeLocked pops up to MaxBatch requests from the queue head. Caller holds
-// s.mu.
-func (s *Server) takeLocked() []*request {
-	n := len(s.queue)
-	if n > s.cfg.MaxBatch {
-		n = s.cfg.MaxBatch
+// h.mu.
+func (h *engineHost) takeLocked() []*request {
+	n := len(h.queue)
+	if n > h.cfg.MaxBatch {
+		n = h.cfg.MaxBatch
 	}
 	batch := make([]*request, n)
-	copy(batch, s.queue[:n])
-	s.queue = s.queue[n:]
-	if len(s.queue) == 0 {
-		s.queue = nil // release the backing array between bursts
+	copy(batch, h.queue[:n])
+	h.queue = h.queue[n:]
+	if len(h.queue) == 0 {
+		h.queue = nil // release the backing array between bursts
 	}
 	return batch
 }
 
 // worker drains batches until the dispatcher closes the channel.
-func (s *Server) worker() {
-	defer s.workWG.Done()
-	for batch := range s.batchCh {
-		s.runBatch(batch)
+func (h *engineHost) worker() {
+	defer h.workWG.Done()
+	for batch := range h.batchCh {
+		h.runBatch(batch)
 	}
 }
 
 // runBatch expires stale requests, resolves the survivors' samples and runs
 // them through the engine as one batched Predict on the pooled scratch-arena
 // path, answering each request on its own connection.
-func (s *Server) runBatch(batch []*request) {
+func (h *engineHost) runBatch(batch []*request) {
 	started := time.Now()
 	live := batch[:0]
 	for _, r := range batch {
 		if !r.deadline.IsZero() && started.After(r.deadline) {
-			s.metrics.addExpired(1)
-			s.respond(r, StatusExpired, nil)
+			h.metrics.addExpired(1)
+			h.respond(r, StatusExpired, nil)
 			continue
 		}
 		live = append(live, r)
@@ -501,15 +732,15 @@ func (s *Server) runBatch(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
-	s.metrics.observeBatch(len(live))
+	h.metrics.observeBatch(len(live))
 
 	samples := make([]*dataset.Sample, 0, len(live))
 	reqs := make([]*request, 0, len(live))
 	for _, r := range live {
-		sample, err := s.cfg.Store.Get(r.index)
+		sample, err := h.cfg.Store.Get(r.index)
 		if err != nil {
-			s.metrics.addErrored()
-			s.respond(r, StatusError, nil)
+			h.metrics.addErrored()
+			h.respond(r, StatusError, nil)
 			continue
 		}
 		samples = append(samples, sample)
@@ -519,48 +750,48 @@ func (s *Server) runBatch(batch []*request) {
 		return
 	}
 
-	outputs, err := s.cfg.Engine.Predict(samples, nil)
+	outputs, err := h.cfg.Engine.Predict(samples, nil)
 	if err != nil || len(outputs) != len(samples) {
 		// One bad sample poisons a whole batched Predict; retry sample by
 		// sample so errors stay isolated (mirrors backend.Native).
 		for i, r := range reqs {
-			s.predictOne(r, samples[i], started)
+			h.predictOne(r, samples[i], started)
 		}
 		return
 	}
 	for i, r := range reqs {
-		s.finish(r, outputs[i], started)
+		h.finish(r, outputs[i], started)
 	}
 }
 
 // predictOne is the per-sample isolation fallback after a failed batch.
-func (s *Server) predictOne(r *request, sample *dataset.Sample, started time.Time) {
-	outputs, err := s.cfg.Engine.Predict([]*dataset.Sample{sample}, nil)
+func (h *engineHost) predictOne(r *request, sample *dataset.Sample, started time.Time) {
+	outputs, err := h.cfg.Engine.Predict([]*dataset.Sample{sample}, nil)
 	if err != nil || len(outputs) != 1 {
-		s.metrics.addErrored()
-		s.respond(r, StatusError, nil)
+		h.metrics.addErrored()
+		h.respond(r, StatusError, nil)
 		return
 	}
-	s.finish(r, outputs[0], started)
+	h.finish(r, outputs[0], started)
 }
 
 // finish encodes one prediction, records latencies and answers the request.
 // Metrics are recorded BEFORE the response is written so a snapshot taken by
 // a client that has seen all its responses is consistent (Completed covers
 // them); service time therefore excludes the buffered loopback write.
-func (s *Server) finish(r *request, out model.Output, started time.Time) {
+func (h *engineHost) finish(r *request, out model.Output, started time.Time) {
 	data, err := out.Encode()
 	if err != nil {
-		s.metrics.addErrored()
-		s.respond(r, StatusError, nil)
+		h.metrics.addErrored()
+		h.respond(r, StatusError, nil)
 		return
 	}
-	s.metrics.observeService(started.Sub(r.enqueued), time.Since(started))
-	s.respond(r, StatusOK, data)
+	h.metrics.observeService(started.Sub(r.enqueued), time.Since(started))
+	h.respond(r, StatusOK, data)
 }
 
 // respond writes one predict response; a write error means the client has
 // gone away, which does not concern the serving loop.
-func (s *Server) respond(r *request, status Status, data []byte) {
+func (h *engineHost) respond(r *request, status Status, data []byte) {
 	_ = r.conn.writeFrame(MsgPredict, encodePredictResponse(r.id, status, data))
 }

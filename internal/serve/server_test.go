@@ -102,7 +102,7 @@ func (tc *testClient) read(n int) map[uint64]PredictResponse {
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	if cfg.Engine == nil {
+	if cfg.Engine == nil && len(cfg.Models) == 0 {
 		cfg.Engine = &echoEngine{}
 	}
 	if cfg.Store == nil {
@@ -495,5 +495,340 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if p, err := ParsePolicy("shed-oldest"); err != nil || p != ShedOldest {
 		t.Errorf("ParsePolicy(shed-oldest) = %v, %v", p, err)
+	}
+}
+
+// offsetEngine answers sample index + offset, so multi-model tests can tell
+// which engine served a request.
+type offsetEngine struct {
+	offset int
+}
+
+func (e *offsetEngine) Name() string       { return fmt.Sprintf("offset(%d)", e.offset) }
+func (e *offsetEngine) Kind() dataset.Kind { return dataset.KindImageClassification }
+
+func (e *offsetEngine) Predict(samples []*dataset.Sample, _ *tensor.Scratch) ([]model.Output, error) {
+	out := make([]model.Output, len(samples))
+	for i, s := range samples {
+		out[i] = model.Output{Kind: dataset.KindImageClassification, Class: s.Index + e.offset}
+	}
+	return out, nil
+}
+
+// predictModel writes a V2 model-addressed predict request.
+func (tc *testClient) predictModel(id uint64, index int, modelID string) {
+	tc.t.Helper()
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := WritePredictRequest(tc.c, PredictRequest{ID: id, SampleIndex: index, Model: modelID}); err != nil {
+		tc.t.Fatal(err)
+	}
+}
+
+// TestMultiModelRouting hosts two named engines behind one listener and
+// checks that V2 frames route by model id, each model's metrics stay
+// separate, and the merged snapshot reconciles with their sum.
+func TestMultiModelRouting(t *testing.T) {
+	s := newTestServer(t, Config{
+		Store: indexStore{},
+		Models: []ModelConfig{
+			{Name: "alpha", Engine: &offsetEngine{offset: 1000}},
+			{Name: "beta", Engine: &offsetEngine{offset: 2000}},
+		},
+		MaxBatch: 4, BatchWait: time.Millisecond,
+	})
+	got := s.Models()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Models() = %v", got)
+	}
+	tc := dialTest(t, s.Addr())
+	const n = 8
+	for i := 0; i < n; i++ {
+		tc.predictModel(uint64(i+1), i, "alpha")
+		tc.predictModel(uint64(100+i+1), i, "beta")
+	}
+	responses := tc.read(2 * n)
+	for i := 0; i < n; i++ {
+		a := responses[uint64(i+1)]
+		b := responses[uint64(100+i+1)]
+		if a.Status != StatusOK || b.Status != StatusOK {
+			t.Fatalf("request %d: alpha %v, beta %v", i, a.Status, b.Status)
+		}
+		aClass, err := payload.DecodeClass(a.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bClass, err := payload.DecodeClass(b.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aClass != i+1000 {
+			t.Errorf("alpha answered class %d for index %d, want %d", aClass, i, i+1000)
+		}
+		if bClass != i+2000 {
+			t.Errorf("beta answered class %d for index %d, want %d", bClass, i, i+2000)
+		}
+	}
+
+	// Per-model metrics are separated; the merged snapshot is their sum.
+	alpha, err := s.ModelMetrics("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := s.ModelMetrics("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha.Model != "alpha" || beta.Model != "beta" {
+		t.Errorf("snapshot labels: %q, %q", alpha.Model, beta.Model)
+	}
+	if alpha.Completed != n || beta.Completed != n {
+		t.Errorf("per-model completed: alpha %d, beta %d, want %d each", alpha.Completed, beta.Completed, n)
+	}
+	merged := s.Metrics()
+	if merged.Completed != 2*n || merged.Admitted != 2*n {
+		t.Errorf("merged snapshot: %+v", merged)
+	}
+	if merged.Merged != 2 {
+		t.Errorf("merged count = %d, want 2", merged.Merged)
+	}
+	if _, err := s.ModelMetrics("gamma"); err == nil {
+		t.Error("unknown model metrics: expected error")
+	}
+}
+
+// TestMultiModelUnroutableAnswersError: V1 predicts against an ambiguous
+// multi-model server and V2 predicts naming an unknown model are answered
+// with StatusError — never silently dropped, never crossing to a wrong model.
+func TestMultiModelUnroutableAnswersError(t *testing.T) {
+	s := newTestServer(t, Config{
+		Store: indexStore{},
+		Models: []ModelConfig{
+			{Name: "alpha", Engine: &offsetEngine{offset: 1000}},
+			{Name: "beta", Engine: &offsetEngine{offset: 2000}},
+		},
+		MaxBatch: 2, BatchWait: time.Millisecond,
+	})
+	tc := dialTest(t, s.Addr())
+	tc.predict(1, 3, time.Time{})  // V1 frame, no default model
+	tc.predictModel(2, 3, "gamma") // unknown model id
+	tc.predictModel(3, 3, "alpha") // sanity: still routable
+	responses := tc.read(3)
+	if responses[1].Status != StatusError {
+		t.Errorf("V1 predict on ambiguous server: %v, want %v", responses[1].Status, StatusError)
+	}
+	if responses[2].Status != StatusError {
+		t.Errorf("unknown model: %v, want %v", responses[2].Status, StatusError)
+	}
+	if responses[3].Status != StatusOK {
+		t.Errorf("routable request: %v, want ok", responses[3].Status)
+	}
+}
+
+// TestSingleNamedModelIsDefault: when exactly one (named) model is hosted, V1
+// frames route to it, keeping PR 4 clients compatible with named deployments.
+func TestSingleNamedModelIsDefault(t *testing.T) {
+	s := newTestServer(t, Config{
+		Store:    indexStore{},
+		Models:   []ModelConfig{{Name: "solo", Engine: &offsetEngine{offset: 500}}},
+		MaxBatch: 2, BatchWait: time.Millisecond,
+	})
+	tc := dialTest(t, s.Addr())
+	tc.predict(1, 7, time.Time{})
+	resp := tc.read(1)[1]
+	if resp.Status != StatusOK {
+		t.Fatalf("status %v", resp.Status)
+	}
+	class, err := payload.DecodeClass(resp.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != 507 {
+		t.Errorf("class %d, want 507", class)
+	}
+}
+
+// TestModelScopedControls: a model-addressed flush switches only that model
+// to pass-through; the V1 flush (empty id) flushes every hosted model.
+func TestModelScopedControls(t *testing.T) {
+	s := newTestServer(t, Config{
+		Store: indexStore{},
+		Models: []ModelConfig{
+			{Name: "alpha", Engine: &offsetEngine{offset: 0}},
+			{Name: "beta", Engine: &offsetEngine{offset: 0}},
+		},
+		MaxBatch: 8, BatchWait: 10 * time.Second,
+	})
+	tc := dialTest(t, s.Addr())
+	writeControlModel := func(msgType byte, modelID string) {
+		tc.t.Helper()
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		if err := WriteControlModel(tc.c, msgType, modelID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A lone alpha request would wait out the 10s window; flushing alpha (and
+	// only alpha) forces it out.
+	tc.predictModel(1, 1, "alpha")
+	writeControlModel(MsgFlush, "alpha")
+	if resp := tc.read(1)[1]; resp.Status != StatusOK {
+		t.Fatalf("alpha flush: %v", resp.Status)
+	}
+	alpha, _ := s.ModelMetrics("alpha")
+	beta, _ := s.ModelMetrics("beta")
+	if alpha.Flushes != 1 || beta.Flushes != 0 {
+		t.Errorf("flushes alpha/beta = %d/%d, want 1/0", alpha.Flushes, beta.Flushes)
+	}
+	// The V1 flush reaches every model.
+	tc.control(MsgFlush)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		alpha, _ = s.ModelMetrics("alpha")
+		beta, _ = s.ModelMetrics("beta")
+		if alpha.Flushes == 2 && beta.Flushes == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("global flush not applied: alpha %d, beta %d", alpha.Flushes, beta.Flushes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Beta is now in pass-through too: its straggler answers immediately.
+	tc.predictModel(9, 2, "beta")
+	if resp := tc.read(1)[9]; resp.Status != StatusOK {
+		t.Errorf("beta pass-through: %v", resp.Status)
+	}
+}
+
+// TestMergeSnapshots pins the merge semantics the router's merged view and
+// the multi-model server's Metrics rely on.
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{
+		QueueDepth: 1, Admitted: 10, Completed: 8, Rejected: 2, Expired: 1,
+		Workers: 2, MaxBatch: 8, QueueP99: 100, ServiceP99: 50,
+		BatchHistogram: []BatchBucket{{Le: 1, Count: 3}, {Le: 2, Count: 5}},
+	}
+	b := Snapshot{
+		QueueDepth: 2, Admitted: 20, Completed: 20, Shed: 3,
+		Workers: 4, MaxBatch: 4, QueueP99: 40, ServiceP99: 70,
+		BatchHistogram: []BatchBucket{{Le: 1, Count: 1}},
+	}
+	m := MergeSnapshots(a, b)
+	if m.QueueDepth != 3 || m.Admitted != 30 || m.Completed != 28 || m.Rejected != 2 || m.Shed != 3 || m.Expired != 1 {
+		t.Errorf("merged counters: %+v", m)
+	}
+	if m.Workers != 6 || m.MaxBatch != 8 {
+		t.Errorf("merged config echo: workers %d, maxbatch %d", m.Workers, m.MaxBatch)
+	}
+	if m.QueueP99 != 100 || m.ServiceP99 != 70 {
+		t.Errorf("merged percentiles should take the worst shard: %+v", m)
+	}
+	var le1 uint64
+	for _, bb := range m.BatchHistogram {
+		if bb.Le == 1 {
+			le1 = bb.Count
+		}
+	}
+	if le1 != 4 {
+		t.Errorf("merged histogram le=1 count %d, want 4", le1)
+	}
+	if m.Merged != 2 {
+		t.Errorf("merged count %d, want 2", m.Merged)
+	}
+	if z := MergeSnapshots(); z.Admitted != 0 || z.Merged != 0 {
+		t.Errorf("empty merge: %+v", z)
+	}
+}
+
+// TestMultiModelConfigValidation pins the config rules.
+func TestMultiModelConfigValidation(t *testing.T) {
+	if _, err := New(Config{Store: indexStore{}}); err == nil {
+		t.Error("no engines: expected error")
+	}
+	if _, err := New(Config{Store: indexStore{}, Models: []ModelConfig{{Name: "", Engine: &echoEngine{}}}}); err == nil {
+		t.Error("unnamed Models entry: expected error")
+	}
+	if _, err := New(Config{Store: indexStore{}, Models: []ModelConfig{
+		{Name: "dup", Engine: &echoEngine{}},
+		{Name: "dup", Engine: &echoEngine{}},
+	}}); err == nil {
+		t.Error("duplicate model id: expected error")
+	}
+	if _, err := New(Config{Models: []ModelConfig{{Name: "nostore", Engine: &echoEngine{}}}}); err == nil {
+		t.Error("model without a store: expected error")
+	}
+}
+
+// TestUnknownModelMetricsAnswered: a metrics request naming an unknown model
+// is answered with an in-band error — the connection survives and keeps
+// serving routable traffic (a misaddressed client must not lose its conn).
+func TestUnknownModelMetricsAnswered(t *testing.T) {
+	s := newTestServer(t, Config{
+		Store:    indexStore{},
+		Models:   []ModelConfig{{Name: "solo", Engine: &offsetEngine{offset: 0}}},
+		MaxBatch: 2, BatchWait: time.Millisecond,
+	})
+	tc := dialTest(t, s.Addr())
+	tc.mu.Lock()
+	err := WriteMetricsRequestModel(tc.c, 7, "nope")
+	tc.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	frame, err := ReadClientFrame(tc.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != MsgMetrics || frame.MetricsID != 7 {
+		t.Fatalf("frame type %d id %d, want metrics id 7", frame.Type, frame.MetricsID)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(frame.MetricsJSON, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Error == "" || snap.Model != "nope" {
+		t.Errorf("unknown-model snapshot: %+v, want in-band error", snap)
+	}
+	// The connection is still alive and serving.
+	tc.predictModel(1, 5, "solo")
+	if resp := tc.read(1)[1]; resp.Status != StatusOK {
+		t.Errorf("post-error request: %v, want ok", resp.Status)
+	}
+}
+
+// TestModelPolicyOverridesServerDefault: a model can pick RejectNewest even
+// when the server-wide default is ShedOldest (PolicyDefault inherits).
+func TestModelPolicyOverridesServerDefault(t *testing.T) {
+	cfg := Config{
+		Store:  indexStore{},
+		Policy: ShedOldest,
+		Models: []ModelConfig{
+			{Name: "explicit", Engine: &echoEngine{}, Policy: RejectNewest},
+			{Name: "inherit", Engine: &echoEngine{}},
+		},
+	}
+	models, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]ModelConfig, len(models))
+	for _, m := range models {
+		byName[m.Name] = m
+	}
+	if byName["explicit"].Policy != RejectNewest {
+		t.Errorf("explicit RejectNewest resolved to %v", byName["explicit"].Policy)
+	}
+	if byName["inherit"].Policy != ShedOldest {
+		t.Errorf("PolicyDefault resolved to %v, want inherited ShedOldest", byName["inherit"].Policy)
+	}
+	zero := Config{Engine: &echoEngine{}, Store: indexStore{}}
+	models, err = zero.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if models[0].Policy != RejectNewest {
+		t.Errorf("zero-value config policy resolved to %v, want RejectNewest", models[0].Policy)
 	}
 }

@@ -7,21 +7,22 @@
 # scratch-arena inference, batched Predict vs the per-sample loop at batch
 # 1/8/32 for the CNN and recurrent engines, the weight-streaming wide
 # classifier, the offline classification/translation scenarios end to end,
-# and the loopback serving comparison: Server + Offline through an
-# in-process backend.Native vs over-the-wire through serve.Server +
-# backend.Remote with the queue/service latency breakdown) and writes the
-# aggregated numbers to a JSON file (default BENCH_PR4.json) so speedups and
-# serving overheads are recorded in the repository alongside the code they
-# measure.
+# the loopback serving comparison: Server + Offline through an in-process
+# backend.Native vs over-the-wire through serve.Server + backend.Remote with
+# the queue/service latency breakdown, and the sharded-serving comparison:
+# Server + Offline against 1 vs 2 loopback replicas with the per-replica
+# completion/latency breakdown) and writes the aggregated numbers to a JSON
+# file (default BENCH_PR5.json) so speedups and serving overheads are
+# recorded in the repository alongside the code they measure.
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR4.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR5.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR4.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
@@ -50,6 +51,10 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         if ($i == "qps")            qps[name]     += $(i-1)
         if ($i == "queue_p99_ns")   queuep99[name] += $(i-1)
         if ($i == "service_p99_ns") svcp99[name]  += $(i-1)
+        if ($i == "replica0_completed")      r0done[name] += $(i-1)
+        if ($i == "replica1_completed")      r1done[name] += $(i-1)
+        if ($i == "replica0_service_p99_ns") r0p99[name]  += $(i-1)
+        if ($i == "replica1_service_p99_ns") r1p99[name]  += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
@@ -76,6 +81,10 @@ END {
         if (qps[name] > 0)      printf ", \"qps\": %.1f", avg(qps, name)
         if (queuep99[name] > 0) printf ", \"queue_p99_ns\": %.0f", avg(queuep99, name)
         if (svcp99[name] > 0)   printf ", \"service_p99_ns\": %.0f", avg(svcp99, name)
+        if (r0done[name] > 0)   printf ", \"replica0_completed\": %.0f", avg(r0done, name)
+        if (r1done[name] > 0)   printf ", \"replica1_completed\": %.0f", avg(r1done, name)
+        if (r0p99[name] > 0)    printf ", \"replica0_service_p99_ns\": %.0f", avg(r0p99, name)
+        if (r1p99[name] > 0)    printf ", \"replica1_service_p99_ns\": %.0f", avg(r1p99, name)
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
@@ -108,9 +117,19 @@ END {
         avg(qps, "BenchmarkServingServer/inprocess"), avg(qps, "BenchmarkServingServer/remote")
     printf "    \"serving_offline_throughput_inprocess_vs_remote\": [%.1f, %.1f],\n", \
         avg(sps, "BenchmarkServingOffline/inprocess"), avg(sps, "BenchmarkServingOffline/remote")
-    printf "    \"serving_latency_breakdown_p99_ns\": {\"server_queue\": %.0f, \"server_service\": %.0f, \"offline_queue\": %.0f, \"offline_service\": %.0f}\n", \
+    printf "    \"serving_latency_breakdown_p99_ns\": {\"server_queue\": %.0f, \"server_service\": %.0f, \"offline_queue\": %.0f, \"offline_service\": %.0f},\n", \
         avg(queuep99, "BenchmarkServingServer/remote"), avg(svcp99, "BenchmarkServingServer/remote"), \
         avg(queuep99, "BenchmarkServingOffline/remote"), avg(svcp99, "BenchmarkServingOffline/remote")
+    printf "    \"serving_offline_throughput_1_vs_2_replicas\": [%.1f, %.1f],\n", \
+        avg(sps, "BenchmarkServingReplicas/offline/replicas1"), avg(sps, "BenchmarkServingReplicas/offline/replicas2")
+    printf "    \"serving_offline_2replica_speedup\": %.3f,\n", \
+        (avg(sps, "BenchmarkServingReplicas/offline/replicas1") > 0 ? \
+         avg(sps, "BenchmarkServingReplicas/offline/replicas2") / avg(sps, "BenchmarkServingReplicas/offline/replicas1") : 0)
+    printf "    \"serving_server_qps_1_vs_2_replicas\": [%.1f, %.1f],\n", \
+        avg(qps, "BenchmarkServingReplicas/server/replicas1"), avg(qps, "BenchmarkServingReplicas/server/replicas2")
+    printf "    \"serving_2replica_offline_per_replica\": {\"completed\": [%.0f, %.0f], \"service_p99_ns\": [%.0f, %.0f]}\n", \
+        avg(r0done, "BenchmarkServingReplicas/offline/replicas2"), avg(r1done, "BenchmarkServingReplicas/offline/replicas2"), \
+        avg(r0p99, "BenchmarkServingReplicas/offline/replicas2"), avg(r1p99, "BenchmarkServingReplicas/offline/replicas2")
     printf "  }\n"
     printf "}\n"
 }' "$raw" > "$OUT"
