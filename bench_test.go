@@ -887,6 +887,88 @@ func BenchmarkServingReplicas(b *testing.B) {
 	}
 }
 
+// BenchmarkServingRecovery measures the cost of surviving a replica crash:
+// an Offline stream runs through a 2-replica fleet while replica 0 is killed
+// mid-run and restarted on its address. The run must complete with zero
+// dropped responses (the fleet routes around the outage and failover retries
+// re-deliver the stranded samples); reported metrics are the faulted run's
+// throughput and the outage's measured down-to-rejoin latency.
+func BenchmarkServingRecovery(b *testing.B) {
+	engine, qsl := servingStack(b)
+	settings := loadgen.DefaultSettings(loadgen.Offline)
+	settings.MinSampleCount = 2048
+	settings.MinDuration = 0
+
+	var tput, rejoinMS float64
+	for i := 0; i < b.N; i++ {
+		scfg := serve.Config{Engine: engine, Store: qsl, BatchWait: 2 * time.Millisecond}
+		srv0, err := serve.New(scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv1, err := serve.New(scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		remote, err := backend.NewRemote(backend.RemoteConfig{
+			Addrs:         []string{srv0.Addr(), srv1.Addr()},
+			RedialInitial: time.Millisecond,
+			RedialMax:     10 * time.Millisecond,
+			RecoverySeed:  uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		done := make(chan *loadgen.Result, 1)
+		go func() {
+			res, err := loadgen.StartTest(remote, qsl, settings)
+			if err != nil {
+				b.Error(err)
+			}
+			done <- res
+		}()
+		// Crash replica 0 once it has served traffic, then bring it back.
+		for srv0.Metrics().Completed == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+		srv0.Kill()
+		time.Sleep(2 * time.Millisecond)
+		restarted, err := serve.New(serve.Config{
+			Engine: engine, Store: qsl, BatchWait: 2 * time.Millisecond, Addr: srv0.Addr(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		res := <-done
+		if res == nil {
+			b.Fatal("run failed")
+		}
+		if res.ResponsesDropped > 0 {
+			b.Fatalf("%d responses dropped despite failover", res.ResponsesDropped)
+		}
+		remote.Wait()
+		deadline := time.Now().Add(5 * time.Second)
+		for remote.Recovery().Rejoins == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		rec := remote.Recovery()
+		if rec.Rejoins == 0 {
+			b.Fatal("killed replica never rejoined")
+		}
+		iv := rec.DownIntervals[0]
+		rejoinMS = float64(iv.End.Sub(iv.Start)) / float64(time.Millisecond)
+		tput = res.OfflineSamplesPerSec
+
+		remote.Close()
+		restarted.Close()
+		srv1.Close()
+	}
+	b.ReportMetric(tput, "samples/s")
+	b.ReportMetric(rejoinMS, "rejoin_ms")
+}
+
 // --- Statistical machinery. ---
 
 func BenchmarkPoissonSchedule(b *testing.B) {

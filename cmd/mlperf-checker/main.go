@@ -124,12 +124,15 @@ func servingConformance(assembly *harness.Assembly, replicas int) ([]audit.Findi
 	dep.Remote.Wait()
 	fmt.Printf("\nserving conformance: %d replicas, %d queries, %.0f QPS achieved\n",
 		replicas, res.QueriesCompleted, res.ServerAchievedQPS)
+	rec := dep.Remote.Recovery()
 	return audit.CheckServing(audit.ServingEvidence{
-		Result:         res,
-		Settings:       settings,
-		ClientRejected: dep.Remote.Rejected(),
-		ClientExpired:  dep.Remote.Expired(),
-		Replicas:       dep.ReplicaMetrics(),
+		Result:               res,
+		Settings:             settings,
+		ClientRejected:       dep.Remote.Rejected(),
+		ClientExpired:        dep.Remote.Expired(),
+		ClientTransportDrops: dep.Remote.TransportDrops(),
+		Recovery:             &rec,
+		Replicas:             dep.ReplicaMetrics(),
 	})
 }
 

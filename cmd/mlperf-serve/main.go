@@ -126,9 +126,32 @@ func main() {
 	fmt.Printf("replicas=%d models=%d workers=%d max-batch=%d queue=%d policy=%s batch-wait=%v\n",
 		len(servers), len(servers[0].Models()), started.Workers, started.MaxBatch, *queue, overload, *batchWait)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+
+	// Graceful drain: stop admitting (health probes answer "draining", so a
+	// fault-tolerant client will not re-join these replicas), answer everything
+	// already queued, and only then snapshot and tear down — the dumped metrics
+	// cover every request the fleet ever admitted. A second signal skips the
+	// drain and kills the fleet where it stands.
+	fmt.Fprintln(os.Stderr, "mlperf-serve: draining (signal again to kill)")
+	done := make(chan struct{})
+	go func() {
+		for _, srv := range servers {
+			srv.Drain()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-sig:
+		for _, srv := range servers {
+			srv.Kill()
+		}
+		fmt.Fprintln(os.Stderr, "mlperf-serve: killed before drain completed")
+		os.Exit(1)
+	}
 
 	type labeledSnapshot struct {
 		Replica int            `json:"replica"`

@@ -21,6 +21,17 @@ type ServingEvidence struct {
 	// the servers answered StatusRejected / StatusExpired.
 	ClientRejected int64
 	ClientExpired  int64
+	// ClientTransportDrops is the Remote's count of requests settled as
+	// dropped after failover was exhausted — transport loss the fleet could
+	// not absorb, the only legitimate drops not explained by a server-side
+	// reject or expiry.
+	ClientTransportDrops int64
+	// Recovery is the client's fault-tolerance record for the run (down/up
+	// intervals, rejoins, redials, retries). Nil means the run claims no
+	// recovery machinery was exercised; when set, CheckServing reconciles it
+	// against the drop accounting and verifies every outage that ended was
+	// closed by a proper re-join.
+	Recovery *serve.RecoveryStats
 	// Replicas holds one metrics snapshot per server replica.
 	Replicas []serve.Snapshot
 }
@@ -47,6 +58,9 @@ func CheckServing(ev ServingEvidence) ([]Finding, error) {
 	if ev.Result.Scenario == loadgen.Server {
 		findings = append(findings, checkLatencyBound(ev))
 	}
+	if ev.Recovery != nil {
+		findings = append(findings, checkRecovery(ev))
+	}
 	return findings, nil
 }
 
@@ -55,25 +69,83 @@ func CheckServing(ev ServingEvidence) ([]Finding, error) {
 // dropped response the LoadGen counted must be explained by a client-observed
 // reject/expiry (an excess means transport loss, a deficit means silent
 // shedding — both violations).
+// A run whose recovery record shows transport activity (outages, redials or
+// failover retries) cannot hold the server-side counters to strict equality:
+// a crashed replica's epoch may have counted work the client never heard
+// about (responses lost on a dying connection, counters lost between the
+// client's last metrics fetch and the crash). The client-side identity stays
+// strict regardless — every dropped response must be a client-observed
+// reject, expiry or exhausted-failover transport drop.
 func checkDropAccounting(ev ServingEvidence, merged serve.Snapshot) Finding {
 	serverShed := int64(merged.Rejected + merged.Shed)
 	serverExpired := int64(merged.Expired)
-	clientDrops := ev.ClientRejected + ev.ClientExpired
+	clientDrops := ev.ClientRejected + ev.ClientExpired + ev.ClientTransportDrops
+	faulty := ev.Recovery != nil &&
+		(len(ev.Recovery.DownIntervals) > 0 || ev.Recovery.ConnRedials > 0 || ev.Recovery.Retries > 0)
 	detail := fmt.Sprintf(
-		"servers rejected %d and expired %d across %d replicas; client observed %d rejected, %d expired; run counted %d dropped responses",
-		serverShed, serverExpired, len(ev.Replicas), ev.ClientRejected, ev.ClientExpired, ev.Result.ResponsesDropped)
+		"servers rejected %d and expired %d across %d replicas; client observed %d rejected, %d expired, %d transport-dropped; run counted %d dropped responses",
+		serverShed, serverExpired, len(ev.Replicas), ev.ClientRejected, ev.ClientExpired,
+		ev.ClientTransportDrops, ev.Result.ResponsesDropped)
 	switch {
-	case serverShed != ev.ClientRejected:
-		return Finding{Name: "serving-drop-accounting", Pass: false,
-			Detail: detail + " — server rejects did not all surface at the client (silent shed)"}
-	case serverExpired != ev.ClientExpired:
-		return Finding{Name: "serving-drop-accounting", Pass: false,
-			Detail: detail + " — server expiries did not all surface at the client (silent expiry)"}
 	case int64(ev.Result.ResponsesDropped) != clientDrops:
 		return Finding{Name: "serving-drop-accounting", Pass: false,
-			Detail: detail + " — dropped responses not fully explained by rejects/expiries (transport loss or miscount)"}
+			Detail: detail + " — dropped responses not fully explained by rejects/expiries/transport drops (silent loss or miscount)"}
+	case ev.ClientTransportDrops > 0 && !faulty:
+		return Finding{Name: "serving-drop-accounting", Pass: false,
+			Detail: detail + " — transport drops claimed without any recorded transport faults"}
+	case !faulty && serverShed != ev.ClientRejected:
+		return Finding{Name: "serving-drop-accounting", Pass: false,
+			Detail: detail + " — server rejects did not all surface at the client (silent shed)"}
+	case !faulty && serverExpired != ev.ClientExpired:
+		return Finding{Name: "serving-drop-accounting", Pass: false,
+			Detail: detail + " — server expiries did not all surface at the client (silent expiry)"}
 	default:
+		if faulty {
+			return Finding{Name: "serving-drop-accounting", Pass: true,
+				Detail: detail + " — client-side identity reconciled (server counters informational: run recorded transport faults)"}
+		}
 		return Finding{Name: "serving-drop-accounting", Pass: true, Detail: detail + " — all reconciled"}
+	}
+}
+
+// checkRecovery verifies the fault-tolerance record itself: every outage
+// interval is well-formed, every outage that ended was closed by a proper
+// re-join (probe handshake + reopen barrier — Rejoins must equal the closed
+// intervals), and the record's transport-drop count matches the client
+// counter used in the drop accounting.
+func checkRecovery(ev ServingEvidence) Finding {
+	rec := ev.Recovery
+	closed, open := 0, 0
+	for _, iv := range rec.DownIntervals {
+		if iv.Start.IsZero() {
+			return Finding{Name: "serving-recovery", Pass: false,
+				Detail: fmt.Sprintf("replica %d outage interval has no start time", iv.Replica)}
+		}
+		if iv.End.IsZero() {
+			open++
+			continue
+		}
+		if iv.End.Before(iv.Start) {
+			return Finding{Name: "serving-recovery", Pass: false,
+				Detail: fmt.Sprintf("replica %d outage interval ends %v before it starts", iv.Replica, iv.Start.Sub(iv.End))}
+		}
+		closed++
+	}
+	detail := fmt.Sprintf(
+		"%d outages (%d rejoined, %d still down), %d connection redials, %d failover retries, %d transport drops",
+		len(rec.DownIntervals), closed, open, rec.ConnRedials, rec.Retries, rec.TransportDrops)
+	switch {
+	case rec.Rejoins != closed:
+		return Finding{Name: "serving-recovery", Pass: false,
+			Detail: detail + fmt.Sprintf(" — %d rejoins recorded for %d ended outages: an outage ended without the probe + reopen-barrier re-join", rec.Rejoins, closed)}
+	case rec.TransportDrops != ev.ClientTransportDrops:
+		return Finding{Name: "serving-recovery", Pass: false,
+			Detail: detail + fmt.Sprintf(" — recovery record claims %d transport drops but the client counted %d", rec.TransportDrops, ev.ClientTransportDrops)}
+	case rec.ConnRedials < int64(rec.Rejoins):
+		return Finding{Name: "serving-recovery", Pass: false,
+			Detail: detail + " — more replica rejoins than connection redials; a rejoin without a re-dialed connection is impossible"}
+	default:
+		return Finding{Name: "serving-recovery", Pass: true, Detail: detail + " — intervals well-formed, rejoins complete"}
 	}
 }
 

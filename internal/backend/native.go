@@ -18,12 +18,18 @@
 //     achieved QPS in a real datacenter submission — on the measured path.
 //     With several Addrs it is the replica router: each sample goes to the
 //     live replica with the fewest requests in flight, bounded by a
-//     per-replica in-flight window, and a replica that dies is routed around
-//     (its pending work completes as Dropped). With Model set it addresses
-//     one named engine on a multi-model server (V2 frames). Shed load
-//     completes its queries with Dropped responses (the LoadGen invalidates
-//     the run) and serving metrics are fetchable merged (ServerMetrics) or
-//     per replica (ReplicaMetrics).
+//     per-replica in-flight window. With Model set it addresses one named
+//     engine on a multi-model server (V2 frames). Shed load completes its
+//     queries with Dropped responses (the LoadGen invalidates the run) and
+//     serving metrics are fetchable merged (ServerMetrics) or per replica
+//     (ReplicaMetrics). The Remote is fault tolerant by default: requests
+//     stranded by a transport failure fail over to a live replica, failed
+//     connections re-dial under per-slot supervisors with exponential
+//     backoff and deterministic jitter, recovered servers are readmitted
+//     only after a health-probe handshake (and, for a fully-down replica,
+//     the reopen barrier), a crashed replica's banked metrics merge with its
+//     restarted epoch, and the whole record — down/up intervals, rejoins,
+//     redials, retries, post-failover drops — is reported via Recovery.
 //
 // Because every model is reached through model.Engine, new backends
 // (quantized, simulated-batched, multi-tenant) plug in without per-task

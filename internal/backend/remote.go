@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 
 	"mlperf/internal/loadgen"
 	"mlperf/internal/serve"
+	"mlperf/internal/stats"
 )
 
 // RemoteConfig configures a Remote SUT client.
@@ -52,6 +54,50 @@ type RemoteConfig struct {
 	Deadline time.Duration
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
+
+	// DisableRecovery restores the PR 5 failure semantics: a failed
+	// connection stays dead, a replica that loses every connection stays
+	// down for the Remote's lifetime, and requests stranded by a transport
+	// failure settle as dropped instead of failing over. By default the
+	// Remote supervises every connection: it re-dials with exponential
+	// backoff and deterministic jitter, health-probes the server before
+	// readmitting it, re-runs the reopen barrier when a whole replica
+	// rejoins, and retries transport-failed requests on a live replica
+	// (inference is idempotent — the same sample index yields bit-identical
+	// bytes on any replica — so failover never changes what a sample
+	// answers, only who answers it).
+	DisableRecovery bool
+	// RedialInitial is the first redial backoff step (default 10ms); each
+	// failed attempt doubles it up to RedialMax (default 1s). The actual
+	// delay is jittered in [delay/2, delay) by a deterministic RNG.
+	RedialInitial time.Duration
+	RedialMax     time.Duration
+	// RecoverySeed seeds the deterministic backoff jitter (default 1). Every
+	// (replica, connection, outage) triple forks its own stream from it, so
+	// a fixed seed reproduces the same redial schedule run over run.
+	RecoverySeed uint64
+	// MaxAttempts bounds the total delivery attempts per request, the first
+	// included (default: number of replicas + 1, floored at 2). When the
+	// attempts are exhausted, or no replica is live, the request settles as
+	// dropped — the run terminates invalid instead of hanging or retrying
+	// forever.
+	MaxAttempts int
+	// ProbeTimeout bounds the health-probe round trip on a fresh connection
+	// before it is readmitted (default 2s).
+	ProbeTimeout time.Duration
+	// RejoinWait is the grace period a request caught with NO live replica
+	// waits for a re-join before settling as dropped. The deadline is shared
+	// by every request stranded in the same outage, so a total outage stalls
+	// the stream by at most RejoinWait rather than dropping everything issued
+	// during a few-millisecond blip. Zero derives the default (twice
+	// RedialMax); negative disables waiting (instant drops, the PR 5
+	// behavior for a fully-down fleet).
+	RejoinWait time.Duration
+	// Dialer, when set, replaces net.DialTimeout for every connection (the
+	// initial pool and every redial). It exists for fault injection:
+	// internal/chaos supplies a dialer whose connections sever, delay,
+	// truncate or corrupt frames on a seeded schedule.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (c *RemoteConfig) normalize() error {
@@ -77,6 +123,27 @@ func (c *RemoteConfig) normalize() error {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
 	}
+	if c.RedialInitial <= 0 {
+		c.RedialInitial = 10 * time.Millisecond
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = time.Second
+	}
+	if c.RecoverySeed == 0 {
+		c.RecoverySeed = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = len(c.Addrs) + 1
+		if c.MaxAttempts < 2 {
+			c.MaxAttempts = 2
+		}
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.RejoinWait == 0 {
+		c.RejoinWait = 2 * c.RedialMax
+	}
 	return nil
 }
 
@@ -90,10 +157,20 @@ func (c *RemoteConfig) normalize() error {
 //
 // Shed load is never silent: requests a server rejects or expires complete
 // their query with loadgen.Response.Dropped set, which the LoadGen counts and
-// uses to invalidate the run. A replica that dies mid-run settles everything
-// pending on it as dropped and is routed around from then on; transport and
-// server-side inference errors are recorded and surfaced via Errors,
-// mirroring Native.
+// uses to invalidate the run.
+//
+// Transport failures, by contrast, are transients the fleet absorbs: a
+// request stranded on a failed connection fails over to a live replica
+// (bounded by MaxAttempts; outputs stay bit-identical because replicas are
+// identical deployments), every failed connection re-dials under an
+// exponential-backoff supervisor with deterministic jitter, and a replica
+// that lost all its connections is readmitted to routing only after a fresh
+// connection passes the health-probe handshake and the reopen barrier has
+// re-armed its batcher. Down/up intervals, rejoins, redials, retries and the
+// drops that remained after failover are recorded in Recovery and attached
+// to merged metrics snapshots. Only when failover is exhausted (or recovery
+// is disabled) does a transport failure settle the request as dropped, which
+// invalidates the run rather than hanging it.
 type Remote struct {
 	cfg      RemoteConfig
 	replicas []*replica
@@ -105,7 +182,26 @@ type Remote struct {
 	rejected atomic.Int64
 	expired  atomic.Int64
 
+	// Recovery counters (per-replica interval state lives on each replica).
+	connRedials    atomic.Int64
+	retries        atomic.Int64
+	transportDrops atomic.Int64
+
+	// liveMu guards the full-fleet outage state: liveCh is non-nil while no
+	// replica is live (closed and cleared when one rejoins, waking every
+	// request waiting out the outage) and outageEnd is the shared drop-dead
+	// deadline those waiters share.
+	liveMu    sync.Mutex
+	liveCh    chan struct{}
+	outageEnd time.Time
+
 	closing atomic.Bool
+	stop    chan struct{} // closed by Close; ends redial supervisors
+	// superMu serializes spawning redial supervisors against Close: closing
+	// flips under it before superWG.Wait, so no supervisor can Add after the
+	// Wait has started on a drained group.
+	superMu sync.Mutex
+	superWG sync.WaitGroup
 	errs    errorLog
 }
 
@@ -113,6 +209,7 @@ type Remote struct {
 // the flow-control window, and its liveness state.
 type replica struct {
 	r     *Remote
+	idx   int
 	addr  string
 	conns []*remoteConn
 	next  atomic.Uint64 // round-robin connection cursor
@@ -121,43 +218,97 @@ type replica struct {
 	// the in-flight count the router's least-in-flight choice reads.
 	window chan struct{}
 
-	deadConns atomic.Int32
-	down      atomic.Bool // every connection has failed
+	down atomic.Bool // no live connections; the router skips it
+
+	// mu guards the lifecycle state below.
+	mu        sync.Mutex
+	liveConns int
+	rejoining bool      // a rejoin barrier is in progress
+	downSince time.Time // valid while down
+	intervals []serve.DownInterval
+	rejoins   int
+	// lastSnap is the most recent metrics snapshot fetched from the current
+	// server epoch; when the replica goes down it is banked in lostEpochs so
+	// a restarted (zero-countered) server's numbers merge with — rather than
+	// replace — what its predecessor reported. Counters are never double
+	// counted: each epoch contributes either its live snapshot or its last
+	// fetch before the crash, never both.
+	lastSnap   serve.Snapshot
+	hasLast    bool
+	lostEpochs []serve.Snapshot
 }
 
 // pendingRequest ties a wire id back to the query sample awaiting it.
 type pendingRequest struct {
 	query    *loadgen.Query
 	sampleID uint64
+	index    int
+	attempt  int // 1-based delivery attempt
 }
 
-// remoteConn is one client connection: a serialized writer plus a reader
-// goroutine that demultiplexes responses back to their queries.
+// remoteConn is one slot in a replica's connection pool. The slot is stable
+// for the Remote's lifetime; the connection inside it is an epoch that dies
+// on transport failure and is replaced by the redial supervisor (gen counts
+// epochs so a stale reader cannot kill its successor). Each live epoch has a
+// serialized writer plus a reader goroutine that demultiplexes responses.
 type remoteConn struct {
-	rep *replica
-	c   net.Conn
+	rep  *replica
+	slot int
 
 	wmu sync.Mutex
 	w   *bufio.Writer
 
 	mu      sync.Mutex
+	gen     uint64
+	c       net.Conn
+	dead    bool
 	pending map[uint64]pendingRequest
 	metrics map[uint64]chan []byte
-	// dead is set by fail(): the reader is gone, so nothing will ever
-	// resolve a request registered from here on — issuers settle locally
-	// instead of registering.
-	dead bool
 }
 
 // write serializes one frame onto the connection: fn writes it, then the
-// buffered writer is flushed, all under the write lock.
+// buffered writer is flushed, all under the write lock. A dead slot fails
+// fast instead of writing into a replaced epoch.
 func (rc *remoteConn) write(fn func(w io.Writer) error) error {
 	rc.wmu.Lock()
 	defer rc.wmu.Unlock()
+	rc.mu.Lock()
+	dead := rc.dead
+	rc.mu.Unlock()
+	if dead {
+		return fmt.Errorf("backend: connection to %s is down", rc.rep.addr)
+	}
 	if err := fn(rc.w); err != nil {
 		return err
 	}
 	return rc.w.Flush()
+}
+
+// install swaps a freshly dialed (and probed) connection into the slot and
+// starts its reader. Holding both locks while swapping guarantees no writer
+// is mid-frame and no request registers against the old epoch's maps.
+func (rc *remoteConn) install(c net.Conn) uint64 {
+	rc.wmu.Lock()
+	rc.mu.Lock()
+	rc.gen++
+	gen := rc.gen
+	rc.c = c
+	rc.w = bufio.NewWriter(c)
+	rc.dead = false
+	rc.pending = make(map[uint64]pendingRequest)
+	rc.metrics = make(map[uint64]chan []byte)
+	rc.mu.Unlock()
+	rc.wmu.Unlock()
+	go rc.readLoop(gen, c)
+	return gen
+}
+
+// dial opens one connection to addr through the configured dialer.
+func (r *Remote) dial(addr string) (net.Conn, error) {
+	if r.cfg.Dialer != nil {
+		return r.cfg.Dialer(addr, r.cfg.DialTimeout)
+	}
+	return net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
 }
 
 // NewRemote dials every replica and returns the connected SUT client.
@@ -165,24 +316,37 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	r := &Remote{cfg: cfg}
-	for _, addr := range cfg.Addrs {
-		rep := &replica{r: r, addr: addr, window: make(chan struct{}, cfg.MaxInFlight)}
+	r := &Remote{cfg: cfg, stop: make(chan struct{})}
+	// Build the whole structure before starting any reader: a connection that
+	// dies instantly would otherwise race its fail() against construction.
+	var conns [][]net.Conn
+	for idx, addr := range cfg.Addrs {
+		rep := &replica{r: r, idx: idx, addr: addr, window: make(chan struct{}, cfg.MaxInFlight)}
+		var raw []net.Conn
 		for i := 0; i < cfg.Conns; i++ {
-			c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+			c, err := r.dial(addr)
 			if err != nil {
-				r.Close()
+				for _, cs := range conns {
+					for _, c := range cs {
+						c.Close()
+					}
+				}
+				for _, c := range raw {
+					c.Close()
+				}
 				return nil, fmt.Errorf("backend: dialing replica %s: %w", addr, err)
 			}
-			rc := &remoteConn{
-				rep: rep, c: c, w: bufio.NewWriter(c),
-				pending: make(map[uint64]pendingRequest),
-				metrics: make(map[uint64]chan []byte),
-			}
-			rep.conns = append(rep.conns, rc)
-			go rc.readLoop()
+			raw = append(raw, c)
+			rep.conns = append(rep.conns, &remoteConn{rep: rep, slot: i})
+			rep.liveConns++
 		}
+		conns = append(conns, raw)
 		r.replicas = append(r.replicas, rep)
+	}
+	for i, rep := range r.replicas {
+		for j, rc := range rep.conns {
+			rc.install(conns[i][j])
+		}
 	}
 	return r, nil
 }
@@ -241,47 +405,153 @@ func (r *Remote) pick() *replica {
 	return best
 }
 
-// issueSample routes one predict request to a replica, holding one of that
-// replica's in-flight window slots until its response arrives. The inflight
-// count is raised BEFORE the request becomes visible in the pending map:
-// whichever side settles it (reader, failure drain, or this writer on a write
-// error) balances it exactly once.
+// anyLive reports whether at least one replica is admitting traffic.
+func (r *Remote) anyLive() bool {
+	for _, rep := range r.replicas {
+		if !rep.down.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// issueSample raises the in-flight count for one query sample and makes its
+// first delivery attempt. Whichever side settles it — the reader on a
+// response, or failover once every attempt is spent — balances the count
+// exactly once.
 func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
+	r.inflight.Add(1)
+	r.send(pendingRequest{query: q, sampleID: s.ID, index: s.Index, attempt: 1})
+}
+
+// send routes one delivery attempt to a replica, holding one of that
+// replica's in-flight window slots until its response arrives (or the
+// attempt fails and the slot is released by failover). The connection scan
+// starts at the round-robin cursor and skips dead slots, so a replica with
+// one broken connection keeps serving on its live ones while the supervisor
+// re-dials the broken one.
+func (r *Remote) send(p pendingRequest) {
 	rep := r.pick()
 	rep.window <- struct{}{}
-	r.inflight.Add(1)
-	id := r.nextID.Add(1)
-	rc := rep.conns[rep.next.Add(1)%uint64(len(rep.conns))]
-
-	rc.mu.Lock()
-	if rc.dead {
-		// The connection already failed: nothing will read a response, so
-		// settle immediately as dropped (the failure itself was recorded by
-		// fail). The run terminates invalid instead of hanging.
-		rc.mu.Unlock()
-		rep.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
+	var rc *remoteConn
+	start := rep.next.Add(1)
+	for i := 0; i < len(rep.conns); i++ {
+		if cand := rep.conns[(start+uint64(i))%uint64(len(rep.conns))]; !cand.isDead() {
+			rc = cand
+			break
+		}
+	}
+	if rc == nil {
+		// Every slot is between epochs (the replica is going down or coming
+		// up); burn this attempt and re-route.
+		r.failover(rep, p, nil)
 		return
 	}
-	rc.pending[id] = pendingRequest{query: q, sampleID: s.ID}
+
+	id := r.nextID.Add(1)
+	rc.mu.Lock()
+	if rc.dead {
+		rc.mu.Unlock()
+		r.failover(rep, p, nil)
+		return
+	}
+	gen := rc.gen
+	rc.pending[id] = p
 	rc.mu.Unlock()
 
-	req := serve.PredictRequest{ID: id, SampleIndex: s.Index, Model: r.cfg.Model}
+	req := serve.PredictRequest{ID: id, SampleIndex: p.index, Model: r.cfg.Model}
 	if r.cfg.Deadline > 0 {
 		req.Deadline = time.Now().Add(r.cfg.Deadline)
 	}
 	err := rc.write(func(w io.Writer) error { return serve.WritePredictRequest(w, req) })
 	if err != nil {
-		// The request never reached the server; settle it locally if the
-		// reader has not already done so while failing the connection.
-		rc.mu.Lock()
-		_, mine := rc.pending[id]
-		delete(rc.pending, id)
-		rc.mu.Unlock()
-		if mine {
-			if !r.closing.Load() {
-				r.errs.add(fmt.Errorf("backend %s: sending sample %d to %s: %w", r.cfg.Name, s.Index, rep.addr, err))
-			}
-			rep.settle(q, loadgen.Response{SampleID: s.ID, Dropped: true})
+		// A failed write means the connection is broken, not just this
+		// request: kill the epoch. fail drains every pending request on it —
+		// this one included — into failover, closes the socket (unblocking a
+		// reader that has not noticed yet) and hands the slot to the redial
+		// supervisor. Idempotent against the reader failing it concurrently.
+		rc.fail(gen, err)
+	}
+}
+
+// failover releases the failed attempt's window slot and re-routes the
+// request to a live replica — waiting out a full-fleet outage up to the
+// shared RejoinWait deadline if it has to — or settles it as dropped when
+// attempts are exhausted, no replica comes back, recovery is disabled, or
+// the client is closing. Retrying is sound because inference is idempotent:
+// any replica answers a sample index with bit-identical bytes.
+func (r *Remote) failover(rep *replica, p pendingRequest, cause error) {
+	<-rep.window
+	if !r.closing.Load() && !r.cfg.DisableRecovery && p.attempt < r.cfg.MaxAttempts &&
+		(r.anyLive() || r.awaitFleet()) {
+		r.retries.Add(1)
+		p.attempt++
+		r.send(p)
+		return
+	}
+	if !r.closing.Load() && !r.cfg.DisableRecovery {
+		r.transportDrops.Add(1)
+	}
+	p.query.Complete([]loadgen.Response{{SampleID: p.sampleID, Dropped: true}})
+	r.inflight.Done()
+}
+
+// fleetDown opens the full-fleet outage window (no-op if one is already
+// open): requests that find no live replica wait on liveCh until a rejoin
+// closes it or the shared outage deadline passes.
+func (r *Remote) fleetDown() {
+	r.liveMu.Lock()
+	if r.liveCh == nil {
+		r.liveCh = make(chan struct{})
+		r.outageEnd = time.Now().Add(r.cfg.RejoinWait)
+	}
+	r.liveMu.Unlock()
+}
+
+// fleetUp ends the outage window, waking every waiter.
+func (r *Remote) fleetUp() {
+	r.liveMu.Lock()
+	if r.liveCh != nil {
+		close(r.liveCh)
+		r.liveCh = nil
+	}
+	r.liveMu.Unlock()
+}
+
+// awaitFleet blocks until some replica is live again, the outage's shared
+// grace deadline passes, or the client closes; it reports whether a live
+// replica exists. Sharing one deadline across every stranded request bounds
+// a total outage's stall to RejoinWait regardless of how much traffic is
+// caught in it.
+func (r *Remote) awaitFleet() bool {
+	for {
+		if r.anyLive() {
+			return true
+		}
+		r.liveMu.Lock()
+		ch := r.liveCh
+		end := r.outageEnd
+		r.liveMu.Unlock()
+		if ch == nil {
+			// No outage window is open (it closed just now, or the failing
+			// path has not opened one yet) — nothing to wait on.
+			return r.anyLive()
+		}
+		wait := time.Until(end)
+		if wait <= 0 {
+			return r.anyLive()
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ch:
+			timer.Stop()
+			// A replica rejoined (or another outage replaced this one) —
+			// loop and re-check.
+		case <-timer.C:
+			return r.anyLive()
+		case <-r.stop:
+			timer.Stop()
+			return false
 		}
 	}
 }
@@ -294,15 +564,16 @@ func (rep *replica) settle(q *loadgen.Query, resp loadgen.Response) {
 	rep.r.inflight.Done()
 }
 
-// readLoop demultiplexes one connection's responses until it closes. On a
-// transport failure every request still pending on the connection is settled
-// as dropped, so the LoadGen terminates (invalid) instead of hanging.
-func (rc *remoteConn) readLoop() {
-	br := bufio.NewReader(rc.c)
+// readLoop demultiplexes one connection epoch's responses until it closes.
+// On a transport failure the epoch dies: every request still pending on it
+// fails over (or settles as dropped), and the redial supervisor takes the
+// slot.
+func (rc *remoteConn) readLoop(gen uint64, c net.Conn) {
+	br := bufio.NewReader(c)
 	for {
 		frame, err := serve.ReadClientFrame(br)
 		if err != nil {
-			rc.fail(err)
+			rc.fail(gen, err)
 			return
 		}
 		switch frame.Type {
@@ -320,7 +591,9 @@ func (rc *remoteConn) readLoop() {
 	}
 }
 
-// resolve routes one predict response back to its query.
+// resolve routes one predict response back to its query. Server-decided
+// dispositions (rejected, expired, errored) are terminal — shed load must
+// stay visible, so it is never retried.
 func (rc *remoteConn) resolve(resp serve.PredictResponse) {
 	rc.mu.Lock()
 	entry, ok := rc.pending[resp.ID]
@@ -348,26 +621,49 @@ func (rc *remoteConn) resolve(resp serve.PredictResponse) {
 	rc.rep.settle(entry.query, out)
 }
 
-// fail kills a broken connection and settles everything pending on it.
-// Setting dead under the same lock that guards registration guarantees no
-// request can be registered after the drain and never settled. When the
-// replica's last connection dies, the replica is marked down and the router
-// stops sending it traffic — the replica-lifecycle half of overload
-// semantics: a dead shard degrades the run to dropped (invalid), it does not
-// hang it.
-func (rc *remoteConn) fail(err error) {
-	rc.c.Close()
+// fail kills a broken connection epoch and fails over everything pending on
+// it. Setting dead under the same lock that guards registration guarantees
+// no request can be registered after the drain and never settled. When the
+// replica's last connection dies the replica is marked down and the router
+// stops sending it traffic; unless recovery is disabled, a supervisor then
+// owns the slot and re-dials it with backoff.
+func (rc *remoteConn) fail(gen uint64, err error) {
 	rc.mu.Lock()
+	if rc.gen != gen || rc.dead {
+		// A stale epoch's reader (or a duplicate failure) — the slot has
+		// already moved on.
+		rc.mu.Unlock()
+		return
+	}
 	rc.dead = true
+	rc.c.Close()
 	pending := rc.pending
 	rc.pending = make(map[uint64]pendingRequest)
 	metrics := rc.metrics
 	rc.metrics = make(map[uint64]chan []byte)
 	rc.mu.Unlock()
+
 	rep := rc.rep
 	r := rep.r
-	if int(rep.deadConns.Add(1)) == len(rep.conns) {
+	rep.mu.Lock()
+	rep.liveConns--
+	wentDown := rep.liveConns == 0 && !rep.down.Load()
+	if wentDown {
 		rep.down.Store(true)
+		rep.downSince = time.Now()
+		if rep.hasLast {
+			// Bank the dying epoch's last known counters so a restarted
+			// server's zeroed metrics merge with them instead of erasing them.
+			rep.lostEpochs = append(rep.lostEpochs, rep.lastSnap)
+			rep.hasLast = false
+		}
+	}
+	rep.mu.Unlock()
+
+	if wentDown {
+		if !r.anyLive() {
+			r.fleetDown()
+		}
 		if !r.closing.Load() {
 			r.errs.add(fmt.Errorf("backend %s: replica %s is down (all %d connections failed)", r.cfg.Name, rep.addr, len(rep.conns)))
 		}
@@ -376,11 +672,166 @@ func (rc *remoteConn) fail(err error) {
 		r.errs.add(fmt.Errorf("backend %s: connection to %s failed with %d requests outstanding: %w", r.cfg.Name, rep.addr, len(pending), err))
 	}
 	for _, entry := range pending {
-		rep.settle(entry.query, loadgen.Response{SampleID: entry.sampleID, Dropped: true})
+		r.failover(rep, entry, err)
 	}
 	for _, ch := range metrics {
 		close(ch)
 	}
+	if !r.cfg.DisableRecovery {
+		r.superMu.Lock()
+		if !r.closing.Load() {
+			r.superWG.Add(1)
+			go rc.redial(gen)
+		}
+		r.superMu.Unlock()
+	}
+}
+
+// redial is the per-connection supervisor: it re-dials the slot's address
+// with exponential backoff and deterministic jitter, health-probes the fresh
+// connection, and only then installs it and (when the whole replica was
+// down) re-runs the reopen barrier before readmitting the replica to
+// routing. It exits when the connection is restored or the client closes.
+func (rc *remoteConn) redial(failedGen uint64) {
+	rep := rc.rep
+	r := rep.r
+	defer r.superWG.Done()
+	// One deterministic jitter stream per (replica, slot, outage): a fixed
+	// RecoverySeed reproduces the same backoff schedule run over run.
+	rng := stats.NewRNG(r.cfg.RecoverySeed ^
+		(uint64(rep.idx)+1)<<40 ^ (uint64(rc.slot)+1)<<20 ^ failedGen)
+	backoff := r.cfg.RedialInitial
+	timer := time.NewTimer(jitter(backoff, rng))
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-timer.C:
+		}
+		if r.closing.Load() {
+			return
+		}
+		c, err := r.dial(rep.addr)
+		if err == nil {
+			err = r.probe(c)
+			if err == nil {
+				r.connRedials.Add(1)
+				rc.install(c)
+				rep.rejoined(rc)
+				return
+			}
+			c.Close()
+		}
+		if backoff *= 2; backoff > r.cfg.RedialMax {
+			backoff = r.cfg.RedialMax
+		}
+		timer.Reset(jitter(backoff, rng))
+	}
+}
+
+// jitter draws a deterministic delay in [d/2, d).
+func jitter(d time.Duration, rng *stats.RNG) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Float64()*float64(half))
+}
+
+// probe runs the health-probe handshake on a fresh, not-yet-installed
+// connection: the server must answer the V2 probe frame ProbeReady within
+// ProbeTimeout. A draining (retiring) or unresponsive server is not
+// readmitted — the supervisor keeps backing off instead.
+func (r *Remote) probe(c net.Conn) error {
+	id := r.nextID.Add(1)
+	c.SetDeadline(time.Now().Add(r.cfg.ProbeTimeout))
+	defer c.SetDeadline(time.Time{})
+	w := bufio.NewWriter(c)
+	if err := serve.WriteProbeRequest(w, id); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	frame, err := serve.ReadClientFrame(bufio.NewReaderSize(c, 64))
+	if err != nil {
+		return err
+	}
+	if frame.Type != serve.MsgProbe || frame.ProbeID != id {
+		return fmt.Errorf("backend: probe answered with frame type %d", frame.Type)
+	}
+	if !frame.ProbeReady {
+		return fmt.Errorf("backend: server %s is draining", c.RemoteAddr())
+	}
+	return nil
+}
+
+// rejoined records a restored connection and, when it is a down replica's
+// first, re-runs the reopen barrier before readmitting the replica to
+// routing — the same discipline as recovering to a consistent point before
+// rejoining: a restarted server comes up with its batcher armed for a new
+// series, and the barrier's metrics round trip both proves the ordering and
+// baselines the new epoch's counters.
+func (rep *replica) rejoined(rc *remoteConn) {
+	rep.mu.Lock()
+	rep.liveConns++
+	barrier := rep.down.Load() && !rep.rejoining
+	if barrier {
+		rep.rejoining = true
+	}
+	rep.mu.Unlock()
+	if !barrier {
+		return
+	}
+
+	err := rep.rejoinBarrier(rc)
+	ok := err == nil && !rc.isDead()
+	rep.mu.Lock()
+	rep.rejoining = false
+	if ok {
+		rep.intervals = append(rep.intervals, serve.DownInterval{
+			Replica: rep.idx, Addr: rep.addr, Start: rep.downSince, End: time.Now(),
+		})
+		rep.rejoins++
+		rep.down.Store(false)
+		rep.mu.Unlock()
+		rep.r.fleetUp()
+		return
+	}
+	rep.mu.Unlock()
+	// The barrier failed: the fresh connection died again. Its reader's
+	// fail() restarts the supervisor; the replica stays down.
+}
+
+// isDead reports whether the slot's current epoch has already failed.
+func (rc *remoteConn) isDead() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.dead
+}
+
+// rejoinBarrier re-arms the restarted replica's batcher (model-scoped
+// MsgReopen) and fences it with a metrics round trip on the same
+// connection: the server reads frames per connection in order, so when the
+// reply arrives the reopen has been applied. The fetched snapshot baselines
+// the new epoch for per-replica metrics merging.
+func (rep *replica) rejoinBarrier(rc *remoteConn) error {
+	err := rc.write(func(w io.Writer) error {
+		return serve.WriteControlModel(w, serve.MsgReopen, rep.r.cfg.Model)
+	})
+	if err != nil {
+		return err
+	}
+	snap, err := rep.metricsOn(rc)
+	if err != nil {
+		return err
+	}
+	rep.mu.Lock()
+	rep.lastSnap = snap
+	rep.hasLast = true
+	rep.mu.Unlock()
+	return nil
 }
 
 // FlushQueries implements loadgen.SUT: once every issued sample has been
@@ -404,13 +855,26 @@ func (r *Remote) Reopen() {
 	}
 }
 
-// control sends a control frame to every replica on its first connection.
+// liveConn returns the replica's first live connection slot, or nil when the
+// replica is entirely down.
+func (rep *replica) liveConn() *remoteConn {
+	for _, rc := range rep.conns {
+		if !rc.isDead() {
+			return rc
+		}
+	}
+	return nil
+}
+
+// control sends a control frame to every replica on its first live
+// connection; a fully-down replica is skipped (its rejoin barrier re-arms it
+// instead).
 func (r *Remote) control(msgType byte) {
 	for _, rep := range r.replicas {
-		if len(rep.conns) == 0 {
+		rc := rep.liveConn()
+		if rc == nil {
 			continue
 		}
-		rc := rep.conns[0]
 		err := rc.write(func(w io.Writer) error { return serve.WriteControlModel(w, msgType, r.cfg.Model) })
 		if err != nil && !r.closing.Load() && !rep.down.Load() {
 			r.errs.add(fmt.Errorf("backend %s: sending control frame %d to %s: %w", r.cfg.Name, msgType, rep.addr, err))
@@ -418,22 +882,59 @@ func (r *Remote) control(msgType byte) {
 	}
 }
 
-// ServerMetrics fetches a metrics snapshot from every live replica and merges
+// Recovery returns the client-observed fault-tolerance record: every replica
+// outage (closed intervals for rejoined replicas, an open interval for any
+// replica still down), plus redial, failover-retry and transport-drop
+// counters. Intervals are sorted by start time.
+func (r *Remote) Recovery() serve.RecoveryStats {
+	rec := serve.RecoveryStats{
+		ConnRedials:    r.connRedials.Load(),
+		Retries:        r.retries.Load(),
+		TransportDrops: r.transportDrops.Load(),
+	}
+	for _, rep := range r.replicas {
+		rep.mu.Lock()
+		rec.DownIntervals = append(rec.DownIntervals, rep.intervals...)
+		rec.Rejoins += rep.rejoins
+		if rep.down.Load() {
+			rec.DownIntervals = append(rec.DownIntervals, serve.DownInterval{
+				Replica: rep.idx, Addr: rep.addr, Start: rep.downSince,
+			})
+		}
+		rep.mu.Unlock()
+	}
+	sort.Slice(rec.DownIntervals, func(i, j int) bool {
+		return rec.DownIntervals[i].Start.Before(rec.DownIntervals[j].Start)
+	})
+	return rec
+}
+
+// ServerMetrics fetches a metrics snapshot from every replica and merges
 // them (serve.MergeSnapshots): counters sum, latency percentiles take the
-// worst shard. It fails only when no replica answers.
+// worst shard. The merged snapshot carries the Recovery record, so down/up
+// intervals are visible exactly where the run's counters are reported. It
+// fails only when no replica answers.
 func (r *Remote) ServerMetrics() (serve.Snapshot, error) {
 	snaps, err := r.ReplicaMetrics()
 	if err != nil {
 		return serve.Snapshot{}, err
 	}
+	var merged serve.Snapshot
 	if len(snaps) == 1 {
-		return snaps[0], nil
+		merged = snaps[0]
+	} else {
+		merged = serve.MergeSnapshots(snaps...)
 	}
-	return serve.MergeSnapshots(snaps...), nil
+	rec := r.Recovery()
+	merged.Recovery = &rec
+	return merged, nil
 }
 
-// ReplicaMetrics fetches each live replica's snapshot (in Addrs order, down
-// replicas skipped). It fails when no replica answers.
+// ReplicaMetrics fetches each replica's snapshot (in Addrs order). A replica
+// that crashed and rejoined reports the merge of its pre-crash epochs' last
+// known counters with the current server's live snapshot — summed once per
+// epoch, never double counted — and a replica that is down right now still
+// contributes its banked epochs. It fails when no replica yields anything.
 func (r *Remote) ReplicaMetrics() ([]serve.Snapshot, error) {
 	var (
 		snaps   []serve.Snapshot
@@ -442,8 +943,18 @@ func (r *Remote) ReplicaMetrics() ([]serve.Snapshot, error) {
 	for _, rep := range r.replicas {
 		snap, err := rep.serverMetrics()
 		if err != nil {
-			lastErr = err
-			continue
+			rep.mu.Lock()
+			epochs := append([]serve.Snapshot(nil), rep.lostEpochs...)
+			rep.mu.Unlock()
+			if len(epochs) == 0 {
+				lastErr = err
+				continue
+			}
+			if len(epochs) == 1 {
+				snap = epochs[0]
+			} else {
+				snap = serve.MergeSnapshots(epochs...)
+			}
 		}
 		snaps = append(snaps, snap)
 	}
@@ -457,14 +968,32 @@ func (r *Remote) ReplicaMetrics() ([]serve.Snapshot, error) {
 }
 
 // serverMetrics fetches one replica's snapshot (the hosted model's when the
-// client is model-addressed, the server's merged snapshot otherwise).
+// client is model-addressed, the server's merged snapshot otherwise), folded
+// with any pre-crash epochs the client banked for it.
 func (rep *replica) serverMetrics() (serve.Snapshot, error) {
+	rc := rep.liveConn()
+	if rc == nil {
+		return serve.Snapshot{}, fmt.Errorf("backend %s: replica %s has no live connections", rep.r.cfg.Name, rep.addr)
+	}
+	live, err := rep.metricsOn(rc)
+	if err != nil {
+		return serve.Snapshot{}, err
+	}
+	rep.mu.Lock()
+	rep.lastSnap = live
+	rep.hasLast = true
+	epochs := append([]serve.Snapshot(nil), rep.lostEpochs...)
+	rep.mu.Unlock()
+	if len(epochs) == 0 {
+		return live, nil
+	}
+	return serve.MergeSnapshots(append(epochs, live)...), nil
+}
+
+// metricsOn runs one metrics round trip on a specific connection.
+func (rep *replica) metricsOn(rc *remoteConn) (serve.Snapshot, error) {
 	r := rep.r
 	var snap serve.Snapshot
-	if len(rep.conns) == 0 {
-		return snap, fmt.Errorf("backend %s: replica %s has no connections", r.cfg.Name, rep.addr)
-	}
-	rc := rep.conns[0]
 	id := r.nextID.Add(1)
 	ch := make(chan []byte, 1)
 	rc.mu.Lock()
@@ -512,7 +1041,8 @@ func (r *Remote) Wait() {
 // Errors returns transport and server-side inference errors observed so far.
 // Rejected and expired requests are NOT errors — they are shed load, counted
 // by Rejected/Expired and reflected in the run's validity via dropped
-// responses.
+// responses. Successful recoveries are not errors either: they are recorded
+// in Recovery.
 func (r *Remote) Errors() []error { return r.errs.all() }
 
 // Rejected returns how many requests the replicas' admission control shed.
@@ -521,7 +1051,13 @@ func (r *Remote) Rejected() int64 { return r.rejected.Load() }
 // Expired returns how many requests expired past their deadline while queued.
 func (r *Remote) Expired() int64 { return r.expired.Load() }
 
-// DownReplicas returns how many replicas have lost every connection.
+// TransportDrops returns how many requests settled as dropped after
+// exhausting failover — the drops not explained by a reject or expiry.
+func (r *Remote) TransportDrops() int64 { return r.transportDrops.Load() }
+
+// DownReplicas returns how many replicas currently have no live connection.
+// A replica that crashed and rejoined no longer counts; its outage is
+// recorded in Recovery.
 func (r *Remote) DownReplicas() int {
 	n := 0
 	for _, rep := range r.replicas {
@@ -532,17 +1068,29 @@ func (r *Remote) DownReplicas() int {
 	return n
 }
 
-// Close tears down the client's connections to every replica. In-flight
-// requests settle as dropped without recording transport errors.
+// Close tears down the client's connections to every replica and stops the
+// redial supervisors. In-flight requests settle as dropped without recording
+// transport errors.
 func (r *Remote) Close() error {
-	r.closing.Store(true)
 	var first error
+	r.superMu.Lock()
+	if r.closing.CompareAndSwap(false, true) {
+		close(r.stop)
+	}
+	r.superMu.Unlock()
 	for _, rep := range r.replicas {
 		for _, rc := range rep.conns {
-			if err := rc.c.Close(); err != nil && first == nil {
+			rc.mu.Lock()
+			c := rc.c
+			rc.mu.Unlock()
+			if c == nil {
+				continue
+			}
+			if err := c.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
 	}
+	r.superWG.Wait()
 	return first
 }

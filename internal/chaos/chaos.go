@@ -1,0 +1,239 @@
+// Package chaos is a deterministic fault-injection harness for the serving
+// stack. It wraps net.Conn and net.Listener so that connections sever, stall,
+// split, truncate or corrupt frames on a schedule drawn from a seeded RNG —
+// the same seed always produces the same fault sequence, so a chaos test that
+// exposes a recovery bug is a reproducible test, not a flake.
+//
+// The injector slots into both ends of the wire without either end knowing:
+// serve.Config.WrapListener wraps the server's accepted connections, and
+// backend.RemoteConfig.Dialer wraps the client's dialed ones. All faults are
+// transport faults — the kind backend.Remote's redial supervisors, health
+// probes and failover retries exist to absorb. Application-level misbehavior
+// (wrong answers, protocol violations) is out of scope: a corrupted frame is
+// delivered corrupted precisely so the reader's framing checks reject it and
+// the connection dies, which is the fault being injected.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlperf/internal/stats"
+)
+
+// Config sets the fault schedule. Each rate is a per-write probability in
+// [0, 1]; a zero Config injects nothing. Faults are drawn independently per
+// write in rate order (sever, truncate, corrupt, partial, delay) and at most
+// one structural fault (sever/truncate/corrupt) fires per write.
+type Config struct {
+	// Seed drives every fault decision. Conn k of an injector draws from a
+	// stream derived from Seed and k, so the fault schedule is a pure
+	// function of the seed and the order connections are wrapped in — not of
+	// wall-clock timing.
+	Seed uint64
+
+	// SeverRate closes the connection instead of writing: the peer sees a
+	// clean EOF mid-stream, the writer an error on the next use.
+	SeverRate float64
+	// TruncateRate writes a prefix of the frame bytes and then closes the
+	// connection: the peer reads a torn frame that fails length validation.
+	TruncateRate float64
+	// CorruptRate flips one byte of the write at a seeded offset before
+	// sending it whole; framing or body validation on the peer rejects it.
+	CorruptRate float64
+	// PartialWriteRate splits the write in two and stalls PartialDelay
+	// between the halves, exercising readers against torn-but-eventually-
+	// complete frames (this one is survivable — no data is lost).
+	PartialWriteRate float64
+	// PartialDelay is the stall between the halves of a partial write
+	// (default 1ms).
+	PartialDelay time.Duration
+	// DelayRate stalls the whole write by Delay before sending it intact.
+	DelayRate float64
+	// Delay is the stall for DelayRate faults (default 1ms).
+	Delay time.Duration
+
+	// MaxFaults, when positive, bounds the total number of destructive
+	// faults (sever/truncate/corrupt) the injector fires across all of its
+	// connections; after the budget is spent the injector passes everything
+	// through. This keeps a soak test's fault count fixed regardless of how
+	// much traffic flows around the faults.
+	MaxFaults int64
+}
+
+// Injector applies a Config's fault schedule to the connections it wraps.
+// One injector is shared by every connection of a deployment; its methods are
+// safe for concurrent use.
+type Injector struct {
+	cfg      Config
+	connSeq  atomic.Uint64 // wrapped-connection counter, keys the per-conn RNG
+	faults   atomic.Int64  // destructive faults fired so far
+	severed  atomic.Int64
+	truncats atomic.Int64
+	corrupts atomic.Int64
+}
+
+// New returns an injector for the given fault schedule.
+func New(cfg Config) *Injector {
+	if cfg.Delay <= 0 {
+		cfg.Delay = time.Millisecond
+	}
+	if cfg.PartialDelay <= 0 {
+		cfg.PartialDelay = time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Seed returns the injector's fault-schedule seed.
+func (in *Injector) Seed() uint64 { return in.cfg.Seed }
+
+// Faults returns how many destructive faults (severs, truncations,
+// corruptions) have fired so far.
+func (in *Injector) Faults() int64 { return in.faults.Load() }
+
+// Stats returns the per-kind destructive fault counts fired so far.
+func (in *Injector) Stats() (severed, truncated, corrupted int64) {
+	return in.severed.Load(), in.truncats.Load(), in.corrupts.Load()
+}
+
+// budget consumes one unit of the destructive-fault budget; it reports false
+// when MaxFaults is set and spent.
+func (in *Injector) budget() bool {
+	if in.cfg.MaxFaults <= 0 {
+		in.faults.Add(1)
+		return true
+	}
+	if n := in.faults.Add(1); n > in.cfg.MaxFaults {
+		in.faults.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Conn wraps one connection with the injector's fault schedule. Each wrapped
+// connection draws from its own deterministic stream, derived from the
+// injector seed and the wrap order.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	k := in.connSeq.Add(1)
+	return &faultConn{
+		Conn: c,
+		in:   in,
+		rng:  stats.NewRNG(in.cfg.Seed ^ (k * 0x9e3779b97f4a7c15)),
+	}
+}
+
+// Listener wraps a listener so every accepted connection carries the fault
+// schedule; Addr and Close pass through to the wrapped listener. It is the
+// shape serve.Config.WrapListener expects.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, in: in}
+}
+
+// Dialer wraps a dial function (net.DialTimeout-shaped, as
+// backend.RemoteConfig.Dialer expects) so every dialed connection carries the
+// fault schedule. A nil inner dialer uses net.DialTimeout.
+func (in *Injector) Dialer(inner func(addr string, timeout time.Duration) (net.Conn, error)) func(addr string, timeout time.Duration) (net.Conn, error) {
+	if inner == nil {
+		inner = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := inner(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Conn(c), nil
+	}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}
+
+// faultConn injects write-side faults. Reads pass through untouched: every
+// fault a reader could see (torn frame, dead peer) is produced by faulting
+// the writes of the connection's other end, so injecting on writes alone
+// covers both directions when both ends are wrapped.
+type faultConn struct {
+	net.Conn
+	in  *Injector
+	rng *stats.RNG
+
+	mu     sync.Mutex // serializes fault draws and the writes they shape
+	downed bool
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.downed {
+		return 0, fmt.Errorf("chaos: connection severed")
+	}
+	cfg := &fc.in.cfg
+	roll := fc.rng.Float64()
+
+	// Destructive faults, in rate order; at most one per write.
+	switch {
+	case roll < cfg.SeverRate:
+		if fc.in.budget() {
+			fc.in.severed.Add(1)
+			fc.downed = true
+			fc.Conn.Close()
+			return 0, fmt.Errorf("chaos: connection severed before %d-byte write", len(p))
+		}
+	case roll < cfg.SeverRate+cfg.TruncateRate:
+		if fc.in.budget() && len(p) > 1 {
+			fc.in.truncats.Add(1)
+			fc.downed = true
+			cut := 1 + fc.rng.Intn(len(p)-1)
+			n, _ := fc.Conn.Write(p[:cut])
+			fc.Conn.Close()
+			return n, fmt.Errorf("chaos: write truncated at %d of %d bytes", cut, len(p))
+		}
+	case roll < cfg.SeverRate+cfg.TruncateRate+cfg.CorruptRate:
+		if fc.in.budget() && len(p) > 0 {
+			fc.in.corrupts.Add(1)
+			mangled := make([]byte, len(p))
+			copy(mangled, p)
+			mangled[fc.rng.Intn(len(mangled))] ^= 0xff
+			// The peer's framing checks will kill the connection; mark this
+			// side down too so the writer stops trusting it immediately.
+			fc.downed = true
+			n, err := fc.Conn.Write(mangled)
+			if err == nil {
+				fc.Conn.Close()
+				err = fmt.Errorf("chaos: frame corrupted (%d bytes)", len(p))
+			}
+			return n, err
+		}
+	}
+
+	// Survivable faults: the bytes all arrive, just not promptly or whole.
+	if fc.rng.Float64() < cfg.PartialWriteRate && len(p) > 1 {
+		cut := 1 + fc.rng.Intn(len(p)-1)
+		n, err := fc.Conn.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(cfg.PartialDelay)
+		m, err := fc.Conn.Write(p[cut:])
+		return n + m, err
+	}
+	if fc.rng.Float64() < cfg.DelayRate {
+		time.Sleep(cfg.Delay)
+	}
+	return fc.Conn.Write(p)
+}

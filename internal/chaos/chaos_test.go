@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn is a net.Conn stub that records writes; reads never return.
+type sinkConn struct {
+	net.Conn // panics if an unimplemented method is called
+	buf      bytes.Buffer
+	closed   bool
+}
+
+func (s *sinkConn) Write(p []byte) (int, error) { return s.buf.Write(p) }
+func (s *sinkConn) Close() error                { s.closed = true; return nil }
+
+// faultTrace runs an identical write workload through a fresh injector and
+// returns which writes faulted, as an error/no-error bitmap.
+func faultTrace(t *testing.T, cfg Config, writes, conns int) []bool {
+	t.Helper()
+	in := New(cfg)
+	var wrapped []net.Conn
+	for i := 0; i < conns; i++ {
+		wrapped = append(wrapped, in.Conn(&sinkConn{}))
+	}
+	payload := bytes.Repeat([]byte{0xab}, 64)
+	var trace []bool
+	for i := 0; i < writes; i++ {
+		_, err := wrapped[i%conns].Write(payload)
+		trace = append(trace, err != nil)
+	}
+	return trace
+}
+
+// TestDeterministicSchedule pins the harness's core property: the same seed
+// and the same workload produce the same fault sequence, while a different
+// seed produces a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, SeverRate: 0.05, TruncateRate: 0.05, CorruptRate: 0.05}
+	a := faultTrace(t, cfg, 400, 3)
+	b := faultTrace(t, cfg, 400, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("write %d: fault schedules diverge for identical seeds", i)
+		}
+	}
+	faults := 0
+	for _, f := range a {
+		if f {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("no faults fired at 15% combined rate over 400 writes")
+	}
+	cfg.Seed = 43
+	c := faultTrace(t, cfg, 400, 3)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical fault schedules")
+	}
+}
+
+// TestFaultBudget pins MaxFaults: destructive faults stop at the budget and
+// traffic flows untouched afterwards.
+func TestFaultBudget(t *testing.T) {
+	in := New(Config{Seed: 7, SeverRate: 1.0, MaxFaults: 3})
+	payload := []byte("frame")
+	faulted := 0
+	for i := 0; i < 50; i++ {
+		c := in.Conn(&sinkConn{})
+		if _, err := c.Write(payload); err != nil {
+			faulted++
+		}
+	}
+	if faulted != 3 {
+		t.Errorf("faulted %d writes, budget was 3", faulted)
+	}
+	if in.Faults() != 3 {
+		t.Errorf("Faults() = %d, want 3", in.Faults())
+	}
+}
+
+// TestSeveredConnStaysDown pins that a severed connection fails every later
+// write instead of resurrecting.
+func TestSeveredConnStaysDown(t *testing.T) {
+	in := New(Config{Seed: 1, SeverRate: 1.0})
+	sink := &sinkConn{}
+	c := in.Conn(sink)
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("sever at rate 1.0 did not fault the first write")
+	}
+	if !sink.closed {
+		t.Error("sever did not close the underlying connection")
+	}
+	if _, err := c.Write([]byte("y")); err == nil {
+		t.Error("write after sever succeeded")
+	}
+}
+
+// TestTruncateWritesPrefix pins that a truncation delivers a strict,
+// non-empty prefix and closes the connection.
+func TestTruncateWritesPrefix(t *testing.T) {
+	in := New(Config{Seed: 5, TruncateRate: 1.0})
+	sink := &sinkConn{}
+	c := in.Conn(sink)
+	payload := bytes.Repeat([]byte{1}, 128)
+	if _, err := c.Write(payload); err == nil {
+		t.Fatal("truncate at rate 1.0 did not fault the write")
+	}
+	if got := sink.buf.Len(); got == 0 || got >= len(payload) {
+		t.Errorf("truncation delivered %d of %d bytes; want a strict, non-empty prefix", got, len(payload))
+	}
+	if !sink.closed {
+		t.Error("truncate did not close the underlying connection")
+	}
+}
+
+// TestCorruptFlipsOneByte pins that a corruption delivers the full length
+// with exactly one byte changed.
+func TestCorruptFlipsOneByte(t *testing.T) {
+	in := New(Config{Seed: 9, CorruptRate: 1.0})
+	sink := &sinkConn{}
+	c := in.Conn(sink)
+	payload := bytes.Repeat([]byte{0x55}, 64)
+	c.Write(payload)
+	got := sink.buf.Bytes()
+	if len(got) != len(payload) {
+		t.Fatalf("corruption delivered %d of %d bytes", len(got), len(payload))
+	}
+	diffs := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("corruption changed %d bytes, want exactly 1", diffs)
+	}
+}
+
+// TestPartialWriteDeliversEverything pins that the survivable fault really is
+// survivable: all bytes arrive, in order, despite the split.
+func TestPartialWriteDeliversEverything(t *testing.T) {
+	in := New(Config{Seed: 3, PartialWriteRate: 1.0, PartialDelay: time.Microsecond})
+	sink := &sinkConn{}
+	c := in.Conn(sink)
+	payload := []byte("0123456789abcdef")
+	n, err := c.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("partial write: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(sink.buf.Bytes(), payload) {
+		t.Errorf("partial write reordered or lost bytes: %q", sink.buf.Bytes())
+	}
+}
+
+// TestListenerWrapsAccepted pins the WrapListener integration shape: Addr
+// passes through and accepted connections carry the fault schedule.
+func TestListenerWrapsAccepted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 2, SeverRate: 1.0})
+	wrapped := in.Listener(ln)
+	defer wrapped.Close()
+	if wrapped.Addr().String() != ln.Addr().String() {
+		t.Errorf("wrapped Addr %s != %s", wrapped.Addr(), ln.Addr())
+	}
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			defer c.Close()
+			buf := make([]byte, 16)
+			c.Read(buf)
+		}
+	}()
+	c, err := wrapped.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err == nil {
+		t.Error("accepted connection did not carry the fault schedule")
+	}
+}
+
+// TestDialerWraps pins the RemoteConfig.Dialer integration shape.
+func TestDialerWraps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			defer c.Close()
+			buf := make([]byte, 16)
+			c.Read(buf)
+		}
+	}()
+	in := New(Config{Seed: 4, SeverRate: 1.0})
+	dial := in.Dialer(nil)
+	c, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err == nil {
+		t.Error("dialed connection did not carry the fault schedule")
+	}
+}

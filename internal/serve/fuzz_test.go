@@ -47,6 +47,8 @@ func decodeServerStream(data []byte) {
 			if len(body) >= 8 {
 				_, _, _ = splitModelID(body[8:])
 			}
+		case MsgProbe:
+			_, _, _ = decodeIDPrefix(body)
 		default:
 			return
 		}
@@ -82,9 +84,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	_ = WriteMetricsRequest(&buf, 1)
 	_ = WriteMetricsRequestModel(&buf, 2, "mobilenet")
 	f.Add(append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	_ = WriteProbeRequest(&buf, 3)
+	f.Add(append([]byte(nil), buf.Bytes()...))
 	// Server → client frames.
 	f.Add(frameBytes(MsgPredict, encodePredictResponse(42, StatusOK, []byte("payload"))))
 	f.Add(frameBytes(MsgMetrics, encodeIDPrefix(5, []byte(`{"completed":1}`))))
+	// Probe edge cases: well-formed ready and draining verdicts, a truncated
+	// body (8 bytes, no readiness byte), an oversized body, and an unknown
+	// readiness value.
+	f.Add(frameBytes(MsgProbe, encodeProbeResponse(6, ProbeReady)))
+	f.Add(frameBytes(MsgProbe, encodeProbeResponse(7, ProbeDraining)))
+	f.Add(frameBytes(MsgProbe, encodeIDPrefix(8, nil)))
+	f.Add(frameBytes(MsgProbe, encodeIDPrefix(9, []byte{1, 2})))
+	f.Add(frameBytes(MsgProbe, encodeProbeResponse(10, 0xfe)))
+	f.Add(frameBytes(MsgProbe, nil))
 	// Malformed: truncated header, truncated body, oversized length prefix,
 	// unknown type, model-id length pointing past the body, zero-length body
 	// for typed frames, and a max-length model id.

@@ -133,6 +133,66 @@ func (m *serverMetrics) observeService(queued, service time.Duration) {
 	m.mu.Unlock()
 }
 
+// DownInterval is one client-observed replica outage: the span between a
+// replica losing its last live connection and its re-join through the probe
+// handshake and reopen barrier. A zero End marks a replica still down when
+// the snapshot was taken.
+type DownInterval struct {
+	// Replica is the replica's index in the client's address list.
+	Replica int `json:"replica"`
+	// Addr is the replica's dial address.
+	Addr string `json:"addr,omitempty"`
+	// Start is when the replica was marked down.
+	Start time.Time `json:"start"`
+	// End is when the replica rejoined (zero while still down).
+	End time.Time `json:"end,omitempty"`
+}
+
+// Duration returns the interval's length, or how long the replica has been
+// down as of now for a still-open interval.
+func (d DownInterval) Duration() time.Duration {
+	if d.End.IsZero() {
+		return time.Since(d.Start)
+	}
+	return d.End.Sub(d.Start)
+}
+
+// RecoveryStats is the client-side fault-tolerance record backend.Remote
+// attaches to merged snapshots: what went down, for how long, and how the
+// fleet absorbed it. Server-side snapshots leave it nil.
+type RecoveryStats struct {
+	// DownIntervals lists every replica outage observed, in the order the
+	// replicas went down. An interval with a zero End is still open.
+	DownIntervals []DownInterval `json:"down_intervals,omitempty"`
+	// Rejoins counts replicas readmitted to routing after an outage: probed
+	// healthy on a fresh connection and re-armed through the reopen barrier.
+	// It always equals the number of closed DownIntervals.
+	Rejoins int `json:"rejoins"`
+	// ConnRedials counts individual connections successfully re-established
+	// (including those whose replica never went fully down).
+	ConnRedials int64 `json:"conn_redials"`
+	// Retries counts requests re-routed to another live connection after a
+	// transport failure, whether or not the retry ultimately succeeded.
+	Retries int64 `json:"retries"`
+	// TransportDrops counts requests settled as dropped because every
+	// failover attempt was exhausted — the only drops not explained by a
+	// server-side reject or expiry.
+	TransportDrops int64 `json:"transport_drops"`
+}
+
+// merge folds another recovery record into this one (interval lists
+// concatenate, counters sum).
+func (r *RecoveryStats) merge(o *RecoveryStats) {
+	if o == nil {
+		return
+	}
+	r.DownIntervals = append(r.DownIntervals, o.DownIntervals...)
+	r.Rejoins += o.Rejoins
+	r.ConnRedials += o.ConnRedials
+	r.Retries += o.Retries
+	r.TransportDrops += o.TransportDrops
+}
+
 // BatchBucket is one batch-size histogram bucket in a Snapshot.
 type BatchBucket struct {
 	// Le is the bucket's inclusive upper bound; 0 marks the unbounded
@@ -188,6 +248,11 @@ type Snapshot struct {
 	// Workers and MaxBatch echo the server's configuration.
 	Workers  int `json:"workers"`
 	MaxBatch int `json:"max_batch"`
+	// Recovery carries the client-observed fault-tolerance record (down/up
+	// intervals, rejoins, redials, failover retries). backend.Remote
+	// populates it on the snapshots it returns; snapshots taken server-side
+	// leave it nil — a server cannot see its own outages.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
 
 // snapshot assembles a Snapshot; queueDepth is sampled by the caller, which
@@ -271,6 +336,12 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 			out.Merged += s.Merged
 		} else {
 			out.Merged++
+		}
+		if s.Recovery != nil {
+			if out.Recovery == nil {
+				out.Recovery = &RecoveryStats{}
+			}
+			out.Recovery.merge(s.Recovery)
 		}
 	}
 	return out

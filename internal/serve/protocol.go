@@ -68,6 +68,21 @@ const (
 	MsgReopenModel byte = 7
 	// MsgMetricsModel is MsgMetrics addressed to a named model (V2).
 	MsgMetricsModel byte = 8
+	// MsgProbe is the V2 health-check frame. Request body: u64 probe id.
+	// Response body: the echoed u64 id plus one readiness byte — ProbeReady
+	// when the server is admitting work, ProbeDraining once graceful drain
+	// has begun (the replica still answers what it admitted, but a router
+	// must not readmit it). backend.Remote's recovery supervisor probes a
+	// re-dialed replica with this frame before routing traffic to it again.
+	MsgProbe byte = 9
+)
+
+// Probe readiness verdicts carried in a MsgProbe response.
+const (
+	// ProbeDraining: the server is retiring; do not send new work.
+	ProbeDraining byte = 0
+	// ProbeReady: the server is admitting work.
+	ProbeReady byte = 1
 )
 
 // Protocol versions. A frame's version is implied by its type: types 1–4 are
@@ -308,6 +323,29 @@ func WriteControlModel(w io.Writer, msgType byte, model string) error {
 	return writeFrame(w, v2, body)
 }
 
+// WriteProbeRequest writes a health-probe request frame.
+func WriteProbeRequest(w io.Writer, id uint64) error {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], id)
+	return writeFrame(w, MsgProbe, body[:])
+}
+
+// encodeProbeResponse builds a MsgProbe response body: id + readiness byte.
+func encodeProbeResponse(id uint64, ready byte) []byte {
+	var body [9]byte
+	binary.BigEndian.PutUint64(body[0:8], id)
+	body[8] = ready
+	return body[:]
+}
+
+// decodeProbeResponse parses a MsgProbe response body.
+func decodeProbeResponse(body []byte) (id uint64, ready byte, err error) {
+	if len(body) != 9 {
+		return 0, 0, fmt.Errorf("serve: probe response body is %d bytes, want 9", len(body))
+	}
+	return binary.BigEndian.Uint64(body[0:8]), body[8], nil
+}
+
 // WriteMetricsRequest writes a metrics-snapshot request frame.
 func WriteMetricsRequest(w io.Writer, id uint64) error {
 	var body [8]byte
@@ -333,13 +371,16 @@ func WriteMetricsRequestModel(w io.Writer, id uint64, model string) error {
 
 // ClientFrame is one server → client message, as read by backend.Remote.
 type ClientFrame struct {
-	// Type is the frame's message type (MsgPredict or MsgMetrics).
+	// Type is the frame's message type (MsgPredict, MsgMetrics or MsgProbe).
 	Type byte
 	// Predict is populated when Type is MsgPredict.
 	Predict PredictResponse
 	// MetricsID and MetricsJSON are populated when Type is MsgMetrics.
 	MetricsID   uint64
 	MetricsJSON []byte
+	// ProbeID and ProbeReady are populated when Type is MsgProbe.
+	ProbeID    uint64
+	ProbeReady bool
 }
 
 // ReadClientFrame reads and decodes one server → client frame.
@@ -354,6 +395,10 @@ func ReadClientFrame(r *bufio.Reader) (ClientFrame, error) {
 		frame.Predict, err = decodePredictResponse(body)
 	case MsgMetrics:
 		frame.MetricsID, frame.MetricsJSON, err = decodeIDPrefix(body)
+	case MsgProbe:
+		var ready byte
+		frame.ProbeID, ready, err = decodeProbeResponse(body)
+		frame.ProbeReady = ready == ProbeReady
 	default:
 		err = fmt.Errorf("serve: unexpected server frame type %d", msgType)
 	}

@@ -34,6 +34,14 @@
 // Snapshot over the wire (MsgMetrics / MsgMetricsModel) for the benchmark
 // report.
 //
+// Lifecycle is three-way: Drain gracefully retires the server (stop
+// admitting, answer everything queued, keep answering health probes — with
+// ProbeDraining, so a fault-tolerant client will not re-join it), Close
+// drains then tears down, and Kill simulates a crash (listener and every
+// connection die immediately, queued work is abandoned) for fault-injection
+// tests. The V2 MsgProbe frame is the health-check handshake clients run on a
+// fresh connection before readmitting a recovered server to routing.
+//
 // The LoadGen-facing client lives in backend.Remote, which implements
 // loadgen.SUT over this package's protocol and can fan one SUT out over a
 // replica set of Servers; see protocol.go for the wire format.
@@ -46,6 +54,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlperf/internal/dataset"
@@ -160,6 +169,12 @@ type Config struct {
 	// for stragglers (default 2ms). After an end-of-series flush it is
 	// ignored (pass-through) until reopen.
 	BatchWait time.Duration
+	// WrapListener, when set, wraps the bound listener before the accept
+	// loop starts. It exists for fault injection (internal/chaos wraps the
+	// listener so accepted connections can sever, delay, truncate or corrupt
+	// frames on a seeded schedule) and keeps this package free of any
+	// dependency on the injector.
+	WrapListener func(net.Listener) net.Listener
 }
 
 // normalize validates the config and expands it into one ModelConfig per
@@ -318,6 +333,15 @@ type Server struct {
 	shutdown bool
 	conns    map[*serverConn]struct{}
 
+	// draining is set by Drain: the server stops admitting predict requests
+	// (they answer StatusRejected) and probes answer ProbeDraining, but the
+	// listener stays bound and every connection stays open until everything
+	// admitted has been answered — a retiring replica never strands in-flight
+	// work as hangs, and a router that probes before routing learns to stop
+	// sending new work.
+	draining  atomic.Bool
+	drainOnce sync.Once
+
 	acceptWG  sync.WaitGroup
 	connWG    sync.WaitGroup
 	closeOnce sync.Once
@@ -335,6 +359,9 @@ func New(cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listening on %s: %w", cfg.Addr, err)
+	}
+	if cfg.WrapListener != nil {
+		ln = cfg.WrapListener(ln)
 	}
 	s := &Server{
 		ln:    ln,
@@ -404,14 +431,16 @@ func (s *Server) ModelMetrics(name string) (Snapshot, error) {
 	return h.snapshot(), nil
 }
 
-// Close stops accepting connections, drains every admitted request (each gets
-// its response), then closes remaining connections. Safe to call repeatedly.
-func (s *Server) Close() error {
-	s.closeOnce.Do(func() {
-		s.closeErr = s.ln.Close()
-		s.mu.Lock()
-		s.shutdown = true
-		s.mu.Unlock()
+// Drain begins graceful retirement: the server stops admitting predict
+// requests (new arrivals answer StatusRejected, probes answer ProbeDraining)
+// and blocks until everything already admitted has been served and its
+// response written. The listener stays bound and connections stay open, so
+// clients can still collect metrics and observe the draining verdict; Close
+// completes the teardown. Safe to call repeatedly and concurrently with
+// Close.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
 		for _, h := range s.hostList {
 			h.mu.Lock()
 			h.shutdown = true
@@ -422,11 +451,65 @@ func (s *Server) Close() error {
 			h.dispatchWG.Wait() // drains the queue, then closes batchCh
 			h.workWG.Wait()     // finishes in-flight batches (responses written)
 		}
+	})
+}
+
+// Draining reports whether graceful drain (or full shutdown) has begun.
+func (s *Server) Draining() bool {
+	if s.draining.Load() {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+// Close stops accepting connections, drains every admitted request (each gets
+// its response), then closes remaining connections. Safe to call repeatedly.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.ln.Close()
+		s.mu.Lock()
+		s.shutdown = true
+		s.mu.Unlock()
+		s.Drain()
 		s.mu.Lock()
 		for sc := range s.conns {
 			sc.c.Close()
 		}
 		s.mu.Unlock()
+		s.acceptWG.Wait()
+		s.connWG.Wait()
+	})
+	return s.closeErr
+}
+
+// Kill tears the server down abruptly: the listener and every connection
+// close immediately and admitted-but-unanswered requests are abandoned — no
+// drain, no final responses. It simulates a crash for fault-injection tests
+// (the client sees exactly what a real server death looks like: connections
+// dying with requests in flight); production shutdown is Drain then Close.
+// Safe to call repeatedly; Close after Kill is a no-op.
+func (s *Server) Kill() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.ln.Close()
+		s.mu.Lock()
+		s.shutdown = true
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.mu.Unlock()
+		for _, h := range s.hostList {
+			h.mu.Lock()
+			h.shutdown = true
+			h.queue = nil // abandon queued work: a crash answers nothing
+			h.mu.Unlock()
+			h.signal()
+		}
+		for _, h := range s.hostList {
+			h.dispatchWG.Wait()
+			h.workWG.Wait()
+		}
 		s.acceptWG.Wait()
 		s.connWG.Wait()
 	})
@@ -561,6 +644,16 @@ func (s *Server) serveConn(c net.Conn) {
 				return
 			}
 			_ = sc.writeFrame(MsgMetrics, encodeIDPrefix(id, data))
+		case MsgProbe:
+			id, _, err := decodeIDPrefix(body)
+			if err != nil {
+				return
+			}
+			ready := ProbeReady
+			if s.Draining() {
+				ready = ProbeDraining
+			}
+			_ = sc.writeFrame(MsgProbe, encodeProbeResponse(id, ready))
 		default:
 			return // unknown message: drop the connection
 		}

@@ -701,6 +701,63 @@ func TestModelScopedControls(t *testing.T) {
 	}
 }
 
+// TestProbeDrainKill pins the health-probe handshake against the server's
+// three lifecycle states: a live server answers ProbeReady, a draining server
+// answers ProbeDraining (while still answering everything already admitted),
+// and a killed server answers nothing at all.
+func TestProbeDrainKill(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	tc := dialTest(t, s.Addr())
+
+	probe := func(id uint64) (ClientFrame, error) {
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		if err := WriteProbeRequest(tc.c, id); err != nil {
+			return ClientFrame{}, err
+		}
+		tc.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		return ReadClientFrame(tc.r)
+	}
+
+	frame, err := probe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != MsgProbe || frame.ProbeID != 1 || !frame.ProbeReady {
+		t.Fatalf("live server probe: %+v", frame)
+	}
+
+	// Admit work, then drain: the admitted request is answered, and probes on
+	// the still-open connection now report draining.
+	tc.predict(2, 3, time.Time{})
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Admitted == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Drain()
+	if !s.Draining() {
+		t.Fatal("server not draining after Drain")
+	}
+	got := tc.read(1)
+	if resp, ok := got[2]; !ok || resp.Status != StatusOK {
+		t.Fatalf("drained server abandoned admitted work: %+v", got)
+	}
+	frame, err = probe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != MsgProbe || frame.ProbeReady {
+		t.Fatalf("draining server probe should answer ProbeDraining: %+v", frame)
+	}
+
+	if err := s.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe(5); err == nil {
+		t.Fatal("killed server answered a probe")
+	}
+}
+
 // TestMergeSnapshots pins the merge semantics the router's merged view and
 // the multi-model server's Metrics rely on.
 func TestMergeSnapshots(t *testing.T) {
@@ -738,6 +795,44 @@ func TestMergeSnapshots(t *testing.T) {
 	}
 	if z := MergeSnapshots(); z.Admitted != 0 || z.Merged != 0 {
 		t.Errorf("empty merge: %+v", z)
+	}
+}
+
+// TestMergeSnapshotsRecovery pins the recovery-record fold: interval lists
+// concatenate, counters sum, and snapshots without a record neither produce
+// one nor lose a sibling's.
+func TestMergeSnapshotsRecovery(t *testing.T) {
+	t0 := time.Now()
+	a := Snapshot{Recovery: &RecoveryStats{
+		DownIntervals: []DownInterval{{Replica: 0, Start: t0, End: t0.Add(time.Second)}},
+		Rejoins:       1, ConnRedials: 3, Retries: 5, TransportDrops: 1,
+	}}
+	b := Snapshot{} // a shard that saw no faults carries no record
+	c := Snapshot{Recovery: &RecoveryStats{
+		DownIntervals: []DownInterval{{Replica: 1, Start: t0.Add(time.Minute)}},
+		ConnRedials:   2, Retries: 1,
+	}}
+	m := MergeSnapshots(a, b, c)
+	if m.Recovery == nil {
+		t.Fatal("merge dropped the recovery records")
+	}
+	rec := m.Recovery
+	if len(rec.DownIntervals) != 2 {
+		t.Fatalf("merged %d intervals, want 2", len(rec.DownIntervals))
+	}
+	if rec.Rejoins != 1 || rec.ConnRedials != 5 || rec.Retries != 6 || rec.TransportDrops != 1 {
+		t.Errorf("merged recovery counters: %+v", rec)
+	}
+	if !rec.DownIntervals[1].End.IsZero() {
+		t.Error("open interval lost its open end in the merge")
+	}
+	// The inputs' records are not aliased into the output.
+	a.Recovery.ConnRedials = 100
+	if m.Recovery.ConnRedials != 5 {
+		t.Error("merged record aliases an input's record")
+	}
+	if m2 := MergeSnapshots(b, Snapshot{}); m2.Recovery != nil {
+		t.Error("merging recovery-free snapshots invented a record")
 	}
 }
 

@@ -9,20 +9,23 @@
 # classifier, the offline classification/translation scenarios end to end,
 # the loopback serving comparison: Server + Offline through an in-process
 # backend.Native vs over-the-wire through serve.Server + backend.Remote with
-# the queue/service latency breakdown, and the sharded-serving comparison:
+# the queue/service latency breakdown, the sharded-serving comparison:
 # Server + Offline against 1 vs 2 loopback replicas with the per-replica
-# completion/latency breakdown) and writes the aggregated numbers to a JSON
-# file (default BENCH_PR5.json) so speedups and serving overheads are
-# recorded in the repository alongside the code they measure.
+# completion/latency breakdown, and the recovery benchmark: an Offline run
+# through a 2-replica fleet with one replica killed and restarted mid-run,
+# reporting the faulted run's throughput and the down-to-rejoin latency) and
+# writes the aggregated numbers to a JSON file (default BENCH_PR6.json) so
+# speedups and serving overheads are recorded in the repository alongside the
+# code they measure.
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR5.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR6.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR6.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
@@ -55,6 +58,7 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         if ($i == "replica1_completed")      r1done[name] += $(i-1)
         if ($i == "replica0_service_p99_ns") r0p99[name]  += $(i-1)
         if ($i == "replica1_service_p99_ns") r1p99[name]  += $(i-1)
+        if ($i == "rejoin_ms")               rejoin[name] += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
@@ -85,6 +89,7 @@ END {
         if (r1done[name] > 0)   printf ", \"replica1_completed\": %.0f", avg(r1done, name)
         if (r0p99[name] > 0)    printf ", \"replica0_service_p99_ns\": %.0f", avg(r0p99, name)
         if (r1p99[name] > 0)    printf ", \"replica1_service_p99_ns\": %.0f", avg(r1p99, name)
+        if (rejoin[name] > 0)   printf ", \"rejoin_ms\": %.2f", avg(rejoin, name)
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
@@ -127,9 +132,11 @@ END {
          avg(sps, "BenchmarkServingReplicas/offline/replicas2") / avg(sps, "BenchmarkServingReplicas/offline/replicas1") : 0)
     printf "    \"serving_server_qps_1_vs_2_replicas\": [%.1f, %.1f],\n", \
         avg(qps, "BenchmarkServingReplicas/server/replicas1"), avg(qps, "BenchmarkServingReplicas/server/replicas2")
-    printf "    \"serving_2replica_offline_per_replica\": {\"completed\": [%.0f, %.0f], \"service_p99_ns\": [%.0f, %.0f]}\n", \
+    printf "    \"serving_2replica_offline_per_replica\": {\"completed\": [%.0f, %.0f], \"service_p99_ns\": [%.0f, %.0f]},\n", \
         avg(r0done, "BenchmarkServingReplicas/offline/replicas2"), avg(r1done, "BenchmarkServingReplicas/offline/replicas2"), \
         avg(r0p99, "BenchmarkServingReplicas/offline/replicas2"), avg(r1p99, "BenchmarkServingReplicas/offline/replicas2")
+    printf "    \"serving_recovery\": {\"faulted_offline_samples_per_sec\": %.1f, \"rejoin_ms\": %.2f}\n", \
+        avg(sps, "BenchmarkServingRecovery"), avg(rejoin, "BenchmarkServingRecovery")
     printf "  }\n"
     printf "}\n"
 }' "$raw" > "$OUT"
