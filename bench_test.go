@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mlperf/internal/backend"
+	"mlperf/internal/capacity"
 	"mlperf/internal/core"
 	"mlperf/internal/dataset"
 	"mlperf/internal/experiments"
@@ -967,6 +968,88 @@ func BenchmarkServingRecovery(b *testing.B) {
 	}
 	b.ReportMetric(tput, "samples/s")
 	b.ReportMetric(rejoinMS, "rejoin_ms")
+}
+
+// BenchmarkServingAutoscale measures what live capacity management buys an
+// undersized server: the same Offline stream runs against a 1-worker pool,
+// once with its startup limits frozen and once with a capacity manager
+// growing workers and queue from observed pressure mid-run. Reported metrics
+// are each form's throughput plus the managed pool's final worker count and
+// recorded resize decisions.
+func BenchmarkServingAutoscale(b *testing.B) {
+	engine, qsl := servingStack(b)
+	settings := loadgen.DefaultSettings(loadgen.Offline)
+	settings.MinSampleCount = 2048
+	settings.MinDuration = 0
+
+	small := serve.Config{
+		Engine: engine, Store: qsl,
+		Workers: 1, MaxBatch: 4, QueueDepth: 4096, BatchWait: 500 * time.Microsecond,
+	}
+	run := func(b *testing.B, srv *serve.Server) float64 {
+		b.Helper()
+		// The in-flight window must outrun the dispatcher's batch pre-buffer,
+		// or the admission queue never shows the depth the manager reads as
+		// pressure.
+		remote, err := backend.NewRemote(backend.RemoteConfig{
+			Addr: srv.Addr(), Conns: 2, MaxInFlight: 512,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer remote.Close()
+		var tput float64
+		for i := 0; i < b.N; i++ {
+			res, err := loadgen.StartTest(remote, qsl, settings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ResponsesDropped > 0 {
+				b.Fatalf("%d responses dropped", res.ResponsesDropped)
+			}
+			tput = res.OfflineSamplesPerSec
+		}
+		remote.Wait()
+		if errs := remote.Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		return tput
+	}
+
+	b.Run("static", func(b *testing.B) {
+		srv, err := serve.New(small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		b.ReportMetric(run(b, srv), "samples/s")
+	})
+
+	b.Run("managed", func(b *testing.B) {
+		srv, err := serve.New(small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		// Env and MaxWorkers are left to detection: the manager grows the
+		// pool only as far as the measured cgroup/runtime CPU limit allows,
+		// so workers_final reports what this machine actually earned. The
+		// idle-shrink threshold is pushed out of reach so the gaps between
+		// benchmark iterations don't oscillate the pool mid-measurement.
+		m := capacity.NewManager(srv, capacity.Config{
+			Interval: 2 * time.Millisecond, GrowAfter: 1, Cooldown: 4 * time.Millisecond,
+			MaxQueue: 8192, ShrinkAfter: 1 << 20,
+		})
+		tput := run(b, srv)
+		m.Close()
+		lim, err := srv.Limits("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tput, "samples/s")
+		b.ReportMetric(float64(lim.Workers), "workers_final")
+		b.ReportMetric(float64(len(m.Events())), "resize_decisions")
+	})
 }
 
 // --- Statistical machinery. ---

@@ -19,6 +19,9 @@
 // responses against the local ground truth). A comma-separated -addr fans the
 // load out over the replica set with least-in-flight routing; -model
 // addresses one named engine on a multi-model mlperf-serve -tasks listener.
+// In the Server scenario, -qps-step-after/-qps-step-to step the offered
+// Poisson rate mid-run (same seeded schedule) to exercise capacity
+// management under a load swing.
 package main
 
 import (
@@ -48,6 +51,8 @@ func main() {
 		scale        = flag.Int("scale", 128, "divide the production query counts and duration by this factor (1 = full production run)")
 		samples      = flag.Int("samples", 128, "synthetic data-set size")
 		seed         = flag.Uint64("seed", 42, "model/data seed")
+		qpsStepAfter = flag.Duration("qps-step-after", 0, "step the Server scenario's offered QPS after this much scheduled time (0 = flat rate)")
+		qpsStepTo    = flag.Float64("qps-step-to", 0, "offered QPS after the step (with -qps-step-after)")
 		format       = flag.String("quantize", "", "optional weight format from the approved list (e.g. int8)")
 	)
 	flag.Parse()
@@ -111,6 +116,10 @@ func main() {
 	}
 
 	settings := harness.QuickSettings(spec, scenario, *scale)
+	if *qpsStepAfter > 0 {
+		settings.ServerQPSStepAfter = *qpsStepAfter
+		settings.ServerQPSStepTo = *qpsStepTo
+	}
 	report, err := harness.Run(assembly, harness.RunOptions{
 		Scenario:    scenario,
 		Settings:    &settings,

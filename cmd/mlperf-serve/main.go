@@ -22,6 +22,13 @@
 // -model <task>). On SIGINT/SIGTERM the server drains admitted work and
 // prints per-replica, per-model serving metrics (queue depth, batch-size
 // histogram, queue/service latency percentiles, rejects) as JSON.
+//
+// Capacity is dynamic: the sizing flags (-workers, -queue, -max-batch) are
+// applied through the live Resize path, -metrics-addr serves every replica's
+// counters in Prometheus text format at /metrics (consecutive ports, one per
+// replica), and -autosize attaches a capacity manager per replica that probes
+// the cgroup CPU/memory limits and grows or shrinks each pool from observed
+// load, its decisions exposed on the same scrape.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"mlperf/internal/capacity"
 	"mlperf/internal/core"
 	"mlperf/internal/harness"
 	"mlperf/internal/serve"
@@ -54,6 +62,8 @@ func main() {
 		policy    = flag.String("policy", "reject", "overload policy: reject or shed-oldest")
 		maxBatch  = flag.Int("max-batch", 0, "dynamic batch cap (0 = the engine's derived micro-batch)")
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "how long to hold an under-full batch open")
+		metrics   = flag.String("metrics-addr", "", "Prometheus text endpoint address (replicas bind consecutive ports from it; empty = disabled)")
+		autosize  = flag.Bool("autosize", false, "attach a capacity manager per replica: probe cgroup limits, grow/shrink worker pools and queues against observed load")
 	)
 	flag.Parse()
 
@@ -72,10 +82,12 @@ func main() {
 		named = true
 	}
 
-	cfg := serve.Config{
-		Workers: *workers, QueueDepth: *queue, Policy: overload,
-		MaxBatch: *maxBatch, BatchWait: *batchWait,
-	}
+	// The worker/queue/batch flags are NOT baked into the server config:
+	// servers start on their derived defaults and the flags are applied
+	// through Resize below — the same live-reconfiguration path the capacity
+	// manager uses, so flag values show up as auditable resize events and a
+	// manager can later move what a flag set.
+	cfg := serve.Config{Policy: overload, BatchWait: *batchWait}
 	for _, name := range tasks {
 		name = strings.TrimSpace(name)
 		assembly, err := harness.BuildNative(core.Task(name), harness.BuildOptions{
@@ -111,20 +123,57 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var servers []*serve.Server
+	var metricsAddrs []string
+	if *metrics != "" {
+		if metricsAddrs, err = replicaAddrs(*metrics, *replicas); err != nil {
+			fatal(err)
+		}
+	}
+	var (
+		servers  []*serve.Server
+		managers []*capacity.Manager
+	)
 	for i := 0; i < *replicas; i++ {
 		cfg := cfg
 		cfg.Addr = addrs[i]
+		if metricsAddrs != nil {
+			cfg.MetricsAddr = metricsAddrs[i]
+		}
 		srv, err := serve.New(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		// Apply the sizing flags through the live-reconfig path (recorded as
+		// resize events; a zero flag leaves the derived default in place).
+		if _, err := srv.Resize("", serve.ResizeRequest{
+			Workers: *workers, QueueDepth: *queue, MaxBatch: *maxBatch,
+			Reason: "startup-flag",
+		}); err != nil {
+			fatal(err)
+		}
+		if *autosize {
+			m := capacity.NewManager(srv, capacity.Config{
+				Interval: 250 * time.Millisecond,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "replica %d "+format+"\n", append([]any{i}, args...)...)
+				},
+			})
+			managers = append(managers, m)
+			srv.OnScrape(m.WritePrometheus)
+		}
 		servers = append(servers, srv)
 		fmt.Printf("replica %d listening on %s\n", i, srv.Addr())
+		if ma := srv.MetricsAddr(); ma != "" {
+			fmt.Printf("replica %d metrics on http://%s/metrics\n", i, ma)
+		}
+	}
+	if *autosize {
+		env := capacity.DetectEnv()
+		fmt.Printf("capacity: %s max-workers=%d\n", env.String(), env.MaxWorkersSuggestion())
 	}
 	started := servers[0].Metrics()
 	fmt.Printf("replicas=%d models=%d workers=%d max-batch=%d queue=%d policy=%s batch-wait=%v\n",
-		len(servers), len(servers[0].Models()), started.Workers, started.MaxBatch, *queue, overload, *batchWait)
+		len(servers), len(servers[0].Models()), started.Workers, started.MaxBatch, started.QueueLimit, overload, *batchWait)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -136,6 +185,9 @@ func main() {
 	// cover every request the fleet ever admitted. A second signal skips the
 	// drain and kills the fleet where it stands.
 	fmt.Fprintln(os.Stderr, "mlperf-serve: draining (signal again to kill)")
+	for _, m := range managers {
+		m.Close()
+	}
 	done := make(chan struct{})
 	go func() {
 		for _, srv := range servers {

@@ -1,0 +1,224 @@
+package audit
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/capacity"
+	"mlperf/internal/core"
+	"mlperf/internal/harness"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
+)
+
+// capacityEvidence decorates the baseline evidence with one replica's
+// well-formed resize chain: workers 2->4->8, queue 64->128, and live limits
+// matching where the chains end.
+func capacityEvidence() ServingEvidence {
+	ev := evidence()
+	at := time.Unix(1000, 0)
+	ev.Replicas[0].Resizes = []serve.ResizeEvent{
+		{Time: at, Resource: serve.ResourceWorkers, From: 2, To: 4, Reason: "capacity-grow"},
+		{Time: at.Add(time.Second), Resource: serve.ResourceQueue, From: 64, To: 128, Reason: "capacity-grow"},
+		{Time: at.Add(2 * time.Second), Resource: serve.ResourceWorkers, From: 4, To: 8, Reason: "capacity-grow"},
+	}
+	ev.Replicas[0].Workers = 8
+	ev.Replicas[0].QueueLimit = 128
+	return ev
+}
+
+// TestCheckServingCapacityReconciled: a contiguous chain whose final values
+// match the snapshot's live limits passes, and the finding only appears when
+// resizes were recorded.
+func TestCheckServingCapacityReconciled(t *testing.T) {
+	findings, err := CheckServing(evidence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Name == "serving-capacity" {
+			t.Fatalf("capacity finding emitted with no resize events: %s", f.Detail)
+		}
+	}
+
+	findings, err = CheckServing(capacityEvidence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-capacity"); !f.Pass {
+		t.Errorf("well-formed capacity chain failed: %s", f.Detail)
+	}
+}
+
+// TestCheckServingCapacityDetectsBrokenChain: an event whose From does not
+// continue the previous event's To means a resize went unrecorded.
+func TestCheckServingCapacityDetectsBrokenChain(t *testing.T) {
+	ev := capacityEvidence()
+	ev.Replicas[0].Resizes[2].From = 6 // chain ended at 4
+	findings, err := CheckServing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-capacity"); f.Pass {
+		t.Errorf("broken chain passed: %s", f.Detail)
+	}
+}
+
+// TestCheckServingCapacityDetectsMalformedEvents: non-positive limits, missing
+// timestamps, missing resources and no-op events all fail.
+func TestCheckServingCapacityDetectsMalformedEvents(t *testing.T) {
+	mutate := []func(*serve.ResizeEvent){
+		func(e *serve.ResizeEvent) { e.To = 0 },
+		func(e *serve.ResizeEvent) { e.From = -1 },
+		func(e *serve.ResizeEvent) { e.Time = time.Time{} },
+		func(e *serve.ResizeEvent) { e.Resource = "" },
+		func(e *serve.ResizeEvent) { e.To = e.From },
+	}
+	for i, f := range mutate {
+		ev := capacityEvidence()
+		f(&ev.Replicas[0].Resizes[0])
+		findings, err := CheckServing(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := findingByName(t, findings, "serving-capacity"); got.Pass {
+			t.Errorf("mutation %d passed: %s", i, got.Detail)
+		}
+	}
+}
+
+// TestCheckServingCapacityDetectsMismatchedFinalLimits: the chain's final To
+// must be the live limit the snapshot reports — except on merged snapshots,
+// where limits are summed and the identity cannot hold.
+func TestCheckServingCapacityDetectsMismatchedFinalLimits(t *testing.T) {
+	ev := capacityEvidence()
+	ev.Replicas[0].Workers = 6 // chain ends at 8
+	findings, err := CheckServing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-capacity"); f.Pass {
+		t.Errorf("mismatched final workers passed: %s", f.Detail)
+	}
+
+	ev = capacityEvidence()
+	ev.Replicas[0].Workers = 6
+	ev.Replicas[0].Merged = 3 // merged snapshot: sum-of-limits, identity waived
+	findings, err = CheckServing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingByName(t, findings, "serving-capacity"); !f.Pass {
+		t.Errorf("merged snapshot held to the single-host identity: %s", f.Detail)
+	}
+}
+
+// TestCapacityConformanceLoopback is the acceptance run for dynamic capacity
+// management: a Server-scenario run whose offered QPS doubles mid-run against
+// a managed loopback deployment must stay valid, with the manager's resize
+// events recorded by the server and reconciled by the serving audit, and the
+// Prometheus endpoint exposing the same counters.
+func TestCapacityConformanceLoopback(t *testing.T) {
+	a, err := harness.BuildNative(core.ImageClassificationLight, harness.BuildOptions{
+		DatasetSamples: 32, Seed: 7, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := a.ServeLoopback(harness.ServeOptions{
+		Server: serve.Config{
+			Workers: 4, BatchWait: time.Millisecond, MetricsAddr: "127.0.0.1:0",
+		},
+		Client: backend.RemoteConfig{MaxInFlight: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	// The manager starts the pool conservative (workers 4 -> 1, a recorded
+	// decision) and grows it back if the stepped load earns it.
+	managers := dep.ManageCapacity(capacity.Config{
+		Interval:       10 * time.Millisecond,
+		InitialWorkers: 1,
+		GrowAfter:      1,
+		Cooldown:       20 * time.Millisecond,
+		MaxWorkers:     8,
+		MaxQueue:       4096,
+		Env:            &capacity.Env{CPULimit: 4, GOMAXPROCS: 4, Source: "test"},
+	})
+	dep.Replica(0).OnScrape(managers[0].WritePrometheus)
+
+	settings := loadgen.DefaultSettings(loadgen.Server)
+	settings.MinQueryCount = 64
+	settings.MinDuration = 300 * time.Millisecond
+	settings.ServerTargetQPS = 150
+	settings.ServerQPSStepAfter = 150 * time.Millisecond
+	settings.ServerQPSStepTo = 300 // the offered rate doubles mid-run
+	settings.ServerTargetLatency = 250 * time.Millisecond
+	res, err := loadgen.StartTest(dep.Remote, a.QSL, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Remote.Wait()
+	if errs := dep.Remote.Errors(); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if !res.Valid {
+		t.Fatalf("stepped run under capacity management invalid: %v", res.ValidityMessages)
+	}
+
+	// Stop the manager before collecting evidence so the snapshot is final.
+	for _, m := range managers {
+		m.Close()
+	}
+	snaps := dep.ReplicaMetrics()
+	if len(snaps[0].Resizes) == 0 {
+		t.Fatal("no resize events recorded — the capacity manager never acted")
+	}
+
+	findings, err := CheckServing(ServingEvidence{
+		Result:         res,
+		Settings:       settings,
+		ClientRejected: dep.Remote.Rejected(),
+		ClientExpired:  dep.Remote.Expired(),
+		Replicas:       snaps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capFinding := findingByName(t, findings, "serving-capacity")
+	if !capFinding.Pass {
+		t.Errorf("capacity audit failed: %s", capFinding.Detail)
+	}
+	if !AllPassed(findings) {
+		for _, f := range findings {
+			t.Logf("%s", f)
+		}
+		t.Error("managed stepped run failed serving conformance")
+	}
+
+	// The scrape endpoint serves both the serving counters and the manager's
+	// own capacity families on one response.
+	resp, err := http.Get("http://" + dep.Replica(0).MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{
+		"mlperf_serve_completed_total",
+		"mlperf_serve_resize_events_total",
+		"mlperf_capacity_max_workers",
+		"mlperf_capacity_resizes_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape response missing %s", want)
+		}
+	}
+}

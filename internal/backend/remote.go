@@ -98,6 +98,14 @@ type RemoteConfig struct {
 	// internal/chaos supplies a dialer whose connections sever, delay,
 	// truncate or corrupt frames on a seeded schedule.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// TolerateDown lets NewRemote succeed even when some replicas refuse
+	// their initial dial: the failed slots start dead, the replica starts
+	// down, and the redial supervisors own bringing it up — the same
+	// probe-gated rejoin a crashed replica goes through. This is what lets
+	// an autoscaled fleet configure standby replica slots that have no
+	// server behind them yet. Incompatible with DisableRecovery (a dead
+	// slot would stay dead forever); at least one replica must still dial.
+	TolerateDown bool
 }
 
 func (c *RemoteConfig) normalize() error {
@@ -214,11 +222,13 @@ type replica struct {
 	conns []*remoteConn
 	next  atomic.Uint64 // round-robin connection cursor
 
-	// window holds this replica's in-flight slots; len(window) doubles as
-	// the in-flight count the router's least-in-flight choice reads.
-	window chan struct{}
+	// window holds this replica's in-flight slots; its load doubles as the
+	// in-flight count the router's least-in-flight choice reads, and its
+	// capacity is live-resizable (Remote.SetMaxInFlight).
+	window *flowWindow
 
-	down atomic.Bool // no live connections; the router skips it
+	down    atomic.Bool // no live connections; the router skips it
+	retired atomic.Bool // administratively out of routing (Remote.Retire)
 
 	// mu guards the lifecycle state below.
 	mu        sync.Mutex
@@ -311,41 +321,81 @@ func (r *Remote) dial(addr string) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
 }
 
-// NewRemote dials every replica and returns the connected SUT client.
+// NewRemote dials every replica and returns the connected SUT client. With
+// TolerateDown set, replicas that refuse their initial dial start down (dead
+// slots under redial supervisors) instead of failing construction, as long
+// as at least one replica dialed.
 func NewRemote(cfg RemoteConfig) (*Remote, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	if cfg.TolerateDown && cfg.DisableRecovery {
+		return nil, fmt.Errorf("backend: TolerateDown needs recovery (a dead slot would stay dead forever)")
+	}
 	r := &Remote{cfg: cfg, stop: make(chan struct{})}
 	// Build the whole structure before starting any reader: a connection that
 	// dies instantly would otherwise race its fail() against construction.
-	var conns [][]net.Conn
+	var conns [][]net.Conn // conns[i][j] == nil marks a tolerated dead slot
+	closeAll := func() {
+		for _, cs := range conns {
+			for _, c := range cs {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	}
+	dialed := 0
 	for idx, addr := range cfg.Addrs {
-		rep := &replica{r: r, idx: idx, addr: addr, window: make(chan struct{}, cfg.MaxInFlight)}
+		rep := &replica{r: r, idx: idx, addr: addr, window: newFlowWindow(cfg.MaxInFlight)}
 		var raw []net.Conn
+		live := 0
 		for i := 0; i < cfg.Conns; i++ {
 			c, err := r.dial(addr)
 			if err != nil {
-				for _, cs := range conns {
-					for _, c := range cs {
-						c.Close()
+				if cfg.TolerateDown {
+					c = nil
+				} else {
+					closeAll()
+					for _, c := range raw {
+						if c != nil {
+							c.Close()
+						}
 					}
+					return nil, fmt.Errorf("backend: dialing replica %s: %w", addr, err)
 				}
-				for _, c := range raw {
-					c.Close()
-				}
-				return nil, fmt.Errorf("backend: dialing replica %s: %w", addr, err)
+			} else {
+				live++
 			}
 			raw = append(raw, c)
 			rep.conns = append(rep.conns, &remoteConn{rep: rep, slot: i})
-			rep.liveConns++
+		}
+		rep.liveConns = live
+		if live > 0 {
+			dialed++
+		} else {
+			rep.down.Store(true)
+			rep.downSince = time.Now()
 		}
 		conns = append(conns, raw)
 		r.replicas = append(r.replicas, rep)
 	}
+	if dialed == 0 {
+		closeAll()
+		return nil, fmt.Errorf("backend: dialing %s: no replica reachable", strings.Join(cfg.Addrs, ","))
+	}
 	for i, rep := range r.replicas {
 		for j, rc := range rep.conns {
-			rc.install(conns[i][j])
+			if conns[i][j] != nil {
+				rc.install(conns[i][j])
+				continue
+			}
+			// Tolerated dead slot: mark it dead and hand it to a redial
+			// supervisor, which probes, installs and rejoins exactly as it
+			// would after a crash.
+			rc.dead = true
+			r.superWG.Add(1)
+			go rc.redial(0)
 		}
 	}
 	return r, nil
@@ -377,38 +427,41 @@ func (r *Remote) IssueQuery(q *loadgen.Query) {
 	}()
 }
 
-// pick chooses the replica for the next request: the live replica with the
-// fewest requests in flight (ties go to the lowest index). When every replica
-// is down it returns the emptiest one anyway — its dead connections settle
-// the request as dropped, so the run terminates invalid instead of hanging.
+// pick chooses the replica for the next request: the live, routable replica
+// with the fewest requests in flight (ties go to the lowest index). Retired
+// replicas are skipped while any alternative exists; when every replica is
+// down it returns the emptiest one anyway — its dead connections settle the
+// request as dropped, so the run terminates invalid instead of hanging.
 func (r *Remote) pick() *replica {
-	var best *replica
-	bestLoad := 0
-	for _, rep := range r.replicas {
-		if rep.down.Load() {
-			continue
+	pickWhere := func(ok func(*replica) bool) *replica {
+		var best *replica
+		bestLoad := 0
+		for _, rep := range r.replicas {
+			if !ok(rep) {
+				continue
+			}
+			load := rep.window.load()
+			if best == nil || load < bestLoad {
+				best, bestLoad = rep, load
+			}
 		}
-		load := len(rep.window)
-		if best == nil || load < bestLoad {
-			best, bestLoad = rep, load
-		}
-	}
-	if best != nil {
 		return best
 	}
-	for _, rep := range r.replicas {
-		load := len(rep.window)
-		if best == nil || load < bestLoad {
-			best, bestLoad = rep, load
-		}
+	if best := pickWhere(func(rep *replica) bool {
+		return !rep.down.Load() && !rep.retired.Load()
+	}); best != nil {
+		return best
 	}
-	return best
+	if best := pickWhere(func(rep *replica) bool { return !rep.retired.Load() }); best != nil {
+		return best
+	}
+	return pickWhere(func(*replica) bool { return true })
 }
 
-// anyLive reports whether at least one replica is admitting traffic.
+// anyLive reports whether at least one routable replica is admitting traffic.
 func (r *Remote) anyLive() bool {
 	for _, rep := range r.replicas {
-		if !rep.down.Load() {
+		if !rep.down.Load() && !rep.retired.Load() {
 			return true
 		}
 	}
@@ -432,7 +485,7 @@ func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
 // re-dials the broken one.
 func (r *Remote) send(p pendingRequest) {
 	rep := r.pick()
-	rep.window <- struct{}{}
+	rep.window.acquire()
 	var rc *remoteConn
 	start := rep.next.Add(1)
 	for i := 0; i < len(rep.conns); i++ {
@@ -481,7 +534,7 @@ func (r *Remote) send(p pendingRequest) {
 // the client is closing. Retrying is sound because inference is idempotent:
 // any replica answers a sample index with bit-identical bytes.
 func (r *Remote) failover(rep *replica, p pendingRequest, cause error) {
-	<-rep.window
+	rep.window.release()
 	if !r.closing.Load() && !r.cfg.DisableRecovery && p.attempt < r.cfg.MaxAttempts &&
 		(r.anyLive() || r.awaitFleet()) {
 		r.retries.Add(1)
@@ -559,7 +612,7 @@ func (r *Remote) awaitFleet() bool {
 // settle releases one of this replica's window slots and completes one
 // sample's response.
 func (rep *replica) settle(q *loadgen.Query, resp loadgen.Response) {
-	<-rep.window
+	rep.window.release()
 	q.Complete([]loadgen.Response{resp})
 	rep.r.inflight.Done()
 }

@@ -1,0 +1,242 @@
+package capacity
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"mlperf/internal/serve"
+)
+
+// Fleet is the replica set an Autoscaler resizes. harness.LoopbackDeployment
+// adapts to it; tests substitute fakes. Slots are fixed at deployment time —
+// autoscaling moves replicas between active and retired within them, so the
+// client's address list (and its redial supervisors) never changes shape.
+type Fleet interface {
+	// Slots is the total replica slot count (active + retired).
+	Slots() int
+	// Active reports whether slot i currently serves traffic.
+	Active(i int) bool
+	// Spawn brings slot i into service: start (or restart) its server and
+	// readmit it to routing; the client's redial supervisors discover it
+	// through the probe handshake.
+	Spawn(i int) error
+	// Retire takes slot i out of service gracefully: leave routing, drain,
+	// shut down. Never called on the last active slot.
+	Retire(i int) error
+	// Snapshot returns slot i's server-side metrics (zero Snapshot when the
+	// slot is down).
+	Snapshot(i int) (serve.Snapshot, error)
+}
+
+// AutoscaleConfig tunes an Autoscaler. The zero value is usable.
+type AutoscaleConfig struct {
+	// Interval is the sampling tick. <= 0 disables the background loop —
+	// the owner calls Tick explicitly.
+	Interval time.Duration
+	// MinReplicas/MaxReplicas clamp the active count. MinReplicas 0
+	// defaults to 1; MaxReplicas 0 defaults to the fleet's slot count.
+	MinReplicas, MaxReplicas int
+	// GrowAfter/ShrinkAfter are the consecutive-tick streaks that earn a
+	// spawn (default 2) or a retire (default 8).
+	GrowAfter, ShrinkAfter int
+	// Cooldown is the hold-still period after any fleet change (default
+	// 2× Interval).
+	Cooldown time.Duration
+	// QueueWatermark is the per-active-replica queue depth above which the
+	// fleet counts as backlogged (default 4).
+	QueueWatermark int
+	// Logf, when set, receives one line per fleet decision.
+	Logf func(format string, args ...any)
+}
+
+func (c AutoscaleConfig) withDefaults(slots int) AutoscaleConfig {
+	if c.MinReplicas <= 0 {
+		c.MinReplicas = 1
+	}
+	if c.MaxReplicas <= 0 || c.MaxReplicas > slots {
+		c.MaxReplicas = slots
+	}
+	if c.GrowAfter <= 0 {
+		c.GrowAfter = 2
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	if c.QueueWatermark <= 0 {
+		c.QueueWatermark = 4
+	}
+	return c
+}
+
+// Autoscaler grows and shrinks a Fleet's active replica count against load,
+// using the same earn-your-resize policy as the per-server Manager: pressure
+// (admission losses or a backlogged fleet) sustained GrowAfter ticks spawns
+// a replica into the first inactive slot; idleness sustained ShrinkAfter
+// ticks drain-retires the highest active slot. Every decision is recorded as
+// a serve.ResizeEvent with Resource "replicas" (From/To are active counts),
+// so fleet-size changes reconcile through the same audit path as pool
+// resizes.
+type Autoscaler struct {
+	cfg   AutoscaleConfig
+	fleet Fleet
+
+	mu       sync.Mutex
+	prev     serve.Snapshot
+	primed   bool
+	pressure int
+	idle     int
+	holdTil  time.Time
+	events   []serve.ResizeEvent
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewAutoscaler starts an autoscaler over the fleet. When cfg.Interval > 0 a
+// background loop ticks it; otherwise the owner calls Tick.
+func NewAutoscaler(fleet Fleet, cfg AutoscaleConfig) *Autoscaler {
+	a := &Autoscaler{
+		cfg:   cfg.withDefaults(fleet.Slots()),
+		fleet: fleet,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if a.cfg.Interval > 0 {
+		go a.loop()
+	} else {
+		close(a.done)
+	}
+	return a
+}
+
+// Close stops the background loop (if any) and waits for it to exit. The
+// fleet keeps its current shape.
+func (a *Autoscaler) Close() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+}
+
+func (a *Autoscaler) loop() {
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case now := <-t.C:
+			a.Tick(now)
+		}
+	}
+}
+
+// Tick samples the fleet once and applies at most one spawn or retire.
+func (a *Autoscaler) Tick(now time.Time) {
+	var snaps []serve.Snapshot
+	active := 0
+	firstInactive, lastActive := -1, -1
+	for i := 0; i < a.fleet.Slots(); i++ {
+		if !a.fleet.Active(i) {
+			if firstInactive < 0 {
+				firstInactive = i
+			}
+			continue
+		}
+		active++
+		lastActive = i
+		if s, err := a.fleet.Snapshot(i); err == nil {
+			snaps = append(snaps, s)
+		}
+	}
+	if active == 0 {
+		return
+	}
+	snap := serve.MergeSnapshots(snaps...)
+
+	a.mu.Lock()
+	if !a.primed {
+		a.prev, a.primed = snap, true
+		a.mu.Unlock()
+		return
+	}
+	prev := a.prev
+	a.prev = snap
+
+	lost := (snap.Rejected - prev.Rejected) +
+		(snap.Shed - prev.Shed) +
+		(snap.Expired - prev.Expired)
+	backlogged := snap.QueueDepth > active*a.cfg.QueueWatermark
+	busy := snap.Completed > prev.Completed || snap.QueueDepth > 0
+
+	switch {
+	case lost > 0 || backlogged:
+		a.pressure++
+		a.idle = 0
+	case !busy:
+		a.idle++
+		a.pressure = 0
+	default:
+		a.pressure, a.idle = 0, 0
+	}
+
+	grow := a.pressure >= a.cfg.GrowAfter && active < a.cfg.MaxReplicas && firstInactive >= 0
+	shrink := a.idle >= a.cfg.ShrinkAfter && active > a.cfg.MinReplicas
+	if now.Before(a.holdTil) || (!grow && !shrink) {
+		a.mu.Unlock()
+		return
+	}
+	a.pressure, a.idle = 0, 0
+	a.holdTil = now.Add(a.cfg.Cooldown)
+	a.mu.Unlock()
+
+	if grow {
+		if err := a.fleet.Spawn(firstInactive); err != nil {
+			if a.cfg.Logf != nil {
+				a.cfg.Logf("autoscale: spawn slot %d: %v", firstInactive, err)
+			}
+			return
+		}
+		a.record(now, active, active+1, "autoscale-grow")
+		if a.cfg.Logf != nil {
+			a.cfg.Logf("autoscale: spawned slot %d (%d -> %d replicas)", firstInactive, active, active+1)
+		}
+		return
+	}
+	if err := a.fleet.Retire(lastActive); err != nil {
+		if a.cfg.Logf != nil {
+			a.cfg.Logf("autoscale: retire slot %d: %v", lastActive, err)
+		}
+		return
+	}
+	a.record(now, active, active-1, "autoscale-shrink")
+	if a.cfg.Logf != nil {
+		a.cfg.Logf("autoscale: retired slot %d (%d -> %d replicas)", lastActive, active, active-1)
+	}
+}
+
+func (a *Autoscaler) record(now time.Time, from, to int, reason string) {
+	a.mu.Lock()
+	a.events = append(a.events, serve.ResizeEvent{
+		Time: now, Resource: serve.ResourceReplicas,
+		From: from, To: to, Reason: reason,
+	})
+	a.mu.Unlock()
+}
+
+// Events returns a copy of every fleet decision applied so far.
+func (a *Autoscaler) Events() []serve.ResizeEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]serve.ResizeEvent(nil), a.events...)
+}
+
+// WritePrometheus renders the autoscaler's decisions in the Prometheus text
+// format (mlperf_autoscale_resizes_total / mlperf_autoscale_resize_last).
+func (a *Autoscaler) WritePrometheus(w io.Writer) {
+	serve.WriteResizesPrometheus(w, "mlperf_autoscale", a.Events())
+}

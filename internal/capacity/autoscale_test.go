@@ -1,0 +1,185 @@
+package capacity
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlperf/internal/serve"
+)
+
+// fakeFleet is a slot array with scripted per-slot snapshots.
+type fakeFleet struct {
+	mu      sync.Mutex
+	active  []bool
+	snaps   []serve.Snapshot
+	spawned []int
+	retired []int
+	fail    error
+}
+
+func newFakeFleet(active ...bool) *fakeFleet {
+	return &fakeFleet{active: active, snaps: make([]serve.Snapshot, len(active))}
+}
+
+func (f *fakeFleet) Slots() int { return len(f.active) }
+
+func (f *fakeFleet) Active(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.active[i]
+}
+
+func (f *fakeFleet) Spawn(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return f.fail
+	}
+	f.active[i] = true
+	f.spawned = append(f.spawned, i)
+	return nil
+}
+
+func (f *fakeFleet) Retire(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return f.fail
+	}
+	f.active[i] = false
+	f.retired = append(f.retired, i)
+	return nil
+}
+
+func (f *fakeFleet) Snapshot(i int) (serve.Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.active[i] {
+		return serve.Snapshot{}, fmt.Errorf("slot %d inactive", i)
+	}
+	return f.snaps[i], nil
+}
+
+// reject bumps every active slot's reject counter so the next tick counts as
+// fleet pressure.
+func (f *fakeFleet) reject() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.snaps {
+		if f.active[i] {
+			f.snaps[i].Rejected++
+		}
+	}
+}
+
+func TestAutoscalerSpawnsIntoFirstInactiveSlot(t *testing.T) {
+	fleet := newFakeFleet(true, false, false)
+	a := NewAutoscaler(fleet, AutoscaleConfig{GrowAfter: 2, ShrinkAfter: 8, Cooldown: time.Second})
+	defer a.Close()
+
+	base := time.Unix(1000, 0)
+	a.Tick(base) // prime
+	fleet.reject()
+	a.Tick(base.Add(1 * time.Second))
+	if len(fleet.spawned) != 0 {
+		t.Fatalf("spawned after one pressure tick: %v", fleet.spawned)
+	}
+	fleet.reject()
+	a.Tick(base.Add(2 * time.Second))
+	if len(fleet.spawned) != 1 || fleet.spawned[0] != 1 {
+		t.Fatalf("spawned = %v, want first inactive slot [1]", fleet.spawned)
+	}
+	events := a.Events()
+	if len(events) != 1 || events[0].Resource != serve.ResourceReplicas ||
+		events[0].From != 1 || events[0].To != 2 || events[0].Reason != "autoscale-grow" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestAutoscalerRetiresLastActiveSlot(t *testing.T) {
+	fleet := newFakeFleet(true, true, true)
+	a := NewAutoscaler(fleet, AutoscaleConfig{GrowAfter: 2, ShrinkAfter: 3, Cooldown: time.Second})
+	defer a.Close()
+
+	base := time.Unix(1000, 0)
+	for i := 0; i <= 3; i++ { // prime + 3 idle ticks
+		a.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	if len(fleet.retired) != 1 || fleet.retired[0] != 2 {
+		t.Fatalf("retired = %v, want last active slot [2]", fleet.retired)
+	}
+	events := a.Events()
+	if len(events) != 1 || events[0].From != 3 || events[0].To != 2 || events[0].Reason != "autoscale-shrink" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestAutoscalerRespectsMinAndMax(t *testing.T) {
+	fleet := newFakeFleet(true, true)
+	a := NewAutoscaler(fleet, AutoscaleConfig{
+		MinReplicas: 2, MaxReplicas: 2,
+		GrowAfter: 1, ShrinkAfter: 1, Cooldown: time.Second,
+	})
+	defer a.Close()
+
+	base := time.Unix(1000, 0)
+	a.Tick(base)
+	for i := 1; i <= 3; i++ { // sustained idleness: may not go below MinReplicas
+		a.Tick(base.Add(time.Duration(i) * 10 * time.Second))
+	}
+	for i := 4; i <= 6; i++ { // sustained pressure: may not exceed MaxReplicas
+		fleet.reject()
+		a.Tick(base.Add(time.Duration(i) * 10 * time.Second))
+	}
+	if len(fleet.spawned) != 0 || len(fleet.retired) != 0 {
+		t.Fatalf("fleet moved outside [min,max]: spawned %v retired %v", fleet.spawned, fleet.retired)
+	}
+}
+
+func TestAutoscalerCooldown(t *testing.T) {
+	fleet := newFakeFleet(true, false, false)
+	a := NewAutoscaler(fleet, AutoscaleConfig{GrowAfter: 1, ShrinkAfter: 8, Cooldown: 10 * time.Second})
+	defer a.Close()
+
+	base := time.Unix(1000, 0)
+	a.Tick(base)
+	fleet.reject()
+	a.Tick(base.Add(1 * time.Second)) // spawn #1
+	for i := 2; i <= 10; i++ {        // within cooldown
+		fleet.reject()
+		a.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	if len(fleet.spawned) != 1 {
+		t.Fatalf("spawned during cooldown: %v", fleet.spawned)
+	}
+	fleet.reject()
+	a.Tick(base.Add(12 * time.Second))
+	if len(fleet.spawned) != 2 || fleet.spawned[1] != 2 {
+		t.Fatalf("after cooldown spawned = %v, want [1 2]", fleet.spawned)
+	}
+}
+
+func TestAutoscalerWritePrometheus(t *testing.T) {
+	fleet := newFakeFleet(true, false)
+	a := NewAutoscaler(fleet, AutoscaleConfig{GrowAfter: 1, ShrinkAfter: 8, Cooldown: time.Second})
+	defer a.Close()
+	base := time.Unix(1000, 0)
+	a.Tick(base)
+	fleet.reject()
+	a.Tick(base.Add(time.Second))
+
+	var sb strings.Builder
+	a.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`mlperf_autoscale_resizes_total{model="default",resource="replicas"} 1`,
+		`mlperf_autoscale_resize_last{model="default",resource="replicas"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape output missing %q:\n%s", want, out)
+		}
+	}
+}

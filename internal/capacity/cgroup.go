@@ -1,0 +1,136 @@
+package capacity
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Env describes the compute envelope the serving process actually runs in —
+// the ceiling the capacity manager grows toward. It is probed from the cgroup
+// filesystem (v2 first, v1 fallback) so a container's CPU quota and memory
+// limit bound the worker pool rather than the host's core count; outside any
+// cgroup limit the runtime's view of the machine is used.
+type Env struct {
+	// CPULimit is the effective CPU budget in whole-or-fractional cores
+	// (cgroup quota/period, or the runtime CPU count when unlimited).
+	CPULimit float64
+	// MemoryLimit is the memory ceiling in bytes, 0 when unlimited.
+	MemoryLimit uint64
+	// GOMAXPROCS is the runtime's scheduler parallelism at probe time.
+	GOMAXPROCS int
+	// Source names where the limits came from: "cgroup2", "cgroup1", or
+	// "runtime" when no cgroup limit applied.
+	Source string
+}
+
+// MaxWorkersSuggestion converts the CPU envelope into a worker-pool ceiling:
+// two workers per available core (inference workers block on queue waits and
+// response writes, so modest oversubscription keeps cores busy), never below
+// one.
+func (e Env) MaxWorkersSuggestion() int {
+	n := int(2 * e.CPULimit)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (e Env) String() string {
+	mem := "unlimited"
+	if e.MemoryLimit > 0 {
+		mem = fmt.Sprintf("%dMiB", e.MemoryLimit>>20)
+	}
+	return fmt.Sprintf("cpu=%.2g mem=%s gomaxprocs=%d source=%s",
+		e.CPULimit, mem, e.GOMAXPROCS, e.Source)
+}
+
+// DetectEnv probes /sys/fs/cgroup for this process's CPU and memory limits.
+// It never fails: when no cgroup limit is readable it falls back to the
+// runtime's CPU count and an unlimited memory envelope.
+func DetectEnv() Env {
+	return detectEnv("/sys/fs/cgroup")
+}
+
+// detectEnv is DetectEnv against an arbitrary cgroup mount root, so tests can
+// point it at a fake tree.
+func detectEnv(root string) Env {
+	env := Env{
+		CPULimit:   float64(runtime.NumCPU()),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Source:     "runtime",
+	}
+	if cpu, mem, ok := readCgroup2(root); ok {
+		if cpu > 0 {
+			env.CPULimit = cpu
+		}
+		env.MemoryLimit = mem
+		env.Source = "cgroup2"
+		return env
+	}
+	if cpu, mem, ok := readCgroup1(root); ok {
+		if cpu > 0 {
+			env.CPULimit = cpu
+		}
+		env.MemoryLimit = mem
+		env.Source = "cgroup1"
+		return env
+	}
+	return env
+}
+
+// readCgroup2 parses the unified hierarchy's cpu.max ("$MAX $PERIOD" or
+// "max $PERIOD") and memory.max ("max" or bytes). ok reports whether the
+// tree looked like cgroup v2 at all (cpu.max present).
+func readCgroup2(root string) (cpu float64, mem uint64, ok bool) {
+	raw, err := os.ReadFile(filepath.Join(root, "cpu.max"))
+	if err != nil {
+		return 0, 0, false
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) >= 2 && fields[0] != "max" {
+		quota, qerr := strconv.ParseFloat(fields[0], 64)
+		period, perr := strconv.ParseFloat(fields[1], 64)
+		if qerr == nil && perr == nil && period > 0 && quota > 0 {
+			cpu = quota / period
+		}
+	}
+	if raw, err := os.ReadFile(filepath.Join(root, "memory.max")); err == nil {
+		s := strings.TrimSpace(string(raw))
+		if s != "max" {
+			if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+				mem = v
+			}
+		}
+	}
+	return cpu, mem, true
+}
+
+// readCgroup1 parses the legacy split hierarchy's cpu.cfs_quota_us /
+// cpu.cfs_period_us (quota -1 = unlimited) and memory.limit_in_bytes
+// (very large values mean unlimited).
+func readCgroup1(root string) (cpu float64, mem uint64, ok bool) {
+	quotaRaw, err := os.ReadFile(filepath.Join(root, "cpu", "cpu.cfs_quota_us"))
+	if err != nil {
+		return 0, 0, false
+	}
+	quota, qerr := strconv.ParseFloat(strings.TrimSpace(string(quotaRaw)), 64)
+	if periodRaw, err := os.ReadFile(filepath.Join(root, "cpu", "cpu.cfs_period_us")); err == nil && qerr == nil && quota > 0 {
+		if period, err := strconv.ParseFloat(strings.TrimSpace(string(periodRaw)), 64); err == nil && period > 0 {
+			cpu = quota / period
+		}
+	}
+	if raw, err := os.ReadFile(filepath.Join(root, "memory", "memory.limit_in_bytes")); err == nil {
+		if v, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64); err == nil {
+			// Kernels report "unlimited" as PAGE_COUNTER_MAX, a huge
+			// page-aligned value; treat anything ≥ 1 PiB as no limit.
+			if v < 1<<50 {
+				mem = v
+			}
+		}
+	}
+	return cpu, mem, true
+}

@@ -1,0 +1,111 @@
+package capacity
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectEnvCgroup2(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "cpu.max"), "200000 100000\n")
+	writeFile(t, filepath.Join(root, "memory.max"), "1073741824\n")
+	env := detectEnv(root)
+	if env.Source != "cgroup2" {
+		t.Fatalf("source = %q, want cgroup2", env.Source)
+	}
+	if env.CPULimit != 2 {
+		t.Errorf("CPULimit = %g, want 2", env.CPULimit)
+	}
+	if env.MemoryLimit != 1<<30 {
+		t.Errorf("MemoryLimit = %d, want %d", env.MemoryLimit, 1<<30)
+	}
+	if env.MaxWorkersSuggestion() != 4 {
+		t.Errorf("MaxWorkersSuggestion = %d, want 4", env.MaxWorkersSuggestion())
+	}
+}
+
+func TestDetectEnvCgroup2Unlimited(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "cpu.max"), "max 100000\n")
+	writeFile(t, filepath.Join(root, "memory.max"), "max\n")
+	env := detectEnv(root)
+	if env.Source != "cgroup2" {
+		t.Fatalf("source = %q, want cgroup2", env.Source)
+	}
+	// "max" quota means no CPU limit: the runtime's core count applies.
+	if env.CPULimit != float64(runtime.NumCPU()) {
+		t.Errorf("CPULimit = %g, want runtime %d", env.CPULimit, runtime.NumCPU())
+	}
+	if env.MemoryLimit != 0 {
+		t.Errorf("MemoryLimit = %d, want 0 (unlimited)", env.MemoryLimit)
+	}
+}
+
+func TestDetectEnvCgroup1(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "cpu", "cpu.cfs_quota_us"), "150000\n")
+	writeFile(t, filepath.Join(root, "cpu", "cpu.cfs_period_us"), "100000\n")
+	writeFile(t, filepath.Join(root, "memory", "memory.limit_in_bytes"), "536870912\n")
+	env := detectEnv(root)
+	if env.Source != "cgroup1" {
+		t.Fatalf("source = %q, want cgroup1", env.Source)
+	}
+	if env.CPULimit != 1.5 {
+		t.Errorf("CPULimit = %g, want 1.5", env.CPULimit)
+	}
+	if env.MemoryLimit != 512<<20 {
+		t.Errorf("MemoryLimit = %d, want %d", env.MemoryLimit, 512<<20)
+	}
+}
+
+func TestDetectEnvCgroup1Unlimited(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "cpu", "cpu.cfs_quota_us"), "-1\n")
+	writeFile(t, filepath.Join(root, "cpu", "cpu.cfs_period_us"), "100000\n")
+	// PAGE_COUNTER_MAX-style huge value means "no memory limit".
+	writeFile(t, filepath.Join(root, "memory", "memory.limit_in_bytes"), "9223372036854771712\n")
+	env := detectEnv(root)
+	if env.Source != "cgroup1" {
+		t.Fatalf("source = %q, want cgroup1", env.Source)
+	}
+	if env.CPULimit != float64(runtime.NumCPU()) {
+		t.Errorf("CPULimit = %g, want runtime %d", env.CPULimit, runtime.NumCPU())
+	}
+	if env.MemoryLimit != 0 {
+		t.Errorf("MemoryLimit = %d, want 0 (unlimited)", env.MemoryLimit)
+	}
+}
+
+func TestDetectEnvRuntimeFallback(t *testing.T) {
+	env := detectEnv(t.TempDir()) // no cgroup files at all
+	if env.Source != "runtime" {
+		t.Fatalf("source = %q, want runtime", env.Source)
+	}
+	if env.CPULimit != float64(runtime.NumCPU()) {
+		t.Errorf("CPULimit = %g, want runtime %d", env.CPULimit, runtime.NumCPU())
+	}
+	if env.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", env.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestMaxWorkersSuggestionFloor(t *testing.T) {
+	if got := (Env{CPULimit: 0.2}).MaxWorkersSuggestion(); got != 1 {
+		t.Errorf("fractional-core suggestion = %d, want floor of 1", got)
+	}
+	if got := (Env{CPULimit: 2.5}).MaxWorkersSuggestion(); got != 5 {
+		t.Errorf("2.5-core suggestion = %d, want 5", got)
+	}
+}

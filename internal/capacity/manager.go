@@ -1,0 +1,419 @@
+// Package capacity implements dynamic capacity management for the serving
+// subsystem: a per-server capacity manager that resizes each hosted model's
+// live limits against observed load, and a fleet autoscaler that spawns and
+// retires whole replicas.
+//
+// # Grow/shrink policy
+//
+// The manager samples every hosted model's serve.Snapshot once per tick and
+// compares it with the previous tick's to get rates. A model is under
+// pressure when the tick saw admission-control losses (rejects, sheds or
+// expiries) or its queue is deeper than one dispatch round can clear
+// (depth > workers × max-batch). Pressure sustained for GrowAfter
+// consecutive ticks doubles the worker pool and admission queue — growth
+// must be earned, a one-tick blip never resizes. A model is idle when the
+// tick saw no losses and the queue stayed below the worker count; idleness
+// sustained for ShrinkAfter ticks halves the pool, so shrinking is much
+// lazier than growing. Every resize is followed by a Cooldown during which
+// the model holds still, and all limits are clamped to [Min, Max] bounds —
+// the worker ceiling defaults to the probed environment's suggestion (two
+// workers per available core, see Env). Pools only move through
+// serve.Server.Resize, which never interrupts a batch in flight.
+//
+// # Environment probing
+//
+// DetectEnv reads the cgroup filesystem (v2 unified hierarchy first, v1
+// split hierarchy as fallback) so a container's CPU quota — not the host's
+// core count — bounds the worker ceiling, and the memory limit gates
+// growth: when the Go heap is within memoryHeadroomFactor of the cgroup
+// memory ceiling the manager refuses to grow regardless of pressure.
+// Outside any cgroup the runtime's CPU count is the envelope.
+//
+// # Scrape endpoint format
+//
+// Manager.WritePrometheus (and Autoscaler.WritePrometheus) render the
+// manager's own state in the Prometheus text exposition format, version
+// 0.0.4: per-model ceiling/headroom/pressure gauges under
+// mlperf_capacity_*, plus per-resource decision counters and
+// last-applied-value gauges (mlperf_capacity_resizes_total,
+// mlperf_capacity_resize_last). Registered on serve.Server.OnScrape, these
+// families appear on the same GET /metrics response as the serving
+// counters the decisions acted on.
+package capacity
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mlperf/internal/serve"
+)
+
+// Pool is the resizable serving pool the manager drives. *serve.Server
+// implements it; tests substitute fakes.
+type Pool interface {
+	// Models lists the hosted model ids.
+	Models() []string
+	// ModelMetrics returns one hosted model's snapshot.
+	ModelMetrics(model string) (serve.Snapshot, error)
+	// Limits returns one hosted model's current live limits.
+	Limits(model string) (serve.Limits, error)
+	// Resize applies new live limits and returns the applied events.
+	Resize(model string, req serve.ResizeRequest) ([]serve.ResizeEvent, error)
+}
+
+// memoryHeadroomFactor is the fraction of the cgroup memory limit the heap
+// may reach before the manager stops growing pools.
+const memoryHeadroomFactor = 0.8
+
+// Config tunes a Manager. The zero value is usable: limits default from the
+// detected environment and the policy constants below.
+type Config struct {
+	// Interval is the sampling tick. <= 0 disables the background loop —
+	// the owner calls Tick explicitly (used by tests and single-threaded
+	// drivers).
+	Interval time.Duration
+	// Env is the compute envelope; nil means DetectEnv().
+	Env *Env
+	// MinWorkers/MaxWorkers clamp every model's worker pool. MaxWorkers 0
+	// defaults to Env.MaxWorkersSuggestion; MinWorkers 0 defaults to 1.
+	MinWorkers, MaxWorkers int
+	// MinQueue/MaxQueue clamp every model's admission-queue bound.
+	// MaxQueue 0 defaults to 8× MaxWorkers; MinQueue 0 defaults to 1.
+	MinQueue, MaxQueue int
+	// GrowAfter is how many consecutive pressure ticks earn a grow
+	// (default 2). ShrinkAfter is how many consecutive idle ticks earn a
+	// shrink (default 8).
+	GrowAfter, ShrinkAfter int
+	// Cooldown is the hold-still period after any resize (default 2×
+	// Interval, minimum one tick).
+	Cooldown time.Duration
+	// InitialWorkers, when > 0, resizes every model to this pool size at
+	// start — "start conservative, grow when proven safe".
+	InitialWorkers int
+	// Logf, when set, receives one line per capacity decision.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Env == nil {
+		env := DetectEnv()
+		c.Env = &env
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = c.Env.MaxWorkersSuggestion()
+	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8 * c.MaxWorkers
+	}
+	if c.MinQueue <= 0 {
+		c.MinQueue = 1
+	}
+	if c.GrowAfter <= 0 {
+		c.GrowAfter = 2
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	return c
+}
+
+// ModelState is one model's capacity view at a point in time.
+type ModelState struct {
+	Model string `json:"model,omitempty"`
+	// Limits are the live limits as of the last tick.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	MaxBatch   int `json:"max_batch"`
+	// HeadroomWorkers is how many more workers the ceiling allows.
+	HeadroomWorkers int `json:"headroom_workers"`
+	// PressureTicks/IdleTicks are the current consecutive-tick streaks.
+	PressureTicks int `json:"pressure_ticks"`
+	IdleTicks     int `json:"idle_ticks"`
+	// Resizes counts decisions applied to this model by this manager.
+	Resizes int `json:"resizes"`
+}
+
+// State is the manager's full capacity view.
+type State struct {
+	Env    Env          `json:"env"`
+	Models []ModelState `json:"models"`
+	// Events lists every resize decision this manager applied, in order.
+	Events []serve.ResizeEvent `json:"events,omitempty"`
+}
+
+// modelTrack is the manager's per-model memory between ticks.
+type modelTrack struct {
+	prev       serve.Snapshot
+	primed     bool
+	pressure   int
+	idle       int
+	holdUntil  time.Time
+	resizes    int
+	lastLimits serve.Limits
+}
+
+// Manager drives one Pool's live limits from observed load. Create with
+// NewManager, stop with Close.
+type Manager struct {
+	cfg  Config
+	pool Pool
+
+	mu     sync.Mutex
+	track  map[string]*modelTrack
+	events []serve.ResizeEvent
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewManager starts a capacity manager over the pool. When cfg.Interval > 0
+// a background loop ticks it; otherwise the owner calls Tick. When
+// cfg.InitialWorkers > 0 every model is immediately resized to that pool
+// size (recorded like any other decision, Reason "capacity-initial").
+func NewManager(pool Pool, cfg Config) *Manager {
+	m := &Manager{
+		cfg:   cfg.withDefaults(),
+		pool:  pool,
+		track: make(map[string]*modelTrack),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if n := m.cfg.InitialWorkers; n > 0 {
+		n = clamp(n, m.cfg.MinWorkers, m.cfg.MaxWorkers)
+		for _, model := range pool.Models() {
+			m.apply(model, serve.ResizeRequest{Workers: n, Reason: "capacity-initial"}, time.Now())
+		}
+	}
+	if m.cfg.Interval > 0 {
+		go m.loop()
+	} else {
+		close(m.done)
+	}
+	return m
+}
+
+// Close stops the background loop (if any) and waits for it to exit. The
+// pool keeps its last-applied limits.
+func (m *Manager) Close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+func (m *Manager) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-t.C:
+			m.Tick(now)
+		}
+	}
+}
+
+// Tick samples every model once and applies at most one resize per model.
+// Exported so drivers without a background loop (Interval <= 0) and tests
+// can step the policy deterministically.
+func (m *Manager) Tick(now time.Time) {
+	for _, model := range m.pool.Models() {
+		m.tickModel(model, now)
+	}
+}
+
+func (m *Manager) tickModel(model string, now time.Time) {
+	snap, err := m.pool.ModelMetrics(model)
+	if err != nil {
+		return
+	}
+	limits, err := m.pool.Limits(model)
+	if err != nil {
+		return
+	}
+
+	m.mu.Lock()
+	tr := m.track[model]
+	if tr == nil {
+		tr = &modelTrack{}
+		m.track[model] = tr
+	}
+	tr.lastLimits = limits
+	if !tr.primed {
+		tr.prev, tr.primed = snap, true
+		m.mu.Unlock()
+		return
+	}
+	prev := tr.prev
+	tr.prev = snap
+
+	lost := (snap.Rejected - prev.Rejected) +
+		(snap.Shed - prev.Shed) +
+		(snap.Expired - prev.Expired)
+	backlogged := snap.QueueDepth > limits.Workers*limits.MaxBatch
+	busy := snap.Completed > prev.Completed || snap.QueueDepth > 0
+
+	pressure := lost > 0 || backlogged
+	if pressure {
+		tr.pressure++
+		tr.idle = 0
+	} else if !busy {
+		tr.idle++
+		tr.pressure = 0
+	} else {
+		tr.pressure = 0
+		tr.idle = 0
+	}
+
+	var req serve.ResizeRequest
+	switch {
+	case now.Before(tr.holdUntil):
+		// Cooling down after the last decision.
+	case tr.pressure >= m.cfg.GrowAfter && !m.memPressure():
+		req = serve.ResizeRequest{
+			Workers:    clamp(2*limits.Workers, m.cfg.MinWorkers, m.cfg.MaxWorkers),
+			QueueDepth: clamp(2*limits.QueueDepth, m.cfg.MinQueue, m.cfg.MaxQueue),
+			Reason:     "capacity-grow",
+		}
+	case tr.idle >= m.cfg.ShrinkAfter, tr.pressure >= m.cfg.GrowAfter && m.memPressure():
+		// Idle pools shrink; so do pools under pressure when memory is the
+		// binding constraint (more workers would only deepen the heap).
+		req = serve.ResizeRequest{
+			Workers: clamp(limits.Workers/2, m.cfg.MinWorkers, m.cfg.MaxWorkers),
+			Reason:  "capacity-shrink",
+		}
+	}
+	m.mu.Unlock()
+
+	if req == (serve.ResizeRequest{}) {
+		return
+	}
+	if req.Workers == limits.Workers && (req.QueueDepth == 0 || req.QueueDepth == limits.QueueDepth) {
+		return // already at the clamp; nothing to apply
+	}
+	m.apply(model, req, now)
+}
+
+// apply routes one decision through the pool and records the outcome.
+func (m *Manager) apply(model string, req serve.ResizeRequest, now time.Time) {
+	events, err := m.pool.Resize(model, req)
+	if err != nil || len(events) == 0 {
+		return
+	}
+	m.mu.Lock()
+	tr := m.track[model]
+	if tr == nil {
+		tr = &modelTrack{}
+		m.track[model] = tr
+	}
+	tr.pressure, tr.idle = 0, 0
+	tr.holdUntil = now.Add(m.cfg.Cooldown)
+	tr.resizes += len(events)
+	if lim, err := m.pool.Limits(model); err == nil {
+		tr.lastLimits = lim
+	}
+	m.events = append(m.events, events...)
+	m.mu.Unlock()
+	if m.cfg.Logf != nil {
+		for _, e := range events {
+			m.cfg.Logf("capacity: model %q %s %d -> %d (%s)",
+				model, e.Resource, e.From, e.To, e.Reason)
+		}
+	}
+}
+
+// memPressure reports whether the heap is close enough to the cgroup memory
+// limit that growing pools would risk the ceiling.
+func (m *Manager) memPressure() bool {
+	if m.cfg.Env.MemoryLimit == 0 {
+		return false
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) >= memoryHeadroomFactor*float64(m.cfg.Env.MemoryLimit)
+}
+
+// State returns the manager's current capacity view (models sorted by id,
+// events in decision order, both copied).
+func (m *Manager) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := State{Env: *m.cfg.Env}
+	models := make([]string, 0, len(m.track))
+	for model := range m.track {
+		models = append(models, model)
+	}
+	sort.Strings(models)
+	for _, model := range models {
+		tr := m.track[model]
+		st.Models = append(st.Models, ModelState{
+			Model:           model,
+			Workers:         tr.lastLimits.Workers,
+			QueueDepth:      tr.lastLimits.QueueDepth,
+			MaxBatch:        tr.lastLimits.MaxBatch,
+			HeadroomWorkers: m.cfg.MaxWorkers - tr.lastLimits.Workers,
+			PressureTicks:   tr.pressure,
+			IdleTicks:       tr.idle,
+			Resizes:         tr.resizes,
+		})
+	}
+	st.Events = append([]serve.ResizeEvent(nil), m.events...)
+	return st
+}
+
+// Events returns a copy of every resize decision applied so far.
+func (m *Manager) Events() []serve.ResizeEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]serve.ResizeEvent(nil), m.events...)
+}
+
+// WritePrometheus renders the manager's state in the Prometheus text format,
+// suitable for serve.Server.OnScrape.
+func (m *Manager) WritePrometheus(w io.Writer) {
+	st := m.State()
+	fmt.Fprintf(w, "# HELP mlperf_capacity_max_workers Worker ceiling from the probed environment.\n")
+	fmt.Fprintf(w, "# TYPE mlperf_capacity_max_workers gauge\n")
+	fmt.Fprintf(w, "mlperf_capacity_max_workers %d\n", m.cfg.MaxWorkers)
+	fmt.Fprintf(w, "# HELP mlperf_capacity_cpu_limit Probed CPU envelope in cores.\n")
+	fmt.Fprintf(w, "# TYPE mlperf_capacity_cpu_limit gauge\n")
+	fmt.Fprintf(w, "mlperf_capacity_cpu_limit{source=%q} %g\n", m.cfg.Env.Source, m.cfg.Env.CPULimit)
+	gauge := func(name, help string, value func(ModelState) int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, ms := range st.Models {
+			label := ms.Model
+			if label == "" {
+				label = "default"
+			}
+			fmt.Fprintf(w, "%s{model=%q} %d\n", name, label, value(ms))
+		}
+	}
+	gauge("mlperf_capacity_headroom_workers", "Workers the ceiling still allows.",
+		func(ms ModelState) int { return ms.HeadroomWorkers })
+	gauge("mlperf_capacity_pressure_ticks", "Consecutive ticks under pressure.",
+		func(ms ModelState) int { return ms.PressureTicks })
+	gauge("mlperf_capacity_idle_ticks", "Consecutive idle ticks.",
+		func(ms ModelState) int { return ms.IdleTicks })
+	serve.WriteResizesPrometheus(w, "mlperf_capacity", st.Events)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,265 @@
+package capacity
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlperf/internal/serve"
+)
+
+// fakePool mimics serve.Server's resize semantics over in-memory state: a
+// resize applies each positive, changed dimension and returns one event per
+// change.
+type fakePool struct {
+	mu     sync.Mutex
+	snaps  map[string]serve.Snapshot
+	limits map[string]serve.Limits
+	reqs   []serve.ResizeRequest
+}
+
+func newFakePool(model string, lim serve.Limits) *fakePool {
+	return &fakePool{
+		snaps:  map[string]serve.Snapshot{model: {}},
+		limits: map[string]serve.Limits{model: lim},
+	}
+}
+
+func (p *fakePool) Models() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	models := make([]string, 0, len(p.limits))
+	for m := range p.limits {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	return models
+}
+
+func (p *fakePool) ModelMetrics(model string) (serve.Snapshot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snaps[model], nil
+}
+
+func (p *fakePool) Limits(model string) (serve.Limits, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.limits[model], nil
+}
+
+func (p *fakePool) Resize(model string, req serve.ResizeRequest) ([]serve.ResizeEvent, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reqs = append(p.reqs, req)
+	lim := p.limits[model]
+	var events []serve.ResizeEvent
+	change := func(resource string, cur *int, to int) {
+		if to > 0 && to != *cur {
+			events = append(events, serve.ResizeEvent{
+				Time: time.Unix(1, 0), Model: model, Resource: resource,
+				From: *cur, To: to, Reason: req.Reason,
+			})
+			*cur = to
+		}
+	}
+	change(serve.ResourceWorkers, &lim.Workers, req.Workers)
+	change(serve.ResourceQueue, &lim.QueueDepth, req.QueueDepth)
+	change(serve.ResourceMaxBatch, &lim.MaxBatch, req.MaxBatch)
+	p.limits[model] = lim
+	return events, nil
+}
+
+// reject bumps the model's reject counter, making the next tick a pressure
+// tick; idle leaves the snapshot untouched, making the next tick idle.
+func (p *fakePool) reject(model string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.snaps[model]
+	s.Rejected++
+	p.snaps[model] = s
+}
+
+func testEnv() *Env {
+	return &Env{CPULimit: 4, GOMAXPROCS: 4, Source: "test"}
+}
+
+func TestManagerGrowsUnderSustainedPressure(t *testing.T) {
+	pool := newFakePool("m", serve.Limits{Workers: 2, QueueDepth: 4, MaxBatch: 2})
+	m := NewManager(pool, Config{
+		Env: testEnv(), MaxWorkers: 16, MaxQueue: 64,
+		GrowAfter: 2, ShrinkAfter: 8, Cooldown: time.Second,
+	})
+	defer m.Close()
+
+	base := time.Unix(1000, 0)
+	m.Tick(base) // prime
+	pool.reject("m")
+	m.Tick(base.Add(1 * time.Second))
+	if lim, _ := pool.Limits("m"); lim.Workers != 2 {
+		t.Fatalf("grew after one pressure tick: workers %d", lim.Workers)
+	}
+	pool.reject("m")
+	m.Tick(base.Add(2 * time.Second))
+	lim, _ := pool.Limits("m")
+	if lim.Workers != 4 || lim.QueueDepth != 8 {
+		t.Fatalf("after sustained pressure: workers %d queue %d, want 4/8", lim.Workers, lim.QueueDepth)
+	}
+	events := m.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %v, want workers+queue grow pair", events)
+	}
+	for _, e := range events {
+		if e.Reason != "capacity-grow" {
+			t.Errorf("event reason %q, want capacity-grow", e.Reason)
+		}
+	}
+	st := m.State()
+	if len(st.Models) != 1 || st.Models[0].Resizes != 2 || st.Models[0].Workers != 4 {
+		t.Fatalf("state = %+v", st.Models)
+	}
+}
+
+func TestManagerCooldownHoldsStill(t *testing.T) {
+	pool := newFakePool("m", serve.Limits{Workers: 2, QueueDepth: 4, MaxBatch: 2})
+	m := NewManager(pool, Config{
+		Env: testEnv(), MaxWorkers: 64, MaxQueue: 512,
+		GrowAfter: 1, ShrinkAfter: 8, Cooldown: 10 * time.Second,
+	})
+	defer m.Close()
+
+	base := time.Unix(1000, 0)
+	m.Tick(base)
+	pool.reject("m")
+	m.Tick(base.Add(1 * time.Second)) // grow #1
+	if lim, _ := pool.Limits("m"); lim.Workers != 4 {
+		t.Fatalf("first grow: workers %d, want 4", lim.Workers)
+	}
+	for i := 2; i <= 10; i++ { // all within the 10s cooldown of the grow at +1s
+		pool.reject("m")
+		m.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	if lim, _ := pool.Limits("m"); lim.Workers != 4 {
+		t.Fatalf("resized during cooldown: workers %d", lim.Workers)
+	}
+	pool.reject("m")
+	m.Tick(base.Add(12 * time.Second)) // cooldown expired
+	if lim, _ := pool.Limits("m"); lim.Workers != 8 {
+		t.Fatalf("after cooldown: workers %d, want 8", lim.Workers)
+	}
+}
+
+func TestManagerShrinksWhenIdle(t *testing.T) {
+	pool := newFakePool("m", serve.Limits{Workers: 8, QueueDepth: 16, MaxBatch: 2})
+	m := NewManager(pool, Config{
+		Env: testEnv(), MaxWorkers: 16, MaxQueue: 64,
+		GrowAfter: 2, ShrinkAfter: 3, Cooldown: time.Second,
+	})
+	defer m.Close()
+
+	base := time.Unix(1000, 0)
+	for i := 0; i <= 3; i++ { // prime + 3 idle ticks
+		m.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	lim, _ := pool.Limits("m")
+	if lim.Workers != 4 {
+		t.Fatalf("after sustained idle: workers %d, want 4", lim.Workers)
+	}
+	events := m.Events()
+	if len(events) != 1 || events[0].Reason != "capacity-shrink" {
+		t.Fatalf("events = %v, want one capacity-shrink", events)
+	}
+}
+
+func TestManagerClampsAtCeiling(t *testing.T) {
+	pool := newFakePool("m", serve.Limits{Workers: 4, QueueDepth: 8, MaxBatch: 2})
+	m := NewManager(pool, Config{
+		Env: testEnv(), MaxWorkers: 4, MaxQueue: 8, // already at both ceilings
+		GrowAfter: 1, ShrinkAfter: 8, Cooldown: time.Second,
+	})
+	defer m.Close()
+
+	base := time.Unix(1000, 0)
+	m.Tick(base)
+	for i := 1; i <= 5; i++ {
+		pool.reject("m")
+		m.Tick(base.Add(time.Duration(i) * 10 * time.Second))
+	}
+	if lim, _ := pool.Limits("m"); lim.Workers != 4 || lim.QueueDepth != 8 {
+		t.Fatalf("moved past the clamp: %+v", lim)
+	}
+	if got := m.Events(); len(got) != 0 {
+		t.Fatalf("recorded no-op resizes: %v", got)
+	}
+}
+
+func TestManagerInitialWorkers(t *testing.T) {
+	pool := newFakePool("m", serve.Limits{Workers: 8, QueueDepth: 16, MaxBatch: 2})
+	m := NewManager(pool, Config{Env: testEnv(), MaxWorkers: 16, InitialWorkers: 2})
+	defer m.Close()
+
+	lim, _ := pool.Limits("m")
+	if lim.Workers != 2 {
+		t.Fatalf("initial workers %d, want conservative start of 2", lim.Workers)
+	}
+	events := m.Events()
+	if len(events) != 1 || events[0].Reason != "capacity-initial" {
+		t.Fatalf("events = %v, want one capacity-initial", events)
+	}
+}
+
+func TestManagerMemoryPressureBlocksGrowth(t *testing.T) {
+	pool := newFakePool("m", serve.Limits{Workers: 8, QueueDepth: 16, MaxBatch: 2})
+	// A 1-byte memory limit makes the heap always over the headroom factor.
+	env := &Env{CPULimit: 4, MemoryLimit: 1, Source: "test"}
+	m := NewManager(pool, Config{
+		Env: env, MaxWorkers: 64, MaxQueue: 512,
+		GrowAfter: 2, ShrinkAfter: 8, Cooldown: time.Second,
+	})
+	defer m.Close()
+
+	base := time.Unix(1000, 0)
+	m.Tick(base)
+	pool.reject("m")
+	m.Tick(base.Add(1 * time.Second))
+	pool.reject("m")
+	m.Tick(base.Add(2 * time.Second))
+	lim, _ := pool.Limits("m")
+	if lim.Workers != 4 {
+		t.Fatalf("memory-bound pressure: workers %d, want shrink to 4", lim.Workers)
+	}
+	events := m.Events()
+	if len(events) != 1 || events[0].Reason != "capacity-shrink" {
+		t.Fatalf("events = %v, want one capacity-shrink", events)
+	}
+}
+
+func TestManagerWritePrometheus(t *testing.T) {
+	pool := newFakePool("m", serve.Limits{Workers: 2, QueueDepth: 4, MaxBatch: 2})
+	m := NewManager(pool, Config{
+		Env: testEnv(), MaxWorkers: 16, MaxQueue: 64,
+		GrowAfter: 1, ShrinkAfter: 8, Cooldown: time.Second,
+	})
+	defer m.Close()
+	base := time.Unix(1000, 0)
+	m.Tick(base)
+	pool.reject("m")
+	m.Tick(base.Add(time.Second))
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"mlperf_capacity_max_workers 16",
+		`mlperf_capacity_cpu_limit{source="test"} 4`,
+		`mlperf_capacity_headroom_workers{model="m"}`,
+		`mlperf_capacity_resizes_total{model="m",resource="workers"} 1`,
+		`mlperf_capacity_resize_last{model="m",resource="workers"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+
+	"mlperf/internal/capacity"
+	"mlperf/internal/serve"
+)
+
+// ActiveReplicas returns how many replica slots are currently in service.
+func (d *LoopbackDeployment) ActiveReplicas() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, a := range d.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaActive reports whether slot i is administratively in service.
+func (d *LoopbackDeployment) ReplicaActive(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return i >= 0 && i < len(d.active) && d.active[i]
+}
+
+// SpawnReplica brings slot i into service: a fresh server starts on the
+// slot's original address and the slot is readmitted to routing. The
+// client's redial supervisors discover the new server through the probe
+// handshake and reopen barrier, exactly like a crashed replica rejoining —
+// spawning is a capacity decision built from the recovery machinery, not a
+// separate path. No-op for a slot already active.
+func (d *LoopbackDeployment) SpawnReplica(i int) error {
+	d.mu.Lock()
+	if i < 0 || i >= len(d.active) {
+		d.mu.Unlock()
+		return fmt.Errorf("harness: no replica slot %d", i)
+	}
+	if d.active[i] {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+	if err := d.RestartReplica(i); err != nil {
+		return err
+	}
+	if err := d.Remote.Readmit(i); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.active[i] = true
+	d.mu.Unlock()
+	return nil
+}
+
+// RetireReplica takes slot i out of service gracefully, in the order that
+// keeps every request accounted: first the router stops picking the slot
+// (so no new request can race the drain into a reject), then the server
+// drains — answering everything already admitted — and shuts down. The
+// slot's redial supervisors keep watching the address; SpawnReplica brings
+// it back. Refuses to retire the last active slot.
+func (d *LoopbackDeployment) RetireReplica(i int) error {
+	d.mu.Lock()
+	if i < 0 || i >= len(d.active) {
+		d.mu.Unlock()
+		return fmt.Errorf("harness: no replica slot %d", i)
+	}
+	if !d.active[i] {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+	if err := d.Remote.Retire(i); err != nil {
+		return err
+	}
+	srv := d.Replica(i)
+	srv.Drain()
+	srv.Close()
+	d.mu.Lock()
+	d.active[i] = false
+	d.mu.Unlock()
+	return nil
+}
+
+// loopbackFleet adapts a LoopbackDeployment to capacity.Fleet.
+type loopbackFleet struct{ d *LoopbackDeployment }
+
+func (f loopbackFleet) Slots() int         { return len(f.d.addrs) }
+func (f loopbackFleet) Active(i int) bool  { return f.d.ReplicaActive(i) }
+func (f loopbackFleet) Spawn(i int) error  { return f.d.SpawnReplica(i) }
+func (f loopbackFleet) Retire(i int) error { return f.d.RetireReplica(i) }
+func (f loopbackFleet) Snapshot(i int) (serve.Snapshot, error) {
+	if !f.d.ReplicaActive(i) {
+		return serve.Snapshot{}, fmt.Errorf("harness: replica slot %d is not active", i)
+	}
+	return f.d.Replica(i).Metrics(), nil
+}
+
+// Autoscale attaches a replica autoscaler to the deployment: it grows the
+// fleet into standby slots under sustained pressure and drain-retires
+// replicas when the fleet goes idle. The autoscaler is stopped by the
+// deployment's Close (or earlier by its own Close).
+func (d *LoopbackDeployment) Autoscale(cfg capacity.AutoscaleConfig) *capacity.Autoscaler {
+	a := capacity.NewAutoscaler(loopbackFleet{d}, cfg)
+	d.mu.Lock()
+	d.closers = append(d.closers, a.Close)
+	d.mu.Unlock()
+	return a
+}
+
+// replicaPool adapts one replica slot to capacity.Pool. It resolves the
+// slot's current server on every call, so a manager keeps working across
+// kills, restarts and spawns.
+type replicaPool struct {
+	d   *LoopbackDeployment
+	idx int
+}
+
+func (p *replicaPool) srv() *serve.Server { return p.d.Replica(p.idx) }
+
+func (p *replicaPool) Models() []string { return p.srv().Models() }
+
+func (p *replicaPool) ModelMetrics(model string) (serve.Snapshot, error) {
+	return p.srv().ModelMetrics(model)
+}
+
+func (p *replicaPool) Limits(model string) (serve.Limits, error) {
+	return p.srv().Limits(model)
+}
+
+func (p *replicaPool) Resize(model string, req serve.ResizeRequest) ([]serve.ResizeEvent, error) {
+	return p.srv().Resize(model, req)
+}
+
+// ManageCapacity attaches one capacity manager per replica slot, each
+// driving that replica's live worker/queue limits from its observed load.
+// Managers survive replica restarts (they resolve the slot's current server
+// per call) and are stopped by the deployment's Close.
+func (d *LoopbackDeployment) ManageCapacity(cfg capacity.Config) []*capacity.Manager {
+	managers := make([]*capacity.Manager, len(d.addrs))
+	for i := range d.addrs {
+		m := capacity.NewManager(&replicaPool{d: d, idx: i}, cfg)
+		managers[i] = m
+		d.mu.Lock()
+		d.closers = append(d.closers, m.Close)
+		d.mu.Unlock()
+	}
+	return managers
+}

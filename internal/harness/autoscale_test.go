@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mlperf/internal/backend"
+	"mlperf/internal/capacity"
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
+)
+
+func buildSmall(t *testing.T) *Assembly {
+	t.Helper()
+	a, err := BuildNative(core.ImageClassificationLight, BuildOptions{DatasetSamples: 32, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// offlineBurst drives one short saturating Offline run through the remote,
+// returning the result. Drops (rejects under a tiny queue) are expected and
+// terminate cleanly.
+func offlineBurst(t *testing.T, dep *LoopbackDeployment, samples int) *loadgen.Result {
+	t.Helper()
+	s := loadgen.DefaultSettings(loadgen.Offline)
+	s.MinSampleCount = samples
+	s.MinDuration = 0
+	res, err := loadgen.StartTest(dep.Remote, dep.Assembly.QSL, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Remote.Wait()
+	return res
+}
+
+func waitAllUp(t *testing.T, dep *LoopbackDeployment) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for dep.Remote.DownReplicas() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never converged to all replicas up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStandbySpawnRetireCycle: a standby slot starts down and retired, spawns
+// into service on demand, carries traffic, and drain-retires back out without
+// disturbing the rest of the fleet.
+func TestStandbySpawnRetireCycle(t *testing.T) {
+	a := buildSmall(t)
+	dep, err := a.ServeLoopback(ServeOptions{
+		Replicas: 1,
+		Standby:  1,
+		Server:   serve.Config{Workers: 2, BatchWait: time.Millisecond},
+		Client: backend.RemoteConfig{
+			MaxInFlight: 32, RedialInitial: time.Millisecond, RedialMax: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if dep.ActiveReplicas() != 1 || dep.ReplicaActive(1) {
+		t.Fatalf("fresh deployment: active=%d, slot1=%v", dep.ActiveReplicas(), dep.ReplicaActive(1))
+	}
+	if !dep.Remote.Retired(1) {
+		t.Fatal("standby slot not retired in the client")
+	}
+	if res := offlineBurst(t, dep, 64); res.ResponsesDropped != 0 {
+		t.Fatalf("run with an empty standby slot dropped %d responses", res.ResponsesDropped)
+	}
+
+	if err := dep.SpawnReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if dep.ActiveReplicas() != 2 {
+		t.Fatalf("after spawn: %d active", dep.ActiveReplicas())
+	}
+	waitAllUp(t, dep)
+	if res := offlineBurst(t, dep, 512); res.ResponsesDropped != 0 {
+		t.Fatalf("post-spawn run dropped %d responses", res.ResponsesDropped)
+	}
+	if dep.Replica(1).Metrics().Completed == 0 {
+		t.Fatal("spawned replica served nothing")
+	}
+
+	if err := dep.RetireReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if dep.ActiveReplicas() != 1 {
+		t.Fatalf("after retire: %d active", dep.ActiveReplicas())
+	}
+	completed := dep.Replica(1).Metrics().Completed
+	if res := offlineBurst(t, dep, 64); res.ResponsesDropped != 0 {
+		t.Fatalf("post-retire run dropped %d responses", res.ResponsesDropped)
+	}
+	if got := dep.Replica(1).Metrics().Completed; got != completed {
+		t.Fatalf("retired replica kept serving: %d -> %d", completed, got)
+	}
+
+	// The cycle repeats: the slot spawns again on the same address.
+	if err := dep.SpawnReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	waitAllUp(t, dep)
+	if dep.ActiveReplicas() != 2 {
+		t.Fatalf("after respawn: %d active", dep.ActiveReplicas())
+	}
+}
+
+// TestAutoscalerGrowsFleetUnderLoad: with a deliberately undersized replica
+// (workers 1, queue 1) the saturating bursts force rejects; the autoscaler
+// reads them as pressure and spawns the standby slot, then drain-retires it
+// once the fleet goes idle. Ticks are driven manually so the policy is
+// deterministic.
+func TestAutoscalerGrowsFleetUnderLoad(t *testing.T) {
+	a := buildSmall(t)
+	dep, err := a.ServeLoopback(ServeOptions{
+		Replicas: 1,
+		Standby:  1,
+		Server:   serve.Config{Workers: 1, QueueDepth: 1, MaxBatch: 1, BatchWait: 100 * time.Microsecond},
+		Client: backend.RemoteConfig{
+			MaxInFlight: 64, RedialInitial: time.Millisecond, RedialMax: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	auto := dep.Autoscale(capacity.AutoscaleConfig{
+		GrowAfter: 1, ShrinkAfter: 2, Cooldown: time.Second,
+	})
+
+	now := time.Now()
+	auto.Tick(now) // prime
+	res := offlineBurst(t, dep, 256)
+	if res.ResponsesDropped == 0 {
+		t.Fatal("burst produced no rejects — the pressure signal never fired")
+	}
+	auto.Tick(now.Add(2 * time.Second)) // pressure tick -> spawn
+	if dep.ActiveReplicas() != 2 {
+		t.Fatalf("autoscaler did not grow the fleet: %d active", dep.ActiveReplicas())
+	}
+	events := auto.Events()
+	if len(events) != 1 || events[0].Resource != serve.ResourceReplicas ||
+		events[0].From != 1 || events[0].To != 2 {
+		t.Fatalf("autoscale events = %+v", events)
+	}
+	waitAllUp(t, dep)
+
+	// No traffic: two idle ticks past the cooldown retire the spawned slot.
+	auto.Tick(now.Add(4 * time.Second))
+	auto.Tick(now.Add(6 * time.Second))
+	if dep.ActiveReplicas() != 1 {
+		t.Fatalf("autoscaler did not shrink the idle fleet: %d active", dep.ActiveReplicas())
+	}
+	events = auto.Events()
+	if len(events) != 2 || events[1].From != 2 || events[1].To != 1 {
+		t.Fatalf("autoscale events after shrink = %+v", events)
+	}
+}
+
+// TestManageCapacityGrowsRealPool: the capacity manager, driven by manual
+// ticks against a real undersized server, turns observed rejects into live
+// worker/queue growth recorded as server-side resize events.
+func TestManageCapacityGrowsRealPool(t *testing.T) {
+	a := buildSmall(t)
+	dep, err := a.ServeLoopback(ServeOptions{
+		Server: serve.Config{Workers: 1, QueueDepth: 2, MaxBatch: 1, BatchWait: 100 * time.Microsecond},
+		Client: backend.RemoteConfig{MaxInFlight: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	managers := dep.ManageCapacity(capacity.Config{
+		GrowAfter: 1, Cooldown: time.Millisecond,
+		MaxWorkers: 8, MaxQueue: 256,
+		Env: &capacity.Env{CPULimit: 4, GOMAXPROCS: 4, Source: "test"},
+	})
+	m := managers[0]
+
+	now := time.Now()
+	m.Tick(now) // prime
+	res := offlineBurst(t, dep, 256)
+	if res.ResponsesDropped == 0 {
+		t.Fatal("burst produced no rejects against the tiny pool")
+	}
+	m.Tick(now.Add(time.Second))
+
+	lim, err := dep.Server.Limits("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Workers != 2 || lim.QueueDepth != 4 {
+		t.Fatalf("pool after pressure tick: workers %d queue %d, want 2/4", lim.Workers, lim.QueueDepth)
+	}
+	snap := dep.Server.Metrics()
+	if len(snap.Resizes) != 2 {
+		t.Fatalf("server recorded %d resize events, want workers+queue pair: %+v", len(snap.Resizes), snap.Resizes)
+	}
+	if len(m.Events()) != 2 {
+		t.Fatalf("manager recorded %d events", len(m.Events()))
+	}
+}
+
+// TestManagerSurvivesReplicaRestart: a manager attached to a slot keeps
+// driving whatever server currently occupies it — a kill and restart does not
+// strand the manager on the dead server.
+func TestManagerSurvivesReplicaRestart(t *testing.T) {
+	a := buildSmall(t)
+	dep, err := a.ServeLoopback(ServeOptions{
+		Server: serve.Config{Workers: 1, QueueDepth: 2, MaxBatch: 1, BatchWait: 100 * time.Microsecond},
+		Client: backend.RemoteConfig{
+			MaxInFlight: 64, RedialInitial: time.Millisecond, RedialMax: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	managers := dep.ManageCapacity(capacity.Config{
+		GrowAfter: 1, Cooldown: time.Millisecond,
+		MaxWorkers: 8, MaxQueue: 256,
+		Env: &capacity.Env{CPULimit: 4, GOMAXPROCS: 4, Source: "test"},
+	})
+	m := managers[0]
+
+	if err := dep.KillReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	m.Tick(time.Now()) // ticking a dead replica must not panic or wedge
+	// Wait for the client to notice the crash before restarting, so the
+	// post-restart traffic goes through rejoined connections rather than
+	// racing the crash detection.
+	deadline := time.Now().Add(10 * time.Second)
+	for dep.Remote.DownReplicas() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("killed replica never marked down")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := dep.RestartReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	waitAllUp(t, dep)
+
+	// The manager now drives the restarted server.
+	now := time.Now()
+	m.Tick(now) // reset the tick baseline to the new server's counters
+	res := offlineBurst(t, dep, 256)
+	if res.ResponsesDropped == 0 {
+		t.Fatal("burst produced no rejects against the restarted tiny pool")
+	}
+	m.Tick(now.Add(time.Second))
+	lim, err := dep.Replica(0).Limits("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Workers != 2 {
+		t.Fatalf("manager did not grow the restarted server: workers %d", lim.Workers)
+	}
+}

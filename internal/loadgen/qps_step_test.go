@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func stepSettings(seed uint64) TestSettings {
+	s := DefaultSettings(Server)
+	s.MinQueryCount = 1
+	s.MinDuration = 200 * time.Millisecond
+	s.ServerTargetQPS = 200
+	s.ServerQPSStepAfter = 100 * time.Millisecond
+	s.ServerQPSStepTo = 2000
+	s.ServerTargetLatency = 100 * time.Millisecond
+	s.ScheduleSeed = seed
+	return s
+}
+
+// TestServerQPSStepRaisesOfferedLoad: a mid-run rate step must actually
+// change the arrival schedule — the run issues far more queries than the flat
+// starting rate could have scheduled in the same window.
+func TestServerQPSStepRaisesOfferedLoad(t *testing.T) {
+	qsl := newFakeQSL(64, 64)
+	sut := newFakeSUT(0, true)
+	res, err := StartTest(sut, qsl, stepSettings(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("stepped run invalid with an instant SUT: %v", res.ValidityMessages)
+	}
+	// Flat 200 QPS over 200ms schedules ~40 arrivals; the step to 2000 QPS at
+	// 100ms makes the expectation ~220. Anything over 100 proves the step took.
+	if res.QueriesIssued < 100 {
+		t.Fatalf("issued %d queries, want the stepped schedule (~220 expected, ~40 without the step)", res.QueriesIssued)
+	}
+	if res.ServerScheduledQPS != 200 {
+		t.Errorf("ServerScheduledQPS = %v, want the starting rate 200", res.ServerScheduledQPS)
+	}
+}
+
+// TestServerQPSStepDeterministic: the same schedule seed reproduces the same
+// stepped arrival schedule, gap for gap — and the gaps actually shrink once
+// the schedule crosses the step. (The issued-query count of a live run is
+// bounded by wall clock, so determinism is pinned on the schedule itself.)
+func TestServerQPSStepDeterministic(t *testing.T) {
+	const draws = 1000
+	schedules := make([][]time.Duration, 2)
+	for i := range schedules {
+		next, err := steppedGaps(stepSettings(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var offset time.Duration
+		for j := 0; j < draws; j++ {
+			gap, err := next(offset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offset += gap
+			schedules[i] = append(schedules[i], offset)
+		}
+	}
+	for j := range schedules[0] {
+		if schedules[0][j] != schedules[1][j] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", j, schedules[0][j], schedules[1][j])
+		}
+	}
+
+	// Mean gap before the 100ms step should track 1/200 QPS (5ms), after it
+	// 1/2000 QPS (0.5ms): the post-step arrivals must be much denser.
+	stepAt := stepSettings(11).ServerQPSStepAfter
+	var before, after time.Duration
+	var nBefore, nAfter int
+	prev := time.Duration(0)
+	for _, at := range schedules[0] {
+		if at < stepAt {
+			before += at - prev
+			nBefore++
+		} else if prev >= stepAt {
+			after += at - prev
+			nAfter++
+		}
+		prev = at
+	}
+	if nBefore == 0 || nAfter == 0 {
+		t.Fatalf("schedule never crossed the step: %d before, %d after", nBefore, nAfter)
+	}
+	meanBefore := before / time.Duration(nBefore)
+	meanAfter := after / time.Duration(nAfter)
+	if meanAfter*2 >= meanBefore {
+		t.Fatalf("post-step gaps did not shrink: mean %v before vs %v after", meanBefore, meanAfter)
+	}
+}
+
+// TestServerQPSStepValidation pins the settings rules.
+func TestServerQPSStepValidation(t *testing.T) {
+	qsl := newFakeQSL(8, 8)
+	sut := newFakeSUT(0, true)
+
+	s := stepSettings(1)
+	s.ServerQPSStepTo = 0
+	if _, err := StartTest(sut, qsl, s); err == nil {
+		t.Error("StepAfter without StepTo: expected error")
+	}
+
+	s = stepSettings(1)
+	s.ServerQPSStepAfter = -time.Second
+	if _, err := StartTest(sut, qsl, s); err == nil {
+		t.Error("negative StepAfter: expected error")
+	}
+}

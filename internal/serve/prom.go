@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of the serving metrics.
+//
+// The scrape endpoint renders exactly the numbers the wire-protocol metrics
+// frames return and audit.CheckServing reconciles — one family per Snapshot
+// field, labeled by hosted model — so an external scraper, the driving
+// client and the conformance audit all read the same counters. Counters use
+// *_total names, the dispatched-batch-size histogram follows the Prometheus
+// histogram convention (cumulative le buckets plus a _count), latency
+// percentiles are exposed as summary-style quantile gauges, and every
+// applied resize is visible both as a counter (resize_events_total) and as
+// the current workers/queue_limit/max_batch gauges it moved.
+
+// scrapeServer is the optional HTTP listener behind Config.MetricsAddr.
+type scrapeServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu    sync.Mutex
+	extra []func(io.Writer)
+}
+
+func newScrapeServer(addr string, s *Server) (*scrapeServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: binding metrics endpoint on %s: %w", addr, err)
+	}
+	sc := &scrapeServer{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w)
+		sc.mu.Lock()
+		var extra []func(io.Writer)
+		extra = append(extra, sc.extra...)
+		sc.mu.Unlock()
+		for _, f := range extra {
+			f(w)
+		}
+	})
+	sc.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go sc.srv.Serve(ln)
+	return sc, nil
+}
+
+func (sc *scrapeServer) addr() string { return sc.ln.Addr().String() }
+
+func (sc *scrapeServer) register(f func(io.Writer)) {
+	sc.mu.Lock()
+	sc.extra = append(sc.extra, f)
+	sc.mu.Unlock()
+}
+
+func (sc *scrapeServer) close() { sc.srv.Close() }
+
+// WritePrometheus renders every hosted model's current snapshot in the
+// Prometheus text format. The default (unnamed) model is labeled
+// model="default" so the label is never empty.
+func (s *Server) WritePrometheus(w io.Writer) {
+	snaps := make([]Snapshot, len(s.hostList))
+	labels := make([]string, len(s.hostList))
+	for i, h := range s.hostList {
+		snaps[i] = h.snapshot()
+		labels[i] = promModelLabel(h.cfg.Name)
+	}
+	draining := 0.0
+	if s.Draining() {
+		draining = 1
+	}
+	WriteSnapshotsPrometheus(w, labels, snaps)
+	promFamily(w, "mlperf_serve_draining", "gauge", "1 while the server is draining or shut down.")
+	fmt.Fprintf(w, "mlperf_serve_draining %g\n", draining)
+}
+
+// promModelLabel maps a hosted model id to its scrape label value.
+func promModelLabel(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+// WriteSnapshotsPrometheus renders a set of labeled snapshots in the
+// Prometheus text format, one family at a time (a family's # HELP/# TYPE
+// header appears once, followed by every model's sample). It is exported so
+// CLIs can expose snapshots they fetched over the wire.
+func WriteSnapshotsPrometheus(w io.Writer, models []string, snaps []Snapshot) {
+	counter := func(name, help string, value func(Snapshot) uint64) {
+		promFamily(w, name, "counter", help)
+		for i, s := range snaps {
+			fmt.Fprintf(w, "%s{model=%s} %d\n", name, promQuote(models[i]), value(s))
+		}
+	}
+	gauge := func(name, help string, value func(Snapshot) float64) {
+		promFamily(w, name, "gauge", help)
+		for i, s := range snaps {
+			fmt.Fprintf(w, "%s{model=%s} %s\n", name, promQuote(models[i]), promFloat(value(s)))
+		}
+	}
+
+	counter("mlperf_serve_admitted_total", "Requests accepted into the admission queue.",
+		func(s Snapshot) uint64 { return s.Admitted })
+	counter("mlperf_serve_completed_total", "Requests served to completion.",
+		func(s Snapshot) uint64 { return s.Completed })
+	counter("mlperf_serve_rejected_total", "Arrivals turned away by admission control.",
+		func(s Snapshot) uint64 { return s.Rejected })
+	counter("mlperf_serve_shed_total", "Admitted requests evicted by the shed-oldest policy.",
+		func(s Snapshot) uint64 { return s.Shed })
+	counter("mlperf_serve_expired_total", "Requests whose deadline passed while queued.",
+		func(s Snapshot) uint64 { return s.Expired })
+	counter("mlperf_serve_errors_total", "Requests that failed to load, infer or encode.",
+		func(s Snapshot) uint64 { return s.Errors })
+	counter("mlperf_serve_flushes_total", "End-of-series flushes observed.",
+		func(s Snapshot) uint64 { return s.Flushes })
+	counter("mlperf_serve_resize_events_total", "Live-limit changes applied so far.",
+		func(s Snapshot) uint64 { return uint64(len(s.Resizes)) })
+
+	gauge("mlperf_serve_queue_depth", "Admission queue population at scrape time.",
+		func(s Snapshot) float64 { return float64(s.QueueDepth) })
+	gauge("mlperf_serve_queue_limit", "Live admission queue bound.",
+		func(s Snapshot) float64 { return float64(s.QueueLimit) })
+	gauge("mlperf_serve_workers", "Live inference worker-pool size.",
+		func(s Snapshot) float64 { return float64(s.Workers) })
+	gauge("mlperf_serve_max_batch", "Live dynamic-batch cap.",
+		func(s Snapshot) float64 { return float64(s.MaxBatch) })
+
+	promFamily(w, "mlperf_serve_queue_latency_seconds", "gauge",
+		"Recent queue-latency quantiles (window of recent requests).")
+	for i, s := range snaps {
+		promQuantile(w, "mlperf_serve_queue_latency_seconds", models[i], "0.5", s.QueueP50)
+		promQuantile(w, "mlperf_serve_queue_latency_seconds", models[i], "0.99", s.QueueP99)
+	}
+	promFamily(w, "mlperf_serve_service_latency_seconds", "gauge",
+		"Recent service-latency quantiles (window of recent requests).")
+	for i, s := range snaps {
+		promQuantile(w, "mlperf_serve_service_latency_seconds", models[i], "0.5", s.ServiceP50)
+		promQuantile(w, "mlperf_serve_service_latency_seconds", models[i], "0.99", s.ServiceP99)
+	}
+
+	promFamily(w, "mlperf_serve_batch_size", "histogram", "Dispatched batch sizes.")
+	for i, s := range snaps {
+		var cum uint64
+		for _, b := range s.BatchHistogram {
+			cum += b.Count
+			le := "+Inf"
+			if b.Le > 0 {
+				le = strconv.Itoa(b.Le)
+			}
+			fmt.Fprintf(w, "mlperf_serve_batch_size_bucket{model=%s,le=%q} %d\n",
+				promQuote(models[i]), le, cum)
+		}
+		fmt.Fprintf(w, "mlperf_serve_batch_size_count{model=%s} %d\n", promQuote(models[i]), cum)
+	}
+}
+
+// WriteResizesPrometheus renders resize events as per-resource decision
+// counters and last-applied-value gauges, so a scraper that cannot ingest the
+// JSON event list still sees each capacity decision's direction and landing
+// point.
+func WriteResizesPrometheus(w io.Writer, prefix string, events []ResizeEvent) {
+	type key struct{ model, resource string }
+	counts := make(map[key]int)
+	last := make(map[key]int)
+	var keys []key
+	for _, e := range events {
+		k := key{promModelLabel(e.Model), e.Resource}
+		if counts[k] == 0 {
+			keys = append(keys, k)
+		}
+		counts[k]++
+		last[k] = e.To
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		return keys[i].resource < keys[j].resource
+	})
+	promFamily(w, prefix+"_resizes_total", "counter", "Resize decisions applied, by resource.")
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s_resizes_total{model=%s,resource=%q} %d\n",
+			prefix, promQuote(k.model), k.resource, counts[k])
+	}
+	promFamily(w, prefix+"_resize_last", "gauge", "Last applied value per resized resource.")
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s_resize_last{model=%s,resource=%q} %d\n",
+			prefix, promQuote(k.model), k.resource, last[k])
+	}
+}
+
+// promFamily writes one metric family's HELP/TYPE header.
+func promFamily(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promQuantile writes one summary-style quantile sample.
+func promQuantile(w io.Writer, name, model, q string, d time.Duration) {
+	fmt.Fprintf(w, "%s{model=%s,quantile=%q} %s\n", name, promQuote(model), q, promFloat(d.Seconds()))
+}
+
+// promQuote quotes a label value, escaping backslashes, quotes and newlines
+// per the exposition format.
+func promQuote(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return `"` + r.Replace(v) + `"`
+}
+
+// promFloat formats a sample value (shortest round-trip representation).
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -51,6 +51,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -175,6 +176,12 @@ type Config struct {
 	// frames on a seeded schedule) and keeps this package free of any
 	// dependency on the injector.
 	WrapListener func(net.Listener) net.Listener
+	// MetricsAddr, when set, binds an HTTP listener serving the Prometheus
+	// text exposition of every hosted model's metrics at /metrics (use
+	// "127.0.0.1:0" for a kernel-assigned port, read back with MetricsAddr).
+	// External scrapers see exactly the counters the wire-protocol metrics
+	// frames and audit.CheckServing reconcile. Empty disables the endpoint.
+	MetricsAddr string
 }
 
 // normalize validates the config and expands it into one ModelConfig per
@@ -308,6 +315,15 @@ type engineHost struct {
 	passthrough bool
 	shutdown    bool
 
+	// Live limits, initialized from cfg and moved by Server.Resize. workers
+	// is the desired pool size; liveWorkers is how many worker goroutines
+	// exist right now (growth spawns immediately, shrink retires workers at
+	// their next batch boundary — never mid-batch).
+	workers     int
+	liveWorkers int
+	queueDepth  int
+	maxBatch    int
+
 	// notify wakes the dispatcher (capacity 1; a dropped signal is fine
 	// because the dispatcher re-checks state whenever it holds a token).
 	notify  chan struct{}
@@ -332,6 +348,9 @@ type Server struct {
 	mu       sync.Mutex
 	shutdown bool
 	conns    map[*serverConn]struct{}
+
+	// scrape is the optional Prometheus endpoint (nil when disabled).
+	scrape *scrapeServer
 
 	// draining is set by Drain: the server stops admitting predict requests
 	// (they answer StatusRejected) and probes answer ProbeDraining, but the
@@ -369,11 +388,21 @@ func New(cfg Config) (*Server, error) {
 		conns: make(map[*serverConn]struct{}),
 	}
 	for _, mc := range models {
+		// The batch channel's buffer is fixed at creation; floor it so a pool
+		// grown well past its initial size still has dispatch slack.
+		chCap := mc.Workers
+		if chCap < 16 {
+			chCap = 16
+		}
 		h := &engineHost{
-			cfg:     mc,
-			notify:  make(chan struct{}, 1),
-			batchCh: make(chan []*request, mc.Workers),
-			metrics: newServerMetrics(),
+			cfg:         mc,
+			workers:     mc.Workers,
+			liveWorkers: mc.Workers,
+			queueDepth:  mc.QueueDepth,
+			maxBatch:    mc.MaxBatch,
+			notify:      make(chan struct{}, 1),
+			batchCh:     make(chan []*request, chCap),
+			metrics:     newServerMetrics(),
 		}
 		s.hosts[mc.Name] = h
 		s.hostList = append(s.hostList, h)
@@ -390,9 +419,37 @@ func New(cfg Config) (*Server, error) {
 	} else if len(s.hostList) == 1 {
 		s.defaultHost = s.hostList[0]
 	}
+	if cfg.MetricsAddr != "" {
+		scrape, err := newScrapeServer(cfg.MetricsAddr, s)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.scrape = scrape
+	}
 	s.acceptWG.Add(1)
 	go s.accept()
 	return s, nil
+}
+
+// MetricsAddr returns the bound address of the Prometheus scrape endpoint,
+// or "" when Config.MetricsAddr was unset.
+func (s *Server) MetricsAddr() string {
+	if s.scrape == nil {
+		return ""
+	}
+	return s.scrape.addr()
+}
+
+// OnScrape registers an extra metrics source appended to every /metrics
+// response after the server's own families. The capacity manager registers
+// itself here so its limits, headroom estimate and decision counters are
+// scraped from the same endpoint as the serving counters it acted on. No-op
+// when the scrape endpoint is disabled.
+func (s *Server) OnScrape(f func(io.Writer)) {
+	if s.scrape != nil {
+		s.scrape.register(f)
+	}
 }
 
 // Addr returns the bound listen address (useful with the default ":0" port).
@@ -469,6 +526,9 @@ func (s *Server) Draining() bool {
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.closeErr = s.ln.Close()
+		if s.scrape != nil {
+			s.scrape.close()
+		}
 		s.mu.Lock()
 		s.shutdown = true
 		s.mu.Unlock()
@@ -493,6 +553,9 @@ func (s *Server) Close() error {
 func (s *Server) Kill() error {
 	s.closeOnce.Do(func() {
 		s.closeErr = s.ln.Close()
+		if s.scrape != nil {
+			s.scrape.close()
+		}
 		s.mu.Lock()
 		s.shutdown = true
 		for sc := range s.conns {
@@ -664,10 +727,112 @@ func (s *Server) serveConn(c net.Conn) {
 func (h *engineHost) snapshot() Snapshot {
 	h.mu.Lock()
 	depth := len(h.queue)
+	workers := h.workers
+	maxBatch := h.maxBatch
+	queueLimit := h.queueDepth
 	h.mu.Unlock()
-	snap := h.metrics.snapshot(depth, h.cfg.Workers, h.cfg.MaxBatch)
+	snap := h.metrics.snapshot(depth, workers, maxBatch, queueLimit)
 	snap.Model = h.cfg.Name
 	return snap
+}
+
+// ResizeRequest asks for new live limits on a hosted model. Zero fields leave
+// the corresponding limit unchanged; Reason labels the recorded events (e.g.
+// "startup-flag", "capacity-grow").
+type ResizeRequest struct {
+	Workers    int
+	QueueDepth int
+	MaxBatch   int
+	Reason     string
+}
+
+// maxResizeLimit is the absolute ceiling any Resize can set, a guard against
+// nonsense rather than a tuning knob.
+const maxResizeLimit = 1 << 16
+
+// Resize applies new live limits to one hosted model (or, with the empty
+// model id, to every hosted model — matching the V1 control frames'
+// whole-server semantics) and returns the events actually applied. Worker
+// growth spawns immediately; worker shrink retires surplus workers at their
+// next batch boundary (a batch in flight always completes on the worker that
+// started it); queue shrink only lowers the admission bound — requests
+// already queued are never evicted. A draining or closed server ignores the
+// request (no events). Resize is the single live-reconfiguration path: CLI
+// flags, the capacity manager and tests all route through it, and every
+// applied change is recorded as a ResizeEvent in the model's metrics.
+func (s *Server) Resize(model string, req ResizeRequest) ([]ResizeEvent, error) {
+	for _, v := range [...]int{req.Workers, req.QueueDepth, req.MaxBatch} {
+		if v < 0 || v > maxResizeLimit {
+			return nil, fmt.Errorf("serve: resize limit %d out of range [0, %d]", v, maxResizeLimit)
+		}
+	}
+	hosts := s.controlTargets(model)
+	if hosts == nil {
+		return nil, fmt.Errorf("serve: no hosted model %q", model)
+	}
+	var events []ResizeEvent
+	for _, h := range hosts {
+		events = append(events, h.resize(req)...)
+	}
+	return events, nil
+}
+
+// Limits reports one hosted model's current live limits.
+type Limits struct {
+	Workers    int
+	QueueDepth int
+	MaxBatch   int
+}
+
+// Limits returns the named model's live limits as of now.
+func (s *Server) Limits(model string) (Limits, error) {
+	h, ok := s.hosts[model]
+	if !ok && model == "" && s.defaultHost != nil {
+		h, ok = s.defaultHost, true
+	}
+	if !ok {
+		return Limits{}, fmt.Errorf("serve: no hosted model %q", model)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Limits{Workers: h.workers, QueueDepth: h.queueDepth, MaxBatch: h.maxBatch}, nil
+}
+
+// resize applies one model's limit changes and records the events.
+func (h *engineHost) resize(req ResizeRequest) []ResizeEvent {
+	now := time.Now()
+	var events []ResizeEvent
+	h.mu.Lock()
+	if h.shutdown {
+		h.mu.Unlock()
+		return nil
+	}
+	apply := func(resource string, cur *int, to int) {
+		if to <= 0 || to == *cur {
+			return
+		}
+		events = append(events, ResizeEvent{
+			Time: now, Model: h.cfg.Name, Resource: resource,
+			From: *cur, To: to, Reason: req.Reason,
+		})
+		*cur = to
+	}
+	apply(ResourceWorkers, &h.workers, req.Workers)
+	apply(ResourceQueue, &h.queueDepth, req.QueueDepth)
+	apply(ResourceMaxBatch, &h.maxBatch, req.MaxBatch)
+	for h.liveWorkers < h.workers {
+		h.liveWorkers++
+		h.workWG.Add(1)
+		go h.worker()
+	}
+	h.mu.Unlock()
+	if len(events) > 0 {
+		h.metrics.addResizes(events)
+		// A larger queue or batch cap can change the dispatcher's pending
+		// decision; wake it so the new limits take effect immediately.
+		h.signal()
+	}
+	return events
 }
 
 // signal wakes the dispatcher without blocking.
@@ -690,7 +855,7 @@ func (h *engineHost) admit(r *request) {
 	switch {
 	case h.shutdown:
 		rejected = true
-	case len(h.queue) >= h.cfg.QueueDepth:
+	case len(h.queue) >= h.queueDepth:
 		if h.cfg.Policy == ShedOldest {
 			shed = h.queue[0]
 			h.queue = append(h.queue[1:], r)
@@ -750,7 +915,7 @@ func (h *engineHost) dispatch() {
 			<-h.notify
 			h.mu.Lock()
 		}
-		if !(h.passthrough || h.shutdown || len(h.queue) >= h.cfg.MaxBatch) {
+		if !(h.passthrough || h.shutdown || len(h.queue) >= h.maxBatch) {
 			deadline := h.queue[0].enqueued.Add(h.cfg.BatchWait)
 			h.mu.Unlock()
 			h.waitForBatch(deadline)
@@ -775,7 +940,7 @@ func (h *engineHost) waitForBatch(deadline time.Time) {
 			return
 		case <-h.notify:
 			h.mu.Lock()
-			done := h.passthrough || h.shutdown || len(h.queue) >= h.cfg.MaxBatch
+			done := h.passthrough || h.shutdown || len(h.queue) >= h.maxBatch
 			h.mu.Unlock()
 			if done {
 				return
@@ -784,12 +949,12 @@ func (h *engineHost) waitForBatch(deadline time.Time) {
 	}
 }
 
-// takeLocked pops up to MaxBatch requests from the queue head. Caller holds
+// takeLocked pops up to the live batch cap from the queue head. Caller holds
 // h.mu.
 func (h *engineHost) takeLocked() []*request {
 	n := len(h.queue)
-	if n > h.cfg.MaxBatch {
-		n = h.cfg.MaxBatch
+	if n > h.maxBatch {
+		n = h.maxBatch
 	}
 	batch := make([]*request, n)
 	copy(batch, h.queue[:n])
@@ -800,11 +965,24 @@ func (h *engineHost) takeLocked() []*request {
 	return batch
 }
 
-// worker drains batches until the dispatcher closes the channel.
+// worker drains batches until the dispatcher closes the channel or a shrink
+// retires it. The shrink check sits at the batch boundary: a worker never
+// abandons a batch mid-flight, it finishes the one it holds and then leaves
+// if the pool is over its desired size. During shutdown every worker stays to
+// help drain, whatever the desired size says.
 func (h *engineHost) worker() {
 	defer h.workWG.Done()
 	for batch := range h.batchCh {
 		h.runBatch(batch)
+		h.mu.Lock()
+		retire := h.liveWorkers > h.workers && !h.shutdown
+		if retire {
+			h.liveWorkers--
+		}
+		h.mu.Unlock()
+		if retire {
+			return
+		}
 	}
 }
 

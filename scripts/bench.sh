@@ -11,21 +11,24 @@
 # backend.Native vs over-the-wire through serve.Server + backend.Remote with
 # the queue/service latency breakdown, the sharded-serving comparison:
 # Server + Offline against 1 vs 2 loopback replicas with the per-replica
-# completion/latency breakdown, and the recovery benchmark: an Offline run
+# completion/latency breakdown, the recovery benchmark: an Offline run
 # through a 2-replica fleet with one replica killed and restarted mid-run,
-# reporting the faulted run's throughput and the down-to-rejoin latency) and
-# writes the aggregated numbers to a JSON file (default BENCH_PR6.json) so
+# reporting the faulted run's throughput and the down-to-rejoin latency, and
+# the autoscale benchmark: the same Offline stream against a 1-worker pool
+# with startup limits frozen vs under a live capacity manager, reporting both
+# throughputs plus the managed pool's final workers and resize decisions) and
+# writes the aggregated numbers to a JSON file (default BENCH_PR7.json) so
 # speedups and serving overheads are recorded in the repository alongside the
 # code they measure.
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR6.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR7.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR6.json}"
+OUT="${OUT:-BENCH_PR7.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
@@ -59,6 +62,8 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         if ($i == "replica0_service_p99_ns") r0p99[name]  += $(i-1)
         if ($i == "replica1_service_p99_ns") r1p99[name]  += $(i-1)
         if ($i == "rejoin_ms")               rejoin[name] += $(i-1)
+        if ($i == "workers_final")           wfinal[name] += $(i-1)
+        if ($i == "resize_decisions")        rdecide[name] += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
@@ -90,6 +95,8 @@ END {
         if (r0p99[name] > 0)    printf ", \"replica0_service_p99_ns\": %.0f", avg(r0p99, name)
         if (r1p99[name] > 0)    printf ", \"replica1_service_p99_ns\": %.0f", avg(r1p99, name)
         if (rejoin[name] > 0)   printf ", \"rejoin_ms\": %.2f", avg(rejoin, name)
+        if (wfinal[name] > 0)   printf ", \"workers_final\": %.1f", avg(wfinal, name)
+        if (rdecide[name] > 0)  printf ", \"resize_decisions\": %.1f", avg(rdecide, name)
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
@@ -135,8 +142,11 @@ END {
     printf "    \"serving_2replica_offline_per_replica\": {\"completed\": [%.0f, %.0f], \"service_p99_ns\": [%.0f, %.0f]},\n", \
         avg(r0done, "BenchmarkServingReplicas/offline/replicas2"), avg(r1done, "BenchmarkServingReplicas/offline/replicas2"), \
         avg(r0p99, "BenchmarkServingReplicas/offline/replicas2"), avg(r1p99, "BenchmarkServingReplicas/offline/replicas2")
-    printf "    \"serving_recovery\": {\"faulted_offline_samples_per_sec\": %.1f, \"rejoin_ms\": %.2f}\n", \
+    printf "    \"serving_recovery\": {\"faulted_offline_samples_per_sec\": %.1f, \"rejoin_ms\": %.2f},\n", \
         avg(sps, "BenchmarkServingRecovery"), avg(rejoin, "BenchmarkServingRecovery")
+    printf "    \"serving_autoscale\": {\"static_samples_per_sec\": %.1f, \"managed_samples_per_sec\": %.1f, \"workers_final\": %.1f, \"resize_decisions\": %.1f}\n", \
+        avg(sps, "BenchmarkServingAutoscale/static"), avg(sps, "BenchmarkServingAutoscale/managed"), \
+        avg(wfinal, "BenchmarkServingAutoscale/managed"), avg(rdecide, "BenchmarkServingAutoscale/managed")
     printf "  }\n"
     printf "}\n"
 }' "$raw" > "$OUT"
