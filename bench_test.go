@@ -226,6 +226,47 @@ func BenchmarkKernelMatMul(b *testing.B) {
 	})
 }
 
+// BenchmarkKernelGEMMSIMD measures the SIMD GEMM microkernels against the
+// forced-scalar path on the shapes that bracket the kernels' regimes: a
+// cache-resident square GEMM (every operand fits in L2, so the benchmark sees
+// pure ALU throughput) and a streaming GEMM whose B matrix exceeds L2 (the
+// panel loop's memory-bandwidth regime). One sub-benchmark per dispatch tier;
+// tiers the host cannot run are skipped, so the recorded JSON shows exactly
+// what this machine's silicon earned.
+func BenchmarkKernelGEMMSIMD(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"cache_64x64x64", 64, 64, 64},
+		{"stream_64x256x4096", 64, 256, 4096},
+	}
+	tiers := []tensor.SIMDTier{tensor.SIMDOff, tensor.SIMDAVX2, tensor.SIMDFMA}
+	prev := tensor.ActiveSIMD()
+	defer tensor.SetSIMD(prev)
+	for _, sh := range shapes {
+		a := randTensor(11, sh.m, sh.k)
+		bm := randTensor(12, sh.k, sh.n)
+		flops := 2 * float64(sh.m) * float64(sh.k) * float64(sh.n)
+		for _, tier := range tiers {
+			b.Run(fmt.Sprintf("%s/%s", sh.name, tier), func(b *testing.B) {
+				if !tensor.SIMDSupported(tier) {
+					b.Skipf("tier %s not supported on this CPU", tier)
+				}
+				tensor.SetSIMD(tier)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := tensor.MatMul(a, bm); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
+		}
+	}
+}
+
 func BenchmarkKernelConv2D(b *testing.B) {
 	input := randTensor(3, 32, 32, 32)
 	kernels := randTensor(4, 64, 32, 3, 3)

@@ -47,6 +47,7 @@ import (
 	"mlperf/internal/core"
 	"mlperf/internal/harness"
 	"mlperf/internal/serve"
+	"mlperf/internal/tensor"
 )
 
 func main() {
@@ -64,8 +65,24 @@ func main() {
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "how long to hold an under-full batch open")
 		metrics   = flag.String("metrics-addr", "", "Prometheus text endpoint address (replicas bind consecutive ports from it; empty = disabled)")
 		autosize  = flag.Bool("autosize", false, "attach a capacity manager per replica: probe cgroup limits, grow/shrink worker pools and queues against observed load")
+		calibrate = flag.Bool("calibrate", false, "measure this machine's GEMM throughput, fork overhead and L2 at startup and derive the kernel tuning knobs from the measurements")
 	)
 	flag.Parse()
+
+	// Kernel setup happens before any engine is built. Calibration only moves
+	// scheduling knobs — results stay bit-identical — and because micro-batches
+	// derive from the live knobs, it would also be safe later; doing it first
+	// simply keeps the startup log coherent. The active SIMD tier and knob
+	// values are logged and ride every metrics snapshot (Snapshot.Kernel).
+	if *calibrate {
+		c := tensor.Calibrate()
+		c.Apply()
+		fmt.Printf("calibrated: mac-rate=%.3g/s fork-overhead=%v l2=%d -> flop-threshold=%d panel-bytes=%d\n",
+			c.MACRate, c.ForkOverhead, c.L2Bytes, c.FlopThreshold, c.PanelBytes)
+	}
+	kc := tensor.CurrentKernelConfig()
+	fmt.Printf("kernel: simd=%s (supported %s) flop-threshold=%d panel-bytes=%d calibrated=%v\n",
+		kc.SIMD, tensor.SupportedSIMD(), kc.FlopThreshold, kc.PanelBytes, kc.Calibrated)
 
 	overload, err := serve.ParsePolicy(*policy)
 	if err != nil {

@@ -2,11 +2,11 @@ package model
 
 import (
 	"os"
-	"path/filepath"
-	"runtime"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
+
+	"mlperf/internal/tensor"
 )
 
 // Micro-batch cache budget detection. The budget is the cache share one
@@ -17,17 +17,21 @@ import (
 //  1. MLPERF_MICROBATCH_CACHE_BYTES, when set to a positive integer, wins
 //     outright (deployments and tests pin the budget with it).
 //  2. On Linux, the per-core L2 size is probed from
-//     /sys/devices/system/cpu/cpu0/cache and the budget is 3/4 of it — the
-//     same share 384 KiB is of a 512 KiB L2, leaving the rest of the cache
-//     for the weight panels streaming through the batched GEMMs. The result
-//     is clamped to [128 KiB, 4 MiB]: below the floor a derived micro-batch
-//     of 1 defeats batching, above the ceiling the micro-batch cap dominates
-//     anyway and a huge shared-L2 reading would not make residency real.
+//     /sys/devices/system/cpu/cpu0/cache (tensor.ProbeL2CacheBytes) and the
+//     budget is 3/4 of it — the same share 384 KiB is of a 512 KiB L2,
+//     leaving the rest of the cache for the weight panels streaming through
+//     the batched GEMMs. The result is clamped to [128 KiB, 4 MiB]: below the
+//     floor a derived micro-batch of 1 defeats batching, above the ceiling
+//     the micro-batch cap dominates anyway and a huge shared-L2 reading would
+//     not make residency real.
 //  3. Anywhere else the previous 384 KiB default applies.
 //
-// The budget only sizes micro-batches; results are bit-identical under any
-// grouping (see the Engine contract), so differing budgets across machines
-// never change outputs, only throughput.
+// The budget is re-readable at any time: engines no longer freeze their
+// micro-batch at construction (BatchSizer.PreferredBatch derives it from the
+// live budget per call), so SetMicroBatchCacheBudget takes effect on engines
+// that already exist. The budget only sizes micro-batches; results are
+// bit-identical under any grouping (see the Engine contract), so differing
+// budgets across machines never change outputs, only throughput.
 const (
 	microBatchCacheBudgetEnv     = "MLPERF_MICROBATCH_CACHE_BYTES"
 	defaultMicroBatchCacheBudget = 384 << 10
@@ -35,18 +39,35 @@ const (
 	maxMicroBatchCacheBudget     = 4 << 20
 )
 
-var (
-	cacheBudgetOnce  sync.Once
-	cacheBudgetBytes int
-)
+// cacheBudgetBytes is the resolved budget; 0 means "not resolved yet" and the
+// next read re-runs the detection chain.
+var cacheBudgetBytes atomic.Int64
 
 // microBatchCacheBudget returns the process-wide activation cache budget,
 // resolving it on first use (env override, then sysfs probe, then default).
 func microBatchCacheBudget() int {
-	cacheBudgetOnce.Do(func() {
-		cacheBudgetBytes = detectCacheBudget("/sys/devices/system/cpu/cpu0/cache")
-	})
-	return cacheBudgetBytes
+	if v := cacheBudgetBytes.Load(); v > 0 {
+		return int(v)
+	}
+	// CompareAndSwap so a concurrent SetMicroBatchCacheBudget wins over the
+	// detection result.
+	cacheBudgetBytes.CompareAndSwap(0, int64(detectCacheBudget("/sys/devices/system/cpu/cpu0/cache")))
+	return int(cacheBudgetBytes.Load())
+}
+
+// SetMicroBatchCacheBudget overrides the activation cache budget and returns
+// the previous value. A non-positive argument discards any override so the
+// next read re-runs detection. Because PreferredBatch derives micro-batches
+// from the live budget, the new value takes effect immediately, including on
+// engines built before the call.
+func SetMicroBatchCacheBudget(bytes int) int {
+	prev := microBatchCacheBudget()
+	if bytes <= 0 {
+		cacheBudgetBytes.Store(0)
+	} else {
+		cacheBudgetBytes.Store(int64(bytes))
+	}
+	return prev
 }
 
 // detectCacheBudget resolves the budget from the environment, the given sysfs
@@ -57,7 +78,7 @@ func detectCacheBudget(sysfsCacheDir string) int {
 			return n
 		}
 	}
-	if l2 := probeL2Bytes(sysfsCacheDir); l2 > 0 {
+	if l2 := tensor.ProbeL2CacheBytes(sysfsCacheDir); l2 > 0 {
 		budget := l2 * 3 / 4
 		if budget < minMicroBatchCacheBudget {
 			budget = minMicroBatchCacheBudget
@@ -70,70 +91,9 @@ func detectCacheBudget(sysfsCacheDir string) int {
 	return defaultMicroBatchCacheBudget
 }
 
-// probeL2Bytes reads the level-2 data/unified cache size of cpu0 from sysfs.
-// It returns 0 when the topology is unreadable (non-Linux, masked sysfs in a
-// container, unparsable size), which callers treat as "probe unavailable".
-func probeL2Bytes(cacheDir string) int {
-	if runtime.GOOS != "linux" {
-		return 0
-	}
-	indexes, err := filepath.Glob(filepath.Join(cacheDir, "index*"))
-	if err != nil {
-		return 0
-	}
-	for _, dir := range indexes {
-		if readSysfsString(filepath.Join(dir, "level")) != "2" {
-			continue
-		}
-		typ := readSysfsString(filepath.Join(dir, "type"))
-		if typ != "Unified" && typ != "Data" {
-			continue
-		}
-		if size := parseCacheSize(readSysfsString(filepath.Join(dir, "size"))); size > 0 {
-			return size
-		}
-	}
-	return 0
-}
-
-// readSysfsString returns the trimmed contents of a sysfs attribute, or ""
-// when unreadable.
-func readSysfsString(path string) string {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(data))
-}
-
-// parseCacheSize parses sysfs cache sizes like "48K", "2048K" or "1M" into
-// bytes, returning 0 on malformed input.
-func parseCacheSize(s string) int {
-	if s == "" {
-		return 0
-	}
-	mult := 1
-	switch s[len(s)-1] {
-	case 'K', 'k':
-		mult, s = 1<<10, s[:len(s)-1]
-	case 'M', 'm':
-		mult, s = 1<<20, s[:len(s)-1]
-	case 'G', 'g':
-		mult, s = 1<<30, s[:len(s)-1]
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n <= 0 {
-		return 0
-	}
-	return n * mult
-}
-
 // setMicroBatchCacheBudgetForTest pins the budget for tests that assert
 // machine-independent micro-batch derivations, returning a restore func.
-// Engines capture their micro-batch at construction, so models must be built
-// while the pin is in effect.
 func setMicroBatchCacheBudgetForTest(bytes int) (restore func()) {
-	prev := microBatchCacheBudget() // resolve first so restore is meaningful
-	cacheBudgetBytes = bytes
-	return func() { cacheBudgetBytes = prev }
+	prev := SetMicroBatchCacheBudget(bytes)
+	return func() { SetMicroBatchCacheBudget(prev) }
 }

@@ -24,27 +24,6 @@ func writeSysfsCache(t *testing.T, indexes []map[string]string) string {
 	return dir
 }
 
-func TestProbeL2Bytes(t *testing.T) {
-	dir := writeSysfsCache(t, []map[string]string{
-		{"level": "1", "type": "Data", "size": "48K"},
-		{"level": "1", "type": "Instruction", "size": "32K"},
-		{"level": "2", "type": "Unified", "size": "2048K"},
-		{"level": "3", "type": "Unified", "size": "32M"},
-	})
-	if got := probeL2Bytes(dir); got != 2048<<10 {
-		t.Errorf("probeL2Bytes = %d, want %d", got, 2048<<10)
-	}
-	if got := probeL2Bytes(filepath.Join(dir, "missing")); got != 0 {
-		t.Errorf("missing topology: probeL2Bytes = %d, want 0", got)
-	}
-	malformed := writeSysfsCache(t, []map[string]string{
-		{"level": "2", "type": "Unified", "size": "lots"},
-	})
-	if got := probeL2Bytes(malformed); got != 0 {
-		t.Errorf("malformed size: probeL2Bytes = %d, want 0", got)
-	}
-}
-
 func TestDetectCacheBudget(t *testing.T) {
 	// Env override beats the probe.
 	t.Setenv(microBatchCacheBudgetEnv, "262144")
@@ -94,35 +73,20 @@ func TestDetectCacheBudget(t *testing.T) {
 	}
 }
 
-func TestParseCacheSize(t *testing.T) {
-	cases := map[string]int{
-		"48K": 48 << 10, "2048K": 2048 << 10, "1M": 1 << 20, "1G": 1 << 30,
-		"123": 123, "": 0, "K": 0, "-4K": 0, "4.5M": 0,
-	}
-	for in, want := range cases {
-		if got := parseCacheSize(in); got != want {
-			t.Errorf("parseCacheSize(%q) = %d, want %d", in, got, want)
-		}
-	}
-}
-
-// TestMicroBatchBudgetAffectsDerivation closes the loop: a larger pinned
-// budget must deepen a derived micro-batch.
+// TestMicroBatchBudgetAffectsDerivation closes the loop: a larger budget must
+// deepen a derived micro-batch — on an ALREADY-BUILT engine, because
+// PreferredBatch derives from the live budget rather than freezing it at
+// construction (so calibration reaches running replicas).
 func TestMicroBatchBudgetAffectsDerivation(t *testing.T) {
-	restore := setMicroBatchCacheBudgetForTest(defaultMicroBatchCacheBudget)
-	narrow, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
+	defer setMicroBatchCacheBudgetForTest(defaultMicroBatchCacheBudget)()
+	m, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	restore()
+	narrow := m.PreferredBatch()
 
-	defer setMicroBatchCacheBudgetForTest(4 * defaultMicroBatchCacheBudget)()
-	deep, err := NewResNet50Mini(ClassifierConfig{Classes: 10, ImageSize: 16, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if deep.PreferredBatch() <= narrow.PreferredBatch() {
-		t.Errorf("4x budget micro-batch = %d, want deeper than %d",
-			deep.PreferredBatch(), narrow.PreferredBatch())
+	SetMicroBatchCacheBudget(4 * defaultMicroBatchCacheBudget)
+	if deep := m.PreferredBatch(); deep <= narrow {
+		t.Errorf("4x budget micro-batch = %d, want deeper than %d", deep, narrow)
 	}
 }

@@ -37,7 +37,7 @@ type ImageClassifier struct {
 	info       Info
 	net        *nn.Sequential
 	inShape    []int
-	microBatch int
+	footprint  int // per-sample activation bytes; micro-batch derives live
 }
 
 // Info returns the model's metadata with Params and OpsPerInput filled in.
@@ -272,5 +272,5 @@ func finishClassifier(name Name, seq *nn.Sequential, cfg ClassifierConfig) (*Ima
 	}
 	info.Params = seq.ParamCount()
 	info.OpsPerInput = ops
-	return &ImageClassifier{info: info, net: seq, inShape: inShape, microBatch: microBatchFor(footprint)}, nil
+	return &ImageClassifier{info: info, net: seq, inShape: inShape, footprint: footprint}, nil
 }

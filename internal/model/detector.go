@@ -59,7 +59,7 @@ type SSDDetector struct {
 	cfg        DetectorConfig
 	featH      int
 	featW      int
-	microBatch int
+	footprint  int // per-sample activation bytes; micro-batch derives live
 }
 
 // Info returns the model's metadata with Params and OpsPerInput filled in.
@@ -263,6 +263,6 @@ func finishDetector(name Name, backbone *nn.Sequential, featC int, cfg DetectorC
 	return &SSDDetector{
 		info: info, backbone: backbone, head: head, inShape: inShape,
 		classes: cfg.Classes, cfg: cfg, featH: featShape[1], featW: featShape[2],
-		microBatch: microBatchFor(footprint),
+		footprint: footprint,
 	}, nil
 }

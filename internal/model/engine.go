@@ -213,8 +213,10 @@ func (m *ImageClassifier) Name() string { return string(m.info.Name) }
 func (m *ImageClassifier) Kind() dataset.Kind { return dataset.KindImageClassification }
 
 // PreferredBatch implements BatchSizer: the micro-batch derived from the
-// backbone's per-sample activation footprint.
-func (m *ImageClassifier) PreferredBatch() int { return m.microBatch }
+// backbone's per-sample activation footprint and the LIVE cache budget —
+// derived per call, not frozen at construction, so calibration or a
+// SetMicroBatchCacheBudget override reaches engines that already exist.
+func (m *ImageClassifier) PreferredBatch() int { return microBatchFor(m.footprint) }
 
 // Predict implements Engine: each micro-batch runs as one im2col+GEMM per
 // convolution layer and one GEMM through the classifier head.
@@ -223,7 +225,7 @@ func (m *ImageClassifier) Predict(samples []*dataset.Sample, s *tensor.Scratch) 
 		return nil, nil
 	}
 	outputs := make([]Output, len(samples))
-	err := inMicroBatches(len(samples), m.microBatch, func(start, end int) error {
+	err := inMicroBatches(len(samples), m.PreferredBatch(), func(start, end int) error {
 		group := samples[start:end]
 		return withScratch(s, func(s *tensor.Scratch) error {
 			batch, err := stackImages(m.info.Name, m.inShape, group, s)
@@ -259,8 +261,8 @@ func (d *SSDDetector) Name() string { return string(d.info.Name) }
 // Kind implements Engine.
 func (d *SSDDetector) Kind() dataset.Kind { return dataset.KindObjectDetection }
 
-// PreferredBatch implements BatchSizer.
-func (d *SSDDetector) PreferredBatch() int { return d.microBatch }
+// PreferredBatch implements BatchSizer (live-derived; see ImageClassifier).
+func (d *SSDDetector) PreferredBatch() int { return microBatchFor(d.footprint) }
 
 // Predict implements Engine: backbone and head each run once over every
 // micro-batch; only the box decode (threshold + NMS) runs per sample.
@@ -269,7 +271,7 @@ func (d *SSDDetector) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]O
 		return nil, nil
 	}
 	outputs := make([]Output, len(samples))
-	err := inMicroBatches(len(samples), d.microBatch, func(start, end int) error {
+	err := inMicroBatches(len(samples), d.PreferredBatch(), func(start, end int) error {
 		group := samples[start:end]
 		return withScratch(s, func(s *tensor.Scratch) error {
 			batch, err := stackImages(d.info.Name, d.inShape, group, s)
@@ -316,8 +318,9 @@ func (g *GNMTMini) Name() string { return string(g.info.Name) }
 func (g *GNMTMini) Kind() dataset.Kind { return dataset.KindTranslation }
 
 // PreferredBatch implements BatchSizer: the recurrent step state per sentence
-// is tiny, so the translator batches up to the cap.
-func (g *GNMTMini) PreferredBatch() int { return g.microBatch }
+// is tiny, so the translator batches up to the cap (live-derived; see
+// ImageClassifier).
+func (g *GNMTMini) PreferredBatch() int { return microBatchFor(g.footprint) }
 
 // Predict implements Engine. Each micro-batch decodes as one batched greedy
 // pass: every recurrent step runs the active sentences through one GEMM per
@@ -330,7 +333,7 @@ func (g *GNMTMini) Predict(samples []*dataset.Sample, s *tensor.Scratch) ([]Outp
 		return nil, nil
 	}
 	outputs := make([]Output, len(samples))
-	err := inMicroBatches(len(samples), g.microBatch, func(start, end int) error {
+	err := inMicroBatches(len(samples), g.PreferredBatch(), func(start, end int) error {
 		group := samples[start:end]
 		srcs := make([][]int, len(group))
 		for i, sample := range group {

@@ -292,7 +292,7 @@ func TestGNMTBatchMatchesSerialTranslate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batches := []int{1, 2, 5, 9, g.microBatch + 3}
+	batches := []int{1, 2, 5, 9, g.PreferredBatch() + 3}
 	for _, batch := range batches {
 		samples := randTextSamples(r, batch, 64, 12)
 		got, err := g.Predict(samples, nil)

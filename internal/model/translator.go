@@ -44,7 +44,7 @@ func (c *TranslatorConfig) normalize() error {
 type GNMTMini struct {
 	info       Info
 	net        *nn.Seq2Seq
-	microBatch int
+	footprint  int // per-sentence step-state bytes; micro-batch derives live
 }
 
 // NewGNMTMini builds the translator.
@@ -68,7 +68,7 @@ func NewGNMTMini(cfg TranslatorConfig) (*GNMTMini, error) {
 	info.Params = net.ParamCount()
 	info.OpsPerInput = net.OpsPerToken() * int64(cfg.MaxLen)
 	g := &GNMTMini{info: info, net: net}
-	g.microBatch = microBatchFor(g.stepFootprintBytes())
+	g.footprint = g.stepFootprintBytes()
 	return g, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mlperf/internal/tensor"
 )
 
 // latencyWindowSize is how many recent latency observations each percentile
@@ -298,6 +300,14 @@ type Snapshot struct {
 	// populates it on the snapshots it returns; snapshots taken server-side
 	// leave it nil — a server cannot see its own outages.
 	Recovery *RecoveryStats `json:"recovery,omitempty"`
+	// Kernel is the replica's compute-kernel configuration at snapshot time:
+	// the SIMD dispatch tier (off/avx2/fma) and the live tuning-knob values,
+	// plus whether a calibration pass produced them. It makes a fleet's
+	// kernel setup auditable — a replica silently running the scalar fallback
+	// (wrong env, exotic CPU) shows up right in the metrics scrape. Merged
+	// snapshots keep the first non-nil value (replicas of one deployment run
+	// the same binary and environment).
+	Kernel *tensor.KernelConfig `json:"kernel,omitempty"`
 }
 
 // snapshot assembles a Snapshot; queueDepth is sampled by the caller, which
@@ -395,6 +405,10 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 				out.Recovery = &RecoveryStats{}
 			}
 			out.Recovery.merge(s.Recovery)
+		}
+		if out.Kernel == nil && s.Kernel != nil {
+			kc := *s.Kernel
+			out.Kernel = &kc
 		}
 	}
 	return out

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mlperf/internal/tensor"
 )
 
 // Prometheus text-format exposition (version 0.0.4) of the serving metrics.
@@ -83,6 +85,31 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	WriteSnapshotsPrometheus(w, labels, snaps)
 	promFamily(w, "mlperf_serve_draining", "gauge", "1 while the server is draining or shut down.")
 	fmt.Fprintf(w, "mlperf_serve_draining %g\n", draining)
+	WriteKernelPrometheus(w, tensor.CurrentKernelConfig())
+}
+
+// WriteKernelPrometheus renders the process's compute-kernel configuration:
+// the active SIMD dispatch tier as an info-style gauge (the tier rides in the
+// simd label; the value is always 1) and the live tuning-knob values. The
+// families are process-level, not per-model — every hosted model runs the
+// same kernels.
+func WriteKernelPrometheus(w io.Writer, kc tensor.KernelConfig) {
+	promFamily(w, "mlperf_kernel_info", "gauge",
+		"Active SIMD kernel dispatch tier (in the simd label; value is always 1).")
+	fmt.Fprintf(w, "mlperf_kernel_info{simd=%s} 1\n", promQuote(kc.SIMD))
+	promFamily(w, "mlperf_kernel_flop_threshold", "gauge",
+		"Live parallel-dispatch GEMM threshold in multiply-accumulates.")
+	fmt.Fprintf(w, "mlperf_kernel_flop_threshold %d\n", kc.FlopThreshold)
+	promFamily(w, "mlperf_kernel_panel_bytes", "gauge",
+		"Live GEMM column-panel cache budget in bytes.")
+	fmt.Fprintf(w, "mlperf_kernel_panel_bytes %d\n", kc.PanelBytes)
+	calibrated := 0
+	if kc.Calibrated {
+		calibrated = 1
+	}
+	promFamily(w, "mlperf_kernel_calibrated", "gauge",
+		"1 when a measurement-driven calibration set the kernel knobs.")
+	fmt.Fprintf(w, "mlperf_kernel_calibrated %d\n", calibrated)
 }
 
 // promModelLabel maps a hosted model id to its scrape label value.

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mlperf/internal/tensor"
 )
 
 // TestResizeGrowsWorkersLive proves worker growth takes effect while the
@@ -223,6 +225,22 @@ func TestMergeSnapshotsFleetSizeChange(t *testing.T) {
 	}
 }
 
+// TestMergeSnapshotsKeepsKernelConfig: merged snapshots keep the first
+// non-nil kernel config (one deployment, one binary) and copy it rather than
+// aliasing the input.
+func TestMergeSnapshotsKeepsKernelConfig(t *testing.T) {
+	a := Snapshot{Kernel: &tensor.KernelConfig{SIMD: "avx2", FlopThreshold: 1 << 20, PanelBytes: 192 << 10}}
+	b := Snapshot{Kernel: &tensor.KernelConfig{SIMD: "off"}}
+	m := MergeSnapshots(Snapshot{}, a, b)
+	if m.Kernel == nil || m.Kernel.SIMD != "avx2" {
+		t.Fatalf("merged kernel = %+v, want first non-nil (avx2)", m.Kernel)
+	}
+	a.Kernel.SIMD = "mutated"
+	if m.Kernel.SIMD != "avx2" {
+		t.Error("merged kernel aliases its input")
+	}
+}
+
 // promValues parses a Prometheus text page into metric{labels} -> value.
 func promValues(t *testing.T, body string) map[string]float64 {
 	t.Helper()
@@ -333,6 +351,29 @@ func TestPrometheusEndpointMatchesWireMetrics(t *testing.T) {
 	}
 	if got := vals[`mlperf_serve_batch_size_bucket{model="default",le="+Inf"}`]; uint64(got) != batches {
 		t.Errorf("+Inf bucket %v, want cumulative total %d", got, batches)
+	}
+
+	// The kernel configuration rides both channels: the wire snapshot carries
+	// it as a struct, the scrape as mlperf_kernel_* families, and they must
+	// agree with the live tensor dispatch state.
+	kc := tensor.CurrentKernelConfig()
+	if wire.Kernel == nil {
+		t.Fatal("wire snapshot lacks kernel config")
+	}
+	if *wire.Kernel != kc {
+		t.Errorf("wire kernel config %+v, want %+v", *wire.Kernel, kc)
+	}
+	if got, ok := vals[`mlperf_kernel_info{simd="`+kc.SIMD+`"}`]; !ok || got != 1 {
+		t.Errorf("scrape lacks mlperf_kernel_info{simd=%q}\n%s", kc.SIMD, body)
+	}
+	if got := vals["mlperf_kernel_flop_threshold"]; int(got) != kc.FlopThreshold {
+		t.Errorf("mlperf_kernel_flop_threshold = %v, want %d", got, kc.FlopThreshold)
+	}
+	if got := vals["mlperf_kernel_panel_bytes"]; int(got) != kc.PanelBytes {
+		t.Errorf("mlperf_kernel_panel_bytes = %v, want %d", got, kc.PanelBytes)
+	}
+	if _, ok := vals["mlperf_kernel_calibrated"]; !ok {
+		t.Errorf("scrape lacks mlperf_kernel_calibrated")
 	}
 
 	// Registered extra sources ride the same endpoint.

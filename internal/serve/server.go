@@ -60,6 +60,7 @@ import (
 
 	"mlperf/internal/dataset"
 	"mlperf/internal/model"
+	"mlperf/internal/tensor"
 )
 
 // SampleStore provides samples by index. dataset.QSL satisfies it; it is
@@ -733,6 +734,8 @@ func (h *engineHost) snapshot() Snapshot {
 	h.mu.Unlock()
 	snap := h.metrics.snapshot(depth, workers, maxBatch, queueLimit)
 	snap.Model = h.cfg.Name
+	kc := tensor.CurrentKernelConfig()
+	snap.Kernel = &kc
 	return snap
 }
 

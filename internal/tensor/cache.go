@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Cache-topology probing. The GEMM panel budget (tuning.go) and the model
+// package's micro-batch cache budget both want the per-core L2 size; the
+// probe lives here, next to the knobs it calibrates, and model re-exports its
+// budget math on top of it.
+
+// ProbeL2CacheBytes reads the level-2 data/unified cache size of one core
+// from a sysfs cache directory (normally
+// /sys/devices/system/cpu/cpu0/cache). It returns 0 when the topology is
+// unreadable — non-Linux, masked sysfs in a container, unparsable size —
+// which callers treat as "probe unavailable".
+func ProbeL2CacheBytes(cacheDir string) int {
+	if runtime.GOOS != "linux" {
+		return 0
+	}
+	indexes, err := filepath.Glob(filepath.Join(cacheDir, "index*"))
+	if err != nil {
+		return 0
+	}
+	for _, dir := range indexes {
+		if readSysfsString(filepath.Join(dir, "level")) != "2" {
+			continue
+		}
+		typ := readSysfsString(filepath.Join(dir, "type"))
+		if typ != "Unified" && typ != "Data" {
+			continue
+		}
+		if size := parseCacheSize(readSysfsString(filepath.Join(dir, "size"))); size > 0 {
+			return size
+		}
+	}
+	return 0
+}
+
+// readSysfsString returns the trimmed contents of a sysfs attribute, or ""
+// when unreadable.
+func readSysfsString(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// parseCacheSize parses sysfs cache sizes like "48K", "2048K" or "1M" into
+// bytes, returning 0 on malformed input.
+func parseCacheSize(s string) int {
+	if s == "" {
+		return 0
+	}
+	mult := 1
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M', 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G', 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n * mult
+}

@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSysfsCache fabricates a /sys/devices/system/cpu/cpu0/cache layout.
+func writeSysfsCache(t *testing.T, indexes []map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, attrs := range indexes {
+		idx := filepath.Join(dir, "index"+string(rune('0'+i)))
+		if err := os.Mkdir(idx, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, value := range attrs {
+			if err := os.WriteFile(filepath.Join(idx, name), []byte(value+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return dir
+}
+
+func TestProbeL2CacheBytes(t *testing.T) {
+	dir := writeSysfsCache(t, []map[string]string{
+		{"level": "1", "type": "Data", "size": "48K"},
+		{"level": "1", "type": "Instruction", "size": "32K"},
+		{"level": "2", "type": "Unified", "size": "2048K"},
+		{"level": "3", "type": "Unified", "size": "32M"},
+	})
+	if got := ProbeL2CacheBytes(dir); got != 2048<<10 {
+		t.Errorf("ProbeL2CacheBytes = %d, want %d", got, 2048<<10)
+	}
+	if got := ProbeL2CacheBytes(filepath.Join(dir, "missing")); got != 0 {
+		t.Errorf("missing topology: ProbeL2CacheBytes = %d, want 0", got)
+	}
+	malformed := writeSysfsCache(t, []map[string]string{
+		{"level": "2", "type": "Unified", "size": "lots"},
+	})
+	if got := ProbeL2CacheBytes(malformed); got != 0 {
+		t.Errorf("malformed size: ProbeL2CacheBytes = %d, want 0", got)
+	}
+}
+
+func TestParseCacheSize(t *testing.T) {
+	cases := map[string]int{
+		"48K": 48 << 10, "2048K": 2048 << 10, "1M": 1 << 20, "1G": 1 << 30,
+		"123": 123, "": 0, "K": 0, "-4K": 0, "4.5M": 0,
+	}
+	for in, want := range cases {
+		if got := parseCacheSize(in); got != want {
+			t.Errorf("parseCacheSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+}

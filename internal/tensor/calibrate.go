@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"time"
+
+	"mlperf/internal/parallel"
+)
+
+// Knob auto-calibration. The two scheduling knobs — ParallelFlopThreshold and
+// GEMMPanelBytes — ship with defaults tuned on one reference core. Calibrate
+// measures this machine instead: single-core GEMM throughput through the
+// active kernel tier, the worker pool's fork/join overhead, and the L2 size,
+// then derives knob values from the measurements. The derivation is pure
+// scheduling — neither knob changes results — so applying a calibration is
+// always numerically safe, and the whole pass costs a few tens of
+// milliseconds at startup.
+
+// Calibration holds the measured machine characteristics and the knob values
+// derived from them. Zero-valued measurement fields mean "measurement
+// unavailable" (e.g. L2Bytes outside Linux); the derived knobs then fall back
+// to the shipped defaults.
+type Calibration struct {
+	// SIMD is the dispatch tier the throughput was measured under.
+	SIMD string `json:"simd"`
+	// Workers is the shared pool's worker count.
+	Workers int `json:"workers"`
+	// MACRate is the measured single-core GEMM rate in multiply-accumulates
+	// per second on a cache-resident shape.
+	MACRate float64 `json:"mac_rate"`
+	// ForkOverhead is the measured cost of one parallel.For dispatch across
+	// the pool (zero on single-worker hosts, where For runs inline).
+	ForkOverhead time.Duration `json:"fork_overhead_ns"`
+	// L2Bytes is the probed per-core L2 size (0 if unavailable).
+	L2Bytes int `json:"l2_bytes"`
+	// FlopThreshold is the derived ParallelFlopThreshold value.
+	FlopThreshold int `json:"flop_threshold"`
+	// PanelBytes is the derived GEMMPanelBytes value.
+	PanelBytes int `json:"panel_bytes"`
+}
+
+// Derived-knob clamps. The threshold floor keeps trivially small GEMMs
+// inline even on machines measuring implausibly cheap forks; the ceiling
+// keeps genuinely large GEMMs parallel even when a noisy measurement inflates
+// the fork cost. The panel clamps mirror the budget's job: a panel below the
+// floor thrashes the 4-row kernel's B reuse, one above the ceiling stops
+// being cache-resident on any realistic L2.
+const (
+	calMinFlopThreshold = 1 << 16
+	calMaxFlopThreshold = 1 << 26
+	calMinPanelBytes    = 64 << 10
+	calMaxPanelBytes    = 2 << 20
+)
+
+// calibrationL2Dir is the sysfs directory Calibrate probes (a var so tests
+// can point it at a fixture).
+var calibrationL2Dir = "/sys/devices/system/cpu/cpu0/cache"
+
+// Calibrate measures this machine and derives tuning-knob values. It does not
+// change any knob; call Apply on the result to install the derived values.
+func Calibrate() Calibration {
+	c := Calibration{
+		SIMD:    ActiveSIMD().String(),
+		Workers: parallel.Default().Workers(),
+		L2Bytes: ProbeL2CacheBytes(calibrationL2Dir),
+	}
+	c.MACRate = measureMACRate()
+	c.ForkOverhead = measureForkOverhead(c.Workers)
+
+	// The parallel threshold is the workload size where splitting starts to
+	// win: parallel.For costs one fork, and with W workers a workload of T
+	// MACs saves T·(1−1/W)/rate seconds of wall clock. Requiring the saving
+	// to be ~4× the fork cost (not merely equal) keeps borderline GEMMs
+	// inline, where they also avoid polluting sibling workers' caches.
+	c.FlopThreshold = defaultParallelFlopThreshold
+	if c.MACRate > 0 && c.Workers > 1 && c.ForkOverhead > 0 {
+		saveFrac := 1 - 1/float64(c.Workers)
+		t := c.MACRate * c.ForkOverhead.Seconds() * 4 / saveFrac
+		c.FlopThreshold = clampInt(int(t), calMinFlopThreshold, calMaxFlopThreshold)
+	} else if c.Workers <= 1 {
+		// A single worker never forks; park the threshold at the ceiling so
+		// the inline path is taken without consulting the pool.
+		c.FlopThreshold = calMaxFlopThreshold
+	}
+
+	// The panel budget is the L2 share one streamed B panel may occupy: 3/4
+	// of the measured L2, leaving headroom for the four accumulator rows and
+	// the A strips walking through alongside it.
+	c.PanelBytes = defaultGEMMPanelBytes
+	if c.L2Bytes > 0 {
+		c.PanelBytes = clampInt(c.L2Bytes*3/4, calMinPanelBytes, calMaxPanelBytes)
+	}
+	return c
+}
+
+// Apply installs the calibration's derived knob values and marks the process
+// configuration as calibrated (reported via CurrentKernelConfig and the serve
+// snapshots).
+func (c Calibration) Apply() {
+	SetParallelFlopThreshold(c.FlopThreshold)
+	SetGEMMPanelBytes(c.PanelBytes)
+	calibratedV.Store(true)
+}
+
+// measureMACRate times the blocked GEMM kernel single-threaded on a
+// cache-resident 64×64×64 shape until ~5ms have elapsed, returning
+// multiply-accumulates per second under the active SIMD tier.
+func measureMACRate() float64 {
+	const dim = 64
+	const macsPerRun = dim * dim * dim
+	a := make([]float32, dim*dim)
+	b := make([]float32, dim*dim)
+	c := make([]float32, dim*dim)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range a {
+		x = x*2862933555777941757 + 3037000493
+		a[i] = float32(int32(x>>33)) / (1 << 30)
+		b[i] = float32(int32(x>>13)) / (1 << 30)
+	}
+	// Warm the caches and the dispatch path once before timing.
+	gemmRows(c, a, b, nil, dim, dim, 0, dim)
+	runs := 0
+	start := time.Now()
+	for time.Since(start) < 5*time.Millisecond {
+		gemmRows(c, a, b, nil, dim, dim, 0, dim)
+		runs++
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 || runs == 0 {
+		return 0
+	}
+	return float64(runs) * macsPerRun / elapsed
+}
+
+// measureForkOverhead times empty parallel.For dispatches across the pool.
+// With one worker For runs inline and the overhead is, by construction, zero.
+func measureForkOverhead(workers int) time.Duration {
+	if workers <= 1 {
+		return 0
+	}
+	// Warm up the pool's goroutines so the measurement sees steady-state
+	// handoff, not first-wake costs.
+	for i := 0; i < 8; i++ {
+		parallel.For(workers, 1, func(lo, hi int) {})
+	}
+	const rounds = 64
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		parallel.For(workers, 1, func(lo, hi int) {})
+	}
+	return time.Since(start) / rounds
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -29,6 +29,19 @@ func requireEqualish(t *testing.T, got, want *Tensor, label string) {
 	}
 }
 
+// requireKernelMatch compares two GEMM-derived results that may have taken
+// different panel/column splits. Off and avx2 guarantee bit-identity across
+// any split; the FMA tier only guarantees it within the vectorized region, so
+// there the comparison relaxes to the kernel tolerance (see simd.go).
+func requireKernelMatch(t *testing.T, got, want *Tensor, label string) {
+	t.Helper()
+	if ActiveSIMD() == SIMDFMA {
+		requireEqualish(t, got, want, label)
+		return
+	}
+	requireBitIdentical(t, got, want, label)
+}
+
 func requireBitIdentical(t *testing.T, a, b *Tensor, label string) {
 	t.Helper()
 	if !SameShape(a, b) {

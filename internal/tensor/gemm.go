@@ -83,7 +83,10 @@ const gemmDotBytes = 16 << 10
 // ascending-p order regardless of kernel choice, panel width or row
 // grouping, matching the serial reference bit for bit.
 func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
-	if 4*k*n <= gemmDotBytes {
+	// The dot kernel's column packing is a scalar cache optimization; once a
+	// SIMD tier is active and there are at least 8 columns, the vector block
+	// kernel reads B directly and wins, so the packed path is bypassed.
+	if 4*k*n <= gemmDotBytes && (ActiveSIMD() == SIMDOff || n < 8) {
 		gemmDotRows(c, a, b, bias, k, n, i0, i1)
 		return
 	}
@@ -106,8 +109,21 @@ func gemmRows(c, a, b, bias []float32, k, n, i0, i1 int) {
 // a[i,p]*b[p,j] in ascending p.
 func gemmDotRows(c, a, b, bias []float32, k, n, i0, i1 int) {
 	if n == 1 {
-		// Column vector: the matVec inner loop, seeded with the bias.
+		// Column vector: the matVec inner loop, seeded with the bias. Only the
+		// FMA tier vectorizes this — a bit-exact k-vectorization is impossible
+		// (the horizontal reduction re-associates the sum), so off and avx2
+		// stay scalar.
 		x := b[:k]
+		if ActiveSIMD() == SIMDFMA && k >= 32 {
+			for i := i0; i < i1; i++ {
+				s := simdDot(&a[i*k], &x[0], k)
+				if bias != nil {
+					s += bias[i]
+				}
+				c[i] = s
+			}
+			return
+		}
 		for i := i0; i < i1; i++ {
 			row := a[i*k : i*k+k]
 			var s float32
@@ -215,6 +231,15 @@ func gemmPanelInto(c, a, bp, bias []float32, m, k, n, j0, jn int, post PostOp) {
 // window of the full matrix or a packed panel — and applies post to each
 // finished group of output rows.
 func gemmRowsPanel(c, a, b, bias []float32, k, n, i0, i1, bOff, bStride, j0, jn int, post PostOp) {
+	// Columns [0, jv) go to the SIMD microkernel (8-wide blocks); the ragged
+	// tail [jv, jn) — and, with SIMD off, the whole panel — runs the scalar
+	// loop. The AVX2 kernel performs the identical per-element arithmetic, so
+	// the split is numerically invisible.
+	tier := ActiveSIMD()
+	jv := 0
+	if tier != SIMDOff && k > 0 {
+		jv = jn &^ 7
+	}
 	i := i0
 	for ; i+4 <= i1; i += 4 {
 		a0 := a[(i+0)*k : (i+0)*k+k]
@@ -235,17 +260,24 @@ func gemmRowsPanel(c, a, b, bias []float32, k, n, i0, i1, bOff, bStride, j0, jn 
 			c2[j] = b2
 			c3[j] = b3
 		}
-		for p := 0; p < k; p++ {
-			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
-			brow := b[p*bStride+bOff : p*bStride+bOff+jn]
-			// Reslicing the accumulator rows to brow's length drops the
-			// per-store bounds checks in the hot loop.
-			d0, d1, d2, d3 := c0[:len(brow)], c1[:len(brow)], c2[:len(brow)], c3[:len(brow)]
-			for j, bv := range brow {
-				d0[j] += av0 * bv
-				d1[j] += av1 * bv
-				d2[j] += av2 * bv
-				d3[j] += av3 * bv
+		if jv > 0 {
+			simdGEMM4(tier, &c0[0], &c1[0], &c2[0], &c3[0],
+				&a0[0], &a1[0], &a2[0], &a3[0], &b[bOff], k, bStride, jv)
+		}
+		if jv < jn {
+			t0, t1, t2, t3 := c0[jv:], c1[jv:], c2[jv:], c3[jv:]
+			for p := 0; p < k; p++ {
+				av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+				brow := b[p*bStride+bOff+jv : p*bStride+bOff+jn]
+				// Reslicing the accumulator rows to brow's length drops the
+				// per-store bounds checks in the hot loop.
+				d0, d1, d2, d3 := t0[:len(brow)], t1[:len(brow)], t2[:len(brow)], t3[:len(brow)]
+				for j, bv := range brow {
+					d0[j] += av0 * bv
+					d1[j] += av1 * bv
+					d2[j] += av2 * bv
+					d3[j] += av3 * bv
+				}
 			}
 		}
 		if post != PostNone {
@@ -269,12 +301,18 @@ func gemmRowsPanel(c, a, b, bias []float32, k, n, i0, i1, bOff, bStride, j0, jn 
 		// arithmetic as the 4-row kernel, otherwise which arithmetic a row
 		// gets would depend on chunk boundaries (and thus the worker count)
 		// for non-finite inputs.
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			brow := b[p*bStride+bOff : p*bStride+bOff+jn]
-			d := crow[:len(brow)]
-			for j, bv := range brow {
-				d[j] += av * bv
+		if jv > 0 {
+			simdGEMM1(tier, &crow[0], &arow[0], &b[bOff], k, bStride, jv)
+		}
+		if jv < jn {
+			tail := crow[jv:]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				brow := b[p*bStride+bOff+jv : p*bStride+bOff+jn]
+				d := tail[:len(brow)]
+				for j, bv := range brow {
+					d[j] += av * bv
+				}
 			}
 		}
 		applyPost(crow, post)
@@ -293,9 +331,17 @@ func matVecInto(y, a, x []float32, m, k int) {
 }
 
 // matVecRows computes output elements [i0, i1) of y = A×x in the serial
-// reference's accumulation order.
+// reference's accumulation order. The FMA tier (opt-in, tolerance-validated)
+// routes through the re-associated dot kernel; off and avx2 stay scalar
+// because a bit-exact vectorization of a single dot product does not exist.
 func matVecRows(y, a, x []float32, k, i0, i1 int) {
 	x = x[:k]
+	if ActiveSIMD() == SIMDFMA && k >= 32 {
+		for i := i0; i < i1; i++ {
+			y[i] = simdDot(&a[i*k], &x[0], k)
+		}
+		return
+	}
 	for i := i0; i < i1; i++ {
 		row := a[i*k : i*k+k]
 		var sum float32

@@ -1,0 +1,521 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2/FMA GEMM microkernels. Every kernel vectorizes ACROSS OUTPUT COLUMNS
+// with a broadcast A element: lane j of an accumulator register holds output
+// element c[r][j], and the p loop walks k in ascending order, so each output
+// element accumulates its own dot product in exactly the scalar kernels'
+// order. The AVX2 kernels use separate VMULPS/VADDPS (one rounding each,
+// matching Go's scalar mul-then-add on amd64, which never fuses) and are
+// bit-identical to the scalar path; the FMA kernels use VFMADD231PS (one
+// rounding per pair) and are validated by a tolerance oracle instead.
+//
+// Register conventions (all kernels):
+//   SI  b-row cursor          R13 bStride in bytes
+//   DI  output byte offset j  R12 p loop counter
+//   R8-R11 c-row base pointers
+//   AX-DX  a-row cursors (reloaded from the frame per column block)
+// Y0-Y7 accumulate, Y8/Y9 hold the streamed B row, Y10 the broadcast A
+// element, Y11 the product. R14 (goroutine) and X15 (ABI zero register) are
+// never touched; every kernel runs NOSPLIT with no calls.
+
+// func gemmBlock4AVX2(c0, c1, c2, c3, a0, a1, a2, a3, b *float32, k, bStride, jn int)
+//
+// For r in 0..3: c_r[j] += sum_{p<k} a_r[p]*b[p*bStride+j], j in [0, jn).
+// jn must be a positive multiple of 8; c rows arrive seeded (bias).
+// Columns advance 16 at a time (two YMM per row), with one 8-wide pass for
+// a trailing half block.
+TEXT ·gemmBlock4AVX2(SB), NOSPLIT, $0-96
+	MOVQ bStride+80(FP), R13
+	SHLQ $2, R13
+	MOVQ c0+0(FP), R8
+	MOVQ c1+8(FP), R9
+	MOVQ c2+16(FP), R10
+	MOVQ c3+24(FP), R11
+	XORQ DI, DI
+
+loop16:
+	MOVQ jn+88(FP), AX
+	SHLQ $2, AX
+	SUBQ DI, AX
+	CMPQ AX, $64
+	JLT  tail8
+
+	// Accumulators start from the caller-seeded c values (the bias).
+	VMOVUPS (R8)(DI*1), Y0
+	VMOVUPS 32(R8)(DI*1), Y1
+	VMOVUPS (R9)(DI*1), Y2
+	VMOVUPS 32(R9)(DI*1), Y3
+	VMOVUPS (R10)(DI*1), Y4
+	VMOVUPS 32(R10)(DI*1), Y5
+	VMOVUPS (R11)(DI*1), Y6
+	VMOVUPS 32(R11)(DI*1), Y7
+
+	MOVQ a0+32(FP), AX
+	MOVQ a1+40(FP), BX
+	MOVQ a2+48(FP), CX
+	MOVQ a3+56(FP), DX
+	MOVQ b+64(FP), SI
+	ADDQ DI, SI
+	MOVQ k+72(FP), R12
+
+p16:
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+
+	VBROADCASTSS (AX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y0, Y0
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y1, Y1
+
+	VBROADCASTSS (BX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y2, Y2
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y3, Y3
+
+	VBROADCASTSS (CX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y4, Y4
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y5, Y5
+
+	VBROADCASTSS (DX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y6, Y6
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y7, Y7
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, CX
+	ADDQ $4, DX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  p16
+
+	VMOVUPS Y0, (R8)(DI*1)
+	VMOVUPS Y1, 32(R8)(DI*1)
+	VMOVUPS Y2, (R9)(DI*1)
+	VMOVUPS Y3, 32(R9)(DI*1)
+	VMOVUPS Y4, (R10)(DI*1)
+	VMOVUPS Y5, 32(R10)(DI*1)
+	VMOVUPS Y6, (R11)(DI*1)
+	VMOVUPS Y7, 32(R11)(DI*1)
+
+	ADDQ $64, DI
+	JMP  loop16
+
+tail8:
+	CMPQ AX, $32
+	JLT  done4avx
+
+	VMOVUPS (R8)(DI*1), Y0
+	VMOVUPS (R9)(DI*1), Y2
+	VMOVUPS (R10)(DI*1), Y4
+	VMOVUPS (R11)(DI*1), Y6
+
+	MOVQ a0+32(FP), AX
+	MOVQ a1+40(FP), BX
+	MOVQ a2+48(FP), CX
+	MOVQ a3+56(FP), DX
+	MOVQ b+64(FP), SI
+	ADDQ DI, SI
+	MOVQ k+72(FP), R12
+
+p8:
+	VMOVUPS (SI), Y8
+
+	VBROADCASTSS (AX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y0, Y0
+	VBROADCASTSS (BX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y2, Y2
+	VBROADCASTSS (CX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y4, Y4
+	VBROADCASTSS (DX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y6, Y6
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, CX
+	ADDQ $4, DX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  p8
+
+	VMOVUPS Y0, (R8)(DI*1)
+	VMOVUPS Y2, (R9)(DI*1)
+	VMOVUPS Y4, (R10)(DI*1)
+	VMOVUPS Y6, (R11)(DI*1)
+
+done4avx:
+	VZEROUPPER
+	RET
+
+// func gemmBlock4FMA(c0, c1, c2, c3, a0, a1, a2, a3, b *float32, k, bStride, jn int)
+//
+// gemmBlock4AVX2 with fused multiply-adds (relaxed rounding, opt-in tier).
+TEXT ·gemmBlock4FMA(SB), NOSPLIT, $0-96
+	MOVQ bStride+80(FP), R13
+	SHLQ $2, R13
+	MOVQ c0+0(FP), R8
+	MOVQ c1+8(FP), R9
+	MOVQ c2+16(FP), R10
+	MOVQ c3+24(FP), R11
+	XORQ DI, DI
+
+floop16:
+	MOVQ jn+88(FP), AX
+	SHLQ $2, AX
+	SUBQ DI, AX
+	CMPQ AX, $64
+	JLT  ftail8
+
+	VMOVUPS (R8)(DI*1), Y0
+	VMOVUPS 32(R8)(DI*1), Y1
+	VMOVUPS (R9)(DI*1), Y2
+	VMOVUPS 32(R9)(DI*1), Y3
+	VMOVUPS (R10)(DI*1), Y4
+	VMOVUPS 32(R10)(DI*1), Y5
+	VMOVUPS (R11)(DI*1), Y6
+	VMOVUPS 32(R11)(DI*1), Y7
+
+	MOVQ a0+32(FP), AX
+	MOVQ a1+40(FP), BX
+	MOVQ a2+48(FP), CX
+	MOVQ a3+56(FP), DX
+	MOVQ b+64(FP), SI
+	ADDQ DI, SI
+	MOVQ k+72(FP), R12
+
+fp16:
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+
+	VBROADCASTSS (AX), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VBROADCASTSS (BX), Y10
+	VFMADD231PS Y8, Y10, Y2
+	VFMADD231PS Y9, Y10, Y3
+	VBROADCASTSS (CX), Y10
+	VFMADD231PS Y8, Y10, Y4
+	VFMADD231PS Y9, Y10, Y5
+	VBROADCASTSS (DX), Y10
+	VFMADD231PS Y8, Y10, Y6
+	VFMADD231PS Y9, Y10, Y7
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, CX
+	ADDQ $4, DX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  fp16
+
+	VMOVUPS Y0, (R8)(DI*1)
+	VMOVUPS Y1, 32(R8)(DI*1)
+	VMOVUPS Y2, (R9)(DI*1)
+	VMOVUPS Y3, 32(R9)(DI*1)
+	VMOVUPS Y4, (R10)(DI*1)
+	VMOVUPS Y5, 32(R10)(DI*1)
+	VMOVUPS Y6, (R11)(DI*1)
+	VMOVUPS Y7, 32(R11)(DI*1)
+
+	ADDQ $64, DI
+	JMP  floop16
+
+ftail8:
+	CMPQ AX, $32
+	JLT  done4fma
+
+	VMOVUPS (R8)(DI*1), Y0
+	VMOVUPS (R9)(DI*1), Y2
+	VMOVUPS (R10)(DI*1), Y4
+	VMOVUPS (R11)(DI*1), Y6
+
+	MOVQ a0+32(FP), AX
+	MOVQ a1+40(FP), BX
+	MOVQ a2+48(FP), CX
+	MOVQ a3+56(FP), DX
+	MOVQ b+64(FP), SI
+	ADDQ DI, SI
+	MOVQ k+72(FP), R12
+
+fp8:
+	VMOVUPS (SI), Y8
+
+	VBROADCASTSS (AX), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VBROADCASTSS (BX), Y10
+	VFMADD231PS Y8, Y10, Y2
+	VBROADCASTSS (CX), Y10
+	VFMADD231PS Y8, Y10, Y4
+	VBROADCASTSS (DX), Y10
+	VFMADD231PS Y8, Y10, Y6
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, CX
+	ADDQ $4, DX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  fp8
+
+	VMOVUPS Y0, (R8)(DI*1)
+	VMOVUPS Y2, (R9)(DI*1)
+	VMOVUPS Y4, (R10)(DI*1)
+	VMOVUPS Y6, (R11)(DI*1)
+
+done4fma:
+	VZEROUPPER
+	RET
+
+// func gemmBlock1AVX2(c0, a0, b *float32, k, bStride, jn int)
+//
+// Single-row form: c0[j] += sum_{p<k} a0[p]*b[p*bStride+j], j in [0, jn),
+// jn a positive multiple of 8. Columns advance 32 at a time (four YMM),
+// then 8 at a time.
+TEXT ·gemmBlock1AVX2(SB), NOSPLIT, $0-48
+	MOVQ bStride+32(FP), R13
+	SHLQ $2, R13
+	MOVQ c0+0(FP), R8
+	XORQ DI, DI
+
+s1loop32:
+	MOVQ jn+40(FP), AX
+	SHLQ $2, AX
+	SUBQ DI, AX
+	CMPQ AX, $128
+	JLT  s1tail8
+
+	VMOVUPS (R8)(DI*1), Y0
+	VMOVUPS 32(R8)(DI*1), Y1
+	VMOVUPS 64(R8)(DI*1), Y2
+	VMOVUPS 96(R8)(DI*1), Y3
+
+	MOVQ a0+8(FP), AX
+	MOVQ b+16(FP), SI
+	ADDQ DI, SI
+	MOVQ k+24(FP), R12
+
+s1p32:
+	VBROADCASTSS (AX), Y10
+	VMOVUPS (SI), Y8
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y0, Y0
+	VMOVUPS 32(SI), Y8
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y1, Y1
+	VMOVUPS 64(SI), Y8
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y2, Y2
+	VMOVUPS 96(SI), Y8
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y3, Y3
+
+	ADDQ $4, AX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  s1p32
+
+	VMOVUPS Y0, (R8)(DI*1)
+	VMOVUPS Y1, 32(R8)(DI*1)
+	VMOVUPS Y2, 64(R8)(DI*1)
+	VMOVUPS Y3, 96(R8)(DI*1)
+
+	ADDQ $128, DI
+	JMP  s1loop32
+
+s1tail8:
+	MOVQ jn+40(FP), BX
+	SHLQ $2, BX
+	SUBQ DI, BX
+	CMPQ BX, $32
+	JLT  s1done
+
+	VMOVUPS (R8)(DI*1), Y0
+
+	MOVQ a0+8(FP), AX
+	MOVQ b+16(FP), SI
+	ADDQ DI, SI
+	MOVQ k+24(FP), R12
+
+s1p8:
+	VBROADCASTSS (AX), Y10
+	VMOVUPS (SI), Y8
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y0, Y0
+
+	ADDQ $4, AX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  s1p8
+
+	VMOVUPS Y0, (R8)(DI*1)
+
+	ADDQ $32, DI
+	JMP  s1tail8
+
+s1done:
+	VZEROUPPER
+	RET
+
+// func gemmBlock1FMA(c0, a0, b *float32, k, bStride, jn int)
+//
+// gemmBlock1AVX2 with fused multiply-adds (relaxed rounding, opt-in tier).
+TEXT ·gemmBlock1FMA(SB), NOSPLIT, $0-48
+	MOVQ bStride+32(FP), R13
+	SHLQ $2, R13
+	MOVQ c0+0(FP), R8
+	XORQ DI, DI
+
+f1loop32:
+	MOVQ jn+40(FP), AX
+	SHLQ $2, AX
+	SUBQ DI, AX
+	CMPQ AX, $128
+	JLT  f1tail8
+
+	VMOVUPS (R8)(DI*1), Y0
+	VMOVUPS 32(R8)(DI*1), Y1
+	VMOVUPS 64(R8)(DI*1), Y2
+	VMOVUPS 96(R8)(DI*1), Y3
+
+	MOVQ a0+8(FP), AX
+	MOVQ b+16(FP), SI
+	ADDQ DI, SI
+	MOVQ k+24(FP), R12
+
+f1p32:
+	VBROADCASTSS (AX), Y10
+	VMOVUPS (SI), Y8
+	VFMADD231PS Y8, Y10, Y0
+	VMOVUPS 32(SI), Y8
+	VFMADD231PS Y8, Y10, Y1
+	VMOVUPS 64(SI), Y8
+	VFMADD231PS Y8, Y10, Y2
+	VMOVUPS 96(SI), Y8
+	VFMADD231PS Y8, Y10, Y3
+
+	ADDQ $4, AX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  f1p32
+
+	VMOVUPS Y0, (R8)(DI*1)
+	VMOVUPS Y1, 32(R8)(DI*1)
+	VMOVUPS Y2, 64(R8)(DI*1)
+	VMOVUPS Y3, 96(R8)(DI*1)
+
+	ADDQ $128, DI
+	JMP  f1loop32
+
+f1tail8:
+	MOVQ jn+40(FP), BX
+	SHLQ $2, BX
+	SUBQ DI, BX
+	CMPQ BX, $32
+	JLT  f1done
+
+	VMOVUPS (R8)(DI*1), Y0
+
+	MOVQ a0+8(FP), AX
+	MOVQ b+16(FP), SI
+	ADDQ DI, SI
+	MOVQ k+24(FP), R12
+
+f1p8:
+	VBROADCASTSS (AX), Y10
+	VMOVUPS (SI), Y8
+	VFMADD231PS Y8, Y10, Y0
+
+	ADDQ $4, AX
+	ADDQ R13, SI
+	DECQ R12
+	JNE  f1p8
+
+	VMOVUPS Y0, (R8)(DI*1)
+
+	ADDQ $32, DI
+	JMP  f1tail8
+
+f1done:
+	VZEROUPPER
+	RET
+
+// func dotFMA(a, x *float32, k int) float32
+//
+// Four 8-wide FMA accumulators over k, reduced horizontally, scalar tail.
+// The reduction re-associates the sum, so this kernel serves only the FMA
+// tier's matrix-vector path (tolerance-validated).
+TEXT ·dotFMA(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ x+8(FP), DI
+	MOVQ k+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+d32:
+	CMPQ CX, $32
+	JLT  d8
+	VMOVUPS (SI), Y4
+	VMOVUPS (DI), Y5
+	VFMADD231PS Y5, Y4, Y0
+	VMOVUPS 32(SI), Y4
+	VMOVUPS 32(DI), Y5
+	VFMADD231PS Y5, Y4, Y1
+	VMOVUPS 64(SI), Y4
+	VMOVUPS 64(DI), Y5
+	VFMADD231PS Y5, Y4, Y2
+	VMOVUPS 96(SI), Y4
+	VMOVUPS 96(DI), Y5
+	VFMADD231PS Y5, Y4, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	SUBQ $32, CX
+	JMP  d32
+
+d8:
+	CMPQ CX, $8
+	JLT  dreduce
+	VMOVUPS (SI), Y4
+	VMOVUPS (DI), Y5
+	VFMADD231PS Y5, Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JMP  d8
+
+dreduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+
+dscalar:
+	CMPQ CX, $0
+	JEQ  ddone
+	MOVSS (SI), X2
+	MULSS (DI), X2
+	ADDSS X2, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JMP  dscalar
+
+ddone:
+	MOVSS X0, ret+24(FP)
+	RET

@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// SIMD kernel dispatch. The GEMM hot loops (gemm.go) route through
+// hand-written amd64 microkernels when the CPU supports them; which kernel
+// runs is a process-wide tier selected once at init and overridable at
+// runtime. The tiers form a ladder:
+//
+//	SIMDOff  — the portable pure-Go kernels, on every architecture.
+//	SIMDAVX2 — AVX2 vmulps+vaddps microkernels that vectorize ACROSS OUTPUT
+//	           COLUMNS with a broadcast A element, so every output element
+//	           still accumulates its own dot product in ascending-k order
+//	           with one rounding per multiply and one per add — exactly the
+//	           scalar kernels' arithmetic, bit for bit. This is the default
+//	           tier on capable hardware precisely because it is free of
+//	           numerical consequences.
+//	SIMDFMA  — vfmadd microkernels (and a k-vectorized multi-accumulator
+//	           dot kernel for the matrix-vector path). Fused multiply-add
+//	           rounds once per multiply-add pair and the dot kernel
+//	           re-associates the reduction, so results are NOT bit-identical
+//	           to the scalar oracle — only within a small relative error.
+//	           FMA is therefore never selected automatically: it must be
+//	           requested explicitly (MLPERF_SIMD=fma), and the test suite
+//	           validates it against a tolerance oracle instead of
+//	           bit-equality.
+//
+// The environment override MLPERF_SIMD accepts off, avx2, fma, or auto (the
+// default: the highest bit-exact tier the CPU supports, i.e. avx2 or off).
+// Requesting a tier the CPU cannot run clamps down to the best supported
+// one, so a pinned MLPERF_SIMD=fma deployment degrades gracefully on
+// non-FMA hardware instead of crashing. Changing the tier at runtime
+// (SetSIMD) is safe while kernels are executing: each kernel invocation
+// reads the tier once, atomically.
+
+// SIMDTier identifies one rung of the kernel dispatch ladder.
+type SIMDTier int32
+
+// The dispatch tiers, in strictly ascending capability order.
+const (
+	SIMDOff SIMDTier = iota
+	SIMDAVX2
+	SIMDFMA
+)
+
+// String returns the tier's MLPERF_SIMD spelling.
+func (t SIMDTier) String() string {
+	switch t {
+	case SIMDAVX2:
+		return "avx2"
+	case SIMDFMA:
+		return "fma"
+	default:
+		return "off"
+	}
+}
+
+// ParseSIMDTier parses an MLPERF_SIMD value. auto (and the empty string)
+// report ok with the automatic default tier; unknown strings report !ok.
+func ParseSIMDTier(s string) (tier SIMDTier, ok bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off", "scalar", "none":
+		return SIMDOff, true
+	case "avx2":
+		return SIMDAVX2, true
+	case "fma":
+		return SIMDFMA, true
+	case "", "auto":
+		return defaultSIMDTier(), true
+	default:
+		return SIMDOff, false
+	}
+}
+
+// envSIMD selects the dispatch tier at process start.
+const envSIMD = "MLPERF_SIMD"
+
+var (
+	// simdSupported is the highest tier the CPU (and OS vector state) can
+	// run, probed once at init.
+	simdSupported SIMDTier
+	// simdActive is the tier kernels dispatch on, read atomically per kernel
+	// invocation.
+	simdActive atomic.Int32
+	// calibratedV records whether a Calibration has been applied (pure
+	// observability; see calibrate.go).
+	calibratedV atomic.Bool
+)
+
+func init() {
+	simdSupported = detectSIMD()
+	tier, ok := ParseSIMDTier(os.Getenv(envSIMD))
+	if !ok {
+		tier = defaultSIMDTier()
+	}
+	simdActive.Store(int32(clampSIMD(tier)))
+}
+
+// defaultSIMDTier is the automatic selection: the highest BIT-EXACT tier the
+// hardware supports. FMA changes rounding, so it is opt-in only.
+func defaultSIMDTier() SIMDTier {
+	if simdSupported >= SIMDAVX2 {
+		return SIMDAVX2
+	}
+	return SIMDOff
+}
+
+// clampSIMD lowers a requested tier to the best one the CPU supports.
+func clampSIMD(t SIMDTier) SIMDTier {
+	if t > simdSupported {
+		return simdSupported
+	}
+	if t < SIMDOff {
+		return SIMDOff
+	}
+	return t
+}
+
+// ActiveSIMD returns the tier the kernels currently dispatch on.
+func ActiveSIMD() SIMDTier { return SIMDTier(simdActive.Load()) }
+
+// SupportedSIMD returns the highest tier this CPU can run.
+func SupportedSIMD() SIMDTier { return simdSupported }
+
+// SIMDSupported reports whether the CPU can run the given tier.
+func SIMDSupported(t SIMDTier) bool { return t <= simdSupported }
+
+// SetSIMD selects the dispatch tier, clamped to what the CPU supports, and
+// returns the previously active tier so callers can scope an override.
+// Swapping tiers mid-run is safe (kernels read the tier once per invocation)
+// and, for off<->avx2, numerically invisible.
+func SetSIMD(t SIMDTier) SIMDTier {
+	return SIMDTier(simdActive.Swap(int32(clampSIMD(t))))
+}
+
+// KernelConfig is the process's active compute-kernel configuration: the
+// SIMD dispatch tier and the live tuning-knob values, plus whether a
+// measurement-driven Calibration produced them. serve.Snapshot embeds it so
+// a fleet's kernel configuration is auditable per replica.
+type KernelConfig struct {
+	// SIMD is the active dispatch tier ("off", "avx2" or "fma").
+	SIMD string `json:"simd"`
+	// FlopThreshold is the live parallel-dispatch threshold
+	// (ParallelFlopThreshold).
+	FlopThreshold int `json:"flop_threshold"`
+	// PanelBytes is the live GEMM column-panel cache budget (GEMMPanelBytes).
+	PanelBytes int `json:"panel_bytes"`
+	// Calibrated is true once a Calibration has been applied in this
+	// process; false means the knobs are defaults or manual overrides.
+	Calibrated bool `json:"calibrated"`
+}
+
+// CurrentKernelConfig snapshots the active kernel configuration.
+func CurrentKernelConfig() KernelConfig {
+	return KernelConfig{
+		SIMD:          ActiveSIMD().String(),
+		FlopThreshold: ParallelFlopThreshold(),
+		PanelBytes:    GEMMPanelBytes(),
+		Calibrated:    calibratedV.Load(),
+	}
+}

@@ -1,0 +1,105 @@
+//go:build amd64
+
+package tensor
+
+// amd64 side of the SIMD dispatch: CPUID/XGETBV feature probing and the Go
+// declarations of the assembly microkernels in gemm_amd64.s. The kernels are
+// declared //go:noescape so routing pointers through them never forces a
+// heap allocation on the zero-alloc inference paths.
+
+// cpuid executes the CPUID instruction for the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled vector state).
+func xgetbv() (eax, edx uint32)
+
+// detectSIMD probes the highest dispatch tier this CPU and OS can run:
+// AVX2 requires the CPU flag, OSXSAVE, and XMM+YMM state enabled in XCR0;
+// FMA additionally requires the FMA CPU flag.
+func detectSIMD() SIMDTier {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return SIMDOff
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return SIMDOff
+	}
+	// The OS must save/restore XMM (bit 1) and YMM (bit 2) state.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return SIMDOff
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const cpuidAVX2 = 1 << 5
+	if ebx7&cpuidAVX2 == 0 {
+		return SIMDOff
+	}
+	if ecx1&cpuidFMA != 0 {
+		return SIMDFMA
+	}
+	return SIMDAVX2
+}
+
+// gemmBlock4AVX2 accumulates, for four output rows r in {0..3},
+//
+//	cr[j] += Σ_{p=0}^{k-1} ar[p] * b[p*bStride+j]   for j in [0, jn)
+//
+// in ascending-p order per element with separate vmulps/vaddps roundings —
+// bit-identical to the scalar kernels. The caller seeds the c rows (bias)
+// and guarantees jn > 0 is a multiple of 8, k > 0, and that all rows are at
+// least jn (c) / k (a) / (k-1)*bStride+jn (b) floats long.
+//
+//go:noescape
+func gemmBlock4AVX2(c0, c1, c2, c3, a0, a1, a2, a3, b *float32, k, bStride, jn int)
+
+// gemmBlock4FMA is gemmBlock4AVX2 with fused multiply-adds: one rounding per
+// mul+add pair, so results differ from the scalar oracle within relative
+// error (validated by the tolerance tests, never selected automatically).
+//
+//go:noescape
+func gemmBlock4FMA(c0, c1, c2, c3, a0, a1, a2, a3, b *float32, k, bStride, jn int)
+
+// gemmBlock1AVX2 is the single-row form of gemmBlock4AVX2, used for the
+// row-group remainder (m mod 4) so short or ragged matrices still vectorize.
+//
+//go:noescape
+func gemmBlock1AVX2(c0, a0, b *float32, k, bStride, jn int)
+
+// gemmBlock1FMA is gemmBlock1AVX2 with fused multiply-adds.
+//
+//go:noescape
+func gemmBlock1FMA(c0, a0, b *float32, k, bStride, jn int)
+
+// dotFMA returns Σ a[p]*x[p] for p in [0, k) using four 8-wide FMA
+// accumulators and a re-associated horizontal reduction — fast but not
+// order-preserving, so it serves only the FMA tier's matrix-vector path.
+//
+//go:noescape
+func dotFMA(a, x *float32, k int) float32
+
+// simdGEMM4 dispatches the four-row column-vectorized microkernel.
+func simdGEMM4(tier SIMDTier, c0, c1, c2, c3, a0, a1, a2, a3, b *float32, k, bStride, jn int) {
+	if tier >= SIMDFMA {
+		gemmBlock4FMA(c0, c1, c2, c3, a0, a1, a2, a3, b, k, bStride, jn)
+		return
+	}
+	gemmBlock4AVX2(c0, c1, c2, c3, a0, a1, a2, a3, b, k, bStride, jn)
+}
+
+// simdGEMM1 dispatches the single-row column-vectorized microkernel.
+func simdGEMM1(tier SIMDTier, c0, a0, b *float32, k, bStride, jn int) {
+	if tier >= SIMDFMA {
+		gemmBlock1FMA(c0, a0, b, k, bStride, jn)
+		return
+	}
+	gemmBlock1AVX2(c0, a0, b, k, bStride, jn)
+}
+
+// simdDot dispatches the FMA dot kernel (FMA tier only; callers gate on it).
+func simdDot(a, x *float32, k int) float32 { return dotFMA(a, x, k) }

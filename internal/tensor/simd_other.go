@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package tensor
+
+// Portable fallback for the SIMD dispatch layer: no microkernels exist, so
+// the supported tier is always SIMDOff and the kernel entry points are
+// unreachable stubs (gemm.go only calls them when ActiveSIMD() != SIMDOff,
+// which clampSIMD makes impossible here). This file is what the non-amd64
+// cross-build check in CI proves complete.
+
+// detectSIMD reports that no SIMD tier is available on this architecture.
+func detectSIMD() SIMDTier { return SIMDOff }
+
+func simdGEMM4(tier SIMDTier, c0, c1, c2, c3, a0, a1, a2, a3, b *float32, k, bStride, jn int) {
+	panic("tensor: SIMD kernel dispatched on non-amd64")
+}
+
+func simdGEMM1(tier SIMDTier, c0, a0, b *float32, k, bStride, jn int) {
+	panic("tensor: SIMD kernel dispatched on non-amd64")
+}
+
+func simdDot(a, x *float32, k int) float32 {
+	panic("tensor: SIMD kernel dispatched on non-amd64")
+}

@@ -1,9 +1,53 @@
 // Package tensor implements the dense float32 tensors and compute kernels
 // (matrix multiply, 2-D convolution, pooling, element-wise math) that the
-// in-repo reference models are built from. It is deliberately small: the
-// MLPerf reference models only need a handful of operator shapes, and keeping
-// the kernels simple makes the numerical behaviour easy to reason about when
-// validating quantization (Section III-B of the paper).
+// in-repo reference models are built from. The MLPerf reference models only
+// need a handful of operator shapes, so the package keeps one simple serial
+// reference per kernel (MatMulSerial, Conv2DSerial, ...) and layers speed on
+// top of it: blocked/panelled GEMM, im2col convolution, parallel row
+// dispatch, and hand-written SIMD microkernels.
+//
+// # SIMD dispatch tiers
+//
+// On amd64 the GEMM inner loops dispatch at runtime across three tiers,
+// probed once from CPUID at init and overridable with MLPERF_SIMD (or
+// SetSIMD at runtime):
+//
+//   - off:  the pure-Go scalar kernels. The only tier on non-amd64 builds,
+//     and the forced-scalar oracle the SIMD tiers are fuzzed against.
+//   - avx2: 8-wide AVX2 mul+add kernels, the default wherever supported.
+//     Bit-identical to off — see the determinism contract below.
+//   - fma:  AVX2+FMA kernels (fused multiply-add, plus multi-accumulator
+//     dot products for matrix–vector). Fastest, but each fused pair rounds
+//     once instead of twice, so results can differ from the scalar path in
+//     the last bits. Opt-in only (MLPERF_SIMD=fma); never chosen by default.
+//
+// # The determinism contract
+//
+// Every kernel computes each output element as an ascending-k accumulation
+// from its bias term. The scalar path does this one multiply and one add at
+// a time; the avx2 tier vectorizes across output *columns* — eight outputs
+// advance in lockstep, each still seeing its own multiplies and adds in the
+// same order with the same intermediate roundings — so off and avx2 produce
+// bit-identical floats for any shape, split or panel size. The fma tier
+// deliberately relaxes exactly one thing (the intermediate rounding between
+// multiply and add) and is validated against the serial reference by relative
+// tolerance instead of bit equality.
+//
+// # Tuning knobs and calibration
+//
+// Two knobs steer kernel scheduling without affecting results: the
+// parallel-dispatch threshold (SetParallelFlopThreshold) decides when a GEMM
+// is worth forking across workers, and the panel budget (SetGEMMPanelBytes)
+// sizes the cache-resident column panels. Calibrate measures this machine's
+// MAC throughput, fork overhead and L2 size and derives both; Apply installs
+// them. CurrentKernelConfig reports the live tier and knob values — the
+// serving layer embeds it in every metrics snapshot so a fleet's kernel
+// configuration is auditable per replica.
+//
+// Keeping the serial kernels as the behavioural reference makes the
+// numerical behaviour easy to reason about when validating quantization
+// (Section III-B of the paper) — every fast path must reproduce or
+// tolerably approximate what the obvious loop computes.
 package tensor
 
 import (

@@ -16,24 +16,35 @@
 # reporting the faulted run's throughput and the down-to-rejoin latency, and
 # the autoscale benchmark: the same Offline stream against a 1-worker pool
 # with startup limits frozen vs under a live capacity manager, reporting both
-# throughputs plus the managed pool's final workers and resize decisions) and
-# writes the aggregated numbers to a JSON file (default BENCH_PR7.json) so
-# speedups and serving overheads are recorded in the repository alongside the
-# code they measure.
+# throughputs plus the managed pool's final workers and resize decisions, and
+# the SIMD GEMM tier sweep: the same cache-resident and streaming GEMMs under
+# every dispatch tier this CPU supports — forced-scalar, avx2, fma — with
+# GFLOP/s per tier and the scalar-to-SIMD speedups derived) and writes the
+# aggregated numbers to a JSON file (default BENCH_PR8.json) so speedups and
+# serving overheads are recorded in the repository alongside the code they
+# measure. The JSON also records which SIMD tier runtime dispatch actually
+# picked on this machine (simd_dispatch).
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR7.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR8.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR7.json}"
+OUT="${OUT:-BENCH_PR8.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
     go test -race ./...
 fi
+
+# What tier does runtime dispatch choose here? (TestLogActiveSIMD logs the
+# active and highest-supported tiers; -count=1 defeats the test cache so the
+# probe reflects this run's environment, MLPERF_SIMD override included.)
+simd_dispatch="$(go test -count=1 -run '^TestLogActiveSIMD$' -v ./internal/tensor \
+    | awk '/simd-tier:/ { print $NF; exit }')"
+echo "simd dispatch tier: ${simd_dispatch}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -44,7 +55,8 @@ go test -run '^$' \
 
 awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go version)" \
-    -v count="$COUNT" '
+    -v count="$COUNT" \
+    -v simd="$simd_dispatch" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -64,6 +76,7 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         if ($i == "rejoin_ms")               rejoin[name] += $(i-1)
         if ($i == "workers_final")           wfinal[name] += $(i-1)
         if ($i == "resize_decisions")        rdecide[name] += $(i-1)
+        if ($i == "gflops")                  gflops[name] += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
@@ -74,11 +87,17 @@ function speedup(prefix, batch) {
     b = prefix "/batch" batch "/batched"
     return avg(ns, b) > 0 ? avg(ns, p) / avg(ns, b) : 0
 }
+function simdspeed(shape, tier) {
+    off  = "BenchmarkKernelGEMMSIMD/" shape "/off"
+    simd = "BenchmarkKernelGEMMSIMD/" shape "/" tier
+    return avg(ns, simd) > 0 ? avg(ns, off) / avg(ns, simd) : 0
+}
 END {
     printf "{\n"
     printf "  \"generated_utc\": \"%s\",\n", generated
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"simd_dispatch\": \"%s\",\n", simd
     printf "  \"count\": %d,\n", count
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
@@ -97,10 +116,21 @@ END {
         if (rejoin[name] > 0)   printf ", \"rejoin_ms\": %.2f", avg(rejoin, name)
         if (wfinal[name] > 0)   printf ", \"workers_final\": %.1f", avg(wfinal, name)
         if (rdecide[name] > 0)  printf ", \"resize_decisions\": %.1f", avg(rdecide, name)
+        if (gflops[name] > 0)   printf ", \"gflops\": %.2f", avg(gflops, name)
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
     printf "  \"derived\": {\n"
+    printf "    \"gemm_simd_speedup_vs_scalar\": {\"cache_avx2\": %.2f, \"cache_fma\": %.2f, \"stream_avx2\": %.2f, \"stream_fma\": %.2f},\n", \
+        simdspeed("cache_64x64x64", "avx2"), simdspeed("cache_64x64x64", "fma"), \
+        simdspeed("stream_64x256x4096", "avx2"), simdspeed("stream_64x256x4096", "fma")
+    printf "    \"gemm_simd_gflops\": {\"cache_off\": %.2f, \"cache_avx2\": %.2f, \"cache_fma\": %.2f, \"stream_off\": %.2f, \"stream_avx2\": %.2f, \"stream_fma\": %.2f},\n", \
+        avg(gflops, "BenchmarkKernelGEMMSIMD/cache_64x64x64/off"), \
+        avg(gflops, "BenchmarkKernelGEMMSIMD/cache_64x64x64/avx2"), \
+        avg(gflops, "BenchmarkKernelGEMMSIMD/cache_64x64x64/fma"), \
+        avg(gflops, "BenchmarkKernelGEMMSIMD/stream_64x256x4096/off"), \
+        avg(gflops, "BenchmarkKernelGEMMSIMD/stream_64x256x4096/avx2"), \
+        avg(gflops, "BenchmarkKernelGEMMSIMD/stream_64x256x4096/fma")
     printf "    \"matmul_speedup_vs_serial\": %.2f,\n", \
         avg(ns, "BenchmarkKernelMatMul/serial") / avg(ns, "BenchmarkKernelMatMul/blocked")
     printf "    \"conv2d_speedup_vs_serial\": %.2f,\n", \
