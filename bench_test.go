@@ -27,6 +27,7 @@ import (
 	"mlperf/internal/simhw"
 	"mlperf/internal/stats"
 	"mlperf/internal/tensor"
+	"mlperf/internal/trace"
 )
 
 // benchOptions keeps the experiment regeneration benchmarks fast while still
@@ -779,6 +780,62 @@ func BenchmarkServingServer(b *testing.B) {
 		b.ReportMetric(qps, "qps")
 		b.ReportMetric(float64(snap.QueueP99), "queue_p99_ns")
 		b.ReportMetric(float64(snap.ServiceP99), "service_p99_ns")
+	})
+}
+
+// BenchmarkServingTrace measures the span subsystem's overhead: the same
+// Server-scenario run over the wire with tracing off versus sampled at 1/64
+// on both ends (the production default). One op is one complete LoadGen run;
+// "qps" is the achieved rate of the last run, and the acceptance bar is the
+// traced leg within 2% of the untraced one.
+func BenchmarkServingTrace(b *testing.B) {
+	settings := loadgen.DefaultSettings(loadgen.Server)
+	settings.MinQueryCount = 256
+	settings.MinDuration = 0
+	settings.ServerTargetQPS = 1000
+	settings.ServerTargetLatency = 100 * time.Millisecond
+
+	run := func(b *testing.B, clientTr, serverTr *trace.Tracer) {
+		engine, qsl := servingStack(b)
+		srv, err := serve.New(serve.Config{
+			Engine: engine, Store: qsl, BatchWait: 2 * time.Millisecond, Tracer: serverTr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		remote, err := backend.NewRemote(backend.RemoteConfig{
+			Addr: srv.Addr(), Conns: 2, Tracer: clientTr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { remote.Close() })
+		var qps float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := loadgen.StartTest(remote, qsl, settings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ResponsesDropped > 0 {
+				b.Fatalf("%d responses dropped", res.ResponsesDropped)
+			}
+			qps = res.ServerAchievedQPS
+		}
+		remote.Wait()
+		if errs := remote.Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		b.ReportMetric(qps, "qps")
+		if clientTr != nil {
+			records := clientTr.Records()
+			b.ReportMetric(float64(len(records)), "spans")
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("traced", func(b *testing.B) {
+		run(b, trace.New(trace.Config{SampleEvery: 64}), trace.New(trace.Config{SampleEvery: 64}))
 	})
 }
 

@@ -19,6 +19,7 @@ import (
 	"mlperf/internal/loadgen"
 	"mlperf/internal/serve"
 	"mlperf/internal/submission"
+	"mlperf/internal/trace"
 )
 
 func main() {
@@ -100,12 +101,17 @@ func main() {
 }
 
 // servingConformance deploys the assembly behind a loopback replica fleet,
-// drives a Server-scenario run through it, and checks the serving run rules.
+// drives a Server-scenario run through it — traced at 1/4 sampling on both
+// sides so the span trees themselves become audit evidence — and checks the
+// serving run rules. The captured traces also feed the tail-attribution
+// report, which names the stage class dominating the run's slowest requests.
 func servingConformance(assembly *harness.Assembly, replicas int) ([]audit.Finding, error) {
+	clientTr := trace.New(trace.Config{SampleEvery: 4})
+	serverTr := trace.New(trace.Config{SampleEvery: 4})
 	dep, err := assembly.ServeLoopback(harness.ServeOptions{
 		Replicas: replicas,
-		Server:   serve.Config{BatchWait: time.Millisecond},
-		Client:   backend.RemoteConfig{MaxInFlight: 64},
+		Server:   serve.Config{BatchWait: time.Millisecond, Tracer: serverTr},
+		Client:   backend.RemoteConfig{MaxInFlight: 64, Tracer: clientTr},
 	})
 	if err != nil {
 		return nil, err
@@ -124,6 +130,8 @@ func servingConformance(assembly *harness.Assembly, replicas int) ([]audit.Findi
 	dep.Remote.Wait()
 	fmt.Printf("\nserving conformance: %d replicas, %d queries, %.0f QPS achieved\n",
 		replicas, res.QueriesCompleted, res.ServerAchievedQPS)
+	traces := append(clientTr.Records(), serverTr.Records()...)
+	fmt.Println(trace.Attribute(traces))
 	rec := dep.Remote.Recovery()
 	return audit.CheckServing(audit.ServingEvidence{
 		Result:               res,
@@ -133,6 +141,7 @@ func servingConformance(assembly *harness.Assembly, replicas int) ([]audit.Findi
 		ClientTransportDrops: dep.Remote.TransportDrops(),
 		Recovery:             &rec,
 		Replicas:             dep.ReplicaMetrics(),
+		Traces:               traces,
 	})
 }
 

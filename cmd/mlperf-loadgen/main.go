@@ -36,6 +36,7 @@ import (
 	"mlperf/internal/loadgen"
 	"mlperf/internal/quantize"
 	"mlperf/internal/simhw"
+	"mlperf/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func main() {
 		qpsStepAfter = flag.Duration("qps-step-after", 0, "step the Server scenario's offered QPS after this much scheduled time (0 = flat rate)")
 		qpsStepTo    = flag.Float64("qps-step-to", 0, "offered QPS after the step (with -qps-step-after)")
 		format       = flag.String("quantize", "", "optional weight format from the approved list (e.g. int8)")
+		traceEach    = flag.Int("trace", 0, "trace every Nth request through the client-side stages, plus every tail outlier (remote backend only; 0 = off)")
+		traceOut     = flag.String("trace-out", "", "write captured spans as Chrome trace-event JSON to this file after the run (requires -trace)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,16 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// Client-side tracing only makes sense across the wire: the native and
+	// simulated backends have no issue/write/await path to time.
+	var tracer *trace.Tracer
+	if *traceEach > 0 && *backendName != "remote" {
+		fatal(fmt.Errorf("-trace requires -backend remote"))
+	}
+	if *traceOut != "" && *traceEach <= 0 {
+		fatal(fmt.Errorf("-trace-out needs -trace to capture anything"))
 	}
 
 	// Optionally swap the SUT for a simulated platform or a remote serving
@@ -101,10 +114,14 @@ func main() {
 		for i := range addrs {
 			addrs[i] = strings.TrimSpace(addrs[i])
 		}
+		if *traceEach > 0 {
+			tracer = trace.New(trace.Config{SampleEvery: *traceEach})
+		}
 		remote, err := backend.NewRemote(backend.RemoteConfig{
 			Addrs: addrs, Model: *remoteModel,
 			Name:     fmt.Sprintf("%s@%s", spec.ReferenceModel, *remoteAddr),
 			Deadline: *deadline,
+			Tracer:   tracer,
 		})
 		if err != nil {
 			fatal(err)
@@ -154,6 +171,24 @@ func main() {
 	}
 	if report.Accuracy != nil {
 		fmt.Printf("accuracy:    %s\n", report.Accuracy)
+	}
+	if tracer != nil {
+		records := tracer.Records()
+		fmt.Println(trace.Attribute(records))
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteChrome(f, records); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace:       %d records written to %s\n", len(records), *traceOut)
+		}
 	}
 	if !report.Valid() {
 		os.Exit(2)

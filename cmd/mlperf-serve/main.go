@@ -29,6 +29,13 @@
 // replica), and -autosize attaches a capacity manager per replica that probes
 // the cgroup CPU/memory limits and grows or shrinks each pool from observed
 // load, its decisions exposed on the same scrape.
+//
+// Observability rides the same listener: -pprof mounts net/http/pprof under
+// /debug/pprof/, and -trace N samples every Nth request's server-side stages
+// (admit, queue, assembly, service, encode, reply) plus every tail outlier,
+// exporting the spans as per-stage Prometheus histograms on /metrics, as
+// Chrome trace-event JSON at /debug/trace, and — with -trace-out — as a
+// trace file written on shutdown, viewable in Perfetto or chrome://tracing.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"mlperf/internal/harness"
 	"mlperf/internal/serve"
 	"mlperf/internal/tensor"
+	"mlperf/internal/trace"
 )
 
 func main() {
@@ -66,6 +74,9 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "Prometheus text endpoint address (replicas bind consecutive ports from it; empty = disabled)")
 		autosize  = flag.Bool("autosize", false, "attach a capacity manager per replica: probe cgroup limits, grow/shrink worker pools and queues against observed load")
 		calibrate = flag.Bool("calibrate", false, "measure this machine's GEMM throughput, fork overhead and L2 at startup and derive the kernel tuning knobs from the measurements")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics listener (requires -metrics-addr)")
+		traceEach = flag.Int("trace", 0, "trace every Nth request through the request-path stages, plus every tail outlier (0 = tracing off)")
+		traceOut  = flag.String("trace-out", "", "write the captured spans as Chrome trace-event JSON to this file on shutdown (requires -trace)")
 	)
 	flag.Parse()
 
@@ -104,7 +115,19 @@ func main() {
 	// through Resize below — the same live-reconfiguration path the capacity
 	// manager uses, so flag values show up as auditable resize events and a
 	// manager can later move what a flag set.
-	cfg := serve.Config{Policy: overload, BatchWait: *batchWait}
+	// One tracer is shared by every replica in the process: the ring and
+	// histograms are per model, so a merged dump still attributes spans
+	// correctly, and /debug/trace on any replica's metrics port exports the
+	// whole fleet's records.
+	var tracer *trace.Tracer
+	if *traceEach > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: *traceEach})
+		fmt.Printf("tracing: 1 in %d requests, tail outliers always\n", tracer.SampleEvery())
+	} else if *traceOut != "" {
+		fatal(fmt.Errorf("-trace-out needs -trace to capture anything"))
+	}
+
+	cfg := serve.Config{Policy: overload, BatchWait: *batchWait, Tracer: tracer, EnablePprof: *pprofOn}
 	for _, name := range tasks {
 		name = strings.TrimSpace(name)
 		assembly, err := harness.BuildNative(core.Task(name), harness.BuildOptions{
@@ -246,6 +269,28 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\nserving metrics:\n%s\n", out)
+
+	// After the drain every admitted request has published its spans; dump
+	// them once for the whole fleet.
+	if *traceOut != "" && tracer != nil {
+		if err := writeTraceFile(*traceOut, tracer.Records()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+}
+
+// writeTraceFile dumps the captured spans as Chrome trace-event JSON.
+func writeTraceFile(path string, records []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // replicaAddrs expands a base listen address into one per replica: an

@@ -5,6 +5,7 @@ import (
 
 	"mlperf/internal/loadgen"
 	"mlperf/internal/serve"
+	"mlperf/internal/trace"
 )
 
 // ServingEvidence bundles one remote (possibly sharded) run with the
@@ -34,6 +35,12 @@ type ServingEvidence struct {
 	Recovery *serve.RecoveryStats
 	// Replicas holds one metrics snapshot per server replica.
 	Replicas []serve.Snapshot
+	// Traces holds the run's captured trace records (client and server
+	// origin, merged). Nil means the run was untraced; non-nil (even empty)
+	// means tracing was on and CheckServing verifies the span trees are
+	// well-formed: stages non-negative, stage sums bounded by the end-to-end
+	// span, and every folded server block nested inside its client span.
+	Traces []trace.Record
 }
 
 // CheckServing runs the serving conformance checks: a remote or sharded run
@@ -63,6 +70,9 @@ func CheckServing(ev ServingEvidence) ([]Finding, error) {
 	}
 	if capacityExercised(ev) {
 		findings = append(findings, checkCapacity(ev))
+	}
+	if ev.Traces != nil {
+		findings = append(findings, checkTraces(ev.Traces))
 	}
 	return findings, nil
 }

@@ -10,6 +10,7 @@ import (
 	"mlperf/internal/loadgen"
 	"mlperf/internal/serve"
 	"mlperf/internal/stats"
+	"mlperf/internal/trace"
 )
 
 // evidence fabricates a fully reconciled 2-replica Server run: 100 queries,
@@ -173,8 +174,9 @@ func TestCheckServingEvidenceValidation(t *testing.T) {
 }
 
 // TestServingConformanceLoopback runs the conformance suite against a real
-// 2-replica loopback deployment: a provisioned fleet must clear every check
-// with zero drops, end to end.
+// 2-replica loopback deployment — with tracing sampled at 1/4 on both sides,
+// so the serving-trace finding verifies live span trees, not fabricated ones.
+// A provisioned fleet must clear every check with zero drops, end to end.
 func TestServingConformanceLoopback(t *testing.T) {
 	a, err := harness.BuildNative(core.ImageClassificationLight, harness.BuildOptions{
 		DatasetSamples: 32, Seed: 7, Workers: 2,
@@ -182,10 +184,12 @@ func TestServingConformanceLoopback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	clientTr := trace.New(trace.Config{SampleEvery: 4})
+	serverTr := trace.New(trace.Config{SampleEvery: 4})
 	dep, err := a.ServeLoopback(harness.ServeOptions{
 		Replicas: 2,
-		Server:   serve.Config{Workers: 2, BatchWait: time.Millisecond},
-		Client:   backend.RemoteConfig{MaxInFlight: 64},
+		Server:   serve.Config{Workers: 2, BatchWait: time.Millisecond, Tracer: serverTr},
+		Client:   backend.RemoteConfig{MaxInFlight: 64, Tracer: clientTr},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -206,12 +210,17 @@ func TestServingConformanceLoopback(t *testing.T) {
 		t.Fatal(errs[0])
 	}
 
+	traces := append(clientTr.Records(), serverTr.Records()...)
+	if len(traces) == 0 {
+		t.Error("1/4 sampling over 64+ queries captured no trace records")
+	}
 	findings, err := CheckServing(ServingEvidence{
 		Result:         res,
 		Settings:       settings,
 		ClientRejected: dep.Remote.Rejected(),
 		ClientExpired:  dep.Remote.Expired(),
 		Replicas:       dep.ReplicaMetrics(),
+		Traces:         traces,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -222,4 +231,5 @@ func TestServingConformanceLoopback(t *testing.T) {
 		}
 		t.Error("provisioned 2-replica loopback run failed serving conformance")
 	}
+	findingByName(t, findings, "serving-trace")
 }

@@ -1,0 +1,86 @@
+package audit
+
+import (
+	"fmt"
+
+	"mlperf/internal/trace"
+)
+
+// traceSkewSlack absorbs the wall-clock granularity between the client's
+// issue timestamp and the server's arrival timestamp when checking that a
+// folded server span nests inside its client span. The two ends read
+// time.Now() independently, so a sub-millisecond disagreement is measurement
+// noise, not a malformed trace.
+const traceSkewSlack = int64(1_000_000) // 1ms in nanos
+
+// checkTraces verifies the run's span trees are well-formed — observability
+// output is audit evidence here, so a trace that cannot have been measured
+// (negative stage, stages summing past the end-to-end span, a server block
+// outside its client span, a retained record that is neither head-sampled
+// nor a tail outlier) fails the run's trace finding.
+func checkTraces(records []trace.Record) Finding {
+	clients, servers := 0, 0
+	for i, rec := range records {
+		where := fmt.Sprintf("trace record %d (id %d, model %q)", i, rec.TraceID, rec.Model)
+		if rec.Origin != trace.OriginClient && rec.Origin != trace.OriginServer {
+			return Finding{Name: "serving-trace", Pass: false,
+				Detail: fmt.Sprintf("%s: unknown origin %d", where, rec.Origin)}
+		}
+		if rec.Start <= 0 || rec.End2End <= 0 {
+			return Finding{Name: "serving-trace", Pass: false,
+				Detail: fmt.Sprintf("%s: non-positive start %d or end-to-end %d", where, rec.Start, rec.End2End)}
+		}
+		if rec.TraceID == 0 && !rec.Tail {
+			return Finding{Name: "serving-trace", Pass: false,
+				Detail: where + ": retained without a trace id or a tail flag — neither head-sampled nor an outlier"}
+		}
+		for st := trace.Stage(0); st < trace.NumStages; st++ {
+			if rec.Stages[st] < 0 {
+				return Finding{Name: "serving-trace", Pass: false,
+					Detail: fmt.Sprintf("%s: negative %s span %dns", where, st, rec.Stages[st])}
+			}
+		}
+		switch rec.Origin {
+		case trace.OriginClient:
+			clients++
+			if sum := rec.ClientNanos(); sum > rec.End2End {
+				return Finding{Name: "serving-trace", Pass: false,
+					Detail: fmt.Sprintf("%s: client stages sum to %dns, beyond the %dns end-to-end span", where, sum, rec.End2End)}
+			}
+			if rec.HasServer {
+				if rec.ServerStart <= 0 {
+					return Finding{Name: "serving-trace", Pass: false,
+						Detail: where + ": server block folded in without a server start time"}
+				}
+				srv := rec.ServerNanos()
+				if srv > rec.End2End {
+					return Finding{Name: "serving-trace", Pass: false,
+						Detail: fmt.Sprintf("%s: folded server stages span %dns, beyond the %dns end-to-end span", where, srv, rec.End2End)}
+				}
+				// The server span must nest inside the client span: it starts
+				// after issue and ends before the response lands (modulo
+				// wall-clock read granularity between the two ends).
+				if rec.ServerStart+traceSkewSlack < rec.Start {
+					return Finding{Name: "serving-trace", Pass: false,
+						Detail: fmt.Sprintf("%s: server span starts %dns before the client issued", where, rec.Start-rec.ServerStart)}
+				}
+				if end := rec.ServerStart + srv; end > rec.Start+rec.End2End+traceSkewSlack {
+					return Finding{Name: "serving-trace", Pass: false,
+						Detail: fmt.Sprintf("%s: server span ends %dns after the client span closed", where, end-(rec.Start+rec.End2End))}
+				}
+			}
+		case trace.OriginServer:
+			servers++
+			if rec.HasServer {
+				return Finding{Name: "serving-trace", Pass: false,
+					Detail: where + ": server-origin record claims a folded server block"}
+			}
+			if srv := rec.ServerNanos(); srv > rec.End2End {
+				return Finding{Name: "serving-trace", Pass: false,
+					Detail: fmt.Sprintf("%s: server stages sum to %dns, beyond the %dns end-to-end span", where, srv, rec.End2End)}
+			}
+		}
+	}
+	return Finding{Name: "serving-trace", Pass: true,
+		Detail: fmt.Sprintf("%d trace records (%d client, %d server): spans well-formed, stage sums bounded, server blocks nested", len(records), clients, servers)}
+}

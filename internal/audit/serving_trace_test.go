@@ -1,0 +1,147 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"mlperf/internal/trace"
+)
+
+// goodTraces builds a matched client/server record pair whose spans nest
+// correctly: server work starts after issue and ends before the response
+// lands, all stage sums stay inside their end-to-end spans.
+func goodTraces() []trace.Record {
+	base := int64(1_700_000_000_000_000_000)
+	client := trace.Record{
+		TraceID: 64, Model: "resnet", Origin: trace.OriginClient,
+		Start: base, End2End: 5_000_000,
+		HasServer: true, ServerStart: base + 1_000_000,
+	}
+	client.Stages[trace.StageIssue] = 100_000
+	client.Stages[trace.StageAcquire] = 50_000
+	client.Stages[trace.StageWrite] = 200_000
+	client.Stages[trace.StageAwait] = 4_000_000
+	client.Stages[trace.StageDecode] = 300_000
+	client.Stages[trace.StageAdmit] = 50_000
+	client.Stages[trace.StageQueue] = 900_000
+	client.Stages[trace.StageAssembly] = 50_000
+	client.Stages[trace.StageService] = 2_000_000
+	client.Stages[trace.StageEncode] = 100_000
+	server := trace.Record{
+		TraceID: 64, Model: "resnet", Origin: trace.OriginServer,
+		Start: base + 1_000_000, End2End: 3_200_000,
+	}
+	server.Stages[trace.StageAdmit] = 50_000
+	server.Stages[trace.StageQueue] = 900_000
+	server.Stages[trace.StageAssembly] = 50_000
+	server.Stages[trace.StageService] = 2_000_000
+	server.Stages[trace.StageEncode] = 100_000
+	server.Stages[trace.StageReply] = 80_000
+	return []trace.Record{client, server}
+}
+
+func tracedEvidence(records []trace.Record) ServingEvidence {
+	ev := evidence()
+	ev.Traces = records
+	return ev
+}
+
+// TestCheckServingTraceWellFormed: nesting, bounded sums and a tail-only
+// record all pass; an untraced run (nil Traces) gets no trace finding at all.
+func TestCheckServingTraceWellFormed(t *testing.T) {
+	records := goodTraces()
+	// A tail-captured outlier with no trace id is legitimate evidence.
+	records = append(records, trace.Record{
+		Model: "resnet", Origin: trace.OriginServer, Tail: true,
+		Start: 1_700_000_000_000_000_000, End2End: 80_000_000,
+	})
+	findings, err := CheckServing(tracedEvidence(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findingByName(t, findings, "serving-trace")
+	if !f.Pass {
+		t.Fatalf("well-formed traces failed: %s", f.Detail)
+	}
+	if !strings.Contains(f.Detail, "2 client") && !strings.Contains(f.Detail, "1 client") {
+		t.Errorf("detail lacks the origin split: %s", f.Detail)
+	}
+
+	findings, err = CheckServing(evidence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Name == "serving-trace" {
+			t.Fatal("untraced evidence produced a trace finding")
+		}
+	}
+
+	// Tracing on but nothing captured is still a (passing) finding.
+	findings, _ = CheckServing(tracedEvidence([]trace.Record{}))
+	if f := findingByName(t, findings, "serving-trace"); !f.Pass {
+		t.Errorf("empty trace set failed: %s", f.Detail)
+	}
+}
+
+// TestCheckServingTraceDetectsMalformedSpans walks every class of impossible
+// trace through the checker.
+func TestCheckServingTraceDetectsMalformedSpans(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(r []trace.Record) []trace.Record
+		want   string
+	}{
+		{"negative stage", func(r []trace.Record) []trace.Record {
+			r[0].Stages[trace.StageWrite] = -1
+			return r
+		}, "negative"},
+		{"client sum beyond e2e", func(r []trace.Record) []trace.Record {
+			r[0].Stages[trace.StageAwait] += r[0].End2End
+			return r
+		}, "beyond"},
+		{"server sum beyond e2e", func(r []trace.Record) []trace.Record {
+			r[1].Stages[trace.StageService] += r[1].End2End
+			return r
+		}, "beyond"},
+		{"server span before issue", func(r []trace.Record) []trace.Record {
+			r[0].ServerStart = r[0].Start - 10_000_000
+			return r
+		}, "before the client issued"},
+		{"server span past client close", func(r []trace.Record) []trace.Record {
+			r[0].ServerStart = r[0].Start + r[0].End2End
+			return r
+		}, "after the client span closed"},
+		{"folded block without start", func(r []trace.Record) []trace.Record {
+			r[0].ServerStart = 0
+			return r
+		}, "without a server start"},
+		{"retained without cause", func(r []trace.Record) []trace.Record {
+			r[1].TraceID, r[1].Tail = 0, false
+			return r
+		}, "neither head-sampled nor an outlier"},
+		{"zero start", func(r []trace.Record) []trace.Record {
+			r[0].Start = 0
+			return r
+		}, "non-positive"},
+		{"server-origin with folded block", func(r []trace.Record) []trace.Record {
+			r[1].HasServer = true
+			return r
+		}, "server-origin"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings, err := CheckServing(tracedEvidence(tc.mutate(goodTraces())))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := findingByName(t, findings, "serving-trace")
+			if f.Pass {
+				t.Fatalf("malformed trace passed: %s", f.Detail)
+			}
+			if !strings.Contains(f.Detail, tc.want) {
+				t.Errorf("detail %q lacks %q", f.Detail, tc.want)
+			}
+		})
+	}
+}

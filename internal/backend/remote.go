@@ -15,6 +15,7 @@ import (
 	"mlperf/internal/loadgen"
 	"mlperf/internal/serve"
 	"mlperf/internal/stats"
+	"mlperf/internal/trace"
 )
 
 // RemoteConfig configures a Remote SUT client.
@@ -98,6 +99,15 @@ type RemoteConfig struct {
 	// internal/chaos supplies a dialer whose connections sever, delay,
 	// truncate or corrupt frames on a seeded schedule.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Tracer, when set, enables client-side request tracing: every request
+	// feeds the tail tracker (outliers beyond the live p99 estimate are
+	// retained with their end-to-end latency), and one request in every
+	// Tracer.SampleEvery is head-sampled — it carries a trace id to the
+	// server in a V3 frame, records the client's issue/acquire/write/await/
+	// decode stages, and folds the server's span block from the traced
+	// response into one cross-process record. Nil disables tracing with
+	// zero per-request cost.
+	Tracer *trace.Tracer
 	// TolerateDown lets NewRemote succeed even when some replicas refuse
 	// their initial dial: the failed slots start dead, the replica starts
 	// down, and the redial supervisors own bringing it up — the same
@@ -184,6 +194,11 @@ type Remote struct {
 	replicas []*replica
 	nextID   atomic.Uint64 // wire request ids
 
+	// mt is the addressed model's client-side trace state (nil when
+	// RemoteConfig.Tracer is unset), cached so the hot path never takes the
+	// tracer's model-map lock.
+	mt *trace.ModelTrace
+
 	feeders  sync.WaitGroup // multi-sample issue goroutines
 	inflight sync.WaitGroup // outstanding requests
 
@@ -254,6 +269,20 @@ type pendingRequest struct {
 	sampleID uint64
 	index    int
 	attempt  int // 1-based delivery attempt
+
+	// Tracing state. issueNano is set for every request when tracing is
+	// enabled (the tail tracker needs end-to-end latency for all of them);
+	// the remaining fields are populated only for head-sampled requests
+	// (traceID != 0). writeNs and sentNano are stored back into the pending
+	// map under rc.mu after the socket flush — the same mutex the reader
+	// pops the entry under — which is the happens-before edge that makes
+	// them safely visible to resolve.
+	traceID   uint64
+	issueNano int64 // wall clock at issue (UnixNano)
+	issueNs   int64 // StageIssue duration
+	acquireNs int64 // StageAcquire duration (accumulated across attempts)
+	writeNs   int64 // StageWrite duration
+	sentNano  int64 // wall clock after the request frame flushed
 }
 
 // remoteConn is one slot in a replica's connection pool. The slot is stable
@@ -332,7 +361,7 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 	if cfg.TolerateDown && cfg.DisableRecovery {
 		return nil, fmt.Errorf("backend: TolerateDown needs recovery (a dead slot would stay dead forever)")
 	}
-	r := &Remote{cfg: cfg, stop: make(chan struct{})}
+	r := &Remote{cfg: cfg, stop: make(chan struct{}), mt: cfg.Tracer.Model(cfg.Model)}
 	// Build the whole structure before starting any reader: a connection that
 	// dies instantly would otherwise race its fail() against construction.
 	var conns [][]net.Conn // conns[i][j] == nil marks a tolerated dead slot
@@ -404,6 +433,9 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 // Name implements loadgen.SUT.
 func (r *Remote) Name() string { return r.cfg.Name }
 
+// Tracer returns the client's span subsystem, nil when tracing is disabled.
+func (r *Remote) Tracer() *trace.Tracer { return r.cfg.Tracer }
+
 // Addrs returns the replica addresses in configuration order.
 func (r *Remote) Addrs() []string { return append([]string(nil), r.cfg.Addrs...) }
 
@@ -474,7 +506,12 @@ func (r *Remote) anyLive() bool {
 // exactly once.
 func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
 	r.inflight.Add(1)
-	r.send(pendingRequest{query: q, sampleID: s.ID, index: s.Index, attempt: 1})
+	p := pendingRequest{query: q, sampleID: s.ID, index: s.Index, attempt: 1}
+	if r.mt != nil {
+		p.issueNano = time.Now().UnixNano()
+		p.traceID = r.cfg.Tracer.Issue()
+	}
+	r.send(p)
 }
 
 // send routes one delivery attempt to a replica, holding one of that
@@ -484,6 +521,14 @@ func (r *Remote) issueSample(q *loadgen.Query, s loadgen.QuerySample) {
 // one broken connection keeps serving on its live ones while the supervisor
 // re-dials the broken one.
 func (r *Remote) send(p pendingRequest) {
+	traced := p.traceID != 0
+	var acquireStart time.Time
+	if traced {
+		acquireStart = time.Now()
+		if p.issueNs == 0 {
+			p.issueNs = acquireStart.UnixNano() - p.issueNano
+		}
+	}
 	rep := r.pick()
 	rep.window.acquire()
 	var rc *remoteConn
@@ -493,6 +538,11 @@ func (r *Remote) send(p pendingRequest) {
 			rc = cand
 			break
 		}
+	}
+	if traced {
+		// Accumulates across failover attempts: the slot answers "how long
+		// did this request wait for a window and a live connection, total".
+		p.acquireNs += time.Since(acquireStart).Nanoseconds()
 	}
 	if rc == nil {
 		// Every slot is between epochs (the replica is going down or coming
@@ -512,9 +562,13 @@ func (r *Remote) send(p pendingRequest) {
 	rc.pending[id] = p
 	rc.mu.Unlock()
 
-	req := serve.PredictRequest{ID: id, SampleIndex: p.index, Model: r.cfg.Model}
+	req := serve.PredictRequest{ID: id, SampleIndex: p.index, Model: r.cfg.Model, TraceID: p.traceID}
 	if r.cfg.Deadline > 0 {
 		req.Deadline = time.Now().Add(r.cfg.Deadline)
+	}
+	var writeStart time.Time
+	if traced {
+		writeStart = time.Now()
 	}
 	err := rc.write(func(w io.Writer) error { return serve.WritePredictRequest(w, req) })
 	if err != nil {
@@ -524,6 +578,23 @@ func (r *Remote) send(p pendingRequest) {
 		// reader that has not noticed yet) and hands the slot to the redial
 		// supervisor. Idempotent against the reader failing it concurrently.
 		rc.fail(gen, err)
+		return
+	}
+	if traced {
+		// Store the write duration and flush timestamp back into the pending
+		// entry under rc.mu — the reader pops entries under the same mutex,
+		// so this is the happens-before edge that publishes them (the socket
+		// itself gives the race detector no cross-goroutine ordering). If the
+		// response already arrived, the entry is gone and the await/write
+		// slots simply stay zero.
+		writeNs := time.Since(writeStart).Nanoseconds()
+		rc.mu.Lock()
+		if entry, ok := rc.pending[id]; ok && rc.gen == gen {
+			entry.writeNs = writeNs
+			entry.sentNano = time.Now().UnixNano()
+			rc.pending[id] = entry
+		}
+		rc.mu.Unlock()
 	}
 }
 
@@ -630,7 +701,7 @@ func (rc *remoteConn) readLoop(gen uint64, c net.Conn) {
 			return
 		}
 		switch frame.Type {
-		case serve.MsgPredict:
+		case serve.MsgPredict, serve.MsgPredictTraced:
 			rc.resolve(frame.Predict)
 		case serve.MsgMetrics:
 			rc.mu.Lock()
@@ -656,6 +727,42 @@ func (rc *remoteConn) resolve(resp serve.PredictResponse) {
 		return // already settled by a write failure
 	}
 	r := rc.rep.r
+	var rec *trace.Record
+	var decodeStart time.Time
+	if r.mt != nil {
+		// Every response feeds the tail tracker; a record is retained when
+		// the request was head-sampled OR its latency is a tail outlier.
+		decodeStart = time.Now()
+		e2e := decodeStart.UnixNano() - entry.issueNano
+		tail := r.mt.Observe(e2e)
+		if entry.traceID != 0 || tail {
+			rec = &trace.Record{
+				TraceID: entry.traceID, Model: r.cfg.Model,
+				Origin: trace.OriginClient,
+				Start:  entry.issueNano, End2End: e2e, Tail: tail,
+			}
+			if entry.traceID != 0 {
+				rec.Stages[trace.StageIssue] = entry.issueNs
+				rec.Stages[trace.StageAcquire] = entry.acquireNs
+				rec.Stages[trace.StageWrite] = entry.writeNs
+				if entry.sentNano > 0 {
+					if await := decodeStart.UnixNano() - entry.sentNano; await > 0 {
+						rec.Stages[trace.StageAwait] = await
+					}
+				}
+			}
+			if resp.Spans != nil {
+				// Fold the server's span block in: the cross-process record.
+				rec.HasServer = true
+				rec.ServerStart = resp.Spans.RecvUnixNano
+				rec.Stages[trace.StageAdmit] = resp.Spans.Admit
+				rec.Stages[trace.StageQueue] = resp.Spans.Queue
+				rec.Stages[trace.StageAssembly] = resp.Spans.Assembly
+				rec.Stages[trace.StageService] = resp.Spans.Service
+				rec.Stages[trace.StageEncode] = resp.Spans.Encode
+			}
+		}
+	}
 	out := loadgen.Response{SampleID: entry.sampleID}
 	switch resp.Status {
 	case serve.StatusOK:
@@ -672,6 +779,17 @@ func (rc *remoteConn) resolve(resp serve.PredictResponse) {
 		out.Dropped = true
 	}
 	rc.rep.settle(entry.query, out)
+	if rec != nil {
+		if entry.traceID != 0 {
+			decode := time.Since(decodeStart).Nanoseconds()
+			rec.Stages[trace.StageDecode] = decode
+			// End2End was snapped at decodeStart (the tail tracker needs it
+			// then); stretch it over the decode span so the client stages
+			// always sum to at most the end-to-end duration.
+			rec.End2End += decode
+		}
+		r.mt.Publish(rec)
+	}
 }
 
 // fail kills a broken connection epoch and fails over everything pending on

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mlperf/internal/audit"
+	"mlperf/internal/backend"
+	"mlperf/internal/core"
+	"mlperf/internal/loadgen"
+	"mlperf/internal/serve"
+	"mlperf/internal/trace"
+)
+
+// TestChaosTraceSoak is the tracing soak: a 2-replica fleet runs with span
+// sampling live on both sides of the wire while one replica is killed and
+// restarted mid-stream. Tracing must never turn a survivable fault into a
+// failure (the run stays VALID with zero drops), the spans captured across
+// the crash must still be well-formed (the serving-trace audit finding
+// passes on the merged client+server records), and the Chrome export of
+// those spans must remain valid JSON.
+func TestChaosTraceSoak(t *testing.T) {
+	a, err := BuildNative(core.ImageClassificationLight, BuildOptions{DatasetSamples: 32, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientTr := trace.New(trace.Config{SampleEvery: 4})
+	serverTr := trace.New(trace.Config{SampleEvery: 4})
+	dep, err := a.ServeLoopback(ServeOptions{
+		Replicas: 2,
+		Server:   serve.Config{Workers: 2, BatchWait: time.Millisecond, Tracer: serverTr},
+		Client: backend.RemoteConfig{
+			MaxInFlight: 32, Tracer: clientTr,
+			RedialInitial: time.Millisecond, RedialMax: 20 * time.Millisecond, RecoverySeed: 7,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dep.Close() })
+
+	settings := QuickSettings(a.Spec, loadgen.Offline, 1024)
+	settings.MinDuration = 0
+	settings.MinSampleCount = 4096
+
+	type runOut struct {
+		res *loadgen.Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := loadgen.StartTest(dep.Assembly.SUT, dep.Assembly.QSL, settings)
+		done <- runOut{res, err}
+	}()
+
+	// Crash replica 0 once it has served traced traffic, then bring it back;
+	// the restarted replica reuses the same server config, so its spans keep
+	// landing in the same tracer.
+	killed := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if dep.Replica(0).Metrics().Completed > 0 {
+			if err := dep.KillReplica(0); err != nil {
+				t.Fatalf("killing replica 0: %v", err)
+			}
+			killed = true
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	if !killed {
+		t.Fatal("replica 0 never served anything to kill")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := dep.RestartReplica(0); err != nil {
+		t.Fatal(err)
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	res := out.res
+	if res.ResponsesDropped != 0 {
+		t.Errorf("fleet dropped %d responses despite failover", res.ResponsesDropped)
+	}
+	if !res.Valid {
+		t.Errorf("traced kill-restart run invalid: %v", res.ValidityMessages)
+	}
+	dep.Remote.Wait()
+
+	traces := append(clientTr.Records(), serverTr.Records()...)
+	if len(traces) == 0 {
+		t.Fatal("1/4 sampling over a 4096-sample soak captured no records")
+	}
+	sampled := 0
+	for _, rec := range traces {
+		if rec.TraceID != 0 {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("no head-sampled records survived the crash")
+	}
+
+	snaps, err := dep.Remote.ReplicaMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := dep.Remote.Recovery()
+	findings, err := audit.CheckServing(audit.ServingEvidence{
+		Result:               res,
+		Settings:             settings,
+		ClientRejected:       dep.Remote.Rejected(),
+		ClientExpired:        dep.Remote.Expired(),
+		ClientTransportDrops: dep.Remote.TransportDrops(),
+		Recovery:             &rec,
+		Replicas:             snaps,
+		Traces:               traces,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !f.Pass {
+			t.Errorf("audit %s failed: %s", f.Name, f.Detail)
+		}
+	}
+
+	// The export path must survive crash-interleaved records too.
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(dump.TraceEvents) <= len(traces) {
+		t.Errorf("export holds %d events for %d records — stage spans missing", len(dump.TraceEvents), len(traces))
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mlperf/internal/trace"
 )
 
 // frameBytes builds one raw frame for corpus seeding, bypassing the writers
@@ -49,6 +51,8 @@ func decodeServerStream(data []byte) {
 			}
 		case MsgProbe:
 			_, _, _ = decodeIDPrefix(body)
+		case MsgPredictTraced:
+			_, _ = decodePredictTracedRequest(body)
 		default:
 			return
 		}
@@ -87,6 +91,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	buf.Reset()
 	_ = WriteProbeRequest(&buf, 3)
 	f.Add(append([]byte(nil), buf.Bytes()...))
+	// V3 traced frames, both directions, plus malformed variants: zero trace
+	// id, truncated span block, unknown span flag.
+	buf.Reset()
+	_ = WritePredictRequest(&buf, PredictRequest{ID: 11, SampleIndex: 2, Model: "resnet", TraceID: 77})
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	f.Add(frameBytes(MsgPredictTraced, encodePredictTracedResponse(12, StatusOK,
+		&trace.WireSpans{RecvUnixNano: 5, Admit: 1, Queue: 2, Assembly: 3, Service: 4, Encode: 5}, []byte("payload"))))
+	f.Add(frameBytes(MsgPredictTraced, encodePredictTracedResponse(13, StatusOK, nil, []byte("p"))))
+	f.Add(frameBytes(MsgPredictTraced, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}))
+	f.Add(frameBytes(MsgPredictTraced, []byte{0, 0, 0, 0, 0, 0, 0, 13, 0, 1, 9}))
+	f.Add(frameBytes(MsgPredictTraced, []byte{0, 0, 0, 0, 0, 0, 0, 13, 0, 7}))
 	// Server → client frames.
 	f.Add(frameBytes(MsgPredict, encodePredictResponse(42, StatusOK, []byte("payload"))))
 	f.Add(frameBytes(MsgMetrics, encodeIDPrefix(5, []byte(`{"completed":1}`))))

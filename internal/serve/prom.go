@@ -5,6 +5,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"mlperf/internal/tensor"
+	"mlperf/internal/trace"
 )
 
 // Prometheus text-format exposition (version 0.0.4) of the serving metrics.
@@ -22,9 +25,11 @@ import (
 // client and the conformance audit all read the same counters. Counters use
 // *_total names, the dispatched-batch-size histogram follows the Prometheus
 // histogram convention (cumulative le buckets plus a _count), latency
-// percentiles are exposed as summary-style quantile gauges, and every
-// applied resize is visible both as a counter (resize_events_total) and as
-// the current workers/queue_limit/max_batch gauges it moved.
+// percentiles are exposed as summary families with quantile labels, and
+// every applied resize is visible both as a counter (resize_events_total)
+// and as the current workers/queue_limit/max_batch gauges it moved. Go
+// runtime health families (heap, GC pauses, goroutines) and — when tracing
+// is enabled — the per-stage trace histograms ride the same scrape.
 
 // scrapeServer is the optional HTTP listener behind Config.MetricsAddr.
 type scrapeServer struct {
@@ -35,7 +40,7 @@ type scrapeServer struct {
 	extra []func(io.Writer)
 }
 
-func newScrapeServer(addr string, s *Server) (*scrapeServer, error) {
+func newScrapeServer(addr string, s *Server, enablePprof bool) (*scrapeServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: binding metrics endpoint on %s: %w", addr, err)
@@ -53,6 +58,24 @@ func newScrapeServer(addr string, s *Server) (*scrapeServer, error) {
 			f(w)
 		}
 	})
+	if s.tracer != nil {
+		// A Chrome trace-event dump of the retained records; save the body
+		// and open it in Perfetto (or chrome://tracing) directly.
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = trace.WriteChrome(w, s.tracer.Records())
+		})
+	}
+	if enablePprof {
+		// The stdlib handlers, mounted explicitly: this mux is private, so
+		// importing net/http/pprof for its DefaultServeMux side effect would
+		// register nothing reachable.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	sc.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go sc.srv.Serve(ln)
 	return sc, nil
@@ -86,6 +109,27 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	promFamily(w, "mlperf_serve_draining", "gauge", "1 while the server is draining or shut down.")
 	fmt.Fprintf(w, "mlperf_serve_draining %g\n", draining)
 	WriteKernelPrometheus(w, tensor.CurrentKernelConfig())
+	WriteRuntimePrometheus(w)
+	s.tracer.WritePrometheus(w)
+}
+
+// WriteRuntimePrometheus renders Go runtime health families: live heap
+// bytes, cumulative GC pause time as a quantile-less summary (sum + count,
+// so rate() yields mean pause), and the goroutine count. Process-level,
+// like the kernel families.
+func WriteRuntimePrometheus(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	promFamily(w, "mlperf_runtime_heap_bytes", "gauge",
+		"Live heap bytes (runtime.MemStats.HeapAlloc).")
+	fmt.Fprintf(w, "mlperf_runtime_heap_bytes %d\n", ms.HeapAlloc)
+	promFamily(w, "mlperf_runtime_gc_pause_seconds", "summary",
+		"Cumulative stop-the-world GC pause time and collection count.")
+	fmt.Fprintf(w, "mlperf_runtime_gc_pause_seconds_sum %s\n", promFloat(float64(ms.PauseTotalNs)/1e9))
+	fmt.Fprintf(w, "mlperf_runtime_gc_pause_seconds_count %d\n", ms.NumGC)
+	promFamily(w, "mlperf_runtime_goroutines", "gauge",
+		"Goroutines alive at scrape time.")
+	fmt.Fprintf(w, "mlperf_runtime_goroutines %d\n", runtime.NumGoroutine())
 }
 
 // WriteKernelPrometheus renders the process's compute-kernel configuration:
@@ -164,13 +208,13 @@ func WriteSnapshotsPrometheus(w io.Writer, models []string, snaps []Snapshot) {
 	gauge("mlperf_serve_max_batch", "Live dynamic-batch cap.",
 		func(s Snapshot) float64 { return float64(s.MaxBatch) })
 
-	promFamily(w, "mlperf_serve_queue_latency_seconds", "gauge",
+	promFamily(w, "mlperf_serve_queue_latency_seconds", "summary",
 		"Recent queue-latency quantiles (window of recent requests).")
 	for i, s := range snaps {
 		promQuantile(w, "mlperf_serve_queue_latency_seconds", models[i], "0.5", s.QueueP50)
 		promQuantile(w, "mlperf_serve_queue_latency_seconds", models[i], "0.99", s.QueueP99)
 	}
-	promFamily(w, "mlperf_serve_service_latency_seconds", "gauge",
+	promFamily(w, "mlperf_serve_service_latency_seconds", "summary",
 		"Recent service-latency quantiles (window of recent requests).")
 	for i, s := range snaps {
 		promQuantile(w, "mlperf_serve_service_latency_seconds", models[i], "0.5", s.ServiceP50)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"mlperf/internal/trace"
 )
 
 // Wire protocol. Every message — both directions — is one length-prefixed
@@ -75,7 +77,38 @@ const (
 	// must not readmit it). backend.Remote's recovery supervisor probes a
 	// re-dialed replica with this frame before routing traffic to it again.
 	MsgProbe byte = 9
+	// MsgPredictTraced is the V3 predict frame: a MsgPredictModel that also
+	// carries a trace id, used only for head-sampled requests (the other
+	// SampleEvery−1 requests stay byte-identical V1/V2 frames).
+	//
+	// Request body:  u64 trace id, then the MsgPredictModel body
+	//                ([u8 model-id length][model-id][20-byte predict body];
+	//                an empty model id targets the default model, like V1).
+	// Response body: u64 request id, u8 status, u8 span flag, then — when
+	//                the flag is SpanBlockPresent — a 48-byte server span
+	//                block (i64 receipt UnixNano and five i64 nanosecond
+	//                durations: admit, queue wait, batch assembly, service,
+	//                encode), then the payload bytes.
+	//
+	// Degradation is graceful in both directions: a server without a tracer
+	// answers a traced request with a plain MsgPredict response (the client
+	// demultiplexes by request id, not frame type, and simply gets no server
+	// spans), and an untraced client never emits type 10, so a tracing
+	// server speaks pure V1/V2 to it.
+	MsgPredictTraced byte = 10
 )
+
+// Span-flag values carried in a MsgPredictTraced response.
+const (
+	// SpanBlockAbsent: the response carries no server span block.
+	SpanBlockAbsent byte = 0
+	// SpanBlockPresent: a 48-byte server span block follows the flag.
+	SpanBlockPresent byte = 1
+)
+
+// spanBlockBytes is the encoded size of a server span block: receipt
+// timestamp plus five stage durations, eight bytes each.
+const spanBlockBytes = 48
 
 // Probe readiness verdicts carried in a MsgProbe response.
 const (
@@ -90,6 +123,8 @@ const (
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
+	// ProtocolV3 adds the traced predict frame (type 10).
+	ProtocolV3 = 3
 )
 
 // maxModelIDLen bounds a wire model id (its length is a u8).
@@ -145,6 +180,10 @@ type PredictRequest struct {
 	// server's default model and encodes as a V1 frame, byte-identical to the
 	// PR 4 protocol; non-empty encodes as MsgPredictModel (V2).
 	Model string
+	// TraceID, when non-zero, marks the request head-sampled for tracing
+	// and switches the encoding to MsgPredictTraced (V3). Zero — the
+	// overwhelmingly common case — leaves the V1/V2 encoding untouched.
+	TraceID uint64
 }
 
 // PredictResponse is the client-side form of a MsgPredict response frame.
@@ -153,6 +192,10 @@ type PredictResponse struct {
 	Status Status
 	// Data is the encoded model.Output for StatusOK, empty otherwise.
 	Data []byte
+	// Spans holds the server-measured span block from a MsgPredictTraced
+	// response, nil for plain responses (and for traced responses whose
+	// server recorded no spans).
+	Spans *trace.WireSpans
 }
 
 // writeFrame emits one frame. The caller serializes concurrent writers.
@@ -245,6 +288,15 @@ func WritePredictRequest(w io.Writer, req PredictRequest) error {
 		deadline = req.Deadline.UnixNano()
 	}
 	binary.BigEndian.PutUint64(fixed[12:20], uint64(deadline))
+	if req.TraceID != 0 {
+		body := make([]byte, 0, 8+1+len(req.Model)+len(fixed))
+		body = binary.BigEndian.AppendUint64(body, req.TraceID)
+		body, err := appendModelID(body, req.Model)
+		if err != nil {
+			return err
+		}
+		return writeFrame(w, MsgPredictTraced, append(body, fixed[:]...))
+	}
 	if req.Model == "" {
 		return writeFrame(w, MsgPredict, fixed[:])
 	}
@@ -253,6 +305,29 @@ func WritePredictRequest(w io.Writer, req PredictRequest) error {
 		return err
 	}
 	return writeFrame(w, MsgPredictModel, append(body, fixed[:]...))
+}
+
+// decodePredictTracedRequest parses a MsgPredictTraced request body into
+// the request (Model and TraceID populated).
+func decodePredictTracedRequest(body []byte) (PredictRequest, error) {
+	if len(body) < 8 {
+		return PredictRequest{}, fmt.Errorf("serve: traced predict body is %d bytes, want >= 8", len(body))
+	}
+	traceID := binary.BigEndian.Uint64(body[0:8])
+	if traceID == 0 {
+		return PredictRequest{}, fmt.Errorf("serve: traced predict frame carries a zero trace id")
+	}
+	model, rest, err := splitModelID(body[8:])
+	if err != nil {
+		return PredictRequest{}, err
+	}
+	req, err := decodePredictRequest(rest)
+	if err != nil {
+		return PredictRequest{}, err
+	}
+	req.Model = model
+	req.TraceID = traceID
+	return req, nil
 }
 
 // decodePredictRequest parses a MsgPredict request body.
@@ -277,6 +352,62 @@ func encodePredictResponse(id uint64, status Status, data []byte) []byte {
 	body[8] = byte(status)
 	copy(body[9:], data)
 	return body
+}
+
+// encodePredictTracedResponse builds a MsgPredictTraced response body:
+// the plain response prefix, a span flag, and — when spans is non-nil —
+// the 48-byte server span block ahead of the payload.
+func encodePredictTracedResponse(id uint64, status Status, spans *trace.WireSpans, data []byte) []byte {
+	size := 10 + len(data)
+	if spans != nil {
+		size += spanBlockBytes
+	}
+	body := make([]byte, 0, size)
+	body = binary.BigEndian.AppendUint64(body, id)
+	body = append(body, byte(status))
+	if spans == nil {
+		body = append(body, SpanBlockAbsent)
+		return append(body, data...)
+	}
+	body = append(body, SpanBlockPresent)
+	for _, v := range [6]int64{spans.RecvUnixNano, spans.Admit, spans.Queue, spans.Assembly, spans.Service, spans.Encode} {
+		body = binary.BigEndian.AppendUint64(body, uint64(v))
+	}
+	return append(body, data...)
+}
+
+// decodePredictTracedResponse parses a MsgPredictTraced response body.
+func decodePredictTracedResponse(body []byte) (PredictResponse, error) {
+	if len(body) < 10 {
+		return PredictResponse{}, fmt.Errorf("serve: traced predict response body is %d bytes, want >= 10", len(body))
+	}
+	resp := PredictResponse{
+		ID:     binary.BigEndian.Uint64(body[0:8]),
+		Status: Status(body[8]),
+	}
+	rest := body[10:]
+	switch flag := body[9]; flag {
+	case SpanBlockAbsent:
+	case SpanBlockPresent:
+		if len(rest) < spanBlockBytes {
+			return PredictResponse{}, fmt.Errorf("serve: traced response span block is %d bytes, want %d", len(rest), spanBlockBytes)
+		}
+		var vals [6]int64
+		for i := range vals {
+			vals[i] = int64(binary.BigEndian.Uint64(rest[8*i : 8*i+8]))
+		}
+		resp.Spans = &trace.WireSpans{
+			RecvUnixNano: vals[0], Admit: vals[1], Queue: vals[2],
+			Assembly: vals[3], Service: vals[4], Encode: vals[5],
+		}
+		rest = rest[spanBlockBytes:]
+	default:
+		return PredictResponse{}, fmt.Errorf("serve: traced response has unknown span flag %d", flag)
+	}
+	if len(rest) > 0 {
+		resp.Data = rest
+	}
+	return resp, nil
 }
 
 // decodePredictResponse parses a MsgPredict response body.
@@ -373,7 +504,7 @@ func WriteMetricsRequestModel(w io.Writer, id uint64, model string) error {
 type ClientFrame struct {
 	// Type is the frame's message type (MsgPredict, MsgMetrics or MsgProbe).
 	Type byte
-	// Predict is populated when Type is MsgPredict.
+	// Predict is populated when Type is MsgPredict or MsgPredictTraced.
 	Predict PredictResponse
 	// MetricsID and MetricsJSON are populated when Type is MsgMetrics.
 	MetricsID   uint64
@@ -393,6 +524,8 @@ func ReadClientFrame(r *bufio.Reader) (ClientFrame, error) {
 	switch msgType {
 	case MsgPredict:
 		frame.Predict, err = decodePredictResponse(body)
+	case MsgPredictTraced:
+		frame.Predict, err = decodePredictTracedResponse(body)
 	case MsgMetrics:
 		frame.MetricsID, frame.MetricsJSON, err = decodeIDPrefix(body)
 	case MsgProbe:

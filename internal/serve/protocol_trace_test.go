@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"time"
+
+	"mlperf/internal/trace"
+)
+
+// TestTracedPredictRequestRoundTrip: the V3 request frame carries the trace
+// id and model through encode/decode, and an untraced request's encoding is
+// byte-identical to the V1/V2 frames (tracing must not perturb the
+// established wire format).
+func TestTracedPredictRequestRoundTrip(t *testing.T) {
+	deadline := time.Unix(0, 123456789)
+	for _, model := range []string{"", "resnet"} {
+		var buf bytes.Buffer
+		req := PredictRequest{ID: 42, SampleIndex: 7, Deadline: deadline, Model: model, TraceID: 99}
+		if err := WritePredictRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		msgType, body, err := readFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msgType != MsgPredictTraced {
+			t.Fatalf("model %q: traced request encoded as frame type %d", model, msgType)
+		}
+		got, err := decodePredictTracedRequest(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != 42 || got.SampleIndex != 7 || !got.Deadline.Equal(deadline) ||
+			got.Model != model || got.TraceID != 99 {
+			t.Fatalf("round trip mangled the request: %+v", got)
+		}
+	}
+
+	// TraceID == 0 must stay on the old wire format, byte for byte.
+	var v1, untraced bytes.Buffer
+	if err := WritePredictRequest(&v1, PredictRequest{ID: 1, SampleIndex: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePredictRequest(&untraced, PredictRequest{ID: 1, SampleIndex: 2, TraceID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), untraced.Bytes()) {
+		t.Fatalf("zero trace id changed the V1 encoding")
+	}
+}
+
+// TestTracedPredictResponseRoundTrip covers both span-flag shapes and the
+// client-side entry point (ReadClientFrame).
+func TestTracedPredictResponseRoundTrip(t *testing.T) {
+	spans := &trace.WireSpans{
+		RecvUnixNano: 1_700_000_000_000_000_000,
+		Admit:        10, Queue: 20, Assembly: 30, Service: 40, Encode: 50,
+	}
+	payload := []byte("encoded-output")
+
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, MsgPredictTraced, encodePredictTracedResponse(7, StatusOK, spans, payload)); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ReadClientFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != MsgPredictTraced {
+		t.Fatalf("frame type %d", frame.Type)
+	}
+	resp := frame.Predict
+	if resp.ID != 7 || resp.Status != StatusOK || string(resp.Data) != string(payload) {
+		t.Fatalf("response mangled: %+v", resp)
+	}
+	if resp.Spans == nil || *resp.Spans != *spans {
+		t.Fatalf("span block mangled: %+v", resp.Spans)
+	}
+
+	// Span-less traced response (e.g. a rejected request's answer).
+	buf.Reset()
+	if err := writeFrame(&buf, MsgPredictTraced, encodePredictTracedResponse(8, StatusRejected, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	frame, err = ReadClientFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Predict.Spans != nil || frame.Predict.Status != StatusRejected || frame.Predict.Data != nil {
+		t.Fatalf("span-less response mangled: %+v", frame.Predict)
+	}
+
+	// Malformed: a zero trace id on the request side must not decode.
+	if _, err := decodePredictTracedRequest(make([]byte, 30)); err == nil {
+		t.Fatal("zero trace id decoded without error")
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"mlperf/internal/dataset"
 	"mlperf/internal/model"
 	"mlperf/internal/tensor"
+	"mlperf/internal/trace"
 )
 
 // SampleStore provides samples by index. dataset.QSL satisfies it; it is
@@ -183,6 +184,16 @@ type Config struct {
 	// External scrapers see exactly the counters the wire-protocol metrics
 	// frames and audit.CheckServing reconcile. Empty disables the endpoint.
 	MetricsAddr string
+	// Tracer, when set, records server-side spans (admit, queue wait, batch
+	// assembly, service, encode, reply) for requests arriving with a wire
+	// trace id, tail-captures outlier requests regardless of sampling, and
+	// exposes the retained records at /debug/trace on the metrics listener.
+	// Nil disables all span recording at zero cost.
+	Tracer *trace.Tracer
+	// EnablePprof mounts net/http/pprof's profile handlers (/debug/pprof/*)
+	// on the metrics listener, so a live server's CPU, heap, goroutine and
+	// block profiles are reachable without a rebuild. Requires MetricsAddr.
+	EnablePprof bool
 }
 
 // normalize validates the config and expands it into one ModelConfig per
@@ -273,6 +284,26 @@ type request struct {
 	deadline time.Time
 	enqueued time.Time
 	conn     *serverConn
+	// tr is non-nil only when the request arrived with a wire trace id AND
+	// the server has a tracer: the head-sampled path. Everything else pays
+	// no per-request tracing cost beyond one nil check.
+	tr *reqTrace
+}
+
+// reqTrace accumulates one head-sampled request's server-side stage
+// timings as it flows admit → queue → batch → worker → response. It is
+// touched by one goroutine at a time (the request moves between
+// goroutines over channels, which order the accesses).
+type reqTrace struct {
+	id      uint64
+	arrived time.Time // socket read-off (StageAdmit starts here)
+	taken   time.Time // popped from the admission queue by the dispatcher
+	service int64     // the batch's Engine.Predict duration, ns
+	encode  int64     // this request's Output.Encode duration, ns
+	// spans is the block carried back to the client in the traced
+	// response; built on the success path, nil for rejected/expired/error
+	// answers (the client then simply gets no server decomposition).
+	spans *trace.WireSpans
 }
 
 // respWriteTimeout bounds every response write. A client that stops reading
@@ -333,6 +364,9 @@ type engineHost struct {
 	metrics    *serverMetrics
 	dispatchWG sync.WaitGroup
 	workWG     sync.WaitGroup
+
+	// mt is this model's trace state (nil when tracing is disabled).
+	mt *trace.ModelTrace
 }
 
 // Server is a running inference server. New starts it listening; Close tears
@@ -352,6 +386,9 @@ type Server struct {
 
 	// scrape is the optional Prometheus endpoint (nil when disabled).
 	scrape *scrapeServer
+
+	// tracer is the optional span subsystem (nil when disabled).
+	tracer *trace.Tracer
 
 	// draining is set by Drain: the server stops admitting predict requests
 	// (they answer StatusRejected) and probes answer ProbeDraining, but the
@@ -384,9 +421,10 @@ func New(cfg Config) (*Server, error) {
 		ln = cfg.WrapListener(ln)
 	}
 	s := &Server{
-		ln:    ln,
-		hosts: make(map[string]*engineHost, len(models)),
-		conns: make(map[*serverConn]struct{}),
+		ln:     ln,
+		hosts:  make(map[string]*engineHost, len(models)),
+		conns:  make(map[*serverConn]struct{}),
+		tracer: cfg.Tracer,
 	}
 	for _, mc := range models {
 		// The batch channel's buffer is fixed at creation; floor it so a pool
@@ -404,6 +442,7 @@ func New(cfg Config) (*Server, error) {
 			notify:      make(chan struct{}, 1),
 			batchCh:     make(chan []*request, chCap),
 			metrics:     newServerMetrics(),
+			mt:          cfg.Tracer.Model(mc.Name),
 		}
 		s.hosts[mc.Name] = h
 		s.hostList = append(s.hostList, h)
@@ -421,7 +460,7 @@ func New(cfg Config) (*Server, error) {
 		s.defaultHost = s.hostList[0]
 	}
 	if cfg.MetricsAddr != "" {
-		scrape, err := newScrapeServer(cfg.MetricsAddr, s)
+		scrape, err := newScrapeServer(cfg.MetricsAddr, s, cfg.EnablePprof)
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -455,6 +494,9 @@ func (s *Server) OnScrape(f func(io.Writer)) {
 
 // Addr returns the bound listen address (useful with the default ":0" port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Tracer returns the server's span subsystem, nil when tracing is disabled.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Models lists the hosted model ids in configuration order (the default
 // model, when present, is the empty string).
@@ -665,8 +707,15 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 		}
 		switch msgType {
-		case MsgPredict, MsgPredictModel:
-			req, err := decodePredictRequest(body)
+		case MsgPredict, MsgPredictModel, MsgPredictTraced:
+			var req PredictRequest
+			if msgType == MsgPredictTraced {
+				// V3 carries its own model id ahead of the fixed body.
+				req, err = decodePredictTracedRequest(body)
+				modelID = req.Model
+			} else {
+				req, err = decodePredictRequest(body)
+			}
 			if err != nil {
 				return
 			}
@@ -677,7 +726,14 @@ func (s *Server) serveConn(c net.Conn) {
 				_ = sc.writeFrame(MsgPredict, encodePredictResponse(req.ID, StatusError, nil))
 				continue
 			}
-			h.admit(&request{id: req.ID, index: req.SampleIndex, deadline: req.Deadline, conn: sc})
+			r := &request{id: req.ID, index: req.SampleIndex, deadline: req.Deadline, conn: sc}
+			if req.TraceID != 0 && h.mt != nil {
+				// Head-sampled and this server traces: record server spans. A
+				// server without a tracer leaves tr nil and answers with a
+				// plain frame — the graceful-degradation path.
+				r.tr = &reqTrace{id: req.TraceID, arrived: time.Now()}
+			}
+			h.admit(r)
 		case MsgFlush, MsgFlushModel:
 			for _, h := range s.controlTargets(modelID) {
 				h.flushSeries()
@@ -961,6 +1017,15 @@ func (h *engineHost) takeLocked() []*request {
 	}
 	batch := make([]*request, n)
 	copy(batch, h.queue[:n])
+	var now time.Time
+	for _, r := range batch {
+		if r.tr != nil {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			r.tr.taken = now
+		}
+	}
 	h.queue = h.queue[n:]
 	if len(h.queue) == 0 {
 		h.queue = nil // release the backing array between bursts
@@ -1024,7 +1089,28 @@ func (h *engineHost) runBatch(batch []*request) {
 		return
 	}
 
+	// Time the batched Predict only when a traced request shares the batch
+	// (every member charges the whole batch run to its service slot).
+	traced := false
+	for _, r := range reqs {
+		if r.tr != nil {
+			traced = true
+			break
+		}
+	}
+	var serviceStart time.Time
+	if traced {
+		serviceStart = time.Now()
+	}
 	outputs, err := h.cfg.Engine.Predict(samples, nil)
+	if traced {
+		serviceNs := time.Since(serviceStart).Nanoseconds()
+		for _, r := range reqs {
+			if r.tr != nil {
+				r.tr.service = serviceNs
+			}
+		}
+	}
 	if err != nil || len(outputs) != len(samples) {
 		// One bad sample poisons a whole batched Predict; retry sample by
 		// sample so errors stay isolated (mirrors backend.Native).
@@ -1040,7 +1126,14 @@ func (h *engineHost) runBatch(batch []*request) {
 
 // predictOne is the per-sample isolation fallback after a failed batch.
 func (h *engineHost) predictOne(r *request, sample *dataset.Sample, started time.Time) {
+	var serviceStart time.Time
+	if r.tr != nil {
+		serviceStart = time.Now()
+	}
 	outputs, err := h.cfg.Engine.Predict([]*dataset.Sample{sample}, nil)
+	if r.tr != nil {
+		r.tr.service = time.Since(serviceStart).Nanoseconds()
+	}
 	if err != nil || len(outputs) != 1 {
 		h.metrics.addErrored()
 		h.respond(r, StatusError, nil)
@@ -1054,18 +1147,90 @@ func (h *engineHost) predictOne(r *request, sample *dataset.Sample, started time
 // a client that has seen all its responses is consistent (Completed covers
 // them); service time therefore excludes the buffered loopback write.
 func (h *engineHost) finish(r *request, out model.Output, started time.Time) {
+	var encodeStart time.Time
+	if r.tr != nil {
+		encodeStart = time.Now()
+	}
 	data, err := out.Encode()
+	if r.tr != nil {
+		r.tr.encode = time.Since(encodeStart).Nanoseconds()
+	}
 	if err != nil {
 		h.metrics.addErrored()
 		h.respond(r, StatusError, nil)
 		return
 	}
-	h.metrics.observeService(started.Sub(r.enqueued), time.Since(started))
+	queued := started.Sub(r.enqueued)
+	service := time.Since(started)
+	h.metrics.observeService(queued, service)
+	switch {
+	case r.tr != nil:
+		// Build the span block the traced response carries back.
+		r.tr.spans = &trace.WireSpans{
+			RecvUnixNano: r.tr.arrived.UnixNano(),
+			Admit:        nonNegNanos(r.enqueued.Sub(r.tr.arrived)),
+			Queue:        nonNegNanos(r.tr.taken.Sub(r.enqueued)),
+			Assembly:     nonNegNanos(started.Sub(r.tr.taken)),
+			Service:      r.tr.service,
+			Encode:       r.tr.encode,
+		}
+	case h.mt != nil:
+		// Untraced request on a tracing server: feed the tail tracker so
+		// outliers the sampling coin missed are still retained, with the
+		// queue/service split this path already measures.
+		e2e := (queued + service).Nanoseconds()
+		if h.mt.Observe(e2e) {
+			rec := &trace.Record{
+				Model: h.cfg.Name, Origin: trace.OriginServer,
+				Start: r.enqueued.UnixNano(), End2End: e2e, Tail: true,
+			}
+			rec.Stages[trace.StageQueue] = queued.Nanoseconds()
+			rec.Stages[trace.StageService] = service.Nanoseconds()
+			h.mt.Publish(rec)
+		}
+	}
 	h.respond(r, StatusOK, data)
 }
 
+// nonNegNanos floors a duration at zero nanoseconds (stage boundaries taken
+// from different clock reads can invert by a few nanoseconds).
+func nonNegNanos(d time.Duration) int64 {
+	if d < 0 {
+		return 0
+	}
+	return d.Nanoseconds()
+}
+
 // respond writes one predict response; a write error means the client has
-// gone away, which does not concern the serving loop.
+// gone away, which does not concern the serving loop. A head-sampled
+// request answers with the V3 traced frame (span block included when the
+// success path built one), times the write as its reply stage, and
+// publishes the server-side record.
 func (h *engineHost) respond(r *request, status Status, data []byte) {
-	_ = r.conn.writeFrame(MsgPredict, encodePredictResponse(r.id, status, data))
+	if r.tr == nil {
+		_ = r.conn.writeFrame(MsgPredict, encodePredictResponse(r.id, status, data))
+		return
+	}
+	tr := r.tr
+	replyStart := time.Now()
+	_ = r.conn.writeFrame(MsgPredictTraced, encodePredictTracedResponse(r.id, status, tr.spans, data))
+	replyNs := time.Since(replyStart).Nanoseconds()
+	if h.mt == nil {
+		return
+	}
+	e2e := time.Since(tr.arrived).Nanoseconds()
+	rec := &trace.Record{
+		TraceID: tr.id, Model: h.cfg.Name, Origin: trace.OriginServer,
+		Start: tr.arrived.UnixNano(), End2End: e2e,
+		Tail: h.mt.Observe(e2e),
+	}
+	if tr.spans != nil {
+		rec.Stages[trace.StageAdmit] = tr.spans.Admit
+		rec.Stages[trace.StageQueue] = tr.spans.Queue
+		rec.Stages[trace.StageAssembly] = tr.spans.Assembly
+		rec.Stages[trace.StageService] = tr.spans.Service
+		rec.Stages[trace.StageEncode] = tr.spans.Encode
+	}
+	rec.Stages[trace.StageReply] = replyNs
+	h.mt.Publish(rec)
 }

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dominant classifies which slice of a tail request's latency was the
+// largest contributor.
+type Dominant string
+
+const (
+	// QueueDominated: admission wait + batch assembly dominated.
+	QueueDominated Dominant = "queue"
+	// ServiceDominated: inference + encode + reply dominated.
+	ServiceDominated Dominant = "service"
+	// WireDominated: time outside the server (client pool + network)
+	// dominated.
+	WireDominated Dominant = "wire"
+	// Unattributed: the record carries no server decomposition (e.g. a
+	// tail capture on an untraced client request), so no class fits.
+	Unattributed Dominant = "unattributed"
+)
+
+// ClassShare is one attribution class's weight in a Report.
+type ClassShare struct {
+	Class Dominant
+	// Count is how many tail records the class dominated.
+	Count int
+	// Share is Count over the tail-record total, in [0, 1].
+	Share float64
+	// WorstNanos is the largest end-to-end latency among the class's
+	// records; WorstTraceID is that record's trace ID (0 if tail-only).
+	WorstNanos   int64
+	WorstTraceID uint64
+}
+
+// Report is the tail-attribution summary Attribute produces.
+type Report struct {
+	// Total is how many records were examined.
+	Total int
+	// Tail is how many records were classified (retained at ≥ the p99
+	// estimate).
+	Tail int
+	// Classes holds the attribution classes in fixed order (queue,
+	// service, wire, unattributed), including empty ones.
+	Classes []ClassShare
+}
+
+// Dominant returns the report's overall dominant class — the class with
+// the most tail records, Unattributed when the tail is empty.
+func (r Report) Dominant() Dominant {
+	best := Unattributed
+	bestCount := 0
+	for _, c := range r.Classes {
+		if c.Count > bestCount {
+			best, bestCount = c.Class, c.Count
+		}
+	}
+	return best
+}
+
+// String renders the report for CLI output.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tail attribution: %d/%d records at or beyond p99", r.Tail, r.Total)
+	if r.Tail == 0 {
+		b.WriteString(" (no tail retained)")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "; dominant class %s\n", r.Dominant())
+	for _, c := range r.Classes {
+		if c.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s %4d (%5.1f%%)  worst %.3fms", c.Class, c.Count, 100*c.Share, float64(c.WorstNanos)/1e6)
+		if c.WorstTraceID != 0 {
+			fmt.Fprintf(&b, " (trace %d)", c.WorstTraceID)
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Attribute classifies the retained tail records (Record.Tail) among the
+// given records: for each, it splits end-to-end latency into a queue slice
+// (admit + queue wait + batch assembly), a service slice (inference +
+// encode + reply) and a wire slice (everything the server never saw —
+// client-pool time plus the network), and charges the record to the
+// largest slice. Records with no server decomposition are Unattributed.
+// Server-origin records have no wire slice by construction.
+func Attribute(records []Record) Report {
+	rep := Report{
+		Total: len(records),
+		Classes: []ClassShare{
+			{Class: QueueDominated},
+			{Class: ServiceDominated},
+			{Class: WireDominated},
+			{Class: Unattributed},
+		},
+	}
+	idx := map[Dominant]int{QueueDominated: 0, ServiceDominated: 1, WireDominated: 2, Unattributed: 3}
+	for i := range records {
+		rec := &records[i]
+		if !rec.Tail {
+			continue
+		}
+		rep.Tail++
+		class := classify(rec)
+		c := &rep.Classes[idx[class]]
+		c.Count++
+		if rec.End2End > c.WorstNanos {
+			c.WorstNanos = rec.End2End
+			c.WorstTraceID = rec.TraceID
+		}
+	}
+	if rep.Tail > 0 {
+		for i := range rep.Classes {
+			rep.Classes[i].Share = float64(rep.Classes[i].Count) / float64(rep.Tail)
+		}
+	}
+	return rep
+}
+
+func classify(rec *Record) Dominant {
+	queue := rec.Stages[StageAdmit] + rec.Stages[StageQueue] + rec.Stages[StageAssembly]
+	service := rec.Stages[StageService] + rec.Stages[StageEncode] + rec.Stages[StageReply]
+	server := queue + service
+	if server == 0 {
+		return Unattributed
+	}
+	var wire int64
+	if rec.Origin == OriginClient {
+		if w := rec.End2End - server; w > 0 {
+			wire = w
+		}
+	}
+	switch {
+	case wire >= queue && wire >= service:
+		return WireDominated
+	case queue >= service:
+		return QueueDominated
+	default:
+		return ServiceDominated
+	}
+}

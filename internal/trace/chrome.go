@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event pids: one synthetic "process" per side of the wire so
+// Perfetto draws client and server tracks separately, with the server span
+// visually nested under its client span on a shared clock.
+const (
+	chromePidClient = 1
+	chromePidServer = 2
+)
+
+// chromeEvent is one entry in the trace-event JSON's traceEvents array.
+// Field order is fixed by the struct so the export is golden-testable.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	Pid   int            `json:"pid"`
+	Tid   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeDump is the top-level trace-event JSON object.
+type chromeDump struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome renders records as Chrome trace-event JSON ("X" complete
+// events, timestamps in microseconds), the format chrome://tracing and
+// Perfetto open directly. Each record becomes one enclosing "request" span
+// plus one span per measured stage, laid end to end in stage order; a
+// client record with folded server spans additionally draws the server
+// stages on the server track starting at the server's receipt clock, so
+// the nesting of server inside client is visible on a shared timeline.
+// Timestamps are offset from the earliest record so dumps start near zero.
+func WriteChrome(w io.Writer, records []Record) error {
+	var epoch int64
+	for i := range records {
+		if s := records[i].Start; s > 0 && (epoch == 0 || s < epoch) {
+			epoch = s
+		}
+	}
+	dump := chromeDump{
+		DisplayTimeUnit: "ms",
+		TraceEvents: []chromeEvent{
+			{Name: "process_name", Phase: "M", Pid: chromePidClient,
+				Args: map[string]any{"name": "client"}},
+			{Name: "process_name", Phase: "M", Pid: chromePidServer,
+				Args: map[string]any{"name": "server"}},
+		},
+	}
+	for i := range records {
+		dump.TraceEvents = append(dump.TraceEvents, recordEvents(&records[i], uint64(i+1), epoch)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dump)
+}
+
+// recordEvents expands one record into its span events. seq numbers the
+// record within the dump and becomes the thread id for records without a
+// trace ID (tail captures), so their spans do not stack onto one row.
+func recordEvents(rec *Record, seq uint64, epoch int64) []chromeEvent {
+	tid := rec.TraceID
+	if tid == 0 {
+		tid = seq
+	}
+	pid := chromePidClient
+	first, last := StageIssue, StageDecode
+	if rec.Origin == OriginServer {
+		pid = chromePidServer
+		first, last = StageAdmit, StageReply
+	}
+	args := map[string]any{"model": rec.Model}
+	if rec.TraceID != 0 {
+		args["trace_id"] = rec.TraceID
+	}
+	if rec.Tail {
+		args["tail"] = true
+	}
+	events := []chromeEvent{{
+		Name:  rec.Origin.String() + " request",
+		Phase: "X",
+		Ts:    micros(rec.Start - epoch),
+		Dur:   micros(rec.End2End),
+		Pid:   pid,
+		Tid:   tid,
+		Args:  args,
+	}}
+	events = append(events, stageEvents(rec, pid, tid, rec.Start-epoch, first, last)...)
+	if rec.Origin == OriginClient && rec.HasServer {
+		start := rec.ServerStart - epoch
+		if rec.ServerStart == 0 {
+			start = rec.Start - epoch
+		}
+		events = append(events, stageEvents(rec, chromePidServer, tid, start, StageAdmit, StageReply)...)
+	}
+	return events
+}
+
+// stageEvents lays a record's measured stages [first, last] end to end
+// starting at offset nanoseconds past the dump epoch.
+func stageEvents(rec *Record, pid int, tid uint64, offset int64, first, last Stage) []chromeEvent {
+	var events []chromeEvent
+	at := offset
+	for s := first; s <= last; s++ {
+		d := rec.Stages[s]
+		if d <= 0 {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name:  s.String(),
+			Phase: "X",
+			Ts:    micros(at),
+			Dur:   micros(d),
+			Pid:   pid,
+			Tid:   tid,
+		})
+		at += d
+	}
+	return events
+}
+
+// micros converts nanoseconds to the trace-event format's microseconds.
+func micros(nanos int64) float64 {
+	return float64(nanos) / 1e3
+}

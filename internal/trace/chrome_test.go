@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Chrome trace-event golden file")
+
+// goldenRecords is a fixed dump exercising every export shape: a fully
+// traced client record with folded server spans, a server-origin record,
+// and an untraced tail capture with only an end-to-end latency.
+func goldenRecords() []Record {
+	base := int64(1_700_000_000_000_000_000)
+	return []Record{
+		{
+			TraceID: 64, Model: "resnet", Origin: OriginClient,
+			Start: base, End2End: 5_000_000, Tail: false,
+			HasServer: true, ServerStart: base + 400_000,
+			Stages: stageSet(map[Stage]int64{
+				StageIssue: 50_000, StageAcquire: 20_000, StageWrite: 80_000,
+				StageAwait: 4_500_000, StageDecode: 30_000,
+				StageAdmit: 10_000, StageQueue: 1_200_000, StageAssembly: 90_000,
+				StageService: 2_600_000, StageEncode: 40_000,
+			}),
+		},
+		{
+			TraceID: 64, Model: "resnet", Origin: OriginServer,
+			Start: base + 400_000, End2End: 4_100_000,
+			Stages: stageSet(map[Stage]int64{
+				StageAdmit: 10_000, StageQueue: 1_200_000, StageAssembly: 90_000,
+				StageService: 2_600_000, StageEncode: 40_000, StageReply: 160_000,
+			}),
+		},
+		{
+			Model: "gnmt", Origin: OriginClient,
+			Start: base + 2_000_000, End2End: 48_000_000, Tail: true,
+		},
+	}
+}
+
+// TestChromeGolden pins the trace-event JSON schema: the golden file is a
+// dump Perfetto has to keep opening, so any byte-level drift here is an
+// intentional schema change (regenerate with -update).
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenRecords()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeShape checks the structural invariants Perfetto needs
+// independent of the golden bytes: one top-level traceEvents array, "X"
+// events with non-negative ts/dur, and metadata naming both pids.
+func TestChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenRecords()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var dump struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			Pid   int     `json:"pid"`
+			Tid   uint64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if dump.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", dump.DisplayTimeUnit)
+	}
+	meta, spans := 0, 0
+	for _, ev := range dump.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("span %q has negative ts/dur: %+v", ev.Name, ev)
+			}
+			if ev.Pid != chromePidClient && ev.Pid != chromePidServer {
+				t.Fatalf("span %q has unknown pid %d", ev.Name, ev.Pid)
+			}
+			if ev.Tid == 0 {
+				t.Fatalf("span %q has zero tid", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("want 2 process_name metadata events, got %d", meta)
+	}
+	// 1 client request + 10 client/server folded stages, 1 server request
+	// + 6 server stages, 1 tail request with no stages.
+	if want := 19; spans != want {
+		t.Fatalf("want %d span events, got %d", want, spans)
+	}
+	// An empty dump still emits valid JSON.
+	buf.Reset()
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatalf("WriteChrome(nil): %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+}

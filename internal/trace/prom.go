@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+)
+
+// histBuckets is the per-stage latency histogram bucket count. Bucket i
+// has upper bound 1µs·2^i, so the ladder spans 1µs … ~8.4s; anything
+// beyond lands in +Inf.
+const histBuckets = 24
+
+// histBase is bucket 0's upper bound in nanoseconds.
+const histBase = 1000
+
+// histogram is one lock-free latency histogram: exponential bucket counts,
+// a running sum and a total count, all atomics.
+type histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	inf     atomic.Uint64
+	sum     atomic.Int64
+	count   atomic.Uint64
+}
+
+func (h *histogram) observe(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	bound := int64(histBase)
+	placed := false
+	for i := 0; i < histBuckets; i++ {
+		if nanos <= bound {
+			h.buckets[i].Add(1)
+			placed = true
+			break
+		}
+		bound <<= 1
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sum.Add(nanos)
+	h.count.Add(1)
+}
+
+// stageHistograms holds one model's per-stage and end-to-end histograms.
+type stageHistograms struct {
+	stages  [NumStages]histogram
+	end2end histogram
+}
+
+func (s *stageHistograms) observeStage(st Stage, nanos int64) {
+	s.stages[st].observe(nanos)
+}
+
+func (s *stageHistograms) observeEnd2End(nanos int64) {
+	s.end2end.observe(nanos)
+}
+
+// WritePrometheus emits the tracer's histogram families in the Prometheus
+// text exposition format:
+//
+//	mlperf_trace_stage_seconds  histogram, labels {model, stage}
+//	mlperf_trace_e2e_seconds    histogram, labels {model}
+//
+// Buckets are cumulative per label set, as the format requires. Stages a
+// model never observed are omitted so an untraced deployment scrapes to
+// nothing. Safe to call while tracing continues.
+func (t *Tracer) WritePrometheus(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.RLock()
+	names := make([]string, 0, len(t.models))
+	for name := range t.models {
+		names = append(names, name)
+	}
+	t.mu.RUnlock()
+	sortStrings(names)
+
+	fmt.Fprintf(w, "# HELP mlperf_trace_stage_seconds Per-stage request latency recorded by the trace subsystem.\n")
+	fmt.Fprintf(w, "# TYPE mlperf_trace_stage_seconds histogram\n")
+	for _, name := range names {
+		mt := t.Model(name)
+		for st := Stage(0); st < NumStages; st++ {
+			writeHistogram(w, "mlperf_trace_stage_seconds",
+				fmt.Sprintf("model=%s,stage=%s", promQuote(name), promQuote(st.String())),
+				&mt.hist.stages[st], true)
+		}
+	}
+	fmt.Fprintf(w, "# HELP mlperf_trace_e2e_seconds End-to-end request latency observed by the trace subsystem.\n")
+	fmt.Fprintf(w, "# TYPE mlperf_trace_e2e_seconds histogram\n")
+	for _, name := range names {
+		mt := t.Model(name)
+		writeHistogram(w, "mlperf_trace_e2e_seconds",
+			fmt.Sprintf("model=%s", promQuote(name)), &mt.hist.end2end, false)
+	}
+}
+
+// writeHistogram emits one label set's cumulative buckets, sum and count.
+// When skipEmpty is set a histogram with zero observations writes nothing
+// (used for per-stage series, most of which a given origin never records).
+func writeHistogram(w io.Writer, family, labels string, h *histogram, skipEmpty bool) {
+	count := h.count.Load()
+	if skipEmpty && count == 0 {
+		return
+	}
+	var cum uint64
+	bound := int64(histBase)
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", family, labels, promSeconds(bound), cum)
+		bound <<= 1
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", family, labels, promSeconds(h.sum.Load()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, count)
+}
+
+// promSeconds renders a nanosecond quantity as seconds in the shortest
+// round-trippable float text.
+func promSeconds(nanos int64) string {
+	return strconv.FormatFloat(float64(nanos)/1e9, 'g', -1, 64)
+}
+
+// promQuote renders a label value: quoted, with backslash, quote and
+// newline escaped per the exposition format.
+func promQuote(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', '"':
+			out = append(out, '\\', c)
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(append(out, '"'))
+}

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Issue(); id != 0 {
+		t.Fatalf("nil tracer issued trace id %d", id)
+	}
+	if mt := tr.Model("resnet"); mt != nil {
+		t.Fatalf("nil tracer returned a model state")
+	}
+	if recs := tr.Records(); recs != nil {
+		t.Fatalf("nil tracer returned records: %v", recs)
+	}
+	var mt *ModelTrace
+	if mt.Observe(100) {
+		t.Fatalf("nil model state reported a tail hit")
+	}
+	mt.Publish(&Record{})
+	if s := mt.Snapshot(); s != nil {
+		t.Fatalf("nil model state returned a snapshot: %v", s)
+	}
+}
+
+func TestIssueSamplingPeriod(t *testing.T) {
+	tr := New(Config{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if id := tr.Issue(); id != 0 {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("SampleEvery=4 sampled %d of 400, want 100", sampled)
+	}
+	every := New(Config{SampleEvery: 1})
+	for i := 0; i < 10; i++ {
+		if every.Issue() == 0 {
+			t.Fatalf("SampleEvery=1 skipped a request")
+		}
+	}
+}
+
+func TestSampledTraceIDsAreUniqueAndNonZero(t *testing.T) {
+	tr := New(Config{SampleEvery: 2})
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := tr.Issue()
+		if id == 0 {
+			continue
+		}
+		if seen[id] {
+			t.Fatalf("trace id %d issued twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRingRetainsNewestRecords(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 8})
+	mt := tr.Model("m")
+	for i := 1; i <= 20; i++ {
+		mt.Publish(&Record{TraceID: uint64(i), Model: "m"})
+	}
+	recs := mt.Snapshot()
+	if len(recs) != 8 {
+		t.Fatalf("ring of 8 returned %d records", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(13 + i); rec.TraceID != want {
+			t.Fatalf("record %d has trace id %d, want %d (oldest-first)", i, rec.TraceID, want)
+		}
+	}
+}
+
+func TestTailCaptureArmsAndFlagsOutliers(t *testing.T) {
+	tr := New(Config{SampleEvery: 1 << 30}) // coin effectively never lands
+	mt := tr.Model("m")
+	// Before enough observations accumulate, nothing is a tail outlier.
+	if mt.Observe(1e9) {
+		t.Fatalf("tail capture armed before minimum samples")
+	}
+	// Feed a tight distribution around 1ms until the threshold establishes.
+	for i := 0; i < 2048; i++ {
+		mt.Observe(1e6 + int64(i%100))
+	}
+	thr := mt.TailThreshold()
+	if thr <= 0 {
+		t.Fatalf("tail threshold never established")
+	}
+	if thr > 2e6 {
+		t.Fatalf("tail threshold %d ns is far beyond the 1ms distribution", thr)
+	}
+	if !mt.Observe(50e6) {
+		t.Fatalf("50ms outlier not flagged against a ~1ms distribution (threshold %d)", thr)
+	}
+	if mt.Observe(1) {
+		t.Fatalf("1ns observation flagged as tail")
+	}
+}
+
+// TestTailBucketsQuarterOctave pins the sub-bucket math: floors invert the
+// bucket function, indices are monotone in latency, and a distribution
+// confined to one octave still resolves a threshold above its median — the
+// failure mode plain power-of-two buckets have.
+func TestTailBucketsQuarterOctave(t *testing.T) {
+	for _, nanos := range []int64{0, 1, 2, 3, 4, 7, 8, 100, 999, 1e6, 2e6 - 1, 5e8, 1 << 40, 1<<62 + 12345} {
+		i := tailBucket(nanos)
+		if i < 0 || i >= tailBuckets {
+			t.Fatalf("latency %d maps to out-of-range bucket %d", nanos, i)
+		}
+		floor := tailBucketFloor(i)
+		if floor > nanos {
+			t.Errorf("bucket floor %d above its member %d", floor, nanos)
+		}
+		if nanos > 0 && tailBucket(floor) != i {
+			t.Errorf("floor %d of bucket %d maps back to bucket %d", floor, i, tailBucket(floor))
+		}
+		if next := tailBucket(nanos + 1); next < i {
+			t.Errorf("bucket index not monotone at %d: %d then %d", nanos, i, next)
+		}
+	}
+
+	// Narrow distribution entirely inside [2^21, 2^22): most mass at ~2.2ms,
+	// 2% at ~4.0ms. The p99 threshold must clear the bulk of the
+	// distribution instead of collapsing to the octave floor (2.097ms).
+	var tr tailTracker
+	flagged := 0
+	for i := 0; i < 4096; i++ {
+		lat := int64(2_200_000)
+		if i%50 == 0 {
+			lat = 4_000_000
+		}
+		if tr.observe(lat) && lat < 3_000_000 {
+			flagged++
+		}
+	}
+	if thr := tr.threshold.Load(); thr <= 2_200_000 {
+		t.Fatalf("threshold %dns sits at or below the bulk of a narrow distribution", thr)
+	}
+	if flagged > 0 {
+		t.Errorf("%d bulk (~2.2ms) observations flagged as tail", flagged)
+	}
+}
+
+func TestConcurrentPublishAndSnapshot(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 64})
+	mt := tr.Model("m")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mt.Observe(int64(1000 + i))
+				mt.Publish(&Record{TraceID: uint64(g*1_000_000 + i + 1), Model: "m", End2End: int64(i)})
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		for _, rec := range mt.Snapshot() {
+			if rec.TraceID == 0 {
+				t.Errorf("snapshot surfaced a zero record")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRecordsMergesModelsSorted(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 8})
+	tr.Model("zeta").Publish(&Record{TraceID: 1, Model: "zeta"})
+	tr.Model("alpha").Publish(&Record{TraceID: 2, Model: "alpha"})
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Model != "alpha" || recs[1].Model != "zeta" {
+		t.Fatalf("records not model-sorted: %v", recs)
+	}
+}
+
+func TestAttributeClassifiesDominantStage(t *testing.T) {
+	ms := int64(1e6)
+	records := []Record{
+		// Queue-dominated: 40ms queue wait vs 5ms service, little wire.
+		{TraceID: 1, Origin: OriginClient, Tail: true, End2End: 50 * ms, HasServer: true,
+			Stages: stageSet(map[Stage]int64{StageQueue: 40 * ms, StageService: 5 * ms})},
+		// Service-dominated.
+		{TraceID: 2, Origin: OriginClient, Tail: true, End2End: 50 * ms, HasServer: true,
+			Stages: stageSet(map[Stage]int64{StageQueue: 2 * ms, StageService: 45 * ms})},
+		// Wire-dominated: server only saw 10ms of a 60ms round trip.
+		{TraceID: 3, Origin: OriginClient, Tail: true, End2End: 60 * ms, HasServer: true,
+			Stages: stageSet(map[Stage]int64{StageQueue: 4 * ms, StageService: 6 * ms})},
+		// Tail capture with no server data: unattributed.
+		{Origin: OriginClient, Tail: true, End2End: 70 * ms},
+		// Not tail: ignored.
+		{TraceID: 4, Origin: OriginClient, End2End: ms},
+	}
+	rep := Attribute(records)
+	if rep.Total != 5 || rep.Tail != 4 {
+		t.Fatalf("total/tail = %d/%d, want 5/4", rep.Total, rep.Tail)
+	}
+	byClass := map[Dominant]ClassShare{}
+	for _, c := range rep.Classes {
+		byClass[c.Class] = c
+	}
+	for class, want := range map[Dominant]int{QueueDominated: 1, ServiceDominated: 1, WireDominated: 1, Unattributed: 1} {
+		if got := byClass[class].Count; got != want {
+			t.Fatalf("class %s count %d, want %d", class, got, want)
+		}
+	}
+	if byClass[WireDominated].WorstTraceID != 3 {
+		t.Fatalf("wire worst trace = %d, want 3", byClass[WireDominated].WorstTraceID)
+	}
+	if byClass[Unattributed].WorstNanos != 70*ms {
+		t.Fatalf("unattributed worst = %d, want %d", byClass[Unattributed].WorstNanos, 70*ms)
+	}
+	if !strings.Contains(rep.String(), "4/5 records") {
+		t.Fatalf("report string missing tail ratio: %q", rep.String())
+	}
+}
+
+func TestAttributeServerOriginHasNoWireSlice(t *testing.T) {
+	rec := Record{Origin: OriginServer, Tail: true, End2End: 100e6,
+		Stages: stageSet(map[Stage]int64{StageQueue: 10e6, StageService: 20e6})}
+	rep := Attribute([]Record{rec})
+	if got := rep.Dominant(); got != ServiceDominated {
+		t.Fatalf("server record classified %s, want %s", got, ServiceDominated)
+	}
+}
+
+func TestRecordStageSums(t *testing.T) {
+	rec := Record{Stages: stageSet(map[Stage]int64{
+		StageIssue: 1, StageWrite: 2, StageAdmit: 10, StageReply: 20,
+	})}
+	if got := rec.ClientNanos(); got != 3 {
+		t.Fatalf("ClientNanos = %d, want 3", got)
+	}
+	if got := rec.ServerNanos(); got != 30 {
+		t.Fatalf("ServerNanos = %d, want 30", got)
+	}
+}
+
+func TestPrometheusExportIsCumulativeAndLabeled(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	mt := tr.Model("resnet")
+	mt.Observe(2_000) // 2µs end-to-end
+	mt.Observe(900)   // sub-1µs
+	mt.Publish(&Record{TraceID: 1, Model: "resnet",
+		Stages: stageSet(map[Stage]int64{StageQueue: 5_000})})
+	var b strings.Builder
+	tr.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mlperf_trace_stage_seconds histogram",
+		"# TYPE mlperf_trace_e2e_seconds histogram",
+		`mlperf_trace_stage_seconds_bucket{model="resnet",stage="queue",le="+Inf"} 1`,
+		`mlperf_trace_stage_seconds_count{model="resnet",stage="queue"} 1`,
+		`mlperf_trace_e2e_seconds_count{model="resnet"} 2`,
+		`mlperf_trace_e2e_seconds_bucket{model="resnet",le="1e-06"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape output missing %q:\n%s", want, out)
+		}
+	}
+	// Stages never observed must not emit series.
+	if strings.Contains(out, `stage="reply"`) {
+		t.Fatalf("unobserved stage emitted series:\n%s", out)
+	}
+}
+
+func stageSet(m map[Stage]int64) [NumStages]int64 {
+	var s [NumStages]int64
+	for st, d := range m {
+		s[st] = d
+	}
+	return s
+}

@@ -19,20 +19,22 @@
 # throughputs plus the managed pool's final workers and resize decisions, and
 # the SIMD GEMM tier sweep: the same cache-resident and streaming GEMMs under
 # every dispatch tier this CPU supports — forced-scalar, avx2, fma — with
-# GFLOP/s per tier and the scalar-to-SIMD speedups derived) and writes the
-# aggregated numbers to a JSON file (default BENCH_PR8.json) so speedups and
-# serving overheads are recorded in the repository alongside the code they
-# measure. The JSON also records which SIMD tier runtime dispatch actually
-# picked on this machine (simd_dispatch).
+# GFLOP/s per tier and the scalar-to-SIMD speedups derived, and the tracing
+# overhead benchmark: the same Server-scenario wire run untraced vs span-
+# sampled at 1/64 on both ends, with the overhead ratio derived) and writes
+# the aggregated numbers to a JSON file (default BENCH_PR9.json) so speedups
+# and serving overheads are recorded in the repository alongside the code
+# they measure. The JSON also records which SIMD tier runtime dispatch
+# actually picked on this machine (simd_dispatch).
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR8.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR9.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR8.json}"
+OUT="${OUT:-BENCH_PR9.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
@@ -77,6 +79,7 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         if ($i == "workers_final")           wfinal[name] += $(i-1)
         if ($i == "resize_decisions")        rdecide[name] += $(i-1)
         if ($i == "gflops")                  gflops[name] += $(i-1)
+        if ($i == "spans")                   spans[name]  += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
@@ -117,6 +120,7 @@ END {
         if (wfinal[name] > 0)   printf ", \"workers_final\": %.1f", avg(wfinal, name)
         if (rdecide[name] > 0)  printf ", \"resize_decisions\": %.1f", avg(rdecide, name)
         if (gflops[name] > 0)   printf ", \"gflops\": %.2f", avg(gflops, name)
+        if (spans[name] > 0)    printf ", \"spans\": %.1f", avg(spans, name)
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
@@ -174,9 +178,14 @@ END {
         avg(r0p99, "BenchmarkServingReplicas/offline/replicas2"), avg(r1p99, "BenchmarkServingReplicas/offline/replicas2")
     printf "    \"serving_recovery\": {\"faulted_offline_samples_per_sec\": %.1f, \"rejoin_ms\": %.2f},\n", \
         avg(sps, "BenchmarkServingRecovery"), avg(rejoin, "BenchmarkServingRecovery")
-    printf "    \"serving_autoscale\": {\"static_samples_per_sec\": %.1f, \"managed_samples_per_sec\": %.1f, \"workers_final\": %.1f, \"resize_decisions\": %.1f}\n", \
+    printf "    \"serving_autoscale\": {\"static_samples_per_sec\": %.1f, \"managed_samples_per_sec\": %.1f, \"workers_final\": %.1f, \"resize_decisions\": %.1f},\n", \
         avg(sps, "BenchmarkServingAutoscale/static"), avg(sps, "BenchmarkServingAutoscale/managed"), \
         avg(wfinal, "BenchmarkServingAutoscale/managed"), avg(rdecide, "BenchmarkServingAutoscale/managed")
+    printf "    \"serving_trace_qps_untraced_vs_traced\": [%.1f, %.1f],\n", \
+        avg(qps, "BenchmarkServingTrace/untraced"), avg(qps, "BenchmarkServingTrace/traced")
+    printf "    \"serving_trace_overhead_fraction\": %.4f\n", \
+        (avg(qps, "BenchmarkServingTrace/untraced") > 0 ? \
+         1 - avg(qps, "BenchmarkServingTrace/traced") / avg(qps, "BenchmarkServingTrace/untraced") : 0)
     printf "  }\n"
     printf "}\n"
 }' "$raw" > "$OUT"
