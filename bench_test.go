@@ -10,7 +10,11 @@
 package mlperf
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -22,6 +26,7 @@ import (
 	"mlperf/internal/harness"
 	"mlperf/internal/loadgen"
 	"mlperf/internal/model"
+	"mlperf/internal/payload"
 	"mlperf/internal/quantize"
 	"mlperf/internal/serve"
 	"mlperf/internal/simhw"
@@ -1182,5 +1187,86 @@ func BenchmarkSyntheticImageNetGeneration(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServingSwarm runs the Swarm scenario end to end over a loopback
+// serving deployment: a population of simulated client sessions, each on its
+// own Poisson clock with reconnect churn, multiplexed over the Remote's
+// connection pool. One op is one complete LoadGen run; "qps" is the
+// aggregate achieved rate and "churns" the session reconnects of the last
+// run.
+func BenchmarkServingSwarm(b *testing.B) {
+	engine, qsl := servingStack(b)
+	settings := loadgen.DefaultSettings(loadgen.Swarm)
+	settings.MinQueryCount = 512
+	settings.MinDuration = 0
+	settings.SwarmSessions = 500
+	settings.SwarmSessionQPS = 2
+	settings.SwarmSessionLifetime = 100 * time.Millisecond
+	settings.ServerTargetLatency = 500 * time.Millisecond
+
+	_, remote := startServing(b, engine, qsl)
+	var qps, sessions, churns float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.StartTest(remote, qsl, settings)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Valid {
+			b.Fatalf("swarm run invalid: %v", res.ValidityMessages)
+		}
+		qps = res.ServerAchievedQPS
+		sessions = float64(res.SwarmSessions)
+		churns = float64(res.SwarmChurns)
+	}
+	remote.Wait()
+	if errs := remote.Errors(); len(errs) > 0 {
+		b.Fatal(errs[0])
+	}
+	b.ReportMetric(qps, "qps")
+	b.ReportMetric(sessions, "sessions")
+	b.ReportMetric(churns, "churns")
+}
+
+// BenchmarkServingSwarmWire pins the steady-state swarm wire path: one op is
+// one request framed into a pooled buffer and written, plus one response
+// frame read back through the pooled reader and its binary-codec payload
+// decoded in place. The acceptance bar is 0 allocs/op — the zero-allocation
+// claim of the binary codec plus size-classed buffer pools, measured across
+// the full client send/receive cycle.
+func BenchmarkServingSwarmWire(b *testing.B) {
+	// One response frame as the server emits it:
+	// [u32 len][type][u64 id][status][binary payload].
+	payloadBytes := payload.AppendClass(nil, 7)
+	body := binary.BigEndian.AppendUint64(nil, 42)
+	body = append(body, byte(serve.StatusOK))
+	body = append(body, payloadBytes...)
+	respFrame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	respFrame = append(respFrame, serve.MsgPredict)
+	respFrame = append(respFrame, body...)
+
+	req := serve.PredictRequest{ID: 42, SampleIndex: 3}
+	stream := bytes.NewReader(nil)
+	reader := bufio.NewReader(stream)
+	_ = serve.WritePredictRequest(io.Discard, req) // warm the pools
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := serve.WritePredictRequest(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+		stream.Reset(respFrame)
+		reader.Reset(stream)
+		frame, err := serve.ReadClientFrame(reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := payload.DecodeClass(frame.Predict.Data); err != nil {
+			b.Fatal(err)
+		}
+		frame.Release()
 	}
 }

@@ -22,6 +22,17 @@
 // In the Server scenario, -qps-step-after/-qps-step-to step the offered
 // Poisson rate mid-run (same seeded schedule) to exercise capacity
 // management under a load swing.
+//
+// The Swarm scenario simulates a datacenter frontend's client population:
+//
+//	mlperf-loadgen -task image-classification-light -scenario swarm \
+//	    -backend remote -addr 127.0.0.1:9090 -sessions 10000
+//
+// -sessions sets the simulated session count, -session-qps each session's
+// Poisson rate, and -session-lifetime the mean lifetime before a session
+// churns (reconnects with a fresh deterministic schedule). Validity is
+// judged per traffic class; the default configuration runs one class with
+// the task's Server-scenario latency bound.
 package main
 
 import (
@@ -42,7 +53,7 @@ import (
 func main() {
 	var (
 		taskName     = flag.String("task", string(core.ImageClassificationLight), "benchmark task")
-		scenarioName = flag.String("scenario", "SingleStream", "SingleStream, MultiStream, Server or Offline")
+		scenarioName = flag.String("scenario", "SingleStream", "SingleStream, MultiStream, Server, Offline or Swarm")
 		backendName  = flag.String("backend", "native", "native, simulated or remote")
 		platformName = flag.String("platform", "desktop-cpu-c1", "simulated platform (with -backend simulated)")
 		remoteAddr   = flag.String("addr", "127.0.0.1:9090", "mlperf-serve address, or a comma-separated replica set (with -backend remote)")
@@ -54,6 +65,9 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "model/data seed")
 		qpsStepAfter = flag.Duration("qps-step-after", 0, "step the Server scenario's offered QPS after this much scheduled time (0 = flat rate)")
 		qpsStepTo    = flag.Float64("qps-step-to", 0, "offered QPS after the step (with -qps-step-after)")
+		sessions     = flag.Int("sessions", 0, "Swarm scenario: simulated client sessions (0 = scenario default)")
+		sessionQPS   = flag.Float64("session-qps", 0, "Swarm scenario: per-session Poisson rate (0 = scenario default)")
+		sessionLife  = flag.Duration("session-lifetime", -1, "Swarm scenario: mean session lifetime before churn (0 disables churn; -1 = scenario default)")
 		format       = flag.String("quantize", "", "optional weight format from the approved list (e.g. int8)")
 		traceEach    = flag.Int("trace", 0, "trace every Nth request through the client-side stages, plus every tail outlier (remote backend only; 0 = off)")
 		traceOut     = flag.String("trace-out", "", "write captured spans as Chrome trace-event JSON to this file after the run (requires -trace)")
@@ -137,6 +151,17 @@ func main() {
 		settings.ServerQPSStepAfter = *qpsStepAfter
 		settings.ServerQPSStepTo = *qpsStepTo
 	}
+	if scenario == loadgen.Swarm {
+		if *sessions > 0 {
+			settings.SwarmSessions = *sessions
+		}
+		if *sessionQPS > 0 {
+			settings.SwarmSessionQPS = *sessionQPS
+		}
+		if *sessionLife >= 0 {
+			settings.SwarmSessionLifetime = *sessionLife
+		}
+	}
 	report, err := harness.Run(assembly, harness.RunOptions{
 		Scenario:    scenario,
 		Settings:    &settings,
@@ -155,6 +180,14 @@ func main() {
 	fmt.Printf("metric:      %.4g (%s)\n", perf.MetricValue(), perf.MetricName())
 	fmt.Printf("p50/p90/p99: %v / %v / %v\n", perf.QueryLatencies.P50, perf.QueryLatencies.P90, perf.QueryLatencies.P99)
 	fmt.Printf("valid:       %v %v\n", perf.Valid, perf.ValidityMessages)
+	if scenario == loadgen.Swarm {
+		fmt.Printf("swarm:       %d sessions, %d churns\n", perf.SwarmSessions, perf.SwarmChurns)
+		for _, c := range perf.SwarmClasses {
+			fmt.Printf("class %-12s %d issued, p%.0f %v against %v, violations %.3f%%, valid %v\n",
+				c.Name+":", c.QueriesIssued, 100*c.TargetPercentile, c.PercentileLatency,
+				c.TargetLatency, 100*c.BoundViolations, c.Valid)
+		}
+	}
 	if remote, ok := assembly.SUT.(*backend.Remote); ok {
 		fmt.Printf("shed:        %d rejected, %d expired, %d replicas down\n",
 			remote.Rejected(), remote.Expired(), remote.DownReplicas())

@@ -65,6 +65,9 @@ func CheckServing(ev ServingEvidence) ([]Finding, error) {
 	if ev.Result.Scenario == loadgen.Server {
 		findings = append(findings, checkLatencyBound(ev))
 	}
+	if ev.Result.Scenario == loadgen.Swarm {
+		findings = append(findings, checkSwarm(ev))
+	}
 	if ev.Recovery != nil {
 		findings = append(findings, checkRecovery(ev))
 	}
@@ -307,4 +310,70 @@ func checkLatencyBound(ev ServingEvidence) Finding {
 	return Finding{Name: "serving-latency-bound", Pass: true,
 		Detail: fmt.Sprintf("%d of %d merged queries over the %v bound (%.3f%%, allowed %.3f%%), verdict consistent",
 			over, len(log), bound, 100*recomputed, 100*allowed)}
+}
+
+// checkSwarm verifies a Swarm run's per-class accounting and verdicts: the
+// class counters must partition the run's aggregate counters exactly (every
+// query belongs to exactly one class — nothing double-counted, nothing
+// unclassified), every class's latency-bound verdict must be reproducible
+// from its reported violation fraction and target percentile, and a class
+// over its bound must have invalidated the run. The session population must
+// match the configured one, and churn may only occur when a session lifetime
+// is configured.
+func checkSwarm(ev ServingEvidence) Finding {
+	fail := func(format string, args ...interface{}) Finding {
+		return Finding{Name: "serving-swarm", Pass: false,
+			Detail: fmt.Sprintf(format, args...)}
+	}
+	res := ev.Result
+	if len(res.SwarmClasses) == 0 {
+		return fail("swarm run reports no traffic classes")
+	}
+	if res.SwarmSessions != ev.Settings.SwarmSessions {
+		return fail("result reports %d sessions, settings configured %d",
+			res.SwarmSessions, ev.Settings.SwarmSessions)
+	}
+	if res.SwarmChurns < 0 {
+		return fail("negative churn count %d", res.SwarmChurns)
+	}
+	if res.SwarmChurns > 0 && ev.Settings.SwarmSessionLifetime <= 0 {
+		return fail("%d churn events with churn disabled (no session lifetime)", res.SwarmChurns)
+	}
+	var issued, completed, dropped int
+	for i, c := range res.SwarmClasses {
+		if c.QueriesIssued < 0 || c.QueriesCompleted < 0 || c.ResponsesDropped < 0 {
+			return fail("class %d (%q) has negative counters", i, c.Name)
+		}
+		if c.QueriesCompleted > c.QueriesIssued {
+			return fail("class %d (%q) completed %d of %d issued queries",
+				i, c.Name, c.QueriesCompleted, c.QueriesIssued)
+		}
+		if c.TargetLatency <= 0 || c.TargetPercentile <= 0 || c.TargetPercentile >= 1 {
+			return fail("class %d (%q) carries no valid latency target", i, c.Name)
+		}
+		allowed := 1 - c.TargetPercentile
+		violates := c.BoundViolations > allowed+1e-12
+		if violates == c.Valid {
+			return fail("class %q: %.3f%% violations against an allowed %.3f%% contradicts its Valid=%v verdict",
+				c.Name, 100*c.BoundViolations, 100*allowed, c.Valid)
+		}
+		if violates && res.Valid {
+			return fail("class %q exceeds its %v bound yet the run reports valid", c.Name, c.TargetLatency)
+		}
+		issued += c.QueriesIssued
+		completed += c.QueriesCompleted
+		dropped += c.ResponsesDropped
+	}
+	if issued != res.QueriesIssued {
+		return fail("class issued counts sum to %d, run issued %d", issued, res.QueriesIssued)
+	}
+	if completed != res.QueriesCompleted {
+		return fail("class completed counts sum to %d, run completed %d", completed, res.QueriesCompleted)
+	}
+	if dropped != res.ResponsesDropped {
+		return fail("class dropped counts sum to %d, run dropped %d", dropped, res.ResponsesDropped)
+	}
+	return Finding{Name: "serving-swarm", Pass: true,
+		Detail: fmt.Sprintf("%d sessions, %d churns, %d classes partition %d queries, per-class verdicts consistent",
+			res.SwarmSessions, res.SwarmChurns, len(res.SwarmClasses), issued)}
 }

@@ -702,7 +702,14 @@ func (rc *remoteConn) readLoop(gen uint64, c net.Conn) {
 		}
 		switch frame.Type {
 		case serve.MsgPredict, serve.MsgPredictTraced:
-			rc.resolve(frame.Predict)
+			if rc.resolve(frame.Predict) {
+				// The query settled synchronously and nothing retains
+				// resp.Data past completion (the accuracy log copies; sinks
+				// are documented not to retain), so the pooled frame buffer
+				// goes straight back — this is what closes the client-side
+				// read loop at zero steady-state allocations.
+				frame.Release()
+			}
 		case serve.MsgMetrics:
 			rc.mu.Lock()
 			ch := rc.metrics[frame.MetricsID]
@@ -718,13 +725,19 @@ func (rc *remoteConn) readLoop(gen uint64, c net.Conn) {
 // resolve routes one predict response back to its query. Server-decided
 // dispositions (rejected, expired, errored) are terminal — shed load must
 // stay visible, so it is never retried.
-func (rc *remoteConn) resolve(resp serve.PredictResponse) {
+//
+// It reports whether the caller may reuse the memory resp.Data points into:
+// true for single-sample queries (the completion handler ran synchronously
+// inside settle and Query.responses is never read again) and for responses
+// with no live entry; false for multi-sample queries, whose Query retains
+// every sample's Data until the last response arrives.
+func (rc *remoteConn) resolve(resp serve.PredictResponse) bool {
 	rc.mu.Lock()
 	entry, ok := rc.pending[resp.ID]
 	delete(rc.pending, resp.ID)
 	rc.mu.Unlock()
 	if !ok {
-		return // already settled by a write failure
+		return true // already settled by a write failure
 	}
 	r := rc.rep.r
 	var rec *trace.Record
@@ -790,6 +803,7 @@ func (rc *remoteConn) resolve(resp serve.PredictResponse) {
 		}
 		r.mt.Publish(rec)
 	}
+	return len(entry.query.Samples) <= 1
 }
 
 // fail kills a broken connection epoch and fails over everything pending on
@@ -929,6 +943,7 @@ func (r *Remote) probe(c net.Conn) error {
 	if err != nil {
 		return err
 	}
+	defer frame.Release()
 	if frame.Type != serve.MsgProbe || frame.ProbeID != id {
 		return fmt.Errorf("backend: probe answered with frame type %d", frame.Type)
 	}

@@ -181,6 +181,12 @@ func (spec TaskSpec) Settings(s loadgen.Scenario) loadgen.TestSettings {
 		ts.ServerLatencyPercentile = spec.ServerLatencyPercentile
 	case loadgen.Offline:
 		ts.MinSampleCount = spec.OfflineSamples
+	case loadgen.Swarm:
+		// The swarm offers the same aggregate load and bound as the task's
+		// Server scenario, split across the default session population.
+		ts.MinQueryCount = spec.ServerQueries
+		ts.ServerTargetLatency = spec.ServerLatencyBound
+		ts.ServerLatencyPercentile = spec.ServerLatencyPercentile
 	}
 	return ts
 }
@@ -209,6 +215,8 @@ func ScenarioMetric(s loadgen.Scenario) string {
 		return "queries per second subject to latency bound"
 	case loadgen.Offline:
 		return "throughput (samples per second)"
+	case loadgen.Swarm:
+		return "aggregate queries per second subject to per-class latency bounds"
 	default:
 		return "unknown"
 	}
@@ -225,6 +233,8 @@ func ScenarioExample(s loadgen.Scenario) string {
 		return "translation website"
 	case loadgen.Offline:
 		return "photo categorization"
+	case loadgen.Swarm:
+		return "assistant backend fanning in 100k client apps"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package harness
+
+// raceEnabled is false in uninstrumented builds; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. Soak tests
+// scale their offered load down under it: instrumentation costs roughly an
+// order of magnitude of throughput, and the soaks assert validity against
+// latency bounds calibrated for uninstrumented builds.
+const raceEnabled = true

@@ -111,6 +111,15 @@ func QuickSettings(spec core.TaskSpec, s loadgen.Scenario, factor int) loadgen.T
 	if ts.MinSampleCount > 0 {
 		ts.MinSampleCount = maxInt(1, ts.MinSampleCount/factor)
 	}
+	if ts.Scenario == loadgen.Swarm {
+		// Shrink the session population but keep the aggregate offered load:
+		// fewer sessions each issuing proportionally faster, so a scaled run
+		// still exercises the multi-session machinery at the production rate.
+		sessions := maxInt(1, ts.SwarmSessions/factor)
+		ts.SwarmSessionQPS *= float64(ts.SwarmSessions) / float64(sessions)
+		ts.SwarmSessions = sessions
+		ts.SwarmSessionLifetime = ts.SwarmSessionLifetime / time.Duration(factor)
+	}
 	return ts
 }
 

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mlperf/internal/audit"
+	"mlperf/internal/backend"
+	"mlperf/internal/loadgen"
+)
+
+// swarmSettings shrinks the production swarm to a population that still
+// exercises the multi-session machinery but finishes in test time.
+func swarmSettings(a *Assembly, sessions int, aggregateQPS float64) loadgen.TestSettings {
+	settings := QuickSettings(a.Spec, loadgen.Swarm, 1024)
+	settings.SwarmSessions = sessions
+	settings.SwarmSessionQPS = aggregateQPS / float64(sessions)
+	settings.SwarmSessionLifetime = 150 * time.Millisecond
+	settings.MinDuration = 100 * time.Millisecond
+	settings.MinQueryCount = 400
+	// The loopback fleet shares one machine with the test runner and the
+	// session timers; the conformance claim is validity bookkeeping, not a
+	// latency record, so give the single class headroom.
+	settings.ServerTargetLatency = 500 * time.Millisecond
+	return settings
+}
+
+// TestSwarmConformance runs a scaled swarm — real sessions, real churn — over
+// a loopback fleet and audits the result: the run must be VALID, report its
+// population, and the serving-swarm audit finding must reconcile the
+// per-class accounting.
+func TestSwarmConformance(t *testing.T) {
+	a, dep := chaosDeployment(t, nil, backend.RemoteConfig{MaxInFlight: 64})
+
+	settings := swarmSettings(a, 64, 1000)
+	res, err := loadgen.StartTest(dep.Assembly.SUT, dep.Assembly.QSL, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Remote.Wait()
+
+	if !res.Valid {
+		t.Errorf("swarm run invalid: %v", res.ValidityMessages)
+	}
+	if res.SwarmSessions != settings.SwarmSessions {
+		t.Errorf("reported %d sessions, want %d", res.SwarmSessions, settings.SwarmSessions)
+	}
+	if res.SwarmChurns == 0 {
+		t.Error("no churn despite 150ms mean lifetimes")
+	}
+	if len(res.SwarmClasses) != 1 {
+		t.Fatalf("got %d class results, want the implicit default class", len(res.SwarmClasses))
+	}
+	if res.QueriesIssued < settings.MinQueryCount {
+		t.Errorf("issued %d queries, want >= %d", res.QueriesIssued, settings.MinQueryCount)
+	}
+
+	findings, err := audit.CheckServing(servingEvidence(t, dep, res, settings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSwarm := false
+	for _, f := range findings {
+		if f.Name == "serving-swarm" {
+			sawSwarm = true
+		}
+		if !f.Pass {
+			t.Errorf("audit %s failed: %s", f.Name, f.Detail)
+		}
+	}
+	if !sawSwarm {
+		t.Error("swarm run produced no serving-swarm finding")
+	}
+}
+
+// TestSwarmChurnKillSoak is the acceptance soak: a 10k-session swarm with
+// reconnect churn runs over a 2-replica fleet while replica 0 is killed and
+// restarted mid-run. The fleet must absorb the outage — the run stays VALID,
+// the killed replica rejoins, and the swarm audit still reconciles. The CI
+// race job runs this with -race, making it the churn/fan-out data-race probe.
+func TestSwarmChurnKillSoak(t *testing.T) {
+	sessions := 10000
+	if testing.Short() {
+		sessions = 1000
+	}
+	a, dep := chaosDeployment(t, nil, backend.RemoteConfig{MaxInFlight: 64})
+
+	// The race detector costs roughly 10x of serving throughput; offer the
+	// instrumented fleet a load it can sustain so the soak still asserts
+	// validity rather than measuring the instrumentation.
+	aggregate := 800.0
+	if raceEnabled {
+		aggregate = 200.0
+	}
+	settings := swarmSettings(a, sessions, aggregate)
+	settings.SwarmSessionLifetime = 400 * time.Millisecond
+	settings.MinQueryCount = 1200
+	settings.MinDuration = 500 * time.Millisecond
+	// A mid-run kill reroutes in-flight work through the surviving replica;
+	// the validity claim is about absorbing the fault, not the tail under it.
+	settings.ServerTargetLatency = 2 * time.Second
+	if raceEnabled {
+		settings.ServerTargetLatency = 10 * time.Second
+	}
+
+	type runOut struct {
+		res *loadgen.Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := loadgen.StartTest(dep.Assembly.SUT, dep.Assembly.QSL, settings)
+		done <- runOut{res, err}
+	}()
+
+	killed := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if dep.Replica(0).Metrics().Completed > 0 {
+			if err := dep.KillReplica(0); err != nil {
+				t.Fatalf("killing replica 0: %v", err)
+			}
+			killed = true
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	if !killed {
+		t.Fatal("replica 0 never served anything to kill")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := dep.RestartReplica(0); err != nil {
+		t.Fatal(err)
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	res := out.res
+	dep.Remote.Wait()
+
+	if res.ResponsesDropped != 0 {
+		t.Errorf("swarm dropped %d responses despite failover", res.ResponsesDropped)
+	}
+	if !res.Valid {
+		t.Errorf("kill-mid-swarm run invalid: %v", res.ValidityMessages)
+	}
+	if res.SwarmSessions != sessions {
+		t.Errorf("reported %d sessions, want %d", res.SwarmSessions, sessions)
+	}
+	if res.SwarmChurns == 0 {
+		t.Error("soak saw no session churn")
+	}
+
+	// The killed replica must rejoin the fleet.
+	rejoinDeadline := time.Now().Add(5 * time.Second)
+	for dep.Remote.Recovery().Rejoins == 0 && time.Now().Before(rejoinDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if rec := dep.Remote.Recovery(); rec.Rejoins < 1 {
+		t.Fatalf("killed replica never rejoined: %+v", rec)
+	}
+
+	findings, err := audit.CheckServing(servingEvidence(t, dep, res, settings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !f.Pass {
+			t.Errorf("audit %s failed: %s", f.Name, f.Detail)
+		}
+	}
+	t.Logf("soak: %d sessions, %d churns, %d queries, p99-class %v",
+		res.SwarmSessions, res.SwarmChurns, res.QueriesCompleted, res.SwarmClasses[0].PercentileLatency)
+}

@@ -1,9 +1,23 @@
 // Package loadgen implements the MLPerf Inference Load Generator: the
-// traffic generator that drives a system under test (SUT) according to one of
-// the four evaluation scenarios (single-stream, multistream, server, offline),
-// measures latency and throughput, logs responses for accuracy checking, and
-// determines whether a run satisfies the benchmark's validity requirements
+// traffic generator that drives a system under test (SUT), measures latency
+// and throughput, logs responses for accuracy checking, and determines
+// whether a run satisfies the benchmark's validity requirements
 // (Sections III-C, III-D and IV-B of the paper).
+//
+// Five scenarios are supported. Four are the paper's Table II evaluation
+// scenarios — single-stream (one query at a time, 90th-percentile latency),
+// multistream (N-sample queries at a fixed interval), server (Poisson
+// arrivals under a latency bound) and offline (one query holding every
+// sample). The fifth, Swarm, extends the server scenario to the
+// datacenter-frontend shape the paper's single aggregate Poisson stream
+// abstracts away: tens of thousands of simulated client sessions, each with
+// its own deterministic Poisson arrival process, a finite lifetime, and
+// reconnect churn, partitioned into traffic classes with separate latency
+// targets. The aggregate arrival process is statistically the superposition
+// of the per-session streams (so Swarm reduces to Server as sessions → 1),
+// but validity is judged per class and the per-session schedules are each a
+// pure function of (ScheduleSeed, session, incarnation) — independent of
+// goroutine interleaving — so runs are reproducible at any fan-out.
 //
 // The package mirrors the architecture of the reference C++ LoadGen: it is
 // decoupled from models, data sets and metrics. It talks to the SUT through
@@ -19,10 +33,11 @@ import (
 	"time"
 )
 
-// Scenario is one of the four evaluation scenarios of Table II.
+// Scenario is one of the four evaluation scenarios of Table II, or the Swarm
+// extension.
 type Scenario int
 
-// The four scenarios.
+// The scenarios.
 const (
 	// SingleStream issues one query at a time and waits for its completion;
 	// the metric is 90th-percentile latency.
@@ -37,6 +52,12 @@ const (
 	// Offline issues one query containing every sample; the metric is
 	// throughput in samples per second.
 	Offline
+	// Swarm issues single-sample queries from SwarmSessions concurrent
+	// simulated client sessions, each with its own deterministic Poisson
+	// arrival process, exponential lifetime and reconnect churn, partitioned
+	// into traffic classes with separate latency targets; the metric is the
+	// aggregate queries per second subject to every class's latency bound.
+	Swarm
 )
 
 // String returns the scenario's canonical name.
@@ -50,14 +71,16 @@ func (s Scenario) String() string {
 		return "Server"
 	case Offline:
 		return "Offline"
+	case Swarm:
+		return "Swarm"
 	default:
 		return fmt.Sprintf("Scenario(%d)", int(s))
 	}
 }
 
-// AllScenarios lists the scenarios in Table II order.
+// AllScenarios lists the scenarios in Table II order, then Swarm.
 func AllScenarios() []Scenario {
-	return []Scenario{SingleStream, MultiStream, Server, Offline}
+	return []Scenario{SingleStream, MultiStream, Server, Offline, Swarm}
 }
 
 // Mode selects between the LoadGen's two primary operating modes.
@@ -122,6 +145,9 @@ type Query struct {
 	Scheduled time.Duration
 	// Issued is the wall-clock time the LoadGen actually issued the query.
 	Issued time.Time
+	// Class is the swarm traffic-class index the issuing session belongs to
+	// (meaningful only in the Swarm scenario; 0 otherwise).
+	Class int
 
 	completeOnce sync.Once
 	complete     func(q *Query, responses []Response)

@@ -44,11 +44,41 @@ type Result struct {
 	OfflineSamplesPerSec   float64       // offline throughput
 	LatencyBoundViolations float64       // fraction of queries over the latency bound
 
+	// Swarm scenario: the simulated session population, how many reconnect
+	// (churn) events occurred, and the per-class outcome. The aggregate rate
+	// fields ServerScheduledQPS/ServerAchievedQPS are reused (a swarm is the
+	// superposition of its sessions' Poisson streams) and
+	// LatencyBoundViolations carries the worst class's violation fraction.
+	SwarmSessions int
+	SwarmChurns   int
+	SwarmClasses  []SwarmClassResult
+
 	// Validity.
 	Valid              bool
 	ValidityMessages   []string
 	AccuracyLog        []AccuracyEntry
 	PerformanceSamples int // number of distinct loaded samples during the run
+}
+
+// SwarmClassResult is one traffic class's outcome in a Swarm run.
+type SwarmClassResult struct {
+	Name             string
+	TargetLatency    time.Duration
+	TargetPercentile float64
+
+	QueriesIssued    int
+	QueriesCompleted int
+	ResponsesDropped int
+
+	// Latencies summarizes the class's per-query latency (measured from the
+	// scheduled arrival, like the Server scenario).
+	Latencies stats.LatencySummary
+	// PercentileLatency is the class's latency at its own target percentile.
+	PercentileLatency time.Duration
+	// BoundViolations is the fraction of the class's queries over its target.
+	BoundViolations float64
+	// Valid reports whether the class met its latency bound.
+	Valid bool
 }
 
 // MetricValue returns the scenario's headline metric as a float for
@@ -60,7 +90,7 @@ func (r *Result) MetricValue() float64 {
 		return float64(r.SingleStreamLatency) / float64(time.Millisecond)
 	case MultiStream:
 		return float64(r.MultiStreamStreams)
-	case Server:
+	case Server, Swarm:
 		return r.ServerAchievedQPS
 	case Offline:
 		return r.OfflineSamplesPerSec
@@ -80,6 +110,8 @@ func (r *Result) MetricName() string {
 		return "queries per second subject to latency bound"
 	case Offline:
 		return "samples per second"
+	case Swarm:
+		return "aggregate queries per second subject to per-class latency bounds"
 	default:
 		return "unknown"
 	}
@@ -126,6 +158,17 @@ func (r *Result) finalizeValidity(ts TestSettings) {
 	case Offline:
 		if ts.Mode == PerformanceMode && r.SamplesIssued < ts.MinSampleCount {
 			fail("offline query contained %d samples, benchmark requires at least %d", r.SamplesIssued, ts.MinSampleCount)
+		}
+	case Swarm:
+		for i := range r.SwarmClasses {
+			c := &r.SwarmClasses[i]
+			c.Valid = true
+			allowed := 1 - c.TargetPercentile
+			if c.BoundViolations > allowed+1e-12 {
+				c.Valid = false
+				fail("class %q: %.3f%% of queries exceeded the %v latency bound (allowed %.3f%%)",
+					c.Name, 100*c.BoundViolations, c.TargetLatency, 100*allowed)
+			}
 		}
 	}
 }

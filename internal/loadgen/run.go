@@ -78,6 +78,8 @@ func StartTest(sut SUT, qsl QuerySampleLibrary, settings TestSettings) (*Result,
 		err = run.runMultiStream()
 	case Offline:
 		err = run.runOffline()
+	case Swarm:
+		err = run.runSwarm()
 	default:
 		err = fmt.Errorf("loadgen: unsupported scenario %v", settings.Scenario)
 	}
@@ -114,6 +116,19 @@ type activeRun struct {
 	accuracyLog      []AccuracyEntry
 	lastCompletion   time.Time
 	issueLoopEnd     time.Time
+
+	// Swarm per-class bookkeeping, indexed by class position in the
+	// settings' effective class list; all guarded by mu.
+	classIssued    []int
+	classCompleted []int
+	classDropped   []int
+	classLatencies [][]time.Duration
+	swarmChurns    int
+
+	// issueMu serializes the query-construction state (ID counters and the
+	// shared sample selector) for scenarios that issue from many goroutines;
+	// the single-goroutine scenarios never contend on it.
+	issueMu sync.Mutex
 
 	pending sync.WaitGroup
 
@@ -199,7 +214,7 @@ func (r *activeRun) issue(q *Query, done chan<- struct{}) {
 		completedAt := time.Now()
 		var latency time.Duration
 		switch r.settings.Scenario {
-		case Server, MultiStream:
+		case Server, MultiStream, Swarm:
 			// Latency is measured from the scheduled arrival, so falling
 			// behind schedule counts against the SUT rather than hiding
 			// overload.
@@ -211,6 +226,15 @@ func (r *activeRun) issue(q *Query, done chan<- struct{}) {
 		r.queryLatencies = append(r.queryLatencies, latency)
 		r.queriesCompleted++
 		r.samplesCompleted += len(responses)
+		if q.Class >= 0 && q.Class < len(r.classLatencies) {
+			r.classCompleted[q.Class]++
+			r.classLatencies[q.Class] = append(r.classLatencies[q.Class], latency)
+			for _, resp := range responses {
+				if resp.Dropped {
+					r.classDropped[q.Class]++
+				}
+			}
+		}
 		if completedAt.After(r.lastCompletion) {
 			r.lastCompletion = completedAt
 		}
@@ -252,6 +276,9 @@ func (r *activeRun) issue(q *Query, done chan<- struct{}) {
 	r.mu.Lock()
 	r.queriesIssued++
 	r.samplesIssued += len(q.Samples)
+	if q.Class >= 0 && q.Class < len(r.classIssued) {
+		r.classIssued[q.Class]++
+	}
 	r.mu.Unlock()
 
 	r.pending.Add(1)
@@ -553,6 +580,35 @@ func (r *activeRun) finalize() {
 		res.MultiStreamStreams = r.settings.MultiStreamSamplesPerQuery
 	case Offline:
 		res.OfflineSamplesPerSec = float64(r.samplesCompleted) / res.TestDuration.Seconds()
+	case Swarm:
+		res.ServerScheduledQPS = float64(r.settings.SwarmSessions) * r.settings.SwarmSessionQPS
+		res.ServerAchievedQPS = float64(r.queriesCompleted) / res.TestDuration.Seconds()
+		res.SwarmSessions = r.settings.SwarmSessions
+		res.SwarmChurns = r.swarmChurns
+		for i, c := range r.settings.swarmClasses() {
+			cr := SwarmClassResult{
+				Name:             c.Name,
+				TargetLatency:    c.TargetLatency,
+				TargetPercentile: c.TargetPercentile,
+				QueriesIssued:    r.classIssued[i],
+				QueriesCompleted: r.classCompleted[i],
+				ResponsesDropped: r.classDropped[i],
+			}
+			lat := r.classLatencies[i]
+			if summary, err := stats.Summarize(lat); err == nil {
+				cr.Latencies = summary
+			}
+			if p, err := stats.Percentile(lat, c.TargetPercentile); err == nil {
+				cr.PercentileLatency = p
+			}
+			cr.BoundViolations = stats.FractionOver(lat, c.TargetLatency)
+			if cr.BoundViolations > res.LatencyBoundViolations {
+				// The headline violation figure is the worst class's: a
+				// latency bound must hold for every class, like every shard.
+				res.LatencyBoundViolations = cr.BoundViolations
+			}
+			res.SwarmClasses = append(res.SwarmClasses, cr)
+		}
 	}
 
 	res.finalizeValidity(r.settings)

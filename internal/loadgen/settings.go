@@ -82,6 +82,25 @@ type TestSettings struct {
 	// (0.99 for vision tasks, 0.97 for translation).
 	ServerLatencyPercentile float64
 
+	// SwarmSessions is the number of concurrent simulated client sessions the
+	// Swarm scenario runs. Each session issues single-sample queries on its
+	// own deterministic Poisson clock.
+	SwarmSessions int
+	// SwarmSessionQPS is each session's individual Poisson arrival rate; the
+	// aggregate offered load is SwarmSessions * SwarmSessionQPS.
+	SwarmSessionQPS float64
+	// SwarmSessionLifetime is the mean session lifetime. A session whose
+	// (exponentially distributed) lifetime expires reconnects: it counts one
+	// churn event and continues as a fresh incarnation with a fresh,
+	// deterministic schedule stream. Zero disables churn (sessions live for
+	// the whole run).
+	SwarmSessionLifetime time.Duration
+	// SwarmClasses partitions the sessions into traffic classes, each with
+	// its own latency target; sessions are assigned to classes by weight,
+	// deterministically under ScheduleSeed. Empty means one implicit class
+	// ("default") with the ServerTargetLatency/ServerLatencyPercentile bound.
+	SwarmClasses []SwarmClass
+
 	// MultiStreamSamplesPerQuery is N, the number of concurrent streams.
 	MultiStreamSamplesPerQuery int
 	// MultiStreamArrivalInterval is the fixed query arrival period, which also
@@ -117,6 +136,37 @@ type TestSettings struct {
 	QuerySeed       uint64
 	ScheduleSeed    uint64
 	AccuracyLogSeed uint64
+}
+
+// SwarmClass is one traffic class of the Swarm scenario: a named slice of
+// the session population with its own latency target. Weights are relative
+// (they need not sum to 1).
+type SwarmClass struct {
+	// Name labels the class in results and the audit ("interactive",
+	// "batchy", ...).
+	Name string
+	// Weight is the class's relative share of the session population.
+	Weight float64
+	// TargetLatency is the per-query latency bound for the class's sessions.
+	TargetLatency time.Duration
+	// TargetPercentile is the fraction of the class's queries that must meet
+	// TargetLatency for the run to be valid.
+	TargetPercentile float64
+}
+
+// swarmClasses returns the run's effective class list: the configured
+// classes, or the implicit single class derived from the Server-scenario
+// bound when none are set.
+func (ts TestSettings) swarmClasses() []SwarmClass {
+	if len(ts.SwarmClasses) > 0 {
+		return ts.SwarmClasses
+	}
+	return []SwarmClass{{
+		Name:             "default",
+		Weight:           1,
+		TargetLatency:    ts.ServerTargetLatency,
+		TargetPercentile: ts.ServerLatencyPercentile,
+	}}
 }
 
 // Official default seeds for the v0.5 round. The audit suite swaps these for
@@ -158,6 +208,16 @@ func DefaultSettings(s Scenario) TestSettings {
 	case Offline:
 		ts.MinQueryCount = 1
 		ts.MinSampleCount = 24576
+	case Swarm:
+		// Same aggregate query floor and default bound as Server, offered as
+		// 10k sessions of 0.01 QPS each. Sessions churn on a 30-second mean
+		// lifetime so a production run exercises reconnects by default.
+		ts.MinQueryCount = 270336
+		ts.SwarmSessions = 10000
+		ts.SwarmSessionQPS = 0.01
+		ts.SwarmSessionLifetime = 30 * time.Second
+		ts.ServerTargetQPS = 100
+		ts.ServerTargetLatency = 15 * time.Millisecond
 	}
 	return ts
 }
@@ -165,7 +225,7 @@ func DefaultSettings(s Scenario) TestSettings {
 // Validate reports configuration errors before a run starts.
 func (ts TestSettings) Validate() error {
 	switch ts.Scenario {
-	case SingleStream, MultiStream, Server, Offline:
+	case SingleStream, MultiStream, Server, Offline, Swarm:
 	default:
 		return fmt.Errorf("loadgen: unknown scenario %v", ts.Scenario)
 	}
@@ -216,6 +276,27 @@ func (ts TestSettings) Validate() error {
 	case Offline:
 		if ts.MinSampleCount <= 0 {
 			return fmt.Errorf("loadgen: MinSampleCount must be positive for the offline scenario, got %d", ts.MinSampleCount)
+		}
+	case Swarm:
+		if ts.SwarmSessions <= 0 {
+			return fmt.Errorf("loadgen: SwarmSessions must be positive, got %d", ts.SwarmSessions)
+		}
+		if ts.SwarmSessionQPS <= 0 {
+			return fmt.Errorf("loadgen: SwarmSessionQPS must be positive, got %v", ts.SwarmSessionQPS)
+		}
+		if ts.SwarmSessionLifetime < 0 {
+			return fmt.Errorf("loadgen: SwarmSessionLifetime must be non-negative, got %v", ts.SwarmSessionLifetime)
+		}
+		for i, c := range ts.swarmClasses() {
+			if c.Weight <= 0 {
+				return fmt.Errorf("loadgen: swarm class %d (%q) has non-positive weight %v", i, c.Name, c.Weight)
+			}
+			if c.TargetLatency <= 0 {
+				return fmt.Errorf("loadgen: swarm class %d (%q) has non-positive target latency %v", i, c.Name, c.TargetLatency)
+			}
+			if c.TargetPercentile <= 0 || c.TargetPercentile >= 1 {
+				return fmt.Errorf("loadgen: swarm class %d (%q) target percentile %v outside (0,1)", i, c.Name, c.TargetPercentile)
+			}
 		}
 	}
 	if ts.AccuracyLogSamplingRate < 0 || ts.AccuracyLogSamplingRate > 1 {

@@ -102,7 +102,7 @@ func TestSettingsValidate(t *testing.T) {
 func TestScenarioAndModeStrings(t *testing.T) {
 	names := map[Scenario]string{
 		SingleStream: "SingleStream", MultiStream: "MultiStream",
-		Server: "Server", Offline: "Offline",
+		Server: "Server", Offline: "Offline", Swarm: "Swarm",
 	}
 	for s, want := range names {
 		if s.String() != want {
@@ -121,7 +121,7 @@ func TestScenarioAndModeStrings(t *testing.T) {
 	if RandomWithReplacement.String() == "" || UniqueSweep.String() == "" || DuplicateSingle.String() == "" || SampleIndexPolicy(7).String() == "" {
 		t.Error("sample index policy strings wrong")
 	}
-	if len(AllScenarios()) != 4 {
-		t.Error("AllScenarios should list 4 scenarios")
+	if len(AllScenarios()) != 5 {
+		t.Error("AllScenarios should list 5 scenarios")
 	}
 }

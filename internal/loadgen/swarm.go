@@ -1,0 +1,241 @@
+package loadgen
+
+import (
+	"time"
+
+	"mlperf/internal/stats"
+)
+
+// The Swarm scenario: tens of thousands of simulated client sessions, each
+// issuing single-sample queries on its own Poisson clock, multiplexed over
+// whatever connection fan-out the SUT provides (backend.Remote pools and
+// routes; the LoadGen only generates the per-session traffic shape).
+//
+// Determinism contract: a session's arrival-gap stream and lifetime draw are
+// a pure function of (ScheduleSeed, session id, incarnation) — independent
+// of goroutine interleaving and of every other session — so a run's offered
+// schedule is reproducible at any fan-out and any machine speed, and the
+// per-session streams can be regenerated after the fact for auditing. Churn
+// advances the incarnation, giving the reconnected session a fresh but
+// equally deterministic stream.
+
+// Salts folded into the per-stream seeds. Odd constants (splitmix64's
+// multipliers) so session id and incarnation land in different bit mixes.
+const (
+	swarmSessionSalt     = 0x9e3779b97f4a7c15
+	swarmIncarnationSalt = 0xbf58476d1ce4e5b9
+	swarmClassSalt       = 0x94d049bb133111eb
+)
+
+// swarmStreamSeed derives the RNG seed for one session incarnation's stream
+// from a base seed. stats.NewRNG splitmix-expands the result, so the cheap
+// mix here is only about making the inputs distinct, not well-distributed.
+func swarmStreamSeed(base, sid, inc uint64) uint64 {
+	return base ^ (sid+1)*swarmSessionSalt ^ (inc+1)*swarmIncarnationSalt
+}
+
+// swarmSessionGaps returns the arrival-gap source and the lifetime draw for
+// one session incarnation. The lifetime is exponentially distributed with
+// mean SwarmSessionLifetime (zero when churn is disabled). Both are pure
+// functions of the settings' seeds and (sid, inc).
+func swarmSessionGaps(ts TestSettings, sid, inc uint64) (*stats.PoissonProcess, time.Duration, error) {
+	rng := stats.NewRNG(swarmStreamSeed(ts.ScheduleSeed, sid, inc))
+	proc, err := stats.NewPoissonProcess(rng, ts.SwarmSessionQPS)
+	if err != nil {
+		return nil, 0, err
+	}
+	var life time.Duration
+	if ts.SwarmSessionLifetime > 0 {
+		// Drawn before any gaps so the lifetime does not shift the arrival
+		// stream (the process owns the RNG from here on).
+		life = time.Duration(rng.ExpFloat64() * float64(ts.SwarmSessionLifetime))
+	}
+	return proc, life, nil
+}
+
+// swarmAssignClasses deterministically assigns each session to a traffic
+// class by relative weight under ScheduleSeed.
+func swarmAssignClasses(ts TestSettings, classes []SwarmClass) []int {
+	var total float64
+	for _, c := range classes {
+		total += c.Weight
+	}
+	rng := stats.NewRNG(ts.ScheduleSeed ^ swarmClassSalt)
+	assign := make([]int, ts.SwarmSessions)
+	for i := range assign {
+		draw := rng.Float64() * total
+		for j, c := range classes {
+			draw -= c.Weight
+			if draw < 0 || j == len(classes)-1 {
+				assign[i] = j
+				break
+			}
+		}
+	}
+	return assign
+}
+
+// runSwarm drives the Swarm scenario: one goroutine per simulated session,
+// each following its deterministic per-incarnation schedule until the run's
+// minimum query count and duration are both met.
+func (r *activeRun) runSwarm() error {
+	classes := r.settings.swarmClasses()
+	r.classIssued = make([]int, len(classes))
+	r.classCompleted = make([]int, len(classes))
+	r.classDropped = make([]int, len(classes))
+	r.classLatencies = make([][]time.Duration, len(classes))
+
+	if r.settings.Mode == AccuracyMode {
+		return r.runSwarmAccuracy(classes)
+	}
+
+	assign := swarmAssignClasses(r.settings, classes)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.start = time.Now()
+
+	for sid := 0; sid < r.settings.SwarmSessions; sid++ {
+		go r.swarmSession(uint64(sid), assign[sid], stop)
+	}
+
+	// Controller: close stop once the run has met its minimums. Sessions
+	// check the channel inside every inter-arrival sleep, so shutdown is
+	// prompt at any fan-out.
+	go func() {
+		defer close(done)
+		for {
+			r.mu.Lock()
+			issued := r.queriesIssued
+			r.mu.Unlock()
+			if !r.shouldContinue(issued, time.Since(r.start)) {
+				close(stop)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+
+	r.markIssueLoopEnd()
+	r.sut.FlushQueries()
+	r.pending.Wait()
+	return nil
+}
+
+// runSwarmAccuracy sweeps the whole data set through the swarm path: the
+// aggregate Poisson process (the superposition of every session's stream)
+// paces the sweep and classes rotate round-robin, so per-class bookkeeping
+// and payload decoding are exercised without needing the full session count.
+func (r *activeRun) runSwarmAccuracy(classes []SwarmClass) error {
+	rng := stats.NewRNG(r.settings.ScheduleSeed)
+	aggregate := float64(r.settings.SwarmSessions) * r.settings.SwarmSessionQPS
+	proc, err := stats.NewPoissonProcess(rng, aggregate)
+	if err != nil {
+		return err
+	}
+	r.start = time.Now()
+	var offset time.Duration
+	for i, idx := range r.accuracyIndices() {
+		offset += proc.NextGap()
+		r.waitUntil(offset)
+		q := r.newQuery([]int{idx}, offset)
+		q.Class = i % len(classes)
+		r.issue(q, nil)
+	}
+	r.markIssueLoopEnd()
+	r.sut.FlushQueries()
+	r.pending.Wait()
+	return nil
+}
+
+// swarmSession simulates one client session across its incarnations. Each
+// incarnation replays its deterministic gap stream until its lifetime
+// expires (a churn: the session reconnects as the next incarnation) or the
+// run stops.
+func (r *activeRun) swarmSession(sid uint64, classIdx int, stop <-chan struct{}) {
+	var inc uint64
+	for {
+		proc, life, err := swarmSessionGaps(r.settings, sid, inc)
+		if err != nil {
+			return // validated settings cannot reach this
+		}
+		qrng := stats.NewRNG(swarmStreamSeed(r.settings.QuerySeed, sid, inc))
+		// Offsets are relative to the run start; an incarnation's stream
+		// starts where the session currently is in run time.
+		epoch := time.Since(r.start)
+		offset := epoch
+		for {
+			offset += proc.NextGap()
+			if life > 0 && offset-epoch > life {
+				// The session dies at its lifetime boundary, not at the
+				// arrival that overshot it: wait out the remainder so churn
+				// consumes run time (a session whose first gap overshoots a
+				// short lifetime must not spin through incarnations).
+				if !r.sleepUntil(epoch+life, stop) {
+					return
+				}
+				r.swarmChurn()
+				inc++
+				break // reconnect as the next incarnation
+			}
+			if !r.sleepUntil(offset, stop) {
+				return
+			}
+			r.swarmIssue(qrng, classIdx, offset)
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+	}
+}
+
+// swarmIssue builds and issues one session query. Sample selection uses the
+// session's own query RNG in the default random-with-replacement policy
+// (keeping sessions independent); the stateful audit policies fall back to
+// the shared, mutex-guarded selector.
+func (r *activeRun) swarmIssue(qrng *stats.RNG, classIdx int, offset time.Duration) {
+	var indices []int
+	if r.settings.SampleIndexPolicy == RandomWithReplacement {
+		indices = []int{r.loadedSet[qrng.Intn(len(r.loadedSet))]}
+	} else {
+		r.issueMu.Lock()
+		indices = r.nextIndices(1)
+		r.issueMu.Unlock()
+	}
+	r.issueMu.Lock()
+	q := r.newQuery(indices, offset)
+	r.issueMu.Unlock()
+	q.Class = classIdx
+	r.issue(q, nil)
+}
+
+// swarmChurn records one session reconnect.
+func (r *activeRun) swarmChurn() {
+	r.mu.Lock()
+	r.swarmChurns++
+	r.mu.Unlock()
+}
+
+// sleepUntil sleeps until the given offset from the run start, returning
+// false if the run stopped first.
+func (r *activeRun) sleepUntil(offset time.Duration, stop <-chan struct{}) bool {
+	remaining := time.Until(r.start.Add(offset))
+	if remaining <= 0 {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(remaining)
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		t.Stop()
+		return false
+	}
+}

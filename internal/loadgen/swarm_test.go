@@ -1,0 +1,251 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func swarmTestSettings() TestSettings {
+	ts := DefaultSettings(Swarm)
+	ts.MinDuration = 20 * time.Millisecond
+	ts.MinQueryCount = 60
+	ts.SwarmSessions = 40
+	ts.SwarmSessionQPS = 100
+	ts.SwarmSessionLifetime = 15 * time.Millisecond
+	return ts
+}
+
+// drawSchedule materializes the first n gaps and the lifetime of one session
+// incarnation, the audit-replay form of the determinism contract.
+func drawSchedule(t *testing.T, ts TestSettings, sid, inc uint64, n int) ([]time.Duration, time.Duration) {
+	t.Helper()
+	proc, life, err := swarmSessionGaps(ts, sid, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make([]time.Duration, n)
+	for i := range gaps {
+		gaps[i] = proc.NextGap()
+	}
+	return gaps, life
+}
+
+// Same (ScheduleSeed, session, incarnation) must regenerate the identical
+// arrival stream and lifetime — the property that makes a swarm run's offered
+// schedule auditable after the fact.
+func TestSwarmScheduleDeterminism(t *testing.T) {
+	ts := swarmTestSettings()
+	for sid := uint64(0); sid < 8; sid++ {
+		for inc := uint64(0); inc < 3; inc++ {
+			a, lifeA := drawSchedule(t, ts, sid, inc, 64)
+			b, lifeB := drawSchedule(t, ts, sid, inc, 64)
+			if lifeA != lifeB {
+				t.Fatalf("session %d inc %d: lifetime %v != %v", sid, inc, lifeA, lifeB)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("session %d inc %d gap %d: %v != %v", sid, inc, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	// Distinct sessions and distinct incarnations get distinct streams.
+	a, _ := drawSchedule(t, ts, 1, 0, 16)
+	b, _ := drawSchedule(t, ts, 2, 0, 16)
+	c, _ := drawSchedule(t, ts, 1, 1, 16)
+	same := func(x, y []time.Duration) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, b) {
+		t.Error("sessions 1 and 2 drew identical streams")
+	}
+	if same(a, c) {
+		t.Error("incarnations 0 and 1 drew identical streams")
+	}
+	// A different ScheduleSeed moves every stream.
+	ts2 := ts
+	ts2.ScheduleSeed = ts.ScheduleSeed + 1
+	d, _ := drawSchedule(t, ts2, 1, 0, 16)
+	if same(a, d) {
+		t.Error("stream unchanged under a different ScheduleSeed")
+	}
+}
+
+// The contract must hold independent of interleaving: many goroutines drawing
+// the same sessions' schedules concurrently see exactly the sequential draws.
+func TestSwarmScheduleInterleavingIndependence(t *testing.T) {
+	ts := swarmTestSettings()
+	const sessions = 16
+	want := make([][]time.Duration, sessions)
+	for sid := range want {
+		want[sid], _ = drawSchedule(t, ts, uint64(sid), 0, 32)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, sessions)
+	for sid := 0; sid < sessions; sid++ {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			proc, _, err := swarmSessionGaps(ts, uint64(sid), 0)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			for i := 0; i < 32; i++ {
+				if g := proc.NextGap(); g != want[sid][i] {
+					errs <- "concurrent draw diverged from sequential draw"
+					return
+				}
+			}
+		}(sid)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func TestSwarmAssignClassesDeterministic(t *testing.T) {
+	ts := swarmTestSettings()
+	ts.SwarmSessions = 4000
+	classes := []SwarmClass{
+		{Name: "interactive", Weight: 3, TargetLatency: 10 * time.Millisecond, TargetPercentile: 0.99},
+		{Name: "batchy", Weight: 1, TargetLatency: 100 * time.Millisecond, TargetPercentile: 0.95},
+	}
+	a := swarmAssignClasses(ts, classes)
+	b := swarmAssignClasses(ts, classes)
+	if len(a) != ts.SwarmSessions {
+		t.Fatalf("assigned %d sessions, want %d", len(a), ts.SwarmSessions)
+	}
+	counts := make([]int, len(classes))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("session %d assignment differs between calls", i)
+		}
+		if a[i] < 0 || a[i] >= len(classes) {
+			t.Fatalf("session %d assigned out-of-range class %d", i, a[i])
+		}
+		counts[a[i]]++
+	}
+	// Weight 3:1 over 4000 draws: the interactive share lands near 75%.
+	share := float64(counts[0]) / float64(len(a))
+	if share < 0.70 || share > 0.80 {
+		t.Errorf("interactive share %.3f, want ~0.75 under 3:1 weights", share)
+	}
+}
+
+// End-to-end swarm run against the fake SUT: the run completes, stays valid,
+// reports the session population, and the per-class counters partition the
+// run's totals exactly.
+func TestSwarmPerformanceRun(t *testing.T) {
+	qsl := newFakeQSL(64, 32)
+	sut := newFakeSUT(0, true)
+	ts := swarmTestSettings()
+	ts.SwarmClasses = []SwarmClass{
+		{Name: "interactive", Weight: 3, TargetLatency: 100 * time.Millisecond, TargetPercentile: 0.99},
+		{Name: "batchy", Weight: 1, TargetLatency: time.Second, TargetPercentile: 0.95},
+	}
+	res, err := StartTest(sut, qsl, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != Swarm {
+		t.Errorf("scenario %v", res.Scenario)
+	}
+	if res.SwarmSessions != ts.SwarmSessions {
+		t.Errorf("reported %d sessions, want %d", res.SwarmSessions, ts.SwarmSessions)
+	}
+	if res.QueriesIssued < ts.MinQueryCount {
+		t.Errorf("issued %d, want >= %d", res.QueriesIssued, ts.MinQueryCount)
+	}
+	if res.QueriesCompleted != res.QueriesIssued {
+		t.Errorf("completed %d != issued %d", res.QueriesCompleted, res.QueriesIssued)
+	}
+	if !res.Valid {
+		t.Errorf("run invalid: %v", res.ValidityMessages)
+	}
+	if len(res.SwarmClasses) != 2 {
+		t.Fatalf("got %d class results", len(res.SwarmClasses))
+	}
+	var issued, completed int
+	for _, c := range res.SwarmClasses {
+		if c.QueriesCompleted > c.QueriesIssued {
+			t.Errorf("class %s completed %d > issued %d", c.Name, c.QueriesCompleted, c.QueriesIssued)
+		}
+		if !c.Valid {
+			t.Errorf("class %s invalid under a generous bound", c.Name)
+		}
+		issued += c.QueriesIssued
+		completed += c.QueriesCompleted
+	}
+	if issued != res.QueriesIssued || completed != res.QueriesCompleted {
+		t.Errorf("class sums (%d issued, %d completed) do not partition run totals (%d, %d)",
+			issued, completed, res.QueriesIssued, res.QueriesCompleted)
+	}
+	// Lifetimes far shorter than the run force churn.
+	if res.SwarmChurns == 0 {
+		t.Error("no churn despite 15ms mean lifetime over a 20ms+ run")
+	}
+	if res.ServerScheduledQPS != float64(ts.SwarmSessions)*ts.SwarmSessionQPS {
+		t.Errorf("scheduled QPS %v", res.ServerScheduledQPS)
+	}
+}
+
+// An unreachable latency bound must invalidate the violating class and the
+// run, and only the violating class.
+func TestSwarmClassBoundViolation(t *testing.T) {
+	qsl := newFakeQSL(64, 32)
+	sut := newFakeSUT(2*time.Millisecond, true)
+	ts := swarmTestSettings()
+	ts.SwarmSessionLifetime = 0 // no churn noise
+	ts.SwarmClasses = []SwarmClass{
+		{Name: "impossible", Weight: 1, TargetLatency: time.Nanosecond, TargetPercentile: 0.99},
+		{Name: "relaxed", Weight: 1, TargetLatency: time.Second, TargetPercentile: 0.9},
+	}
+	res, err := StartTest(sut, qsl, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid {
+		t.Error("run valid despite an impossible class bound")
+	}
+	byName := map[string]SwarmClassResult{}
+	for _, c := range res.SwarmClasses {
+		byName[c.Name] = c
+	}
+	if byName["impossible"].Valid {
+		t.Error("impossible class reported valid")
+	}
+	if !byName["relaxed"].Valid {
+		t.Error("relaxed class reported invalid")
+	}
+}
+
+// Accuracy mode sweeps the whole data set, as in every other scenario.
+func TestSwarmAccuracyModeSweepsDataset(t *testing.T) {
+	qsl := newFakeQSL(48, 8)
+	sut := newFakeSUT(0, false)
+	ts := swarmTestSettings()
+	ts.Mode = AccuracyMode
+	res, err := StartTest(sut, qsl, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesIssued != 48 {
+		t.Errorf("accuracy mode issued %d queries, want 48", res.QueriesIssued)
+	}
+	seen := map[int]bool{}
+	for _, idx := range sut.seenIndices() {
+		seen[idx] = true
+	}
+	if len(seen) != 48 {
+		t.Errorf("accuracy mode touched %d distinct samples, want 48", len(seen))
+	}
+}

@@ -3,68 +3,379 @@
 // script decodes them after the run to score model quality. Keeping the codec
 // in one place lets any SUT implementation and the accuracy checker agree on
 // the format.
+//
+// Two codecs coexist:
+//
+//   - The binary codec (the default since the swarm scenario landed) frames
+//     every payload as [version 0x01][kind][varint-encoded fields]: class
+//     predictions are one zigzag varint, token sequences are a count plus
+//     one zigzag varint per token, and detection boxes are a count plus
+//     fixed 8-byte IEEE-754 coordinates/score with a zigzag-varint class.
+//     Encoding appends into a caller-supplied buffer (Append*), so the
+//     serving hot path can run it through pooled buffers without
+//     allocating.
+//   - The legacy JSON codec ({"class":N}, {"boxes":[...]}, {"tokens":[...]})
+//     is still emitted on demand (Encode*JSON) for old peers.
+//
+// The codecs self-describe: a JSON payload always begins with '{' (0x7b)
+// and a binary payload always begins with BinaryVersion (0x01), so the
+// Decode* functions sniff the first byte and accept either. That leading
+// codec-version byte is what rides the wire protocol's V2/V3 framing — the
+// payload travels as the opaque data field of predict responses, so a new
+// decoder handles an old JSON peer and an old-peer deployment can keep a
+// server on the JSON codec without any frame-format change.
 package payload
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"mlperf/internal/metrics"
 )
 
-// classPayload carries an image-classification prediction.
+// Codec selects which of the two self-describing payload encodings to emit.
+// The zero value is the binary codec, so zero-valued configs get the
+// allocation-free default and JSON is an explicit opt-in for old peers.
+type Codec uint8
+
+const (
+	// CodecBinary is the varint-framed binary codec (default).
+	CodecBinary Codec = iota
+	// CodecJSON is the legacy JSON codec, kept for old peers.
+	CodecJSON
+)
+
+// String names the codec for logs and flags.
+func (c Codec) String() string {
+	switch c {
+	case CodecBinary:
+		return "binary"
+	case CodecJSON:
+		return "json"
+	default:
+		return fmt.Sprintf("Codec(%d)", uint8(c))
+	}
+}
+
+// ParseCodec parses a -codec flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "binary":
+		return CodecBinary, nil
+	case "json":
+		return CodecJSON, nil
+	default:
+		return 0, fmt.Errorf("payload: unknown codec %q (want binary or json)", s)
+	}
+}
+
+// BinaryVersion is the leading version byte of every binary-codec payload.
+// It is deliberately distinct from '{' (0x7b), the first byte of every JSON
+// payload, so decoders can sniff the codec from the first byte.
+const BinaryVersion = 0x01
+
+// Binary payload kind tags (the byte after the version byte).
+const (
+	kindClass  = 0x01
+	kindBoxes  = 0x02
+	kindTokens = 0x03
+)
+
+// DetectCodec reports which codec encoded data, sniffing the first byte.
+func DetectCodec(data []byte) (Codec, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("payload: empty payload")
+	}
+	switch data[0] {
+	case BinaryVersion:
+		return CodecBinary, nil
+	case '{':
+		return CodecJSON, nil
+	default:
+		return 0, fmt.Errorf("payload: unknown codec version byte 0x%02x", data[0])
+	}
+}
+
+// classPayload carries an image-classification prediction (JSON codec).
 type classPayload struct {
 	Class int `json:"class"`
 }
 
-// detectionPayload carries object-detection predictions.
+// detectionPayload carries object-detection predictions (JSON codec).
 type detectionPayload struct {
 	Boxes []metrics.Box `json:"boxes"`
 }
 
-// translationPayload carries a machine-translation hypothesis.
+// translationPayload carries a machine-translation hypothesis (JSON codec).
 type translationPayload struct {
 	Tokens []int `json:"tokens"`
 }
 
-// EncodeClass serializes a class prediction.
+// zigzag folds signed integers into unsigned ones so small negative values
+// stay short under varint encoding (protobuf's sint64 mapping).
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendZigzag(dst []byte, v int) []byte {
+	return binary.AppendUvarint(dst, zigzag(int64(v)))
+}
+
+func readZigzag(data []byte) (int, int, error) {
+	u, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("payload: truncated or oversized varint")
+	}
+	return int(unzigzag(u)), n, nil
+}
+
+// AppendClass appends a binary-codec class prediction to dst and returns the
+// extended slice. With sufficient capacity in dst it does not allocate.
+func AppendClass(dst []byte, class int) []byte {
+	dst = append(dst, BinaryVersion, kindClass)
+	return appendZigzag(dst, class)
+}
+
+// AppendBoxes appends binary-codec detection boxes to dst.
+func AppendBoxes(dst []byte, boxes []metrics.Box) []byte {
+	dst = append(dst, BinaryVersion, kindBoxes)
+	dst = binary.AppendUvarint(dst, uint64(len(boxes)))
+	for _, b := range boxes {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.X1))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.Y1))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.X2))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.Y2))
+		dst = appendZigzag(dst, b.Class)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.Score))
+	}
+	return dst
+}
+
+// AppendTokens appends a binary-codec translation hypothesis to dst.
+func AppendTokens(dst []byte, tokens []int) []byte {
+	dst = append(dst, BinaryVersion, kindTokens)
+	dst = binary.AppendUvarint(dst, uint64(len(tokens)))
+	for _, t := range tokens {
+		dst = appendZigzag(dst, t)
+	}
+	return dst
+}
+
+// EncodeClass serializes a class prediction with the default (binary) codec.
 func EncodeClass(class int) ([]byte, error) {
+	return AppendClass(nil, class), nil
+}
+
+// EncodeBoxes serializes detection boxes with the default (binary) codec.
+func EncodeBoxes(boxes []metrics.Box) ([]byte, error) {
+	return AppendBoxes(nil, boxes), nil
+}
+
+// EncodeTokens serializes a translation hypothesis with the default (binary)
+// codec.
+func EncodeTokens(tokens []int) ([]byte, error) {
+	return AppendTokens(nil, tokens), nil
+}
+
+// EncodeClassJSON serializes a class prediction with the legacy JSON codec.
+func EncodeClassJSON(class int) ([]byte, error) {
 	return json.Marshal(classPayload{Class: class})
 }
 
-// DecodeClass parses a class prediction.
-func DecodeClass(data []byte) (int, error) {
-	var p classPayload
-	if err := json.Unmarshal(data, &p); err != nil {
-		return 0, fmt.Errorf("payload: decoding class prediction: %w", err)
-	}
-	return p.Class, nil
-}
-
-// EncodeBoxes serializes detection boxes.
-func EncodeBoxes(boxes []metrics.Box) ([]byte, error) {
+// EncodeBoxesJSON serializes detection boxes with the legacy JSON codec.
+func EncodeBoxesJSON(boxes []metrics.Box) ([]byte, error) {
 	return json.Marshal(detectionPayload{Boxes: boxes})
 }
 
-// DecodeBoxes parses detection boxes.
-func DecodeBoxes(data []byte) ([]metrics.Box, error) {
-	var p detectionPayload
-	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("payload: decoding detection boxes: %w", err)
-	}
-	return p.Boxes, nil
-}
-
-// EncodeTokens serializes a translation hypothesis.
-func EncodeTokens(tokens []int) ([]byte, error) {
+// EncodeTokensJSON serializes a translation hypothesis with the legacy JSON
+// codec.
+func EncodeTokensJSON(tokens []int) ([]byte, error) {
 	return json.Marshal(translationPayload{Tokens: tokens})
 }
 
-// DecodeTokens parses a translation hypothesis.
-func DecodeTokens(data []byte) ([]int, error) {
-	var p translationPayload
-	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("payload: decoding translation tokens: %w", err)
+// binaryBody validates the version/kind header and returns the field bytes.
+func binaryBody(data []byte, kind byte, what string) ([]byte, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("payload: truncated binary %s payload (%d bytes)", what, len(data))
 	}
-	return p.Tokens, nil
+	if data[1] != kind {
+		return nil, fmt.Errorf("payload: binary payload kind 0x%02x is not a %s prediction", data[1], what)
+	}
+	return data[2:], nil
+}
+
+// DecodeClass parses a class prediction, accepting either codec.
+func DecodeClass(data []byte) (int, error) {
+	codec, err := DetectCodec(data)
+	if err != nil {
+		return 0, err
+	}
+	if codec == CodecJSON {
+		var p classPayload
+		if err := json.Unmarshal(data, &p); err != nil {
+			return 0, fmt.Errorf("payload: decoding class prediction: %w", err)
+		}
+		return p.Class, nil
+	}
+	body, err := binaryBody(data, kindClass, "class")
+	if err != nil {
+		return 0, err
+	}
+	class, n, err := readZigzag(body)
+	if err != nil {
+		return 0, fmt.Errorf("payload: decoding class prediction: %w", err)
+	}
+	if n != len(body) {
+		return 0, fmt.Errorf("payload: %d trailing bytes after class prediction", len(body)-n)
+	}
+	return class, nil
+}
+
+// binaryBoxBytes is the fixed per-box tail (4 coords + score); the class
+// varint adds at least one more byte. Bounding the declared count by the
+// remaining bytes keeps a lying count prefix from over-allocating.
+const binaryBoxBytes = 5*8 + 1
+
+// DecodeBoxes parses detection boxes, accepting either codec.
+func DecodeBoxes(data []byte) ([]metrics.Box, error) {
+	codec, err := DetectCodec(data)
+	if err != nil {
+		return nil, err
+	}
+	if codec == CodecJSON {
+		var p detectionPayload
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("payload: decoding detection boxes: %w", err)
+		}
+		return p.Boxes, nil
+	}
+	body, err := binaryBody(data, kindBoxes, "detection")
+	if err != nil {
+		return nil, err
+	}
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("payload: decoding detection box count: truncated varint")
+	}
+	body = body[n:]
+	if count > uint64(len(body)/binaryBoxBytes) {
+		return nil, fmt.Errorf("payload: detection box count %d exceeds the %d payload bytes", count, len(body))
+	}
+	boxes := make([]metrics.Box, count)
+	for i := range boxes {
+		if len(body) < 4*8 {
+			return nil, fmt.Errorf("payload: truncated detection box %d", i)
+		}
+		boxes[i].X1 = math.Float64frombits(binary.LittleEndian.Uint64(body[0:]))
+		boxes[i].Y1 = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
+		boxes[i].X2 = math.Float64frombits(binary.LittleEndian.Uint64(body[16:]))
+		boxes[i].Y2 = math.Float64frombits(binary.LittleEndian.Uint64(body[24:]))
+		body = body[32:]
+		class, n, err := readZigzag(body)
+		if err != nil {
+			return nil, fmt.Errorf("payload: decoding detection box %d class: %w", i, err)
+		}
+		body = body[n:]
+		if len(body) < 8 {
+			return nil, fmt.Errorf("payload: truncated detection box %d score", i)
+		}
+		boxes[i].Class = class
+		boxes[i].Score = math.Float64frombits(binary.LittleEndian.Uint64(body[0:]))
+		body = body[8:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("payload: %d trailing bytes after detection boxes", len(body))
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	return boxes, nil
+}
+
+// DecodeTokens parses a translation hypothesis, accepting either codec.
+func DecodeTokens(data []byte) ([]int, error) {
+	codec, err := DetectCodec(data)
+	if err != nil {
+		return nil, err
+	}
+	if codec == CodecJSON {
+		var p translationPayload
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("payload: decoding translation tokens: %w", err)
+		}
+		return p.Tokens, nil
+	}
+	body, err := binaryBody(data, kindTokens, "translation")
+	if err != nil {
+		return nil, err
+	}
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("payload: decoding token count: truncated varint")
+	}
+	body = body[n:]
+	// Every token costs at least one varint byte, so a count beyond the
+	// remaining length is a lie — reject it before allocating.
+	if count > uint64(len(body)) {
+		return nil, fmt.Errorf("payload: token count %d exceeds the %d payload bytes", count, len(body))
+	}
+	tokens := make([]int, count)
+	for i := range tokens {
+		t, n, err := readZigzag(body)
+		if err != nil {
+			return nil, fmt.Errorf("payload: decoding token %d: %w", i, err)
+		}
+		tokens[i] = t
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("payload: %d trailing bytes after tokens", len(body))
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	return tokens, nil
+}
+
+// DecodeTokensInto decodes a binary-codec translation hypothesis into dst,
+// reusing its backing array when capacity allows — the allocation-free
+// receive path for swarm clients that score in place. JSON payloads fall
+// back to DecodeTokens (allocating).
+func DecodeTokensInto(dst []int, data []byte) ([]int, error) {
+	codec, err := DetectCodec(data)
+	if err != nil {
+		return nil, err
+	}
+	if codec == CodecJSON {
+		return DecodeTokens(data)
+	}
+	body, err := binaryBody(data, kindTokens, "translation")
+	if err != nil {
+		return nil, err
+	}
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("payload: decoding token count: truncated varint")
+	}
+	body = body[n:]
+	if count > uint64(len(body)) {
+		return nil, fmt.Errorf("payload: token count %d exceeds the %d payload bytes", count, len(body))
+	}
+	if uint64(cap(dst)) < count {
+		dst = make([]int, count)
+	}
+	dst = dst[:count]
+	for i := range dst {
+		t, n, err := readZigzag(body)
+		if err != nil {
+			return nil, fmt.Errorf("payload: decoding token %d: %w", i, err)
+		}
+		dst[i] = t
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("payload: %d trailing bytes after tokens", len(body))
+	}
+	return dst, nil
 }

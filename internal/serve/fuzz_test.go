@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"mlperf/internal/metrics"
+	"mlperf/internal/payload"
 	"mlperf/internal/trace"
 )
 
@@ -60,13 +62,21 @@ func decodeServerStream(data []byte) {
 }
 
 // decodeClientStream is the fuzz target's client half: the same bytes read as
-// server → client frames through backend.Remote's entry point.
+// server → client frames through backend.Remote's entry point, with predict
+// payloads pushed on through the codec decoders the way accuracy mode does.
 func decodeClientStream(data []byte) {
 	r := bufio.NewReader(bytes.NewReader(data))
 	for {
-		if _, err := ReadClientFrame(r); err != nil {
+		frame, err := ReadClientFrame(r)
+		if err != nil {
 			return
 		}
+		if frame.Type == MsgPredict || frame.Type == MsgPredictTraced {
+			_, _ = payload.DecodeClass(frame.Predict.Data)
+			_, _ = payload.DecodeBoxes(frame.Predict.Data)
+			_, _ = payload.DecodeTokens(frame.Predict.Data)
+		}
+		frame.Release()
 	}
 }
 
@@ -105,6 +115,18 @@ func FuzzDecodeFrame(f *testing.F) {
 	// Server → client frames.
 	f.Add(frameBytes(MsgPredict, encodePredictResponse(42, StatusOK, []byte("payload"))))
 	f.Add(frameBytes(MsgMetrics, encodeIDPrefix(5, []byte(`{"completed":1}`))))
+	// Binary-codec payloads inside predict responses: well-formed class/boxes/
+	// tokens bytes, a truncated box record, token and box counts lying far past
+	// the body, a bare version byte, and an unknown payload kind.
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(43, StatusOK, payload.AppendClass(nil, 7))))
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(44, StatusOK, payload.AppendTokens(nil, []int{4, 8, 15}))))
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(45, StatusOK,
+		payload.AppendBoxes(nil, []metrics.Box{{X1: 1, Y1: 2, X2: 3, Y2: 4, Class: 5, Score: 0.5}}))))
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(46, StatusOK, []byte{payload.BinaryVersion, 0x02, 0x01, 0x00})))
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(47, StatusOK, []byte{payload.BinaryVersion, 0x03, 0xff, 0xff, 0xff, 0xff, 0x0f})))
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(48, StatusOK, []byte{payload.BinaryVersion, 0x02, 0xff, 0xff, 0xff, 0xff, 0x0f})))
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(49, StatusOK, []byte{payload.BinaryVersion})))
+	f.Add(frameBytes(MsgPredict, encodePredictResponse(50, StatusOK, []byte{payload.BinaryVersion, 0x7f, 0x00})))
 	// Probe edge cases: well-formed ready and draining verdicts, a truncated
 	// body (8 bytes, no readiness byte), an oversized body, and an unknown
 	// readiness value.

@@ -36,6 +36,14 @@ type serverMetrics struct {
 
 	queue   latencyWindow
 	service latencyWindow
+
+	// snapMu serializes snapshot assembly and guards the scratch buffers
+	// below. Scrapers contend only with each other: the serving path's mu is
+	// held just long enough to copy the rings out, and the O(n log n) sort
+	// runs outside it, so a slow scrape never stalls request completion.
+	snapMu       sync.Mutex
+	scratchQueue []time.Duration
+	scratchSvc   []time.Duration
 }
 
 // latencyWindow is a fixed-capacity ring of recent duration observations.
@@ -56,13 +64,25 @@ func (w *latencyWindow) add(d time.Duration) {
 	}
 }
 
-// percentiles returns the p50 and p99 of the retained window.
-func (w *latencyWindow) percentiles() (p50, p99 time.Duration) {
-	if w.n == 0 {
+// copyInto copies the retained observations into scratch (growing it if
+// needed) and returns the filled prefix. Call with the owning metrics lock
+// held; the returned slice aliases scratch, not the ring.
+func (w *latencyWindow) copyInto(scratch []time.Duration) []time.Duration {
+	if cap(scratch) < w.n {
+		scratch = make([]time.Duration, w.n)
+	}
+	scratch = scratch[:w.n]
+	copy(scratch, w.buf[:w.n])
+	return scratch
+}
+
+// percentilesOf returns the p50 and p99 of a sample set, sorting it in
+// place. Unlike the old latencyWindow.percentiles it takes an already-copied
+// slice, so callers can sort outside the lock that guards the ring.
+func percentilesOf(sorted []time.Duration) (p50, p99 time.Duration) {
+	if len(sorted) == 0 {
 		return 0, 0
 	}
-	sorted := make([]time.Duration, w.n)
-	copy(sorted, w.buf[:w.n])
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := func(p float64) int {
 		i := int(p * float64(len(sorted)-1))
@@ -75,6 +95,13 @@ func (w *latencyWindow) percentiles() (p50, p99 time.Duration) {
 		return i
 	}
 	return sorted[idx(0.50)], sorted[idx(0.99)]
+}
+
+// percentiles returns the p50 and p99 of the retained window, allocating a
+// fresh scratch copy. The snapshot path uses copyInto + percentilesOf with a
+// reused scratch buffer instead; this remains for direct/test use.
+func (w *latencyWindow) percentiles() (p50, p99 time.Duration) {
+	return percentilesOf(w.copyInto(nil))
 }
 
 func newServerMetrics() *serverMetrics {
@@ -311,10 +338,14 @@ type Snapshot struct {
 }
 
 // snapshot assembles a Snapshot; queueDepth is sampled by the caller, which
-// owns the queue lock.
+// owns the queue lock. The serving-path lock m.mu is held only for the O(n)
+// counter-and-ring copy; the percentile sorts run under snapMu on reused
+// scratch buffers, so concurrent scrapers neither stall request completion
+// nor allocate a fresh window copy per scrape.
 func (m *serverMetrics) snapshot(queueDepth, workers, maxBatch, queueLimit int) Snapshot {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Snapshot{
 		QueueDepth: queueDepth,
 		Admitted:   m.admitted,
@@ -339,8 +370,12 @@ func (m *serverMetrics) snapshot(queueDepth, workers, maxBatch, queueLimit int) 
 		}
 		s.BatchHistogram = append(s.BatchHistogram, bucket)
 	}
-	s.QueueP50, s.QueueP99 = m.queue.percentiles()
-	s.ServiceP50, s.ServiceP99 = m.service.percentiles()
+	m.scratchQueue = m.queue.copyInto(m.scratchQueue)
+	m.scratchSvc = m.service.copyInto(m.scratchSvc)
+	m.mu.Unlock()
+
+	s.QueueP50, s.QueueP99 = percentilesOf(m.scratchQueue)
+	s.ServiceP50, s.ServiceP99 = percentilesOf(m.scratchSvc)
 	return s
 }
 

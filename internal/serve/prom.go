@@ -109,8 +109,29 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	promFamily(w, "mlperf_serve_draining", "gauge", "1 while the server is draining or shut down.")
 	fmt.Fprintf(w, "mlperf_serve_draining %g\n", draining)
 	WriteKernelPrometheus(w, tensor.CurrentKernelConfig())
+	WriteBufferPoolPrometheus(w)
 	WriteRuntimePrometheus(w)
 	s.tracer.WritePrometheus(w)
+}
+
+// WriteBufferPoolPrometheus renders the size-classed wire-buffer pool
+// counters. Process-level: client and server share the pools. A healthy
+// steady state shows gets/puts climbing together while misses and oversized
+// stay flat — that is the scrapeable form of the zero-allocation claim.
+func WriteBufferPoolPrometheus(w io.Writer) {
+	st := ReadBufferPoolStats()
+	promFamily(w, "mlperf_bufpool_gets_total", "counter",
+		"Wire buffers acquired from the size-classed pools.")
+	fmt.Fprintf(w, "mlperf_bufpool_gets_total %d\n", st.Gets)
+	promFamily(w, "mlperf_bufpool_puts_total", "counter",
+		"Wire buffers released back into the pools.")
+	fmt.Fprintf(w, "mlperf_bufpool_puts_total %d\n", st.Puts)
+	promFamily(w, "mlperf_bufpool_misses_total", "counter",
+		"Acquires that allocated because the class pool was empty.")
+	fmt.Fprintf(w, "mlperf_bufpool_misses_total %d\n", st.Misses)
+	promFamily(w, "mlperf_bufpool_oversized_total", "counter",
+		"Acquires larger than the largest class, served outside the pool.")
+	fmt.Fprintf(w, "mlperf_bufpool_oversized_total %d\n", st.Oversized)
 }
 
 // WriteRuntimePrometheus renders Go runtime health families: live heap

@@ -198,9 +198,15 @@ type PredictResponse struct {
 	Spans *trace.WireSpans
 }
 
-// writeFrame emits one frame. The caller serializes concurrent writers.
+// frameHeaderBytes is the size of the [u32 length][u8 type] frame prefix.
+const frameHeaderBytes = 5
+
+// writeFrame emits one frame from a separate header and body (two writes).
+// The caller serializes concurrent writers. Hot paths build complete frames
+// in pooled buffers (beginFrame/endFrame) and hand the writer a single
+// contiguous slice instead.
 func writeFrame(w io.Writer, msgType byte, body []byte) error {
-	var header [5]byte
+	var header [frameHeaderBytes]byte
 	binary.BigEndian.PutUint32(header[:4], uint32(len(body)))
 	header[4] = msgType
 	if _, err := w.Write(header[:]); err != nil {
@@ -213,6 +219,23 @@ func writeFrame(w io.Writer, msgType byte, body []byte) error {
 	return err
 }
 
+// beginFrame reserves space for a frame header at the end of dst; the body
+// is appended after it and endFrame patches the header in. Building frames
+// this way — header and body in one buffer, one Write to the socket —
+// removes both the per-frame body allocation and the double copy the old
+// encoders paid (build body, then prepend the header separately).
+func beginFrame(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0, 0)
+}
+
+// endFrame patches the header of the frame that starts at offset start in
+// buf (start is len(dst) at the matching beginFrame call).
+func endFrame(buf []byte, start int, msgType byte) []byte {
+	binary.BigEndian.PutUint32(buf[start:start+4], uint32(len(buf)-start-frameHeaderBytes))
+	buf[start+4] = msgType
+	return buf
+}
+
 // readBodyChunk caps the allocation readFrame makes before any body bytes
 // have actually arrived, so a lying length prefix on a truncated stream costs
 // at most one chunk of memory rather than the claimed frame size.
@@ -220,10 +243,10 @@ const readBodyChunk = 64 << 10
 
 // readFrame reads one frame, returning its type and body. Bodies up to
 // readBodyChunk — every frame on the predict/response hot path — are read
-// with a single allocation, exactly sized. Larger bodies are read
-// incrementally so memory grows with the bytes that actually arrive, never
-// with the claimed length alone (a lying prefix on a truncated stream costs
-// one chunk, not maxFrameBytes).
+// with a single allocation, exactly sized. A larger body is sized in full
+// only after its first chunk has actually arrived, so the claimed length
+// alone never drives the allocation (a lying prefix on a truncated stream
+// costs one pooled chunk, not maxFrameBytes).
 func readFrame(r *bufio.Reader) (byte, []byte, error) {
 	var header [5]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
@@ -240,19 +263,77 @@ func readFrame(r *bufio.Reader) (byte, []byte, error) {
 		}
 		return header[4], body, nil
 	}
-	chunk := make([]byte, readBodyChunk)
-	body := make([]byte, 0, readBodyChunk)
-	for len(body) < n {
-		want := n - len(body)
-		if want > readBodyChunk {
-			want = readBodyChunk
-		}
-		if _, err := io.ReadFull(r, chunk[:want]); err != nil {
-			return 0, nil, err
-		}
-		body = append(body, chunk[:want]...)
+	// A large frame: prove the peer is actually transmitting before
+	// committing the claimed size — read one chunk first (a lying prefix on
+	// a truncated stream costs at most this chunk), then size the body to
+	// the full n exactly once and fill the remainder directly into it. The
+	// old path append-grew from a chunk-sized cap, re-copying a
+	// maxFrameBytes body around eight times on the way up.
+	probe := AcquireBuffer(readBodyChunk)
+	first := probe.B[:readBodyChunk]
+	if _, err := io.ReadFull(r, first); err != nil {
+		probe.Release()
+		return 0, nil, err
+	}
+	body := make([]byte, n)
+	copy(body, first)
+	probe.Release()
+	if _, err := io.ReadFull(r, body[readBodyChunk:]); err != nil {
+		return 0, nil, err
 	}
 	return header[4], body, nil
+}
+
+// readFrameBuf is readFrame on pooled memory: the body lives in a Buffer
+// from the size-classed pool, which the caller must Release once every
+// sub-slice of it (payload data, metrics JSON) has been consumed. This is
+// the steady-state read path on both ends of the wire — it allocates
+// nothing once the pools are warm.
+func readFrameBuf(r *bufio.Reader) (byte, *Buffer, error) {
+	// Peek the header out of the bufio buffer rather than io.ReadFull into a
+	// local array: the interface-typed ReadFull call makes a local header
+	// escape, which would put one 5-byte heap allocation on every frame read.
+	header, err := r.Peek(frameHeaderBytes)
+	if err != nil {
+		if err == io.EOF && len(header) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(header[:4]))
+	msgType := header[4]
+	if _, err := r.Discard(frameHeaderBytes); err != nil {
+		return 0, nil, err
+	}
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("serve: frame of %d bytes exceeds the %d-byte limit", n, maxFrameBytes)
+	}
+	if n <= readBodyChunk {
+		buf := AcquireBuffer(n)
+		buf.B = buf.B[:n]
+		if _, err := io.ReadFull(r, buf.B); err != nil {
+			buf.Release()
+			return 0, nil, err
+		}
+		return msgType, buf, nil
+	}
+	// Same lying-prefix discipline as readFrame: one chunk up front, the
+	// full pool acquisition only after it arrives.
+	probe := AcquireBuffer(readBodyChunk)
+	first := probe.B[:readBodyChunk]
+	if _, err := io.ReadFull(r, first); err != nil {
+		probe.Release()
+		return 0, nil, err
+	}
+	buf := AcquireBuffer(n)
+	buf.B = buf.B[:n]
+	copy(buf.B, first)
+	probe.Release()
+	if _, err := io.ReadFull(r, buf.B[readBodyChunk:]); err != nil {
+		buf.Release()
+		return 0, nil, err
+	}
+	return msgType, buf, nil
 }
 
 // appendModelID appends a model id (u8 length + bytes) to a frame body.
@@ -278,33 +359,42 @@ func splitModelID(body []byte) (string, []byte, error) {
 
 // WritePredictRequest encodes and writes one predict request frame: a V1
 // MsgPredict when req.Model is empty (byte-identical to the PR 4 wire
-// format), a V2 MsgPredictModel otherwise.
+// format), a V2 MsgPredictModel otherwise, a V3 MsgPredictTraced when a
+// trace id is set. The frame is assembled in a pooled buffer and handed to
+// the writer as one contiguous Write — the swarm send path's steady state
+// allocates nothing here.
 func WritePredictRequest(w io.Writer, req PredictRequest) error {
-	var fixed [20]byte
-	binary.BigEndian.PutUint64(fixed[0:8], req.ID)
-	binary.BigEndian.PutUint32(fixed[8:12], uint32(req.SampleIndex))
+	buf := AcquireBuffer(frameHeaderBytes + 8 + 1 + len(req.Model) + 20)
+	defer buf.Release()
+	b := beginFrame(buf.B)
+	var msgType byte
+	switch {
+	case req.TraceID != 0:
+		msgType = MsgPredictTraced
+		b = binary.BigEndian.AppendUint64(b, req.TraceID)
+		var err error
+		if b, err = appendModelID(b, req.Model); err != nil {
+			return err
+		}
+	case req.Model == "":
+		msgType = MsgPredict
+	default:
+		msgType = MsgPredictModel
+		var err error
+		if b, err = appendModelID(b, req.Model); err != nil {
+			return err
+		}
+	}
+	b = binary.BigEndian.AppendUint64(b, req.ID)
+	b = binary.BigEndian.AppendUint32(b, uint32(req.SampleIndex))
 	var deadline int64
 	if !req.Deadline.IsZero() {
 		deadline = req.Deadline.UnixNano()
 	}
-	binary.BigEndian.PutUint64(fixed[12:20], uint64(deadline))
-	if req.TraceID != 0 {
-		body := make([]byte, 0, 8+1+len(req.Model)+len(fixed))
-		body = binary.BigEndian.AppendUint64(body, req.TraceID)
-		body, err := appendModelID(body, req.Model)
-		if err != nil {
-			return err
-		}
-		return writeFrame(w, MsgPredictTraced, append(body, fixed[:]...))
-	}
-	if req.Model == "" {
-		return writeFrame(w, MsgPredict, fixed[:])
-	}
-	body, err := appendModelID(make([]byte, 0, 1+len(req.Model)+len(fixed)), req.Model)
-	if err != nil {
-		return err
-	}
-	return writeFrame(w, MsgPredictModel, append(body, fixed[:]...))
+	b = binary.BigEndian.AppendUint64(b, uint64(deadline))
+	buf.B = endFrame(b, 0, msgType)
+	_, err := w.Write(buf.B)
+	return err
 }
 
 // decodePredictTracedRequest parses a MsgPredictTraced request body into
@@ -374,6 +464,56 @@ func encodePredictTracedResponse(id uint64, status Status, spans *trace.WireSpan
 		body = binary.BigEndian.AppendUint64(body, uint64(v))
 	}
 	return append(body, data...)
+}
+
+// appendPredictResponseFrame appends a complete MsgPredict response frame
+// (header included) to dst — the single-buffer, single-copy form of
+// encodePredictResponse used by the pooled respond path.
+func appendPredictResponseFrame(dst []byte, id uint64, status Status, data []byte) []byte {
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, byte(status))
+	dst = append(dst, data...)
+	return endFrame(dst, start, MsgPredict)
+}
+
+// appendPredictTracedResponseFrame appends a complete MsgPredictTraced
+// response frame to dst.
+func appendPredictTracedResponseFrame(dst []byte, id uint64, status Status, spans *trace.WireSpans, data []byte) []byte {
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, byte(status))
+	if spans == nil {
+		dst = append(dst, SpanBlockAbsent)
+	} else {
+		dst = append(dst, SpanBlockPresent)
+		for _, v := range [6]int64{spans.RecvUnixNano, spans.Admit, spans.Queue, spans.Assembly, spans.Service, spans.Encode} {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(v))
+		}
+	}
+	dst = append(dst, data...)
+	return endFrame(dst, start, MsgPredictTraced)
+}
+
+// appendIDPrefixFrame appends a complete frame whose body is a u64 id plus
+// data (metrics responses).
+func appendIDPrefixFrame(dst []byte, msgType byte, id uint64, data []byte) []byte {
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, data...)
+	return endFrame(dst, start, msgType)
+}
+
+// appendProbeResponseFrame appends a complete MsgProbe response frame.
+func appendProbeResponseFrame(dst []byte, id uint64, ready byte) []byte {
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, ready)
+	return endFrame(dst, start, MsgProbe)
 }
 
 // decodePredictTracedResponse parses a MsgPredictTraced response body.
@@ -512,15 +652,32 @@ type ClientFrame struct {
 	// ProbeID and ProbeReady are populated when Type is MsgProbe.
 	ProbeID    uint64
 	ProbeReady bool
+	// buf backs Predict.Data and MetricsJSON when the frame was read off
+	// the pool; Release returns it.
+	buf *Buffer
 }
 
-// ReadClientFrame reads and decodes one server → client frame.
+// Release returns the frame's pooled body to the buffer pool. Call it once
+// Predict.Data / MetricsJSON have been consumed (they alias the pooled
+// memory); a frame that was never pooled releases nothing. Not releasing is
+// safe — the buffer is simply garbage collected instead of reused.
+func (f *ClientFrame) Release() {
+	if f.buf != nil {
+		f.buf.Release()
+		f.buf = nil
+	}
+}
+
+// ReadClientFrame reads and decodes one server → client frame into pooled
+// memory; call Release on the returned frame when its byte fields are no
+// longer needed.
 func ReadClientFrame(r *bufio.Reader) (ClientFrame, error) {
-	msgType, body, err := readFrame(r)
+	msgType, buf, err := readFrameBuf(r)
 	if err != nil {
 		return ClientFrame{}, err
 	}
-	frame := ClientFrame{Type: msgType}
+	body := buf.B
+	frame := ClientFrame{Type: msgType, buf: buf}
 	switch msgType {
 	case MsgPredict:
 		frame.Predict, err = decodePredictResponse(body)
@@ -536,6 +693,7 @@ func ReadClientFrame(r *bufio.Reader) (ClientFrame, error) {
 		err = fmt.Errorf("serve: unexpected server frame type %d", msgType)
 	}
 	if err != nil {
+		buf.Release()
 		return ClientFrame{}, err
 	}
 	return frame, nil

@@ -49,6 +49,7 @@ package serve
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -60,6 +61,7 @@ import (
 
 	"mlperf/internal/dataset"
 	"mlperf/internal/model"
+	"mlperf/internal/payload"
 	"mlperf/internal/tensor"
 	"mlperf/internal/trace"
 )
@@ -194,6 +196,12 @@ type Config struct {
 	// on the metrics listener, so a live server's CPU, heap, goroutine and
 	// block profiles are reachable without a rebuild. Requires MetricsAddr.
 	EnablePprof bool
+	// Codec selects the payload encoding for predict responses. The zero
+	// value is payload.CodecBinary (the allocation-free varint codec);
+	// payload.CodecJSON keeps emitting the legacy JSON payloads for old
+	// peers. Decoders on both ends sniff the payload's leading codec-version
+	// byte, so mixed-codec fleets interoperate at the decoded level.
+	Codec payload.Codec
 }
 
 // normalize validates the config and expands it into one ModelConfig per
@@ -336,11 +344,32 @@ func (sc *serverConn) writeFrame(msgType byte, body []byte) error {
 	return nil
 }
 
+// writeRawFrame writes and flushes one pre-assembled frame (header
+// included) as a single contiguous write — the pooled-buffer response path.
+// Failure semantics match writeFrame.
+func (sc *serverConn) writeRawFrame(frame []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.c.SetWriteDeadline(time.Now().Add(respWriteTimeout))
+	_, err := sc.w.Write(frame)
+	if err == nil {
+		err = sc.w.Flush()
+	}
+	if err != nil {
+		sc.c.Close()
+		return err
+	}
+	return nil
+}
+
 // engineHost is one hosted model's serving machinery: admission queue,
 // dispatcher, worker pool and metrics. Every hosted model gets its own, so
 // one tenant's overload cannot reject another tenant's traffic.
 type engineHost struct {
 	cfg ModelConfig
+	// codec is the payload encoding for this host's predict responses
+	// (Config.Codec; the zero value is the binary codec).
+	codec payload.Codec
 
 	mu          sync.Mutex
 	queue       []*request
@@ -435,6 +464,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		h := &engineHost{
 			cfg:         mc,
+			codec:       cfg.Codec,
 			workers:     mc.Workers,
 			liveWorkers: mc.Workers,
 			queueDepth:  mc.QueueDepth,
@@ -680,104 +710,129 @@ func (s *Server) serveConn(c net.Conn) {
 
 	r := bufio.NewReader(c)
 	for {
-		msgType, body, err := readFrame(r)
+		msgType, bodyBuf, err := readFrameBuf(r)
 		if err != nil {
 			return // EOF, closed, or oversized frame
 		}
-		modelID := ""
-		if msgType >= MsgPredictModel && msgType <= MsgMetricsModel {
-			// V2 frames carry a model id; metrics frames put theirs after the
-			// request id so decodeIDPrefix applies to both versions.
-			rest := body
-			if msgType == MsgMetricsModel {
-				if len(body) < 8 {
-					return
-				}
-				rest = body[8:]
-			}
-			var tail []byte
-			modelID, tail, err = splitModelID(rest)
-			if err != nil {
-				return
-			}
-			if msgType == MsgMetricsModel {
-				body = body[:8]
-			} else {
-				body = tail
-			}
-		}
-		switch msgType {
-		case MsgPredict, MsgPredictModel, MsgPredictTraced:
-			var req PredictRequest
-			if msgType == MsgPredictTraced {
-				// V3 carries its own model id ahead of the fixed body.
-				req, err = decodePredictTracedRequest(body)
-				modelID = req.Model
-			} else {
-				req, err = decodePredictRequest(body)
-			}
-			if err != nil {
-				return
-			}
-			h, ok := s.hostFor(modelID)
-			if !ok {
-				// Unroutable (unknown model id, or a V1 frame against several
-				// hosted models): answered, never silently dropped.
-				_ = sc.writeFrame(MsgPredict, encodePredictResponse(req.ID, StatusError, nil))
-				continue
-			}
-			r := &request{id: req.ID, index: req.SampleIndex, deadline: req.Deadline, conn: sc}
-			if req.TraceID != 0 && h.mt != nil {
-				// Head-sampled and this server traces: record server spans. A
-				// server without a tracer leaves tr nil and answers with a
-				// plain frame — the graceful-degradation path.
-				r.tr = &reqTrace{id: req.TraceID, arrived: time.Now()}
-			}
-			h.admit(r)
-		case MsgFlush, MsgFlushModel:
-			for _, h := range s.controlTargets(modelID) {
-				h.flushSeries()
-			}
-		case MsgReopen, MsgReopenModel:
-			for _, h := range s.controlTargets(modelID) {
-				h.reopen()
-			}
-		case MsgMetrics, MsgMetricsModel:
-			id, _, err := decodeIDPrefix(body)
-			if err != nil {
-				return
-			}
-			var snap Snapshot
-			if msgType == MsgMetricsModel {
-				if h, ok := s.hosts[modelID]; ok {
-					snap = h.snapshot()
-				} else {
-					// Unknown model: answered with an in-band error, like
-					// unroutable predicts — never by dropping the connection.
-					snap = Snapshot{Model: modelID, Error: fmt.Sprintf("no hosted model %q", modelID)}
-				}
-			} else {
-				snap = s.Metrics()
-			}
-			data, err := json.Marshal(snap)
-			if err != nil {
-				return
-			}
-			_ = sc.writeFrame(MsgMetrics, encodeIDPrefix(id, data))
-		case MsgProbe:
-			id, _, err := decodeIDPrefix(body)
-			if err != nil {
-				return
-			}
-			ready := ProbeReady
-			if s.Draining() {
-				ready = ProbeDraining
-			}
-			_ = sc.writeFrame(MsgProbe, encodeProbeResponse(id, ready))
-		default:
-			return // unknown message: drop the connection
+		// handleFrame never retains body bytes (ids and indexes are parsed
+		// out, model ids are copied into strings), so the pooled buffer goes
+		// straight back — the read side of the zero-allocation steady state.
+		ok := s.handleFrame(sc, msgType, bodyBuf.B)
+		bodyBuf.Release()
+		if !ok {
+			return
 		}
 	}
+}
+
+// handleFrame dispatches one decoded frame; a false return drops the
+// connection (malformed or unknown frame).
+func (s *Server) handleFrame(sc *serverConn, msgType byte, body []byte) bool {
+	modelID := ""
+	if msgType >= MsgPredictModel && msgType <= MsgMetricsModel {
+		// V2 frames carry a model id; metrics frames put theirs after the
+		// request id so decodeIDPrefix applies to both versions.
+		rest := body
+		if msgType == MsgMetricsModel {
+			if len(body) < 8 {
+				return false
+			}
+			rest = body[8:]
+		}
+		var tail []byte
+		var err error
+		modelID, tail, err = splitModelID(rest)
+		if err != nil {
+			return false
+		}
+		if msgType == MsgMetricsModel {
+			body = body[:8]
+		} else {
+			body = tail
+		}
+	}
+	switch msgType {
+	case MsgPredict, MsgPredictModel, MsgPredictTraced:
+		var req PredictRequest
+		var err error
+		if msgType == MsgPredictTraced {
+			// V3 carries its own model id ahead of the fixed body.
+			req, err = decodePredictTracedRequest(body)
+			modelID = req.Model
+		} else {
+			req, err = decodePredictRequest(body)
+		}
+		if err != nil {
+			return false
+		}
+		h, ok := s.hostFor(modelID)
+		if !ok {
+			// Unroutable (unknown model id, or a V1 frame against several
+			// hosted models): answered, never silently dropped.
+			buf := AcquireBuffer(frameHeaderBytes + 9)
+			buf.B = appendPredictResponseFrame(buf.B, req.ID, StatusError, nil)
+			_ = sc.writeRawFrame(buf.B)
+			buf.Release()
+			return true
+		}
+		r := &request{id: req.ID, index: req.SampleIndex, deadline: req.Deadline, conn: sc}
+		if req.TraceID != 0 && h.mt != nil {
+			// Head-sampled and this server traces: record server spans. A
+			// server without a tracer leaves tr nil and answers with a
+			// plain frame — the graceful-degradation path.
+			r.tr = &reqTrace{id: req.TraceID, arrived: time.Now()}
+		}
+		h.admit(r)
+	case MsgFlush, MsgFlushModel:
+		for _, h := range s.controlTargets(modelID) {
+			h.flushSeries()
+		}
+	case MsgReopen, MsgReopenModel:
+		for _, h := range s.controlTargets(modelID) {
+			h.reopen()
+		}
+	case MsgMetrics, MsgMetricsModel:
+		id, _, err := decodeIDPrefix(body)
+		if err != nil {
+			return false
+		}
+		var snap Snapshot
+		if msgType == MsgMetricsModel {
+			if h, ok := s.hosts[modelID]; ok {
+				snap = h.snapshot()
+			} else {
+				// Unknown model: answered with an in-band error, like
+				// unroutable predicts — never by dropping the connection.
+				snap = Snapshot{Model: modelID, Error: fmt.Sprintf("no hosted model %q", modelID)}
+			}
+		} else {
+			snap = s.Metrics()
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return false
+		}
+		buf := AcquireBuffer(frameHeaderBytes + 8 + len(data))
+		buf.B = appendIDPrefixFrame(buf.B, MsgMetrics, id, data)
+		_ = sc.writeRawFrame(buf.B)
+		buf.Release()
+	case MsgProbe:
+		id, _, err := decodeIDPrefix(body)
+		if err != nil {
+			return false
+		}
+		ready := ProbeReady
+		if s.Draining() {
+			ready = ProbeDraining
+		}
+		buf := AcquireBuffer(frameHeaderBytes + 9)
+		buf.B = appendProbeResponseFrame(buf.B, id, ready)
+		_ = sc.writeRawFrame(buf.B)
+		buf.Release()
+	default:
+		return false // unknown message: drop the connection
+	}
+	return true
 }
 
 // snapshot assembles this host's labeled metrics snapshot.
@@ -1146,50 +1201,74 @@ func (h *engineHost) predictOne(r *request, sample *dataset.Sample, started time
 // Metrics are recorded BEFORE the response is written so a snapshot taken by
 // a client that has seen all its responses is consistent (Completed covers
 // them); service time therefore excludes the buffered loopback write.
+//
+// The untraced path — the steady state — assembles the entire response
+// frame (header, id, status, payload) in one pooled buffer, encoding the
+// output directly into it: no per-frame allocation and a single write. The
+// head-sampled traced path encodes the payload separately so the encode
+// stage can be timed and the span block can precede it in the frame.
 func (h *engineHost) finish(r *request, out model.Output, started time.Time) {
-	var encodeStart time.Time
-	if r.tr != nil {
-		encodeStart = time.Now()
+	if r.tr == nil {
+		buf := AcquireBuffer(frameHeaderBytes + 9 + 64)
+		b := beginFrame(buf.B)
+		b = binary.BigEndian.AppendUint64(b, r.id)
+		b = append(b, byte(StatusOK))
+		b, err := out.AppendTo(b, h.codec)
+		if err != nil {
+			buf.Release()
+			h.metrics.addErrored()
+			h.respond(r, StatusError, nil)
+			return
+		}
+		buf.B = endFrame(b, 0, MsgPredict)
+		queued := started.Sub(r.enqueued)
+		service := time.Since(started)
+		h.metrics.observeService(queued, service)
+		if h.mt != nil {
+			// Untraced request on a tracing server: feed the tail tracker so
+			// outliers the sampling coin missed are still retained, with the
+			// queue/service split this path already measures.
+			e2e := (queued + service).Nanoseconds()
+			if h.mt.Observe(e2e) {
+				rec := &trace.Record{
+					Model: h.cfg.Name, Origin: trace.OriginServer,
+					Start: r.enqueued.UnixNano(), End2End: e2e, Tail: true,
+				}
+				rec.Stages[trace.StageQueue] = queued.Nanoseconds()
+				rec.Stages[trace.StageService] = service.Nanoseconds()
+				h.mt.Publish(rec)
+			}
+		}
+		_ = r.conn.writeRawFrame(buf.B)
+		buf.Release()
+		return
 	}
-	data, err := out.Encode()
-	if r.tr != nil {
-		r.tr.encode = time.Since(encodeStart).Nanoseconds()
-	}
+
+	encodeStart := time.Now()
+	data := AcquireBuffer(64)
+	db, err := out.AppendTo(data.B, h.codec)
+	r.tr.encode = time.Since(encodeStart).Nanoseconds()
 	if err != nil {
+		data.Release()
 		h.metrics.addErrored()
 		h.respond(r, StatusError, nil)
 		return
 	}
+	data.B = db
 	queued := started.Sub(r.enqueued)
 	service := time.Since(started)
 	h.metrics.observeService(queued, service)
-	switch {
-	case r.tr != nil:
-		// Build the span block the traced response carries back.
-		r.tr.spans = &trace.WireSpans{
-			RecvUnixNano: r.tr.arrived.UnixNano(),
-			Admit:        nonNegNanos(r.enqueued.Sub(r.tr.arrived)),
-			Queue:        nonNegNanos(r.tr.taken.Sub(r.enqueued)),
-			Assembly:     nonNegNanos(started.Sub(r.tr.taken)),
-			Service:      r.tr.service,
-			Encode:       r.tr.encode,
-		}
-	case h.mt != nil:
-		// Untraced request on a tracing server: feed the tail tracker so
-		// outliers the sampling coin missed are still retained, with the
-		// queue/service split this path already measures.
-		e2e := (queued + service).Nanoseconds()
-		if h.mt.Observe(e2e) {
-			rec := &trace.Record{
-				Model: h.cfg.Name, Origin: trace.OriginServer,
-				Start: r.enqueued.UnixNano(), End2End: e2e, Tail: true,
-			}
-			rec.Stages[trace.StageQueue] = queued.Nanoseconds()
-			rec.Stages[trace.StageService] = service.Nanoseconds()
-			h.mt.Publish(rec)
-		}
+	// Build the span block the traced response carries back.
+	r.tr.spans = &trace.WireSpans{
+		RecvUnixNano: r.tr.arrived.UnixNano(),
+		Admit:        nonNegNanos(r.enqueued.Sub(r.tr.arrived)),
+		Queue:        nonNegNanos(r.tr.taken.Sub(r.enqueued)),
+		Assembly:     nonNegNanos(started.Sub(r.tr.taken)),
+		Service:      r.tr.service,
+		Encode:       r.tr.encode,
 	}
-	h.respond(r, StatusOK, data)
+	h.respond(r, StatusOK, data.B)
+	data.Release()
 }
 
 // nonNegNanos floors a duration at zero nanoseconds (stage boundaries taken
@@ -1208,12 +1287,18 @@ func nonNegNanos(d time.Duration) int64 {
 // publishes the server-side record.
 func (h *engineHost) respond(r *request, status Status, data []byte) {
 	if r.tr == nil {
-		_ = r.conn.writeFrame(MsgPredict, encodePredictResponse(r.id, status, data))
+		buf := AcquireBuffer(frameHeaderBytes + 9 + len(data))
+		buf.B = appendPredictResponseFrame(buf.B, r.id, status, data)
+		_ = r.conn.writeRawFrame(buf.B)
+		buf.Release()
 		return
 	}
 	tr := r.tr
 	replyStart := time.Now()
-	_ = r.conn.writeFrame(MsgPredictTraced, encodePredictTracedResponse(r.id, status, tr.spans, data))
+	buf := AcquireBuffer(frameHeaderBytes + 9 + 64 + len(data))
+	buf.B = appendPredictTracedResponseFrame(buf.B, r.id, status, tr.spans, data)
+	_ = r.conn.writeRawFrame(buf.B)
+	buf.Release()
 	replyNs := time.Since(replyStart).Nanoseconds()
 	if h.mt == nil {
 		return

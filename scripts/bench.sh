@@ -21,20 +21,25 @@
 # every dispatch tier this CPU supports — forced-scalar, avx2, fma — with
 # GFLOP/s per tier and the scalar-to-SIMD speedups derived, and the tracing
 # overhead benchmark: the same Server-scenario wire run untraced vs span-
-# sampled at 1/64 on both ends, with the overhead ratio derived) and writes
-# the aggregated numbers to a JSON file (default BENCH_PR9.json) so speedups
+# sampled at 1/64 on both ends, with the overhead ratio derived, and the
+# swarm benchmarks: the Swarm scenario — hundreds of churning client
+# sessions — end to end over a loopback deployment with its aggregate QPS
+# and churn count, plus the steady-state wire microbenchmark whose 0
+# allocs/op pins the binary-codec + pooled-buffer zero-allocation claim)
+# and writes
+# the aggregated numbers to a JSON file (default BENCH_PR10.json) so speedups
 # and serving overheads are recorded in the repository alongside the code
 # they measure. The JSON also records which SIMD tier runtime dispatch
 # actually picked on this machine (simd_dispatch).
 #
-# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR9.json
+# Usage: scripts/bench.sh            # 5 runs per benchmark -> BENCH_PR10.json
 #        COUNT=10 OUT=out.json scripts/bench.sh
 #        SKIP_RACE=1 scripts/bench.sh   # skip the race-detector gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_PR9.json}"
+OUT="${OUT:-BENCH_PR10.json}"
 
 go vet ./...
 if [ -z "${SKIP_RACE:-}" ]; then
@@ -80,6 +85,8 @@ awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         if ($i == "resize_decisions")        rdecide[name] += $(i-1)
         if ($i == "gflops")                  gflops[name] += $(i-1)
         if ($i == "spans")                   spans[name]  += $(i-1)
+        if ($i == "sessions")                sess[name]   += $(i-1)
+        if ($i == "churns")                  churn[name]  += $(i-1)
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
@@ -121,6 +128,8 @@ END {
         if (rdecide[name] > 0)  printf ", \"resize_decisions\": %.1f", avg(rdecide, name)
         if (gflops[name] > 0)   printf ", \"gflops\": %.2f", avg(gflops, name)
         if (spans[name] > 0)    printf ", \"spans\": %.1f", avg(spans, name)
+        if (sess[name] > 0)     printf ", \"sessions\": %.0f", avg(sess, name)
+        if (churn[name] > 0)    printf ", \"churns\": %.0f", avg(churn, name)
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  },\n"
@@ -181,6 +190,9 @@ END {
     printf "    \"serving_autoscale\": {\"static_samples_per_sec\": %.1f, \"managed_samples_per_sec\": %.1f, \"workers_final\": %.1f, \"resize_decisions\": %.1f},\n", \
         avg(sps, "BenchmarkServingAutoscale/static"), avg(sps, "BenchmarkServingAutoscale/managed"), \
         avg(wfinal, "BenchmarkServingAutoscale/managed"), avg(rdecide, "BenchmarkServingAutoscale/managed")
+    printf "    \"serving_swarm\": {\"qps\": %.1f, \"sessions\": %.0f, \"churns\": %.0f, \"wire_ns_per_op\": %.1f, \"wire_allocs_per_op\": %.1f},\n", \
+        avg(qps, "BenchmarkServingSwarm"), avg(sess, "BenchmarkServingSwarm"), avg(churn, "BenchmarkServingSwarm"), \
+        avg(ns, "BenchmarkServingSwarmWire"), avg(allocs, "BenchmarkServingSwarmWire")
     printf "    \"serving_trace_qps_untraced_vs_traced\": [%.1f, %.1f],\n", \
         avg(qps, "BenchmarkServingTrace/untraced"), avg(qps, "BenchmarkServingTrace/traced")
     printf "    \"serving_trace_overhead_fraction\": %.4f\n", \
